@@ -1,0 +1,239 @@
+//! The paper's quantum addition circuits (Figures 7 and 8).
+//!
+//! The one-qubit full-adder cell implements Equation 5:
+//!
+//! ```text
+//! sum  = x ⊕ y ⊕ Cin
+//! Cout = (x ∧ y) ⊕ (Cin ∧ (x ⊕ y))
+//! ```
+//!
+//! with exactly the paper's five gates (boxes A-E of Figure 7) and two
+//! ancilla qubits. Multi-qubit addition (Figure 8) chains `s` cells,
+//! threading each cell's carry-out ancilla into the next cell's carry-in
+//! wire.
+//!
+//! These circuits deliberately leave scratch wires *dirty* (`y_i → x_i⊕y_i`,
+//! `a1_i → x_i∧y_i`), exactly as the paper's oracle does — cleanliness is
+//! restored globally by running `U_check†` after the oracle qubit flip.
+
+use qmkp_qsim::{Circuit, Gate, QubitAllocator, Register};
+
+/// The paper's five-gate full-adder cell (Figure 7).
+///
+/// Wire contract (all indices distinct):
+///
+/// | wire  | in        | out                      |
+/// |-------|-----------|--------------------------|
+/// | `x`   | x         | x (unchanged)            |
+/// | `y`   | y         | x ⊕ y (dirty)            |
+/// | `cin` | Cin       | **sum** = x ⊕ y ⊕ Cin    |
+/// | `a1`  | 0         | x ∧ y (dirty)            |
+/// | `a2`  | 0         | **Cout**                 |
+pub fn full_adder_cell(
+    circuit: &mut Circuit,
+    x: usize,
+    y: usize,
+    cin: usize,
+    a1: usize,
+    a2: usize,
+) {
+    // Box A: a1 = x ∧ y
+    circuit.push_unchecked(Gate::ccnot(x, y, a1));
+    // Box B: y = x ⊕ y
+    circuit.push_unchecked(Gate::cnot(x, y));
+    // Box C: a2 = Cin ∧ (x ⊕ y)
+    circuit.push_unchecked(Gate::ccnot(y, cin, a2));
+    // Box D: cin = x ⊕ y ⊕ Cin  (the sum)
+    circuit.push_unchecked(Gate::cnot(y, cin));
+    // Box E: a2 = (x ∧ y) ⊕ (Cin ∧ (x ⊕ y))  (the carry out)
+    circuit.push_unchecked(Gate::cnot(a1, a2));
+}
+
+/// Ancilla wires for an `s`-bit ripple-carry addition.
+#[derive(Debug, Clone)]
+pub struct AdderWires {
+    /// Carry-in wire of the least-significant cell (starts `|0⟩`, ends
+    /// holding sum bit 0).
+    pub cin0: usize,
+    /// Per-cell `a1` ancillas (end dirty: `x_i ∧ y_i`).
+    pub a1: Register,
+    /// Per-cell `a2` ancillas (cell `i`'s carry-out; all but the last are
+    /// consumed as the next cell's carry-in and end holding sum bits).
+    pub a2: Register,
+}
+
+impl AdderWires {
+    /// Allocates the `2s + 1` ancillas needed to add two `s`-bit registers.
+    pub fn alloc(alloc: &mut QubitAllocator, s: usize) -> Self {
+        AdderWires {
+            cin0: alloc.alloc_one("add_cin0"),
+            a1: alloc.alloc("add_a1", s),
+            a2: alloc.alloc("add_a2", s),
+        }
+    }
+
+    /// The `s + 1` wires that hold the sum after [`ripple_add`], LSB first:
+    /// `[cin0, a2_0, …, a2_{s-1}]`.
+    pub fn sum_bits(&self, s: usize) -> Vec<usize> {
+        let mut bits = Vec::with_capacity(s + 1);
+        bits.push(self.cin0);
+        bits.extend((0..s).map(|i| self.a2.qubit(i)));
+        bits
+    }
+}
+
+/// Appends the Figure-8 ripple-carry adder: computes `x + y` for two
+/// `s`-bit registers, leaving the `s+1`-bit sum on
+/// [`AdderWires::sum_bits`]. All ancillas must start `|0⟩`.
+///
+/// Returns the sum wires, LSB first.
+///
+/// # Panics
+/// Panics if the register lengths differ or the ancilla widths are wrong.
+pub fn ripple_add(
+    circuit: &mut Circuit,
+    x: &Register,
+    y: &Register,
+    wires: &AdderWires,
+) -> Vec<usize> {
+    let s = x.len;
+    assert_eq!(y.len, s, "operand registers must have equal width");
+    assert_eq!(wires.a1.len, s, "a1 ancilla register must have width {s}");
+    assert_eq!(wires.a2.len, s, "a2 ancilla register must have width {s}");
+    let mut cin = wires.cin0;
+    for i in 0..s {
+        full_adder_cell(
+            circuit,
+            x.qubit(i),
+            y.qubit(i),
+            cin,
+            wires.a1.qubit(i),
+            wires.a2.qubit(i),
+        );
+        // This cell's carry-out feeds the next cell's carry-in; after that
+        // next cell it holds the next sum bit.
+        cin = wires.a2.qubit(i);
+    }
+    wires.sum_bits(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::classical_eval;
+
+    /// Builds a fresh s-bit adder with registers x, y and returns
+    /// (circuit, x, y, sum wires).
+    fn build_adder(s: usize) -> (Circuit, Register, Register, Vec<usize>) {
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", s);
+        let y = alloc.alloc("y", s);
+        let wires = AdderWires::alloc(&mut alloc, s);
+        let mut circ = Circuit::new(alloc.width());
+        let sum = ripple_add(&mut circ, &x, &y, &wires);
+        (circ, x, y, sum)
+    }
+
+    fn read_bits(state: u128, bits: &[usize]) -> u128 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &q)| ((state >> q) & 1) << i)
+            .sum()
+    }
+
+    #[test]
+    fn full_adder_cell_truth_table() {
+        // 5 wires: x=0, y=1, cin=2, a1=3, a2=4.
+        let mut circ = Circuit::new(5);
+        full_adder_cell(&mut circ, 0, 1, 2, 3, 4);
+        assert_eq!(circ.len(), 5, "the paper's cell uses exactly five gates");
+        for x in 0..2u128 {
+            for y in 0..2u128 {
+                for cin in 0..2u128 {
+                    let input = x | (y << 1) | (cin << 2);
+                    let out = classical_eval(&circ, input);
+                    let sum = (out >> 2) & 1;
+                    let cout = (out >> 4) & 1;
+                    assert_eq!(sum, x ^ y ^ cin, "sum for x={x} y={y} cin={cin}");
+                    assert_eq!(
+                        cout,
+                        (x & y) ^ (cin & (x ^ y)),
+                        "cout for x={x} y={y} cin={cin}"
+                    );
+                    // x wire unchanged.
+                    assert_eq!(out & 1, x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_add_exhaustive_3bit() {
+        let (circ, x, y, sum) = build_adder(3);
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                let input = (a << x.start) | (b << y.start);
+                let out = classical_eval(&circ, input);
+                assert_eq!(read_bits(out, &sum), a + b, "{a} + {b}");
+                // x operand preserved.
+                assert_eq!(x.extract(out), a);
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_add_exhaustive_4bit() {
+        let (circ, x, y, sum) = build_adder(4);
+        for a in 0..16u128 {
+            for b in 0..16u128 {
+                let input = (a << x.start) | (b << y.start);
+                let out = classical_eval(&circ, input);
+                assert_eq!(read_bits(out, &sum), a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_gate_count_is_5s() {
+        for s in 1..6 {
+            let (circ, _, _, _) = build_adder(s);
+            assert_eq!(circ.len(), 5 * s, "Figure 8 uses 5 gates per bit");
+        }
+    }
+
+    #[test]
+    fn adder_inverse_restores_input() {
+        let (circ, x, y, _) = build_adder(3);
+        let inv = circ.inverse();
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                let input = (a << x.start) | (b << y.start);
+                assert_eq!(classical_eval(&inv, classical_eval(&circ, input)), input);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_panic() {
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", 3);
+        let y = alloc.alloc("y", 2);
+        let wires = AdderWires::alloc(&mut alloc, 3);
+        let mut circ = Circuit::new(alloc.width());
+        let _ = ripple_add(&mut circ, &x, &y, &wires);
+    }
+
+    #[test]
+    fn sum_bits_layout() {
+        let mut alloc = QubitAllocator::new();
+        let _x = alloc.alloc("x", 2);
+        let _y = alloc.alloc("y", 2);
+        let wires = AdderWires::alloc(&mut alloc, 2);
+        let sum = wires.sum_bits(2);
+        assert_eq!(sum.len(), 3);
+        assert_eq!(sum[0], wires.cin0);
+        assert_eq!(sum[1], wires.a2.qubit(0));
+        assert_eq!(sum[2], wires.a2.qubit(1));
+    }
+}

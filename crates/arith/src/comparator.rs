@@ -1,0 +1,435 @@
+//! The paper's integer comparison circuit (Figure 10, Equations 6-7).
+//!
+//! Comparison proceeds lexicographically from the most significant bit:
+//!
+//! ```text
+//! x ≤ y  ⇔  (x_1 < y_1)
+//!         ∨ (x_1 = y_1)(x_2 < y_2)
+//!         ∨ …
+//!         ∨ (x_1 = y_1)(x_2 = y_2)…(x_s = y_s)
+//! ```
+//!
+//! with one-bit primitives `x_i < y_i ⇔ ¬x_i ∧ y_i` and
+//! `x_i = y_i ⇔ ¬x_i ⊕ y_i` (box A and box B of Figure 10). The
+//! disjuncts are mutually exclusive, so the final OR (box D) is realized
+//! as an XOR chain onto the result qubit.
+//!
+//! All scratch wires end dirty; the oracle restores them with `U†`.
+
+use qmkp_qsim::{Circuit, Control, Gate, QubitAllocator, Register};
+
+/// Scratch registers for one `s`-bit comparison: `3s` ancillas.
+#[derive(Debug, Clone)]
+pub struct ComparatorScratch {
+    /// `lt[i] = (x_i < y_i)` after the circuit.
+    pub lt: Register,
+    /// `eq[i] = (x_i = y_i)` after the circuit.
+    pub eq: Register,
+    /// `prefix[i] = ∧_{j ≥ i} eq[j]` (equality of all bits from `i` up).
+    pub prefix: Register,
+}
+
+impl ComparatorScratch {
+    /// Allocates scratch for comparing `s`-bit values.
+    pub fn alloc(alloc: &mut QubitAllocator, s: usize) -> Self {
+        ComparatorScratch {
+            lt: alloc.alloc("cmp_lt", s),
+            eq: alloc.alloc("cmp_eq", s),
+            prefix: alloc.alloc("cmp_prefix", s),
+        }
+    }
+}
+
+/// Emits `lt[i] = ¬x_i ∧ y_i` and `eq[i] = ¬(x_i ⊕ y_i)` for every bit
+/// (boxes A and B of Figure 10).
+fn bitwise_lt_eq(circuit: &mut Circuit, x: &Register, y: &Register, scratch: &ComparatorScratch) {
+    for i in 0..x.len {
+        circuit.push_unchecked(Gate::Mcx {
+            controls: vec![Control::neg(x.qubit(i)), Control::pos(y.qubit(i))],
+            target: scratch.lt.qubit(i),
+        });
+        // eq_i = 1 ⊕ x_i ⊕ y_i
+        circuit.push_unchecked(Gate::X(scratch.eq.qubit(i)));
+        circuit.push_unchecked(Gate::cnot(x.qubit(i), scratch.eq.qubit(i)));
+        circuit.push_unchecked(Gate::cnot(y.qubit(i), scratch.eq.qubit(i)));
+    }
+}
+
+/// Emits `lt[i]` / `eq[i]` against a classical constant `c` (no `y`
+/// register needed): `lt_i = ¬x_i` when `c_i = 1` (else stays 0),
+/// `eq_i = x_i` when `c_i = 1`, `¬x_i` when `c_i = 0`.
+fn bitwise_lt_eq_const(circuit: &mut Circuit, x: &Register, c: u128, scratch: &ComparatorScratch) {
+    for i in 0..x.len {
+        let bit = (c >> i) & 1;
+        if bit == 1 {
+            circuit.push_unchecked(Gate::Mcx {
+                controls: vec![Control::neg(x.qubit(i))],
+                target: scratch.lt.qubit(i),
+            });
+            circuit.push_unchecked(Gate::cnot(x.qubit(i), scratch.eq.qubit(i)));
+        } else {
+            circuit.push_unchecked(Gate::Mcx {
+                controls: vec![Control::neg(x.qubit(i))],
+                target: scratch.eq.qubit(i),
+            });
+        }
+    }
+}
+
+/// Emits the running equality prefix: `prefix[i] = ∧_{j ≥ i} eq[j]`,
+/// computed MSB-down (box C of Figure 10).
+fn equality_prefix(circuit: &mut Circuit, scratch: &ComparatorScratch) {
+    let s = scratch.eq.len;
+    circuit.push_unchecked(Gate::cnot(scratch.eq.qubit(s - 1), scratch.prefix.qubit(s - 1)));
+    for i in (0..s - 1).rev() {
+        circuit.push_unchecked(Gate::ccnot(
+            scratch.prefix.qubit(i + 1),
+            scratch.eq.qubit(i),
+            scratch.prefix.qubit(i),
+        ));
+    }
+}
+
+/// Emits the XOR chain of the mutually-exclusive disjuncts onto `result`
+/// (box D). With `include_equal`, the all-equal term is added (`≤` instead
+/// of `<`).
+fn combine_terms(circuit: &mut Circuit, scratch: &ComparatorScratch, result: usize, include_equal: bool) {
+    let s = scratch.lt.len;
+    // MSB term: lt[s-1] alone.
+    circuit.push_unchecked(Gate::cnot(scratch.lt.qubit(s - 1), result));
+    // Lower terms: prefix[i+1] ∧ lt[i].
+    for i in (0..s - 1).rev() {
+        circuit.push_unchecked(Gate::ccnot(
+            scratch.prefix.qubit(i + 1),
+            scratch.lt.qubit(i),
+            result,
+        ));
+    }
+    if include_equal {
+        circuit.push_unchecked(Gate::cnot(scratch.prefix.qubit(0), result));
+    }
+}
+
+/// Appends `result ^= (x ≤ y)` for two `s`-bit registers.
+///
+/// # Panics
+/// Panics if widths disagree or `s = 0`.
+pub fn compare_le(
+    circuit: &mut Circuit,
+    x: &Register,
+    y: &Register,
+    result: usize,
+    scratch: &ComparatorScratch,
+) {
+    check_widths(x.len, y.len, scratch);
+    bitwise_lt_eq(circuit, x, y, scratch);
+    equality_prefix(circuit, scratch);
+    combine_terms(circuit, scratch, result, true);
+}
+
+/// Appends `result ^= (x < y)` for two `s`-bit registers.
+///
+/// # Panics
+/// Panics if widths disagree or `s = 0`.
+pub fn compare_lt(
+    circuit: &mut Circuit,
+    x: &Register,
+    y: &Register,
+    result: usize,
+    scratch: &ComparatorScratch,
+) {
+    check_widths(x.len, y.len, scratch);
+    bitwise_lt_eq(circuit, x, y, scratch);
+    equality_prefix(circuit, scratch);
+    combine_terms(circuit, scratch, result, false);
+}
+
+/// Appends `result ^= (x = y)` for two `s`-bit registers.
+///
+/// # Panics
+/// Panics if widths disagree or `s = 0`.
+pub fn compare_eq(
+    circuit: &mut Circuit,
+    x: &Register,
+    y: &Register,
+    result: usize,
+    scratch: &ComparatorScratch,
+) {
+    check_widths(x.len, y.len, scratch);
+    bitwise_lt_eq(circuit, x, y, scratch);
+    equality_prefix(circuit, scratch);
+    circuit.push_unchecked(Gate::cnot(scratch.prefix.qubit(0), result));
+}
+
+/// Appends `result ^= (x ≤ c)` for an `s`-bit register against a classical
+/// constant — the form the oracle uses for the thresholds `k-1` and `T`
+/// when qubit budget matters. (The paper instead loads the constant into a
+/// register; [`crate::counter::load_const`] + [`compare_le`] reproduces
+/// that layout.)
+///
+/// # Panics
+/// Panics if `c` does not fit in `x.len` bits or `s = 0`.
+pub fn compare_le_const(
+    circuit: &mut Circuit,
+    x: &Register,
+    c: u128,
+    result: usize,
+    scratch: &ComparatorScratch,
+) {
+    check_widths(x.len, x.len, scratch);
+    assert!(
+        x.len >= 128 || c < (1u128 << x.len),
+        "constant {c} does not fit in {} bits",
+        x.len
+    );
+    bitwise_lt_eq_const(circuit, x, c, scratch);
+    equality_prefix(circuit, scratch);
+    combine_terms(circuit, scratch, result, true);
+}
+
+/// Appends `result ^= (x ≤ y)` and then *uncomputes* the scratch registers,
+/// leaving only the result bit changed. This lets the oracle reuse a single
+/// scratch block across all `n` per-vertex comparisons (compute-copy-
+/// uncompute), halving its qubit footprint at the cost of ~2x the gates.
+///
+/// # Panics
+/// Panics if widths disagree or `s = 0`.
+pub fn compare_le_clean(
+    circuit: &mut Circuit,
+    x: &Register,
+    y: &Register,
+    result: usize,
+    scratch: &ComparatorScratch,
+) {
+    check_widths(x.len, y.len, scratch);
+    let mut compute = Circuit::new(circuit.width());
+    bitwise_lt_eq(&mut compute, x, y, scratch);
+    equality_prefix(&mut compute, scratch);
+    circuit.extend(&compute).expect("same width by construction");
+    combine_terms(circuit, scratch, result, true);
+    circuit.extend(&compute.inverse()).expect("same width by construction");
+}
+
+/// Constant-operand variant of [`compare_le_clean`]: `result ^= (x ≤ c)`,
+/// scratch restored to `|0…0⟩`.
+///
+/// # Panics
+/// Panics if `c` does not fit in `x.len` bits or `s = 0`.
+pub fn compare_le_const_clean(
+    circuit: &mut Circuit,
+    x: &Register,
+    c: u128,
+    result: usize,
+    scratch: &ComparatorScratch,
+) {
+    check_widths(x.len, x.len, scratch);
+    assert!(
+        x.len >= 128 || c < (1u128 << x.len),
+        "constant {c} does not fit in {} bits",
+        x.len
+    );
+    let mut compute = Circuit::new(circuit.width());
+    bitwise_lt_eq_const(&mut compute, x, c, scratch);
+    equality_prefix(&mut compute, scratch);
+    circuit.extend(&compute).expect("same width by construction");
+    combine_terms(circuit, scratch, result, true);
+    circuit.extend(&compute.inverse()).expect("same width by construction");
+}
+
+fn check_widths(xs: usize, ys: usize, scratch: &ComparatorScratch) {
+    assert!(xs > 0, "cannot compare zero-width registers");
+    assert_eq!(xs, ys, "operand registers must have equal width");
+    assert_eq!(scratch.lt.len, xs, "lt scratch width mismatch");
+    assert_eq!(scratch.eq.len, xs, "eq scratch width mismatch");
+    assert_eq!(scratch.prefix.len, xs, "prefix scratch width mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::classical_eval;
+
+    type Built = (Circuit, Register, Register, usize);
+
+    fn build(s: usize, f: impl Fn(&mut Circuit, &Register, &Register, usize, &ComparatorScratch)) -> Built {
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", s);
+        let y = alloc.alloc("y", s);
+        let result = alloc.alloc_one("r");
+        let scratch = ComparatorScratch::alloc(&mut alloc, s);
+        let mut circ = Circuit::new(alloc.width());
+        f(&mut circ, &x, &y, result, &scratch);
+        (circ, x, y, result)
+    }
+
+    fn check_exhaustive(s: usize, built: &Built, pred: impl Fn(u128, u128) -> bool) {
+        let (circ, x, y, result) = built;
+        for a in 0..(1u128 << s) {
+            for b in 0..(1u128 << s) {
+                let input = (a << x.start) | (b << y.start);
+                let out = classical_eval(circ, input);
+                let r = (out >> result) & 1;
+                assert_eq!(r == 1, pred(a, b), "a={a} b={b}");
+                // Operands preserved.
+                assert_eq!(x.extract(out), a);
+                assert_eq!(y.extract(out), b);
+            }
+        }
+    }
+
+    #[test]
+    fn le_exhaustive() {
+        for s in 1..=4 {
+            let built = build(s, compare_le);
+            check_exhaustive(s, &built, |a, b| a <= b);
+        }
+    }
+
+    #[test]
+    fn lt_exhaustive() {
+        for s in 1..=4 {
+            let built = build(s, compare_lt);
+            check_exhaustive(s, &built, |a, b| a < b);
+        }
+    }
+
+    #[test]
+    fn eq_exhaustive() {
+        for s in 1..=4 {
+            let built = build(s, compare_eq);
+            check_exhaustive(s, &built, |a, b| a == b);
+        }
+    }
+
+    #[test]
+    fn le_const_exhaustive() {
+        for s in 1..=4usize {
+            for c in 0..(1u128 << s) {
+                let mut alloc = QubitAllocator::new();
+                let x = alloc.alloc("x", s);
+                let result = alloc.alloc_one("r");
+                let scratch = ComparatorScratch::alloc(&mut alloc, s);
+                let mut circ = Circuit::new(alloc.width());
+                compare_le_const(&mut circ, &x, c, result, &scratch);
+                for a in 0..(1u128 << s) {
+                    let out = classical_eval(&circ, a << x.start);
+                    assert_eq!((out >> result) & 1 == 1, a <= c, "a={a} c={c} s={s}");
+                    assert_eq!(x.extract(out), a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_xored_not_set() {
+        // With the result qubit preloaded to 1, a true comparison flips it
+        // to 0 — the phase-kickback convention requires XOR semantics.
+        let (circ, x, y, result) = build(2, compare_le);
+        let input = (1u128 << x.start) | (2u128 << y.start) | (1u128 << result);
+        let out = classical_eval(&circ, input);
+        assert_eq!((out >> result) & 1, 0, "1 ≤ 2 flips the preloaded 1");
+    }
+
+    #[test]
+    fn inverse_restores_everything() {
+        let (circ, x, y, _) = build(3, compare_le);
+        let inv = circ.inverse();
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                let input = (a << x.start) | (b << y.start);
+                assert_eq!(classical_eval(&inv, classical_eval(&circ, input)), input);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_is_linear() {
+        // O(s) gates per the paper's complexity analysis.
+        let (c3, ..) = build(3, compare_le);
+        let (c6, ..) = build(6, compare_le);
+        assert!(c6.len() <= 2 * c3.len() + 4, "{} vs {}", c6.len(), c3.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn width_mismatch_panics() {
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", 3);
+        let y = alloc.alloc("y", 2);
+        let r = alloc.alloc_one("r");
+        let scratch = ComparatorScratch::alloc(&mut alloc, 3);
+        let mut circ = Circuit::new(alloc.width());
+        compare_le(&mut circ, &x, &y, r, &scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn const_too_wide_panics() {
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", 2);
+        let r = alloc.alloc_one("r");
+        let scratch = ComparatorScratch::alloc(&mut alloc, 2);
+        let mut circ = Circuit::new(alloc.width());
+        compare_le_const(&mut circ, &x, 4, r, &scratch);
+    }
+
+    #[test]
+    fn clean_le_restores_scratch() {
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", 3);
+        let y = alloc.alloc("y", 3);
+        let result = alloc.alloc_one("r");
+        let scratch = ComparatorScratch::alloc(&mut alloc, 3);
+        let mut circ = Circuit::new(alloc.width());
+        compare_le_clean(&mut circ, &x, &y, result, &scratch);
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                let input = (a << x.start) | (b << y.start);
+                let out = classical_eval(&circ, input);
+                assert_eq!((out >> result) & 1 == 1, a <= b, "a={a} b={b}");
+                // Everything except the result bit is restored.
+                assert_eq!(out & !(1 << result), input);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_le_const_restores_scratch() {
+        for c in 0..8u128 {
+            let mut alloc = QubitAllocator::new();
+            let x = alloc.alloc("x", 3);
+            let result = alloc.alloc_one("r");
+            let scratch = ComparatorScratch::alloc(&mut alloc, 3);
+            let mut circ = Circuit::new(alloc.width());
+            compare_le_const_clean(&mut circ, &x, c, result, &scratch);
+            for a in 0..8u128 {
+                let input = a << x.start;
+                let out = classical_eval(&circ, input);
+                assert_eq!((out >> result) & 1 == 1, a <= c, "a={a} c={c}");
+                assert_eq!(out & !(1 << result), input);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_scratch_is_reusable_across_comparisons() {
+        // Two comparisons sharing one scratch block must both be correct.
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", 2);
+        let y = alloc.alloc("y", 2);
+        let r1 = alloc.alloc_one("r1");
+        let r2 = alloc.alloc_one("r2");
+        let scratch = ComparatorScratch::alloc(&mut alloc, 2);
+        let mut circ = Circuit::new(alloc.width());
+        compare_le_const_clean(&mut circ, &x, 2, r1, &scratch);
+        compare_le_clean(&mut circ, &x, &y, r2, &scratch);
+        for a in 0..4u128 {
+            for b in 0..4u128 {
+                let input = (a << x.start) | (b << y.start);
+                let out = classical_eval(&circ, input);
+                assert_eq!((out >> r1) & 1 == 1, a <= 2);
+                assert_eq!((out >> r2) & 1 == 1, a <= b);
+            }
+        }
+    }
+}

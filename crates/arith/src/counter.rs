@@ -1,0 +1,174 @@
+//! Controlled increment and popcount circuits.
+//!
+//! The paper's degree counting (oracle part 1) sums, for each vertex, the
+//! edge qubits incident to it; its size determination (oracle part 3) sums
+//! the vertex qubits themselves. Both are popcounts into a small counter
+//! register. We implement them with the ancilla-free *ripple increment*:
+//! `counter += ctrl` flips counter bit `i` iff the control is set and all
+//! lower counter bits are 1 — a chain of CᵏNOT gates, most-significant bit
+//! first so the carries read pre-increment values.
+
+use qmkp_qsim::{Circuit, Control, Gate, Register};
+
+/// Counter width (bits) needed to count up to `max_count` inclusive:
+/// `⌈log₂(max_count + 1)⌉`, and at least 1.
+pub fn counter_width(max_count: usize) -> usize {
+    usize::BITS as usize - max_count.leading_zeros() as usize + usize::from(max_count == 0)
+}
+
+/// Appends `counter += ctrl` (mod 2^len): a ripple increment of the counter
+/// register controlled on one qubit.
+///
+/// Gate cost: `len` multi-controlled X gates with 1..=len controls.
+///
+/// # Panics
+/// Panics if `ctrl` lies inside the counter register.
+pub fn controlled_increment(circuit: &mut Circuit, ctrl: usize, counter: &Register) {
+    assert!(
+        !(counter.start..counter.start + counter.len).contains(&ctrl),
+        "control {ctrl} overlaps counter register {}",
+        counter.name
+    );
+    // Highest bit first: counter[i] flips iff ctrl ∧ counter[0..i] all ones.
+    for i in (0..counter.len).rev() {
+        let mut controls = vec![Control::pos(ctrl)];
+        controls.extend((0..i).map(|j| Control::pos(counter.qubit(j))));
+        circuit.push_unchecked(Gate::Mcx { controls, target: counter.qubit(i) });
+    }
+}
+
+/// Appends a popcount: `counter += Σ sources` (mod 2^len), one controlled
+/// increment per source qubit.
+///
+/// # Panics
+/// Panics if any source qubit overlaps the counter register.
+pub fn popcount_into(circuit: &mut Circuit, sources: &[usize], counter: &Register) {
+    for &s in sources {
+        controlled_increment(circuit, s, counter);
+    }
+}
+
+/// Loads a classical constant into a zeroed register with X gates
+/// (bit `i` of `value` → register qubit `i`).
+///
+/// # Panics
+/// Panics if `value` does not fit in the register.
+pub fn load_const(circuit: &mut Circuit, reg: &Register, value: u128) {
+    assert!(
+        reg.len >= 128 || value < (1u128 << reg.len),
+        "constant {value} does not fit in register {} of width {}",
+        reg.name,
+        reg.len
+    );
+    for i in 0..reg.len {
+        if (value >> i) & 1 == 1 {
+            circuit.push_unchecked(Gate::X(reg.qubit(i)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::classical_eval;
+    use qmkp_qsim::QubitAllocator;
+
+    #[test]
+    fn counter_width_formula() {
+        assert_eq!(counter_width(0), 1);
+        assert_eq!(counter_width(1), 1);
+        assert_eq!(counter_width(2), 2);
+        assert_eq!(counter_width(3), 2);
+        assert_eq!(counter_width(4), 3);
+        assert_eq!(counter_width(7), 3);
+        assert_eq!(counter_width(8), 4);
+    }
+
+    #[test]
+    fn increment_all_start_values() {
+        let mut alloc = QubitAllocator::new();
+        let ctrl = alloc.alloc_one("ctrl");
+        let counter = alloc.alloc("c", 3);
+        let mut circ = Circuit::new(alloc.width());
+        controlled_increment(&mut circ, ctrl, &counter);
+        for start in 0..8u128 {
+            // Control off: no change.
+            let input = start << counter.start;
+            assert_eq!(counter.extract(classical_eval(&circ, input)), start);
+            // Control on: +1 mod 8.
+            let input = input | 1;
+            assert_eq!(counter.extract(classical_eval(&circ, input)), (start + 1) % 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps counter")]
+    fn increment_rejects_overlapping_control() {
+        let mut alloc = QubitAllocator::new();
+        let counter = alloc.alloc("c", 3);
+        let mut circ = Circuit::new(alloc.width());
+        controlled_increment(&mut circ, counter.qubit(1), &counter);
+    }
+
+    #[test]
+    fn popcount_counts_ones_exhaustively() {
+        // 5 source qubits, 3-bit counter.
+        let mut alloc = QubitAllocator::new();
+        let src = alloc.alloc("src", 5);
+        let counter = alloc.alloc("c", 3);
+        let mut circ = Circuit::new(alloc.width());
+        popcount_into(&mut circ, &src.qubits(), &counter);
+        for pattern in 0..32u128 {
+            let out = classical_eval(&circ, pattern);
+            assert_eq!(
+                counter.extract(out),
+                pattern.count_ones() as u128,
+                "pattern {pattern:05b}"
+            );
+            // Sources untouched.
+            assert_eq!(src.extract(out), pattern);
+        }
+    }
+
+    #[test]
+    fn popcount_is_uncomputed_by_inverse() {
+        let mut alloc = QubitAllocator::new();
+        let src = alloc.alloc("src", 4);
+        let counter = alloc.alloc("c", 3);
+        let mut circ = Circuit::new(alloc.width());
+        popcount_into(&mut circ, &src.qubits(), &counter);
+        let inv = circ.inverse();
+        for pattern in 0..16u128 {
+            let mid = classical_eval(&circ, pattern);
+            assert_eq!(classical_eval(&inv, mid), pattern);
+        }
+    }
+
+    #[test]
+    fn load_const_sets_bits() {
+        let mut alloc = QubitAllocator::new();
+        let reg = alloc.alloc("k", 4);
+        let mut circ = Circuit::new(alloc.width());
+        load_const(&mut circ, &reg, 0b1010);
+        assert_eq!(reg.extract(classical_eval(&circ, 0)), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn load_const_checks_width() {
+        let mut alloc = QubitAllocator::new();
+        let reg = alloc.alloc("k", 2);
+        let mut circ = Circuit::new(alloc.width());
+        load_const(&mut circ, &reg, 4);
+    }
+
+    #[test]
+    fn increment_gate_cost_is_linear() {
+        let mut alloc = QubitAllocator::new();
+        let ctrl = alloc.alloc_one("ctrl");
+        let counter = alloc.alloc("c", 6);
+        let mut circ = Circuit::new(alloc.width());
+        controlled_increment(&mut circ, ctrl, &counter);
+        assert_eq!(circ.len(), 6);
+    }
+}

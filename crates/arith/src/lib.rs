@@ -1,0 +1,34 @@
+//! # qmkp-arith — reversible arithmetic circuits
+//!
+//! The building blocks of the paper's qTKP oracle, implemented as gate
+//! sequences over [`qmkp_qsim::Circuit`]:
+//!
+//! * [`adder`] — the paper's one-qubit full-adder cell (Figure 7: five
+//!   gates, two ancillas) and the ripple-carry multi-qubit adder chained
+//!   from it (Figure 8).
+//! * [`counter`] — ancilla-free controlled increment and popcount, the
+//!   workhorses behind degree counting (oracle part 1) and size
+//!   determination (oracle part 3).
+//! * [`comparator`] — the lexicographic comparison circuit of Figure 10 /
+//!   Equations 6-7 (`x < y`, `x ≤ y`, `x = y`), in register-register and
+//!   register-constant forms.
+//! * [`eval`] — a classical evaluator for permutation-only circuits, used
+//!   pervasively in tests to check every circuit against its integer
+//!   semantics.
+//!
+//! All circuits here are built from X / CNOT / Toffoli / CᵏNOT only, so
+//! they are basis-state permutations: cheap on the sparse backend and
+//! exactly invertible with [`qmkp_qsim::Circuit::inverse`].
+
+pub mod adder;
+pub mod comparator;
+pub mod counter;
+pub mod eval;
+
+pub use adder::{full_adder_cell, ripple_add, AdderWires};
+pub use comparator::{
+    compare_eq, compare_le, compare_le_clean, compare_le_const, compare_le_const_clean,
+    compare_lt, ComparatorScratch,
+};
+pub use counter::{controlled_increment, counter_width, load_const, popcount_into};
+pub use eval::classical_eval;

@@ -1,0 +1,111 @@
+//! Property-based tests: every arithmetic circuit equals its integer
+//! semantics on random operands and widths.
+
+use proptest::prelude::*;
+use qmkp_arith::{
+    classical_eval, compare_eq, compare_le, compare_le_clean, compare_le_const,
+    compare_le_const_clean, compare_lt, controlled_increment, counter_width, load_const,
+    popcount_into, ripple_add, AdderWires, ComparatorScratch,
+};
+use qmkp_qsim::{Circuit, QubitAllocator, Register};
+
+fn read_bits(state: u128, bits: &[usize]) -> u128 {
+    bits.iter().enumerate().map(|(i, &q)| ((state >> q) & 1) << i).sum()
+}
+
+proptest! {
+    #[test]
+    fn adder_matches_integer_addition(s in 1usize..=8, a in any::<u64>(), b in any::<u64>()) {
+        let mask = (1u128 << s) - 1;
+        let (a, b) = (a as u128 & mask, b as u128 & mask);
+        let mut alloc = QubitAllocator::new();
+        let x = alloc.alloc("x", s);
+        let y = alloc.alloc("y", s);
+        let w = AdderWires::alloc(&mut alloc, s);
+        let mut circ = Circuit::new(alloc.width());
+        let sum = ripple_add(&mut circ, &x, &y, &w);
+        let out = classical_eval(&circ, (a << x.start) | (b << y.start));
+        prop_assert_eq!(read_bits(out, &sum), a + b);
+        prop_assert_eq!(x.extract(out), a, "first operand preserved");
+    }
+
+    #[test]
+    fn comparators_match_integer_predicates(s in 1usize..=8, a in any::<u64>(), b in any::<u64>()) {
+        let mask = (1u128 << s) - 1;
+        let (a, b) = (a as u128 & mask, b as u128 & mask);
+        for (builder, predicate) in [
+            (compare_le as fn(&mut Circuit, &Register, &Register, usize, &ComparatorScratch), a <= b),
+            (compare_lt, a < b),
+            (compare_eq, a == b),
+            (compare_le_clean, a <= b),
+        ] {
+            let mut alloc = QubitAllocator::new();
+            let x = alloc.alloc("x", s);
+            let y = alloc.alloc("y", s);
+            let r = alloc.alloc_one("r");
+            let scratch = ComparatorScratch::alloc(&mut alloc, s);
+            let mut circ = Circuit::new(alloc.width());
+            builder(&mut circ, &x, &y, r, &scratch);
+            let out = classical_eval(&circ, (a << x.start) | (b << y.start));
+            prop_assert_eq!((out >> r) & 1 == 1, predicate, "a={} b={} s={}", a, b, s);
+        }
+    }
+
+    #[test]
+    fn const_comparators_match(s in 1usize..=8, a in any::<u64>(), c in any::<u64>()) {
+        let mask = (1u128 << s) - 1;
+        let (a, c) = (a as u128 & mask, c as u128 & mask);
+        for (clean, builder) in [
+            (false, compare_le_const as fn(&mut Circuit, &Register, u128, usize, &ComparatorScratch)),
+            (true, compare_le_const_clean),
+        ] {
+            let mut alloc = QubitAllocator::new();
+            let x = alloc.alloc("x", s);
+            let r = alloc.alloc_one("r");
+            let scratch = ComparatorScratch::alloc(&mut alloc, s);
+            let mut circ = Circuit::new(alloc.width());
+            builder(&mut circ, &x, c, r, &scratch);
+            let out = classical_eval(&circ, a << x.start);
+            prop_assert_eq!((out >> r) & 1 == 1, a <= c, "a={} c={} s={} clean={}", a, c, s, clean);
+            if clean {
+                prop_assert_eq!(out & !(1u128 << r), a << x.start, "scratch restored");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_matches_count_ones(n in 1usize..=12, pattern in any::<u64>()) {
+        let pattern = pattern as u128 & ((1u128 << n) - 1);
+        let mut alloc = QubitAllocator::new();
+        let src = alloc.alloc("src", n);
+        let ctr = alloc.alloc("c", counter_width(n));
+        let mut circ = Circuit::new(alloc.width());
+        popcount_into(&mut circ, &src.qubits(), &ctr);
+        let out = classical_eval(&circ, pattern);
+        prop_assert_eq!(ctr.extract(out), pattern.count_ones() as u128);
+    }
+
+    #[test]
+    fn increment_wraps_modulo_counter(s in 1usize..=8, start in any::<u64>()) {
+        let start = start as u128 & ((1u128 << s) - 1);
+        let mut alloc = QubitAllocator::new();
+        let ctrl = alloc.alloc_one("ctrl");
+        let ctr = alloc.alloc("c", s);
+        let mut circ = Circuit::new(alloc.width());
+        controlled_increment(&mut circ, ctrl, &ctr);
+        let out = classical_eval(&circ, (start << ctr.start) | 1);
+        prop_assert_eq!(ctr.extract(out), (start + 1) & ((1u128 << s) - 1));
+    }
+
+    #[test]
+    fn load_const_then_invert_clears(s in 1usize..=10, v in any::<u64>()) {
+        let v = v as u128 & ((1u128 << s) - 1);
+        let mut alloc = QubitAllocator::new();
+        let reg = alloc.alloc("r", s);
+        let mut circ = Circuit::new(alloc.width());
+        load_const(&mut circ, &reg, v);
+        prop_assert_eq!(reg.extract(classical_eval(&circ, 0)), v);
+        circ.extend(&circ.clone().inverse()).unwrap();
+        prop_assert_eq!(classical_eval(&circ, 0), 0);
+    }
+}

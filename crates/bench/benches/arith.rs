@@ -1,0 +1,69 @@
+//! Benchmarks of the reversible arithmetic circuit builders and their
+//! classical evaluation (the oracle's inner loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmkp_arith::{classical_eval, compare_le_clean, popcount_into, ripple_add, AdderWires, ComparatorScratch};
+use qmkp_qsim::{Circuit, QubitAllocator};
+
+fn build_adder(s: usize) -> Circuit {
+    let mut alloc = QubitAllocator::new();
+    let x = alloc.alloc("x", s);
+    let y = alloc.alloc("y", s);
+    let w = AdderWires::alloc(&mut alloc, s);
+    let mut c = Circuit::new(alloc.width());
+    ripple_add(&mut c, &x, &y, &w);
+    c
+}
+
+fn bench_adder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ripple_adder");
+    for s in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("build", s), &s, |b, &s| {
+            b.iter(|| build_adder(s));
+        });
+        let circ = build_adder(s);
+        group.bench_with_input(BenchmarkId::new("eval", s), &circ, |b, circ| {
+            b.iter(|| classical_eval(circ, 0b1011));
+        });
+    }
+    group.finish();
+}
+
+fn bench_comparator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparator");
+    for s in [3usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::new("build_clean", s), &s, |b, &s| {
+            b.iter(|| {
+                let mut alloc = QubitAllocator::new();
+                let x = alloc.alloc("x", s);
+                let y = alloc.alloc("y", s);
+                let r = alloc.alloc_one("r");
+                let scratch = ComparatorScratch::alloc(&mut alloc, s);
+                let mut circ = Circuit::new(alloc.width());
+                compare_le_clean(&mut circ, &x, &y, r, &scratch);
+                circ
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_popcount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popcount");
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut alloc = QubitAllocator::new();
+                let src = alloc.alloc("src", n);
+                let ctr = alloc.alloc("c", qmkp_arith::counter_width(n));
+                let mut circ = Circuit::new(alloc.width());
+                popcount_into(&mut circ, &src.qubits(), &ctr);
+                circ
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adder, bench_comparator, bench_popcount);
+criterion_main!(benches);

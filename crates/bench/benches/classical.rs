@@ -1,0 +1,32 @@
+//! Benchmarks of the classical exact baselines (the BS rows of
+//! Tables II-III) and the reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmkp_classical::{max_kplex_bnb, max_kplex_bs, max_kplex_naive};
+use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASETS};
+use qmkp_graph::reduce::auto_reduce;
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_mkp");
+    for &(n, m) in &GATE_DATASETS {
+        let g = paper_gate_dataset(n, m);
+        group.bench_with_input(BenchmarkId::new("naive", format!("G_{n}_{m}")), &g, |b, g| {
+            b.iter(|| max_kplex_naive(g, 2));
+        });
+        group.bench_with_input(BenchmarkId::new("bnb", format!("G_{n}_{m}")), &g, |b, g| {
+            b.iter(|| max_kplex_bnb(g, 2));
+        });
+        group.bench_with_input(BenchmarkId::new("bs", format!("G_{n}_{m}")), &g, |b, g| {
+            b.iter(|| max_kplex_bs(g, 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let g = paper_gate_dataset(10, 23);
+    c.bench_function("auto_reduce_G10_23", |b| b.iter(|| auto_reduce(&g, 2)));
+}
+
+criterion_group!(benches, bench_exact_solvers, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks backing Figure 11: minor-embedding time and chain growth
+//! for the MKP QUBO interaction graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmkp_annealer::{find_embedding_with_tries, Chimera};
+use qmkp_graph::gen::{chain_family_edges, gnm, DATASET_SEED};
+use qmkp_qubo::{MkpQubo, MkpQuboParams};
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed_mkp_qubo");
+    group.sample_size(10);
+    for n in [10usize, 15, 20] {
+        let g = gnm(n, chain_family_edges(n), DATASET_SEED ^ n as u64).unwrap();
+        let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+        let edges: Vec<(usize, usize)> = mq.model.interactions().map(|(p, _)| p).collect();
+        let vars = mq.num_vars();
+        let grid = (((vars * 10) as f64 / 8.0).sqrt().ceil() as usize).max(4);
+        let hw = Chimera::new(grid, grid, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(edges, vars, hw), |b, (e, v, hw)| {
+            b.iter(|| find_embedding_with_tries(e, *v, hw, 3, 4, 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chimera_build(c: &mut Criterion) {
+    c.bench_function("chimera_c16_build", |b| b.iter(Chimera::c16));
+}
+
+criterion_group!(benches, bench_embed, bench_chimera_build);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks backing Tables II-IV: oracle construction and Grover
+//! iteration cost on the paper's gate-based datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmkp_core::{GroverDriver, Oracle};
+use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASETS};
+
+fn bench_oracle_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_build");
+    for &(n, m) in &GATE_DATASETS {
+        let g = paper_gate_dataset(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("G_{n}_{m}")), &g, |b, g| {
+            b.iter(|| Oracle::new(g, 2, 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grover_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover_iteration");
+    group.sample_size(10);
+    for &(n, m) in &GATE_DATASETS {
+        let g = paper_gate_dataset(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("G_{n}_{m}")), &g, |b, g| {
+            b.iter_batched(
+                || GroverDriver::new(Oracle::new(g, 2, 3)),
+                |mut driver| driver.iterate(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_grover_iteration_vs_k(c: &mut Criterion) {
+    // Ablation for Table III: k only perturbs the comparison component.
+    let mut group = c.benchmark_group("grover_iteration_vs_k");
+    group.sample_size(10);
+    let g = paper_gate_dataset(10, 37);
+    for k in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter_batched(
+                || GroverDriver::new(Oracle::new(&g, k, 4)),
+                |mut driver| driver.iterate(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_build, bench_grover_iteration, bench_grover_iteration_vs_k);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Benchmarks backing Tables V-VII and Figures 9-10: QUBO construction,
+//! energy evaluation, SA and SQA sweep throughput, MILP nodes, and the
+//! hybrid portfolio round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmkp_annealer::{anneal_qubo, sqa_qubo, SaConfig, SqaConfig};
+use qmkp_graph::gen::{paper_anneal_dataset, ANNEAL_DATASETS};
+use qmkp_milp::{minimize_qubo, BnbConfig};
+use qmkp_qubo::{MkpQubo, MkpQuboParams};
+use std::time::Duration;
+
+fn bench_qubo_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubo_build");
+    for &(n, m) in &ANNEAL_DATASETS {
+        let g = paper_anneal_dataset(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("D_{n}_{m}")), &g, |b, g| {
+            b.iter(|| MkpQubo::new(g, MkpQuboParams { k: 3, r: 2.0 }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_energy_eval(c: &mut Criterion) {
+    let g = paper_anneal_dataset(20, 100);
+    let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+    let x = vec![true; mq.num_vars()];
+    c.bench_function("qubo_energy_D20_100", |b| b.iter(|| mq.model.energy(&x)));
+}
+
+fn bench_sa_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_shot");
+    for &(n, m) in &ANNEAL_DATASETS {
+        let g = paper_anneal_dataset(n, m);
+        let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("D_{n}_{m}")), &mq, |b, mq| {
+            b.iter(|| anneal_qubo(&mq.model, &SaConfig { shots: 1, sweeps: 2, ..SaConfig::default() }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sqa_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqa_shot");
+    group.sample_size(20);
+    for &(n, m) in &ANNEAL_DATASETS {
+        let g = paper_anneal_dataset(n, m);
+        let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+        group.bench_with_input(BenchmarkId::from_parameter(format!("D_{n}_{m}")), &mq, |b, mq| {
+            b.iter(|| sqa_qubo(&mq.model, &SqaConfig { shots: 1, ..SqaConfig::from_anneal_time(1.0, 1) }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp_budgeted(c: &mut Criterion) {
+    let g = paper_anneal_dataset(15, 70);
+    let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+    c.bench_function("milp_1ms_budget_D15_70", |b| {
+        b.iter(|| {
+            minimize_qubo(
+                &mq.model,
+                &BnbConfig { time_limit: Duration::from_millis(1), ..BnbConfig::default() },
+            )
+        })
+    });
+}
+
+fn bench_penalty_r_ablation(c: &mut Criterion) {
+    // Table VI ablation: construction and one SQA shot across R values.
+    let g = paper_anneal_dataset(10, 40);
+    let mut group = c.benchmark_group("sqa_vs_r");
+    for r in [1.1f64, 2.0, 4.0, 8.0] {
+        let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r });
+        group.bench_with_input(BenchmarkId::from_parameter(r), &mq, |b, mq| {
+            b.iter(|| sqa_qubo(&mq.model, &SqaConfig { shots: 2, ..SqaConfig::from_anneal_time(1.0, 2) }));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qubo_build,
+    bench_energy_eval,
+    bench_sa_shot,
+    bench_sqa_shot,
+    bench_milp_budgeted,
+    bench_penalty_r_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Dense vs sparse backend comparison — the ablation justifying the
+//! sparse amplitude-map substitution for the paper's MPS simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmkp_qsim::{Circuit, DenseState, Gate, QuantumState, SparseState};
+
+/// A Grover-shaped circuit: H layer on `sup` qubits, then a ladder of
+/// Toffolis into the remaining ancillas (pure permutation).
+fn layered_circuit(width: usize, sup: usize) -> Circuit {
+    let mut c = Circuit::new(width);
+    for q in 0..sup {
+        c.push_unchecked(Gate::H(q));
+    }
+    for q in sup..width {
+        c.push_unchecked(Gate::ccnot(q % sup, (q + 1) % sup, q));
+    }
+    for q in (sup..width).rev() {
+        c.push_unchecked(Gate::ccnot(q % sup, (q + 1) % sup, q));
+    }
+    c
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    for width in [12usize, 16, 20] {
+        let circ = layered_circuit(width, 6);
+        group.bench_with_input(BenchmarkId::new("dense", width), &circ, |b, circ| {
+            b.iter(|| {
+                let mut s = DenseState::zero(circ.width()).unwrap();
+                s.run(circ).unwrap();
+                s.probability(0)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", width), &circ, |b, circ| {
+            b.iter(|| {
+                let mut s = SparseState::zero(circ.width());
+                s.run(circ).unwrap();
+                s.probability(0)
+            });
+        });
+    }
+    // The sparse backend's raison d'être: widths far beyond dense reach.
+    for width in [40usize, 80, 120] {
+        let circ = layered_circuit(width, 6);
+        group.bench_with_input(BenchmarkId::new("sparse_wide", width), &circ, |b, circ| {
+            b.iter(|| {
+                let mut s = SparseState::zero(circ.width());
+                s.run(circ).unwrap();
+                s.probability(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

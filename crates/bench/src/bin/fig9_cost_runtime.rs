@@ -1,0 +1,14 @@
+//! Figure 9 — objective cost vs runtime for qaMKP / SA / MILP / haMKP on
+//! D_{20,100} (k = 3, R = 2, Δt = 1 µs).
+
+use qmkp_bench::cost_runtime::{default_runtimes, print_cost_runtime, run_cost_vs_runtime};
+use qmkp_bench::quick_mode;
+
+fn main() {
+    let (n, m) = if quick_mode() { (10, 40) } else { (20, 100) };
+    let cr = run_cost_vs_runtime(n, m, 3, 2.0, 1.0, &default_runtimes(quick_mode()), 17);
+    print_cost_runtime(
+        &format!("Fig. 9 — cost vs runtime on D_{{{n},{m}}} (k = 3, R = 2, Δt = 1 µs)"),
+        &cr,
+    );
+}

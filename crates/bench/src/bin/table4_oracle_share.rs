@@ -1,0 +1,73 @@
+//! Table IV — proportional runtime share of the three oracle components
+//! (degree counting / degree comparison / size determination) across the
+//! gate-based datasets, measured from actual simulation wall time and
+//! cross-checked against static elementary gate costs.
+
+use qmkp_bench::{print_table, quick_mode};
+use qmkp_core::{qmkp, QmkpConfig};
+use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASETS};
+
+fn main() {
+    let datasets: &[(usize, usize)] =
+        if quick_mode() { &GATE_DATASETS[..2] } else { &GATE_DATASETS };
+    let mut rows = Vec::new();
+    let mut cost_rows = Vec::new();
+    for &(n, m) in datasets {
+        let g = paper_gate_dataset(n, m);
+        let out = qmkp(&g, 2, &QmkpConfig::default());
+        let (count, cmp, size) = out.times.oracle_shares();
+        rows.push(vec![
+            format!("G_{{{n},{m}}}"),
+            format!("{:.1}", count * 100.0),
+            format!("{:.1}", cmp * 100.0),
+            format!("{:.1}", size * 100.0),
+        ]);
+        // Static gate-cost shares from one representative oracle.
+        let oracle = qmkp_core::Oracle::new(&g, 2, out.best.len().max(1));
+        let c = oracle.section_cost();
+        let total = (c.graph_encoding + c.degree_count + c.degree_compare + c.size_check) as f64;
+        cost_rows.push(vec![
+            format!("G_{{{n},{m}}}"),
+            format!("{:.1}", (c.graph_encoding + c.degree_count) as f64 / total * 100.0),
+            format!("{:.1}", c.degree_compare as f64 / total * 100.0),
+            format!("{:.1}", c.size_check as f64 / total * 100.0),
+        ]);
+    }
+    print_table(
+        "Table IV — oracle component share of qMKP simulation time (%)",
+        &["Dataset", "Degree count", "Degree comparison", "Size determination"],
+        &rows,
+    );
+    print_table(
+        "Table IV (cross-check) — static elementary-gate-cost shares (%)",
+        &["Dataset", "Degree count", "Degree comparison", "Size determination"],
+        &cost_rows,
+    );
+
+    // The paper's own cost model (its complexity analysis): degree count
+    // O(n²·log n) with the 5-gate adder cell, comparison and size each
+    // O(n·log n). Our implementation counts with ancilla-free ripple
+    // increments — asymptotically cheaper — which is why the measured
+    // shares above put comparison ahead; under the paper's gate model the
+    // count dominates exactly as its Table IV reports.
+    let mut paper_rows = Vec::new();
+    for &(n, m) in datasets {
+        let nf = n as f64;
+        let logn = (nf - 1.0).log2().ceil().max(1.0);
+        let count = nf * (nf - 1.0) * 5.0 * logn;
+        let cmp = nf * 5.0 * logn;
+        let size = nf * 5.0 * logn + 5.0 * logn;
+        let total = count + cmp + size;
+        paper_rows.push(vec![
+            format!("G_{{{n},{m}}}"),
+            format!("{:.1}", count / total * 100.0),
+            format!("{:.1}", cmp / total * 100.0),
+            format!("{:.1}", size / total * 100.0),
+        ]);
+    }
+    print_table(
+        "Table IV (paper cost model) — shares under the paper's O(n²logn)/O(nlogn) accounting (%)",
+        &["Dataset", "Degree count", "Degree comparison", "Size determination"],
+        &paper_rows,
+    );
+}

@@ -1,0 +1,35 @@
+//! Table VII — qaMKP objective cost vs runtime for k = 2, 3, 4, 5 on
+//! D_{20,100} (R = 2, Δt = 1 µs).
+
+use qmkp_bench::{print_table, quick_mode};
+use qmkp_annealer::{sqa_qubo, SqaConfig};
+use qmkp_graph::gen::paper_anneal_dataset;
+use qmkp_qubo::{MkpQubo, MkpQuboParams};
+
+fn main() {
+    let (n, m) = if quick_mode() { (10, 40) } else { (20, 100) };
+    let g = paper_anneal_dataset(n, m);
+    let runtimes: &[f64] = if quick_mode() {
+        &[1.0, 10.0, 100.0]
+    } else {
+        &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 4000.0]
+    };
+    let mut headers = vec!["k".to_string()];
+    headers.extend(runtimes.iter().map(|t| format!("{t:.0} µs")));
+    let mut rows = Vec::new();
+    for k in 2..=5usize {
+        let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
+        let mut row = vec![k.to_string()];
+        for &t in runtimes {
+            let shots = (t.round() as usize).max(1);
+            let out = sqa_qubo(&mq.model, &SqaConfig { seed: 29, ..SqaConfig::from_anneal_time(1.0, shots) });
+            row.push(format!("{:.0}", out.best_energy));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Table VII — qaMKP cost vs runtime across k on D_{{{n},{m}}} (R = 2, Δt = 1 µs)"),
+        &headers,
+        &rows,
+    );
+}

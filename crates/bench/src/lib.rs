@@ -1,0 +1,99 @@
+//! # qmkp-bench — experiment drivers and benchmarks
+//!
+//! One binary per table/figure of the paper's evaluation (Section VI);
+//! run them with `cargo run --release -p qmkp-bench --bin <name>`:
+//!
+//! | binary                  | paper artifact |
+//! |-------------------------|----------------|
+//! | `table1_scale`          | Table I — problem scale vs prior quantum works |
+//! | `fig8_amplitude`        | Fig. 8 — qTKP amplitude convergence |
+//! | `table2_qmkp_vs_bs`     | Table II — qMKP vs BS across dataset sizes |
+//! | `table3_qmkp_k`         | Table III — qMKP across k |
+//! | `table4_oracle_share`   | Table IV — oracle component runtime shares |
+//! | `table5_annealing_time` | Table V — qaMKP cost vs annealing time Δt |
+//! | `table6_penalty_r`      | Table VI — qaMKP cost vs penalty weight R |
+//! | `fig9_cost_runtime`     | Fig. 9 — cost vs runtime on D_{20,100} |
+//! | `fig10_cost_runtime`    | Fig. 10 — cost vs runtime on D_{30,300} |
+//! | `table7_qamkp_k`        | Table VII — qaMKP across k |
+//! | `fig11_chain`           | Fig. 11 — variables / qubits / chain size vs n |
+//!
+//! Set `QMKP_QUICK=1` to run cheap, reduced-size variants (used by the
+//! integration tests; full runs regenerate EXPERIMENTS.md numbers).
+
+pub mod cost_runtime;
+
+use std::fmt::Display;
+
+/// Whether the quick (reduced-size) experiment variants were requested.
+pub fn quick_mode() -> bool {
+    std::env::var_os("QMKP_QUICK").is_some()
+}
+
+/// Renders an aligned markdown-ish table to stdout.
+///
+/// # Panics
+/// Panics if a row's arity differs from the header's.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n## {title}\n");
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for r in &rows {
+        assert_eq!(r.len(), cols, "row arity mismatch");
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers);
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    line(&sep);
+    for r in &rows {
+        line(r);
+    }
+}
+
+/// Formats a `Duration` in microseconds with 1 decimal.
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Formats a probability like the paper's error rows: `<1e-k` when tiny,
+/// plain decimal otherwise.
+pub fn error_prob(p: f64) -> String {
+    if p <= 1e-12 {
+        "<1e-12".to_string()
+    } else if p < 1e-3 {
+        format!("<1e-{}", (-p.log10()).floor() as i32)
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_prob_formatting() {
+        assert_eq!(error_prob(0.0), "<1e-12");
+        assert_eq!(error_prob(0.5), "0.5000");
+        assert_eq!(error_prob(3e-7), "<1e-6");
+    }
+
+    #[test]
+    fn us_formatting() {
+        assert_eq!(us(std::time::Duration::from_micros(1500)), "1500.0");
+    }
+}

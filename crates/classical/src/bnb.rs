@@ -1,0 +1,106 @@
+//! A branch & bound exact MKP solver.
+//!
+//! Classic include/exclude search with:
+//! * the size bound `|P| + |C| ≤ |best|`,
+//! * candidate filtering (a candidate stays only while `P ∪ {u}` remains
+//!   a k-plex),
+//! * saturation pruning: once a vertex of `P` has used all its `k − 1`
+//!   allowed non-neighbours, every future addition must be its neighbour.
+
+use qmkp_graph::{is_kplex, Graph, VertexSet};
+
+/// Finds a maximum k-plex by branch & bound.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn max_kplex_bnb(g: &Graph, k: usize) -> VertexSet {
+    assert!(k >= 1, "k must be ≥ 1");
+    let mut best = qmkp_graph::reduce::greedy_lower_bound(g, k);
+    let mut stack = vec![(VertexSet::EMPTY, g.vertices())];
+    while let Some((p, c)) = stack.pop() {
+        if p.len() > best.len() {
+            best = p;
+        }
+        if p.len() + c.len() <= best.len() || c.is_empty() {
+            continue;
+        }
+        // Branch on the candidate with the highest degree inside P ∪ C.
+        let scope = p | c;
+        let v = c
+            .iter()
+            .max_by_key(|&u| g.degree_in(u, scope))
+            .expect("candidates non-empty");
+
+        // Exclude branch.
+        stack.push((p, c.without(v)));
+
+        // Include branch: filter candidates against the grown plex.
+        let p2 = p.with(v);
+        let mut c2 = VertexSet::EMPTY;
+        for u in c.without(v).iter() {
+            if is_kplex(g, p2.with(u), k) {
+                c2.insert(u);
+            }
+        }
+        // Saturation pruning: a member that already misses k−1 neighbours
+        // inside P forces every future addition to be its neighbour.
+        // (Missing count is |P|−1−deg; nothing can be saturated while
+        // |P| ≤ k.)
+        for w in p2.iter() {
+            if p2.len() - 1 - g.degree_in(w, p2) >= k - 1 {
+                c2 &= g.neighbors(w);
+            }
+        }
+        stack.push((p2, c2));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::max_kplex_naive;
+    use qmkp_graph::gen::{gnm, paper_fig1_graph, planted_kplex};
+
+    #[test]
+    fn matches_naive_on_fig1() {
+        let g = paper_fig1_graph();
+        for k in 1..=3 {
+            assert_eq!(max_kplex_bnb(&g, k).len(), max_kplex_naive(&g, k).len());
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnm(9, 14, seed).unwrap();
+            for k in 1..=3 {
+                let bnb = max_kplex_bnb(&g, k);
+                assert!(is_kplex(&g, bnb, k));
+                assert_eq!(
+                    bnb.len(),
+                    max_kplex_naive(&g, k).len(),
+                    "seed={seed} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_planted_solutions() {
+        let (g, plant) = planted_kplex(16, 8, 2, 0.2, 5).unwrap();
+        let found = max_kplex_bnb(&g, 2);
+        assert!(found.len() >= plant.len());
+        assert!(is_kplex(&g, found, 2));
+    }
+
+    #[test]
+    fn handles_edge_cases() {
+        let g = Graph::new(1).unwrap();
+        assert_eq!(max_kplex_bnb(&g, 1).len(), 1);
+        let g = Graph::complete(6).unwrap();
+        assert_eq!(max_kplex_bnb(&g, 1).len(), 6);
+        let g = Graph::new(5).unwrap();
+        assert_eq!(max_kplex_bnb(&g, 4).len(), 4);
+    }
+}

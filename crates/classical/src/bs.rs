@@ -1,0 +1,198 @@
+//! The **BS** branch-and-search baseline (Xiao et al. 2017 flavour).
+//!
+//! The paper benchmarks qMKP against the BS algorithm, "selected due to
+//! its non-trivial time complexity" `O(c_k^n · n^{O(1)})` with `c_k < 2`.
+//! The structural ingredients reproduced here:
+//!
+//! * work on the **complement** graph (the k-cplex view, same as qTKP):
+//!   the solution must induce maximum degree ≤ k−1 in `Ḡ`;
+//! * **polynomial termination**: when the whole remaining scope `P ∪ C`
+//!   already induces maximum complement degree ≤ k−1, it *is* a k-cplex —
+//!   take it and stop branching (this is what pushes the base below 2);
+//! * otherwise **branch on a maximum-complement-degree vertex** of the
+//!   scope: removing it (or committing to it and excluding its complement
+//!   neighbours) makes measurable progress on the degree structure;
+//! * standard size bound and candidate filtering.
+
+use qmkp_graph::{Graph, VertexSet};
+
+/// Search statistics of a [`max_kplex_bs`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BsStats {
+    /// Branch nodes expanded.
+    pub nodes: u64,
+    /// Times the polynomial termination rule fired.
+    pub poly_terminations: u64,
+}
+
+/// Finds a maximum k-plex with the BS branch-and-search strategy.
+/// Returns the solution and search statistics.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn max_kplex_bs(g: &Graph, k: usize) -> (VertexSet, BsStats) {
+    max_kplex_bs_seeded(g, k, qmkp_graph::reduce::greedy_lower_bound(g, k))
+}
+
+/// [`max_kplex_bs`] with a caller-provided incumbent (e.g. from a prior
+/// heuristic, or `VertexSet::EMPTY` to disable seeding). The returned
+/// solution is never smaller than the seed. This is the hook the paper's
+/// "orthogonality" discussion describes: external lower bounds integrate
+/// directly into the search.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn max_kplex_bs_seeded(g: &Graph, k: usize, seed: VertexSet) -> (VertexSet, BsStats) {
+    assert!(k >= 1, "k must be ≥ 1");
+    let gc = g.complement();
+    let mut best = seed;
+    let mut stats = BsStats::default();
+    search(&gc, k, VertexSet::EMPTY, gc.vertices(), &mut best, &mut stats);
+    (best, stats)
+}
+
+/// Is every vertex of `scope` of complement-degree ≤ k−1 within `scope`?
+fn low_degree(gc: &Graph, scope: VertexSet, k: usize) -> bool {
+    scope.iter().all(|v| gc.degree_in(v, scope) <= k - 1)
+}
+
+fn search(
+    gc: &Graph,
+    k: usize,
+    p: VertexSet,
+    c: VertexSet,
+    best: &mut VertexSet,
+    stats: &mut BsStats,
+) {
+    stats.nodes += 1;
+    if p.len() > best.len() {
+        *best = p;
+    }
+    let scope = p | c;
+    if scope.len() <= best.len() {
+        return; // size bound
+    }
+    // Polynomial termination: the whole scope is already a k-cplex.
+    if low_degree(gc, scope, k) {
+        stats.poly_terminations += 1;
+        *best = scope;
+        return;
+    }
+    // Branch vertex: maximum complement degree within the scope. If it
+    // lies in P we cannot discard it — instead branch on one of its
+    // complement neighbours in C (excluding it lowers the degree).
+    let vmax = scope
+        .iter()
+        .max_by_key(|&v| gc.degree_in(v, scope))
+        .expect("scope non-empty");
+    let branch_v = if c.contains(vmax) {
+        vmax
+    } else {
+        match (gc.neighbors(vmax) & c).min_vertex() {
+            Some(u) => u,
+            // A member of P exceeds degree k−1 against P alone: dead end.
+            None => return,
+        }
+    };
+
+    // Include branch: commit branch_v, keep only candidates that stay
+    // individually compatible.
+    let p2 = p.with(branch_v);
+    if feasible(gc, k, p2) {
+        let mut c2 = VertexSet::EMPTY;
+        for u in c.without(branch_v).iter() {
+            if feasible(gc, k, p2.with(u)) {
+                c2.insert(u);
+            }
+        }
+        // Saturated members of P (complement degree exactly k−1 inside P)
+        // exclude all their remaining complement neighbours.
+        for w in p2.iter() {
+            if gc.degree_in(w, p2) == k - 1 {
+                c2 -= gc.neighbors(w);
+            }
+        }
+        search(gc, k, p2, c2, best, stats);
+    }
+
+    // Exclude branch.
+    search(gc, k, p, c.without(branch_v), best, stats);
+}
+
+/// Is `p` a k-cplex of the complement graph?
+fn feasible(gc: &Graph, k: usize, p: VertexSet) -> bool {
+    p.iter().all(|v| gc.degree_in(v, p) <= k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::max_kplex_naive;
+    use qmkp_graph::gen::{gnm, paper_fig1_graph, planted_kplex};
+    use qmkp_graph::is_kplex;
+
+    #[test]
+    fn matches_naive_on_fig1() {
+        let g = paper_fig1_graph();
+        for k in 1..=3 {
+            let (p, stats) = max_kplex_bs(&g, k);
+            assert!(is_kplex(&g, p, k));
+            assert_eq!(p.len(), max_kplex_naive(&g, k).len(), "k={k}");
+            assert!(stats.nodes > 0);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnm(9, 16, seed).unwrap();
+            for k in 1..=3 {
+                let (p, _) = max_kplex_bs(&g, k);
+                assert!(is_kplex(&g, p, k));
+                assert_eq!(
+                    p.len(),
+                    max_kplex_naive(&g, k).len(),
+                    "seed={seed} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poly_termination_fires_on_dense_graphs() {
+        // A complete graph is a 1-cplex of the empty complement: with no
+        // incumbent seeded, the rule fires at the root.
+        let g = Graph::complete(8).unwrap();
+        let (p, stats) = max_kplex_bs_seeded(&g, 2, VertexSet::EMPTY);
+        assert_eq!(p.len(), 8);
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.poly_terminations, 1);
+    }
+
+    #[test]
+    fn explores_fewer_nodes_than_exhaustive() {
+        let (g, _) = planted_kplex(14, 7, 2, 0.3, 2).unwrap();
+        let (p, stats) = max_kplex_bs(&g, 2);
+        assert!(p.len() >= 7);
+        assert!(
+            stats.nodes < (1 << 14),
+            "BS should beat 2^n nodes, used {}",
+            stats.nodes
+        );
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        // Two disjoint triangles: max 2-plex is a triangle plus nothing
+        // (adding a far vertex violates degree) → size 3… but actually a
+        // triangle + isolated-from-it vertex: each triangle vertex misses
+        // 1 (the far vertex), far vertex misses 3 > 2. So 3 is right for
+        // k = 1 and k = 2 gives 4? Verify against naive instead of
+        // hand-reasoning.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        for k in 1..=3 {
+            let (p, _) = max_kplex_bs(&g, k);
+            assert_eq!(p.len(), max_kplex_naive(&g, k).len(), "k={k}");
+        }
+    }
+}

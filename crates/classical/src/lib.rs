@@ -1,0 +1,28 @@
+//! # qmkp-classical — classical exact baselines for MKP
+//!
+//! The classical side of the paper's evaluation:
+//!
+//! * [`naive`] — the trivial `O*(2ⁿ)` enumerator, used as ground truth in
+//!   tests and as the "trivial baseline" the paper's introduction starts
+//!   from.
+//! * [`bnb`] — a straightforward branch & bound over include/exclude
+//!   decisions with size and degree pruning.
+//! * [`bs`] — the **BS** branch-and-search baseline of Xiao et al. (the
+//!   comparison algorithm in the paper's Tables II and III): operates on
+//!   the complement (k-cplex view), terminates branches polynomially when
+//!   the remaining candidate graph is already low-degree, and branches on
+//!   a maximum-complement-degree vertex otherwise — the structure that
+//!   yields the `O*(c_k^n)`, `c_k < 2` bound.
+//! * [`grasp`] — a greedy randomized adaptive search heuristic
+//!   (approximation family of the related work), useful as a fast
+//!   incumbent provider.
+
+pub mod bnb;
+pub mod bs;
+pub mod grasp;
+pub mod naive;
+
+pub use bnb::max_kplex_bnb;
+pub use bs::{max_kplex_bs, max_kplex_bs_seeded, BsStats};
+pub use grasp::grasp_kplex;
+pub use naive::max_kplex_naive;

@@ -1,0 +1,43 @@
+//! Property-based tests: all exact solvers agree with the naive
+//! enumerator on arbitrary random instances.
+
+use proptest::prelude::*;
+use qmkp_classical::{grasp_kplex, max_kplex_bnb, max_kplex_bs, max_kplex_naive};
+use qmkp_graph::gen::gnm;
+use qmkp_graph::is_kplex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_solvers_agree(
+        (n, m, seed) in (2usize..=9).prop_flat_map(|n| {
+            (Just(n), 0..=(n * (n - 1) / 2), any::<u64>())
+        }),
+        k in 1usize..=3,
+    ) {
+        let g = gnm(n, m, seed).unwrap();
+        let naive = max_kplex_naive(&g, k);
+        let bnb = max_kplex_bnb(&g, k);
+        let (bs, _) = max_kplex_bs(&g, k);
+        prop_assert!(is_kplex(&g, naive, k));
+        prop_assert!(is_kplex(&g, bnb, k));
+        prop_assert!(is_kplex(&g, bs, k));
+        prop_assert_eq!(naive.len(), bnb.len());
+        prop_assert_eq!(naive.len(), bs.len());
+    }
+
+    #[test]
+    fn grasp_is_feasible_and_bounded(
+        (n, m, seed) in (2usize..=9).prop_flat_map(|n| {
+            (Just(n), 0..=(n * (n - 1) / 2), any::<u64>())
+        }),
+        k in 1usize..=3,
+    ) {
+        let g = gnm(n, m, seed).unwrap();
+        let h = grasp_kplex(&g, k, 5, 0.4, seed);
+        prop_assert!(is_kplex(&g, h, k));
+        prop_assert!(h.len() <= max_kplex_naive(&g, k).len());
+        prop_assert!(!h.is_empty());
+    }
+}

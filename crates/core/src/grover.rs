@@ -1,0 +1,395 @@
+//! Grover's search machinery: state preparation, oracle application with
+//! uncompute, the diffusion operator, and an iteration driver (Figure 12).
+
+use crate::oracle::Oracle;
+use qmkp_graph::VertexSet;
+use qmkp_qsim::{Circuit, Gate, QuantumState, Register, SparseState};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A phase oracle usable by the Grover driver: any reversible circuit
+/// that marks vertex subsets via an oracle qubit. Implemented by the MKP
+/// oracle ([`crate::oracle::Oracle`]) and by the clique-relaxation
+/// extensions (e.g. the 2-club oracle in [`crate::club`]) — the
+/// "adaptability" claim of the paper, realized as a trait.
+pub trait PhaseOracle {
+    /// Total circuit width.
+    fn width(&self) -> usize;
+    /// The vertex register (the search space).
+    fn vertex_register(&self) -> &Register;
+    /// The oracle qubit flipped for marked states.
+    fn oracle_qubit(&self) -> usize;
+    /// The forward check circuit.
+    fn u_check(&self) -> &Circuit;
+    /// The uncompute circuit.
+    fn u_check_inv(&self) -> &Circuit;
+    /// The oracle-qubit flip gate.
+    fn flip_gate(&self) -> Gate;
+    /// The classical predicate the oracle decides (used for verification
+    /// and the solution census).
+    fn predicate(&self, s: VertexSet) -> bool;
+}
+
+impl PhaseOracle for Oracle {
+    fn width(&self) -> usize {
+        self.layout.width
+    }
+    fn vertex_register(&self) -> &Register {
+        &self.layout.vertices
+    }
+    fn oracle_qubit(&self) -> usize {
+        self.layout.oracle
+    }
+    fn u_check(&self) -> &Circuit {
+        Oracle::u_check(self)
+    }
+    fn u_check_inv(&self) -> &Circuit {
+        Oracle::u_check_inv(self)
+    }
+    fn flip_gate(&self) -> Gate {
+        Oracle::flip_gate(self)
+    }
+    fn predicate(&self, s: VertexSet) -> bool {
+        Oracle::predicate(self, s)
+    }
+}
+
+/// Wall-clock simulation time attributed to each oracle section
+/// (`U_check` and `U_check†` both contribute to their section's bucket),
+/// plus the diffusion operator. Powers the paper's Table IV.
+#[derive(Debug, Clone, Default)]
+pub struct SectionTimes {
+    buckets: BTreeMap<String, Duration>,
+}
+
+impl SectionTimes {
+    /// Adds elapsed time to a bucket.
+    pub fn add(&mut self, name: &str, d: Duration) {
+        *self.buckets.entry(name.to_string()).or_default() += d;
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &SectionTimes) {
+        for (k, v) in &other.buckets {
+            *self.buckets.entry(k.clone()).or_default() += *v;
+        }
+    }
+
+    /// Time in a bucket (zero if absent).
+    pub fn get(&self, name: &str) -> Duration {
+        self.buckets.get(name).copied().unwrap_or_default()
+    }
+
+    /// Total time across all buckets.
+    pub fn total(&self) -> Duration {
+        self.buckets.values().sum()
+    }
+
+    /// The three oracle components' shares of the oracle time (degree
+    /// count, degree comparison, size determination), as fractions of
+    /// their sum — the rows of the paper's Table IV. Graph encoding is
+    /// folded into degree counting (the paper's part 1 covers Figure 6).
+    pub fn oracle_shares(&self) -> (f64, f64, f64) {
+        let count = (self.get("graph_encoding") + self.get("degree_count")).as_secs_f64();
+        let cmp = self.get("degree_compare").as_secs_f64();
+        let size = self.get("size_check").as_secs_f64();
+        let total = count + cmp + size;
+        if total == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (count / total, cmp / total, size / total)
+        }
+    }
+
+    /// All buckets, sorted by name.
+    pub fn buckets(&self) -> &BTreeMap<String, Duration> {
+        &self.buckets
+    }
+}
+
+/// The optimal Grover iteration count `⌊(π/4)·√(N/M)⌋` for `N = 2^n`
+/// basis states and `m` marked solutions (Algorithm 1, step 4).
+///
+/// Returns 0 when `m = 0` (nothing to amplify) and also when the marked
+/// fraction is so large that a single partial rotation already overshoots.
+pub fn optimal_iterations(n_qubits: usize, m: u64) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    let n = (1u128 << n_qubits) as f64;
+    (std::f64::consts::FRAC_PI_4 * (n / m as f64).sqrt()).floor() as usize
+}
+
+/// The exact success probability after `i` Grover iterations with `m` of
+/// `2^n` states marked: `sin²((2i+1)·θ)` with `sin²θ = M/N`.
+pub fn success_probability_theory(n_qubits: usize, m: u64, iterations: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = (1u128 << n_qubits) as f64;
+    let theta = (m as f64 / n).sqrt().asin();
+    ((2 * iterations + 1) as f64 * theta).sin().powi(2)
+}
+
+/// Builds the diffusion operator `2|s⟩⟨s| − I` over the vertex register:
+/// `H^⊗n · X^⊗n · C^{n-1}Z · X^⊗n · H^⊗n` (Figure 12, box C).
+///
+/// For a single-qubit register the multi-controlled Z degenerates to a
+/// plain Z, which is still `2|s⟩⟨s| − I` up to global phase.
+pub fn diffusion_circuit(width: usize, vertices: &Register) -> Circuit {
+    assert!(vertices.len >= 1, "diffusion needs a non-empty register");
+    let mut c = Circuit::new(width);
+    c.begin_section("diffusion");
+    for q in vertices.iter() {
+        c.push_unchecked(Gate::H(q));
+    }
+    for q in vertices.iter() {
+        c.push_unchecked(Gate::X(q));
+    }
+    let target = vertices.qubit(vertices.len - 1);
+    let controls: Vec<usize> = vertices.iter().take(vertices.len - 1).collect();
+    c.push_unchecked(Gate::Mcz {
+        controls: controls.into_iter().map(qmkp_qsim::Control::pos).collect(),
+        target,
+    });
+    for q in vertices.iter() {
+        c.push_unchecked(Gate::X(q));
+    }
+    for q in vertices.iter() {
+        c.push_unchecked(Gate::H(q));
+    }
+    c.end_section();
+    c
+}
+
+/// Drives Grover iterations of a phase oracle on the sparse backend.
+pub struct GroverDriver<O: PhaseOracle = Oracle> {
+    oracle: O,
+    state: SparseState,
+    diffusion: Circuit,
+    iterations_done: usize,
+    times: SectionTimes,
+}
+
+impl<O: PhaseOracle> GroverDriver<O> {
+    /// Prepares the initial state: `|O⟩ → |−⟩` (X then H, per Figure 12's
+    /// `|O⟩ = |1⟩` input plus Hadamard) and the vertex register in uniform
+    /// superposition.
+    pub fn new(oracle: O) -> Self {
+        let width = oracle.width();
+        let mut state = SparseState::zero(width);
+        state.apply(&Gate::X(oracle.oracle_qubit()));
+        state.apply(&Gate::H(oracle.oracle_qubit()));
+        for q in oracle.vertex_register().iter() {
+            state.apply(&Gate::H(q));
+        }
+        let diffusion = diffusion_circuit(width, oracle.vertex_register());
+        GroverDriver { oracle, state, diffusion, iterations_done: 0, times: SectionTimes::default() }
+    }
+
+    /// The oracle being driven.
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    /// Iterations performed so far.
+    pub fn iterations_done(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// Accumulated per-section simulation times.
+    pub fn times(&self) -> &SectionTimes {
+        &self.times
+    }
+
+    /// Runs one Grover iteration: `U_check` → flip → `U_check†` →
+    /// diffusion, attributing wall time to oracle sections.
+    pub fn iterate(&mut self) {
+        self.run_sectioned(self.oracle.u_check().clone());
+        let flip = self.oracle.flip_gate();
+        let start = Instant::now();
+        self.state.apply(&flip);
+        self.times.add("flip", start.elapsed());
+        self.run_sectioned(self.oracle.u_check_inv().clone());
+        let diffusion = self.diffusion.clone();
+        self.run_sectioned(diffusion);
+        self.iterations_done += 1;
+    }
+
+    /// Runs `count` iterations.
+    pub fn iterate_n(&mut self, count: usize) {
+        for _ in 0..count {
+            self.iterate();
+        }
+    }
+
+    fn run_sectioned(&mut self, circuit: Circuit) {
+        let gates = circuit.gates();
+        for section in circuit.sections() {
+            let name = section.name.trim_end_matches('†').to_string();
+            let start = Instant::now();
+            for g in &gates[section.range.clone()] {
+                self.state.apply(g);
+            }
+            self.times.add(&name, start.elapsed());
+        }
+        // Gates outside any section (none today, but stay robust).
+        let covered: usize = circuit.sections().iter().map(|s| s.range.len()).sum();
+        if covered < gates.len() {
+            let start = Instant::now();
+            for (i, g) in gates.iter().enumerate() {
+                if !circuit.sections().iter().any(|s| s.range.contains(&i)) {
+                    self.state.apply(g);
+                }
+            }
+            self.times.add("other", start.elapsed());
+        }
+    }
+
+    /// The probability distribution over vertex-register basis states
+    /// (the bar charts of the paper's Figure 8).
+    pub fn vertex_distribution(&self) -> BTreeMap<u128, f64> {
+        self.state.marginal(&self.oracle.vertex_register().qubits())
+    }
+
+    /// Total probability mass on the given vertex sets.
+    pub fn probability_of_sets(&self, sets: &[VertexSet]) -> f64 {
+        let dist = self.vertex_distribution();
+        sets.iter().map(|s| dist.get(&s.bits()).copied().unwrap_or(0.0)).sum()
+    }
+
+    /// Samples one measurement of the vertex register.
+    pub fn measure<R: Rng>(&self, rng: &mut R) -> VertexSet {
+        let counts = self.state.sample(rng, 1, &self.oracle.vertex_register().qubits());
+        let (&bits, _) = counts.iter().next().expect("one shot produces one outcome");
+        VertexSet::from_bits(bits)
+    }
+
+    /// Samples `shots` measurements of the vertex register, returning
+    /// set → count (the paper's 20K-shot histograms).
+    pub fn sample_counts<R: Rng>(&self, rng: &mut R, shots: usize) -> BTreeMap<u128, usize> {
+        self.state.sample(rng, shots, &self.oracle.vertex_register().qubits())
+    }
+
+    /// Support size of the underlying sparse state (diagnostics).
+    pub fn support_size(&self) -> usize {
+        self.state.support_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::solutions;
+    use qmkp_graph::gen::paper_fig1_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn optimal_iteration_counts() {
+        // Paper's Fig. 8 setting: n = 6, M = 1 → 6 iterations.
+        assert_eq!(optimal_iterations(6, 1), 6);
+        assert_eq!(optimal_iterations(6, 0), 0);
+        assert_eq!(optimal_iterations(10, 1), 25);
+        assert_eq!(optimal_iterations(4, 4), 1);
+    }
+
+    #[test]
+    fn theory_probability_increases_then_peaks() {
+        let p0 = success_probability_theory(6, 1, 0);
+        let p1 = success_probability_theory(6, 1, 1);
+        let p6 = success_probability_theory(6, 1, 6);
+        assert!(p0 < p1 && p1 < p6);
+        assert!(p6 > 0.99, "after 6 iterations the solution dominates: {p6}");
+        assert_eq!(success_probability_theory(6, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn initial_state_is_uniform_over_vertex_register() {
+        let g = paper_fig1_graph();
+        let driver = GroverDriver::new(Oracle::new(&g, 2, 4));
+        let dist = driver.vertex_distribution();
+        assert_eq!(dist.len(), 64);
+        for (_, p) in dist {
+            assert!((p - 1.0 / 64.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_the_unique_solution() {
+        let g = paper_fig1_graph();
+        let oracle = Oracle::new(&g, 2, 4);
+        let sols = solutions(&oracle);
+        assert_eq!(sols.len(), 1);
+        let mut driver = GroverDriver::new(oracle);
+        let mut prev = driver.probability_of_sets(&sols);
+        // Success probability must match theory at each iteration.
+        for i in 1..=6 {
+            driver.iterate();
+            let p = driver.probability_of_sets(&sols);
+            let theory = success_probability_theory(6, 1, i);
+            assert!((p - theory).abs() < 1e-9, "iter {i}: sim {p} vs theory {theory}");
+            assert!(p > prev, "amplitude must grow through iteration {i}");
+            prev = p;
+        }
+        assert!(prev > 0.99);
+    }
+
+    #[test]
+    fn measurement_after_full_run_returns_the_solution() {
+        let g = paper_fig1_graph();
+        let oracle = Oracle::new(&g, 2, 4);
+        let sols = solutions(&oracle);
+        let mut driver = GroverDriver::new(oracle);
+        driver.iterate_n(6);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = 0;
+        for _ in 0..50 {
+            if driver.measure(&mut rng) == sols[0] {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 48, "expected ≥48/50 correct measurements, got {hits}");
+    }
+
+    #[test]
+    fn support_stays_bounded() {
+        // The sparse state never exceeds 2^n (+ factor 2 for |O⟩ = |−⟩).
+        let g = paper_fig1_graph();
+        let mut driver = GroverDriver::new(Oracle::new(&g, 2, 4));
+        driver.iterate_n(2);
+        assert!(driver.support_size() <= 2 * 64, "support {}", driver.support_size());
+    }
+
+    #[test]
+    fn section_times_are_recorded() {
+        let g = paper_fig1_graph();
+        let mut driver = GroverDriver::new(Oracle::new(&g, 2, 4));
+        driver.iterate();
+        let t = driver.times();
+        assert!(t.get("degree_count") > Duration::ZERO);
+        assert!(t.get("degree_compare") > Duration::ZERO);
+        assert!(t.get("size_check") > Duration::ZERO);
+        let (a, b, c) = t.oracle_shares();
+        assert!((a + b + c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diffusion_preserves_norm_and_uniform_state() {
+        // Diffusion of the uniform state is the uniform state (up to phase).
+        let g = paper_fig1_graph();
+        let oracle = Oracle::new(&g, 2, 4);
+        let layout = oracle.layout.clone();
+        let mut state = SparseState::zero(layout.width);
+        for q in layout.vertices.iter() {
+            state.apply(&Gate::H(q));
+        }
+        let diff = diffusion_circuit(layout.width, &layout.vertices);
+        state.run(&diff).unwrap();
+        let dist = state.marginal(&layout.vertices.qubits());
+        for (_, p) in dist {
+            assert!((p - 1.0 / 64.0).abs() < 1e-9);
+        }
+    }
+}

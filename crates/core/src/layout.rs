@@ -1,0 +1,212 @@
+//! Qubit layout of the qTKP oracle.
+//!
+//! One allocation covers everything the paper's Figures 6, 9 and 11 wire
+//! up. With `n` vertices, `m̄` complement edges, counter width
+//! `w_c = ⌈log₂(max(Δ̄, k-1) + 1)⌉` and size width
+//! `w_s = ⌈log₂(max(n, T) + 1)⌉`:
+//!
+//! | register      | width    | paper notation       |
+//! |---------------|----------|----------------------|
+//! | `vertices`    | n        | `|v_1⟩ … |v_n⟩`      |
+//! | `edges`       | m̄        | `|e_1⟩ … |e_m̄⟩`     |
+//! | `counters[i]` | w_c each | `|c_i⟩`              |
+//! | `k_minus_1`   | w_c      | `|k-1⟩`              |
+//! | `d_flags`     | n        | `|d_1⟩ … |d_n⟩`      |
+//! | `cplex`       | 1        | `|cplex⟩`            |
+//! | `size`        | w_s      | `|size⟩`             |
+//! | `t_reg`       | w_s      | `|T⟩`                |
+//! | `size_ge_t`   | 1        | `|size ≥ T⟩`         |
+//! | `oracle`      | 1        | `|O⟩`                |
+//! | `cmp_*`       | 3·w_c + 3·w_s | comparator scratch (shared, self-cleaning) |
+//!
+//! Total width is `O(n log n)` *beyond* the `O(n²)` edge qubits, matching
+//! the paper's `O(n² log n)` space bound (the paper counts per-vertex
+//! dedicated adder scratch; we reuse one shared comparator scratch via
+//! compute-copy-uncompute, which only shrinks the constant).
+
+use qmkp_arith::{counter_width, ComparatorScratch};
+use qmkp_graph::Graph;
+use qmkp_qsim::{QubitAllocator, Register};
+
+/// The complete qubit layout for one oracle instance.
+#[derive(Debug, Clone)]
+pub struct OracleLayout {
+    /// Number of graph vertices.
+    pub n: usize,
+    /// The k of k-plex.
+    pub k: usize,
+    /// The size threshold T.
+    pub t: usize,
+    /// Vertex qubits (`|v_i⟩`), one per vertex; qubit `i` ⇔ vertex `i`.
+    pub vertices: Register,
+    /// Complement-edge ancillas (`|e_j⟩`), aligned with [`OracleLayout::edge_pairs`].
+    pub edges: Register,
+    /// The complement edges `(u, v)` with `u < v`, in register order.
+    pub edge_pairs: Vec<(usize, usize)>,
+    /// Per-vertex degree counters (`|c_i⟩`), each `counter_bits` wide.
+    pub counters: Vec<Register>,
+    /// The `|k-1⟩` constant register.
+    pub k_minus_1: Register,
+    /// Per-vertex comparison flags (`|d_i⟩`).
+    pub d_flags: Register,
+    /// The `|cplex⟩` qubit.
+    pub cplex: usize,
+    /// The subgraph size counter (`|size⟩`).
+    pub size: Register,
+    /// The `|T⟩` constant register.
+    pub t_reg: Register,
+    /// The `|size ≥ T⟩` flag qubit.
+    pub size_ge_t: usize,
+    /// The oracle qubit `|O⟩`.
+    pub oracle: usize,
+    /// Shared comparator scratch for degree comparisons (width `counter_bits`).
+    pub cmp_degree: ComparatorScratch,
+    /// Shared comparator scratch for the size comparison (width `size_bits`).
+    pub cmp_size: ComparatorScratch,
+    /// Width of each degree counter in qubits.
+    pub counter_bits: usize,
+    /// Width of the size register in qubits.
+    pub size_bits: usize,
+    /// Total circuit width.
+    pub width: usize,
+}
+
+impl OracleLayout {
+    /// Lays out the oracle for finding k-plexes of size ≥ `t` in `g`.
+    ///
+    /// `g` is the *original* graph; the layout internally works on its
+    /// complement (the k-cplex reformulation of Section III-A).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `t == 0` or `t > n` or the graph is empty.
+    pub fn new(g: &Graph, k: usize, t: usize) -> Self {
+        let n = g.n();
+        assert!(n > 0, "graph must be non-empty");
+        assert!(k >= 1, "k must be ≥ 1");
+        assert!((1..=n).contains(&t), "threshold T must be in [1, n]");
+
+        let gc = g.complement();
+        let edge_pairs: Vec<(usize, usize)> = gc.edges().collect();
+        let max_cdeg = (0..n).map(|v| gc.degree(v)).max().unwrap_or(0);
+        let counter_bits = counter_width(max_cdeg.max(k - 1));
+        let size_bits = counter_width(n.max(t));
+
+        let mut alloc = QubitAllocator::new();
+        let vertices = alloc.alloc("v", n);
+        let edges = alloc.alloc("e", edge_pairs.len());
+        let counters: Vec<Register> = (0..n)
+            .map(|i| alloc.alloc(&format!("c{i}"), counter_bits))
+            .collect();
+        let k_minus_1 = alloc.alloc("k-1", counter_bits);
+        let d_flags = alloc.alloc("d", n);
+        let cplex = alloc.alloc_one("cplex");
+        let size = alloc.alloc("size", size_bits);
+        let t_reg = alloc.alloc("T", size_bits);
+        let size_ge_t = alloc.alloc_one("size>=T");
+        let oracle = alloc.alloc_one("O");
+        let cmp_degree = ComparatorScratch::alloc(&mut alloc, counter_bits);
+        let cmp_size = ComparatorScratch::alloc(&mut alloc, size_bits);
+        let width = alloc.width();
+        assert!(
+            width <= 128,
+            "oracle needs {width} qubits; the sparse backend supports 128 \
+             (reduce the graph first — see qmkp_graph::reduce)"
+        );
+
+        OracleLayout {
+            n,
+            k,
+            t,
+            vertices,
+            edges,
+            edge_pairs,
+            counters,
+            k_minus_1,
+            d_flags,
+            cplex,
+            size,
+            t_reg,
+            size_ge_t,
+            oracle,
+            cmp_degree,
+            cmp_size,
+            counter_bits,
+            size_bits,
+            width,
+        }
+    }
+
+    /// The complement edges incident to vertex `v`, as edge-register qubit
+    /// indices.
+    pub fn incident_edge_qubits(&self, v: usize) -> Vec<usize> {
+        self.edge_pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a == v || b == v)
+            .map(|(j, _)| self.edges.qubit(j))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_graph::gen::paper_fig1_graph;
+
+    #[test]
+    fn fig1_layout_shape() {
+        let g = paper_fig1_graph();
+        let l = OracleLayout::new(&g, 2, 4);
+        assert_eq!(l.n, 6);
+        assert_eq!(l.edge_pairs.len(), 8, "complement of Fig.1 has 8 edges");
+        // Complement max degree is 4 (vertex v3); counters count to 4 → 3 bits.
+        assert_eq!(l.counter_bits, 3);
+        assert_eq!(l.size_bits, 3);
+        assert_eq!(l.counters.len(), 6);
+        // Registers are disjoint and contiguous.
+        assert_eq!(l.vertices.start, 0);
+        assert_eq!(l.edges.start, 6);
+        assert!(l.width <= 128);
+    }
+
+    #[test]
+    fn incident_edges_match_complement() {
+        let g = paper_fig1_graph();
+        let gc = g.complement();
+        let l = OracleLayout::new(&g, 2, 4);
+        for v in 0..6 {
+            assert_eq!(l.incident_edge_qubits(v).len(), gc.degree(v));
+        }
+    }
+
+    #[test]
+    fn counter_width_accommodates_k() {
+        // k-1 may exceed the max complement degree.
+        let g = qmkp_graph::Graph::complete(5).unwrap(); // complement edgeless
+        let l = OracleLayout::new(&g, 5, 3);
+        assert!(l.counter_bits >= counter_width(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold T")]
+    fn t_zero_rejected() {
+        let g = paper_fig1_graph();
+        let _ = OracleLayout::new(&g, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold T")]
+    fn t_above_n_rejected() {
+        let g = paper_fig1_graph();
+        let _ = OracleLayout::new(&g, 2, 7);
+    }
+
+    #[test]
+    fn width_matches_paper_accounting() {
+        // n + m̄ + n·w_c + w_c + n + 1 + w_s + w_s + 1 + 1 + 3w_c + 3w_s
+        let g = paper_fig1_graph();
+        let l = OracleLayout::new(&g, 2, 4);
+        let expected = 6 + 8 + 6 * 3 + 3 + 6 + 1 + 3 + 3 + 1 + 1 + 3 * 3 + 3 * 3;
+        assert_eq!(l.width, expected);
+    }
+}

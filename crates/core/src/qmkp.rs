@@ -1,0 +1,269 @@
+//! Algorithm 3 of the paper: **qMKP** — maximum k-plex via binary search
+//! over qTKP, with the paper's progressive behaviour (the first feasible
+//! solution arrives after the first successful qTKP call and is at least
+//! half the optimum).
+
+use crate::grover::SectionTimes;
+use crate::qtkp::{qtkp, QtkpConfig};
+use qmkp_graph::reduce::auto_reduce;
+use qmkp_graph::{Graph, VertexSet};
+use std::time::{Duration, Instant};
+
+/// Configuration for a qMKP run.
+#[derive(Debug, Clone, Default)]
+pub struct QmkpConfig {
+    /// Configuration forwarded to each qTKP call.
+    pub qtkp: QtkpConfig,
+    /// Apply the core-truss co-pruning reduction before searching (the
+    /// paper's "orthogonality" integration of Chang et al.), shrinking the
+    /// oracle. The reduction is sound: a maximum k-plex survives it.
+    pub use_reduction: bool,
+}
+
+/// One binary-search probe.
+#[derive(Debug, Clone)]
+pub struct QmkpCall {
+    /// The threshold `T` probed.
+    pub t: usize,
+    /// The verified k-plex found at this threshold, if any.
+    pub found: Option<VertexSet>,
+    /// Grover iterations used by the probe.
+    pub iterations: usize,
+    /// Marked-state count at this threshold.
+    pub m: u64,
+    /// Wall time of the probe.
+    pub elapsed: Duration,
+}
+
+/// The result of a qMKP run.
+#[derive(Debug, Clone)]
+pub struct QmkpOutcome {
+    /// A maximum k-plex (singletons are k-plexes, so this always exists
+    /// for non-empty graphs).
+    pub best: VertexSet,
+    /// Every binary-search probe, in execution order.
+    pub calls: Vec<QmkpCall>,
+    /// The first feasible solution and the elapsed time when it was
+    /// produced (the paper's "first-result" metrics).
+    pub first_result: Option<(VertexSet, Duration)>,
+    /// Merged per-section simulation times across all probes.
+    pub times: SectionTimes,
+    /// Error probability of the probe that established the optimum (the
+    /// figure the paper's Tables II-III report); intermediate probes are
+    /// protected by classical verification regardless.
+    pub error_probability: f64,
+    /// Total Grover iterations across all probes (the quantum cost
+    /// driver: `O(2^{n/2})` oracle calls).
+    pub total_iterations: usize,
+    /// Total wall time.
+    pub total_elapsed: Duration,
+    /// Maximum circuit width over all probes.
+    pub qubits: usize,
+}
+
+/// Runs qMKP: find a maximum k-plex of `g`.
+///
+/// # Panics
+/// Panics if the graph is empty or `k == 0`.
+pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
+    assert!(g.n() > 0, "graph must be non-empty");
+    assert!(k >= 1, "k must be ≥ 1");
+    let start = Instant::now();
+
+    // Optional classical reduction (paper: "running qMKP on a reduced
+    // graph does not affect its ability to find a solution").
+    let (search_graph, vmap, mut best, mut lo): (Graph, Vec<usize>, VertexSet, usize) =
+        if config.use_reduction {
+            let (red, witness) = auto_reduce(g, k);
+            if red.kept.is_empty() {
+                // Nothing can beat the witness.
+                (Graph::new(0).unwrap(), Vec::new(), witness, usize::MAX)
+            } else {
+                let (sub, map) = g.induced(red.kept);
+                (sub, map, witness, witness.len().max(1))
+            }
+        } else {
+            let v0 = VertexSet::singleton(0);
+            (g.clone(), (0..g.n()).collect(), v0, 1)
+        };
+
+    let mut calls = Vec::new();
+    let mut times = SectionTimes::default();
+    let mut first_result: Option<(VertexSet, Duration)> = None;
+    let mut error_probability: f64 = 0.0;
+    let mut total_iterations = 0usize;
+    let mut qubits = 0;
+
+    if !vmap.is_empty() {
+        let mut hi = search_graph.n();
+        while lo <= hi {
+            let t = usize::midpoint(lo, hi);
+            let out = qtkp(&search_graph, k, t, &config.qtkp);
+            times.merge(&out.times);
+            qubits = qubits.max(out.qubits);
+            total_iterations += out.iterations;
+            let found_original = out.result.map(|s| remap(s, &vmap));
+            calls.push(QmkpCall {
+                t,
+                found: found_original,
+                iterations: out.iterations,
+                m: out.m,
+                elapsed: out.elapsed,
+            });
+            match found_original {
+                Some(p) => {
+                    if first_result.is_none() {
+                        first_result = Some((p, start.elapsed()));
+                    }
+                    if p.len() >= best.len() {
+                        best = p;
+                        // The probe that (so far) establishes the optimum.
+                        error_probability = out.error_probability;
+                    }
+                    lo = p.len() + 1;
+                }
+                None => {
+                    if t == 0 {
+                        break;
+                    }
+                    hi = t - 1;
+                }
+            }
+        }
+    }
+
+    QmkpOutcome {
+        best,
+        calls,
+        first_result,
+        times,
+        error_probability,
+        total_iterations,
+        total_elapsed: start.elapsed(),
+        qubits,
+    }
+}
+
+/// Maps a vertex set of the reduced/induced graph back to original ids.
+fn remap(s: VertexSet, vmap: &[usize]) -> VertexSet {
+    s.iter().map(|i| vmap[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_graph::gen::{gnm, paper_fig1_graph, planted_kplex};
+    use qmkp_graph::is_kplex;
+
+    /// Brute-force maximum k-plex size.
+    fn brute_max(g: &Graph, k: usize) -> usize {
+        (0..(1u128 << g.n()))
+            .map(VertexSet::from_bits)
+            .filter(|&s| is_kplex(g, s, k))
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn fig1_maximum_2plex() {
+        let g = paper_fig1_graph();
+        let out = qmkp(&g, 2, &QmkpConfig::default());
+        assert_eq!(out.best.len(), 4);
+        assert!(is_kplex(&g, out.best, 2));
+        assert!(!out.calls.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gnm(7, 11, seed).unwrap();
+            for k in 1..=3 {
+                let out = qmkp(&g, k, &QmkpConfig::default());
+                assert_eq!(
+                    out.best.len(),
+                    brute_max(&g, k),
+                    "seed={seed} k={k} best={:?}",
+                    out.best
+                );
+                assert!(is_kplex(&g, out.best, k));
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_mode_agrees_with_plain_mode() {
+        for seed in 0..3 {
+            let g = gnm(8, 14, seed).unwrap();
+            let plain = qmkp(&g, 2, &QmkpConfig::default());
+            let reduced = qmkp(
+                &g,
+                2,
+                &QmkpConfig { use_reduction: true, ..QmkpConfig::default() },
+            );
+            assert_eq!(plain.best.len(), reduced.best.len(), "seed={seed}");
+            assert!(is_kplex(&g, reduced.best, 2));
+        }
+    }
+
+    #[test]
+    fn reduction_shrinks_the_oracle_on_planted_instances() {
+        let (g, _) = planted_kplex(10, 5, 2, 0.5, 9).unwrap();
+        let plain = qmkp(&g, 2, &QmkpConfig::default());
+        let reduced = qmkp(
+            &g,
+            2,
+            &QmkpConfig { use_reduction: true, ..QmkpConfig::default() },
+        );
+        assert_eq!(plain.best.len(), reduced.best.len());
+        assert!(
+            reduced.qubits <= plain.qubits,
+            "reduction must not inflate the oracle: {} vs {}",
+            reduced.qubits,
+            plain.qubits
+        );
+    }
+
+    #[test]
+    fn first_result_is_at_least_half_of_optimal() {
+        // The paper's progression property: the first feasible result of
+        // the binary search has size ≥ opt/2.
+        for seed in 0..4 {
+            let g = gnm(8, 13, seed).unwrap();
+            let out = qmkp(&g, 2, &QmkpConfig::default());
+            let (first, _) = out.first_result.expect("some k-plex always exists");
+            assert!(
+                2 * first.len() >= out.best.len(),
+                "first={} best={}",
+                first.len(),
+                out.best.len()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_search_uses_logarithmically_many_calls() {
+        let g = gnm(8, 13, 0).unwrap();
+        let out = qmkp(&g, 2, &QmkpConfig::default());
+        assert!(out.calls.len() <= 5, "O(log n) probes, got {}", out.calls.len());
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::new(1).unwrap();
+        let out = qmkp(&g, 1, &QmkpConfig::default());
+        assert_eq!(out.best.len(), 1);
+    }
+
+    #[test]
+    fn every_probe_result_is_verified() {
+        let g = gnm(9, 16, 2).unwrap();
+        let out = qmkp(&g, 3, &QmkpConfig::default());
+        for call in &out.calls {
+            if let Some(p) = call.found {
+                assert!(is_kplex(&g, p, 3));
+                assert!(p.len() >= call.t);
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Algorithm 2 of the paper: **qTKP** — find a k-plex of size at least `T`.
+//!
+//! Builds the oracle, estimates the number of marked states `M`, runs
+//! `⌊(π/4)√(2ⁿ/M)⌋` Grover iterations on the sparse simulator, measures
+//! the vertex register, and *classically verifies* the measured set (the
+//! standard Grover postprocessing — a wrong collapse is detected and
+//! retried, which is how the paper's `π²/(4I)²ᶜ` error amplification
+//! works).
+
+pub use crate::grover::SectionTimes;
+use crate::counting::{exact_solution_count, quantum_count, solutions};
+use crate::grover::{optimal_iterations, GroverDriver};
+use crate::oracle::{Oracle, OracleSectionCost};
+use qmkp_graph::{Graph, VertexSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// How qTKP obtains the marked-state count `M`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MEstimate {
+    /// Exact classical census of the oracle predicate (free on a
+    /// simulator; the default).
+    Exact,
+    /// A caller-provided value (e.g. from a prior census).
+    Given(u64),
+    /// Simulated Brassard-Høyer-Tapp quantum counting with the given
+    /// number of counting qubits.
+    QuantumCounting {
+        /// Number of phase-estimation counting qubits (1..=20).
+        precision: usize,
+    },
+    /// No estimate at all: the Boyer-Brassard-Høyer-Tapp exponential
+    /// search — run a uniformly random number of iterations below a bound
+    /// that grows by `lambda` each round, measure, verify classically.
+    /// Finds a solution in expected `O(√(N/M))` oracle calls without ever
+    /// knowing `M`.
+    Unknown {
+        /// Growth factor of the iteration bound, in `(1, 4/3]` per the
+        /// original analysis (6/5 is the classic choice).
+        lambda: f64,
+    },
+}
+
+/// Configuration for a qTKP run.
+#[derive(Debug, Clone)]
+pub struct QtkpConfig {
+    /// How to estimate `M`.
+    pub m_estimate: MEstimate,
+    /// RNG seed for measurement sampling (and quantum counting).
+    pub seed: u64,
+    /// Maximum number of measure-and-verify attempts before reporting `∅`.
+    /// Each attempt corresponds to re-running the algorithm on hardware;
+    /// the paper's error probability `π²/(4I)²` shrinks to
+    /// `π²/(4I)^(2c)` with `c` attempts.
+    pub max_attempts: usize,
+}
+
+impl Default for QtkpConfig {
+    fn default() -> Self {
+        QtkpConfig { m_estimate: MEstimate::Exact, seed: 0xC0FFEE, max_attempts: 3 }
+    }
+}
+
+/// The result of a qTKP run.
+#[derive(Debug, Clone)]
+pub struct QtkpOutcome {
+    /// A verified k-plex of size ≥ T, or `None` (the paper's `∅`).
+    pub result: Option<VertexSet>,
+    /// Raw measurements taken (last one is the accepted one on success).
+    pub measured: Vec<VertexSet>,
+    /// Grover iterations performed.
+    pub iterations: usize,
+    /// The `M` used to pick the iteration count.
+    pub m: u64,
+    /// Exact probability mass on solution states in the final state.
+    pub success_probability: f64,
+    /// Single-shot error probability `1 − success_probability`.
+    pub error_probability: f64,
+    /// Wall-time attribution per oracle section.
+    pub times: SectionTimes,
+    /// Static per-section elementary gate cost of one `U_check`.
+    pub oracle_cost: OracleSectionCost,
+    /// Total wall time of the run.
+    pub elapsed: Duration,
+    /// Total circuit width (qubits) used.
+    pub qubits: usize,
+}
+
+/// Runs qTKP: search for a k-plex of size at least `t` in `g`.
+///
+/// # Panics
+/// Panics on invalid `k` / `t` (see [`crate::layout::OracleLayout::new`]).
+pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
+    if let MEstimate::Unknown { lambda } = config.m_estimate {
+        return qtkp_unknown_m(g, k, t, config, lambda);
+    }
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let oracle = Oracle::new(g, k, t);
+    let qubits = oracle.layout.width;
+    let oracle_cost = oracle.section_cost();
+    let n = oracle.layout.n;
+
+    let true_m = exact_solution_count(&oracle);
+    let m = match config.m_estimate {
+        MEstimate::Exact => true_m,
+        MEstimate::Given(m) => m,
+        MEstimate::QuantumCounting { precision } => {
+            quantum_count(n, true_m, precision, &mut rng)
+        }
+        MEstimate::Unknown { .. } => unreachable!("handled above"),
+    };
+
+    let iterations = optimal_iterations(n, m);
+    let mut driver = GroverDriver::new(oracle);
+    driver.iterate_n(iterations);
+
+    let sols = solutions(driver.oracle());
+    let success_probability = if sols.is_empty() {
+        0.0
+    } else {
+        driver.probability_of_sets(&sols)
+    };
+
+    let mut measured = Vec::new();
+    let mut result = None;
+    for _ in 0..config.max_attempts.max(1) {
+        let s = driver.measure(&mut rng);
+        measured.push(s);
+        if driver.oracle().predicate(s) {
+            result = Some(s);
+            break;
+        }
+    }
+
+    QtkpOutcome {
+        result,
+        measured,
+        iterations,
+        m,
+        success_probability,
+        error_probability: 1.0 - success_probability,
+        times: driver.times().clone(),
+        oracle_cost,
+        elapsed: start.elapsed(),
+        qubits,
+    }
+}
+
+/// The Boyer-Brassard-Høyer-Tapp search: no `M` required. Round `l` runs
+/// `j ~ U[0, min(λ^l, √N))` Grover iterations, measures and verifies;
+/// the total oracle budget is capped at `3·√N + n` iterations, past which
+/// the instance is declared infeasible (`∅`). On a fault-free simulator
+/// the only false-negative source is the probabilistic cutoff, whose
+/// failure probability is exponentially small for feasible instances.
+fn qtkp_unknown_m(g: &Graph, k: usize, t: usize, config: &QtkpConfig, lambda: f64) -> QtkpOutcome {
+    assert!(lambda > 1.0 && lambda <= 4.0 / 3.0, "lambda must be in (1, 4/3]");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let oracle = Oracle::new(g, k, t);
+    let qubits = oracle.layout.width;
+    let oracle_cost = oracle.section_cost();
+    let n = oracle.layout.n;
+    let sqrt_n = (1u128 << n) as f64;
+    let sqrt_n = sqrt_n.sqrt();
+    let budget = (3.0 * sqrt_n).ceil() as usize + n;
+
+    let mut measured = Vec::new();
+    let mut result = None;
+    let mut spent = 0usize;
+    let mut bound = 1.0f64;
+    let mut iterations = 0usize;
+    let mut times = SectionTimes::default();
+    let mut success_probability = 0.0;
+
+    while spent <= budget {
+        let j = (rng.gen::<f64>() * bound.min(sqrt_n)).floor() as usize;
+        let mut driver = GroverDriver::new(oracle.clone());
+        driver.iterate_n(j);
+        spent += j.max(1);
+        iterations += j;
+        let s = driver.measure(&mut rng);
+        measured.push(s);
+        times.merge(driver.times());
+        if oracle.predicate(s) {
+            let sols = solutions(&oracle);
+            success_probability = driver.probability_of_sets(&sols);
+            result = Some(s);
+            break;
+        }
+        bound *= lambda;
+    }
+
+    QtkpOutcome {
+        result,
+        measured,
+        iterations,
+        m: 0, // unknown by construction
+        success_probability,
+        error_probability: 1.0 - success_probability,
+        times,
+        oracle_cost,
+        elapsed: start.elapsed(),
+        qubits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_graph::gen::{gnm, paper_fig1_graph};
+    use qmkp_graph::is_kplex;
+
+    #[test]
+    fn finds_the_unique_max_2plex_of_fig1() {
+        let g = paper_fig1_graph();
+        let out = qtkp(&g, 2, 4, &QtkpConfig::default());
+        assert_eq!(out.result, Some(VertexSet::from_iter([0, 1, 3, 4])));
+        assert_eq!(out.iterations, 6, "paper's Fig. 8 runs 6 iterations");
+        assert_eq!(out.m, 1);
+        assert!(out.success_probability > 0.99);
+        assert!(out.error_probability < 0.01);
+    }
+
+    #[test]
+    fn reports_empty_when_no_solution_exists() {
+        let g = paper_fig1_graph();
+        // No 2-plex of size 6 exists in the Fig. 1 graph.
+        let out = qtkp(&g, 2, 6, &QtkpConfig::default());
+        assert_eq!(out.result, None);
+        assert_eq!(out.m, 0);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.success_probability, 0.0);
+        assert_eq!(out.measured.len(), 3, "all attempts are used up");
+    }
+
+    #[test]
+    fn result_is_always_a_verified_kplex() {
+        for seed in 0..3 {
+            let g = gnm(7, 10, seed).unwrap();
+            for t in 2..=5 {
+                let out = qtkp(&g, 2, t, &QtkpConfig::default());
+                if let Some(p) = out.result {
+                    assert!(is_kplex(&g, p, 2));
+                    assert!(p.len() >= t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantum_counting_mode_still_succeeds() {
+        let g = paper_fig1_graph();
+        let cfg = QtkpConfig {
+            m_estimate: MEstimate::QuantumCounting { precision: 8 },
+            ..QtkpConfig::default()
+        };
+        let out = qtkp(&g, 2, 4, &cfg);
+        assert_eq!(out.result, Some(VertexSet::from_iter([0, 1, 3, 4])));
+    }
+
+    #[test]
+    fn given_m_overrides_census() {
+        let g = paper_fig1_graph();
+        let cfg = QtkpConfig { m_estimate: MEstimate::Given(4), ..QtkpConfig::default() };
+        let out = qtkp(&g, 2, 4, &cfg);
+        assert_eq!(out.m, 4);
+        // Wrong M means fewer iterations (3 instead of 6) — lower but
+        // still substantial success probability; verification still
+        // protects correctness.
+        assert_eq!(out.iterations, 3);
+        if let Some(p) = out.result {
+            assert!(is_kplex(&g, p, 2) && p.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn outcome_carries_instrumentation() {
+        let g = paper_fig1_graph();
+        let out = qtkp(&g, 2, 4, &QtkpConfig::default());
+        assert!(out.oracle_cost.total() > 0);
+        assert!(out.times.total() > Duration::ZERO);
+        assert!(out.qubits > 6);
+        assert!(out.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn error_probability_matches_paper_bound() {
+        // π²/(4I)² with I = 6 gives ≈ 0.017; the exact simulated error is
+        // below that bound.
+        let g = paper_fig1_graph();
+        let out = qtkp(&g, 2, 4, &QtkpConfig::default());
+        let bound = std::f64::consts::PI.powi(2) / (4.0 * 6.0f64).powi(2);
+        assert!(out.error_probability <= bound, "{} > {bound}", out.error_probability);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let g = paper_fig1_graph();
+        let a = qtkp(&g, 2, 3, &QtkpConfig::default());
+        let b = qtkp(&g, 2, 3, &QtkpConfig::default());
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.measured, b.measured);
+    }
+
+    #[test]
+    fn unknown_m_mode_finds_solutions_without_a_census() {
+        let g = paper_fig1_graph();
+        let cfg = QtkpConfig {
+            m_estimate: MEstimate::Unknown { lambda: 6.0 / 5.0 },
+            ..QtkpConfig::default()
+        };
+        let out = qtkp(&g, 2, 4, &cfg);
+        let p = out.result.expect("BBHT finds the unique solution");
+        assert_eq!(p, VertexSet::from_iter([0, 1, 3, 4]));
+        assert_eq!(out.m, 0, "M stays unknown");
+    }
+
+    #[test]
+    fn unknown_m_mode_gives_up_on_infeasible_thresholds() {
+        let g = paper_fig1_graph();
+        let cfg = QtkpConfig {
+            m_estimate: MEstimate::Unknown { lambda: 6.0 / 5.0 },
+            ..QtkpConfig::default()
+        };
+        let out = qtkp(&g, 2, 6, &cfg);
+        assert_eq!(out.result, None);
+        assert!(!out.measured.is_empty(), "it did try");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn unknown_m_rejects_bad_lambda() {
+        let g = paper_fig1_graph();
+        let cfg = QtkpConfig {
+            m_estimate: MEstimate::Unknown { lambda: 2.0 },
+            ..QtkpConfig::default()
+        };
+        let _ = qtkp(&g, 2, 4, &cfg);
+    }
+}

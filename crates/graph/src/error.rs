@@ -1,0 +1,80 @@
+//! Error type for graph construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex index was at or above the graph's vertex count.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the model is simple graphs only.
+    SelfLoop(usize),
+    /// The graph has more vertices than the representation supports.
+    TooManyVertices {
+        /// Requested vertex count.
+        requested: usize,
+        /// Maximum supported vertex count.
+        max: usize,
+    },
+    /// A random `G(n, m)` generation request asked for more edges than
+    /// `C(n, 2)` allows.
+    TooManyEdges {
+        /// Requested edge count.
+        requested: usize,
+        /// Maximum possible edge count for the vertex count.
+        max: usize,
+    },
+    /// A parse error with a line number and human-readable message.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
+            GraphError::TooManyVertices { requested, max } => {
+                write!(f, "requested {requested} vertices but at most {max} are supported")
+            }
+            GraphError::TooManyEdges { requested, max } => {
+                write!(f, "requested {requested} edges but at most {max} are possible")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 5 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::SelfLoop(3);
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::TooManyVertices { requested: 200, max: 128 };
+        assert!(e.to_string().contains("200"));
+        let e = GraphError::TooManyEdges { requested: 100, max: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = GraphError::Parse { line: 4, message: "bad token".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

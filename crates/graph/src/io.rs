@@ -1,0 +1,192 @@
+//! Plain-text graph I/O: simple edge lists and the DIMACS `.col`-style
+//! format used by most maximum-clique / k-plex benchmark suites.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Parses a simple edge-list format:
+///
+/// ```text
+/// # comment
+/// 6 7        <- header: n m (m is advisory, used only for validation)
+/// 0 1
+/// 0 2
+/// ...
+/// ```
+///
+/// Lines starting with `#` and blank lines are ignored. Vertices are
+/// 0-indexed.
+///
+/// # Errors
+/// Fails on malformed lines, out-of-range endpoints, self-loops, or an edge
+/// count that contradicts the header.
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut g: Option<Graph> = None;
+    let mut declared_m: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let a: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "expected an integer"))?;
+        let b: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "expected two integers"))?;
+        if it.next().is_some() {
+            return Err(parse_err(lineno, "trailing tokens"));
+        }
+        match &mut g {
+            None => {
+                declared_m = Some(b);
+                g = Some(Graph::new(a)?);
+            }
+            Some(g) => {
+                g.add_edge(a, b)?;
+            }
+        }
+    }
+    let g = g.ok_or_else(|| parse_err(0, "missing header line"))?;
+    if let Some(m) = declared_m {
+        if g.m() != m {
+            return Err(parse_err(
+                0,
+                &format!("header declared {m} edges but {} were parsed", g.m()),
+            ));
+        }
+    }
+    Ok(g)
+}
+
+/// Writes the edge-list format accepted by [`parse_edge_list`].
+pub fn write_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} {}\n", g.n(), g.m()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parses DIMACS format (`c` comments, `p edge n m` header, `e u v` edges,
+/// 1-indexed vertices).
+///
+/// # Errors
+/// Fails on malformed lines or edges before the `p` line.
+pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
+    let mut g: Option<Graph> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut it = rest.split_whitespace();
+            let kind = it.next().ok_or_else(|| parse_err(lineno, "bad p line"))?;
+            if kind != "edge" && kind != "col" {
+                return Err(parse_err(lineno, "expected 'p edge n m'"));
+            }
+            let n: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad vertex count"))?;
+            g = Some(Graph::new(n)?);
+        } else if let Some(rest) = line.strip_prefix("e ") {
+            let g = g
+                .as_mut()
+                .ok_or_else(|| parse_err(lineno, "edge before p line"))?;
+            let mut it = rest.split_whitespace();
+            let u: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad endpoint"))?;
+            let v: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(lineno, "bad endpoint"))?;
+            if u == 0 || v == 0 {
+                return Err(parse_err(lineno, "DIMACS vertices are 1-indexed"));
+            }
+            g.add_edge(u - 1, v - 1)?;
+        } else {
+            return Err(parse_err(lineno, "unrecognized line"));
+        }
+    }
+    g.ok_or_else(|| parse_err(0, "missing p line"))
+}
+
+/// Writes DIMACS format.
+pub fn write_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p edge {} {}\n", g.n(), g.m()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {} {}\n", u + 1, v + 1));
+    }
+    out
+}
+
+fn parse_err(line: usize, message: &str) -> GraphError {
+    GraphError::Parse { line, message: message.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::paper_fig1_graph;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = paper_fig1_graph();
+        let text = write_edge_list(&g);
+        let h = parse_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_blanks() {
+        let text = "# a graph\n\n3 2\n0 1\n\n1 2\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn edge_list_header_mismatch_is_rejected() {
+        let text = "3 5\n0 1\n";
+        assert!(matches!(parse_edge_list(text), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn edge_list_malformed_lines() {
+        assert!(parse_edge_list("3 0\nxyz 1\n").is_err());
+        assert!(parse_edge_list("3 0\n0\n").is_err());
+        assert!(parse_edge_list("3 1\n0 1 9\n").is_err());
+        assert!(parse_edge_list("").is_err());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = paper_fig1_graph();
+        let text = write_dimacs(&g);
+        let h = parse_dimacs(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn dimacs_parses_comments_and_validates() {
+        let text = "c hello\np edge 3 1\ne 1 2\n";
+        let g = parse_dimacs(text).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(parse_dimacs("e 1 2\n").is_err(), "edge before p line");
+        assert!(parse_dimacs("p edge 3 1\ne 0 2\n").is_err(), "0-indexed edge");
+        assert!(parse_dimacs("p tree 3 1\n").is_err(), "bad problem kind");
+        assert!(parse_dimacs("hello\n").is_err());
+        assert!(parse_dimacs("").is_err());
+    }
+}

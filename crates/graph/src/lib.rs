@@ -1,0 +1,31 @@
+//! # qmkp-graph — graphs, generators and k-plex machinery
+//!
+//! Foundational substrate for the qmkp workspace: a compact undirected,
+//! unweighted graph representation tailored to the small-to-medium instances
+//! that quantum (simulated) hardware can address (n ≤ 128), together with
+//!
+//! * seeded random generators reproducing the paper's synthetic datasets
+//!   (`G_{n,m}` for the gate-based experiments, `D_{n,m}` for annealing),
+//! * the k-plex / k-cplex predicates of Definition 1 and Definition 5,
+//! * complement-graph construction (Definition 4),
+//! * classical graph reductions (core decomposition and the core-truss
+//!   co-pruning the paper borrows from Chang et al. for its "orthogonality"
+//!   discussion),
+//! * simple text I/O (edge lists and DIMACS).
+//!
+//! Everything in the workspace — circuit construction, QUBO building,
+//! classical baselines — consumes the [`Graph`] type defined here.
+
+pub mod error;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod plex;
+pub mod reduce;
+pub mod stats;
+pub mod vertex_set;
+
+pub use error::GraphError;
+pub use graph::Graph;
+pub use plex::{is_kcplex, is_kplex, plex_deficiency};
+pub use vertex_set::VertexSet;

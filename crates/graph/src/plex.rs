@@ -1,0 +1,163 @@
+//! k-plex and k-cplex predicates (Definitions 1 and 5 of the paper).
+
+use crate::graph::Graph;
+use crate::vertex_set::VertexSet;
+
+/// Whether `p` is a k-plex of `g` (Definition 1): every `v ∈ p` satisfies
+/// `d_P(v) ≥ |P| - k`.
+///
+/// The empty set is vacuously a k-plex for every `k ≥ 1`; any singleton is
+/// also a k-plex.
+pub fn is_kplex(g: &Graph, p: VertexSet, k: usize) -> bool {
+    let size = p.len();
+    if size <= k {
+        // Every vertex needs ≥ size - k ≤ 0 neighbours: always satisfied.
+        return true;
+    }
+    let need = size - k;
+    p.iter().all(|v| g.degree_in(v, p) >= need)
+}
+
+/// Whether `c` is a k-cplex of `g` (Definition 5): every `v ∈ c` satisfies
+/// `d_C(v) ≤ k - 1`.
+///
+/// A set is a k-plex of `G` iff it is a k-cplex of the complement `Ḡ`
+/// (the equivalence qTKP exploits).
+pub fn is_kcplex(g: &Graph, c: VertexSet, k: usize) -> bool {
+    debug_assert!(k >= 1, "k-cplex requires k ≥ 1");
+    c.iter().all(|v| g.degree_in(v, c) <= k - 1)
+}
+
+/// How far `p` is from being a k-plex: the total number of missing
+/// neighbour slots, `Σ_{v ∈ p} max(0, (|P| - k) - d_P(v))`. Zero iff
+/// `p` is a k-plex. Useful as a repair/penalty heuristic.
+pub fn plex_deficiency(g: &Graph, p: VertexSet, k: usize) -> usize {
+    let size = p.len();
+    if size <= k {
+        return 0;
+    }
+    let need = size - k;
+    p.iter()
+        .map(|v| need.saturating_sub(g.degree_in(v, p)))
+        .sum()
+}
+
+/// Greedily repairs `p` into a k-plex by repeatedly dropping the vertex
+/// with the lowest internal degree until the k-plex condition holds.
+///
+/// Used by the annealing decoders to turn near-feasible samples into
+/// feasible incumbents.
+pub fn greedy_repair(g: &Graph, mut p: VertexSet, k: usize) -> VertexSet {
+    while !is_kplex(g, p, k) {
+        let worst = p
+            .iter()
+            .min_by_key(|&v| g.degree_in(v, p))
+            .expect("non-k-plex set is non-empty");
+        p.remove(worst);
+    }
+    p
+}
+
+/// Greedily extends a k-plex `p` with vertices that keep it a k-plex,
+/// scanning vertices in descending degree order.
+pub fn greedy_extend(g: &Graph, mut p: VertexSet, k: usize) -> VertexSet {
+    debug_assert!(is_kplex(g, p, k));
+    let mut order: Vec<usize> = (0..g.n()).filter(|&v| !p.contains(v)).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in &order {
+            if !p.contains(v) && is_kplex(g, p.with(v), k) {
+                p.insert(v);
+                changed = true;
+            }
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::paper_fig1_graph;
+
+    #[test]
+    fn empty_and_small_sets_are_always_plexes() {
+        let g = Graph::new(5).unwrap();
+        assert!(is_kplex(&g, VertexSet::EMPTY, 1));
+        assert!(is_kplex(&g, VertexSet::singleton(3), 1));
+        // Two isolated vertices form a 2-plex (each may miss 2 neighbours)
+        assert!(is_kplex(&g, VertexSet::from_iter([0, 1]), 2));
+        // …but not a 1-plex (clique).
+        assert!(!is_kplex(&g, VertexSet::from_iter([0, 1]), 1));
+    }
+
+    #[test]
+    fn clique_is_a_1plex() {
+        let g = Graph::complete(4).unwrap();
+        assert!(is_kplex(&g, g.vertices(), 1));
+    }
+
+    #[test]
+    fn paper_example_2plex() {
+        // Figure 1 of the paper highlights a 2-plex in the 6-vertex graph.
+        let g = paper_fig1_graph();
+        // {v1, v2, v4, v5} = indices {0, 1, 3, 4}: in the complement each of
+        // these vertices has at most 1 neighbour inside the set.
+        let p = VertexSet::from_iter([0, 1, 3, 4]);
+        assert!(is_kplex(&g, p, 2));
+        assert!(is_kcplex(&g.complement(), p, 2));
+    }
+
+    #[test]
+    fn kplex_iff_kcplex_of_complement() {
+        let g = paper_fig1_graph();
+        let gc = g.complement();
+        for bits in 0..(1u128 << g.n()) {
+            let s = VertexSet::from_bits(bits);
+            for k in 1..=3 {
+                assert_eq!(
+                    is_kplex(&g, s, k),
+                    is_kcplex(&gc, s, k),
+                    "mismatch for set {s:?}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deficiency_zero_iff_plex() {
+        let g = paper_fig1_graph();
+        for bits in 0..(1u128 << g.n()) {
+            let s = VertexSet::from_bits(bits);
+            assert_eq!(plex_deficiency(&g, s, 2) == 0, is_kplex(&g, s, 2));
+        }
+    }
+
+    #[test]
+    fn greedy_repair_yields_plex() {
+        let g = paper_fig1_graph();
+        let all = g.vertices();
+        let repaired = greedy_repair(&g, all, 2);
+        assert!(is_kplex(&g, repaired, 2));
+        assert!(repaired.is_subset_of(all));
+    }
+
+    #[test]
+    fn greedy_extend_preserves_plexhood() {
+        let g = paper_fig1_graph();
+        let p = greedy_extend(&g, VertexSet::EMPTY, 2);
+        assert!(is_kplex(&g, p, 2));
+        assert!(p.len() >= 2);
+    }
+
+    #[test]
+    fn kcplex_bound_is_strict() {
+        // Path 0-1-2: in a 1-cplex no vertex may have any neighbour.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(is_kcplex(&g, VertexSet::from_iter([0, 2]), 1));
+        assert!(!is_kcplex(&g, VertexSet::from_iter([0, 1]), 1));
+        assert!(is_kcplex(&g, VertexSet::from_iter([0, 1]), 2));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the graph substrate.
+
+use proptest::prelude::*;
+use qmkp_graph::gen::{gnm, relabel};
+use qmkp_graph::plex::{greedy_extend, greedy_repair, plex_deficiency};
+use qmkp_graph::reduce::{core_numbers, degeneracy_order, reduce_for_mkp};
+use qmkp_graph::{io, is_kcplex, is_kplex, Graph, VertexSet};
+
+/// Strategy: a random simple graph with 1..=10 vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..=10, any::<u64>()).prop_flat_map(|(n, seed)| {
+        let max_m = n * (n - 1) / 2;
+        (Just(n), 0..=max_m, Just(seed))
+            .prop_map(|(n, m, seed)| gnm(n, m, seed).expect("valid parameters"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn complement_is_an_involution(g in arb_graph()) {
+        prop_assert_eq!(g.complement().complement(), g);
+    }
+
+    #[test]
+    fn complement_edge_counts_are_complementary(g in arb_graph()) {
+        let n = g.n();
+        prop_assert_eq!(g.m() + g.complement().m(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn kplex_duality((g, k) in arb_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (Just(g), 1usize..=n)
+    })) {
+        let gc = g.complement();
+        for bits in 0..(1u128 << g.n()) {
+            let s = VertexSet::from_bits(bits);
+            prop_assert_eq!(is_kplex(&g, s, k), is_kcplex(&gc, s, k));
+        }
+    }
+
+    #[test]
+    fn subsets_of_kplexes_are_kplexes(g in arb_graph(), k in 1usize..=3, seed in any::<u64>()) {
+        // Hereditary property: remove any vertex from a k-plex, still a k-plex.
+        let p = greedy_extend(&g, VertexSet::EMPTY, k);
+        prop_assert!(is_kplex(&g, p, k));
+        let mut s = p;
+        let mut rot = seed;
+        while let Some(v) = s.iter().nth((rot as usize) % s.len().max(1)) {
+            s.remove(v);
+            prop_assert!(is_kplex(&g, s, k), "removing {v} broke plexhood");
+            if s.is_empty() { break; }
+            rot = rot.rotate_left(7).wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn deficiency_zero_iff_plex(g in arb_graph(), k in 1usize..=3) {
+        for bits in 0..(1u128 << g.n()) {
+            let s = VertexSet::from_bits(bits);
+            prop_assert_eq!(plex_deficiency(&g, s, k) == 0, is_kplex(&g, s, k));
+        }
+    }
+
+    #[test]
+    fn greedy_repair_returns_subset_plex(g in arb_graph(), k in 1usize..=3, bits in any::<u128>()) {
+        let s = VertexSet::from_bits(bits & (g.vertices().bits()));
+        let r = greedy_repair(&g, s, k);
+        prop_assert!(is_kplex(&g, r, k));
+        prop_assert!(r.is_subset_of(s));
+    }
+
+    #[test]
+    fn relabelling_preserves_max_plex_size(g in arb_graph(), k in 1usize..=2, seed in any::<u64>()) {
+        let perm = qmkp_graph::gen::random_permutation(g.n(), seed);
+        let h = relabel(&g, &perm);
+        let max_size = |g: &Graph| (0..(1u128 << g.n()))
+            .map(VertexSet::from_bits)
+            .filter(|&s| is_kplex(g, s, k))
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(max_size(&g), max_size(&h));
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        prop_assert_eq!(io::parse_edge_list(&io::write_edge_list(&g)).unwrap(), g.clone());
+        prop_assert_eq!(io::parse_dimacs(&io::write_dimacs(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_degeneracy(g in arb_graph()) {
+        let cores = core_numbers(&g);
+        let (_, degeneracy) = degeneracy_order(&g);
+        for (v, &c) in cores.iter().enumerate() {
+            prop_assert!(c <= degeneracy);
+            prop_assert!(c <= g.degree(v));
+        }
+        prop_assert_eq!(cores.iter().copied().max().unwrap_or(0), degeneracy);
+    }
+
+    #[test]
+    fn reduction_soundness(g in arb_graph(), k in 1usize..=2, lb in 1usize..=5) {
+        let red = reduce_for_mkp(&g, k, lb);
+        for bits in 0..(1u128 << g.n()) {
+            let s = VertexSet::from_bits(bits);
+            if s.len() >= lb && is_kplex(&g, s, k) {
+                prop_assert!(s.is_subset_of(red.kept));
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn vertex_set_algebra_laws(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let (a, b, c) = (VertexSet::from_bits(a), VertexSet::from_bits(b), VertexSet::from_bits(c));
+        // De Morgan.
+        prop_assert_eq!(!(a | b), !a & !b);
+        prop_assert_eq!(!(a & b), !a | !b);
+        // Distributivity.
+        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+        // Difference definition.
+        prop_assert_eq!(a - b, a & !b);
+        // Subset characterisations.
+        prop_assert_eq!((a & b) == a, a.is_subset_of(b));
+        // Cardinality of symmetric difference.
+        prop_assert_eq!((a ^ b).len(), (a - b).len() + (b - a).len());
+    }
+
+    #[test]
+    fn vertex_set_iteration_is_sorted_and_complete(bits in any::<u128>()) {
+        let s = VertexSet::from_bits(bits);
+        let v: Vec<usize> = s.iter().collect();
+        prop_assert_eq!(v.len(), s.len());
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(v.iter().all(|&i| s.contains(i)));
+    }
+}

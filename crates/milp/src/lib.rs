@@ -1,0 +1,23 @@
+//! # qmkp-milp — hand-rolled 0/1 MILP machinery
+//!
+//! The paper's strongest classical baseline runs the linearized QUBO
+//! through Gurobi. This crate is the open substitute:
+//!
+//! * [`linearize`] — the paper's exact McCormick linearization
+//!   (Equation 13): each product `x_u·x_v` becomes a fresh variable
+//!   `y_{u,v}` with constraints `y ≤ x_u`, `y ≤ x_v`, `y ≥ x_u + x_v − 1`,
+//!   `y ≥ 0`; diagonal terms stay linear.
+//! * [`simplex`] — a dense primal simplex (Bland's rule) for LP
+//!   relaxations of the form `max cᵀx, Ax ≤ b, x ≥ 0` with `b ≥ 0`.
+//! * [`bnb`] — an exact, *anytime* 0/1 minimizer over [`qmkp_qubo::QuboModel`]:
+//!   depth-first branch & bound with a roof-dual-style lower bound,
+//!   incumbent trajectory recording (cost-vs-time curves of Figures 9-10),
+//!   and a wall-clock budget.
+
+pub mod bnb;
+pub mod linearize;
+pub mod simplex;
+
+pub use bnb::{minimize_qubo, BnbConfig, BnbOutcome, TracePoint};
+pub use linearize::{LinearizedMilp, LinearConstraint};
+pub use simplex::{solve_lp, LpOutcome, LpProblem};

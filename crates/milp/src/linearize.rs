@@ -1,0 +1,152 @@
+//! McCormick linearization of a QUBO (the paper's Equation 13).
+//!
+//! Each quadratic term `q_{u,v}·x_u·x_v` introduces a continuous variable
+//! `y_{u,v} ∈ [0, 1]` and the constraints
+//!
+//! ```text
+//! y_{u,v} ≤ x_u        y_{u,v} ≤ x_v
+//! y_{u,v} ≥ x_u + x_v − 1        y_{u,v} ≥ 0
+//! ```
+//!
+//! which pin `y = x_u ∧ x_v` at binary points. The objective becomes
+//! `offset + Σ Q_{u,v}·Z_{u,v}` with `Z_{u,u} = x_u` and `Z_{u,v} = y_{u,v}`.
+
+use qmkp_qubo::QuboModel;
+
+/// One linear constraint `Σ coeffs·vars ≤ rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// Sparse left-hand side: `(variable, coefficient)`.
+    pub terms: Vec<(usize, f64)>,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linearized MILP: minimize `offset + cᵀz` subject to `constraints`,
+/// `z_i ∈ [0,1]`, with the first `num_binary` variables integral.
+#[derive(Debug, Clone)]
+pub struct LinearizedMilp {
+    /// Constant objective offset.
+    pub offset: f64,
+    /// Objective coefficients over all variables (x's then y's).
+    pub objective: Vec<f64>,
+    /// The ≤-constraints.
+    pub constraints: Vec<LinearConstraint>,
+    /// Number of original binary variables (prefix of the variable list).
+    pub num_binary: usize,
+    /// For each y variable (indices `num_binary..`), the product it
+    /// represents.
+    pub products: Vec<(usize, usize)>,
+}
+
+impl LinearizedMilp {
+    /// Linearizes a QUBO.
+    pub fn from_qubo(q: &QuboModel) -> Self {
+        let nb = q.num_vars();
+        let mut objective: Vec<f64> = q.linear_terms().to_vec();
+        let mut constraints = Vec::new();
+        let mut products = Vec::new();
+        for ((u, v), coeff) in q.interactions() {
+            let y = nb + products.len();
+            objective.push(coeff);
+            products.push((u, v));
+            // y − x_u ≤ 0
+            constraints.push(LinearConstraint { terms: vec![(y, 1.0), (u, -1.0)], rhs: 0.0 });
+            // y − x_v ≤ 0
+            constraints.push(LinearConstraint { terms: vec![(y, 1.0), (v, -1.0)], rhs: 0.0 });
+            // x_u + x_v − y ≤ 1
+            constraints.push(LinearConstraint {
+                terms: vec![(u, 1.0), (v, 1.0), (y, -1.0)],
+                rhs: 1.0,
+            });
+        }
+        LinearizedMilp { offset: q.offset(), objective, constraints, num_binary: nb, products }
+    }
+
+    /// Total variables (binaries plus products).
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Evaluates the MILP objective at a binary assignment of the original
+    /// variables, with the `y`s induced (`y = x_u ∧ x_v`).
+    pub fn objective_at_binary(&self, bits: u128) -> f64 {
+        let mut val = self.offset;
+        for i in 0..self.num_binary {
+            if (bits >> i) & 1 == 1 {
+                val += self.objective[i];
+            }
+        }
+        for (p, &(u, v)) in self.products.iter().enumerate() {
+            if (bits >> u) & 1 == 1 && (bits >> v) & 1 == 1 {
+                val += self.objective[self.num_binary + p];
+            }
+        }
+        val
+    }
+
+    /// Checks that an assignment over *all* variables (binaries and `y`s)
+    /// satisfies every constraint up to `eps`.
+    pub fn is_feasible(&self, z: &[f64], eps: f64) -> bool {
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(i, a)| a * z[i]).sum();
+            lhs <= c.rhs + eps
+        }) && z.iter().all(|&v| (-eps..=1.0 + eps).contains(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_qubo() -> QuboModel {
+        let mut q = QuboModel::new(3);
+        q.add_offset(0.5);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, 2.0);
+        q.add_quadratic(0, 1, -3.0);
+        q.add_quadratic(1, 2, 1.0);
+        q
+    }
+
+    #[test]
+    fn objective_matches_qubo_at_every_binary_point() {
+        let q = sample_qubo();
+        let milp = LinearizedMilp::from_qubo(&q);
+        assert_eq!(milp.num_binary, 3);
+        assert_eq!(milp.num_vars(), 5);
+        for bits in 0..8u128 {
+            assert!(
+                (milp.objective_at_binary(bits) - q.energy_bits(bits)).abs() < 1e-12,
+                "bits={bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn constraints_pin_products_at_binary_points() {
+        let q = sample_qubo();
+        let milp = LinearizedMilp::from_qubo(&q);
+        for bits in 0..8u128 {
+            // Build the full z vector with the correct induced products.
+            let mut z: Vec<f64> = (0..3).map(|i| ((bits >> i) & 1) as f64).collect();
+            for &(u, v) in &milp.products {
+                z.push(z[u] * z[v]);
+            }
+            assert!(milp.is_feasible(&z, 1e-9), "induced point must be feasible");
+            // A wrong product value violates some constraint.
+            for p in 0..milp.products.len() {
+                let mut bad = z.clone();
+                bad[3 + p] = 1.0 - bad[3 + p];
+                assert!(!milp.is_feasible(&bad, 1e-9), "flipped y must be infeasible");
+            }
+        }
+    }
+
+    #[test]
+    fn three_constraints_per_product() {
+        let q = sample_qubo();
+        let milp = LinearizedMilp::from_qubo(&q);
+        assert_eq!(milp.constraints.len(), 3 * milp.products.len());
+    }
+}

@@ -1,0 +1,237 @@
+//! A dense primal simplex solver.
+//!
+//! Solves `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0` (so the all-slack
+//! basis is feasible and no phase-1 is needed — exactly the shape of the
+//! McCormick relaxations in [`crate::linearize`] and of box-bounded LPs in
+//! general). Bland's rule guarantees termination on degenerate problems.
+
+/// An LP in the supported canonical form.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients `c` (maximized).
+    pub objective: Vec<f64>,
+    /// Constraint rows `(a, b)` meaning `a·x ≤ b`; every `b` must be ≥ 0.
+    pub constraints: Vec<(Vec<f64>, f64)>,
+}
+
+/// Result of [`solve_lp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex: the primal solution and the objective value.
+    Optimal {
+        /// Optimal assignment of the structural variables.
+        x: Vec<f64>,
+        /// Optimal objective value.
+        value: f64,
+    },
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP by primal simplex with Bland's anti-cycling rule.
+///
+/// # Panics
+/// Panics if a right-hand side is negative, or a constraint row has the
+/// wrong length.
+pub fn solve_lp(p: &LpProblem) -> LpOutcome {
+    let n = p.objective.len();
+    let m = p.constraints.len();
+    for (a, b) in &p.constraints {
+        assert_eq!(a.len(), n, "constraint row length mismatch");
+        assert!(*b >= -EPS, "canonical form requires b ≥ 0, got {b}");
+    }
+
+    // Tableau: m rows × (n structural + m slack + 1 rhs) columns, plus an
+    // objective row (reduced costs) at index m.
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0f64; cols]; m + 1];
+    for (i, (a, b)) in p.constraints.iter().enumerate() {
+        t[i][..n].copy_from_slice(a);
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = b.max(0.0);
+    }
+    for j in 0..n {
+        t[m][j] = -p.objective[j]; // minimize −cᵀx row convention
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    loop {
+        // Entering column: Bland — the lowest index with a negative
+        // reduced cost.
+        let Some(enter) = (0..n + m).find(|&j| t[m][j] < -EPS) else {
+            // Optimal: read off the solution.
+            let mut x = vec![0.0; n];
+            for (i, &b) in basis.iter().enumerate() {
+                if b < n {
+                    x[b] = t[i][cols - 1];
+                }
+            }
+            let value = p
+                .objective
+                .iter()
+                .zip(&x)
+                .map(|(c, xi)| c * xi)
+                .sum::<f64>();
+            return LpOutcome::Optimal { x, value };
+        };
+        // Ratio test: Bland tie-break on the smallest basis variable.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][cols - 1] / t[i][enter];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS
+                            || (ratio < lr + EPS && basis[i] < basis[li])
+                        {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((pivot_row, _)) = leave else {
+            return LpOutcome::Unbounded;
+        };
+        // Pivot.
+        let pv = t[pivot_row][enter];
+        for v in t[pivot_row].iter_mut() {
+            *v /= pv;
+        }
+        for i in 0..=m {
+            if i != pivot_row && t[i][enter].abs() > EPS {
+                let f = t[i][enter];
+                for j in 0..cols {
+                    t[i][j] -= f * t[pivot_row][j];
+                }
+            }
+        }
+        basis[pivot_row] = enter;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 2y  s.t.  x + y ≤ 4, x ≤ 2  →  x = 2, y = 2, value 10.
+        let p = LpProblem {
+            objective: vec![3.0, 2.0],
+            constraints: vec![(vec![1.0, 1.0], 4.0), (vec![1.0, 0.0], 2.0)],
+        };
+        match solve_lp(&p) {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, 10.0);
+                assert_close(x[0], 2.0);
+                assert_close(x[1], 2.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // max x with only −x ≤ 1: unbounded above.
+        let p = LpProblem { objective: vec![1.0], constraints: vec![(vec![-1.0], 1.0)] };
+        assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective_is_trivially_optimal() {
+        let p = LpProblem { objective: vec![0.0, 0.0], constraints: vec![(vec![1.0, 1.0], 1.0)] };
+        match solve_lp(&p) {
+            LpOutcome::Optimal { value, .. } => assert_close(value, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple constraints active at the optimum (degeneracy).
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                (vec![1.0, 0.0], 1.0),
+                (vec![0.0, 1.0], 1.0),
+                (vec![1.0, 1.0], 2.0),
+                (vec![1.0, 1.0], 2.0),
+            ],
+        };
+        match solve_lp(&p) {
+            LpOutcome::Optimal { value, .. } => assert_close(value, 2.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_bound_dominates_integer_optimum() {
+        // LP relaxation of a tiny knapsack: max 5x + 4y, 2x + 3y ≤ 4,
+        // x,y ≤ 1. LP: x = 1, y = 2/3 → 7.67; integer best is 5 + 0 = 5…
+        // actually x=1,y=0 (2 ≤ 4) value 5 or x=0,y=1 value 4. LP ≥ IP.
+        let p = LpProblem {
+            objective: vec![5.0, 4.0],
+            constraints: vec![
+                (vec![2.0, 3.0], 4.0),
+                (vec![1.0, 0.0], 1.0),
+                (vec![0.0, 1.0], 1.0),
+            ],
+        };
+        match solve_lp(&p) {
+            LpOutcome::Optimal { value, .. } => {
+                assert!(value >= 5.0 - 1e-9);
+                assert_close(value, 5.0 + 4.0 * 2.0 / 3.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mccormick_relaxation_bounds_qubo_minimum() {
+        use crate::linearize::LinearizedMilp;
+        use qmkp_qubo::QuboModel;
+        // Small QUBO; LP bound on −F must be ≥ −min F (i.e. LP min ≤ min).
+        let mut q = QuboModel::new(3);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, -1.0);
+        q.add_quadratic(0, 1, 3.0);
+        q.add_quadratic(1, 2, -2.0);
+        let milp = LinearizedMilp::from_qubo(&q);
+        // Build max −cᵀz with box bounds and McCormick rows.
+        let nv = milp.num_vars();
+        let mut constraints: Vec<(Vec<f64>, f64)> = Vec::new();
+        for c in &milp.constraints {
+            let mut row = vec![0.0; nv];
+            for &(i, a) in &c.terms {
+                row[i] = a;
+            }
+            constraints.push((row, c.rhs));
+        }
+        for i in 0..nv {
+            let mut row = vec![0.0; nv];
+            row[i] = 1.0;
+            constraints.push((row, 1.0));
+        }
+        let p = LpProblem {
+            objective: milp.objective.iter().map(|c| -c).collect(),
+            constraints,
+        };
+        let lp_min = match solve_lp(&p) {
+            LpOutcome::Optimal { value, .. } => -value + milp.offset,
+            other => panic!("{other:?}"),
+        };
+        let (_, true_min) = q.brute_force_min();
+        assert!(
+            lp_min <= true_min + 1e-7,
+            "LP relaxation {lp_min} must lower-bound {true_min}"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the MILP machinery: linearization exactness,
+//! LP relaxation bounds, and branch-&-bound optimality.
+
+use proptest::prelude::*;
+use qmkp_milp::{minimize_qubo, solve_lp, BnbConfig, LinearizedMilp, LpOutcome, LpProblem};
+use qmkp_qubo::QuboModel;
+
+fn arb_qubo() -> impl Strategy<Value = QuboModel> {
+    (2usize..=9).prop_flat_map(|n| {
+        let linear = proptest::collection::vec(-5.0f64..5.0, n);
+        let quads = proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..14);
+        (Just(n), linear, quads).prop_map(|(n, linear, quads)| {
+            let mut q = QuboModel::new(n);
+            for (i, c) in linear.into_iter().enumerate() {
+                q.add_linear(i, c);
+            }
+            for (i, j, c) in quads {
+                if i != j {
+                    q.add_quadratic(i, j, c);
+                }
+            }
+            q
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linearization_is_exact_at_binary_points(q in arb_qubo()) {
+        let milp = LinearizedMilp::from_qubo(&q);
+        for bits in 0..(1u128 << q.num_vars()) {
+            prop_assert!((milp.objective_at_binary(bits) - q.energy_bits(bits)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bnb_matches_brute_force(q in arb_qubo()) {
+        let out = minimize_qubo(&q, &BnbConfig::default());
+        let (_, brute) = q.brute_force_min();
+        prop_assert!(out.proven_optimal);
+        prop_assert!((out.best_energy - brute).abs() < 1e-9);
+        prop_assert!((q.energy(&out.best) - out.best_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lp_relaxation_lower_bounds_the_integer_minimum(q in arb_qubo()) {
+        let milp = LinearizedMilp::from_qubo(&q);
+        let nv = milp.num_vars();
+        let mut constraints: Vec<(Vec<f64>, f64)> = Vec::new();
+        for c in &milp.constraints {
+            let mut row = vec![0.0; nv];
+            for &(i, a) in &c.terms {
+                row[i] = a;
+            }
+            constraints.push((row, c.rhs));
+        }
+        for i in 0..nv {
+            let mut row = vec![0.0; nv];
+            row[i] = 1.0;
+            constraints.push((row, 1.0));
+        }
+        let lp = LpProblem { objective: milp.objective.iter().map(|c| -c).collect(), constraints };
+        match solve_lp(&lp) {
+            LpOutcome::Optimal { value, x } => {
+                let lp_min = -value + milp.offset;
+                let (_, brute) = q.brute_force_min();
+                prop_assert!(lp_min <= brute + 1e-6, "LP {lp_min} vs IP {brute}");
+                prop_assert!(milp.is_feasible(&x, 1e-6));
+            }
+            LpOutcome::Unbounded => prop_assert!(false, "box-bounded LP cannot be unbounded"),
+        }
+    }
+
+    #[test]
+    fn bnb_trace_never_regresses(q in arb_qubo()) {
+        let out = minimize_qubo(&q, &BnbConfig::default());
+        for w in out.trace.windows(2) {
+            prop_assert!(w[1].energy < w[0].energy);
+        }
+    }
+}

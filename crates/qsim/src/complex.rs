@@ -1,0 +1,215 @@
+//! A minimal complex-number type for amplitudes.
+//!
+//! Kept local (rather than pulling in `num-complex`) to keep the workspace
+//! dependency tree small; only the operations the simulator needs are
+//! implemented.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·i`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `|z|²` (the measurement probability of an
+    /// amplitude).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// Whether the value is within `eps` of zero in both components.
+    #[inline]
+    pub fn is_negligible(self, eps: f64) -> bool {
+        self.re.abs() <= eps && self.im.abs() <= eps
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_phase(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::ONE;
+        z += Complex::I;
+        z -= Complex::ONE;
+        assert_eq!(z, Complex::I);
+        z *= Complex::I;
+        assert_eq!(z, -Complex::ONE);
+    }
+
+    #[test]
+    fn norms_and_conjugate() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.norm_sqr() - 25.0).abs() < EPS);
+        assert!((z.norm() - 5.0).abs() < EPS);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z * z.conj()).im.abs() < EPS);
+    }
+
+    #[test]
+    fn phase() {
+        let z = Complex::from_phase(std::f64::consts::PI);
+        assert!((z.re + 1.0).abs() < EPS);
+        assert!(z.im.abs() < EPS);
+        let z = Complex::from_phase(std::f64::consts::FRAC_PI_2);
+        assert!((z.im - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn negligibility() {
+        assert!(Complex::new(1e-15, -1e-15).is_negligible(1e-12));
+        assert!(!Complex::new(1e-3, 0.0).is_negligible(1e-12));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{}", Complex::new(0.5, -0.25)), "0.500000-0.250000i");
+        assert_eq!(format!("{}", Complex::new(0.5, 0.25)), "0.500000+0.250000i");
+    }
+}

@@ -1,0 +1,195 @@
+//! Decomposition of multi-controlled gates into {X, CNOT, Toffoli}.
+//!
+//! The oracle builders freely use CᵏNOT with many mixed-polarity controls;
+//! real gate sets stop at the Toffoli. This module lowers a circuit to at
+//! most 2 controls per gate using the standard clean-ancilla ladder:
+//!
+//! ```text
+//! C^k X(c1..ck → t)  =  T(c1,c2 → a1) T(a1,c3 → a2) … T(a_{k-2},ck → t) …uncompute…
+//! ```
+//!
+//! which costs `2(k−1) − 1 = 2k − 3` Toffolis for `k ≥ 2` — exactly the
+//! [`crate::gate::Gate::elementary_cost`] model, now *checked* rather than
+//! assumed. Negative controls are handled by conjugating with X gates;
+//! multi-controlled Z by conjugating the target with H.
+
+use crate::circuit::Circuit;
+use crate::gate::{Control, Gate};
+use crate::register::QubitAllocator;
+
+/// Result of lowering a circuit: the decomposed circuit (over a wider
+/// qubit set — ancillas are appended after the original qubits) plus the
+/// number of ancillas added.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The decomposed circuit; qubits `0..original_width` are unchanged.
+    pub circuit: Circuit,
+    /// Number of clean ancillas appended.
+    pub ancillas: usize,
+}
+
+/// Lowers every gate to ≤ 2 controls. `H`, `Z`, `Phase`, `Ry`, `CPhase`
+/// and already-small gates pass through untouched.
+pub fn lower_to_toffoli(circuit: &Circuit) -> Lowered {
+    // Worst-case ancilla need: max controls − 2.
+    let max_controls = circuit
+        .gates()
+        .iter()
+        .map(Gate::control_count)
+        .max()
+        .unwrap_or(0);
+    let ancillas = max_controls.saturating_sub(2);
+    let mut alloc = QubitAllocator::new();
+    let _orig = alloc.alloc("orig", circuit.width());
+    let anc = alloc.alloc("anc", ancillas);
+    let mut out = Circuit::new(alloc.width());
+
+    for gate in circuit.gates() {
+        match gate {
+            Gate::Mcx { controls, target } if controls.len() > 2 => {
+                emit_mcx(&mut out, controls, *target, &anc.qubits());
+            }
+            Gate::Mcz { controls, target } if controls.len() > 2 => {
+                // MCZ = H(t) · MCX · H(t).
+                out.push_unchecked(Gate::H(*target));
+                emit_mcx(&mut out, controls, *target, &anc.qubits());
+                out.push_unchecked(Gate::H(*target));
+            }
+            other => out.push_unchecked(other.clone()),
+        }
+    }
+    Lowered { circuit: out, ancillas }
+}
+
+/// Emits the ladder decomposition of one CᵏNOT (k ≥ 3) with positive-
+/// control normalization.
+fn emit_mcx(out: &mut Circuit, controls: &[Control], target: usize, anc: &[usize]) {
+    // Normalize negative controls by conjugating with X.
+    let flips: Vec<usize> = controls
+        .iter()
+        .filter(|c| !c.positive)
+        .map(|c| c.qubit)
+        .collect();
+    for &q in &flips {
+        out.push_unchecked(Gate::X(q));
+    }
+    let ctrls: Vec<usize> = controls.iter().map(|c| c.qubit).collect();
+    let k = ctrls.len();
+    debug_assert!(k >= 3);
+    debug_assert!(anc.len() >= k - 2, "need {} ancillas", k - 2);
+
+    // Compute ladder: anc[0] = c0 ∧ c1; anc[i] = anc[i-1] ∧ c_{i+1}.
+    out.push_unchecked(Gate::ccnot(ctrls[0], ctrls[1], anc[0]));
+    for i in 1..k - 2 {
+        out.push_unchecked(Gate::ccnot(anc[i - 1], ctrls[i + 1], anc[i]));
+    }
+    // Apply: target ^= anc[k-3] ∧ c_{k-1}.
+    out.push_unchecked(Gate::ccnot(anc[k - 3], ctrls[k - 1], target));
+    // Uncompute the ladder.
+    for i in (1..k - 2).rev() {
+        out.push_unchecked(Gate::ccnot(anc[i - 1], ctrls[i + 1], anc[i]));
+    }
+    out.push_unchecked(Gate::ccnot(ctrls[0], ctrls[1], anc[0]));
+
+    for &q in &flips {
+        out.push_unchecked(Gate::X(q));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{DenseState, QuantumState};
+
+    /// Checks that the lowered circuit computes the same map on the
+    /// original qubits (ancillas start and end at |0⟩).
+    fn assert_equivalent(circ: &Circuit) {
+        let lowered = lower_to_toffoli(circ);
+        for g in lowered.circuit.gates() {
+            assert!(g.control_count() <= 2, "gate not lowered: {g:?}");
+        }
+        let w = circ.width();
+        for basis in 0..(1u128 << w) {
+            let mut reference = DenseState::from_basis(w, basis).unwrap();
+            reference.run(circ).unwrap();
+            let mut low = DenseState::from_basis(lowered.circuit.width(), basis).unwrap();
+            low.run(&lowered.circuit).unwrap();
+            for b in 0..(1u128 << w) {
+                let got = low.amplitude(b); // ancillas restored ⇒ high bits zero
+                let want = reference.amplitude(b);
+                assert!(
+                    (got - want).norm() < 1e-9,
+                    "basis {basis:b} → {b:b}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowers_c3not_and_c4not() {
+        for k in [3usize, 4, 5] {
+            let mut c = Circuit::new(k + 1);
+            c.push_unchecked(Gate::mcx_pos(0..k, k));
+            assert_equivalent(&c);
+        }
+    }
+
+    #[test]
+    fn toffoli_count_matches_elementary_cost() {
+        for k in [3usize, 4, 5, 6] {
+            let mut c = Circuit::new(k + 1);
+            let gate = Gate::mcx_pos(0..k, k);
+            let expected = gate.elementary_cost();
+            c.push_unchecked(gate);
+            let lowered = lower_to_toffoli(&c);
+            let toffolis = lowered
+                .circuit
+                .gates()
+                .iter()
+                .filter(|g| g.control_count() == 2)
+                .count();
+            assert_eq!(toffolis, expected, "C^{k}NOT");
+        }
+    }
+
+    #[test]
+    fn handles_negative_controls() {
+        let mut c = Circuit::new(4);
+        c.push_unchecked(Gate::Mcx {
+            controls: vec![Control::pos(0), Control::neg(1), Control::pos(2)],
+            target: 3,
+        });
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn lowers_mcz_via_hadamard_conjugation() {
+        let mut c = Circuit::new(4);
+        c.push_unchecked(Gate::Mcz {
+            controls: vec![Control::pos(0), Control::pos(1), Control::neg(2)],
+            target: 3,
+        });
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn small_gates_pass_through() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::Phase(2, 0.3));
+        let lowered = lower_to_toffoli(&c);
+        assert_eq!(lowered.ancillas, 0);
+        assert_eq!(lowered.circuit.len(), 4);
+    }
+
+    #[test]
+    fn mixed_circuit_with_interleaved_hadamards() {
+        let mut c = Circuit::new(5);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::mcx_pos([0, 1, 2, 3], 4));
+        c.push_unchecked(Gate::H(0));
+        assert_equivalent(&c);
+    }
+}

@@ -1,0 +1,236 @@
+//! The gate set.
+//!
+//! The paper's circuits use exactly the gates modelled here: `X`, `H`,
+//! controlled-`X` with any number of mixed-polarity controls (the filled
+//! and hollow dots of Figures 3-4), and multi-controlled `Z` (used by the
+//! Grover diffusion operator and the phase-kickback formulation of the
+//! oracle). A `Phase` gate is included for the quantum-counting extension.
+
+use crate::error::SimError;
+
+/// A control condition on one qubit.
+///
+/// `Positive` is the filled dot (acts when the qubit is `|1⟩`); `Negative`
+/// is the hollow dot (acts when the qubit is `|0⟩`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Control {
+    /// The controlling qubit.
+    pub qubit: usize,
+    /// `true` for a filled dot (`|1⟩` control), `false` for hollow (`|0⟩`).
+    pub positive: bool,
+}
+
+impl Control {
+    /// A filled-dot (`|1⟩`) control.
+    pub const fn pos(qubit: usize) -> Self {
+        Control { qubit, positive: true }
+    }
+
+    /// A hollow-dot (`|0⟩`) control.
+    pub const fn neg(qubit: usize) -> Self {
+        Control { qubit, positive: false }
+    }
+
+    /// Whether the control is satisfied by the given basis state.
+    #[inline]
+    pub fn satisfied_by(self, basis: u128) -> bool {
+        ((basis >> self.qubit) & 1 == 1) == self.positive
+    }
+}
+
+/// A quantum gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Pauli-X (NOT) on one qubit.
+    X(usize),
+    /// Hadamard on one qubit.
+    H(usize),
+    /// Pauli-Z on one qubit.
+    Z(usize),
+    /// Phase gate `diag(1, e^{iθ})` on one qubit.
+    Phase(usize, f64),
+    /// Y-rotation `Ry(θ) = [[cos(θ/2), -sin(θ/2)], [sin(θ/2), cos(θ/2)]]`
+    /// on one qubit. Used by the quantum-counting (phase estimation)
+    /// module to realize Grover-operator rotations.
+    Ry(usize, f64),
+    /// Controlled phase: multiplies the amplitude by `e^{iθ}` when both
+    /// qubits are `|1⟩`. Symmetric in its qubits; used by the inverse QFT.
+    CPhase(usize, usize, f64),
+    /// Multi-controlled X: flips `target` when every control is satisfied.
+    /// With zero controls this is a plain X; with one it is CNOT; with two
+    /// a Toffoli (the paper's C²NOT); in general a CᵏNOT.
+    Mcx {
+        /// Control conditions (any polarity).
+        controls: Vec<Control>,
+        /// The target qubit.
+        target: usize,
+    },
+    /// Multi-controlled Z: multiplies the amplitude by -1 when the target
+    /// is `|1⟩` and every control is satisfied. Symmetric in all qubits.
+    Mcz {
+        /// Control conditions (any polarity).
+        controls: Vec<Control>,
+        /// The target qubit.
+        target: usize,
+    },
+}
+
+impl Gate {
+    /// Convenience constructor: CNOT.
+    pub fn cnot(control: usize, target: usize) -> Gate {
+        Gate::Mcx { controls: vec![Control::pos(control)], target }
+    }
+
+    /// Convenience constructor: Toffoli (C²NOT).
+    pub fn ccnot(c1: usize, c2: usize, target: usize) -> Gate {
+        Gate::Mcx { controls: vec![Control::pos(c1), Control::pos(c2)], target }
+    }
+
+    /// Convenience constructor: CᵏNOT with all-positive controls.
+    pub fn mcx_pos<I: IntoIterator<Item = usize>>(controls: I, target: usize) -> Gate {
+        Gate::Mcx {
+            controls: controls.into_iter().map(Control::pos).collect(),
+            target,
+        }
+    }
+
+    /// All qubits touched by the gate (controls then target).
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Gate::X(q) | Gate::H(q) | Gate::Z(q) | Gate::Phase(q, _) | Gate::Ry(q, _) => vec![*q],
+            Gate::CPhase(a, b, _) => vec![*a, *b],
+            Gate::Mcx { controls, target } | Gate::Mcz { controls, target } => {
+                let mut qs: Vec<usize> = controls.iter().map(|c| c.qubit).collect();
+                qs.push(*target);
+                qs
+            }
+        }
+    }
+
+    /// Number of control qubits (0 for single-qubit gates).
+    pub fn control_count(&self) -> usize {
+        match self {
+            Gate::Mcx { controls, .. } | Gate::Mcz { controls, .. } => controls.len(),
+            _ => 0,
+        }
+    }
+
+    /// The inverse gate. `X`, `H`, `Z`, `Mcx` and `Mcz` are self-inverse;
+    /// `Phase(θ)` inverts to `Phase(-θ)`.
+    pub fn inverse(&self) -> Gate {
+        match self {
+            Gate::Phase(q, theta) => Gate::Phase(*q, -theta),
+            Gate::Ry(q, theta) => Gate::Ry(*q, -theta),
+            Gate::CPhase(a, b, theta) => Gate::CPhase(*a, *b, -theta),
+            other => other.clone(),
+        }
+    }
+
+    /// An *elementary gate cost* model, used for the paper's runtime-share
+    /// instrumentation: 1- and 2-control gates cost 1; a CᵏNOT with `k > 2`
+    /// controls costs `2k - 3` Toffoli-equivalents (the standard ancilla
+    /// ladder decomposition).
+    pub fn elementary_cost(&self) -> usize {
+        let c = self.control_count();
+        if c <= 2 {
+            1
+        } else {
+            2 * c - 3
+        }
+    }
+
+    /// Validates the gate against a circuit width.
+    ///
+    /// # Errors
+    /// Fails if any qubit is out of range or a qubit is used twice.
+    pub fn validate(&self, width: usize) -> Result<(), SimError> {
+        let qs = self.qubits();
+        for &q in &qs {
+            if q >= width {
+                return Err(SimError::QubitOutOfRange { qubit: q, width });
+            }
+        }
+        let mut sorted = qs;
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(SimError::DuplicateQubit(w[0]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the gate is classical-reversible (a basis-state permutation):
+    /// `X` and `Mcx`. Such gates keep sparse states sparse.
+    pub fn is_permutation(&self) -> bool {
+        matches!(self, Gate::X(_) | Gate::Mcx { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_satisfaction() {
+        let c = Control::pos(2);
+        assert!(c.satisfied_by(0b100));
+        assert!(!c.satisfied_by(0b011));
+        let c = Control::neg(2);
+        assert!(!c.satisfied_by(0b100));
+        assert!(c.satisfied_by(0b011));
+    }
+
+    #[test]
+    fn constructors_and_qubits() {
+        let g = Gate::cnot(0, 1);
+        assert_eq!(g.qubits(), vec![0, 1]);
+        assert_eq!(g.control_count(), 1);
+        let g = Gate::ccnot(0, 1, 2);
+        assert_eq!(g.control_count(), 2);
+        let g = Gate::mcx_pos([0, 1, 2, 3], 4);
+        assert_eq!(g.control_count(), 4);
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+    }
+
+    #[test]
+    fn inverse_gates() {
+        assert_eq!(Gate::X(0).inverse(), Gate::X(0));
+        assert_eq!(Gate::cnot(0, 1).inverse(), Gate::cnot(0, 1));
+        assert_eq!(Gate::Phase(0, 1.5).inverse(), Gate::Phase(0, -1.5));
+    }
+
+    #[test]
+    fn elementary_cost_model() {
+        assert_eq!(Gate::X(0).elementary_cost(), 1);
+        assert_eq!(Gate::cnot(0, 1).elementary_cost(), 1);
+        assert_eq!(Gate::ccnot(0, 1, 2).elementary_cost(), 1);
+        assert_eq!(Gate::mcx_pos([0, 1, 2], 3).elementary_cost(), 3);
+        assert_eq!(Gate::mcx_pos([0, 1, 2, 3, 4], 5).elementary_cost(), 7);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Gate::X(3).validate(4).is_ok());
+        assert!(matches!(
+            Gate::X(4).validate(4),
+            Err(SimError::QubitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Gate::cnot(1, 1).validate(4),
+            Err(SimError::DuplicateQubit(1))
+        ));
+        assert!(matches!(
+            Gate::ccnot(0, 0, 2).validate(4),
+            Err(SimError::DuplicateQubit(0))
+        ));
+    }
+
+    #[test]
+    fn permutation_classification() {
+        assert!(Gate::X(0).is_permutation());
+        assert!(Gate::ccnot(0, 1, 2).is_permutation());
+        assert!(!Gate::H(0).is_permutation());
+        assert!(!Gate::Z(0).is_permutation());
+    }
+}

@@ -1,0 +1,38 @@
+//! # qmkp-qsim — a gate-based quantum circuit simulator
+//!
+//! Hand-rolled substrate standing in for the IBM Qiskit MPS simulator the
+//! paper ran qTKP/qMKP on. Two exact backends are provided:
+//!
+//! * [`state::DenseState`] — a full statevector (`2^q` amplitudes), usable
+//!   up to ~26 qubits; the ground truth for cross-checking.
+//! * [`state::SparseState`] — an amplitude map holding only nonzero basis
+//!   states. The qTKP oracle is almost entirely classical-reversible
+//!   (X / CNOT / Toffoli / multi-controlled X), so a state that starts as a
+//!   superposition over the `n` vertex qubits never exceeds `2^n` nonzero
+//!   amplitudes *regardless of how many ancilla qubits the oracle uses* —
+//!   exactly the low-entanglement structure the paper's MPS backend
+//!   exploits. This backend simulates the full 50-200 qubit oracle exactly.
+//!
+//! The circuit IR ([`circuit::Circuit`]) supports mixed-polarity
+//! multi-controlled gates (the paper's filled/hollow control dots), named
+//! qubit registers, circuit inversion (`U†`, used to uncompute oracle
+//! ancillas), section tagging (used to attribute simulation cost to the
+//! oracle's three components for Table IV), and gate statistics.
+
+pub mod circuit;
+pub mod decompose;
+pub mod complex;
+pub mod error;
+pub mod gate;
+pub mod measure;
+pub mod register;
+pub mod state;
+
+pub use circuit::{Circuit, GateStats, Section};
+pub use decompose::{lower_to_toffoli, Lowered};
+pub use complex::Complex;
+pub use error::SimError;
+pub use measure::{collapse, measure_and_collapse, measure_and_collapse_dense};
+pub use gate::{Control, Gate};
+pub use register::{QubitAllocator, Register};
+pub use state::{DenseState, QuantumState, SparseState};

@@ -1,0 +1,156 @@
+//! Projective measurement with state collapse.
+//!
+//! The sampling in [`crate::state::QuantumState::sample`] draws outcomes
+//! without disturbing the state (fine for end-of-circuit statistics, the
+//! common case in this workspace). This module provides genuine
+//! *mid-circuit measurement*: measure one qubit, collapse the state to
+//! the observed branch, renormalize — needed e.g. for repeat-until-success
+//! protocols and useful for testing simulator semantics.
+
+use crate::complex::Complex;
+use crate::state::{DenseState, QuantumState, SparseState, PRUNE_EPS};
+use rand::Rng;
+
+/// Measures qubit `q`, collapses the state, and returns the outcome bit.
+///
+/// # Panics
+/// Panics if the state has (numerically) zero norm on both branches —
+/// i.e. it was not normalized to begin with.
+pub fn measure_and_collapse<R: Rng>(state: &mut SparseState, q: usize, rng: &mut R) -> bool {
+    let mask = 1u128 << q;
+    let p1: f64 = state
+        .nonzero()
+        .iter()
+        .filter(|(b, _)| b & mask != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    let total: f64 = state.norm_sqr();
+    assert!(total > 1e-12, "state must be normalized");
+    let outcome = rng.gen::<f64>() * total < p1;
+    collapse(state, q, outcome);
+    outcome
+}
+
+/// Forces qubit `q` into the given classical value and renormalizes
+/// (post-selection).
+///
+/// # Panics
+/// Panics if the selected branch has zero probability.
+pub fn collapse(state: &mut SparseState, q: usize, value: bool) {
+    let mask = 1u128 << q;
+    let keep: Vec<(u128, Complex)> = state
+        .nonzero()
+        .into_iter()
+        .filter(|(b, _)| (b & mask != 0) == value)
+        .collect();
+    let norm: f64 = keep.iter().map(|(_, a)| a.norm_sqr()).sum();
+    assert!(norm > 1e-12, "collapsing onto a zero-probability branch");
+    let scale = 1.0 / norm.sqrt();
+    let width = state.width();
+    *state = SparseState::zero(width);
+    // Rebuild: zero() leaves amplitude 1 at |0…0⟩; clear it first by
+    // collapsing onto the kept set.
+    state.set_amplitudes(keep.into_iter().map(|(b, a)| (b, a.scale(scale))));
+}
+
+/// Dense-backend variant of [`measure_and_collapse`].
+pub fn measure_and_collapse_dense<R: Rng>(state: &mut DenseState, q: usize, rng: &mut R) -> bool {
+    let mask = 1u128 << q;
+    let p1: f64 = state
+        .nonzero()
+        .iter()
+        .filter(|(b, _)| b & mask != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    let total = state.norm_sqr();
+    assert!(total > 1e-12, "state must be normalized");
+    let outcome = rng.gen::<f64>() * total < p1;
+    let norm = if outcome { p1 } else { total - p1 };
+    assert!(norm > PRUNE_EPS, "collapsing onto a zero-probability branch");
+    let scale = 1.0 / norm.sqrt();
+    state.project(|b| (b & mask != 0) == outcome, scale);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measuring_a_basis_state_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = SparseState::from_basis(3, 0b101);
+        assert!(measure_and_collapse(&mut s, 0, &mut rng));
+        assert!(!measure_and_collapse(&mut s, 1, &mut rng));
+        assert!(measure_and_collapse(&mut s, 2, &mut rng));
+        assert!((s.probability(0b101) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measuring_bell_pair_collapses_both_qubits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ones = 0;
+        for _ in 0..200 {
+            let mut s = SparseState::zero(2);
+            s.apply(&Gate::H(0));
+            s.apply(&Gate::cnot(0, 1));
+            let m0 = measure_and_collapse(&mut s, 0, &mut rng);
+            // The partner qubit is now perfectly correlated.
+            let m1 = measure_and_collapse(&mut s, 1, &mut rng);
+            assert_eq!(m0, m1, "Bell pair must correlate");
+            ones += usize::from(m0);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+        }
+        assert!((50..150).contains(&ones), "roughly fair coin: {ones}");
+    }
+
+    #[test]
+    fn post_selection_renormalizes() {
+        let mut s = SparseState::zero(1);
+        s.apply(&Gate::Ry(0, 1.0)); // uneven superposition
+        collapse(&mut s, 0, true);
+        assert!((s.probability(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn impossible_post_selection_panics() {
+        let mut s = SparseState::from_basis(1, 0);
+        collapse(&mut s, 0, true);
+    }
+
+    #[test]
+    fn dense_collapse_matches_sparse() {
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let mut d = DenseState::zero(2).unwrap();
+        let mut s = SparseState::zero(2);
+        for st in [&mut d as &mut dyn ApplyHelper, &mut s] {
+            st.apply_h(0);
+            st.apply_cnot(0, 1);
+        }
+        let md = measure_and_collapse_dense(&mut d, 0, &mut rng1);
+        let ms = measure_and_collapse(&mut s, 0, &mut rng2);
+        assert_eq!(md, ms, "same seed, same outcome");
+        for b in 0..4u128 {
+            assert!((d.probability(b) - s.probability(b)).abs() < 1e-9);
+        }
+    }
+
+    /// Minimal helper so the test can drive both backends uniformly.
+    trait ApplyHelper {
+        fn apply_h(&mut self, q: usize);
+        fn apply_cnot(&mut self, c: usize, t: usize);
+    }
+    impl<T: QuantumState> ApplyHelper for T {
+        fn apply_h(&mut self, q: usize) {
+            self.apply(&Gate::H(q));
+        }
+        fn apply_cnot(&mut self, c: usize, t: usize) {
+            self.apply(&Gate::cnot(c, t));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Named qubit registers and a linear allocator.
+//!
+//! The paper's circuits juggle many ancilla groups — vertex qubits, edge
+//! qubits, per-vertex degree counters `|c_i⟩`, comparison flags `|d_i⟩`,
+//! adder scratch, the `|cplex⟩`, `|size⟩` and oracle qubits. A
+//! [`QubitAllocator`] hands out contiguous [`Register`]s so oracle builders
+//! can name their wires instead of arithmetic on raw indices.
+
+/// A contiguous block of qubits `[start, start + len)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    /// Human-readable name (used in debug output).
+    pub name: String,
+    /// First qubit index.
+    pub start: usize,
+    /// Number of qubits.
+    pub len: usize,
+}
+
+impl Register {
+    /// The `i`-th qubit of the register.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn qubit(&self, i: usize) -> usize {
+        assert!(i < self.len, "register {} has {} qubits, asked for {i}", self.name, self.len);
+        self.start + i
+    }
+
+    /// Iterates over the register's qubit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.start..self.start + self.len
+    }
+
+    /// All qubit indices as a vector.
+    pub fn qubits(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Whether the register is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Extracts the register's value from a basis state, interpreting the
+    /// register's qubit `i` as bit `i` (LSB first).
+    #[inline]
+    pub fn extract(&self, basis: u128) -> u128 {
+        if self.len == 0 {
+            return 0;
+        }
+        let mask = if self.len >= 128 { u128::MAX } else { (1u128 << self.len) - 1 };
+        (basis >> self.start) & mask
+    }
+}
+
+/// Allocates consecutive registers from qubit 0 upward.
+#[derive(Debug, Default)]
+pub struct QubitAllocator {
+    next: usize,
+}
+
+impl QubitAllocator {
+    /// New allocator starting at qubit 0.
+    pub fn new() -> Self {
+        QubitAllocator { next: 0 }
+    }
+
+    /// Allocates a register of `len` qubits.
+    pub fn alloc(&mut self, name: &str, len: usize) -> Register {
+        let reg = Register { name: name.to_string(), start: self.next, len };
+        self.next += len;
+        reg
+    }
+
+    /// Allocates a single qubit, returned as its index.
+    pub fn alloc_one(&mut self, name: &str) -> usize {
+        self.alloc(name, 1).start
+    }
+
+    /// Total number of qubits allocated so far (the circuit width).
+    pub fn width(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_contiguous() {
+        let mut a = QubitAllocator::new();
+        let v = a.alloc("v", 6);
+        let e = a.alloc("e", 8);
+        let o = a.alloc_one("O");
+        assert_eq!((v.start, v.len), (0, 6));
+        assert_eq!((e.start, e.len), (6, 8));
+        assert_eq!(o, 14);
+        assert_eq!(a.width(), 15);
+    }
+
+    #[test]
+    fn register_indexing_and_iteration() {
+        let r = Register { name: "c".into(), start: 3, len: 4 };
+        assert_eq!(r.qubit(0), 3);
+        assert_eq!(r.qubit(3), 6);
+        assert_eq!(r.qubits(), vec![3, 4, 5, 6]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "has 4 qubits")]
+    fn register_index_out_of_range_panics() {
+        let r = Register { name: "c".into(), start: 3, len: 4 };
+        let _ = r.qubit(4);
+    }
+
+    #[test]
+    fn extract_register_value() {
+        let r = Register { name: "c".into(), start: 2, len: 3 };
+        // basis = …10110 ⇒ bits 2..5 are 101 ⇒ value 5
+        assert_eq!(r.extract(0b10110), 0b101);
+        let empty = Register { name: "z".into(), start: 0, len: 0 };
+        assert_eq!(empty.extract(u128::MAX), 0);
+    }
+}

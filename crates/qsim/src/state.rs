@@ -1,0 +1,672 @@
+//! Quantum state backends: dense statevector and sparse amplitude map.
+
+use crate::circuit::Circuit;
+use crate::complex::Complex;
+use crate::error::SimError;
+use crate::gate::Gate;
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap};
+
+/// Amplitudes below this magnitude are dropped by the sparse backend after
+/// non-permutation gates, keeping the representation tight without
+/// affecting measurement statistics.
+pub const PRUNE_EPS: f64 = 1e-14;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Common interface of the simulation backends.
+///
+/// Basis states are `u128` bit strings where bit `i` is qubit `i`
+/// (LSB = qubit 0), matching the `VertexSet` encoding in `qmkp-graph`.
+pub trait QuantumState {
+    /// Number of qubits.
+    fn width(&self) -> usize;
+
+    /// Applies a single gate (assumed already validated for this width).
+    fn apply(&mut self, gate: &Gate);
+
+    /// The amplitude of a basis state.
+    fn amplitude(&self, basis: u128) -> Complex;
+
+    /// All nonzero `(basis, amplitude)` pairs, sorted by basis state.
+    fn nonzero(&self) -> Vec<(u128, Complex)>;
+
+    /// Runs a whole circuit.
+    ///
+    /// # Errors
+    /// Fails if the circuit width does not match the state width.
+    fn run(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.width() != self.width() {
+            return Err(SimError::WidthMismatch {
+                expected: self.width(),
+                actual: circuit.width(),
+            });
+        }
+        for g in circuit.gates() {
+            self.apply(g);
+        }
+        Ok(())
+    }
+
+    /// The measurement probability of a basis state.
+    fn probability(&self, basis: u128) -> f64 {
+        self.amplitude(basis).norm_sqr()
+    }
+
+    /// Total norm² (should stay 1 up to numerical error).
+    fn norm_sqr(&self) -> f64 {
+        self.nonzero().iter().map(|(_, a)| a.norm_sqr()).sum()
+    }
+
+    /// Marginal probability distribution over a subset of qubits: returns a
+    /// map from the subset's bit pattern (bit `i` of the key = `qubits[i]`)
+    /// to probability.
+    fn marginal(&self, qubits: &[usize]) -> BTreeMap<u128, f64> {
+        let mut out = BTreeMap::new();
+        for (basis, amp) in self.nonzero() {
+            let mut key = 0u128;
+            for (i, &q) in qubits.iter().enumerate() {
+                if (basis >> q) & 1 == 1 {
+                    key |= 1 << i;
+                }
+            }
+            *out.entry(key).or_insert(0.0) += amp.norm_sqr();
+        }
+        out
+    }
+
+    /// Samples `shots` measurement outcomes of the given qubits, returning
+    /// outcome → count. Outcome keys are encoded as in
+    /// [`QuantumState::marginal`].
+    fn sample<R: Rng>(&self, rng: &mut R, shots: usize, qubits: &[usize]) -> BTreeMap<u128, usize>
+    where
+        Self: Sized,
+    {
+        let marg: Vec<(u128, f64)> = self.marginal(qubits).into_iter().collect();
+        let total: f64 = marg.iter().map(|(_, p)| p).sum();
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let mut x: f64 = rng.gen::<f64>() * total;
+            let mut chosen = marg.last().map(|(k, _)| *k).unwrap_or(0);
+            for &(k, p) in &marg {
+                if x < p {
+                    chosen = k;
+                    break;
+                }
+                x -= p;
+            }
+            *counts.entry(chosen).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense backend
+// ---------------------------------------------------------------------------
+
+/// Maximum width of the dense backend (`2^26` amplitudes ≈ 1 GiB).
+pub const MAX_DENSE_QUBITS: usize = 26;
+
+/// Full statevector backend: `2^width` complex amplitudes.
+#[derive(Debug, Clone)]
+pub struct DenseState {
+    width: usize,
+    amps: Vec<Complex>,
+}
+
+impl DenseState {
+    /// `|basis⟩` over `width` qubits.
+    ///
+    /// # Errors
+    /// Fails if `width > 26`.
+    pub fn from_basis(width: usize, basis: u128) -> Result<Self, SimError> {
+        if width > MAX_DENSE_QUBITS {
+            return Err(SimError::TooManyQubitsForDense { requested: width, max: MAX_DENSE_QUBITS });
+        }
+        let mut amps = vec![Complex::ZERO; 1usize << width];
+        amps[basis as usize] = Complex::ONE;
+        Ok(DenseState { width, amps })
+    }
+
+    /// `|0…0⟩` over `width` qubits.
+    ///
+    /// # Errors
+    /// Fails if `width > 26`.
+    pub fn zero(width: usize) -> Result<Self, SimError> {
+        Self::from_basis(width, 0)
+    }
+
+    /// Direct read-only access to the amplitude vector.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Zeroes every basis state for which `keep` is false and scales the
+    /// survivors (used by measurement collapse).
+    pub fn project(&mut self, keep: impl Fn(u128) -> bool, scale: f64) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if keep(i as u128) {
+                *a = a.scale(scale);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+    }
+}
+
+impl QuantumState for DenseState {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn amplitude(&self, basis: u128) -> Complex {
+        self.amps.get(basis as usize).copied().unwrap_or(Complex::ZERO)
+    }
+
+    fn nonzero(&self) -> Vec<(u128, Complex)> {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
+            .map(|(i, a)| (i as u128, *a))
+            .collect()
+    }
+
+    fn apply(&mut self, gate: &Gate) {
+        match gate {
+            Gate::X(q) => {
+                let m = 1usize << q;
+                for i in 0..self.amps.len() {
+                    if i & m == 0 {
+                        self.amps.swap(i, i | m);
+                    }
+                }
+            }
+            Gate::H(q) => {
+                let m = 1usize << q;
+                for i in 0..self.amps.len() {
+                    if i & m == 0 {
+                        let a = self.amps[i];
+                        let b = self.amps[i | m];
+                        self.amps[i] = (a + b).scale(FRAC_1_SQRT_2);
+                        self.amps[i | m] = (a - b).scale(FRAC_1_SQRT_2);
+                    }
+                }
+            }
+            Gate::Z(q) => {
+                let m = 1usize << q;
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & m != 0 {
+                        *a = -*a;
+                    }
+                }
+            }
+            Gate::Phase(q, theta) => {
+                let m = 1usize << q;
+                let ph = Complex::from_phase(*theta);
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & m != 0 {
+                        *a *= ph;
+                    }
+                }
+            }
+            Gate::Ry(q, theta) => {
+                let m = 1usize << q;
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                for i in 0..self.amps.len() {
+                    if i & m == 0 {
+                        let a = self.amps[i];
+                        let b = self.amps[i | m];
+                        self.amps[i] = a.scale(c) - b.scale(s);
+                        self.amps[i | m] = a.scale(s) + b.scale(c);
+                    }
+                }
+            }
+            Gate::CPhase(p, q, theta) => {
+                let m = (1usize << p) | (1usize << q);
+                let ph = Complex::from_phase(*theta);
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & m == m {
+                        *a *= ph;
+                    }
+                }
+            }
+            Gate::Mcx { controls, target } => {
+                let m = 1usize << target;
+                for i in 0..self.amps.len() {
+                    if i & m == 0 && controls.iter().all(|c| c.satisfied_by(i as u128)) {
+                        self.amps.swap(i, i | m);
+                    }
+                }
+            }
+            Gate::Mcz { controls, target } => {
+                let m = 1usize << target;
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & m != 0 && controls.iter().all(|c| c.satisfied_by(i as u128)) {
+                        *a = -*a;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse backend
+// ---------------------------------------------------------------------------
+
+/// Sparse amplitude-map backend: only nonzero basis states are stored.
+///
+/// Suited to circuits that are mostly basis-state permutations (X / MCX):
+/// the qTKP oracle over 50-200 qubits keeps at most `2^n` nonzero
+/// amplitudes, where `n` is the number of vertex qubits ever touched by a
+/// Hadamard.
+#[derive(Debug, Clone)]
+pub struct SparseState {
+    width: usize,
+    amps: HashMap<u128, Complex>,
+}
+
+impl SparseState {
+    /// `|basis⟩` over `width` qubits (any width up to 128).
+    pub fn from_basis(width: usize, basis: u128) -> Self {
+        assert!(width <= 128, "at most 128 qubits are supported");
+        let mut amps = HashMap::new();
+        amps.insert(basis, Complex::ONE);
+        SparseState { width, amps }
+    }
+
+    /// `|0…0⟩` over `width` qubits.
+    pub fn zero(width: usize) -> Self {
+        Self::from_basis(width, 0)
+    }
+
+    /// Number of nonzero amplitudes currently stored.
+    pub fn support_size(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Drops amplitudes with magnitude below `eps`.
+    pub fn prune(&mut self, eps: f64) {
+        self.amps.retain(|_, a| !a.is_negligible(eps));
+    }
+
+    /// Replaces the state's amplitudes wholesale (used by measurement
+    /// collapse; the caller is responsible for normalization).
+    pub fn set_amplitudes<I: IntoIterator<Item = (u128, Complex)>>(&mut self, amps: I) {
+        self.amps = amps.into_iter().collect();
+    }
+}
+
+impl QuantumState for SparseState {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn amplitude(&self, basis: u128) -> Complex {
+        self.amps.get(&basis).copied().unwrap_or(Complex::ZERO)
+    }
+
+    fn nonzero(&self) -> Vec<(u128, Complex)> {
+        let mut v: Vec<(u128, Complex)> = self
+            .amps
+            .iter()
+            .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
+            .map(|(&b, &a)| (b, a))
+            .collect();
+        v.sort_unstable_by_key(|&(b, _)| b);
+        v
+    }
+
+    fn apply(&mut self, gate: &Gate) {
+        match gate {
+            Gate::X(q) => {
+                let m = 1u128 << q;
+                self.amps = self.amps.drain().map(|(b, a)| (b ^ m, a)).collect();
+            }
+            Gate::Mcx { controls, target } => {
+                let m = 1u128 << target;
+                self.amps = self
+                    .amps
+                    .drain()
+                    .map(|(b, a)| {
+                        if controls.iter().all(|c| c.satisfied_by(b)) {
+                            (b ^ m, a)
+                        } else {
+                            (b, a)
+                        }
+                    })
+                    .collect();
+            }
+            Gate::Z(q) => {
+                let m = 1u128 << q;
+                for (b, a) in self.amps.iter_mut() {
+                    if b & m != 0 {
+                        *a = -*a;
+                    }
+                }
+            }
+            Gate::Phase(q, theta) => {
+                let m = 1u128 << q;
+                let ph = Complex::from_phase(*theta);
+                for (b, a) in self.amps.iter_mut() {
+                    if b & m != 0 {
+                        *a *= ph;
+                    }
+                }
+            }
+            Gate::Mcz { controls, target } => {
+                let m = 1u128 << target;
+                for (b, a) in self.amps.iter_mut() {
+                    if b & m != 0 && controls.iter().all(|c| c.satisfied_by(*b)) {
+                        *a = -*a;
+                    }
+                }
+            }
+            Gate::Ry(q, theta) => {
+                let m = 1u128 << q;
+                let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                let mut next: HashMap<u128, Complex> =
+                    HashMap::with_capacity(self.amps.len() * 2);
+                for (&b, &a) in self.amps.iter() {
+                    if b & m == 0 {
+                        *next.entry(b).or_insert(Complex::ZERO) += a.scale(c);
+                        *next.entry(b | m).or_insert(Complex::ZERO) += a.scale(sn);
+                    } else {
+                        *next.entry(b & !m).or_insert(Complex::ZERO) -= a.scale(sn);
+                        *next.entry(b).or_insert(Complex::ZERO) += a.scale(c);
+                    }
+                }
+                next.retain(|_, a| !a.is_negligible(PRUNE_EPS));
+                self.amps = next;
+            }
+            Gate::CPhase(p, q, theta) => {
+                let m = (1u128 << p) | (1u128 << q);
+                let ph = Complex::from_phase(*theta);
+                for (b, a) in self.amps.iter_mut() {
+                    if b & m == m {
+                        *a *= ph;
+                    }
+                }
+            }
+            Gate::H(q) => {
+                let m = 1u128 << q;
+                let mut next: HashMap<u128, Complex> =
+                    HashMap::with_capacity(self.amps.len() * 2);
+                for (&b, &a) in self.amps.iter() {
+                    let half = a.scale(FRAC_1_SQRT_2);
+                    if b & m == 0 {
+                        // H|0⟩ = (|0⟩ + |1⟩)/√2
+                        *next.entry(b).or_insert(Complex::ZERO) += half;
+                        *next.entry(b | m).or_insert(Complex::ZERO) += half;
+                    } else {
+                        // H|1⟩ = (|0⟩ - |1⟩)/√2
+                        *next.entry(b & !m).or_insert(Complex::ZERO) += half;
+                        *next.entry(b).or_insert(Complex::ZERO) -= half;
+                    }
+                }
+                next.retain(|_, a| !a.is_negligible(PRUNE_EPS));
+                self.amps = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Control;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-10;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < EPS, "{a} != {b}");
+    }
+
+    #[test]
+    fn basis_state_construction() {
+        let d = DenseState::from_basis(3, 0b101).unwrap();
+        assert_close(d.probability(0b101), 1.0);
+        assert_close(d.probability(0b100), 0.0);
+        let s = SparseState::from_basis(100, 1u128 << 99);
+        assert_close(s.probability(1u128 << 99), 1.0);
+        assert_eq!(s.support_size(), 1);
+    }
+
+    #[test]
+    fn dense_rejects_large_widths() {
+        assert!(matches!(
+            DenseState::zero(27),
+            Err(SimError::TooManyQubitsForDense { .. })
+        ));
+    }
+
+    #[test]
+    fn x_gate_flips() {
+        for_both_backends(1, |st| {
+            st.apply_gate(&Gate::X(0));
+            assert_close(st.prob(1), 1.0);
+        });
+    }
+
+    #[test]
+    fn h_gate_makes_superposition_and_is_self_inverse() {
+        for_both_backends(1, |st| {
+            st.apply_gate(&Gate::H(0));
+            assert_close(st.prob(0), 0.5);
+            assert_close(st.prob(1), 0.5);
+            st.apply_gate(&Gate::H(0));
+            assert_close(st.prob(0), 1.0);
+        });
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        for_both_backends(1, |st| {
+            st.apply_gate(&Gate::H(0));
+            st.apply_gate(&Gate::Z(0));
+            st.apply_gate(&Gate::H(0));
+            assert_close(st.prob(1), 1.0);
+        });
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        for target_in in 0..2u128 {
+            for control_in in 0..2u128 {
+                let basis = control_in | (target_in << 1);
+                let mut d = DenseState::from_basis(2, basis).unwrap();
+                d.apply(&Gate::cnot(0, 1));
+                let expected = if control_in == 1 { basis ^ 0b10 } else { basis };
+                assert_close(d.probability(expected), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for b in 0..8u128 {
+            let mut d = DenseState::from_basis(3, b).unwrap();
+            let mut s = SparseState::from_basis(3, b);
+            let g = Gate::ccnot(0, 1, 2);
+            d.apply(&g);
+            s.apply(&g);
+            let expected = if b & 0b11 == 0b11 { b ^ 0b100 } else { b };
+            assert_close(d.probability(expected), 1.0);
+            assert_close(s.probability(expected), 1.0);
+        }
+    }
+
+    #[test]
+    fn negative_controls() {
+        // Flip target iff qubit0 = 0.
+        let g = Gate::Mcx { controls: vec![Control::neg(0)], target: 1 };
+        let mut d = DenseState::from_basis(2, 0b00).unwrap();
+        d.apply(&g);
+        assert_close(d.probability(0b10), 1.0);
+        let mut d = DenseState::from_basis(2, 0b01).unwrap();
+        d.apply(&g);
+        assert_close(d.probability(0b01), 1.0);
+    }
+
+    #[test]
+    fn mcz_phases_only_the_selected_state() {
+        for_both_backends(2, |st| {
+            st.apply_gate(&Gate::H(0));
+            st.apply_gate(&Gate::H(1));
+            st.apply_gate(&Gate::Mcz { controls: vec![Control::pos(0)], target: 1 });
+            // |11⟩ picks up a −1 phase; probabilities unchanged.
+            assert_close(st.prob(0b11), 0.25);
+            assert!(st.amp(0b11).re < 0.0);
+            assert!(st.amp(0b00).re > 0.0);
+        });
+    }
+
+    #[test]
+    fn phase_gate() {
+        for_both_backends(1, |st| {
+            st.apply_gate(&Gate::H(0));
+            st.apply_gate(&Gate::Phase(0, std::f64::consts::PI));
+            st.apply_gate(&Gate::H(0));
+            // HP(π)H = HZH = X
+            assert_close(st.prob(1), 1.0);
+        });
+    }
+
+    /// Runs a closure against both backends initialized to |0…0⟩.
+    fn for_both_backends(width: usize, f: impl Fn(&mut dyn DynState)) {
+        let mut d = DenseState::zero(width).unwrap();
+        f(&mut d);
+        let mut s = SparseState::zero(width);
+        f(&mut s);
+    }
+
+    /// Object-safe subset of `QuantumState` used by the test helper.
+    /// Method names are distinct from the trait's to avoid ambiguity with
+    /// the blanket impl below.
+    trait DynState {
+        fn apply_gate(&mut self, gate: &Gate);
+        fn prob(&self, basis: u128) -> f64;
+        fn amp(&self, basis: u128) -> Complex;
+    }
+
+    impl<T: QuantumState> DynState for T {
+        fn apply_gate(&mut self, gate: &Gate) {
+            QuantumState::apply(self, gate)
+        }
+        fn prob(&self, basis: u128) -> f64 {
+            QuantumState::probability(self, basis)
+        }
+        fn amp(&self, basis: u128) -> Complex {
+            QuantumState::amplitude(self, basis)
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_random_circuits() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..20 {
+            let width = rng.gen_range(2..7);
+            let mut circ = Circuit::new(width);
+            for _ in 0..30 {
+                let q = rng.gen_range(0..width);
+                let gate = match rng.gen_range(0..6) {
+                    0 => Gate::X(q),
+                    1 => Gate::H(q),
+                    2 => Gate::Z(q),
+                    3 => Gate::Phase(q, rng.gen_range(-3.0..3.0)),
+                    4 => {
+                        let t = (q + 1) % width;
+                        Gate::Mcx { controls: vec![Control { qubit: q, positive: rng.gen() }], target: t }
+                    }
+                    _ => {
+                        let t = (q + 1) % width;
+                        Gate::Mcz { controls: vec![Control { qubit: q, positive: rng.gen() }], target: t }
+                    }
+                };
+                circ.push(gate).unwrap();
+            }
+            let mut d = DenseState::zero(width).unwrap();
+            let mut s = SparseState::zero(width);
+            d.run(&circ).unwrap();
+            s.run(&circ).unwrap();
+            for b in 0..(1u128 << width) {
+                let da = d.amplitude(b);
+                let sa = s.amplitude(b);
+                assert!(
+                    (da - sa).norm() < 1e-9,
+                    "width={width} basis={b:b}: dense {da} vs sparse {sa}"
+                );
+            }
+            assert_close(d.norm_sqr(), 1.0);
+            assert_close(s.norm_sqr(), 1.0);
+        }
+    }
+
+    #[test]
+    fn run_checks_width() {
+        let circ = Circuit::new(3);
+        let mut d = DenseState::zero(2).unwrap();
+        assert!(matches!(d.run(&circ), Err(SimError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn marginal_distribution() {
+        // Bell state on qubits 0, 1 of a 3-qubit register.
+        let mut s = SparseState::zero(3);
+        s.apply(&Gate::H(0));
+        s.apply(&Gate::cnot(0, 1));
+        let m = s.marginal(&[0, 1]);
+        assert_close(m[&0b00], 0.5);
+        assert_close(m[&0b11], 0.5);
+        assert!(!m.contains_key(&0b01));
+        // Marginal over just qubit 1.
+        let m1 = s.marginal(&[1]);
+        assert_close(m1[&0], 0.5);
+        assert_close(m1[&1], 0.5);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut s = SparseState::zero(2);
+        s.apply(&Gate::H(0));
+        s.apply(&Gate::cnot(0, 1));
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = s.sample(&mut rng, 10_000, &[0, 1]);
+        let c00 = *counts.get(&0b00).unwrap_or(&0);
+        let c11 = *counts.get(&0b11).unwrap_or(&0);
+        assert_eq!(c00 + c11, 10_000, "only Bell outcomes should appear");
+        assert!((c00 as f64 - 5_000.0).abs() < 300.0, "c00={c00}");
+    }
+
+    #[test]
+    fn sparse_support_stays_bounded_under_permutation_gates() {
+        let mut s = SparseState::zero(60);
+        for q in 0..4 {
+            s.apply(&Gate::H(q));
+        }
+        assert_eq!(s.support_size(), 16);
+        // A long chain of Toffolis into high ancilla qubits must not grow
+        // the support.
+        for q in 4..60 {
+            s.apply(&Gate::ccnot(0, 1, q));
+            s.apply(&Gate::cnot(2, q));
+        }
+        assert_eq!(s.support_size(), 16);
+        assert_close(s.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn prune_drops_tiny_amplitudes() {
+        let mut s = SparseState::zero(1);
+        s.apply(&Gate::H(0));
+        s.apply(&Gate::H(0));
+        // |1⟩ amplitude is exactly 0 up to rounding; prune removes it.
+        s.prune(1e-12);
+        assert_eq!(s.support_size(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # qmkp-qubo — QUBO formulation of the Maximum k-Plex Problem
+//!
+//! Section IV of the paper: the quadratic unconstrained binary optimization
+//! reformulation behind the annealing-based qaMKP algorithm.
+//!
+//! * [`model`] — a general sparse QUBO model (`F = offset + Σ c_i x_i +
+//!   Σ q_{ij} x_i x_j`) with energy evaluation.
+//! * [`ising`] — the QUBO ↔ Ising conversion used by hardware-graph
+//!   samplers (chain couplings are ferromagnetic Ising terms).
+//! * [`mkp`] — the paper's Equation 12 builder: vertex variables `x_i`,
+//!   per-vertex slack bits `s_{i,r}` with the paper's parameter choices
+//!   `M_i = d_Ḡ(v_i) − k + 1` (clamped at 0) and slack width
+//!   `L_i = ⌈log₂(max{d_Ḡ(v_i), k−1} + 1)⌉`, penalty weight `R > 1`,
+//!   plus decoding and feasibility repair.
+//!
+//! Note on `L`: the paper prints `L = ⌈log₂ max{d_Ḡ(v_i), k−1}⌉`, which
+//! under-allocates one bit when the maximum slack value is an exact power
+//! of two (2 bits cannot represent the value 4). We use the corrected
+//! width `⌈log₂(max + 1)⌉`; DESIGN.md records the deviation.
+
+pub mod ising;
+pub mod mkp;
+pub mod model;
+pub mod presolve;
+
+pub use ising::IsingModel;
+pub use mkp::{MkpQubo, MkpQuboParams};
+pub use model::QuboModel;
+pub use presolve::{presolve, reduce_model, Presolve};

@@ -1,0 +1,271 @@
+//! A general sparse QUBO model.
+//!
+//! `F(x) = offset + Σ_i linear[i]·x_i + Σ_{i<j} quadratic[(i,j)]·x_i·x_j`
+//! over binary variables `x ∈ {0,1}^n`. All builders in this workspace
+//! (the MKP formulation, chain-embedded problems) produce this type, and
+//! all samplers (SA, SQA, hybrid, the MILP branch & bound) consume it.
+
+use std::collections::BTreeMap;
+
+/// A sparse QUBO: minimize `offset + Σ c_i x_i + Σ_{i<j} q_ij x_i x_j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuboModel {
+    offset: f64,
+    linear: Vec<f64>,
+    // Keyed (i, j) with i < j; BTreeMap keeps iteration deterministic.
+    quadratic: BTreeMap<(usize, usize), f64>,
+}
+
+impl QuboModel {
+    /// A zero objective over `n` variables.
+    pub fn new(n: usize) -> Self {
+        QuboModel { offset: 0.0, linear: vec![0.0; n], quadratic: BTreeMap::new() }
+    }
+
+    /// Number of binary variables.
+    pub fn num_vars(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Number of nonzero quadratic interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.quadratic.len()
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Adds to the constant offset.
+    pub fn add_offset(&mut self, c: f64) {
+        self.offset += c;
+    }
+
+    /// The linear coefficient of variable `i`.
+    pub fn linear(&self, i: usize) -> f64 {
+        self.linear[i]
+    }
+
+    /// All linear coefficients.
+    pub fn linear_terms(&self) -> &[f64] {
+        &self.linear
+    }
+
+    /// Adds to the linear coefficient of variable `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn add_linear(&mut self, i: usize, c: f64) {
+        self.linear[i] += c;
+    }
+
+    /// The quadratic coefficient of the pair `{i, j}` (0 if absent).
+    pub fn quadratic(&self, i: usize, j: usize) -> f64 {
+        let key = (i.min(j), i.max(j));
+        self.quadratic.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Adds to the quadratic coefficient of the pair `{i, j}`. A
+    /// diagonal pair (`i == j`) folds into the linear term (`x² = x` for
+    /// binaries).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn add_quadratic(&mut self, i: usize, j: usize, c: f64) {
+        assert!(i < self.num_vars() && j < self.num_vars(), "variable out of range");
+        if i == j {
+            self.linear[i] += c;
+        } else {
+            let key = (i.min(j), i.max(j));
+            let entry = self.quadratic.entry(key).or_insert(0.0);
+            *entry += c;
+            if *entry == 0.0 {
+                self.quadratic.remove(&key);
+            }
+        }
+    }
+
+    /// Iterates over the nonzero quadratic terms `((i, j), q)` with `i < j`,
+    /// in deterministic order.
+    pub fn interactions(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.quadratic.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Evaluates the objective on an assignment given as a bit mask
+    /// (bit `i` = `x_i`).
+    pub fn energy_bits(&self, bits: u128) -> f64 {
+        debug_assert!(self.num_vars() <= 128);
+        let mut e = self.offset;
+        for (i, &c) in self.linear.iter().enumerate() {
+            if (bits >> i) & 1 == 1 {
+                e += c;
+            }
+        }
+        for (&(i, j), &q) in &self.quadratic {
+            if (bits >> i) & 1 == 1 && (bits >> j) & 1 == 1 {
+                e += q;
+            }
+        }
+        e
+    }
+
+    /// Evaluates the objective on a boolean slice.
+    ///
+    /// # Panics
+    /// Panics if the slice length differs from the variable count.
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "assignment length mismatch");
+        let mut e = self.offset;
+        for (i, &c) in self.linear.iter().enumerate() {
+            if x[i] {
+                e += c;
+            }
+        }
+        for (&(i, j), &q) in &self.quadratic {
+            if x[i] && x[j] {
+                e += q;
+            }
+        }
+        e
+    }
+
+    /// The energy change from flipping variable `i` of assignment `x`
+    /// (computed incrementally, `O(degree of i)`). Requires the adjacency
+    /// prepared by [`QuboModel::neighbor_lists`] for hot loops; this
+    /// convenience form scans all interactions.
+    pub fn flip_delta(&self, x: &[bool], i: usize) -> f64 {
+        let sign = if x[i] { -1.0 } else { 1.0 };
+        let mut delta = sign * self.linear[i];
+        for (&(a, b), &q) in &self.quadratic {
+            if a == i && x[b] {
+                delta += sign * q;
+            } else if b == i && x[a] {
+                delta += sign * q;
+            }
+        }
+        delta
+    }
+
+    /// Per-variable neighbour lists `(other, coefficient)` for incremental
+    /// energy updates in samplers.
+    pub fn neighbor_lists(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); self.num_vars()];
+        for (&(i, j), &q) in &self.quadratic {
+            adj[i].push((j, q));
+            adj[j].push((i, q));
+        }
+        adj
+    }
+
+    /// Exhaustively minimizes the objective (for tests / tiny models).
+    ///
+    /// Returns `(argmin bits, min energy)`.
+    ///
+    /// # Panics
+    /// Panics if the model has more than 24 variables.
+    pub fn brute_force_min(&self) -> (u128, f64) {
+        let n = self.num_vars();
+        assert!(n <= 24, "brute force limited to 24 variables");
+        let mut best = (0u128, f64::INFINITY);
+        for bits in 0..(1u128 << n) {
+            let e = self.energy_bits(bits);
+            if e < best.1 {
+                best = (bits, e);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> QuboModel {
+        // F = 1 - x0 - 2 x1 + 3 x0 x1
+        let mut m = QuboModel::new(2);
+        m.add_offset(1.0);
+        m.add_linear(0, -1.0);
+        m.add_linear(1, -2.0);
+        m.add_quadratic(0, 1, 3.0);
+        m
+    }
+
+    #[test]
+    fn energy_evaluation() {
+        let m = sample_model();
+        assert_eq!(m.energy_bits(0b00), 1.0);
+        assert_eq!(m.energy_bits(0b01), 0.0);
+        assert_eq!(m.energy_bits(0b10), -1.0);
+        assert_eq!(m.energy_bits(0b11), 1.0);
+        assert_eq!(m.energy(&[true, true]), 1.0);
+        assert_eq!(m.energy(&[false, true]), -1.0);
+    }
+
+    #[test]
+    fn brute_force_finds_min() {
+        let m = sample_model();
+        let (bits, e) = m.brute_force_min();
+        assert_eq!(bits, 0b10);
+        assert_eq!(e, -1.0);
+    }
+
+    #[test]
+    fn quadratic_is_symmetric_and_cancels() {
+        let mut m = QuboModel::new(3);
+        m.add_quadratic(2, 0, 1.5);
+        assert_eq!(m.quadratic(0, 2), 1.5);
+        assert_eq!(m.quadratic(2, 0), 1.5);
+        m.add_quadratic(0, 2, -1.5);
+        assert_eq!(m.num_interactions(), 0, "cancelled terms are removed");
+    }
+
+    #[test]
+    fn diagonal_quadratic_folds_into_linear() {
+        let mut m = QuboModel::new(2);
+        m.add_quadratic(1, 1, 4.0);
+        assert_eq!(m.linear(1), 4.0);
+        assert_eq!(m.num_interactions(), 0);
+    }
+
+    #[test]
+    fn flip_delta_matches_full_recompute() {
+        let m = sample_model();
+        for bits in 0..4u128 {
+            let x = [(bits & 1) == 1, (bits >> 1) & 1 == 1];
+            for i in 0..2 {
+                let mut y = x;
+                y[i] = !y[i];
+                let expected = m.energy(&y) - m.energy(&x);
+                assert!((m.flip_delta(&x, i) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_cover_interactions() {
+        let mut m = QuboModel::new(4);
+        m.add_quadratic(0, 1, 1.0);
+        m.add_quadratic(1, 3, -2.0);
+        let adj = m.neighbor_lists();
+        assert_eq!(adj[0], vec![(1, 1.0)]);
+        assert_eq!(adj[1], vec![(0, 1.0), (3, -2.0)]);
+        assert!(adj[2].is_empty());
+        assert_eq!(adj[3], vec![(1, -2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_quadratic_panics() {
+        let mut m = QuboModel::new(2);
+        m.add_quadratic(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn energy_length_mismatch_panics() {
+        let m = sample_model();
+        let _ = m.energy(&[true]);
+    }
+}

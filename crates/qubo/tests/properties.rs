@@ -1,0 +1,119 @@
+//! Property-based tests of the QUBO/Ising models and the Equation-12
+//! MKP formulation.
+
+use proptest::prelude::*;
+use qmkp_graph::gen::gnm;
+use qmkp_graph::{is_kplex, VertexSet};
+use qmkp_qubo::{IsingModel, MkpQubo, MkpQuboParams, QuboModel};
+
+/// Strategy: a random QUBO over 2..=8 variables.
+fn arb_qubo() -> impl Strategy<Value = QuboModel> {
+    (2usize..=8).prop_flat_map(|n| {
+        let linear = proptest::collection::vec(-5.0f64..5.0, n);
+        let quads = proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..12);
+        (Just(n), linear, -3.0f64..3.0, quads).prop_map(|(n, linear, offset, quads)| {
+            let mut q = QuboModel::new(n);
+            q.add_offset(offset);
+            for (i, c) in linear.into_iter().enumerate() {
+                q.add_linear(i, c);
+            }
+            for (i, j, c) in quads {
+                if i != j {
+                    q.add_quadratic(i, j, c);
+                }
+            }
+            q
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn qubo_ising_equivalence(q in arb_qubo()) {
+        let ising = IsingModel::from_qubo(&q);
+        for bits in 0..(1u128 << q.num_vars()) {
+            prop_assert!((q.energy_bits(bits) - ising.energy_bits(bits)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn energy_bits_and_slice_agree(q in arb_qubo(), bits in any::<u128>()) {
+        let n = q.num_vars();
+        let bits = bits % (1u128 << n);
+        let x: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+        prop_assert!((q.energy(&x) - q.energy_bits(bits)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_delta_is_exact(q in arb_qubo(), bits in any::<u128>(), i in 0usize..8) {
+        let n = q.num_vars();
+        let i = i % n;
+        let bits = bits % (1u128 << n);
+        let x: Vec<bool> = (0..n).map(|b| (bits >> b) & 1 == 1).collect();
+        let mut y = x.clone();
+        y[i] = !y[i];
+        prop_assert!((q.flip_delta(&x, i) - (q.energy(&y) - q.energy(&x))).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mkp_qubo_minimum_is_the_maximum_kplex(
+        (n, m, seed) in (3usize..=5).prop_flat_map(|n| {
+            (Just(n), 0..=(n * (n - 1) / 2), any::<u64>())
+        }),
+        k in 1usize..=2,
+    ) {
+        let g = gnm(n, m, seed).unwrap();
+        let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
+        prop_assume!(mq.num_vars() <= 20);
+        let (bits, e) = mq.model.brute_force_min();
+        let p = mq.decode(bits);
+        prop_assert!(is_kplex(&g, p, k), "argmin decodes to a k-plex");
+        let opt = (0..(1u128 << n))
+            .map(VertexSet::from_bits)
+            .filter(|&s| is_kplex(&g, s, k))
+            .map(|s| s.len())
+            .max()
+            .unwrap();
+        prop_assert_eq!(p.len(), opt);
+        prop_assert!((e + opt as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasible_encodings_have_zero_penalty(
+        (n, m, seed) in (3usize..=7).prop_flat_map(|n| {
+            (Just(n), 0..=(n * (n - 1) / 2), any::<u64>())
+        }),
+        k in 1usize..=3,
+        bits in any::<u128>(),
+    ) {
+        let g = gnm(n, m, seed).unwrap();
+        let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
+        let candidate = VertexSet::from_bits(bits % (1u128 << n));
+        prop_assume!(is_kplex(&g, candidate, k));
+        let enc = mq.encode_feasible(candidate);
+        prop_assert!(mq.penalty(enc).abs() < 1e-9);
+        prop_assert!((mq.model.energy_bits(enc) + candidate.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_polished_is_feasible_and_no_smaller(
+        (n, m, seed) in (3usize..=8).prop_flat_map(|n| {
+            (Just(n), 0..=(n * (n - 1) / 2), any::<u64>())
+        }),
+        k in 1usize..=3,
+        bits in any::<u128>(),
+    ) {
+        let g = gnm(n, m, seed).unwrap();
+        let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
+        let raw = bits % (1u128 << mq.num_vars().min(127));
+        let repaired = mq.decode_repaired(raw);
+        let polished = mq.decode_polished(raw);
+        prop_assert!(is_kplex(&g, repaired, k));
+        prop_assert!(is_kplex(&g, polished, k));
+        prop_assert!(polished.len() >= repaired.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! k-plex mining on realistic network topologies.
+//!
+//! The paper motivates k-plexes with real-world graphs: heavy-tailed
+//! degree distributions (social hubs) and high clustering. This example
+//! generates both classic families — Barabási-Albert (preferential
+//! attachment) and Watts-Strogatz (small world) — characterizes them,
+//! and compares clique vs k-plex mining plus the annealing pipeline on
+//! them.
+//!
+//! ```sh
+//! cargo run --release --example realistic_networks
+//! ```
+
+use qmkp::annealer::{temper_qubo, TemperingConfig};
+use qmkp::classical::{max_kplex_bs, max_kplex_bs_seeded};
+use qmkp::graph::gen::{barabasi_albert, watts_strogatz};
+use qmkp::graph::reduce::greedy_lower_bound;
+use qmkp::graph::stats::{average_clustering, degree_histogram, diameter, triangle_count};
+use qmkp::graph::Graph;
+use qmkp::qubo::{MkpQubo, MkpQuboParams};
+
+fn analyze(name: &str, g: &Graph) {
+    println!("\n=== {name}: n = {}, m = {} ===", g.n(), g.m());
+    println!("  max degree        : {}", g.max_degree());
+    println!("  degree histogram  : {:?}", degree_histogram(g));
+    println!("  triangles         : {}", triangle_count(g));
+    println!("  avg clustering    : {:.3}", average_clustering(g));
+    println!("  diameter          : {:?}", diameter(g));
+
+    for k in 1..=3 {
+        let (plex, stats) = max_kplex_bs(g, k);
+        println!(
+            "  max {k}-plex        : size {} ({} branch nodes)",
+            plex.len(),
+            stats.nodes
+        );
+    }
+
+    // Annealing route on the same instance (k = 2).
+    let mq = MkpQubo::new(g, MkpQuboParams { k: 2, r: 2.0 });
+    let out = temper_qubo(&mq.model, &TemperingConfig::default());
+    let bits = out
+        .best
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b)
+        .fold(0u128, |acc, (i, _)| acc | (1 << i));
+    let plex = mq.decode_polished(bits);
+    let (exact, _) = max_kplex_bs_seeded(g, 2, greedy_lower_bound(g, 2));
+    println!(
+        "  annealed 2-plex   : size {} (exact optimum {}, {} QUBO vars)",
+        plex.len(),
+        exact.len(),
+        mq.num_vars()
+    );
+}
+
+fn main() {
+    let ba = barabasi_albert(28, 3, 11).expect("valid parameters");
+    analyze("Barabási-Albert (hub-dominated)", &ba);
+
+    let ws = watts_strogatz(28, 3, 0.15, 11).expect("valid parameters");
+    analyze("Watts-Strogatz (small world)", &ws);
+
+    println!("\nHubs make BA k-plexes grow with k much faster than WS ones —");
+    println!("the relaxation pays off exactly where real networks are noisy.");
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper plus the ablations.
+# Outputs land next to this script. Full runs take tens of minutes
+# (fig11's minor embedding dominates); set QMKP_QUICK=1 for a fast
+# smoke pass.
+set -e
+cd "$(dirname "$0")/.."
+for bin in table1_scale fig8_amplitude table2_qmkp_vs_bs table3_qmkp_k \
+           table4_oracle_share table5_annealing_time table6_penalty_r \
+           fig9_cost_runtime fig10_cost_runtime table7_qamkp_k fig11_chain \
+           ablation_reduction ablation_counting ablation_presolve \
+           ablation_samplers ablation_chain_strength; do
+  echo "=== $bin ==="
+  cargo run --release -q -p qmkp-bench --bin "$bin" | tee "experiments/$bin.txt"
+done

@@ -1,0 +1,79 @@
+//! Cross-solver agreement: every exact solver in the workspace — naive
+//! enumeration, branch & bound, BS branch-and-search, the gate-based qMKP,
+//! the QUBO brute force and the MILP branch & bound — must find maximum
+//! k-plexes of identical size, and the heuristics must never beat them.
+
+use qmkp::annealer::{anneal_qubo, hybrid_solve, sqa_qubo, HybridConfig, SaConfig, SqaConfig};
+use qmkp::classical::{grasp_kplex, max_kplex_bnb, max_kplex_bs, max_kplex_naive};
+use qmkp::core::{qmkp as run_qmkp, QmkpConfig};
+use qmkp::graph::gen::gnm;
+use qmkp::graph::is_kplex;
+use qmkp::milp::{minimize_qubo, BnbConfig};
+use qmkp::qubo::{MkpQubo, MkpQuboParams};
+use std::time::Duration;
+
+#[test]
+fn all_exact_solvers_agree_on_random_instances() {
+    for seed in 0..4 {
+        let g = gnm(8, 13, seed).unwrap();
+        for k in 1..=3 {
+            let naive = max_kplex_naive(&g, k);
+            let bnb = max_kplex_bnb(&g, k);
+            let (bs, _) = max_kplex_bs(&g, k);
+            let quantum = run_qmkp(&g, k, &QmkpConfig::default());
+            assert_eq!(naive.len(), bnb.len(), "seed={seed} k={k} (bnb)");
+            assert_eq!(naive.len(), bs.len(), "seed={seed} k={k} (bs)");
+            assert_eq!(naive.len(), quantum.best.len(), "seed={seed} k={k} (qmkp)");
+            assert!(is_kplex(&g, quantum.best, k));
+        }
+    }
+}
+
+#[test]
+fn qubo_milp_and_annealers_reach_the_same_optimum() {
+    let g = gnm(8, 16, 9).unwrap();
+    let k = 2;
+    let opt = max_kplex_naive(&g, k).len() as f64;
+    let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
+
+    // MILP branch & bound proves the optimum.
+    let milp = minimize_qubo(&mq.model, &BnbConfig::default());
+    assert!(milp.proven_optimal);
+    assert!((milp.best_energy + opt).abs() < 1e-9, "MILP energy {}", milp.best_energy);
+
+    // SA reaches it with a modest budget.
+    let sa = anneal_qubo(&mq.model, &SaConfig { shots: 300, sweeps: 25, ..SaConfig::default() });
+    assert!((sa.best_energy + opt).abs() < 1e-9, "SA energy {}", sa.best_energy);
+
+    // SQA reaches it as well.
+    let sqa = sqa_qubo(&mq.model, &SqaConfig { shots: 100, sweeps: 40, ..SqaConfig::default() });
+    assert!((sqa.best_energy + opt).abs() < 1e-9, "SQA energy {}", sqa.best_energy);
+
+    // The hybrid's contract: (near-)optimal within its minimum runtime.
+    let hy = hybrid_solve(&mq.model, &HybridConfig { min_runtime: Duration::from_millis(60), seed: 4 });
+    assert!((hy.best_energy + opt).abs() < 1e-9, "hybrid energy {}", hy.best_energy);
+}
+
+#[test]
+fn heuristics_never_exceed_the_optimum_and_stay_feasible() {
+    for seed in 0..3 {
+        let g = gnm(10, 24, seed).unwrap();
+        for k in 1..=3 {
+            let opt = max_kplex_bnb(&g, k).len();
+            let h = grasp_kplex(&g, k, 15, 0.3, seed);
+            assert!(is_kplex(&g, h, k));
+            assert!(h.len() <= opt);
+        }
+    }
+}
+
+#[test]
+fn reduction_preserves_optimality_end_to_end() {
+    for seed in 0..3 {
+        let g = gnm(9, 17, seed + 50).unwrap();
+        let plain = run_qmkp(&g, 2, &QmkpConfig::default());
+        let reduced = run_qmkp(&g, 2, &QmkpConfig { use_reduction: true, ..QmkpConfig::default() });
+        assert_eq!(plain.best.len(), reduced.best.len(), "seed={seed}");
+        assert!(is_kplex(&g, reduced.best, 2));
+    }
+}

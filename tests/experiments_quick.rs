@@ -1,0 +1,62 @@
+//! Smoke tests of the experiment drivers (the code that regenerates the
+//! paper's tables and figures), exercised at reduced size through the
+//! `qmkp-bench` library. The full-size runs live in `crates/bench/src/bin`.
+
+use qmkp_bench::cost_runtime::{default_runtimes, run_cost_vs_runtime};
+
+#[test]
+fn cost_vs_runtime_produces_sane_series() {
+    std::env::set_var("QMKP_QUICK", "1");
+    let cr = run_cost_vs_runtime(10, 40, 3, 2.0, 1.0, &default_runtimes(true), 17);
+    assert_eq!(cr.series.len(), 4, "qaMKP, SA, MILP, haMKP");
+    assert!(cr.num_vars >= 10);
+
+    for s in &cr.series {
+        assert!(!s.points.is_empty(), "{} has points", s.name);
+        for &(t, cost) in &s.points {
+            assert!(t > 0.0);
+            assert!(cost.is_finite());
+            // No solver may report a cost below the global optimum bound
+            // −n (the best possible objective is −|max plex| ≥ −n).
+            assert!(cost >= -10.0 - 1e-9, "{}: cost {cost}", s.name);
+        }
+    }
+
+    // Each solver's cost must be non-increasing in runtime (same seed,
+    // nested effort).
+    for s in &cr.series[..3] {
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "{}: cost increased from {:?} to {:?}",
+                s.name,
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn milp_with_budget_reaches_the_true_optimum() {
+    // The Figures-9/10 shape: the anytime exact solver reaches the true
+    // optimum given enough budget. D_{10,40} at k = 3 has a maximum
+    // 3-plex of size 9, so the optimal objective cost is −9.
+    use qmkp::classical::max_kplex_bnb;
+    use qmkp::graph::gen::paper_anneal_dataset;
+    use qmkp::milp::{minimize_qubo, BnbConfig};
+    use qmkp::qubo::{MkpQubo, MkpQuboParams};
+
+    let g = paper_anneal_dataset(10, 40);
+    let opt = max_kplex_bnb(&g, 3).len() as f64;
+    let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+    let out = minimize_qubo(
+        &mq.model,
+        &BnbConfig { time_limit: std::time::Duration::from_secs(20), ..BnbConfig::default() },
+    );
+    assert!(
+        (out.best_energy + opt).abs() < 1e-9,
+        "MILP best {} vs −{opt}",
+        out.best_energy
+    );
+}

@@ -1,0 +1,129 @@
+//! End-to-end checks of the annealing pipeline: QUBO construction →
+//! Ising → minor embedding → physical annealing → unembedding → decode →
+//! a verified k-plex, plus the chain statistics the Figure-11 experiment
+//! relies on.
+
+use qmkp::annealer::{
+    anneal_qubo, embed_ising, find_embedding, unembed, Chimera, SaConfig,
+};
+use qmkp::classical::max_kplex_bnb;
+use qmkp::graph::gen::paper_anneal_dataset;
+use qmkp::graph::is_kplex;
+use qmkp::qubo::{IsingModel, MkpQubo, MkpQuboParams, QuboModel};
+
+/// Ising round trip: converting the embedded physical model back to QUBO
+/// must preserve energies (the examples and tests rely on this identity).
+fn ising_to_qubo(ising: &IsingModel) -> QuboModel {
+    let mut q = QuboModel::new(ising.num_spins());
+    q.add_offset(ising.offset);
+    for (i, &h) in ising.h.iter().enumerate() {
+        q.add_linear(i, 2.0 * h);
+        q.add_offset(-h);
+    }
+    for (&(i, j), &jij) in &ising.j {
+        q.add_quadratic(i, j, 4.0 * jij);
+        q.add_linear(i, -2.0 * jij);
+        q.add_linear(j, -2.0 * jij);
+        q.add_offset(jij);
+    }
+    q
+}
+
+#[test]
+fn ising_qubo_roundtrip_preserves_energy() {
+    let g = paper_anneal_dataset(10, 40);
+    let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+    let ising = IsingModel::from_qubo(&mq.model);
+    let back = ising_to_qubo(&ising);
+    for step in 0..512u128 {
+        let bits = step.wrapping_mul(0x9e37_79b9) % (1u128 << mq.num_vars().min(127));
+        assert!(
+            (mq.model.energy_bits(bits) - back.energy_bits(bits)).abs() < 1e-9,
+            "bits {bits:b}"
+        );
+    }
+}
+
+#[test]
+fn full_hardware_pipeline_recovers_a_maximum_kplex() {
+    let g = paper_anneal_dataset(10, 40);
+    let k = 3;
+    let opt = max_kplex_bnb(&g, k).len();
+    let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
+
+    let edges: Vec<(usize, usize)> = mq.model.interactions().map(|(p, _)| p).collect();
+    let hw = Chimera::new(12, 12, 4);
+    let emb = find_embedding(&edges, mq.num_vars(), &hw, 2, 8).expect("instance embeds");
+    assert!(emb.is_valid(&edges, &hw));
+
+    // Chain strength scaled to the strongest logical coupling — the
+    // standard D-Wave heuristic (too weak: chains shatter; too strong:
+    // the problem signal is drowned).
+    let logical_ising = IsingModel::from_qubo(&mq.model);
+    let max_j = logical_ising
+        .j
+        .values()
+        .fold(0.0f64, |acc, &j| acc.max(j.abs()))
+        .max(logical_ising.h.iter().fold(0.0f64, |acc, &h| acc.max(h.abs())));
+    let phys = embed_ising(&logical_ising, &emb, &hw, 1.5 * max_j);
+    let phys_qubo = ising_to_qubo(&phys);
+    let out = anneal_qubo(&phys_qubo, &SaConfig { shots: 400, sweeps: 80, ..SaConfig::default() });
+
+    let spins: Vec<i8> = out.best.iter().map(|&b| if b { 1 } else { -1 }).collect();
+    let (logical, _broken) = unembed(&spins, &emb);
+    let bits = logical
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b)
+        .fold(0u128, |acc, (i, _)| acc | (1 << i));
+    let plex = mq.decode_polished(bits);
+    assert!(is_kplex(&g, plex, k));
+    assert!(
+        plex.len() + 1 >= opt,
+        "hardware pipeline found {} vs optimum {opt}",
+        plex.len()
+    );
+}
+
+#[test]
+fn chain_strength_controls_chain_breaks() {
+    // With a vanishing chain strength, chains shatter; with a strong one
+    // they hold. This is the mechanism behind the paper's chain-size
+    // discussion (Fig. 11 / "larger chains impede cost reduction").
+    let g = paper_anneal_dataset(10, 40);
+    let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
+    let edges: Vec<(usize, usize)> = mq.model.interactions().map(|(p, _)| p).collect();
+    let hw = Chimera::new(12, 12, 4);
+    let emb = find_embedding(&edges, mq.num_vars(), &hw, 4, 8).expect("instance embeds");
+
+    let breaks_at = |strength: f64| -> usize {
+        let phys = embed_ising(&IsingModel::from_qubo(&mq.model), &emb, &hw, strength);
+        let phys_qubo = ising_to_qubo(&phys);
+        let out = anneal_qubo(&phys_qubo, &SaConfig { shots: 30, sweeps: 12, seed: 8, ..SaConfig::default() });
+        let spins: Vec<i8> = out.best.iter().map(|&b| if b { 1 } else { -1 }).collect();
+        unembed(&spins, &emb).1
+    };
+    let weak = breaks_at(0.01);
+    let strong = breaks_at(8.0);
+    assert!(strong <= weak, "strong chains ({strong}) should break no more than weak ({weak})");
+    assert_eq!(strong, 0, "strong coupling should hold every chain");
+}
+
+#[test]
+fn qubo_variable_count_matches_paper_formula() {
+    // n + Σ L_i with L_i = ⌈log₂(max(d̄_i, k−1)+1)⌉.
+    for (n, m) in [(10, 40), (15, 70)] {
+        let g = paper_anneal_dataset(n, m);
+        let gc = g.complement();
+        let k = 3;
+        let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
+        let expected: usize = n
+            + (0..n)
+                .map(|v| {
+                    let smax = gc.degree(v).max(k - 1);
+                    usize::BITS as usize - smax.leading_zeros() as usize
+                })
+                .sum::<usize>();
+        assert_eq!(mq.num_vars(), expected, "D_{{{n},{m}}}");
+    }
+}
