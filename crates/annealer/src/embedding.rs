@@ -96,9 +96,11 @@ impl Embedding {
         }
         // Couplers for logical edges.
         for &(a, b) in logical_edges {
-            let ok = self.chains[a]
-                .iter()
-                .any(|&qa| hw.neighbors(qa).iter().any(|&nb| self.chains[b].contains(&nb)));
+            let ok = self.chains[a].iter().any(|&qa| {
+                hw.neighbors(qa)
+                    .iter()
+                    .any(|&nb| self.chains[b].contains(&nb))
+            });
             if !ok {
                 return false;
             }
@@ -137,7 +139,13 @@ pub fn find_embedding_with_tries(
     for t in 0..tries.max(1) {
         let s = seed.wrapping_add(t.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         if let Some(emb) = constructive_embedding(logical_edges, num_logical, hw, s) {
-            return Some(refine_embedding(&emb, logical_edges, hw, s, max_passes.min(3)));
+            return Some(refine_embedding(
+                &emb,
+                logical_edges,
+                hw,
+                s,
+                max_passes.min(3),
+            ));
         }
     }
     // Strategy 2: CMR-style soft-overlap heuristic with restarts.
@@ -174,7 +182,10 @@ pub fn constructive_embedding(
     let nq = hw.num_qubits();
     let mut lg_adj = vec![Vec::new(); num_logical];
     for &(a, b) in logical_edges {
-        assert!(a < num_logical && b < num_logical && a != b, "bad logical edge");
+        assert!(
+            a < num_logical && b < num_logical && a != b,
+            "bad logical edge"
+        );
         lg_adj[a].push(b);
         lg_adj[b].push(a);
     }
@@ -213,8 +224,7 @@ pub fn constructive_embedding(
                     .min_by_key(|&q| {
                         // Prefer anchors with many free neighbours (room
                         // to grow), tie-broken pseudo-randomly.
-                        let free_nbrs =
-                            hw.neighbors(q).iter().filter(|&&nb| !used[nb]).count();
+                        let free_nbrs = hw.neighbors(q).iter().filter(|&&nb| !used[nb]).count();
                         (usize::MAX - free_nbrs, q ^ (seed as usize))
                     });
                 let Some(root) = root else {
@@ -310,9 +320,8 @@ fn pick_free_seed(hw: &Chimera, used: &[bool], rng: &mut StdRng) -> Option<usize
 /// between routing K6 and failing at K8.
 fn bfs_free(chain: &[usize], hw: &Chimera, used: &[bool]) -> (Vec<u32>, Vec<usize>) {
     let nq = hw.num_qubits();
-    let cost = |q: usize| -> u32 {
-        1 + 2 * hw.neighbors(q).iter().filter(|&&nb| used[nb]).count() as u32
-    };
+    let cost =
+        |q: usize| -> u32 { 1 + 2 * hw.neighbors(q).iter().filter(|&&nb| used[nb]).count() as u32 };
     let mut dist = vec![u32::MAX; nq];
     let mut parent = vec![usize::MAX; nq];
     let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, usize)>> =
@@ -354,7 +363,10 @@ pub fn refine_embedding(
     seed: u64,
     passes: usize,
 ) -> Embedding {
-    assert!(emb.is_valid(logical_edges, hw), "refinement needs a valid embedding");
+    assert!(
+        emb.is_valid(logical_edges, hw),
+        "refinement needs a valid embedding"
+    );
     let num_logical = emb.chains.len();
     let mut lg_adj = vec![Vec::new(); num_logical];
     for &(a, b) in logical_edges {
@@ -380,7 +392,16 @@ pub fn refine_embedding(
                 usage[q] -= 1;
             }
             let old = std::mem::take(&mut chains[v]);
-            match embed_one(v, &lg_adj, &mut chains, &mut usage, hw, 1e6, false, &mut rng) {
+            match embed_one(
+                v,
+                &lg_adj,
+                &mut chains,
+                &mut usage,
+                hw,
+                1e6,
+                false,
+                &mut rng,
+            ) {
                 Some(chain) => {
                     for &q in &chain {
                         usage[q] += 1;
@@ -396,7 +417,9 @@ pub fn refine_embedding(
             }
         }
         if usage.iter().all(|&u| u <= 1) {
-            let mut candidate = Embedding { chains: chains.clone() };
+            let mut candidate = Embedding {
+                chains: chains.clone(),
+            };
             for c in &mut candidate.chains {
                 c.sort_unstable();
             }
@@ -443,7 +466,10 @@ fn try_embedding(
     let nq = hw.num_qubits();
     let mut lg_adj = vec![Vec::new(); num_logical];
     for &(a, b) in logical_edges {
-        assert!(a < num_logical && b < num_logical && a != b, "bad logical edge");
+        assert!(
+            a < num_logical && b < num_logical && a != b,
+            "bad logical edge"
+        );
         lg_adj[a].push(b);
         lg_adj[b].push(a);
     }
@@ -464,7 +490,16 @@ fn try_embedding(
                 usage[q] -= 1;
             }
             chains[v].clear();
-            let chain = embed_one(v, &lg_adj, &mut chains, &mut usage, hw, penalty, true, &mut rng)?;
+            let chain = embed_one(
+                v,
+                &lg_adj,
+                &mut chains,
+                &mut usage,
+                hw,
+                penalty,
+                true,
+                &mut rng,
+            )?;
             for &q in &chain {
                 usage[q] += 1;
             }
@@ -511,7 +546,16 @@ pub fn find_embedding_traced(
                 usage[q] -= 1;
             }
             chains[v].clear();
-            let chain = embed_one(v, &lg_adj, &mut chains, &mut usage, hw, penalty, true, &mut rng)?;
+            let chain = embed_one(
+                v,
+                &lg_adj,
+                &mut chains,
+                &mut usage,
+                hw,
+                penalty,
+                true,
+                &mut rng,
+            )?;
             for &q in &chain {
                 usage[q] += 1;
             }
@@ -519,10 +563,14 @@ pub fn find_embedding_traced(
         }
         let over: usize = usage.iter().filter(|&&u| u > 1).count();
         let sizes: Vec<usize> = chains.iter().map(|c| c.len()).collect();
-        eprintln!("pass {pass}: penalty {penalty}, overloaded qubits {over}, chain sizes {sizes:?}");
+        eprintln!(
+            "pass {pass}: penalty {penalty}, overloaded qubits {over}, chain sizes {sizes:?}"
+        );
         if usage.iter().all(|&u| u <= 1) && chains.iter().all(|c| !c.is_empty()) {
             let mut emb = Embedding { chains };
-            for c in &mut emb.chains { c.sort_unstable(); }
+            for c in &mut emb.chains {
+                c.sort_unstable();
+            }
             return Some(emb);
         }
     }
@@ -532,10 +580,11 @@ pub fn find_embedding_traced(
 /// Embeds one variable against the currently-embedded neighbours.
 /// Returns the new chain (may overlap other chains; the caller's usage
 /// penalties shrink overlaps over passes).
+#[allow(clippy::too_many_arguments)] // internal helper threading the router's full working state
 fn embed_one(
     v: usize,
     lg_adj: &[Vec<usize>],
-    chains: &mut Vec<Vec<usize>>,
+    chains: &mut [Vec<usize>],
     usage: &mut [u32],
     hw: &Chimera,
     penalty: f64,
@@ -581,7 +630,7 @@ fn embed_one(
             }
             total += d[q];
         }
-        if best_root.map_or(true, |(_, c)| total < c) {
+        if best_root.is_none_or(|(_, c)| total < c) {
             best_root = Some((q, total));
         }
     }
@@ -611,7 +660,11 @@ fn embed_one(
                 break;
             }
         }
-        let give_u = if split_paths { suffix.min(1).min(fresh_total) } else { 0 };
+        let give_u = if split_paths {
+            suffix.min(1).min(fresh_total)
+        } else {
+            0
+        };
         let boundary = walk.len() - give_u;
         for (i, &(q, fresh)) in walk.iter().enumerate() {
             if fresh {
@@ -710,7 +763,10 @@ pub fn embed_ising(
                     .map(move |&b| (a, b))
             })
             .collect();
-        assert!(!couplers.is_empty(), "no physical coupler for logical edge ({u},{v})");
+        assert!(
+            !couplers.is_empty(),
+            "no physical coupler for logical edge ({u},{v})"
+        );
         let share = j / couplers.len() as f64;
         for (a, b) in couplers {
             phys.add_coupling(a, b, share);
@@ -797,14 +853,20 @@ mod tests {
     fn validation_rejects_broken_embeddings() {
         let hw = Chimera::new(2, 2, 4);
         // Overlapping chains.
-        let emb = Embedding { chains: vec![vec![0], vec![0]] };
+        let emb = Embedding {
+            chains: vec![vec![0], vec![0]],
+        };
         assert!(!emb.is_valid(&[], &hw));
         // Disconnected chain: qubits 0 (cell 0 vertical) and a far qubit.
         let far = hw.index(1, 1, 0, 3);
-        let emb = Embedding { chains: vec![vec![0, far]] };
+        let emb = Embedding {
+            chains: vec![vec![0, far]],
+        };
         assert!(!emb.is_valid(&[], &hw));
         // Missing coupler for a logical edge: two same-side qubits.
-        let emb = Embedding { chains: vec![vec![hw.index(0, 0, 0, 0)], vec![hw.index(1, 1, 0, 0)]] };
+        let emb = Embedding {
+            chains: vec![vec![hw.index(0, 0, 0, 0)], vec![hw.index(1, 1, 0, 0)]],
+        };
         assert!(!emb.is_valid(&[(0, 1)], &hw));
     }
 
@@ -846,12 +908,18 @@ mod tests {
             .enumerate()
             .filter(|&(_, &b)| b)
             .fold(0u128, |acc, (i, _)| acc | (1 << i));
-        assert_eq!(q.energy_bits(bits), brute_e, "bits {bits:b} vs {brute_bits:b}");
+        assert_eq!(
+            q.energy_bits(bits),
+            brute_e,
+            "bits {bits:b} vs {brute_bits:b}"
+        );
     }
 
     #[test]
     fn unembed_majority_vote_and_breaks() {
-        let emb = Embedding { chains: vec![vec![0, 1, 2], vec![3]] };
+        let emb = Embedding {
+            chains: vec![vec![0, 1, 2], vec![3]],
+        };
         let (x, broken) = unembed(&[1, 1, -1, -1, 0], &emb);
         assert_eq!(x, vec![true, false]);
         assert_eq!(broken, 1);
@@ -891,7 +959,9 @@ mod refine_tests {
     use super::*;
 
     fn k_n_edges(n: usize) -> Vec<(usize, usize)> {
-        (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect()
+        (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect()
     }
 
     #[test]
@@ -934,8 +1004,9 @@ mod constructive_tests {
         // Hard-blocking routing is greedy, so allow a few seeds; at least
         // one must route K10 on a roomy C(8,8,4).
         let hw = Chimera::new(8, 8, 4);
-        let edges: Vec<(usize, usize)> =
-            (0..10).flat_map(|a| ((a + 1)..10).map(move |b| (a, b))).collect();
+        let edges: Vec<(usize, usize)> = (0..10)
+            .flat_map(|a| ((a + 1)..10).map(move |b| (a, b)))
+            .collect();
         let emb = (0..8)
             .find_map(|seed| constructive_embedding(&edges, 10, &hw, seed))
             .expect("K10 routes on C(8,8,4) within 8 seeds");
@@ -946,8 +1017,9 @@ mod constructive_tests {
     fn constructive_never_overlaps_even_when_it_fails() {
         // On a tiny graph a big clique must fail — with None, not panic.
         let hw = Chimera::new(2, 2, 4);
-        let edges: Vec<(usize, usize)> =
-            (0..30).flat_map(|a| ((a + 1)..30).map(move |b| (a, b))).collect();
+        let edges: Vec<(usize, usize)> = (0..30)
+            .flat_map(|a| ((a + 1)..30).map(move |b| (a, b)))
+            .collect();
         assert!(constructive_embedding(&edges, 30, &hw, 0).is_none());
     }
 

@@ -27,7 +27,10 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { min_runtime: Duration::from_secs(3), seed: 0 }
+        HybridConfig {
+            min_runtime: Duration::from_secs(3),
+            seed: 0,
+        }
     }
 }
 
@@ -96,7 +99,13 @@ pub fn hybrid_solve(q: &QuboModel, config: &HybridConfig) -> AnnealOutcome {
         }
     }
 
-    AnnealOutcome { best, best_energy, shot_energies, trace, elapsed: start.elapsed() }
+    AnnealOutcome {
+        best,
+        best_energy,
+        shot_energies,
+        trace,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Steepest single-flip descent to a local minimum.
@@ -116,7 +125,7 @@ fn descend(q: &QuboModel, x: &mut [bool]) {
         let mut best_move: Option<(usize, f64)> = None;
         for i in 0..x.len() {
             let delta = if x[i] { -field[i] } else { field[i] };
-            if delta < -1e-12 && best_move.map_or(true, |(_, d)| delta < d) {
+            if delta < -1e-12 && best_move.is_none_or(|(_, d)| delta < d) {
                 best_move = Some((i, delta));
             }
         }
@@ -135,7 +144,10 @@ mod tests {
     use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
     fn quick(seed: u64) -> HybridConfig {
-        HybridConfig { min_runtime: Duration::from_millis(30), seed }
+        HybridConfig {
+            min_runtime: Duration::from_millis(30),
+            seed,
+        }
     }
 
     #[test]
@@ -143,7 +155,11 @@ mod tests {
         let g = qmkp_graph::gen::paper_fig1_graph();
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 2, r: 2.0 });
         let out = hybrid_solve(&mq.model, &quick(1));
-        assert!((out.best_energy + 4.0).abs() < 1e-9, "got {}", out.best_energy);
+        assert!(
+            (out.best_energy + 4.0).abs() < 1e-9,
+            "got {}",
+            out.best_energy
+        );
     }
 
     #[test]
@@ -151,7 +167,13 @@ mod tests {
         let g = qmkp_graph::gen::gnm(8, 12, 0).unwrap();
         let mq = MkpQubo::new(&g, MkpQuboParams::default());
         let budget = Duration::from_millis(50);
-        let out = hybrid_solve(&mq.model, &HybridConfig { min_runtime: budget, seed: 2 });
+        let out = hybrid_solve(
+            &mq.model,
+            &HybridConfig {
+                min_runtime: budget,
+                seed: 2,
+            },
+        );
         assert!(out.elapsed >= budget);
     }
 

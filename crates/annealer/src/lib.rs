@@ -25,8 +25,8 @@ pub mod embedding;
 pub mod hybrid;
 pub mod result;
 pub mod sa;
-pub mod tempering;
 pub mod sqa;
+pub mod tempering;
 pub mod topology;
 
 pub use embedding::{
@@ -36,6 +36,6 @@ pub use embedding::{
 pub use hybrid::{hybrid_solve, HybridConfig};
 pub use result::AnnealOutcome;
 pub use sa::{anneal_qubo, SaConfig};
-pub use tempering::{temper_qubo, TemperingConfig};
 pub use sqa::{sqa_qubo, SqaConfig};
+pub use tempering::{temper_qubo, TemperingConfig};
 pub use topology::Chimera;

@@ -22,7 +22,11 @@ impl AnnealOutcome {
     /// last trace entry at or before `d`, or the first shot's energy if
     /// `d` precedes everything.
     pub fn energy_at(&self, d: Duration) -> f64 {
-        let mut current = self.trace.first().map(|&(_, e)| e).unwrap_or(self.best_energy);
+        let mut current = self
+            .trace
+            .first()
+            .map(|&(_, e)| e)
+            .unwrap_or(self.best_energy);
         for &(t, e) in &self.trace {
             if t <= d {
                 current = e;

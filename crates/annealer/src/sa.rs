@@ -29,7 +29,13 @@ pub struct SaConfig {
 
 impl Default for SaConfig {
     fn default() -> Self {
-        SaConfig { shots: 100, sweeps: 2, beta_hot: 0.1, beta_cold: 10.0, seed: 0 }
+        SaConfig {
+            shots: 100,
+            sweeps: 2,
+            beta_hot: 0.1,
+            beta_cold: 10.0,
+            seed: 0,
+        }
     }
 }
 
@@ -104,7 +110,13 @@ pub fn anneal_qubo(q: &QuboModel, config: &SaConfig) -> AnnealOutcome {
         }
     }
 
-    AnnealOutcome { best, best_energy, shot_energies, trace, elapsed: start.elapsed() }
+    AnnealOutcome {
+        best,
+        best_energy,
+        shot_energies,
+        trace,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +139,14 @@ mod tests {
     fn finds_global_minimum_of_small_models() {
         let q = frustrated_model();
         let (_, brute) = q.brute_force_min();
-        let out = anneal_qubo(&q, &SaConfig { shots: 50, sweeps: 20, ..SaConfig::default() });
+        let out = anneal_qubo(
+            &q,
+            &SaConfig {
+                shots: 50,
+                sweeps: 20,
+                ..SaConfig::default()
+            },
+        );
         assert!((out.best_energy - brute).abs() < 1e-9);
         assert!((q.energy(&out.best) - out.best_energy).abs() < 1e-9);
     }
@@ -136,24 +155,62 @@ mod tests {
     fn solves_the_fig1_mkp_qubo() {
         let g = qmkp_graph::gen::paper_fig1_graph();
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 2, r: 2.0 });
-        let out = anneal_qubo(&mq.model, &SaConfig { shots: 200, sweeps: 30, ..SaConfig::default() });
-        assert!((out.best_energy + 4.0).abs() < 1e-9, "best {}", out.best_energy);
+        let out = anneal_qubo(
+            &mq.model,
+            &SaConfig {
+                shots: 200,
+                sweeps: 30,
+                ..SaConfig::default()
+            },
+        );
+        assert!(
+            (out.best_energy + 4.0).abs() < 1e-9,
+            "best {}",
+            out.best_energy
+        );
     }
 
     #[test]
     fn more_shots_never_hurt() {
         let q = frustrated_model();
-        let few = anneal_qubo(&q, &SaConfig { shots: 2, sweeps: 2, seed: 9, ..SaConfig::default() });
-        let many = anneal_qubo(&q, &SaConfig { shots: 100, sweeps: 2, seed: 9, ..SaConfig::default() });
+        let few = anneal_qubo(
+            &q,
+            &SaConfig {
+                shots: 2,
+                sweeps: 2,
+                seed: 9,
+                ..SaConfig::default()
+            },
+        );
+        let many = anneal_qubo(
+            &q,
+            &SaConfig {
+                shots: 100,
+                sweeps: 2,
+                seed: 9,
+                ..SaConfig::default()
+            },
+        );
         assert!(many.best_energy <= few.best_energy);
     }
 
     #[test]
     fn shot_energies_and_trace_are_consistent() {
         let q = frustrated_model();
-        let out = anneal_qubo(&q, &SaConfig { shots: 30, sweeps: 5, ..SaConfig::default() });
+        let out = anneal_qubo(
+            &q,
+            &SaConfig {
+                shots: 30,
+                sweeps: 5,
+                ..SaConfig::default()
+            },
+        );
         assert_eq!(out.shot_energies.len(), 30);
-        let min_shot = out.shot_energies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_shot = out
+            .shot_energies
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(min_shot, out.best_energy);
         for w in out.trace.windows(2) {
             assert!(w[1].1 < w[0].1, "trace strictly improves");
@@ -163,8 +220,20 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let q = frustrated_model();
-        let a = anneal_qubo(&q, &SaConfig { seed: 42, ..SaConfig::default() });
-        let b = anneal_qubo(&q, &SaConfig { seed: 42, ..SaConfig::default() });
+        let a = anneal_qubo(
+            &q,
+            &SaConfig {
+                seed: 42,
+                ..SaConfig::default()
+            },
+        );
+        let b = anneal_qubo(
+            &q,
+            &SaConfig {
+                seed: 42,
+                ..SaConfig::default()
+            },
+        );
         assert_eq!(a.best_energy, b.best_energy);
         assert_eq!(a.shot_energies, b.shot_energies);
     }
@@ -173,6 +242,12 @@ mod tests {
     #[should_panic(expected = "at least one shot")]
     fn zero_shots_rejected() {
         let q = frustrated_model();
-        let _ = anneal_qubo(&q, &SaConfig { shots: 0, ..SaConfig::default() });
+        let _ = anneal_qubo(
+            &q,
+            &SaConfig {
+                shots: 0,
+                ..SaConfig::default()
+            },
+        );
     }
 }

@@ -81,7 +81,10 @@ impl SqaConfig {
 /// # Panics
 /// Panics on zero shots/sweeps/slices or a non-positive field schedule.
 pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
-    assert!(config.shots > 0 && config.sweeps > 0, "need shots and sweeps");
+    assert!(
+        config.shots > 0 && config.sweeps > 0,
+        "need shots and sweeps"
+    );
     assert!(config.trotter_slices >= 2, "need at least 2 Trotter slices");
     assert!(
         config.gamma_start > config.gamma_end && config.gamma_end > 0.0,
@@ -156,7 +159,13 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
         }
     }
 
-    AnnealOutcome { best, best_energy, shot_energies, trace, elapsed: start.elapsed() }
+    AnnealOutcome {
+        best,
+        best_energy,
+        shot_energies,
+        trace,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -179,16 +188,38 @@ mod tests {
     fn finds_global_minimum_of_small_models() {
         let q = small_model();
         let (_, brute) = q.brute_force_min();
-        let out = sqa_qubo(&q, &SqaConfig { shots: 40, sweeps: 30, ..SqaConfig::default() });
-        assert!((out.best_energy - brute).abs() < 1e-9, "{} vs {brute}", out.best_energy);
+        let out = sqa_qubo(
+            &q,
+            &SqaConfig {
+                shots: 40,
+                sweeps: 30,
+                ..SqaConfig::default()
+            },
+        );
+        assert!(
+            (out.best_energy - brute).abs() < 1e-9,
+            "{} vs {brute}",
+            out.best_energy
+        );
     }
 
     #[test]
     fn solves_the_fig1_mkp_qubo() {
         let g = qmkp_graph::gen::paper_fig1_graph();
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 2, r: 2.0 });
-        let out = sqa_qubo(&mq.model, &SqaConfig { shots: 60, sweeps: 40, ..SqaConfig::default() });
-        assert!(out.best_energy <= -3.0, "should find a near-optimal plex, got {}", out.best_energy);
+        let out = sqa_qubo(
+            &mq.model,
+            &SqaConfig {
+                shots: 60,
+                sweeps: 40,
+                ..SqaConfig::default()
+            },
+        );
+        assert!(
+            out.best_energy <= -3.0,
+            "should find a near-optimal plex, got {}",
+            out.best_energy
+        );
         let p = mq.decode_repaired(
             out.best
                 .iter()
@@ -213,8 +244,24 @@ mod tests {
         // Statistical, but with enough shots the ordering is stable.
         let q = small_model();
         let (_, brute) = q.brute_force_min();
-        let short = sqa_qubo(&q, &SqaConfig { shots: 60, sweeps: 1, seed: 5, ..SqaConfig::default() });
-        let long = sqa_qubo(&q, &SqaConfig { shots: 60, sweeps: 40, seed: 5, ..SqaConfig::default() });
+        let short = sqa_qubo(
+            &q,
+            &SqaConfig {
+                shots: 60,
+                sweeps: 1,
+                seed: 5,
+                ..SqaConfig::default()
+            },
+        );
+        let long = sqa_qubo(
+            &q,
+            &SqaConfig {
+                shots: 60,
+                sweeps: 40,
+                seed: 5,
+                ..SqaConfig::default()
+            },
+        );
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             mean(&long.shot_energies) <= mean(&short.shot_energies) + 1e-9,
@@ -226,8 +273,20 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let q = small_model();
-        let a = sqa_qubo(&q, &SqaConfig { seed: 3, ..SqaConfig::default() });
-        let b = sqa_qubo(&q, &SqaConfig { seed: 3, ..SqaConfig::default() });
+        let a = sqa_qubo(
+            &q,
+            &SqaConfig {
+                seed: 3,
+                ..SqaConfig::default()
+            },
+        );
+        let b = sqa_qubo(
+            &q,
+            &SqaConfig {
+                seed: 3,
+                ..SqaConfig::default()
+            },
+        );
         assert_eq!(a.shot_energies, b.shot_energies);
     }
 
@@ -235,6 +294,12 @@ mod tests {
     #[should_panic(expected = "Trotter")]
     fn one_slice_rejected() {
         let q = small_model();
-        let _ = sqa_qubo(&q, &SqaConfig { trotter_slices: 1, ..SqaConfig::default() });
+        let _ = sqa_qubo(
+            &q,
+            &SqaConfig {
+                trotter_slices: 1,
+                ..SqaConfig::default()
+            },
+        );
     }
 }

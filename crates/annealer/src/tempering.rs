@@ -51,7 +51,10 @@ impl Default for TemperingConfig {
 /// schedule, or a non-increasing β ladder).
 pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
     assert!(config.replicas >= 2, "need at least two replicas");
-    assert!(config.rounds > 0 && config.sweeps_per_round > 0, "empty schedule");
+    assert!(
+        config.rounds > 0 && config.sweeps_per_round > 0,
+        "empty schedule"
+    );
     assert!(
         config.beta_cold > config.beta_hot && config.beta_hot > 0.0,
         "β ladder must decrease from cold to hot"
@@ -79,7 +82,11 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
             (0..n)
                 .map(|i| {
                     q.linear(i)
-                        + adj[i].iter().filter(|&&(j, _)| x[j]).map(|&(_, c)| c).sum::<f64>()
+                        + adj[i]
+                            .iter()
+                            .filter(|&&(j, _)| x[j])
+                            .map(|&(_, c)| c)
+                            .sum::<f64>()
                 })
                 .collect()
         })
@@ -89,8 +96,12 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
     let mut best_energy = energies[0];
     let mut shot_energies = Vec::new();
     let mut trace = Vec::new();
-    let record = |x: &Vec<bool>, e: f64, best: &mut Vec<bool>, best_energy: &mut f64,
-                      trace: &mut Vec<(std::time::Duration, f64)>, start: &Instant| {
+    let record = |x: &Vec<bool>,
+                  e: f64,
+                  best: &mut Vec<bool>,
+                  best_energy: &mut f64,
+                  trace: &mut Vec<(std::time::Duration, f64)>,
+                  start: &Instant| {
         if e < *best_energy {
             *best_energy = e;
             *best = x.clone();
@@ -98,7 +109,14 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
         }
     };
     for (r, x) in states.iter().enumerate() {
-        record(x, energies[r], &mut best, &mut best_energy, &mut trace, &start);
+        record(
+            x,
+            energies[r],
+            &mut best,
+            &mut best_energy,
+            &mut trace,
+            &start,
+        );
     }
 
     for _ in 0..config.rounds {
@@ -107,7 +125,11 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
             let beta = betas[r];
             for _ in 0..config.sweeps_per_round {
                 for i in 0..n {
-                    let delta = if states[r][i] { -fields[r][i] } else { fields[r][i] };
+                    let delta = if states[r][i] {
+                        -fields[r][i]
+                    } else {
+                        fields[r][i]
+                    };
                     if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
                         states[r][i] = !states[r][i];
                         energies[r] += delta;
@@ -118,7 +140,14 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
                     }
                 }
             }
-            record(&states[r], energies[r], &mut best, &mut best_energy, &mut trace, &start);
+            record(
+                &states[r],
+                energies[r],
+                &mut best,
+                &mut best_energy,
+                &mut trace,
+                &start,
+            );
             shot_energies.push(energies[r]);
         }
         // Swap attempts between neighbouring rungs.
@@ -133,7 +162,13 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
         }
     }
 
-    AnnealOutcome { best, best_energy, shot_energies, trace, elapsed: start.elapsed() }
+    AnnealOutcome {
+        best,
+        best_energy,
+        shot_energies,
+        trace,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +181,13 @@ mod tests {
         let g = qmkp_graph::gen::paper_anneal_dataset(10, 40);
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
         let out = temper_qubo(&mq.model, &TemperingConfig::default());
-        assert!((out.best_energy + 9.0).abs() < 1e-9, "got {}", out.best_energy);
+        // Brute force over all 2^10 vertex subsets shows the whole graph is
+        // a 3-plex, so the optimum energy is -10.
+        assert!(
+            (out.best_energy + 10.0).abs() < 1e-9,
+            "got {}",
+            out.best_energy
+        );
         assert!((mq.model.energy(&out.best) - out.best_energy).abs() < 1e-9);
     }
 
@@ -154,8 +195,20 @@ mod tests {
     fn deterministic_under_seed() {
         let g = qmkp_graph::gen::gnm(8, 14, 2).unwrap();
         let mq = MkpQubo::new(&g, MkpQuboParams::default());
-        let a = temper_qubo(&mq.model, &TemperingConfig { seed: 5, ..TemperingConfig::default() });
-        let b = temper_qubo(&mq.model, &TemperingConfig { seed: 5, ..TemperingConfig::default() });
+        let a = temper_qubo(
+            &mq.model,
+            &TemperingConfig {
+                seed: 5,
+                ..TemperingConfig::default()
+            },
+        );
+        let b = temper_qubo(
+            &mq.model,
+            &TemperingConfig {
+                seed: 5,
+                ..TemperingConfig::default()
+            },
+        );
         assert_eq!(a.best_energy, b.best_energy);
         assert_eq!(a.shot_energies, b.shot_energies);
     }
@@ -174,6 +227,12 @@ mod tests {
     #[should_panic(expected = "two replicas")]
     fn one_replica_rejected() {
         let q = QuboModel::new(2);
-        let _ = temper_qubo(&q, &TemperingConfig { replicas: 1, ..TemperingConfig::default() });
+        let _ = temper_qubo(
+            &q,
+            &TemperingConfig {
+                replicas: 1,
+                ..TemperingConfig::default()
+            },
+        );
     }
 }

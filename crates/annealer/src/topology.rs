@@ -39,7 +39,10 @@ impl Chimera {
                 // Intra-cell K_{t,t}: side 0 = vertical, side 1 = horizontal.
                 for kv in 0..t {
                     for kh in 0..t {
-                        add(Self::index_of(m, n, t, row, col, 0, kv), Self::index_of(m, n, t, row, col, 1, kh));
+                        add(
+                            Self::index_of(m, n, t, row, col, 0, kv),
+                            Self::index_of(m, n, t, row, col, 1, kh),
+                        );
                     }
                 }
                 // Vertical couplers to the cell below.
@@ -71,7 +74,15 @@ impl Chimera {
         Chimera::new(16, 16, 4)
     }
 
-    fn index_of(_m: usize, n: usize, t: usize, row: usize, col: usize, side: usize, k: usize) -> usize {
+    fn index_of(
+        _m: usize,
+        n: usize,
+        t: usize,
+        row: usize,
+        col: usize,
+        side: usize,
+        k: usize,
+    ) -> usize {
         ((row * n + col) * 2 + side) * t + k
     }
 
@@ -122,7 +133,7 @@ mod tests {
         // Interior qubits have degree t + 2 = 6, boundary t + 1 = 5.
         let degrees: Vec<usize> = (0..c.num_qubits()).map(|q| c.neighbors(q).len()).collect();
         assert!(degrees.iter().all(|&d| (5..=6).contains(&d)));
-        assert!(degrees.iter().any(|&d| d == 6));
+        assert!(degrees.contains(&6));
     }
 
     #[test]

@@ -80,7 +80,10 @@ fn bitwise_lt_eq_const(circuit: &mut Circuit, x: &Register, c: u128, scratch: &C
 /// computed MSB-down (box C of Figure 10).
 fn equality_prefix(circuit: &mut Circuit, scratch: &ComparatorScratch) {
     let s = scratch.eq.len;
-    circuit.push_unchecked(Gate::cnot(scratch.eq.qubit(s - 1), scratch.prefix.qubit(s - 1)));
+    circuit.push_unchecked(Gate::cnot(
+        scratch.eq.qubit(s - 1),
+        scratch.prefix.qubit(s - 1),
+    ));
     for i in (0..s - 1).rev() {
         circuit.push_unchecked(Gate::ccnot(
             scratch.prefix.qubit(i + 1),
@@ -93,7 +96,12 @@ fn equality_prefix(circuit: &mut Circuit, scratch: &ComparatorScratch) {
 /// Emits the XOR chain of the mutually-exclusive disjuncts onto `result`
 /// (box D). With `include_equal`, the all-equal term is added (`≤` instead
 /// of `<`).
-fn combine_terms(circuit: &mut Circuit, scratch: &ComparatorScratch, result: usize, include_equal: bool) {
+fn combine_terms(
+    circuit: &mut Circuit,
+    scratch: &ComparatorScratch,
+    result: usize,
+    include_equal: bool,
+) {
     let s = scratch.lt.len;
     // MSB term: lt[s-1] alone.
     circuit.push_unchecked(Gate::cnot(scratch.lt.qubit(s - 1), result));
@@ -205,9 +213,13 @@ pub fn compare_le_clean(
     let mut compute = Circuit::new(circuit.width());
     bitwise_lt_eq(&mut compute, x, y, scratch);
     equality_prefix(&mut compute, scratch);
-    circuit.extend(&compute).expect("same width by construction");
+    circuit
+        .extend(&compute)
+        .expect("same width by construction");
     combine_terms(circuit, scratch, result, true);
-    circuit.extend(&compute.inverse()).expect("same width by construction");
+    circuit
+        .extend(&compute.inverse())
+        .expect("same width by construction");
 }
 
 /// Constant-operand variant of [`compare_le_clean`]: `result ^= (x ≤ c)`,
@@ -231,9 +243,13 @@ pub fn compare_le_const_clean(
     let mut compute = Circuit::new(circuit.width());
     bitwise_lt_eq_const(&mut compute, x, c, scratch);
     equality_prefix(&mut compute, scratch);
-    circuit.extend(&compute).expect("same width by construction");
+    circuit
+        .extend(&compute)
+        .expect("same width by construction");
     combine_terms(circuit, scratch, result, true);
-    circuit.extend(&compute.inverse()).expect("same width by construction");
+    circuit
+        .extend(&compute.inverse())
+        .expect("same width by construction");
 }
 
 fn check_widths(xs: usize, ys: usize, scratch: &ComparatorScratch) {
@@ -251,7 +267,10 @@ mod tests {
 
     type Built = (Circuit, Register, Register, usize);
 
-    fn build(s: usize, f: impl Fn(&mut Circuit, &Register, &Register, usize, &ComparatorScratch)) -> Built {
+    fn build(
+        s: usize,
+        f: impl Fn(&mut Circuit, &Register, &Register, usize, &ComparatorScratch),
+    ) -> Built {
         let mut alloc = QubitAllocator::new();
         let x = alloc.alloc("x", s);
         let y = alloc.alloc("y", s);

@@ -33,7 +33,10 @@ pub fn controlled_increment(circuit: &mut Circuit, ctrl: usize, counter: &Regist
     for i in (0..counter.len).rev() {
         let mut controls = vec![Control::pos(ctrl)];
         controls.extend((0..i).map(|j| Control::pos(counter.qubit(j))));
-        circuit.push_unchecked(Gate::Mcx { controls, target: counter.qubit(i) });
+        circuit.push_unchecked(Gate::Mcx {
+            controls,
+            target: counter.qubit(i),
+        });
     }
 }
 
@@ -97,7 +100,10 @@ mod tests {
             assert_eq!(counter.extract(classical_eval(&circ, input)), start);
             // Control on: +1 mod 8.
             let input = input | 1;
-            assert_eq!(counter.extract(classical_eval(&circ, input)), (start + 1) % 8);
+            assert_eq!(
+                counter.extract(classical_eval(&circ, input)),
+                (start + 1) % 8
+            );
         }
     }
 

@@ -27,8 +27,8 @@ pub mod eval;
 
 pub use adder::{full_adder_cell, ripple_add, AdderWires};
 pub use comparator::{
-    compare_eq, compare_le, compare_le_clean, compare_le_const, compare_le_const_clean,
-    compare_lt, ComparatorScratch,
+    compare_eq, compare_le, compare_le_clean, compare_le_const, compare_le_const_clean, compare_lt,
+    ComparatorScratch,
 };
 pub use counter::{controlled_increment, counter_width, load_const, popcount_into};
 pub use eval::classical_eval;

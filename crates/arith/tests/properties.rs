@@ -10,7 +10,10 @@ use qmkp_arith::{
 use qmkp_qsim::{Circuit, QubitAllocator, Register};
 
 fn read_bits(state: u128, bits: &[usize]) -> u128 {
-    bits.iter().enumerate().map(|(i, &q)| ((state >> q) & 1) << i).sum()
+    bits.iter()
+        .enumerate()
+        .map(|(i, &q)| ((state >> q) & 1) << i)
+        .sum()
 }
 
 proptest! {

@@ -2,7 +2,9 @@
 //! classical evaluation (the oracle's inner loops).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qmkp_arith::{classical_eval, compare_le_clean, popcount_into, ripple_add, AdderWires, ComparatorScratch};
+use qmkp_arith::{
+    classical_eval, compare_le_clean, popcount_into, ripple_add, AdderWires, ComparatorScratch,
+};
 use qmkp_qsim::{Circuit, QubitAllocator};
 
 fn build_adder(s: usize) -> Circuit {

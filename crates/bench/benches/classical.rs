@@ -10,9 +10,13 @@ fn bench_exact_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_mkp");
     for &(n, m) in &GATE_DATASETS {
         let g = paper_gate_dataset(n, m);
-        group.bench_with_input(BenchmarkId::new("naive", format!("G_{n}_{m}")), &g, |b, g| {
-            b.iter(|| max_kplex_naive(g, 2));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("G_{n}_{m}")),
+            &g,
+            |b, g| {
+                b.iter(|| max_kplex_naive(g, 2));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("bnb", format!("G_{n}_{m}")), &g, |b, g| {
             b.iter(|| max_kplex_bnb(g, 2));
         });

@@ -16,9 +16,13 @@ fn bench_embed(c: &mut Criterion) {
         let vars = mq.num_vars();
         let grid = (((vars * 10) as f64 / 8.0).sqrt().ceil() as usize).max(4);
         let hw = Chimera::new(grid, grid, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(edges, vars, hw), |b, (e, v, hw)| {
-            b.iter(|| find_embedding_with_tries(e, *v, hw, 3, 4, 2));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(edges, vars, hw),
+            |b, (e, v, hw)| {
+                b.iter(|| find_embedding_with_tries(e, *v, hw, 3, 4, 2));
+            },
+        );
     }
     group.finish();
 }

@@ -9,9 +9,13 @@ fn bench_oracle_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle_build");
     for &(n, m) in &GATE_DATASETS {
         let g = paper_gate_dataset(n, m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("G_{n}_{m}")), &g, |b, g| {
-            b.iter(|| Oracle::new(g, 2, 4));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("G_{n}_{m}")),
+            &g,
+            |b, g| {
+                b.iter(|| Oracle::new(g, 2, 4));
+            },
+        );
     }
     group.finish();
 }
@@ -21,13 +25,17 @@ fn bench_grover_iteration(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, m) in &GATE_DATASETS {
         let g = paper_gate_dataset(n, m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("G_{n}_{m}")), &g, |b, g| {
-            b.iter_batched(
-                || GroverDriver::new(Oracle::new(g, 2, 3)),
-                |mut driver| driver.iterate(),
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("G_{n}_{m}")),
+            &g,
+            |b, g| {
+                b.iter_batched(
+                    || GroverDriver::new(Oracle::new(g, 2, 3)),
+                    |mut driver| driver.iterate(),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -49,5 +57,10 @@ fn bench_grover_iteration_vs_k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_oracle_build, bench_grover_iteration, bench_grover_iteration_vs_k);
+criterion_group!(
+    benches,
+    bench_oracle_build,
+    bench_grover_iteration,
+    bench_grover_iteration_vs_k
+);
 criterion_main!(benches);

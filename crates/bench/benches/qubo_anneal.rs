@@ -13,9 +13,13 @@ fn bench_qubo_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("qubo_build");
     for &(n, m) in &ANNEAL_DATASETS {
         let g = paper_anneal_dataset(n, m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("D_{n}_{m}")), &g, |b, g| {
-            b.iter(|| MkpQubo::new(g, MkpQuboParams { k: 3, r: 2.0 }));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D_{n}_{m}")),
+            &g,
+            |b, g| {
+                b.iter(|| MkpQubo::new(g, MkpQuboParams { k: 3, r: 2.0 }));
+            },
+        );
     }
     group.finish();
 }
@@ -32,9 +36,22 @@ fn bench_sa_shot(c: &mut Criterion) {
     for &(n, m) in &ANNEAL_DATASETS {
         let g = paper_anneal_dataset(n, m);
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("D_{n}_{m}")), &mq, |b, mq| {
-            b.iter(|| anneal_qubo(&mq.model, &SaConfig { shots: 1, sweeps: 2, ..SaConfig::default() }));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D_{n}_{m}")),
+            &mq,
+            |b, mq| {
+                b.iter(|| {
+                    anneal_qubo(
+                        &mq.model,
+                        &SaConfig {
+                            shots: 1,
+                            sweeps: 2,
+                            ..SaConfig::default()
+                        },
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -45,9 +62,21 @@ fn bench_sqa_shot(c: &mut Criterion) {
     for &(n, m) in &ANNEAL_DATASETS {
         let g = paper_anneal_dataset(n, m);
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
-        group.bench_with_input(BenchmarkId::from_parameter(format!("D_{n}_{m}")), &mq, |b, mq| {
-            b.iter(|| sqa_qubo(&mq.model, &SqaConfig { shots: 1, ..SqaConfig::from_anneal_time(1.0, 1) }));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D_{n}_{m}")),
+            &mq,
+            |b, mq| {
+                b.iter(|| {
+                    sqa_qubo(
+                        &mq.model,
+                        &SqaConfig {
+                            shots: 1,
+                            ..SqaConfig::from_anneal_time(1.0, 1)
+                        },
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -59,7 +88,10 @@ fn bench_milp_budgeted(c: &mut Criterion) {
         b.iter(|| {
             minimize_qubo(
                 &mq.model,
-                &BnbConfig { time_limit: Duration::from_millis(1), ..BnbConfig::default() },
+                &BnbConfig {
+                    time_limit: Duration::from_millis(1),
+                    ..BnbConfig::default()
+                },
             )
         })
     });
@@ -72,7 +104,15 @@ fn bench_penalty_r_ablation(c: &mut Criterion) {
     for r in [1.1f64, 2.0, 4.0, 8.0] {
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r });
         group.bench_with_input(BenchmarkId::from_parameter(r), &mq, |b, mq| {
-            b.iter(|| sqa_qubo(&mq.model, &SqaConfig { shots: 2, ..SqaConfig::from_anneal_time(1.0, 2) }));
+            b.iter(|| {
+                sqa_qubo(
+                    &mq.model,
+                    &SqaConfig {
+                        shots: 2,
+                        ..SqaConfig::from_anneal_time(1.0, 2)
+                    },
+                )
+            });
         });
     }
     group.finish();

@@ -1,8 +1,10 @@
 //! Dense vs sparse backend comparison — the ablation justifying the
-//! sparse amplitude-map substitution for the paper's MPS simulator.
+//! sparse amplitude-map substitution for the paper's MPS simulator —
+//! plus compiled vs interpreted execution on both backends.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qmkp_qsim::{Circuit, DenseState, Gate, QuantumState, SparseState};
+use qmkp_core::oracle::Oracle;
+use qmkp_qsim::{Circuit, CompiledCircuit, DenseState, Gate, QuantumState, SparseState};
 
 /// A Grover-shaped circuit: H layer on `sup` qubits, then a ladder of
 /// Toffolis into the remaining ancillas (pure permutation).
@@ -53,5 +55,70 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backends);
+/// Compiled-kernel execution vs the gate-by-gate interpreter.
+fn bench_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiled");
+    // Dense backend on the Grover-shaped layered circuit.
+    for width in [12usize, 16, 20] {
+        let circ = layered_circuit(width, 6);
+        let compiled = CompiledCircuit::compile(&circ);
+        group.bench_with_input(
+            BenchmarkId::new("dense_compiled", width),
+            &circ,
+            |b, circ| {
+                b.iter(|| {
+                    let mut s = DenseState::zero(circ.width()).unwrap();
+                    s.run_compiled(&compiled).unwrap();
+                    s.probability(0)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_interpreted", width),
+            &circ,
+            |b, circ| {
+                b.iter(|| {
+                    let mut s = DenseState::zero(circ.width()).unwrap();
+                    s.run_interpreted(circ).unwrap();
+                    s.probability(0)
+                });
+            },
+        );
+    }
+    // Sparse backend on a real qTKP oracle circuit (uniform superposition
+    // over the vertex register, then U_check).
+    let g = qmkp_graph::gen::paper_fig1_graph();
+    let oracle = Oracle::new(&g, 2, 4);
+    let mut circ = Circuit::new(oracle.layout.width);
+    for q in oracle.layout.vertices.iter() {
+        circ.push_unchecked(Gate::H(q));
+    }
+    circ.extend(oracle.u_check()).unwrap();
+    let compiled = CompiledCircuit::compile(&circ);
+    group.bench_with_input(
+        BenchmarkId::new("sparse_oracle_compiled", circ.width()),
+        &circ,
+        |b, circ| {
+            b.iter(|| {
+                let mut s = SparseState::zero(circ.width());
+                s.run_compiled(&compiled).unwrap();
+                s.probability(0)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("sparse_oracle_interpreted", circ.width()),
+        &circ,
+        |b, circ| {
+            b.iter(|| {
+                let mut s = SparseState::zero(circ.width());
+                s.run_interpreted(circ).unwrap();
+                s.probability(0)
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_compiled);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! embedded D_{10,40} problem (the mechanism behind the paper's Fig. 11
 //! discussion of chains limiting cost reduction).
 
-use qmkp_bench::print_table;
 use qmkp_annealer::{anneal_qubo, embed_ising, find_embedding, unembed, Chimera, SaConfig};
+use qmkp_bench::print_table;
 use qmkp_graph::gen::paper_anneal_dataset;
 use qmkp_qubo::{IsingModel, MkpQubo, MkpQuboParams, QuboModel};
 
@@ -49,7 +49,12 @@ fn main() {
         let phys_qubo = ising_to_qubo(&phys);
         let out = anneal_qubo(
             &phys_qubo,
-            &SaConfig { shots: 60, sweeps: 30, seed: 3, ..SaConfig::default() },
+            &SaConfig {
+                shots: 60,
+                sweeps: 30,
+                seed: 3,
+                ..SaConfig::default()
+            },
         );
         let spins: Vec<i8> = out.best.iter().map(|&b| if b { 1 } else { -1 }).collect();
         let (logical_x, broken) = unembed(&spins, &emb);
@@ -68,7 +73,12 @@ fn main() {
     }
     print_table(
         "Ablation — chain strength on embedded D_{10,40} (k = 3; optimum size 9)",
-        &["chain strength", "broken chains", "logical energy", "decoded plex size"],
+        &[
+            "chain strength",
+            "broken chains",
+            "logical energy",
+            "decoded plex size",
+        ],
         &rows,
     );
 }

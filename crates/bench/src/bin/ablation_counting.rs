@@ -22,10 +22,14 @@ fn main() {
     let trials = 40;
     let mut rows = Vec::new();
     for precision in [3usize, 5, 7, 9, 12] {
-        let estimates: Vec<u64> =
-            (0..trials).map(|_| quantum_count(n, m, precision, &mut rng)).collect();
+        let estimates: Vec<u64> = (0..trials)
+            .map(|_| quantum_count(n, m, precision, &mut rng))
+            .collect();
         let mean = estimates.iter().sum::<u64>() as f64 / trials as f64;
-        let mae = estimates.iter().map(|&e| (e as f64 - m as f64).abs()).sum::<f64>()
+        let mae = estimates
+            .iter()
+            .map(|&e| (e as f64 - m as f64).abs())
+            .sum::<f64>()
             / trials as f64;
         // Success probability if Grover used the mean estimate.
         let iters = optimal_iterations(n, mean.round().max(1.0) as u64);
@@ -40,7 +44,13 @@ fn main() {
     }
     print_table(
         "Ablation — counting precision vs estimate quality and Grover success",
-        &["counting qubits", "mean M̂", "mean |M̂−M|", "iterations", "success prob"],
+        &[
+            "counting qubits",
+            "mean M̂",
+            "mean |M̂−M|",
+            "iterations",
+            "success prob",
+        ],
         &rows,
     );
 }

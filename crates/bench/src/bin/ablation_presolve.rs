@@ -16,11 +16,18 @@ fn main() {
         let budget = Duration::from_millis(500);
         let plain = minimize_qubo(
             &mq.model,
-            &BnbConfig { presolve: false, time_limit: budget, ..BnbConfig::default() },
+            &BnbConfig {
+                presolve: false,
+                time_limit: budget,
+                ..BnbConfig::default()
+            },
         );
         let with = minimize_qubo(
             &mq.model,
-            &BnbConfig { time_limit: budget, ..BnbConfig::default() },
+            &BnbConfig {
+                time_limit: budget,
+                ..BnbConfig::default()
+            },
         );
         rows.push(vec![
             format!("D_{{{n},{m}}}"),
@@ -34,7 +41,15 @@ fn main() {
     }
     print_table(
         "Ablation — MILP presolve (500 ms budget, k = 3, R = 2)",
-        &["dataset", "vars", "fixed", "nodes (plain)", "nodes (presolve)", "best (plain)", "best (presolve)"],
+        &[
+            "dataset",
+            "vars",
+            "fixed",
+            "nodes (plain)",
+            "nodes (presolve)",
+            "best (plain)",
+            "best (presolve)",
+        ],
         &rows,
     );
 }

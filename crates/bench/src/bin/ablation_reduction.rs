@@ -10,8 +10,19 @@ use qmkp_graph::Graph;
 
 fn row(label: &str, g: &Graph, k: usize) -> Vec<String> {
     let plain = qmkp(g, k, &QmkpConfig::default());
-    let reduced = qmkp(g, k, &QmkpConfig { use_reduction: true, ..QmkpConfig::default() });
-    assert_eq!(plain.best.len(), reduced.best.len(), "reduction must preserve the optimum");
+    let reduced = qmkp(
+        g,
+        k,
+        &QmkpConfig {
+            use_reduction: true,
+            ..QmkpConfig::default()
+        },
+    );
+    assert_eq!(
+        plain.best.len(),
+        reduced.best.len(),
+        "reduction must preserve the optimum"
+    );
     let (red, _) = auto_reduce(g, k);
     let t = plain.best.len().max(1);
     let full_cost = Oracle::new(g, k, t).section_cost().total();

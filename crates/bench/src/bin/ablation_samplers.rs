@@ -1,32 +1,56 @@
 //! Ablation: the sampler family on one budget — SA, SQA, parallel
 //! tempering and the hybrid portfolio on the annealing datasets.
 
-use qmkp_bench::{print_table, quick_mode};
 use qmkp_annealer::{
     anneal_qubo, hybrid_solve, sqa_qubo, temper_qubo, HybridConfig, SaConfig, SqaConfig,
     TemperingConfig,
 };
+use qmkp_bench::{print_table, quick_mode};
 use qmkp_graph::gen::{paper_anneal_dataset, ANNEAL_DATASETS};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 use std::time::Duration;
 
 fn main() {
-    let datasets: &[(usize, usize)] =
-        if quick_mode() { &ANNEAL_DATASETS[..2] } else { &ANNEAL_DATASETS };
+    let datasets: &[(usize, usize)] = if quick_mode() {
+        &ANNEAL_DATASETS[..2]
+    } else {
+        &ANNEAL_DATASETS
+    };
     let mut rows = Vec::new();
     for &(n, m) in datasets {
         let g = paper_anneal_dataset(n, m);
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
         let q = &mq.model;
-        let sa = anneal_qubo(q, &SaConfig { shots: 500, sweeps: 2, seed: 1, ..SaConfig::default() });
-        let sqa = sqa_qubo(q, &SqaConfig { seed: 1, ..SqaConfig::from_anneal_time(1.0, 500) });
+        let sa = anneal_qubo(
+            q,
+            &SaConfig {
+                shots: 500,
+                sweeps: 2,
+                seed: 1,
+                ..SaConfig::default()
+            },
+        );
+        let sqa = sqa_qubo(
+            q,
+            &SqaConfig {
+                seed: 1,
+                ..SqaConfig::from_anneal_time(1.0, 500)
+            },
+        );
         let pt = temper_qubo(
             q,
-            &TemperingConfig { rounds: 60, seed: 1, ..TemperingConfig::default() },
+            &TemperingConfig {
+                rounds: 60,
+                seed: 1,
+                ..TemperingConfig::default()
+            },
         );
         let hy = hybrid_solve(
             q,
-            &HybridConfig { min_runtime: Duration::from_millis(100), seed: 1 },
+            &HybridConfig {
+                min_runtime: Duration::from_millis(100),
+                seed: 1,
+            },
         );
         rows.push(vec![
             format!("D_{{{n},{m}}}"),
@@ -38,7 +62,13 @@ fn main() {
     }
     print_table(
         "Ablation — sampler family at comparable budgets (k = 3, R = 2; lower is better)",
-        &["dataset", "SA (500 shots)", "SQA (500 shots)", "tempering (60 rounds)", "hybrid (100 ms)"],
+        &[
+            "dataset",
+            "SA (500 shots)",
+            "SQA (500 shots)",
+            "tempering (60 rounds)",
+            "hybrid (100 ms)",
+        ],
         &rows,
     );
 }

@@ -1,0 +1,121 @@
+//! Emits `BENCH_qsim.json`: compiled-kernel vs interpreted simulation
+//! times for the dense backend (width-20 layered circuit) and the sparse
+//! backend (a qTKP oracle circuit), with their speedups.
+//!
+//! Usage: `bench_qsim [output-path]` (default `BENCH_qsim.json` in the
+//! working directory).
+
+use qmkp_core::oracle::Oracle;
+use qmkp_qsim::{Circuit, CompiledCircuit, DenseState, Gate, QuantumState, SparseState};
+use std::time::Instant;
+
+const SAMPLES: usize = 9;
+
+/// Median wall-clock seconds of `SAMPLES` runs of `f`.
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    // One warm-up run outside the measurement.
+    f();
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    times[times.len() / 2]
+}
+
+/// The bench circuit of `benches/simulators.rs`: H layer then a Toffoli
+/// ladder out and back.
+fn layered_circuit(width: usize, sup: usize) -> Circuit {
+    let mut c = Circuit::new(width);
+    for q in 0..sup {
+        c.push_unchecked(Gate::H(q));
+    }
+    for q in sup..width {
+        c.push_unchecked(Gate::ccnot(q % sup, (q + 1) % sup, q));
+    }
+    for q in (sup..width).rev() {
+        c.push_unchecked(Gate::ccnot(q % sup, (q + 1) % sup, q));
+    }
+    c
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_qsim.json".to_string());
+
+    // Dense backend: width-20 layered circuit.
+    let dense_width = 20;
+    let dense_circ = layered_circuit(dense_width, 6);
+    let dense_compiled_circ = CompiledCircuit::compile(&dense_circ);
+    let dense_interpreted = median_secs(|| {
+        let mut s = DenseState::zero(dense_width).unwrap();
+        s.run_interpreted(&dense_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+    let dense_compiled = median_secs(|| {
+        let mut s = DenseState::zero(dense_width).unwrap();
+        s.run_compiled(&dense_compiled_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+
+    // Sparse backend: uniform superposition + qTKP U_check.
+    let g = qmkp_graph::gen::paper_fig1_graph();
+    let oracle = Oracle::new(&g, 2, 4);
+    let mut sparse_circ = Circuit::new(oracle.layout.width);
+    for q in oracle.layout.vertices.iter() {
+        sparse_circ.push_unchecked(Gate::H(q));
+    }
+    sparse_circ.extend(oracle.u_check()).unwrap();
+    let sparse_compiled_circ = CompiledCircuit::compile(&sparse_circ);
+    let sparse_interpreted = median_secs(|| {
+        let mut s = SparseState::zero(sparse_circ.width());
+        s.run_interpreted(&sparse_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+    let sparse_compiled = median_secs(|| {
+        let mut s = SparseState::zero(sparse_circ.width());
+        s.run_compiled(&sparse_compiled_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+
+    let json = format!(
+        "{{\n  \
+         \"dense\": {{\n    \
+         \"circuit\": \"layered_circuit(width={dw}, sup=6)\",\n    \
+         \"gates\": {dg},\n    \
+         \"fused_ops\": {dops},\n    \
+         \"interpreted_s\": {di:.6},\n    \
+         \"compiled_s\": {dc:.6},\n    \
+         \"speedup\": {dsp:.2}\n  }},\n  \
+         \"sparse\": {{\n    \
+         \"circuit\": \"H^n + qTKP U_check (paper_fig1_graph, k=2, t=4, width={sw})\",\n    \
+         \"gates\": {sg},\n    \
+         \"fused_ops\": {sops},\n    \
+         \"interpreted_s\": {si:.6},\n    \
+         \"compiled_s\": {sc:.6},\n    \
+         \"speedup\": {ssp:.2}\n  }},\n  \
+         \"samples\": {samples},\n  \
+         \"parallel_feature\": {par}\n}}\n",
+        dw = dense_width,
+        dg = dense_circ.len(),
+        dops = dense_compiled_circ.len(),
+        di = dense_interpreted,
+        dc = dense_compiled,
+        dsp = dense_interpreted / dense_compiled,
+        sw = sparse_circ.width(),
+        sg = sparse_circ.len(),
+        sops = sparse_compiled_circ.len(),
+        si = sparse_interpreted,
+        sc = sparse_compiled,
+        ssp = sparse_interpreted / sparse_compiled,
+        samples = SAMPLES,
+        par = qmkp_qsim::parallel_enabled(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -3,8 +3,8 @@
 //! heuristic minor embedder on a Chimera hardware graph sized to the
 //! instance.
 
-use qmkp_bench::{print_table, quick_mode};
 use qmkp_annealer::{find_embedding_with_tries, Chimera};
+use qmkp_bench::{print_table, quick_mode};
 use qmkp_graph::gen::{chain_family_edges, gnm, DATASET_SEED};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
@@ -26,7 +26,9 @@ fn main() {
         // Size the Chimera so the clique-seeded fallback always exists
         // (grid ≥ vars/t); the routing heuristics are tried first and win
         // on the smaller instances with much shorter chains.
-        let grid = vars.div_ceil(4).max(((vars * 2) as f64).sqrt().ceil() as usize);
+        let grid = vars
+            .div_ceil(4)
+            .max(((vars * 2) as f64).sqrt().ceil() as usize);
         let hw = Chimera::new(grid, grid, 4);
         let emb = find_embedding_with_tries(&edges, vars, &hw, 3, 4, 2)
             .expect("clique fallback guarantees an embedding at this grid size");
@@ -48,8 +50,17 @@ fn main() {
     }
     print_table(
         "Fig. 11 — embedding growth vs n (k = 3, R = 2, density-matched D family)",
-        &["n", "binary variables", "physical qubits", "avg chain", "max chain", "hardware"],
+        &[
+            "n",
+            "binary variables",
+            "physical qubits",
+            "avg chain",
+            "max chain",
+            "hardware",
+        ],
         &rows,
     );
-    println!("\n(variables grow as O(n log n); qubits and chain size grow faster — the paper's trend)");
+    println!(
+        "\n(variables grow as O(n log n); qubits and chain size grow faster — the paper's trend)"
+    );
 }

@@ -45,7 +45,11 @@ fn main() {
             let c = *counts.get(&basis).unwrap_or(&0);
             let p = dist.get(&basis).copied().unwrap_or(0.0);
             let bar = "#".repeat(((p * 200.0).round() as usize).min(120));
-            let marker = if basis == solution.bits() { " <= solution" } else { "" };
+            let marker = if basis == solution.bits() {
+                " <= solution"
+            } else {
+                ""
+            };
             if c > 0 || basis == solution.bits() {
                 println!("|{basis:>2}⟩ {c:>6}  {bar}{marker}");
             }
@@ -54,7 +58,13 @@ fn main() {
 
     print_table(
         "Fig. 8 — solution amplitude convergence (k=2, T=4, 20k shots)",
-        &["iteration", "solution hits", "measured P", "exact P", "error prob"],
+        &[
+            "iteration",
+            "solution hits",
+            "measured P",
+            "exact P",
+            "error prob",
+        ],
         &rows,
     );
     let bound = std::f64::consts::PI.powi(2) / (4.0 * 6.0f64).powi(2);

@@ -12,8 +12,11 @@ use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASETS};
 use std::time::Instant;
 
 fn main() {
-    let datasets: &[(usize, usize)] =
-        if quick_mode() { &GATE_DATASETS[..2] } else { &GATE_DATASETS };
+    let datasets: &[(usize, usize)] = if quick_mode() {
+        &GATE_DATASETS[..2]
+    } else {
+        &GATE_DATASETS
+    };
     let mut rows = Vec::new();
     for &(n, m) in datasets {
         let g = paper_gate_dataset(n, m);
@@ -24,7 +27,7 @@ fn main() {
 
         let out = qmkp(&g, 2, &QmkpConfig::default());
         assert_eq!(out.best.len(), bs_best.len(), "exact solvers must agree");
-        let (first, first_time) = out.first_result.clone().expect("always finds some plex");
+        let (first, first_time) = out.first_result.expect("always finds some plex");
 
         rows.push(vec![
             format!("G_{{{n},{m}}}"),

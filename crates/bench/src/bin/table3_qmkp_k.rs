@@ -7,7 +7,11 @@ use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASET_K};
 use std::time::Instant;
 
 fn main() {
-    let (n, m) = if quick_mode() { (8, 22) } else { GATE_DATASET_K };
+    let (n, m) = if quick_mode() {
+        (8, 22)
+    } else {
+        GATE_DATASET_K
+    };
     let g = paper_gate_dataset(n, m);
     let ks: &[usize] = if quick_mode() { &[2, 3] } else { &[2, 3, 4, 5] };
     let mut rows = Vec::new();
@@ -17,7 +21,7 @@ fn main() {
         let bs_time = t0.elapsed();
         let out = qmkp(&g, k, &QmkpConfig::default());
         assert_eq!(out.best.len(), bs_best.len(), "exact solvers must agree");
-        let (first, first_time) = out.first_result.clone().expect("always finds some plex");
+        let (first, first_time) = out.first_result.expect("always finds some plex");
         rows.push(vec![
             k.to_string(),
             out.best.len().to_string(),
@@ -31,7 +35,16 @@ fn main() {
     }
     print_table(
         &format!("Table III — qMKP on G_{{{n},{m}}} across k"),
-        &["k", "max k-plex", "BS (µs)", "qMKP (µs)", "first-result (µs)", "first size", "error prob", "oracle calls"],
+        &[
+            "k",
+            "max k-plex",
+            "BS (µs)",
+            "qMKP (µs)",
+            "first-result (µs)",
+            "first size",
+            "error prob",
+            "oracle calls",
+        ],
         &rows,
     );
 }

@@ -8,8 +8,11 @@ use qmkp_core::{qmkp, QmkpConfig};
 use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASETS};
 
 fn main() {
-    let datasets: &[(usize, usize)] =
-        if quick_mode() { &GATE_DATASETS[..2] } else { &GATE_DATASETS };
+    let datasets: &[(usize, usize)] = if quick_mode() {
+        &GATE_DATASETS[..2]
+    } else {
+        &GATE_DATASETS
+    };
     let mut rows = Vec::new();
     let mut cost_rows = Vec::new();
     for &(n, m) in datasets {
@@ -28,19 +31,32 @@ fn main() {
         let total = (c.graph_encoding + c.degree_count + c.degree_compare + c.size_check) as f64;
         cost_rows.push(vec![
             format!("G_{{{n},{m}}}"),
-            format!("{:.1}", (c.graph_encoding + c.degree_count) as f64 / total * 100.0),
+            format!(
+                "{:.1}",
+                (c.graph_encoding + c.degree_count) as f64 / total * 100.0
+            ),
             format!("{:.1}", c.degree_compare as f64 / total * 100.0),
             format!("{:.1}", c.size_check as f64 / total * 100.0),
         ]);
     }
     print_table(
         "Table IV — oracle component share of qMKP simulation time (%)",
-        &["Dataset", "Degree count", "Degree comparison", "Size determination"],
+        &[
+            "Dataset",
+            "Degree count",
+            "Degree comparison",
+            "Size determination",
+        ],
         &rows,
     );
     print_table(
         "Table IV (cross-check) — static elementary-gate-cost shares (%)",
-        &["Dataset", "Degree count", "Degree comparison", "Size determination"],
+        &[
+            "Dataset",
+            "Degree count",
+            "Degree comparison",
+            "Size determination",
+        ],
         &cost_rows,
     );
 
@@ -67,7 +83,12 @@ fn main() {
     }
     print_table(
         "Table IV (paper cost model) — shares under the paper's O(n²logn)/O(nlogn) accounting (%)",
-        &["Dataset", "Degree count", "Degree comparison", "Size determination"],
+        &[
+            "Dataset",
+            "Degree count",
+            "Degree comparison",
+            "Size determination",
+        ],
         &paper_rows,
     );
 }

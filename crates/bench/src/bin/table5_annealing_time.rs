@@ -2,16 +2,23 @@
 //! at fixed total runtime t = Δt · s = 1000 µs (k = 3, R = 2) on the
 //! D_{n,m} annealing datasets.
 
-use qmkp_bench::{print_table, quick_mode};
 use qmkp_annealer::{sqa_qubo, SqaConfig};
+use qmkp_bench::{print_table, quick_mode};
 use qmkp_graph::gen::{paper_anneal_dataset, ANNEAL_DATASETS};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
 fn main() {
     let total_us = 1000.0;
-    let dts: &[f64] = if quick_mode() { &[1.0, 20.0] } else { &[1.0, 10.0, 20.0, 40.0, 100.0, 200.0] };
-    let datasets: &[(usize, usize)] =
-        if quick_mode() { &ANNEAL_DATASETS[..2] } else { &ANNEAL_DATASETS };
+    let dts: &[f64] = if quick_mode() {
+        &[1.0, 20.0]
+    } else {
+        &[1.0, 10.0, 20.0, 40.0, 100.0, 200.0]
+    };
+    let datasets: &[(usize, usize)] = if quick_mode() {
+        &ANNEAL_DATASETS[..2]
+    } else {
+        &ANNEAL_DATASETS
+    };
 
     let mut headers = vec!["Dataset".to_string()];
     headers.extend(dts.iter().map(|dt| format!("{dt:.0} µs")));
@@ -22,7 +29,13 @@ fn main() {
         let mut row = vec![format!("D_{{{n},{m}}}")];
         for &dt in dts {
             let shots = ((total_us / dt).round() as usize).max(1);
-            let out = sqa_qubo(&mq.model, &SqaConfig { seed: 11, ..SqaConfig::from_anneal_time(dt, shots) });
+            let out = sqa_qubo(
+                &mq.model,
+                &SqaConfig {
+                    seed: 11,
+                    ..SqaConfig::from_anneal_time(dt, shots)
+                },
+            );
             row.push(format!("{:.0}", out.best_energy));
         }
         rows.push(row);

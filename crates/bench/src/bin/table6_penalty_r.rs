@@ -3,8 +3,8 @@
 //! marks runs whose best sample decodes to a maximum k-plex (the paper's
 //! boldface "optimal solution found" cells).
 
-use qmkp_bench::{print_table, quick_mode};
 use qmkp_annealer::{sqa_qubo, SqaConfig};
+use qmkp_bench::{print_table, quick_mode};
 use qmkp_classical::max_kplex_bnb;
 use qmkp_graph::gen::paper_anneal_dataset;
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
@@ -30,7 +30,13 @@ fn main() {
         let mut row = vec![format!("{r}")];
         for &t in runtimes {
             let shots = (t.round() as usize).max(1);
-            let out = sqa_qubo(&mq.model, &SqaConfig { seed: 5, ..SqaConfig::from_anneal_time(1.0, shots) });
+            let out = sqa_qubo(
+                &mq.model,
+                &SqaConfig {
+                    seed: 5,
+                    ..SqaConfig::from_anneal_time(1.0, shots)
+                },
+            );
             let bits = out
                 .best
                 .iter()
@@ -39,7 +45,11 @@ fn main() {
                 .fold(0u128, |acc, (i, _)| acc | (1 << i));
             let plex = mq.decode(bits);
             let optimal = qmkp_graph::is_kplex(&g, plex, k) && plex.len() == opt;
-            row.push(format!("{:.1}{}", out.best_energy, if optimal { " *" } else { "" }));
+            row.push(format!(
+                "{:.1}{}",
+                out.best_energy,
+                if optimal { " *" } else { "" }
+            ));
         }
         rows.push(row);
     }

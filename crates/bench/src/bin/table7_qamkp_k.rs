@@ -1,8 +1,8 @@
 //! Table VII — qaMKP objective cost vs runtime for k = 2, 3, 4, 5 on
 //! D_{20,100} (R = 2, Δt = 1 µs).
 
-use qmkp_bench::{print_table, quick_mode};
 use qmkp_annealer::{sqa_qubo, SqaConfig};
+use qmkp_bench::{print_table, quick_mode};
 use qmkp_graph::gen::paper_anneal_dataset;
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
@@ -22,7 +22,13 @@ fn main() {
         let mut row = vec![k.to_string()];
         for &t in runtimes {
             let shots = (t.round() as usize).max(1);
-            let out = sqa_qubo(&mq.model, &SqaConfig { seed: 29, ..SqaConfig::from_anneal_time(1.0, shots) });
+            let out = sqa_qubo(
+                &mq.model,
+                &SqaConfig {
+                    seed: 29,
+                    ..SqaConfig::from_anneal_time(1.0, shots)
+                },
+            );
             row.push(format!("{:.0}", out.best_energy));
         }
         rows.push(row);

@@ -46,15 +46,30 @@ pub fn run_cost_vs_runtime(
     let mq = MkpQubo::new(&g, MkpQuboParams { k, r });
     let q = &mq.model;
 
-    let mut qa = Series { name: "qaMKP (SQA)", points: Vec::new() };
-    let mut sa = Series { name: "SA", points: Vec::new() };
-    let mut milp = Series { name: "MILP (BnB)", points: Vec::new() };
+    let mut qa = Series {
+        name: "qaMKP (SQA)",
+        points: Vec::new(),
+    };
+    let mut sa = Series {
+        name: "SA",
+        points: Vec::new(),
+    };
+    let mut milp = Series {
+        name: "MILP (BnB)",
+        points: Vec::new(),
+    };
 
     // qaMKP: fixed Δt, shots = t / Δt. Like the real QPU, the grid caps
     // at 10⁴ µs (the paper: "a maximum call time per QPU").
     for &t in runtimes_us.iter().filter(|&&t| t <= 1e4 + 1.0) {
         let shots = ((t / dt_us).round() as usize).max(1);
-        let out = sqa_qubo(q, &SqaConfig { seed, ..SqaConfig::from_anneal_time(dt_us, shots) });
+        let out = sqa_qubo(
+            q,
+            &SqaConfig {
+                seed,
+                ..SqaConfig::from_anneal_time(dt_us, shots)
+            },
+        );
         qa.points.push((t, out.best_energy));
     }
 
@@ -63,12 +78,21 @@ pub fn run_cost_vs_runtime(
     let sa_grid: Vec<f64> = runtimes_us
         .iter()
         .copied()
-        .chain(if crate::quick_mode() { vec![] } else { vec![1e5, 1e6] })
+        .chain(if crate::quick_mode() {
+            vec![]
+        } else {
+            vec![1e5, 1e6]
+        })
         .collect();
     for &t in &sa_grid {
         let out = anneal_qubo(
             q,
-            &SaConfig { shots: (t.round() as usize).max(1), sweeps: 2, seed, ..SaConfig::default() },
+            &SaConfig {
+                shots: (t.round() as usize).max(1),
+                sweeps: 2,
+                seed,
+                ..SaConfig::default()
+            },
         );
         sa.points.push((t, out.best_energy));
     }
@@ -78,7 +102,11 @@ pub fn run_cost_vs_runtime(
     let milp_grid: Vec<f64> = if crate::quick_mode() {
         runtimes_us.to_vec()
     } else {
-        runtimes_us.iter().copied().chain(vec![1e5, 1e6, 1e7]).collect()
+        runtimes_us
+            .iter()
+            .copied()
+            .chain(vec![1e5, 1e6, 1e7])
+            .collect()
     };
     for &t in &milp_grid {
         let out = minimize_qubo(
@@ -97,13 +125,22 @@ pub fn run_cost_vs_runtime(
     } else {
         Duration::from_secs(3)
     };
-    let out = hybrid_solve(q, &HybridConfig { min_runtime: min_rt, seed });
+    let out = hybrid_solve(
+        q,
+        &HybridConfig {
+            min_runtime: min_rt,
+            seed,
+        },
+    );
     let ha = Series {
         name: "haMKP (hybrid)",
         points: vec![(min_rt.as_secs_f64() * 1e6, out.best_energy)],
     };
 
-    CostRuntime { series: vec![qa, sa, milp, ha], num_vars: q.num_vars() }
+    CostRuntime {
+        series: vec![qa, sa, milp, ha],
+        num_vars: q.num_vars(),
+    }
 }
 
 /// The default runtime grid of the figures (µs, log-scale).

@@ -77,11 +77,7 @@ mod tests {
             for k in 1..=3 {
                 let bnb = max_kplex_bnb(&g, k);
                 assert!(is_kplex(&g, bnb, k));
-                assert_eq!(
-                    bnb.len(),
-                    max_kplex_naive(&g, k).len(),
-                    "seed={seed} k={k}"
-                );
+                assert_eq!(bnb.len(), max_kplex_naive(&g, k).len(), "seed={seed} k={k}");
             }
         }
     }

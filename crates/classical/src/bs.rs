@@ -47,13 +47,20 @@ pub fn max_kplex_bs_seeded(g: &Graph, k: usize, seed: VertexSet) -> (VertexSet, 
     let gc = g.complement();
     let mut best = seed;
     let mut stats = BsStats::default();
-    search(&gc, k, VertexSet::EMPTY, gc.vertices(), &mut best, &mut stats);
+    search(
+        &gc,
+        k,
+        VertexSet::EMPTY,
+        gc.vertices(),
+        &mut best,
+        &mut stats,
+    );
     (best, stats)
 }
 
 /// Is every vertex of `scope` of complement-degree ≤ k−1 within `scope`?
 fn low_degree(gc: &Graph, scope: VertexSet, k: usize) -> bool {
-    scope.iter().all(|v| gc.degree_in(v, scope) <= k - 1)
+    scope.iter().all(|v| gc.degree_in(v, scope) < k)
 }
 
 fn search(
@@ -121,7 +128,7 @@ fn search(
 
 /// Is `p` a k-cplex of the complement graph?
 fn feasible(gc: &Graph, k: usize, p: VertexSet) -> bool {
-    p.iter().all(|v| gc.degree_in(v, p) <= k - 1)
+    p.iter().all(|v| gc.degree_in(v, p) < k)
 }
 
 #[cfg(test)]
@@ -149,11 +156,7 @@ mod tests {
             for k in 1..=3 {
                 let (p, _) = max_kplex_bs(&g, k);
                 assert!(is_kplex(&g, p, k));
-                assert_eq!(
-                    p.len(),
-                    max_kplex_naive(&g, k).len(),
-                    "seed={seed} k={k}"
-                );
+                assert_eq!(p.len(), max_kplex_naive(&g, k).len(), "seed={seed} k={k}");
             }
         }
     }

@@ -73,13 +73,19 @@ impl TwoClubOracle {
         let mut c = Circuit::new(width);
         c.begin_section("pair_check");
         for (j, &(u, v)) in bad_pairs.iter().enumerate() {
-            let mut controls = vec![Control::pos(vertices.qubit(u)), Control::pos(vertices.qubit(v))];
+            let mut controls = vec![
+                Control::pos(vertices.qubit(u)),
+                Control::pos(vertices.qubit(v)),
+            ];
             controls.extend(
                 g.common_neighbors_in(u, v, g.vertices())
                     .iter()
                     .map(|w| Control::neg(vertices.qubit(w))),
             );
-            c.push_unchecked(Gate::Mcx { controls, target: bad.qubit(j) });
+            c.push_unchecked(Gate::Mcx {
+                controls,
+                target: bad.qubit(j),
+            });
         }
         // club = ∧_j ¬bad_j.
         c.push_unchecked(Gate::Mcx {
@@ -131,9 +137,9 @@ impl TwoClubOracle {
     pub fn is_two_club(g: &Graph, s: VertexSet) -> bool {
         let members: Vec<usize> = s.iter().collect();
         members.iter().enumerate().all(|(i, &u)| {
-            members[i + 1..].iter().all(|&v| {
-                g.has_edge(u, v) || !g.common_neighbors_in(u, v, s).is_empty()
-            })
+            members[i + 1..]
+                .iter()
+                .all(|&v| g.has_edge(u, v) || !g.common_neighbors_in(u, v, s).is_empty())
         })
     }
 }
@@ -231,7 +237,10 @@ mod tests {
         assert!(!TwoClubOracle::is_two_club(&path, path.vertices()));
         // …and the common neighbour must be INSIDE the set.
         let p3 = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
-        assert!(!TwoClubOracle::is_two_club(&p3, VertexSet::from_iter([0, 2])));
+        assert!(!TwoClubOracle::is_two_club(
+            &p3,
+            VertexSet::from_iter([0, 2])
+        ));
         assert!(TwoClubOracle::is_two_club(&p3, p3.vertices()));
     }
 

@@ -51,12 +51,7 @@ pub fn exact_solution_count(oracle: &Oracle) -> u64 {
 ///
 /// # Panics
 /// Panics if `precision` is 0 or greater than 20, or `m > 2^n_qubits`.
-pub fn quantum_count<R: Rng>(
-    n_qubits: usize,
-    m: u64,
-    precision: usize,
-    rng: &mut R,
-) -> u64 {
+pub fn quantum_count<R: Rng>(n_qubits: usize, m: u64, precision: usize, rng: &mut R) -> u64 {
     assert!((1..=20).contains(&precision), "precision must be in 1..=20");
     let n = (1u128 << n_qubits) as f64;
     assert!((m as f64) <= n, "m must not exceed 2^n");
@@ -216,7 +211,10 @@ mod tests {
             })
             .count();
         // 8/π² ≈ 0.81; allow slack for sampling noise.
-        assert!(ok as f64 / trials as f64 > 0.7, "bound held in {ok}/{trials}");
+        assert!(
+            ok as f64 / trials as f64 > 0.7,
+            "bound held in {ok}/{trials}"
+        );
     }
 
     #[test]
@@ -237,10 +235,9 @@ mod tests {
             let mut state = DenseState::from_basis(p, y as u128).unwrap();
             state.run(&circ).unwrap();
             for big_y in 0..n {
-                let expected = Complex::from_phase(
-                    2.0 * std::f64::consts::PI * (y * big_y) as f64 / n as f64,
-                )
-                .scale(1.0 / (n as f64).sqrt());
+                let expected =
+                    Complex::from_phase(2.0 * std::f64::consts::PI * (y * big_y) as f64 / n as f64)
+                        .scale(1.0 / (n as f64).sqrt());
                 let got = state.amplitude(big_y as u128);
                 assert!(
                     (got - expected).norm() < 1e-10,

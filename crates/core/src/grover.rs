@@ -3,7 +3,7 @@
 
 use crate::oracle::Oracle;
 use qmkp_graph::VertexSet;
-use qmkp_qsim::{Circuit, Gate, QuantumState, Register, SparseState};
+use qmkp_qsim::{Circuit, CompiledCircuit, Gate, QuantumState, Register, SparseState};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -164,10 +164,18 @@ pub fn diffusion_circuit(width: usize, vertices: &Register) -> Circuit {
 }
 
 /// Drives Grover iterations of a phase oracle on the sparse backend.
+///
+/// The three circuits of an iteration (`U_check`, `U_check†`, diffusion)
+/// are compiled once at construction — mask-precomputed and fused into
+/// kernel ops — and the compiled forms are reused every iteration. Wall
+/// time is still attributed per oracle section: compilation never fuses
+/// across section boundaries, so each section's op range is timed exactly.
 pub struct GroverDriver<O: PhaseOracle = Oracle> {
     oracle: O,
     state: SparseState,
-    diffusion: Circuit,
+    u_check: CompiledCircuit,
+    u_check_inv: CompiledCircuit,
+    diffusion: CompiledCircuit,
     iterations_done: usize,
     times: SectionTimes,
 }
@@ -175,7 +183,7 @@ pub struct GroverDriver<O: PhaseOracle = Oracle> {
 impl<O: PhaseOracle> GroverDriver<O> {
     /// Prepares the initial state: `|O⟩ → |−⟩` (X then H, per Figure 12's
     /// `|O⟩ = |1⟩` input plus Hadamard) and the vertex register in uniform
-    /// superposition.
+    /// superposition; compiles the iteration circuits.
     pub fn new(oracle: O) -> Self {
         let width = oracle.width();
         let mut state = SparseState::zero(width);
@@ -184,8 +192,19 @@ impl<O: PhaseOracle> GroverDriver<O> {
         for q in oracle.vertex_register().iter() {
             state.apply(&Gate::H(q));
         }
-        let diffusion = diffusion_circuit(width, oracle.vertex_register());
-        GroverDriver { oracle, state, diffusion, iterations_done: 0, times: SectionTimes::default() }
+        let u_check = CompiledCircuit::compile(oracle.u_check());
+        let u_check_inv = CompiledCircuit::compile(oracle.u_check_inv());
+        let diffusion =
+            CompiledCircuit::compile(&diffusion_circuit(width, oracle.vertex_register()));
+        GroverDriver {
+            oracle,
+            state,
+            u_check,
+            u_check_inv,
+            diffusion,
+            iterations_done: 0,
+            times: SectionTimes::default(),
+        }
     }
 
     /// The oracle being driven.
@@ -206,14 +225,13 @@ impl<O: PhaseOracle> GroverDriver<O> {
     /// Runs one Grover iteration: `U_check` → flip → `U_check†` →
     /// diffusion, attributing wall time to oracle sections.
     pub fn iterate(&mut self) {
-        self.run_sectioned(self.oracle.u_check().clone());
+        Self::run_sectioned(&mut self.state, &self.u_check, &mut self.times);
         let flip = self.oracle.flip_gate();
         let start = Instant::now();
         self.state.apply(&flip);
         self.times.add("flip", start.elapsed());
-        self.run_sectioned(self.oracle.u_check_inv().clone());
-        let diffusion = self.diffusion.clone();
-        self.run_sectioned(diffusion);
+        Self::run_sectioned(&mut self.state, &self.u_check_inv, &mut self.times);
+        Self::run_sectioned(&mut self.state, &self.diffusion, &mut self.times);
         self.iterations_done += 1;
     }
 
@@ -224,27 +242,36 @@ impl<O: PhaseOracle> GroverDriver<O> {
         }
     }
 
-    fn run_sectioned(&mut self, circuit: Circuit) {
-        let gates = circuit.gates();
-        for section in circuit.sections() {
-            let name = section.name.trim_end_matches('†').to_string();
-            let start = Instant::now();
-            for g in &gates[section.range.clone()] {
-                self.state.apply(g);
+    /// Applies a compiled circuit, timing each section's op range (and any
+    /// ops between sections as "other"). `U_check` and `U_check†` share
+    /// buckets: the trailing `†` is stripped from section names.
+    fn run_sectioned(
+        state: &mut SparseState,
+        compiled: &CompiledCircuit,
+        times: &mut SectionTimes,
+    ) {
+        let ops = compiled.ops();
+        let mut pos = 0;
+        let mut run_range = |range: std::ops::Range<usize>, name: &str| {
+            if range.is_empty() {
+                return;
             }
-            self.times.add(&name, start.elapsed());
-        }
-        // Gates outside any section (none today, but stay robust).
-        let covered: usize = circuit.sections().iter().map(|s| s.range.len()).sum();
-        if covered < gates.len() {
             let start = Instant::now();
-            for (i, g) in gates.iter().enumerate() {
-                if !circuit.sections().iter().any(|s| s.range.contains(&i)) {
-                    self.state.apply(g);
-                }
+            for op in &ops[range] {
+                state.apply_op(op);
             }
-            self.times.add("other", start.elapsed());
+            times.add(name, start.elapsed());
+        };
+        for section in compiled.sections() {
+            debug_assert!(
+                section.range.start >= pos,
+                "sections must be ordered and disjoint"
+            );
+            run_range(pos..section.range.start, "other");
+            run_range(section.range.clone(), section.name.trim_end_matches('†'));
+            pos = section.range.end;
         }
+        run_range(pos..ops.len(), "other");
     }
 
     /// The probability distribution over vertex-register basis states
@@ -256,12 +283,16 @@ impl<O: PhaseOracle> GroverDriver<O> {
     /// Total probability mass on the given vertex sets.
     pub fn probability_of_sets(&self, sets: &[VertexSet]) -> f64 {
         let dist = self.vertex_distribution();
-        sets.iter().map(|s| dist.get(&s.bits()).copied().unwrap_or(0.0)).sum()
+        sets.iter()
+            .map(|s| dist.get(&s.bits()).copied().unwrap_or(0.0))
+            .sum()
     }
 
     /// Samples one measurement of the vertex register.
     pub fn measure<R: Rng>(&self, rng: &mut R) -> VertexSet {
-        let counts = self.state.sample(rng, 1, &self.oracle.vertex_register().qubits());
+        let counts = self
+            .state
+            .sample(rng, 1, &self.oracle.vertex_register().qubits());
         let (&bits, _) = counts.iter().next().expect("one shot produces one outcome");
         VertexSet::from_bits(bits)
     }
@@ -269,7 +300,8 @@ impl<O: PhaseOracle> GroverDriver<O> {
     /// Samples `shots` measurements of the vertex register, returning
     /// set → count (the paper's 20K-shot histograms).
     pub fn sample_counts<R: Rng>(&self, rng: &mut R, shots: usize) -> BTreeMap<u128, usize> {
-        self.state.sample(rng, shots, &self.oracle.vertex_register().qubits())
+        self.state
+            .sample(rng, shots, &self.oracle.vertex_register().qubits())
     }
 
     /// Support size of the underlying sparse state (diagnostics).
@@ -329,7 +361,10 @@ mod tests {
             driver.iterate();
             let p = driver.probability_of_sets(&sols);
             let theory = success_probability_theory(6, 1, i);
-            assert!((p - theory).abs() < 1e-9, "iter {i}: sim {p} vs theory {theory}");
+            assert!(
+                (p - theory).abs() < 1e-9,
+                "iter {i}: sim {p} vs theory {theory}"
+            );
             assert!(p > prev, "amplitude must grow through iteration {i}");
             prev = p;
         }
@@ -350,7 +385,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 48, "expected ≥48/50 correct measurements, got {hits}");
+        assert!(
+            hits >= 48,
+            "expected ≥48/50 correct measurements, got {hits}"
+        );
     }
 
     #[test]
@@ -359,7 +397,11 @@ mod tests {
         let g = paper_fig1_graph();
         let mut driver = GroverDriver::new(Oracle::new(&g, 2, 4));
         driver.iterate_n(2);
-        assert!(driver.support_size() <= 2 * 64, "support {}", driver.support_size());
+        assert!(
+            driver.support_size() <= 2 * 64,
+            "support {}",
+            driver.support_size()
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod oracle;
 pub mod qmkp;
 pub mod qtkp;
 
-pub use counting::{exact_solution_count, inverse_qft, qft, quantum_count, solutions};
 pub use club::{max_two_club, TwoClubOracle};
+pub use counting::{exact_solution_count, inverse_qft, qft, quantum_count, solutions};
 pub use grover::{diffusion_circuit, optimal_iterations, GroverDriver, PhaseOracle};
 pub use layout::OracleLayout;
 pub use oracle::{Oracle, OracleSectionCost};

@@ -116,7 +116,12 @@ impl Oracle {
         c.end_section();
 
         let u_check_inv = c.inverse();
-        Oracle { layout, graph: g.clone(), u_check: c, u_check_inv }
+        Oracle {
+            layout,
+            graph: g.clone(),
+            u_check: c,
+            u_check_inv,
+        }
     }
 
     /// The forward check circuit (`U_check`).

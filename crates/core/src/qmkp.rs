@@ -199,7 +199,10 @@ mod tests {
             let reduced = qmkp(
                 &g,
                 2,
-                &QmkpConfig { use_reduction: true, ..QmkpConfig::default() },
+                &QmkpConfig {
+                    use_reduction: true,
+                    ..QmkpConfig::default()
+                },
             );
             assert_eq!(plain.best.len(), reduced.best.len(), "seed={seed}");
             assert!(is_kplex(&g, reduced.best, 2));
@@ -213,7 +216,10 @@ mod tests {
         let reduced = qmkp(
             &g,
             2,
-            &QmkpConfig { use_reduction: true, ..QmkpConfig::default() },
+            &QmkpConfig {
+                use_reduction: true,
+                ..QmkpConfig::default()
+            },
         );
         assert_eq!(plain.best.len(), reduced.best.len());
         assert!(
@@ -245,7 +251,11 @@ mod tests {
     fn binary_search_uses_logarithmically_many_calls() {
         let g = gnm(8, 13, 0).unwrap();
         let out = qmkp(&g, 2, &QmkpConfig::default());
-        assert!(out.calls.len() <= 5, "O(log n) probes, got {}", out.calls.len());
+        assert!(
+            out.calls.len() <= 5,
+            "O(log n) probes, got {}",
+            out.calls.len()
+        );
     }
 
     #[test]

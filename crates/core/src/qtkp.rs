@@ -7,8 +7,8 @@
 //! retried, which is how the paper's `π²/(4I)²ᶜ` error amplification
 //! works).
 
-pub use crate::grover::SectionTimes;
 use crate::counting::{exact_solution_count, quantum_count, solutions};
+pub use crate::grover::SectionTimes;
 use crate::grover::{optimal_iterations, GroverDriver};
 use crate::oracle::{Oracle, OracleSectionCost};
 use qmkp_graph::{Graph, VertexSet};
@@ -58,7 +58,11 @@ pub struct QtkpConfig {
 
 impl Default for QtkpConfig {
     fn default() -> Self {
-        QtkpConfig { m_estimate: MEstimate::Exact, seed: 0xC0FFEE, max_attempts: 3 }
+        QtkpConfig {
+            m_estimate: MEstimate::Exact,
+            seed: 0xC0FFEE,
+            max_attempts: 3,
+        }
     }
 }
 
@@ -106,9 +110,7 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
     let m = match config.m_estimate {
         MEstimate::Exact => true_m,
         MEstimate::Given(m) => m,
-        MEstimate::QuantumCounting { precision } => {
-            quantum_count(n, true_m, precision, &mut rng)
-        }
+        MEstimate::QuantumCounting { precision } => quantum_count(n, true_m, precision, &mut rng),
         MEstimate::Unknown { .. } => unreachable!("handled above"),
     };
 
@@ -155,7 +157,10 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
 /// the only false-negative source is the probabilistic cutoff, whose
 /// failure probability is exponentially small for feasible instances.
 fn qtkp_unknown_m(g: &Graph, k: usize, t: usize, config: &QtkpConfig, lambda: f64) -> QtkpOutcome {
-    assert!(lambda > 1.0 && lambda <= 4.0 / 3.0, "lambda must be in (1, 4/3]");
+    assert!(
+        lambda > 1.0 && lambda <= 4.0 / 3.0,
+        "lambda must be in (1, 4/3]"
+    );
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let oracle = Oracle::new(g, k, t);
@@ -263,7 +268,10 @@ mod tests {
     #[test]
     fn given_m_overrides_census() {
         let g = paper_fig1_graph();
-        let cfg = QtkpConfig { m_estimate: MEstimate::Given(4), ..QtkpConfig::default() };
+        let cfg = QtkpConfig {
+            m_estimate: MEstimate::Given(4),
+            ..QtkpConfig::default()
+        };
         let out = qtkp(&g, 2, 4, &cfg);
         assert_eq!(out.m, 4);
         // Wrong M means fewer iterations (3 instead of 6) — lower but
@@ -292,7 +300,11 @@ mod tests {
         let g = paper_fig1_graph();
         let out = qtkp(&g, 2, 4, &QtkpConfig::default());
         let bound = std::f64::consts::PI.powi(2) / (4.0 * 6.0f64).powi(2);
-        assert!(out.error_probability <= bound, "{} > {bound}", out.error_probability);
+        assert!(
+            out.error_probability <= bound,
+            "{} > {bound}",
+            out.error_probability
+        );
     }
 
     #[test]

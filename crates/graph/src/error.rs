@@ -42,14 +42,23 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
             GraphError::TooManyVertices { requested, max } => {
-                write!(f, "requested {requested} vertices but at most {max} are supported")
+                write!(
+                    f,
+                    "requested {requested} vertices but at most {max} are supported"
+                )
             }
             GraphError::TooManyEdges { requested, max } => {
-                write!(f, "requested {requested} edges but at most {max} are possible")
+                write!(
+                    f,
+                    "requested {requested} edges but at most {max} are possible"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
@@ -70,11 +79,20 @@ mod tests {
         assert!(e.to_string().contains("vertex 9"));
         let e = GraphError::SelfLoop(3);
         assert!(e.to_string().contains("self-loop"));
-        let e = GraphError::TooManyVertices { requested: 200, max: 128 };
+        let e = GraphError::TooManyVertices {
+            requested: 200,
+            max: 128,
+        };
         assert!(e.to_string().contains("200"));
-        let e = GraphError::TooManyEdges { requested: 100, max: 10 };
+        let e = GraphError::TooManyEdges {
+            requested: 100,
+            max: 10,
+        };
         assert!(e.to_string().contains("100"));
-        let e = GraphError::Parse { line: 4, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 }

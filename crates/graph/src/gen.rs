@@ -156,8 +156,12 @@ pub fn paper_gate_dataset(n: usize, m: usize) -> Graph {
 /// The paper's annealing dataset `D_{n,m}` (Tables V-VII, Figs. 9-11),
 /// generated as seeded `G(n, m)` from an independent seed stream.
 pub fn paper_anneal_dataset(n: usize, m: usize) -> Graph {
-    gnm(n, m, DATASET_SEED.wrapping_mul(0x9e37_79b9) ^ ((n as u64) << 32) ^ m as u64)
-        .expect("paper dataset parameters are valid")
+    gnm(
+        n,
+        m,
+        DATASET_SEED.wrapping_mul(0x9e37_79b9) ^ ((n as u64) << 32) ^ m as u64,
+    )
+    .expect("paper dataset parameters are valid")
 }
 
 /// The `(n, m)` pairs of the gate-based datasets in Table II.
@@ -198,7 +202,7 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Result<Graph, Grap
     }
     // Degree-proportional target sampling via an endpoint multiset.
     let mut endpoints: Vec<usize> = (0..=attach)
-        .flat_map(|u| std::iter::repeat(u).take(attach))
+        .flat_map(|u| std::iter::repeat_n(u, attach))
         .collect();
     for v in (attach + 1)..n {
         let mut targets = VertexSet::EMPTY;

@@ -25,9 +25,15 @@ impl Graph {
     /// Returns [`GraphError::TooManyVertices`] if `n > 128`.
     pub fn new(n: usize) -> Result<Self, GraphError> {
         if n > MAX_VERTICES {
-            return Err(GraphError::TooManyVertices { requested: n, max: MAX_VERTICES });
+            return Err(GraphError::TooManyVertices {
+                requested: n,
+                max: MAX_VERTICES,
+            });
         }
-        Ok(Graph { adj: vec![VertexSet::EMPTY; n], m: 0 })
+        Ok(Graph {
+            adj: vec![VertexSet::EMPTY; n],
+            m: 0,
+        })
     }
 
     /// Creates a graph with `n` vertices from an edge list.
@@ -153,9 +159,7 @@ impl Graph {
     pub fn complement(&self) -> Graph {
         let n = self.n();
         let full = VertexSet::full(n);
-        let adj: Vec<VertexSet> = (0..n)
-            .map(|v| (full - self.adj[v]).without(v))
-            .collect();
+        let adj: Vec<VertexSet> = (0..n).map(|v| (full - self.adj[v]).without(v)).collect();
         let m = n * (n - 1) / 2 - self.m;
         Graph { adj, m }
     }
@@ -199,7 +203,9 @@ impl Graph {
     /// Whether the induced subgraph on `s` is connected
     /// (vacuously true for empty and singleton sets).
     pub fn is_connected_on(&self, s: VertexSet) -> bool {
-        let Some(start) = s.min_vertex() else { return true };
+        let Some(start) = s.min_vertex() else {
+            return true;
+        };
         let mut seen = VertexSet::singleton(start);
         let mut frontier = seen;
         while !frontier.is_empty() {
@@ -255,15 +261,24 @@ mod tests {
 
     #[test]
     fn too_many_vertices_is_an_error() {
-        assert!(matches!(Graph::new(129), Err(GraphError::TooManyVertices { .. })));
+        assert!(matches!(
+            Graph::new(129),
+            Err(GraphError::TooManyVertices { .. })
+        ));
         assert!(Graph::new(128).is_ok());
     }
 
     #[test]
     fn add_edge_rejects_bad_input() {
         let mut g = Graph::new(3).unwrap();
-        assert!(matches!(g.add_edge(0, 3), Err(GraphError::VertexOutOfRange { .. })));
-        assert!(matches!(g.add_edge(4, 0), Err(GraphError::VertexOutOfRange { .. })));
+        assert!(matches!(
+            g.add_edge(0, 3),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(4, 0),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
         assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1))));
     }
 

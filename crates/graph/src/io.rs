@@ -132,7 +132,10 @@ pub fn write_dimacs(g: &Graph) -> String {
 }
 
 fn parse_err(line: usize, message: &str) -> GraphError {
-    GraphError::Parse { line, message: message.to_string() }
+    GraphError::Parse {
+        line,
+        message: message.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +162,10 @@ mod tests {
     #[test]
     fn edge_list_header_mismatch_is_rejected() {
         let text = "3 5\n0 1\n";
-        assert!(matches!(parse_edge_list(text), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            parse_edge_list(text),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -184,7 +190,10 @@ mod tests {
         let g = parse_dimacs(text).unwrap();
         assert!(g.has_edge(0, 1));
         assert!(parse_dimacs("e 1 2\n").is_err(), "edge before p line");
-        assert!(parse_dimacs("p edge 3 1\ne 0 2\n").is_err(), "0-indexed edge");
+        assert!(
+            parse_dimacs("p edge 3 1\ne 0 2\n").is_err(),
+            "0-indexed edge"
+        );
         assert!(parse_dimacs("p tree 3 1\n").is_err(), "bad problem kind");
         assert!(parse_dimacs("hello\n").is_err());
         assert!(parse_dimacs("").is_err());

@@ -25,7 +25,7 @@ pub fn is_kplex(g: &Graph, p: VertexSet, k: usize) -> bool {
 /// (the equivalence qTKP exploits).
 pub fn is_kcplex(g: &Graph, c: VertexSet, k: usize) -> bool {
     debug_assert!(k >= 1, "k-cplex requires k ≥ 1");
-    c.iter().all(|v| g.degree_in(v, c) <= k - 1)
+    c.iter().all(|v| g.degree_in(v, c) < k)
 }
 
 /// How far `p` is from being a k-plex: the total number of missing

@@ -188,8 +188,8 @@ mod tests {
 
     #[test]
     fn core_numbers_of_clique_plus_pendant() {
-        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)])
-            .unwrap();
+        let g =
+            Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)]).unwrap();
         let cores = core_numbers(&g);
         assert_eq!(cores[4], 1);
         assert_eq!(&cores[..4], &[3, 3, 3, 3]);
@@ -197,8 +197,8 @@ mod tests {
 
     #[test]
     fn kcore_peels_correctly() {
-        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)])
-            .unwrap();
+        let g =
+            Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)]).unwrap();
         assert_eq!(kcore(&g, 3), VertexSet::from_iter([0, 1, 2, 3]));
         assert_eq!(kcore(&g, 1), g.vertices());
         assert!(kcore(&g, 4).is_empty());

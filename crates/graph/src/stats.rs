@@ -63,8 +63,8 @@ pub fn average_clustering(g: &Graph) -> f64 {
 pub fn distance_matrix(g: &Graph) -> Vec<Vec<usize>> {
     let n = g.n();
     let mut dist = vec![vec![usize::MAX; n]; n];
-    for s in 0..n {
-        dist[s][s] = 0;
+    for (s, row) in dist.iter_mut().enumerate() {
+        row[s] = 0;
         let mut frontier = vec![s];
         let mut d = 0;
         while !frontier.is_empty() {
@@ -72,8 +72,8 @@ pub fn distance_matrix(g: &Graph) -> Vec<Vec<usize>> {
             let mut next = Vec::new();
             for &u in &frontier {
                 for v in g.neighbors(u).iter() {
-                    if dist[s][v] == usize::MAX {
-                        dist[s][v] = d;
+                    if row[v] == usize::MAX {
+                        row[v] = d;
                         next.push(v);
                     }
                 }

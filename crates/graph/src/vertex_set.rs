@@ -8,7 +8,9 @@
 //! for degrees, subset iteration) compiles down to a handful of word ops.
 
 use std::fmt;
-use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not, Sub, SubAssign};
+use std::ops::{
+    BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not, Sub, SubAssign,
+};
 
 /// Maximum number of vertices representable by [`VertexSet`].
 pub const MAX_VERTICES: usize = 128;
@@ -43,7 +45,10 @@ impl VertexSet {
     /// Panics if `n > 128`.
     #[inline]
     pub fn full(n: usize) -> Self {
-        assert!(n <= MAX_VERTICES, "VertexSet supports at most {MAX_VERTICES} vertices");
+        assert!(
+            n <= MAX_VERTICES,
+            "VertexSet supports at most {MAX_VERTICES} vertices"
+        );
         if n == MAX_VERTICES {
             VertexSet(u128::MAX)
         } else {
@@ -52,6 +57,7 @@ impl VertexSet {
     }
 
     /// Creates a set from an iterator of vertex indices.
+    #[allow(clippy::should_implement_trait)] // inherent for ergonomics; callers use VertexSet::from_iter directly
     pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
         let mut s = VertexSet::new();
         for v in iter {

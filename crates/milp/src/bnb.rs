@@ -33,7 +33,11 @@ pub struct BnbConfig {
 
 impl Default for BnbConfig {
     fn default() -> Self {
-        BnbConfig { time_limit: Duration::from_secs(10), node_limit: u64::MAX, presolve: true }
+        BnbConfig {
+            time_limit: Duration::from_secs(10),
+            node_limit: u64::MAX,
+            presolve: true,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ impl Search {
         if energy < self.best_energy - 1e-12 {
             self.best_energy = energy;
             self.best = assignment.to_vec();
-            self.trace.push(TracePoint { elapsed: self.start.elapsed(), energy });
+            self.trace.push(TracePoint {
+                elapsed: self.start.elapsed(),
+                energy,
+            });
         }
     }
 
@@ -90,7 +97,7 @@ impl Search {
             return true;
         }
         if self.nodes >= self.config.node_limit
-            || (self.nodes % 256 == 0 && self.start.elapsed() >= self.config.time_limit)
+            || (self.nodes.is_multiple_of(256) && self.start.elapsed() >= self.config.time_limit)
         {
             self.out_of_budget = true;
         }
@@ -155,7 +162,10 @@ pub fn minimize_qubo(q: &QuboModel, config: &BnbConfig) -> BnbOutcome {
         let pre = qmkp_qubo::presolve(q);
         if pre.num_fixed() > 0 {
             let reduced = qmkp_qubo::reduce_model(q, &pre);
-            let inner = BnbConfig { presolve: false, ..config.clone() };
+            let inner = BnbConfig {
+                presolve: false,
+                ..config.clone()
+            };
             let out = minimize_qubo(&reduced, &inner);
             let best = pre.expand(&out.best);
             debug_assert!((q.energy(&best) - out.best_energy).abs() < 1e-6);
@@ -219,7 +229,7 @@ pub fn minimize_qubo(q: &QuboModel, config: &BnbConfig) -> BnbOutcome {
         best_energy: f64::INFINITY,
         best: vec![false; n],
         trace: Vec::new(),
-    out_of_budget: false,
+        out_of_budget: false,
     };
     search.record_incumbent(&greedy_ordered, greedy_energy);
 
@@ -291,7 +301,10 @@ mod tests {
         let q = MkpQubo::new(&g, MkpQuboParams { k: 2, r: 2.0 });
         let out = minimize_qubo(&q.model, &BnbConfig::default());
         assert!(out.proven_optimal);
-        assert!((out.best_energy + 4.0).abs() < 1e-9, "max 2-plex has size 4");
+        assert!(
+            (out.best_energy + 4.0).abs() < 1e-9,
+            "max 2-plex has size 4"
+        );
         let bits = out
             .best
             .iter()
@@ -320,7 +333,11 @@ mod tests {
         let q = random_qubo(20, 4);
         let out = minimize_qubo(
             &q,
-            &BnbConfig { node_limit: 50, time_limit: Duration::from_secs(60), presolve: false },
+            &BnbConfig {
+                node_limit: 50,
+                time_limit: Duration::from_secs(60),
+                presolve: false,
+            },
         );
         assert!(!out.proven_optimal);
         assert!(out.nodes <= 51);
@@ -340,7 +357,11 @@ mod tests {
         let out = minimize_qubo(&q, &BnbConfig::default());
         assert!(out.proven_optimal);
         assert_eq!(out.best_energy, -8.0);
-        assert!(out.nodes < 2048, "separable model should prune, used {} nodes", out.nodes);
+        assert!(
+            out.nodes < 2048,
+            "separable model should prune, used {} nodes",
+            out.nodes
+        );
     }
 
     #[test]
@@ -357,10 +378,16 @@ mod tests {
             let q = random_qubo(11, seed + 100);
             let plain = minimize_qubo(
                 &q,
-                &BnbConfig { presolve: false, ..BnbConfig::default() },
+                &BnbConfig {
+                    presolve: false,
+                    ..BnbConfig::default()
+                },
             );
             let pre = minimize_qubo(&q, &BnbConfig::default());
-            assert!((plain.best_energy - pre.best_energy).abs() < 1e-9, "seed={seed}");
+            assert!(
+                (plain.best_energy - pre.best_energy).abs() < 1e-9,
+                "seed={seed}"
+            );
             assert!((q.energy(&pre.best) - pre.best_energy).abs() < 1e-9);
         }
     }
@@ -371,7 +398,10 @@ mod tests {
         let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
         let plain = minimize_qubo(
             &mq.model,
-            &BnbConfig { presolve: false, ..BnbConfig::default() },
+            &BnbConfig {
+                presolve: false,
+                ..BnbConfig::default()
+            },
         );
         let pre = minimize_qubo(&mq.model, &BnbConfig::default());
         assert!((plain.best_energy - pre.best_energy).abs() < 1e-9);

@@ -19,5 +19,5 @@ pub mod linearize;
 pub mod simplex;
 
 pub use bnb::{minimize_qubo, BnbConfig, BnbOutcome, TracePoint};
-pub use linearize::{LinearizedMilp, LinearConstraint};
+pub use linearize::{LinearConstraint, LinearizedMilp};
 pub use simplex::{solve_lp, LpOutcome, LpProblem};

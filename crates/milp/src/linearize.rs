@@ -51,16 +51,28 @@ impl LinearizedMilp {
             objective.push(coeff);
             products.push((u, v));
             // y − x_u ≤ 0
-            constraints.push(LinearConstraint { terms: vec![(y, 1.0), (u, -1.0)], rhs: 0.0 });
+            constraints.push(LinearConstraint {
+                terms: vec![(y, 1.0), (u, -1.0)],
+                rhs: 0.0,
+            });
             // y − x_v ≤ 0
-            constraints.push(LinearConstraint { terms: vec![(y, 1.0), (v, -1.0)], rhs: 0.0 });
+            constraints.push(LinearConstraint {
+                terms: vec![(y, 1.0), (v, -1.0)],
+                rhs: 0.0,
+            });
             // x_u + x_v − y ≤ 1
             constraints.push(LinearConstraint {
                 terms: vec![(u, 1.0), (v, 1.0), (y, -1.0)],
                 rhs: 1.0,
             });
         }
-        LinearizedMilp { offset: q.offset(), objective, constraints, num_binary: nb, products }
+        LinearizedMilp {
+            offset: q.offset(),
+            objective,
+            constraints,
+            num_binary: nb,
+            products,
+        }
     }
 
     /// Total variables (binaries plus products).
@@ -138,7 +150,10 @@ mod tests {
             for p in 0..milp.products.len() {
                 let mut bad = z.clone();
                 bad[3 + p] = 1.0 - bad[3 + p];
-                assert!(!milp.is_feasible(&bad, 1e-9), "flipped y must be infeasible");
+                assert!(
+                    !milp.is_feasible(&bad, 1e-9),
+                    "flipped y must be infeasible"
+                );
             }
         }
     }

@@ -52,8 +52,8 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
         t[i][n + i] = 1.0;
         t[i][cols - 1] = b.max(0.0);
     }
-    for j in 0..n {
-        t[m][j] = -p.objective[j]; // minimize −cᵀx row convention
+    for (obj_cell, c) in t[m][..n].iter_mut().zip(&p.objective) {
+        *obj_cell = -c; // minimize −cᵀx row convention
     }
     let mut basis: Vec<usize> = (n..n + m).collect();
 
@@ -84,9 +84,7 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
                 match leave {
                     None => leave = Some((i, ratio)),
                     Some((li, lr)) => {
-                        if ratio < lr - EPS
-                            || (ratio < lr + EPS && basis[i] < basis[li])
-                        {
+                        if ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li]) {
                             leave = Some((i, ratio));
                         }
                     }
@@ -101,11 +99,12 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
         for v in t[pivot_row].iter_mut() {
             *v /= pv;
         }
-        for i in 0..=m {
-            if i != pivot_row && t[i][enter].abs() > EPS {
-                let f = t[i][enter];
-                for j in 0..cols {
-                    t[i][j] -= f * t[pivot_row][j];
+        let pivot = t[pivot_row].clone();
+        for (i, row) in t.iter_mut().enumerate() {
+            if i != pivot_row && row[enter].abs() > EPS {
+                let f = row[enter];
+                for (cell, pv) in row.iter_mut().zip(&pivot) {
+                    *cell -= f * pv;
                 }
             }
         }
@@ -141,13 +140,19 @@ mod tests {
     #[test]
     fn detects_unboundedness() {
         // max x with only −x ≤ 1: unbounded above.
-        let p = LpProblem { objective: vec![1.0], constraints: vec![(vec![-1.0], 1.0)] };
+        let p = LpProblem {
+            objective: vec![1.0],
+            constraints: vec![(vec![-1.0], 1.0)],
+        };
         assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
     }
 
     #[test]
     fn zero_objective_is_trivially_optimal() {
-        let p = LpProblem { objective: vec![0.0, 0.0], constraints: vec![(vec![1.0, 1.0], 1.0)] };
+        let p = LpProblem {
+            objective: vec![0.0, 0.0],
+            constraints: vec![(vec![1.0, 1.0], 1.0)],
+        };
         match solve_lp(&p) {
             LpOutcome::Optimal { value, .. } => assert_close(value, 0.0),
             other => panic!("{other:?}"),

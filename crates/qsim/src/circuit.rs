@@ -41,7 +41,12 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit over `width` qubits.
     pub fn new(width: usize) -> Self {
-        Circuit { width, gates: Vec::new(), sections: Vec::new(), open_section: None }
+        Circuit {
+            width,
+            gates: Vec::new(),
+            sections: Vec::new(),
+            open_section: None,
+        }
     }
 
     /// Circuit width (number of qubits).
@@ -88,7 +93,8 @@ impl Circuit {
     /// builders whose indices come from a [`crate::register::QubitAllocator`]
     /// and are correct by construction.
     pub fn push_unchecked(&mut self, gate: Gate) {
-        gate.validate(self.width).expect("gate must reference valid qubits");
+        gate.validate(self.width)
+            .expect("gate must reference valid qubits");
         self.gates.push(gate);
     }
 
@@ -103,7 +109,10 @@ impl Circuit {
     /// Closes the currently open section, if any.
     pub fn end_section(&mut self) {
         if let Some((name, start)) = self.open_section.take() {
-            self.sections.push(Section { name, range: start..self.gates.len() });
+            self.sections.push(Section {
+                name,
+                range: start..self.gates.len(),
+            });
         }
     }
 
@@ -114,7 +123,10 @@ impl Circuit {
     /// Fails if widths differ.
     pub fn extend(&mut self, other: &Circuit) -> Result<(), SimError> {
         if other.width != self.width {
-            return Err(SimError::WidthMismatch { expected: self.width, actual: other.width });
+            return Err(SimError::WidthMismatch {
+                expected: self.width,
+                actual: other.width,
+            });
         }
         let offset = self.gates.len();
         self.gates.extend(other.gates.iter().cloned());
@@ -142,7 +154,12 @@ impl Circuit {
             })
             .collect();
         sections.reverse();
-        Circuit { width: self.width, gates, sections, open_section: None }
+        Circuit {
+            width: self.width,
+            gates,
+            sections,
+            open_section: None,
+        }
     }
 
     /// Gate statistics for the whole circuit.
@@ -267,7 +284,12 @@ mod tests {
         c.push_unchecked(Gate::H(1));
         c.push_unchecked(Gate::ccnot(0, 1, 2));
         c.push_unchecked(Gate::Mcx {
-            controls: vec![Control::pos(0), Control::pos(1), Control::neg(2), Control::pos(3)],
+            controls: vec![
+                Control::pos(0),
+                Control::pos(1),
+                Control::neg(2),
+                Control::pos(3),
+            ],
             target: 4,
         });
         let s = c.stats();

@@ -1,0 +1,508 @@
+//! Circuit compilation: lowering a [`Circuit`] to fused kernel ops.
+//!
+//! Interpreting a circuit gate-by-gate makes one full pass over the state
+//! per gate and re-examines each gate's control list (a heap-allocated
+//! `Vec<Control>`) for every basis state. The qTKP oracle is dominated by
+//! exactly the gates that make this expensive: long ladders of
+//! multi-controlled X gates. Compilation removes both costs up front:
+//!
+//! 1. **Mask precompilation** — every control list is folded once into a
+//!    `(care, want)` bit-mask pair, so the per-basis-state test collapses
+//!    to one AND and one compare ([`MaskedFlip`], [`MaskedPhase`]).
+//! 2. **Permutation-segment fusion** — maximal runs of classical-
+//!    reversible gates (X / MCX) become a single [`CompiledOp::Permutation`]
+//!    applied in one pass over the state; likewise runs of diagonal gates
+//!    (Z / Phase / CPhase / MCZ) fuse into one [`CompiledOp::Diagonal`].
+//!    Runs never cross section boundaries, so per-section timing (the
+//!    paper's Table IV attribution) stays exact.
+//! 3. The remaining gates (H / Ry) lower to a general real-free 2×2 kernel
+//!    ([`SingleQubit`]) applied as a butterfly pass.
+//!
+//! Execution lives with the backends (`QuantumState::run_compiled`); this
+//! module is purely the IR and the lowering.
+
+use crate::circuit::{Circuit, Section};
+use crate::complex::Complex;
+use crate::gate::Gate;
+
+/// A conditional bit-flip: if `basis & care == want`, XOR `flip` into the
+/// basis state.
+///
+/// Every X/MCX gate lowers to one `MaskedFlip`. Because a gate's qubits
+/// are distinct by validation, `care ∩ flip = ∅`, which makes the step an
+/// involution — the property the dense gather pass relies on to invert a
+/// fused permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskedFlip {
+    /// Bits that participate in the control test.
+    pub care: u128,
+    /// Required pattern on the `care` bits.
+    pub want: u128,
+    /// Bits flipped when the test passes (the MCX targets).
+    pub flip: u128,
+}
+
+impl MaskedFlip {
+    /// Applies the step to a basis state. Branchless: the control test on
+    /// a superposed register passes for an unpredictable subset of basis
+    /// states, so a data-dependent branch here mispredicts constantly in
+    /// the dense gather's hot loop.
+    #[inline]
+    pub fn apply(self, basis: u128) -> u128 {
+        let hit = ((basis & self.care == self.want) as u128).wrapping_neg();
+        basis ^ (self.flip & hit)
+    }
+}
+
+/// A conditional phase factor: if `basis & care == want`, multiply the
+/// amplitude by `phase`. Z / Phase / CPhase / MCZ all lower to this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskedPhase {
+    /// Bits that participate in the test.
+    pub care: u128,
+    /// Required pattern on the `care` bits.
+    pub want: u128,
+    /// The phase factor (`-1` for Z/MCZ, `e^{iθ}` for Phase/CPhase).
+    pub phase: Complex,
+}
+
+impl MaskedPhase {
+    /// Whether the phase applies to a basis state.
+    #[inline]
+    pub fn applies_to(self, basis: u128) -> bool {
+        basis & self.care == self.want
+    }
+}
+
+/// A dense 2×2 single-qubit kernel `[[m00, m01], [m10, m11]]` acting on
+/// `qubit`: `a' = m00·a + m01·b`, `b' = m10·a + m11·b` for the amplitude
+/// pair `(a, b)` with the qubit clear/set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleQubit {
+    /// The acted-on qubit.
+    pub qubit: usize,
+    /// Matrix entry row 0, column 0.
+    pub m00: Complex,
+    /// Matrix entry row 0, column 1.
+    pub m01: Complex,
+    /// Matrix entry row 1, column 0.
+    pub m10: Complex,
+    /// Matrix entry row 1, column 1.
+    pub m11: Complex,
+}
+
+/// One fused kernel operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledOp {
+    /// A fused run of classical-reversible gates, applied as one pass.
+    /// Steps are in gate order.
+    Permutation(Vec<MaskedFlip>),
+    /// A fused run of diagonal gates, applied as one pass.
+    Diagonal(Vec<MaskedPhase>),
+    /// A single-qubit butterfly (H or Ry).
+    Single(SingleQubit),
+}
+
+impl CompiledOp {
+    /// Number of kernel steps in this op. At most the number of source
+    /// gates folded into it — peephole cancellation (adjacent inverse
+    /// flips, merged same-mask phases) can shrink a run, possibly to zero
+    /// steps, in which case the op is a no-op the backends skip.
+    pub fn fused_gates(&self) -> usize {
+        match self {
+            CompiledOp::Permutation(steps) => steps.len(),
+            CompiledOp::Diagonal(phases) => phases.len(),
+            CompiledOp::Single(_) => 1,
+        }
+    }
+}
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Lowers one gate to its kernel form.
+fn lower(gate: &Gate) -> CompiledOp {
+    match gate {
+        Gate::X(q) => CompiledOp::Permutation(vec![MaskedFlip {
+            care: 0,
+            want: 0,
+            flip: 1u128 << q,
+        }]),
+        Gate::Mcx { controls, target } => {
+            let mut care = 0u128;
+            let mut want = 0u128;
+            for c in controls {
+                care |= 1u128 << c.qubit;
+                if c.positive {
+                    want |= 1u128 << c.qubit;
+                }
+            }
+            CompiledOp::Permutation(vec![MaskedFlip {
+                care,
+                want,
+                flip: 1u128 << target,
+            }])
+        }
+        Gate::Z(q) => CompiledOp::Diagonal(vec![MaskedPhase {
+            care: 1u128 << q,
+            want: 1u128 << q,
+            phase: Complex::real(-1.0),
+        }]),
+        Gate::Phase(q, theta) => CompiledOp::Diagonal(vec![MaskedPhase {
+            care: 1u128 << q,
+            want: 1u128 << q,
+            phase: Complex::from_phase(*theta),
+        }]),
+        Gate::CPhase(p, q, theta) => {
+            let m = (1u128 << p) | (1u128 << q);
+            CompiledOp::Diagonal(vec![MaskedPhase {
+                care: m,
+                want: m,
+                phase: Complex::from_phase(*theta),
+            }])
+        }
+        Gate::Mcz { controls, target } => {
+            let mut care = 1u128 << target;
+            let mut want = 1u128 << target;
+            for c in controls {
+                care |= 1u128 << c.qubit;
+                if c.positive {
+                    want |= 1u128 << c.qubit;
+                }
+            }
+            CompiledOp::Diagonal(vec![MaskedPhase {
+                care,
+                want,
+                phase: Complex::real(-1.0),
+            }])
+        }
+        Gate::H(q) => {
+            let h = Complex::real(FRAC_1_SQRT_2);
+            CompiledOp::Single(SingleQubit {
+                qubit: *q,
+                m00: h,
+                m01: h,
+                m10: h,
+                m11: -h,
+            })
+        }
+        Gate::Ry(q, theta) => {
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            CompiledOp::Single(SingleQubit {
+                qubit: *q,
+                m00: Complex::real(c),
+                m01: Complex::real(-s),
+                m10: Complex::real(s),
+                m11: Complex::real(c),
+            })
+        }
+    }
+}
+
+/// A circuit lowered to fused kernel ops, with section tags carried over
+/// as op-index ranges.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    width: usize,
+    ops: Vec<CompiledOp>,
+    sections: Vec<Section>,
+    source_gates: usize,
+}
+
+impl CompiledCircuit {
+    /// Compiles a circuit: lowers every gate and fuses maximal same-class
+    /// runs of permutation and diagonal gates, closing runs at section
+    /// boundaries so per-section attribution stays exact.
+    pub fn compile(circuit: &Circuit) -> Self {
+        // Gate indices at which a fused run must end (exclusive starts
+        // and ends of every section).
+        let mut boundaries: Vec<usize> = circuit
+            .sections()
+            .iter()
+            .flat_map(|s| [s.range.start, s.range.end])
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let mut ops: Vec<CompiledOp> = Vec::new();
+        // Open run, if any: accumulating flips or phases.
+        let mut open: Option<CompiledOp> = None;
+        // For each gate, the op index it was folded into.
+        let mut gate_to_op: Vec<usize> = Vec::with_capacity(circuit.len());
+
+        for (g, gate) in circuit.gates().iter().enumerate() {
+            if boundaries.binary_search(&g).is_ok() {
+                if let Some(run) = open.take() {
+                    ops.push(run);
+                }
+            }
+            match (lower(gate), &mut open) {
+                (CompiledOp::Permutation(step), Some(CompiledOp::Permutation(steps))) => {
+                    // Peephole: each step is an involution, so a step equal
+                    // to its predecessor composes to the identity. Oracle
+                    // circuits are full of such pairs — every compute /
+                    // uncompute mirror meets at one, and the cancellations
+                    // cascade through the whole mirrored run.
+                    let s = step[0];
+                    if steps.last() == Some(&s) {
+                        steps.pop();
+                    } else {
+                        steps.push(s);
+                    }
+                }
+                (CompiledOp::Diagonal(phase), Some(CompiledOp::Diagonal(phases))) => {
+                    // Peephole: consecutive phases conditioned on the same
+                    // bit pattern multiply into one step.
+                    let p = phase[0];
+                    match phases.last_mut() {
+                        Some(last) if last.care == p.care && last.want == p.want => {
+                            last.phase *= p.phase;
+                        }
+                        _ => phases.push(p),
+                    }
+                }
+                (CompiledOp::Single(k), _) => {
+                    if let Some(run) = open.take() {
+                        ops.push(run);
+                    }
+                    gate_to_op.push(ops.len());
+                    ops.push(CompiledOp::Single(k));
+                    continue;
+                }
+                (fresh, _) => {
+                    if let Some(run) = open.take() {
+                        ops.push(run);
+                    }
+                    open = Some(fresh);
+                }
+            }
+            // The open run will become the op at index `ops.len()`.
+            gate_to_op.push(ops.len());
+        }
+        if let Some(run) = open.take() {
+            ops.push(run);
+        }
+
+        let sections = circuit
+            .sections()
+            .iter()
+            .map(|s| {
+                let range = if s.range.is_empty() {
+                    let at = gate_to_op.get(s.range.start).copied().unwrap_or(ops.len());
+                    at..at
+                } else {
+                    gate_to_op[s.range.start]..gate_to_op[s.range.end - 1] + 1
+                };
+                Section {
+                    name: s.name.clone(),
+                    range,
+                }
+            })
+            .collect();
+
+        CompiledCircuit {
+            width: circuit.width(),
+            ops,
+            sections,
+            source_gates: circuit.len(),
+        }
+    }
+
+    /// Circuit width (number of qubits).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The fused ops in order.
+    #[inline]
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Section tags translated to op-index ranges.
+    #[inline]
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Number of gates in the source circuit.
+    #[inline]
+    pub fn source_gates(&self) -> usize {
+        self.source_gates
+    }
+
+    /// Number of fused ops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the compiled circuit has no ops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Control;
+
+    #[test]
+    fn masked_flip_is_an_involution() {
+        let f = MaskedFlip {
+            care: 0b011,
+            want: 0b001,
+            flip: 0b100,
+        };
+        for b in 0..8u128 {
+            assert_eq!(f.apply(f.apply(b)), b);
+        }
+        assert_eq!(f.apply(0b001), 0b101);
+        assert_eq!(f.apply(0b011), 0b011);
+    }
+
+    #[test]
+    fn mcx_lowering_folds_polarities() {
+        let g = Gate::Mcx {
+            controls: vec![Control::pos(0), Control::neg(2)],
+            target: 3,
+        };
+        let CompiledOp::Permutation(steps) = lower(&g) else {
+            panic!("MCX must lower to a permutation");
+        };
+        assert_eq!(
+            steps,
+            vec![MaskedFlip {
+                care: 0b101,
+                want: 0b001,
+                flip: 0b1000
+            }]
+        );
+    }
+
+    #[test]
+    fn mcz_lowering_includes_target_in_mask() {
+        let g = Gate::Mcz {
+            controls: vec![Control::neg(0)],
+            target: 1,
+        };
+        let CompiledOp::Diagonal(phases) = lower(&g) else {
+            panic!("MCZ must lower to a diagonal");
+        };
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].care, 0b11);
+        assert_eq!(phases[0].want, 0b10);
+        assert_eq!(phases[0].phase, Complex::real(-1.0));
+    }
+
+    #[test]
+    fn runs_fuse_and_classes_split() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::X(0));
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.push_unchecked(Gate::ccnot(0, 1, 2)); // 3-gate permutation run
+        c.push_unchecked(Gate::Z(0));
+        c.push_unchecked(Gate::Phase(1, 0.3)); // 2-gate diagonal run
+        c.push_unchecked(Gate::H(2)); // single
+        c.push_unchecked(Gate::X(1)); // new permutation run
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.len(), 4);
+        assert!(matches!(&cc.ops()[0], CompiledOp::Permutation(s) if s.len() == 3));
+        assert!(matches!(&cc.ops()[1], CompiledOp::Diagonal(p) if p.len() == 2));
+        assert!(matches!(&cc.ops()[2], CompiledOp::Single(k) if k.qubit == 2));
+        assert!(matches!(&cc.ops()[3], CompiledOp::Permutation(s) if s.len() == 1));
+        assert_eq!(cc.source_gates(), 7);
+    }
+
+    #[test]
+    fn section_boundaries_split_runs() {
+        let mut c = Circuit::new(2);
+        c.begin_section("a");
+        c.push_unchecked(Gate::X(0));
+        c.push_unchecked(Gate::X(1));
+        c.begin_section("b");
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.end_section();
+        let cc = CompiledCircuit::compile(&c);
+        // Without the boundary all three would fuse into one permutation.
+        assert_eq!(cc.len(), 2);
+        assert_eq!(cc.sections().len(), 2);
+        assert_eq!(cc.sections()[0].name, "a");
+        assert_eq!(cc.sections()[0].range, 0..1);
+        assert_eq!(cc.sections()[1].name, "b");
+        assert_eq!(cc.sections()[1].range, 1..2);
+    }
+
+    #[test]
+    fn gates_outside_sections_fuse_between_boundaries() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::X(0)); // before any section
+        c.begin_section("s");
+        c.push_unchecked(Gate::X(1));
+        c.end_section();
+        c.push_unchecked(Gate::X(0)); // after
+        c.push_unchecked(Gate::X(1));
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.len(), 3);
+        assert_eq!(cc.sections()[0].range, 1..2);
+        assert!(matches!(&cc.ops()[2], CompiledOp::Permutation(s) if s.len() == 2));
+    }
+
+    #[test]
+    fn adjacent_inverse_flips_cancel() {
+        // A compute/uncompute mirror: the cancellations cascade from the
+        // turnaround until the whole run is gone.
+        let mut c = Circuit::new(4);
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::ccnot(1, 2, 3));
+        c.push_unchecked(Gate::ccnot(1, 2, 3));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::cnot(0, 1));
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.len(), 1);
+        assert!(matches!(&cc.ops()[0], CompiledOp::Permutation(s) if s.is_empty()));
+        assert_eq!(cc.source_gates(), 6);
+    }
+
+    #[test]
+    fn section_boundaries_block_cancellation() {
+        // The same mirror, but with a section boundary at the turnaround:
+        // the runs close there and the pairs survive, keeping per-section
+        // cost attribution faithful to what actually executes.
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.begin_section("s");
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.end_section();
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.len(), 2);
+        assert!(matches!(&cc.ops()[0], CompiledOp::Permutation(s) if s.len() == 1));
+        assert!(matches!(&cc.ops()[1], CompiledOp::Permutation(s) if s.len() == 1));
+    }
+
+    #[test]
+    fn same_mask_phases_merge() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::Phase(0, 0.4));
+        c.push_unchecked(Gate::Phase(0, 0.5));
+        c.push_unchecked(Gate::Z(1));
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.len(), 1);
+        let CompiledOp::Diagonal(phases) = &cc.ops()[0] else {
+            panic!("phases must lower to a diagonal");
+        };
+        assert_eq!(phases.len(), 2);
+        assert!((phases[0].phase - Complex::from_phase(0.9)).norm() < 1e-12);
+        assert_eq!(phases[1].phase, Complex::real(-1.0));
+    }
+
+    #[test]
+    fn empty_circuit_compiles_to_nothing() {
+        let cc = CompiledCircuit::compile(&Circuit::new(4));
+        assert!(cc.is_empty());
+        assert_eq!(cc.width(), 4);
+    }
+}

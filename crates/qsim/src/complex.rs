@@ -39,7 +39,10 @@ impl Complex {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²` (the measurement probability of an
@@ -58,7 +61,10 @@ impl Complex {
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Whether the value is within `eps` of zero in both components.
@@ -70,7 +76,10 @@ impl Complex {
     /// `e^{iθ}`.
     #[inline]
     pub fn from_phase(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 }
 
@@ -78,7 +87,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline]
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -86,7 +98,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline]
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -105,7 +120,10 @@ impl Neg for Complex {
     type Output = Complex;
     #[inline]
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -209,7 +227,10 @@ mod tests {
 
     #[test]
     fn formatting() {
-        assert_eq!(format!("{}", Complex::new(0.5, -0.25)), "0.500000-0.250000i");
+        assert_eq!(
+            format!("{}", Complex::new(0.5, -0.25)),
+            "0.500000-0.250000i"
+        );
         assert_eq!(format!("{}", Complex::new(0.5, 0.25)), "0.500000+0.250000i");
     }
 }

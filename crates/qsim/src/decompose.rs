@@ -58,7 +58,10 @@ pub fn lower_to_toffoli(circuit: &Circuit) -> Lowered {
             other => out.push_unchecked(other.clone()),
         }
     }
-    Lowered { circuit: out, ancillas }
+    Lowered {
+        circuit: out,
+        ancillas,
+    }
 }
 
 /// Emits the ladder decomposition of one CᵏNOT (k ≥ 3) with positive-

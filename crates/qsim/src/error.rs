@@ -42,10 +42,16 @@ impl fmt::Display for SimError {
                 write!(f, "qubit {q} used more than once in a single gate")
             }
             SimError::TooManyQubitsForDense { requested, max } => {
-                write!(f, "dense backend supports at most {max} qubits, got {requested}")
+                write!(
+                    f,
+                    "dense backend supports at most {max} qubits, got {requested}"
+                )
             }
             SimError::WidthMismatch { expected, actual } => {
-                write!(f, "circuit width mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "circuit width mismatch: expected {expected}, got {actual}"
+                )
             }
         }
     }
@@ -62,12 +68,20 @@ mod tests {
         assert!(SimError::QubitOutOfRange { qubit: 7, width: 4 }
             .to_string()
             .contains("qubit 7"));
-        assert!(SimError::DuplicateQubit(2).to_string().contains("more than once"));
-        assert!(SimError::TooManyQubitsForDense { requested: 40, max: 26 }
+        assert!(SimError::DuplicateQubit(2)
             .to_string()
-            .contains("40"));
-        assert!(SimError::WidthMismatch { expected: 3, actual: 5 }
-            .to_string()
-            .contains("expected 3"));
+            .contains("more than once"));
+        assert!(SimError::TooManyQubitsForDense {
+            requested: 40,
+            max: 26
+        }
+        .to_string()
+        .contains("40"));
+        assert!(SimError::WidthMismatch {
+            expected: 3,
+            actual: 5
+        }
+        .to_string()
+        .contains("expected 3"));
     }
 }

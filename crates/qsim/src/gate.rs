@@ -23,12 +23,18 @@ pub struct Control {
 impl Control {
     /// A filled-dot (`|1⟩`) control.
     pub const fn pos(qubit: usize) -> Self {
-        Control { qubit, positive: true }
+        Control {
+            qubit,
+            positive: true,
+        }
     }
 
     /// A hollow-dot (`|0⟩`) control.
     pub const fn neg(qubit: usize) -> Self {
-        Control { qubit, positive: false }
+        Control {
+            qubit,
+            positive: false,
+        }
     }
 
     /// Whether the control is satisfied by the given basis state.
@@ -78,12 +84,18 @@ pub enum Gate {
 impl Gate {
     /// Convenience constructor: CNOT.
     pub fn cnot(control: usize, target: usize) -> Gate {
-        Gate::Mcx { controls: vec![Control::pos(control)], target }
+        Gate::Mcx {
+            controls: vec![Control::pos(control)],
+            target,
+        }
     }
 
     /// Convenience constructor: Toffoli (C²NOT).
     pub fn ccnot(c1: usize, c2: usize, target: usize) -> Gate {
-        Gate::Mcx { controls: vec![Control::pos(c1), Control::pos(c2)], target }
+        Gate::Mcx {
+            controls: vec![Control::pos(c1), Control::pos(c2)],
+            target,
+        }
     }
 
     /// Convenience constructor: CᵏNOT with all-positive controls.

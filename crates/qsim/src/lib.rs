@@ -20,8 +20,9 @@
 //! oracle's three components for Table IV), and gate statistics.
 
 pub mod circuit;
-pub mod decompose;
+pub mod compile;
 pub mod complex;
+pub mod decompose;
 pub mod error;
 pub mod gate;
 pub mod measure;
@@ -29,10 +30,17 @@ pub mod register;
 pub mod state;
 
 pub use circuit::{Circuit, GateStats, Section};
-pub use decompose::{lower_to_toffoli, Lowered};
+pub use compile::{CompiledCircuit, CompiledOp, MaskedFlip, MaskedPhase, SingleQubit};
 pub use complex::Complex;
+pub use decompose::{lower_to_toffoli, Lowered};
 pub use error::SimError;
-pub use measure::{collapse, measure_and_collapse, measure_and_collapse_dense};
 pub use gate::{Control, Gate};
+pub use measure::{collapse, measure_and_collapse, measure_and_collapse_dense};
 pub use register::{QubitAllocator, Register};
 pub use state::{DenseState, QuantumState, SparseState};
+
+/// Whether this build of the simulator was compiled with the `parallel`
+/// feature (rayon-backed dense kernels). Useful for benchmark provenance.
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}

@@ -66,7 +66,10 @@ pub fn measure_and_collapse_dense<R: Rng>(state: &mut DenseState, q: usize, rng:
     assert!(total > 1e-12, "state must be normalized");
     let outcome = rng.gen::<f64>() * total < p1;
     let norm = if outcome { p1 } else { total - p1 };
-    assert!(norm > PRUNE_EPS, "collapsing onto a zero-probability branch");
+    assert!(
+        norm > PRUNE_EPS,
+        "collapsing onto a zero-probability branch"
+    );
     let scale = 1.0 / norm.sqrt();
     state.project(|b| (b & mask != 0) == outcome, scale);
     outcome

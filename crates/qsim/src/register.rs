@@ -24,7 +24,12 @@ impl Register {
     /// Panics if `i >= len`.
     #[inline]
     pub fn qubit(&self, i: usize) -> usize {
-        assert!(i < self.len, "register {} has {} qubits, asked for {i}", self.name, self.len);
+        assert!(
+            i < self.len,
+            "register {} has {} qubits, asked for {i}",
+            self.name,
+            self.len
+        );
         self.start + i
     }
 
@@ -50,7 +55,11 @@ impl Register {
         if self.len == 0 {
             return 0;
         }
-        let mask = if self.len >= 128 { u128::MAX } else { (1u128 << self.len) - 1 };
+        let mask = if self.len >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.len) - 1
+        };
         (basis >> self.start) & mask
     }
 }
@@ -69,7 +78,11 @@ impl QubitAllocator {
 
     /// Allocates a register of `len` qubits.
     pub fn alloc(&mut self, name: &str, len: usize) -> Register {
-        let reg = Register { name: name.to_string(), start: self.next, len };
+        let reg = Register {
+            name: name.to_string(),
+            start: self.next,
+            len,
+        };
         self.next += len;
         reg
     }
@@ -103,7 +116,11 @@ mod tests {
 
     #[test]
     fn register_indexing_and_iteration() {
-        let r = Register { name: "c".into(), start: 3, len: 4 };
+        let r = Register {
+            name: "c".into(),
+            start: 3,
+            len: 4,
+        };
         assert_eq!(r.qubit(0), 3);
         assert_eq!(r.qubit(3), 6);
         assert_eq!(r.qubits(), vec![3, 4, 5, 6]);
@@ -113,16 +130,28 @@ mod tests {
     #[test]
     #[should_panic(expected = "has 4 qubits")]
     fn register_index_out_of_range_panics() {
-        let r = Register { name: "c".into(), start: 3, len: 4 };
+        let r = Register {
+            name: "c".into(),
+            start: 3,
+            len: 4,
+        };
         let _ = r.qubit(4);
     }
 
     #[test]
     fn extract_register_value() {
-        let r = Register { name: "c".into(), start: 2, len: 3 };
+        let r = Register {
+            name: "c".into(),
+            start: 2,
+            len: 3,
+        };
         // basis = …10110 ⇒ bits 2..5 are 101 ⇒ value 5
         assert_eq!(r.extract(0b10110), 0b101);
-        let empty = Register { name: "z".into(), start: 0, len: 0 };
+        let empty = Register {
+            name: "z".into(),
+            start: 0,
+            len: 0,
+        };
         assert_eq!(empty.extract(u128::MAX), 0);
     }
 }

@@ -1,11 +1,22 @@
 //! Quantum state backends: dense statevector and sparse amplitude map.
+//!
+//! Both backends execute circuits through the compiled kernel path
+//! ([`crate::compile::CompiledCircuit`]): [`QuantumState::run`] lowers the
+//! circuit once and then applies fused ops, each in a single pass over the
+//! state. The gate-by-gate interpreter survives as
+//! [`QuantumState::run_interpreted`] (and [`QuantumState::apply`]) for
+//! cross-checking and for callers that apply individual gates.
 
 use crate::circuit::Circuit;
+use crate::compile::{CompiledCircuit, CompiledOp, MaskedFlip, MaskedPhase, SingleQubit};
 use crate::complex::Complex;
 use crate::error::SimError;
 use crate::gate::Gate;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 
 /// Amplitudes below this magnitude are dropped by the sparse backend after
 /// non-permutation gates, keeping the representation tight without
@@ -13,6 +24,16 @@ use std::collections::{BTreeMap, HashMap};
 pub const PRUNE_EPS: f64 = 1e-14;
 
 const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Dense kernels run serially below this amplitude count; above it, passes
+/// are split across threads. Covers the thread-spawn overhead of the
+/// scoped-thread pool with room to spare.
+#[cfg(feature = "parallel")]
+const PAR_MIN_AMPS: usize = 1 << 16;
+
+/// Work granule (in amplitudes) for index-parallel dense passes.
+#[cfg(feature = "parallel")]
+const PAR_CHUNK: usize = 1 << 13;
 
 /// Common interface of the simulation backends.
 ///
@@ -25,17 +46,46 @@ pub trait QuantumState {
     /// Applies a single gate (assumed already validated for this width).
     fn apply(&mut self, gate: &Gate);
 
+    /// Applies one compiled kernel op.
+    fn apply_op(&mut self, op: &CompiledOp);
+
     /// The amplitude of a basis state.
     fn amplitude(&self, basis: u128) -> Complex;
 
     /// All nonzero `(basis, amplitude)` pairs, sorted by basis state.
     fn nonzero(&self) -> Vec<(u128, Complex)>;
 
-    /// Runs a whole circuit.
+    /// Runs a whole circuit through the compiled kernel path.
     ///
     /// # Errors
     /// Fails if the circuit width does not match the state width.
     fn run(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        self.run_compiled(&CompiledCircuit::compile(circuit))
+    }
+
+    /// Runs an already-compiled circuit.
+    ///
+    /// # Errors
+    /// Fails if the compiled width does not match the state width.
+    fn run_compiled(&mut self, compiled: &CompiledCircuit) -> Result<(), SimError> {
+        if compiled.width() != self.width() {
+            return Err(SimError::WidthMismatch {
+                expected: self.width(),
+                actual: compiled.width(),
+            });
+        }
+        for op in compiled.ops() {
+            self.apply_op(op);
+        }
+        Ok(())
+    }
+
+    /// Runs a circuit gate by gate, without compilation. Reference path
+    /// for equivalence testing against [`QuantumState::run`].
+    ///
+    /// # Errors
+    /// Fails if the circuit width does not match the state width.
+    fn run_interpreted(&mut self, circuit: &Circuit) -> Result<(), SimError> {
         if circuit.width() != self.width() {
             return Err(SimError::WidthMismatch {
                 expected: self.width(),
@@ -78,23 +128,32 @@ pub trait QuantumState {
     /// Samples `shots` measurement outcomes of the given qubits, returning
     /// outcome → count. Outcome keys are encoded as in
     /// [`QuantumState::marginal`].
+    ///
+    /// Each shot is a binary search over the cumulative distribution, so
+    /// sampling costs `O(support + shots·log support)` rather than the
+    /// `O(shots·support)` of a per-shot linear scan.
     fn sample<R: Rng>(&self, rng: &mut R, shots: usize, qubits: &[usize]) -> BTreeMap<u128, usize>
     where
         Self: Sized,
     {
         let marg: Vec<(u128, f64)> = self.marginal(qubits).into_iter().collect();
-        let total: f64 = marg.iter().map(|(_, p)| p).sum();
+        let mut cumulative = Vec::with_capacity(marg.len());
+        let mut acc = 0.0;
+        for &(_, p) in &marg {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let total = acc;
         let mut counts = BTreeMap::new();
         for _ in 0..shots {
-            let mut x: f64 = rng.gen::<f64>() * total;
-            let mut chosen = marg.last().map(|(k, _)| *k).unwrap_or(0);
-            for &(k, p) in &marg {
-                if x < p {
-                    chosen = k;
-                    break;
-                }
-                x -= p;
-            }
+            let x: f64 = rng.gen::<f64>() * total;
+            // First outcome whose cumulative mass exceeds x; the min guards
+            // against x == total after floating-point rounding.
+            let idx = cumulative.partition_point(|&c| c <= x);
+            let chosen = marg
+                .get(idx.min(marg.len().saturating_sub(1)))
+                .map(|&(k, _)| k)
+                .unwrap_or(0);
             *counts.entry(chosen).or_insert(0) += 1;
         }
         counts
@@ -113,6 +172,9 @@ pub const MAX_DENSE_QUBITS: usize = 26;
 pub struct DenseState {
     width: usize,
     amps: Vec<Complex>,
+    /// Reusable gather buffer for fused permutation passes; swapped with
+    /// `amps` after each pass so no allocation recurs.
+    scratch: Vec<Complex>,
 }
 
 impl DenseState {
@@ -122,11 +184,18 @@ impl DenseState {
     /// Fails if `width > 26`.
     pub fn from_basis(width: usize, basis: u128) -> Result<Self, SimError> {
         if width > MAX_DENSE_QUBITS {
-            return Err(SimError::TooManyQubitsForDense { requested: width, max: MAX_DENSE_QUBITS });
+            return Err(SimError::TooManyQubitsForDense {
+                requested: width,
+                max: MAX_DENSE_QUBITS,
+            });
         }
         let mut amps = vec![Complex::ZERO; 1usize << width];
         amps[basis as usize] = Complex::ONE;
-        Ok(DenseState { width, amps })
+        Ok(DenseState {
+            width,
+            amps,
+            scratch: Vec::new(),
+        })
     }
 
     /// `|0…0⟩` over `width` qubits.
@@ -153,6 +222,106 @@ impl DenseState {
             }
         }
     }
+
+    /// One gather pass applying a fused permutation: `out[i] = in[P⁻¹(i)]`.
+    /// Each [`MaskedFlip`] is an involution, so the inverse permutation is
+    /// the steps applied in reverse order.
+    fn apply_permutation(&mut self, steps: &[MaskedFlip]) {
+        if steps.is_empty() {
+            // Peephole cancellation can empty a run; skip the copy pass.
+            return;
+        }
+        self.scratch.resize(self.amps.len(), Complex::ZERO);
+        let amps = &self.amps;
+        let scratch = &mut self.scratch[..];
+        let gather = |i: usize| {
+            let mut j = i as u128;
+            for s in steps.iter().rev() {
+                j = s.apply(j);
+            }
+            amps[j as usize]
+        };
+        #[cfg(feature = "parallel")]
+        if amps.len() >= PAR_MIN_AMPS {
+            scratch
+                .par_chunks_mut(PAR_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * PAR_CHUNK;
+                    for (t, out) in chunk.iter_mut().enumerate() {
+                        *out = gather(base + t);
+                    }
+                });
+            std::mem::swap(&mut self.amps, &mut self.scratch);
+            return;
+        }
+        for (i, out) in scratch.iter_mut().enumerate() {
+            *out = gather(i);
+        }
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+    }
+
+    /// One in-place pass applying a fused run of diagonal gates.
+    fn apply_diagonal(&mut self, phases: &[MaskedPhase]) {
+        if phases.is_empty() {
+            return;
+        }
+        let update = |i: usize, a: &mut Complex| {
+            let b = i as u128;
+            for p in phases {
+                if p.applies_to(b) {
+                    *a *= p.phase;
+                }
+            }
+        };
+        #[cfg(feature = "parallel")]
+        if self.amps.len() >= PAR_MIN_AMPS {
+            self.amps
+                .par_chunks_mut(PAR_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * PAR_CHUNK;
+                    for (t, a) in chunk.iter_mut().enumerate() {
+                        update(base + t, a);
+                    }
+                });
+            return;
+        }
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            update(i, a);
+        }
+    }
+
+    /// A butterfly pass applying a general single-qubit kernel.
+    fn apply_single(&mut self, k: &SingleQubit) {
+        let m = 1usize << k.qubit;
+        let (m00, m01, m10, m11) = (k.m00, k.m01, k.m10, k.m11);
+        // Processes a block whose length is a multiple of 2m, pairing
+        // offsets (t, t+m) within each 2m-sized run.
+        let butterfly = |block: &mut [Complex]| {
+            let mut base = 0;
+            while base < block.len() {
+                for t in base..base + m {
+                    let a = block[t];
+                    let b = block[t + m];
+                    block[t] = m00 * a + m01 * b;
+                    block[t + m] = m10 * a + m11 * b;
+                }
+                base += 2 * m;
+            }
+        };
+        #[cfg(feature = "parallel")]
+        {
+            // Chunks stay multiples of 2m (both powers of two), so no
+            // amplitude pair straddles a chunk boundary.
+            let chunk = (2 * m).max(PAR_CHUNK);
+            if self.amps.len() >= PAR_MIN_AMPS && self.amps.len() > chunk {
+                self.amps.par_chunks_mut(chunk).for_each(butterfly);
+                return;
+            }
+        }
+        butterfly(&mut self.amps);
+    }
 }
 
 impl QuantumState for DenseState {
@@ -161,7 +330,10 @@ impl QuantumState for DenseState {
     }
 
     fn amplitude(&self, basis: u128) -> Complex {
-        self.amps.get(basis as usize).copied().unwrap_or(Complex::ZERO)
+        self.amps
+            .get(basis as usize)
+            .copied()
+            .unwrap_or(Complex::ZERO)
     }
 
     fn nonzero(&self) -> Vec<(u128, Complex)> {
@@ -171,6 +343,14 @@ impl QuantumState for DenseState {
             .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
             .map(|(i, a)| (i as u128, *a))
             .collect()
+    }
+
+    fn apply_op(&mut self, op: &CompiledOp) {
+        match op {
+            CompiledOp::Permutation(steps) => self.apply_permutation(steps),
+            CompiledOp::Diagonal(phases) => self.apply_diagonal(phases),
+            CompiledOp::Single(k) => self.apply_single(k),
+        }
     }
 
     fn apply(&mut self, gate: &Gate) {
@@ -195,20 +375,26 @@ impl QuantumState for DenseState {
                 }
             }
             Gate::Z(q) => {
+                // Only indices with bit q set are touched: stride over the
+                // upper half of each 2m block (len/2 amplitudes visited).
                 let m = 1usize << q;
-                for (i, a) in self.amps.iter_mut().enumerate() {
-                    if i & m != 0 {
+                let mut base = m;
+                while base < self.amps.len() {
+                    for a in &mut self.amps[base..base + m] {
                         *a = -*a;
                     }
+                    base += 2 * m;
                 }
             }
             Gate::Phase(q, theta) => {
                 let m = 1usize << q;
                 let ph = Complex::from_phase(*theta);
-                for (i, a) in self.amps.iter_mut().enumerate() {
-                    if i & m != 0 {
+                let mut base = m;
+                while base < self.amps.len() {
+                    for a in &mut self.amps[base..base + m] {
                         *a *= ph;
                     }
+                    base += 2 * m;
                 }
             }
             Gate::Ry(q, theta) => {
@@ -224,12 +410,21 @@ impl QuantumState for DenseState {
                 }
             }
             Gate::CPhase(p, q, theta) => {
-                let m = (1usize << p) | (1usize << q);
+                // Nested stride loops visit exactly the len/4 indices with
+                // both bits set.
+                let (lo, hi) = if p < q { (*p, *q) } else { (*q, *p) };
+                let (ml, mh) = (1usize << lo, 1usize << hi);
                 let ph = Complex::from_phase(*theta);
-                for (i, a) in self.amps.iter_mut().enumerate() {
-                    if i & m == m {
-                        *a *= ph;
+                let mut bh = mh;
+                while bh < self.amps.len() {
+                    let mut bl = bh + ml;
+                    while bl < bh + mh {
+                        for a in &mut self.amps[bl..bl + ml] {
+                            *a *= ph;
+                        }
+                        bl += 2 * ml;
                     }
+                    bh += 2 * mh;
                 }
             }
             Gate::Mcx { controls, target } => {
@@ -266,6 +461,10 @@ impl QuantumState for DenseState {
 pub struct SparseState {
     width: usize,
     amps: HashMap<u128, Complex>,
+    /// Second amplitude map, double-buffered with `amps`: kernel ops that
+    /// rewrite keys drain into it and swap, so the maps' capacity is
+    /// reused instead of reallocated per op.
+    scratch: HashMap<u128, Complex>,
 }
 
 impl SparseState {
@@ -274,7 +473,11 @@ impl SparseState {
         assert!(width <= 128, "at most 128 qubits are supported");
         let mut amps = HashMap::new();
         amps.insert(basis, Complex::ONE);
-        SparseState { width, amps }
+        SparseState {
+            width,
+            amps,
+            scratch: HashMap::new(),
+        }
     }
 
     /// `|0…0⟩` over `width` qubits.
@@ -317,6 +520,54 @@ impl QuantumState for SparseState {
             .collect();
         v.sort_unstable_by_key(|&(b, _)| b);
         v
+    }
+
+    fn apply_op(&mut self, op: &CompiledOp) {
+        match op {
+            CompiledOp::Permutation(steps) => {
+                if steps.is_empty() {
+                    // Peephole cancellation can empty a run.
+                    return;
+                }
+                // A permutation maps distinct keys to distinct keys, so a
+                // plain drain-and-insert into the spare map suffices.
+                self.scratch.clear();
+                self.scratch.reserve(self.amps.len());
+                for (b, a) in self.amps.drain() {
+                    let mut key = b;
+                    for s in steps {
+                        key = s.apply(key);
+                    }
+                    self.scratch.insert(key, a);
+                }
+                std::mem::swap(&mut self.amps, &mut self.scratch);
+            }
+            CompiledOp::Diagonal(phases) => {
+                for (b, a) in self.amps.iter_mut() {
+                    for p in phases {
+                        if p.applies_to(*b) {
+                            *a *= p.phase;
+                        }
+                    }
+                }
+            }
+            CompiledOp::Single(k) => {
+                let m = 1u128 << k.qubit;
+                self.scratch.clear();
+                self.scratch.reserve(self.amps.len() * 2);
+                for (&b, &a) in self.amps.iter() {
+                    if b & m == 0 {
+                        *self.scratch.entry(b).or_insert(Complex::ZERO) += k.m00 * a;
+                        *self.scratch.entry(b | m).or_insert(Complex::ZERO) += k.m10 * a;
+                    } else {
+                        *self.scratch.entry(b & !m).or_insert(Complex::ZERO) += k.m01 * a;
+                        *self.scratch.entry(b).or_insert(Complex::ZERO) += k.m11 * a;
+                    }
+                }
+                self.scratch.retain(|_, a| !a.is_negligible(PRUNE_EPS));
+                std::mem::swap(&mut self.amps, &mut self.scratch);
+            }
+        }
     }
 
     fn apply(&mut self, gate: &Gate) {
@@ -367,8 +618,7 @@ impl QuantumState for SparseState {
             Gate::Ry(q, theta) => {
                 let m = 1u128 << q;
                 let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-                let mut next: HashMap<u128, Complex> =
-                    HashMap::with_capacity(self.amps.len() * 2);
+                let mut next: HashMap<u128, Complex> = HashMap::with_capacity(self.amps.len() * 2);
                 for (&b, &a) in self.amps.iter() {
                     if b & m == 0 {
                         *next.entry(b).or_insert(Complex::ZERO) += a.scale(c);
@@ -392,8 +642,7 @@ impl QuantumState for SparseState {
             }
             Gate::H(q) => {
                 let m = 1u128 << q;
-                let mut next: HashMap<u128, Complex> =
-                    HashMap::with_capacity(self.amps.len() * 2);
+                let mut next: HashMap<u128, Complex> = HashMap::with_capacity(self.amps.len() * 2);
                 for (&b, &a) in self.amps.iter() {
                     let half = a.scale(FRAC_1_SQRT_2);
                     if b & m == 0 {
@@ -503,7 +752,10 @@ mod tests {
     #[test]
     fn negative_controls() {
         // Flip target iff qubit0 = 0.
-        let g = Gate::Mcx { controls: vec![Control::neg(0)], target: 1 };
+        let g = Gate::Mcx {
+            controls: vec![Control::neg(0)],
+            target: 1,
+        };
         let mut d = DenseState::from_basis(2, 0b00).unwrap();
         d.apply(&g);
         assert_close(d.probability(0b10), 1.0);
@@ -517,7 +769,10 @@ mod tests {
         for_both_backends(2, |st| {
             st.apply_gate(&Gate::H(0));
             st.apply_gate(&Gate::H(1));
-            st.apply_gate(&Gate::Mcz { controls: vec![Control::pos(0)], target: 1 });
+            st.apply_gate(&Gate::Mcz {
+                controls: vec![Control::pos(0)],
+                target: 1,
+            });
             // |11⟩ picks up a −1 phase; probabilities unchanged.
             assert_close(st.prob(0b11), 0.25);
             assert!(st.amp(0b11).re < 0.0);
@@ -533,6 +788,20 @@ mod tests {
             st.apply_gate(&Gate::H(0));
             // HP(π)H = HZH = X
             assert_close(st.prob(1), 1.0);
+        });
+    }
+
+    #[test]
+    fn cphase_touches_only_the_11_subspace() {
+        for_both_backends(2, |st| {
+            st.apply_gate(&Gate::H(0));
+            st.apply_gate(&Gate::H(1));
+            st.apply_gate(&Gate::CPhase(0, 1, std::f64::consts::FRAC_PI_2));
+            let a = st.amp(0b11);
+            assert_close(a.re, 0.0);
+            assert_close(a.im, 0.5);
+            assert_close(st.amp(0b01).re, 0.5);
+            assert_close(st.amp(0b01).im, 0.0);
         });
     }
 
@@ -565,31 +834,52 @@ mod tests {
         }
     }
 
+    /// A random circuit over the full gate set, seeded deterministically.
+    fn random_circuit(rng: &mut StdRng, width: usize, gates: usize) -> Circuit {
+        use rand::Rng;
+        let mut circ = Circuit::new(width);
+        for _ in 0..gates {
+            let q = rng.gen_range(0..width);
+            let gate = match rng.gen_range(0..8) {
+                0 => Gate::X(q),
+                1 => Gate::H(q),
+                2 => Gate::Z(q),
+                3 => Gate::Phase(q, rng.gen_range(-3.0..3.0)),
+                4 => Gate::Ry(q, rng.gen_range(-3.0..3.0)),
+                5 => Gate::CPhase(q, (q + 1) % width, rng.gen_range(-3.0..3.0)),
+                6 => {
+                    let t = (q + 1) % width;
+                    Gate::Mcx {
+                        controls: vec![Control {
+                            qubit: q,
+                            positive: rng.gen(),
+                        }],
+                        target: t,
+                    }
+                }
+                _ => {
+                    let t = (q + 1) % width;
+                    Gate::Mcz {
+                        controls: vec![Control {
+                            qubit: q,
+                            positive: rng.gen(),
+                        }],
+                        target: t,
+                    }
+                }
+            };
+            circ.push(gate).unwrap();
+        }
+        circ
+    }
+
     #[test]
     fn dense_and_sparse_agree_on_random_circuits() {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(2024);
         for _ in 0..20 {
             let width = rng.gen_range(2..7);
-            let mut circ = Circuit::new(width);
-            for _ in 0..30 {
-                let q = rng.gen_range(0..width);
-                let gate = match rng.gen_range(0..6) {
-                    0 => Gate::X(q),
-                    1 => Gate::H(q),
-                    2 => Gate::Z(q),
-                    3 => Gate::Phase(q, rng.gen_range(-3.0..3.0)),
-                    4 => {
-                        let t = (q + 1) % width;
-                        Gate::Mcx { controls: vec![Control { qubit: q, positive: rng.gen() }], target: t }
-                    }
-                    _ => {
-                        let t = (q + 1) % width;
-                        Gate::Mcz { controls: vec![Control { qubit: q, positive: rng.gen() }], target: t }
-                    }
-                };
-                circ.push(gate).unwrap();
-            }
+            let circ = random_circuit(&mut rng, width, 30);
             let mut d = DenseState::zero(width).unwrap();
             let mut s = SparseState::zero(width);
             d.run(&circ).unwrap();
@@ -608,10 +898,42 @@ mod tests {
     }
 
     #[test]
+    fn compiled_run_matches_interpreted_on_random_circuits() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let width = rng.gen_range(2..7);
+            let circ = random_circuit(&mut rng, width, 40);
+            let mut compiled = DenseState::zero(width).unwrap();
+            let mut interpreted = DenseState::zero(width).unwrap();
+            compiled.run(&circ).unwrap();
+            interpreted.run_interpreted(&circ).unwrap();
+            let mut sc = SparseState::zero(width);
+            let mut si = SparseState::zero(width);
+            sc.run(&circ).unwrap();
+            si.run_interpreted(&circ).unwrap();
+            for b in 0..(1u128 << width) {
+                assert!(
+                    (compiled.amplitude(b) - interpreted.amplitude(b)).norm() < 1e-9,
+                    "dense compiled vs interpreted at {b:b}"
+                );
+                assert!(
+                    (sc.amplitude(b) - si.amplitude(b)).norm() < 1e-9,
+                    "sparse compiled vs interpreted at {b:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn run_checks_width() {
         let circ = Circuit::new(3);
         let mut d = DenseState::zero(2).unwrap();
         assert!(matches!(d.run(&circ), Err(SimError::WidthMismatch { .. })));
+        assert!(matches!(
+            d.run_interpreted(&circ),
+            Err(SimError::WidthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -644,6 +966,18 @@ mod tests {
     }
 
     #[test]
+    fn sampling_a_deterministic_state_is_exact() {
+        // After X on qubit 1 the only outcome is 0b10 — every shot must
+        // land there regardless of where the binary search probes.
+        let mut d = DenseState::zero(2).unwrap();
+        d.apply(&Gate::X(1));
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = d.sample(&mut rng, 1_000, &[0, 1]);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&0b10], 1_000);
+    }
+
+    #[test]
     fn sparse_support_stays_bounded_under_permutation_gates() {
         let mut s = SparseState::zero(60);
         for q in 0..4 {
@@ -656,6 +990,22 @@ mod tests {
             s.apply(&Gate::ccnot(0, 1, q));
             s.apply(&Gate::cnot(2, q));
         }
+        assert_eq!(s.support_size(), 16);
+        assert_close(s.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn compiled_run_keeps_sparse_support_bounded() {
+        let mut c = Circuit::new(60);
+        for q in 0..4 {
+            c.push_unchecked(Gate::H(q));
+        }
+        for q in 4..60 {
+            c.push_unchecked(Gate::ccnot(0, 1, q));
+            c.push_unchecked(Gate::cnot(2, q));
+        }
+        let mut s = SparseState::zero(60);
+        s.run(&c).unwrap();
         assert_eq!(s.support_size(), 16);
         assert_close(s.norm_sqr(), 1.0);
     }

@@ -2,7 +2,7 @@
 //! agreement, and inversion, on randomly generated circuits.
 
 use proptest::prelude::*;
-use qmkp_qsim::{Circuit, Control, DenseState, Gate, QuantumState, SparseState};
+use qmkp_qsim::{Circuit, CompiledCircuit, Control, DenseState, Gate, QuantumState, SparseState};
 
 /// Strategy: a random gate over `width` qubits (≥ 3), constructed with
 /// modular offsets so qubit-distinctness never needs rejection sampling.
@@ -26,14 +26,26 @@ fn arb_gate(width: usize) -> impl Strategy<Value = Gate> {
         (q, -3.0f64..3.0).prop_map(|(q, t)| Gate::Ry(q, t)),
         (pair.clone(), -3.0f64..3.0).prop_map(|((a, b), t)| Gate::CPhase(a, b, t)),
         (pair.clone(), any::<bool>()).prop_map(|((c, t), pol)| Gate::Mcx {
-            controls: vec![Control { qubit: c, positive: pol }],
+            controls: vec![Control {
+                qubit: c,
+                positive: pol
+            }],
             target: t,
         }),
         (triple, any::<bool>()).prop_map(|((a, b, t), pol)| Gate::Mcx {
-            controls: vec![Control::pos(a), Control { qubit: b, positive: pol }],
+            controls: vec![
+                Control::pos(a),
+                Control {
+                    qubit: b,
+                    positive: pol
+                }
+            ],
             target: t,
         }),
-        pair.prop_map(|(c, t)| Gate::Mcz { controls: vec![Control::pos(c)], target: t }),
+        pair.prop_map(|(c, t)| Gate::Mcz {
+            controls: vec![Control::pos(c)],
+            target: t
+        }),
     ]
 }
 
@@ -47,6 +59,29 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
             }
             c
         })
+    })
+}
+
+/// Strategy: like [`arb_circuit`], but with section tags opened at random
+/// gate positions — exercising the compiler's rule that fused runs never
+/// cross section boundaries.
+fn arb_sectioned_circuit() -> impl Strategy<Value = Circuit> {
+    (3usize..=5).prop_flat_map(|width| {
+        (
+            proptest::collection::vec(arb_gate(width), 1..40),
+            proptest::collection::vec(0usize..40, 0..4),
+        )
+            .prop_map(move |(gates, cuts)| {
+                let mut c = Circuit::new(width);
+                for (i, g) in gates.into_iter().enumerate() {
+                    if cuts.contains(&i) {
+                        c.begin_section(&format!("s{i}"));
+                    }
+                    c.push(g).expect("generated gates are valid");
+                }
+                c.end_section();
+                c
+            })
     })
 }
 
@@ -108,6 +143,31 @@ proptest! {
         s.run(&c).unwrap();
         prop_assert_eq!(s.support_size(), 1, "permutation circuits map basis to basis");
         prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiled_execution_matches_interpreted(circ in arb_sectioned_circuit()) {
+        let compiled = CompiledCircuit::compile(&circ);
+        prop_assert!(compiled.len() <= circ.len(), "fusion never adds ops");
+        prop_assert_eq!(compiled.source_gates(), circ.len());
+        let mut dense_compiled = DenseState::zero(circ.width()).unwrap();
+        let mut dense_interpreted = DenseState::zero(circ.width()).unwrap();
+        dense_compiled.run_compiled(&compiled).unwrap();
+        dense_interpreted.run_interpreted(&circ).unwrap();
+        let mut sparse_compiled = SparseState::zero(circ.width());
+        let mut sparse_interpreted = SparseState::zero(circ.width());
+        sparse_compiled.run_compiled(&compiled).unwrap();
+        sparse_interpreted.run_interpreted(&circ).unwrap();
+        for b in 0..(1u128 << circ.width()) {
+            prop_assert!(
+                (dense_compiled.amplitude(b) - dense_interpreted.amplitude(b)).norm() < 1e-9,
+                "dense backend diverges at basis {b:b}"
+            );
+            prop_assert!(
+                (sparse_compiled.amplitude(b) - sparse_interpreted.amplitude(b)).norm() < 1e-9,
+                "sparse backend diverges at basis {b:b}"
+            );
+        }
     }
 
     #[test]

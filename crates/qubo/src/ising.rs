@@ -25,7 +25,11 @@ pub struct IsingModel {
 impl IsingModel {
     /// A zero Hamiltonian over `n` spins.
     pub fn new(n: usize) -> Self {
-        IsingModel { offset: 0.0, h: vec![0.0; n], j: BTreeMap::new() }
+        IsingModel {
+            offset: 0.0,
+            h: vec![0.0; n],
+            j: BTreeMap::new(),
+        }
     }
 
     /// Number of spins.

@@ -75,7 +75,11 @@ impl MkpQubo {
             let deg = gc.degree(i);
             let m_i = deg.saturating_sub(k - 1);
             let smax = deg.max(k - 1);
-            let bits = if smax == 0 { 0 } else { usize::BITS as usize - smax.leading_zeros() as usize };
+            let bits = if smax == 0 {
+                0
+            } else {
+                usize::BITS as usize - smax.leading_zeros() as usize
+            };
             slack.push((next_var, bits));
             big_m.push(m_i);
             next_var += bits;
@@ -112,7 +116,14 @@ impl MkpQubo {
             }
         }
 
-        MkpQubo { model, graph: g.clone(), n, params, slack, big_m }
+        MkpQubo {
+            model,
+            graph: g.clone(),
+            n,
+            params,
+            slack,
+            big_m,
+        }
     }
 
     /// Vertex count of the underlying graph.

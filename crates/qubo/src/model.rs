@@ -19,7 +19,11 @@ pub struct QuboModel {
 impl QuboModel {
     /// A zero objective over `n` variables.
     pub fn new(n: usize) -> Self {
-        QuboModel { offset: 0.0, linear: vec![0.0; n], quadratic: BTreeMap::new() }
+        QuboModel {
+            offset: 0.0,
+            linear: vec![0.0; n],
+            quadratic: BTreeMap::new(),
+        }
     }
 
     /// Number of binary variables.
@@ -73,7 +77,10 @@ impl QuboModel {
     /// # Panics
     /// Panics if an index is out of range.
     pub fn add_quadratic(&mut self, i: usize, j: usize, c: f64) {
-        assert!(i < self.num_vars() && j < self.num_vars(), "variable out of range");
+        assert!(
+            i < self.num_vars() && j < self.num_vars(),
+            "variable out of range"
+        );
         if i == j {
             self.linear[i] += c;
         } else {
@@ -138,9 +145,7 @@ impl QuboModel {
         let sign = if x[i] { -1.0 } else { 1.0 };
         let mut delta = sign * self.linear[i];
         for (&(a, b), &q) in &self.quadratic {
-            if a == i && x[b] {
-                delta += sign * q;
-            } else if b == i && x[a] {
+            if (a == i && x[b]) || (b == i && x[a]) {
                 delta += sign * q;
             }
         }

@@ -97,8 +97,8 @@ pub fn presolve(q: &QuboModel) -> Presolve {
             // Recompute the fixed contribution from the original model
             // (order-independent; avoids double counting between the
             // incremental foldings and reduce_model's interaction pass).
-            for i in 0..n {
-                if fixed[i] == Some(true) {
+            for (i, f) in fixed.iter().enumerate() {
+                if *f == Some(true) {
                     fixed_offset += q.linear(i);
                 }
             }
@@ -107,7 +107,11 @@ pub fn presolve(q: &QuboModel) -> Presolve {
                     fixed_offset += c;
                 }
             }
-            return Presolve { fixed, fixed_offset, rounds };
+            return Presolve {
+                fixed,
+                fixed_offset,
+                rounds,
+            };
         }
     }
 }

@@ -24,7 +24,10 @@ fn main() {
     let g = paper_anneal_dataset(10, 40);
     let k = 3;
     let opt = max_kplex_bnb(&g, k);
-    println!("dataset D_{{10,40}}: maximum {k}-plex = {opt:?} (size {})", opt.len());
+    println!(
+        "dataset D_{{10,40}}: maximum {k}-plex = {opt:?} (size {})",
+        opt.len()
+    );
 
     // 1. QUBO formulation (Equation 12).
     let mq = MkpQubo::new(&g, MkpQuboParams { k, r: 2.0 });
@@ -69,10 +72,21 @@ fn main() {
         phys_qubo.add_linear(j, -2.0 * jij);
         phys_qubo.add_offset(jij);
     }
-    let phys_out = anneal_qubo(&phys_qubo, &SaConfig { shots: 200, sweeps: 40, ..SaConfig::default() });
+    let phys_out = anneal_qubo(
+        &phys_qubo,
+        &SaConfig {
+            shots: 200,
+            sweeps: 40,
+            ..SaConfig::default()
+        },
+    );
 
     // 5. Unembed by majority vote and account for chain breaks.
-    let spins: Vec<i8> = phys_out.best.iter().map(|&b| if b { 1 } else { -1 }).collect();
+    let spins: Vec<i8> = phys_out
+        .best
+        .iter()
+        .map(|&b| if b { 1 } else { -1 })
+        .collect();
     let (logical_x, broken) = unembed(&spins, &emb);
     let bits = logical_x
         .iter()
@@ -86,10 +100,23 @@ fn main() {
 
     // 6. Decode + repair into a feasible k-plex.
     let plex = mq.decode_repaired(bits);
-    println!("decoded {k}-plex: {plex:?} (size {}, optimum {})", plex.len(), opt.len());
+    println!(
+        "decoded {k}-plex: {plex:?} (size {}, optimum {})",
+        plex.len(),
+        opt.len()
+    );
     assert!(qmkp::graph::is_kplex(&g, plex, k));
 
     // 7. The hybrid solver (haMKP) for reference.
-    let hy = hybrid_solve(&mq.model, &HybridConfig { min_runtime: Duration::from_millis(100), seed: 0 });
-    println!("hybrid (haMKP): best energy {} in {:?}", hy.best_energy, hy.elapsed);
+    let hy = hybrid_solve(
+        &mq.model,
+        &HybridConfig {
+            min_runtime: Duration::from_millis(100),
+            seed: 0,
+        },
+    );
+    println!(
+        "hybrid (haMKP): best energy {} in {:?}",
+        hy.best_energy, hy.elapsed
+    );
 }

@@ -24,10 +24,21 @@ fn main() {
 
     println!("qTKP oracle for the Fig. 1 graph (k = 2, T = 4)\n");
     println!("qubit layout ({} qubits total):", l.width);
-    println!("  |v⟩        : {}..{}  (vertex register)", l.vertices.start, l.vertices.start + l.vertices.len - 1);
+    println!(
+        "  |v⟩        : {}..{}  (vertex register)",
+        l.vertices.start,
+        l.vertices.start + l.vertices.len - 1
+    );
     println!("  |e⟩        : {} complement-edge ancillas", l.edges.len);
-    println!("  |c_i⟩      : {} counters × {} bits", l.counters.len(), l.counter_bits);
-    println!("  |k-1⟩,|T⟩  : constant registers ({} + {} bits)", l.k_minus_1.len, l.t_reg.len);
+    println!(
+        "  |c_i⟩      : {} counters × {} bits",
+        l.counters.len(),
+        l.counter_bits
+    );
+    println!(
+        "  |k-1⟩,|T⟩  : constant registers ({} + {} bits)",
+        l.k_minus_1.len, l.t_reg.len
+    );
     println!("  |d⟩,|cplex⟩,|size≥T⟩,|O⟩ and comparator scratch fill the rest\n");
 
     println!("per-section gate statistics of U_check:");
@@ -58,5 +69,7 @@ fn main() {
     let m = exact_solution_count(&oracle);
     let mut rng = StdRng::seed_from_u64(1);
     let estimates: Vec<u64> = (0..5).map(|_| quantum_count(6, m, 8, &mut rng)).collect();
-    println!("\nsolution count: exact M = {m}, quantum-counting estimates (8-bit QPE): {estimates:?}");
+    println!(
+        "\nsolution count: exact M = {m}, quantum-counting estimates (8-bit QPE): {estimates:?}"
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
     let out = run_qmkp(&g, k, &QmkpConfig::default());
 
     println!("binary search trace on G_{{9,15}} (k = {k}):\n");
-    println!("{:>5} {:>7} {:>12} {:>10} {:>14}", "probe", "T", "iterations", "M", "result");
+    println!(
+        "{:>5} {:>7} {:>12} {:>10} {:>14}",
+        "probe", "T", "iterations", "M", "result"
+    );
     for (i, call) in out.calls.iter().enumerate() {
         println!(
             "{:>5} {:>7} {:>12} {:>10} {:>14}",
@@ -32,7 +35,11 @@ fn main() {
     }
 
     let (first, first_at) = out.first_result.expect("some k-plex always exists");
-    println!("\nmaximum {k}-plex: size {} in {:?}", out.best.len(), out.total_elapsed);
+    println!(
+        "\nmaximum {k}-plex: size {} in {:?}",
+        out.best.len(),
+        out.total_elapsed
+    );
     println!(
         "first feasible : size {} after {:?} ({:.0}% of total time)",
         first.len(),

@@ -52,5 +52,8 @@ fn main() {
 
     assert_eq!(classical.len(), quantum.best.len());
     assert!(qmkp::graph::is_kplex(&g, quantum.best, k));
-    println!("\nall three agree: the maximum {k}-plex has {} vertices", classical.len());
+    println!(
+        "\nall three agree: the maximum {k}-plex has {} vertices",
+        classical.len()
+    );
 }

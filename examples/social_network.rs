@@ -20,7 +20,11 @@ fn main() {
     // 14 people, a friend group of 6 (each possibly missing one tie),
     // background acquaintance probability 0.25.
     let (g, community) = planted_kplex(14, 6, k, 0.25, 77).expect("valid parameters");
-    println!("network: n = {}, m = {}, planted community = {community:?}", g.n(), g.m());
+    println!(
+        "network: n = {}, m = {}, planted community = {community:?}",
+        g.n(),
+        g.m()
+    );
 
     // A clique (1-plex) search misses noisy communities…
     let clique = max_kplex_bs(&g, 1).0;
@@ -44,7 +48,14 @@ fn main() {
         g.n(),
         witness.len()
     );
-    let out = run_qmkp(&g, k, &QmkpConfig { use_reduction: true, ..QmkpConfig::default() });
+    let out = run_qmkp(
+        &g,
+        k,
+        &QmkpConfig {
+            use_reduction: true,
+            ..QmkpConfig::default()
+        },
+    );
     println!(
         "qMKP (reduced)    : {:?} (size {}, oracle width {} qubits)",
         out.best,
@@ -52,7 +63,10 @@ fn main() {
         out.qubits
     );
     assert_eq!(out.best.len(), plex.len(), "quantum and classical agree");
-    assert!(out.best.len() >= community.len(), "community recovered (or beaten)");
+    assert!(
+        out.best.len() >= community.len(),
+        "community recovered (or beaten)"
+    );
 
     // Seeding BS with a greedy incumbent (the orthogonality hook).
     let seed = greedy_lower_bound(&g, k);
@@ -64,5 +78,8 @@ fn main() {
         stats.nodes
     );
     let overlap = (out.best & community).len();
-    println!("\ncommunity overlap of the found {k}-plex: {overlap}/{}", community.len());
+    println!(
+        "\ncommunity overlap of the found {k}-plex: {overlap}/{}",
+        community.len()
+    );
 }

@@ -39,19 +39,55 @@ fn qubo_milp_and_annealers_reach_the_same_optimum() {
     // MILP branch & bound proves the optimum.
     let milp = minimize_qubo(&mq.model, &BnbConfig::default());
     assert!(milp.proven_optimal);
-    assert!((milp.best_energy + opt).abs() < 1e-9, "MILP energy {}", milp.best_energy);
+    assert!(
+        (milp.best_energy + opt).abs() < 1e-9,
+        "MILP energy {}",
+        milp.best_energy
+    );
 
     // SA reaches it with a modest budget.
-    let sa = anneal_qubo(&mq.model, &SaConfig { shots: 300, sweeps: 25, ..SaConfig::default() });
-    assert!((sa.best_energy + opt).abs() < 1e-9, "SA energy {}", sa.best_energy);
+    let sa = anneal_qubo(
+        &mq.model,
+        &SaConfig {
+            shots: 300,
+            sweeps: 25,
+            ..SaConfig::default()
+        },
+    );
+    assert!(
+        (sa.best_energy + opt).abs() < 1e-9,
+        "SA energy {}",
+        sa.best_energy
+    );
 
     // SQA reaches it as well.
-    let sqa = sqa_qubo(&mq.model, &SqaConfig { shots: 100, sweeps: 40, ..SqaConfig::default() });
-    assert!((sqa.best_energy + opt).abs() < 1e-9, "SQA energy {}", sqa.best_energy);
+    let sqa = sqa_qubo(
+        &mq.model,
+        &SqaConfig {
+            shots: 100,
+            sweeps: 40,
+            ..SqaConfig::default()
+        },
+    );
+    assert!(
+        (sqa.best_energy + opt).abs() < 1e-9,
+        "SQA energy {}",
+        sqa.best_energy
+    );
 
     // The hybrid's contract: (near-)optimal within its minimum runtime.
-    let hy = hybrid_solve(&mq.model, &HybridConfig { min_runtime: Duration::from_millis(60), seed: 4 });
-    assert!((hy.best_energy + opt).abs() < 1e-9, "hybrid energy {}", hy.best_energy);
+    let hy = hybrid_solve(
+        &mq.model,
+        &HybridConfig {
+            min_runtime: Duration::from_millis(60),
+            seed: 4,
+        },
+    );
+    assert!(
+        (hy.best_energy + opt).abs() < 1e-9,
+        "hybrid energy {}",
+        hy.best_energy
+    );
 }
 
 #[test]
@@ -72,7 +108,14 @@ fn reduction_preserves_optimality_end_to_end() {
     for seed in 0..3 {
         let g = gnm(9, 17, seed + 50).unwrap();
         let plain = run_qmkp(&g, 2, &QmkpConfig::default());
-        let reduced = run_qmkp(&g, 2, &QmkpConfig { use_reduction: true, ..QmkpConfig::default() });
+        let reduced = run_qmkp(
+            &g,
+            2,
+            &QmkpConfig {
+                use_reduction: true,
+                ..QmkpConfig::default()
+            },
+        );
         assert_eq!(plain.best.len(), reduced.best.len(), "seed={seed}");
         assert!(is_kplex(&g, reduced.best, 2));
     }

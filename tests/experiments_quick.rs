@@ -52,7 +52,10 @@ fn milp_with_budget_reaches_the_true_optimum() {
     let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
     let out = minimize_qubo(
         &mq.model,
-        &BnbConfig { time_limit: std::time::Duration::from_secs(20), ..BnbConfig::default() },
+        &BnbConfig {
+            time_limit: std::time::Duration::from_secs(20),
+            ..BnbConfig::default()
+        },
     );
     assert!(
         (out.best_energy + opt).abs() < 1e-9,

@@ -3,9 +3,7 @@
 //! a verified k-plex, plus the chain statistics the Figure-11 experiment
 //! relies on.
 
-use qmkp::annealer::{
-    anneal_qubo, embed_ising, find_embedding, unembed, Chimera, SaConfig,
-};
+use qmkp::annealer::{anneal_qubo, embed_ising, find_embedding, unembed, Chimera, SaConfig};
 use qmkp::classical::max_kplex_bnb;
 use qmkp::graph::gen::paper_anneal_dataset;
 use qmkp::graph::is_kplex;
@@ -64,10 +62,22 @@ fn full_hardware_pipeline_recovers_a_maximum_kplex() {
         .j
         .values()
         .fold(0.0f64, |acc, &j| acc.max(j.abs()))
-        .max(logical_ising.h.iter().fold(0.0f64, |acc, &h| acc.max(h.abs())));
+        .max(
+            logical_ising
+                .h
+                .iter()
+                .fold(0.0f64, |acc, &h| acc.max(h.abs())),
+        );
     let phys = embed_ising(&logical_ising, &emb, &hw, 1.5 * max_j);
     let phys_qubo = ising_to_qubo(&phys);
-    let out = anneal_qubo(&phys_qubo, &SaConfig { shots: 400, sweeps: 80, ..SaConfig::default() });
+    let out = anneal_qubo(
+        &phys_qubo,
+        &SaConfig {
+            shots: 400,
+            sweeps: 80,
+            ..SaConfig::default()
+        },
+    );
 
     let spins: Vec<i8> = out.best.iter().map(|&b| if b { 1 } else { -1 }).collect();
     let (logical, _broken) = unembed(&spins, &emb);
@@ -99,13 +109,24 @@ fn chain_strength_controls_chain_breaks() {
     let breaks_at = |strength: f64| -> usize {
         let phys = embed_ising(&IsingModel::from_qubo(&mq.model), &emb, &hw, strength);
         let phys_qubo = ising_to_qubo(&phys);
-        let out = anneal_qubo(&phys_qubo, &SaConfig { shots: 30, sweeps: 12, seed: 8, ..SaConfig::default() });
+        let out = anneal_qubo(
+            &phys_qubo,
+            &SaConfig {
+                shots: 30,
+                sweeps: 12,
+                seed: 8,
+                ..SaConfig::default()
+            },
+        );
         let spins: Vec<i8> = out.best.iter().map(|&b| if b { 1 } else { -1 }).collect();
         unembed(&spins, &emb).1
     };
     let weak = breaks_at(0.01);
     let strong = breaks_at(8.0);
-    assert!(strong <= weak, "strong chains ({strong}) should break no more than weak ({weak})");
+    assert!(
+        strong <= weak,
+        "strong chains ({strong}) should break no more than weak ({weak})"
+    );
     assert_eq!(strong, 0, "strong coupling should hold every chain");
 }
 

@@ -1,0 +1,304 @@
+//! Offline vendored stand-in for the [`criterion`](https://docs.rs/criterion)
+//! crate.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be downloaded. This harness implements the API subset the workspace's
+//! benches use — `Criterion::benchmark_group` / `bench_function`,
+//! `BenchmarkGroup::bench_with_input` / `sample_size`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros — measuring wall-clock medians with a small
+//! warm-up instead of criterion's full statistical machinery.
+//!
+//! Results are printed as `name  time: [median ns/iter]  (samples)` lines
+//! so they can be scraped by scripts. Benchmark name substrings passed on
+//! the command line (as with real criterion) filter which benches run.
+//! Set `CRITERION_SAMPLE_MS` to change the per-sample time budget
+//! (default 60 ms).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How a batched iteration's inputs are sized (accepted for API
+/// compatibility; this harness always re-runs setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; batches stay small).
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark measurement driver passed to bench closures.
+pub struct Bencher {
+    sample_budget: Duration,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iteration across samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (self.sample_budget.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as usize;
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.result_ns = median(&mut sample_ns);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        // One timed call per sample: setup cost stays outside the clock.
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            sample_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        self.result_ns = median(&mut sample_ns);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The top-level benchmark registry/driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_budget: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-') && a != "bench")
+            .collect();
+        let budget_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60);
+        Criterion {
+            filters,
+            sample_budget: Duration::from_millis(budget_ms),
+            default_samples: 11,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(id.to_string(), samples, f);
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut f: F) {
+        if !self.matches_filter(&id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_budget: self.sample_budget,
+            samples,
+            result_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        println!(
+            "{id:<50} time: [{}/iter]  ({samples} samples)",
+            format_ns(bencher.result_ns)
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(3));
+        self
+    }
+
+    /// Benches `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.samples.unwrap_or(self.parent.default_samples);
+        self.parent.run_one(full, samples, |b| f(b, input));
+        self
+    }
+
+    /// Benches a closure with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.samples.unwrap_or(self.parent.default_samples);
+        self.parent.run_one(full, samples, f);
+        self
+    }
+
+    /// Ends the group (markers only; measurements print as they run).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            filters: vec![],
+            sample_budget: Duration::from_millis(1),
+            default_samples: 3,
+        }
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        });
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 20).id, "f/20");
+        assert_eq!(BenchmarkId::from_parameter("G_10_37").id, "G_10_37");
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 3.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! `any::<T>()` — the canonical strategy for a type.
+
+use crate::strategy::{NewValueResult, Strategy};
+use crate::test_runner::TestRunner;
+use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+/// The strategy behind [`any`]: draws from the [`Standard`] distribution.
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T> Strategy for AnyStrategy<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<T> {
+        Ok(runner.rng().gen())
+    }
+}
+
+impl<T> Arbitrary for T
+where
+    Standard: Distribution<T>,
+{
+    fn arbitrary() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`: uniform over all values for integers
+/// and `bool`, uniform in `[0, 1)` for floats.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::ProptestConfig;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut r = TestRunner::new(ProptestConfig::default(), "arbitrary::tests");
+        let s = any::<u64>();
+        let a = s.new_value(&mut r).unwrap();
+        let b = s.new_value(&mut r).unwrap();
+        assert_ne!(a, b, "two u64 draws colliding is vanishingly unlikely");
+        let _: bool = any::<bool>().new_value(&mut r).unwrap();
+        let _: u128 = any::<u128>().new_value(&mut r).unwrap();
+    }
+}

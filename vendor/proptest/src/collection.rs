@@ -1,0 +1,87 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::{NewValueResult, Strategy};
+use crate::test_runner::TestRunner;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies: an exact size, a
+/// half-open range, or an inclusive range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<Vec<S::Value>> {
+        let len = runner
+            .rng()
+            .gen_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::ProptestConfig;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut r = TestRunner::new(ProptestConfig::default(), "collection::tests");
+        let exact = vec(0u8..10, 4usize);
+        assert_eq!(exact.new_value(&mut r).unwrap().len(), 4);
+        let ranged = vec(0u8..10, 1..5);
+        for _ in 0..50 {
+            let v = ranged.new_value(&mut r).unwrap();
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

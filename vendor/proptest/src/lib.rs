@@ -1,0 +1,212 @@
+//! Offline vendored stand-in for the [`proptest`](https://docs.rs/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be downloaded. This implementation covers the API subset the workspace
+//! uses — the [`strategy::Strategy`] combinators (`prop_map`,
+//! `prop_flat_map`, `prop_filter_map`), range and tuple strategies,
+//! [`arbitrary::any`], [`collection::vec`], [`strategy::Just`],
+//! `prop_oneof!` and the `proptest!` / `prop_assert*` macros — with one
+//! deliberate simplification: **no shrinking**. A failing case reports the
+//! generated inputs verbatim instead of a minimized counterexample.
+//! Generation is seeded deterministically per test, so failures reproduce.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config.clone(),
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    let case: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $pat = match $crate::strategy::Strategy::new_value(
+                                    &($strat),
+                                    &mut runner,
+                                ) {
+                                    ::std::result::Result::Ok(v) => v,
+                                    ::std::result::Result::Err(r) => {
+                                        return ::std::result::Result::Err(
+                                            $crate::test_runner::TestCaseError::Reject(r),
+                                        )
+                                    }
+                                };
+                            )+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match case {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.max_global_rejects,
+                                "proptest: too many rejected cases ({rejected}) in {}",
+                                stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest case failed in {} (case {accepted}): {msg}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current test case with a formatted message unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Rejects (skips) the current test case unless the assumption holds;
+/// rejected cases do not count toward the configured case total.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                $crate::strategy::Rejection(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type (weights are not supported by this vendored subset).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0usize..10, (b, c) in (0u64..5, -1.0f64..1.0)) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+            prop_assert!((-1.0..1.0).contains(&c));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn config_and_combinators(
+            v in proptest::collection::vec(0u32..100, 1..8),
+            x in any::<bool>(),
+            y in Just(7usize),
+            z in (1usize..4).prop_flat_map(|n| proptest::collection::vec(Just(n), n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 100));
+            let _ = x;
+            prop_assert_eq!(y, 7);
+            prop_assert_eq!(z.len(), z[0]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_filter_and_assume(
+            pick in prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|x| x)],
+            odd in (0u32..100).prop_filter_map("odd", |x| (x % 2 == 1).then_some(x)),
+        ) {
+            prop_assume!(pick != 2);
+            prop_assert!(pick == 1 || (3..5).contains(&pick));
+            prop_assert!(odd % 2 == 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x={x} is never > 100");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,10 @@
+//! The glob-importable surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+/// Re-export of this crate under its own name, so `proptest::collection::
+/// vec(...)` resolves inside `use proptest::prelude::*` contexts.
+pub use crate as proptest;

@@ -1,0 +1,304 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRunner;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Why a strategy could not produce a value (filter miss); bubbles up to
+/// the `proptest!` loop, which retries the whole case.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejection(pub &'static str);
+
+/// Result of drawing one value from a strategy.
+pub type NewValueResult<T> = Result<T, Rejection>;
+
+/// How many times a filtering combinator retries locally before rejecting
+/// the whole test case.
+const LOCAL_FILTER_RETRIES: usize = 32;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy draws a fresh value directly from the runner's RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates an intermediate value, then a final value from the
+    /// strategy `f` builds out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`, mapping them.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            source: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Keeps only values satisfying `f`.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<T> {
+        (**self).new_value(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<S::Value> {
+        (**self).new_value(runner)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> NewValueResult<T> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<O> {
+        Ok((self.f)(self.source.new_value(runner)?))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<S2::Value> {
+        (self.f)(self.source.new_value(runner)?).new_value(runner)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<O> {
+        for _ in 0..LOCAL_FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.source.new_value(runner)?) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(self.whence))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<S::Value> {
+        for _ in 0..LOCAL_FILTER_RETRIES {
+            let v = self.source.new_value(runner)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(self.whence))
+    }
+}
+
+/// Uniform choice among type-erased strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<T> {
+        let i = runner.rng().gen_range(0..self.options.len());
+        self.options[i].new_value(runner)
+    }
+}
+
+// --- ranges as strategies --------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<$t> {
+                Ok(runner.rng().gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<$t> {
+                Ok(runner.rng().gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f64, f32);
+
+// --- tuples of strategies --------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> NewValueResult<Self::Value> {
+                let ($($name,)+) = self;
+                Ok(($($name.new_value(runner)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::ProptestConfig;
+
+    fn runner() -> TestRunner {
+        TestRunner::new(ProptestConfig::default(), "strategy::tests")
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = runner();
+        let s = (1usize..5)
+            .prop_flat_map(|n| (Just(n), 0..n))
+            .prop_map(|(n, k)| (n, k));
+        for _ in 0..100 {
+            let (n, k) = s.new_value(&mut r).unwrap();
+            assert!(k < n && n < 5);
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_impossible() {
+        let mut r = runner();
+        let s = (0u32..10).prop_filter_map("never", |_| None::<u32>);
+        assert!(s.new_value(&mut r).is_err());
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let mut r = runner();
+        let s = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.new_value(&mut r).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Test-run configuration and per-test state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Rejection;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Upper bound on rejected cases (filter misses, failed assumptions)
+    /// before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not complete normally.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was skipped (strategy filter or `prop_assume!`).
+    Reject(Rejection),
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+/// Per-test generation state: the RNG every strategy draws from.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner seeded deterministically from the test's full path, so
+    /// each test sees a stable but distinct random stream.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+
+    /// The generation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

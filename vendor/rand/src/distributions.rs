@@ -1,0 +1,196 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+        <Standard as Distribution<u128>>::sample(&Standard, rng) as i128
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// A uniform value in `[low, high)` (`high` inclusive if `inclusive`).
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $unsigned:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "empty range in gen_range"
+                );
+                // Span as the unsigned twin, wrapping-correct for signed
+                // types. A span of 0 in inclusive mode means "full range".
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned)
+                    .wrapping_add(if inclusive { 1 } else { 0 });
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift (Lemire): unbiased enough for simulation
+                // workloads; the bias is ≤ span/2^64.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as $unsigned;
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+impl SampleUniform for u128 {
+    fn sample_between<R: Rng + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        assert!(
+            if inclusive { low <= high } else { low < high },
+            "empty range in gen_range"
+        );
+        let span = high.wrapping_sub(low).wrapping_add(u128::from(inclusive));
+        let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if span == 0 {
+            return raw;
+        }
+        low.wrapping_add(raw % span)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: Rng + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        let unit: f64 = Standard.sample(rng);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: Rng + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        let unit: f32 = Standard.sample(rng);
+        low + unit * (high - low)
+    }
+}
+
+/// Range types accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn u128_range() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0u128..64);
+            assert!(v < 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline vendored stand-in for the [`rayon`](https://docs.rs/rayon)
+//! crate.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be downloaded. This shim implements the slice-parallelism subset that
+//! `qmkp-qsim`'s dense kernels use — `par_chunks_mut(n)` with `for_each`
+//! and `enumerate().for_each` — on `std::thread::scope` instead of a
+//! work-stealing pool: chunks are partitioned contiguously across up to
+//! [`current_num_threads`] scoped threads. Thread spawn cost (~tens of
+//! microseconds) is amortized by the caller only parallelizing above a
+//! size threshold, which the dense kernels already do.
+//!
+//! Swapping in the real rayon later is a one-line `Cargo.toml` change;
+//! the call sites compile unchanged.
+
+pub mod prelude;
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim will use (the machine's available
+/// parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Mutable-slice extension providing parallel chunk iteration.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of `chunk_size` (the last may be
+    /// shorter) to be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks (see
+/// [`ParallelSliceMut::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut { inner: self }
+    }
+
+    /// Runs `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        drive(self.slice, self.chunk_size, |_, chunk| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumerateParChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> EnumerateParChunksMut<'_, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        drive(self.inner.slice, self.inner.chunk_size, |i, chunk| {
+            f((i, chunk))
+        });
+    }
+}
+
+/// Partitions `slice` into `chunk_size` chunks and fans contiguous chunk
+/// runs out over scoped threads.
+fn drive<T: Send, F>(slice: &mut [T], chunk_size: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if slice.is_empty() {
+        return;
+    }
+    let n_chunks = slice.len().div_ceil(chunk_size);
+    let threads = current_num_threads().min(n_chunks).max(1);
+    if threads == 1 {
+        for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks_per_thread = n_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = slice;
+        let mut next_chunk = 0usize;
+        while !rest.is_empty() {
+            let take = (chunks_per_thread * chunk_size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = next_chunk;
+            next_chunk += head.len().div_ceil(chunk_size);
+            scope.spawn(move || {
+                for (j, chunk) in head.chunks_mut(chunk_size).enumerate() {
+                    f(base + j, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_touches_every_element() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        v.par_chunks_mut(128).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn enumerate_indices_are_global_and_unique() {
+        let chunk = 97; // deliberately not a divisor of the length
+        let mut v = vec![0usize; 12_345];
+        v.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, chunk_slice)| {
+                for (off, x) in chunk_slice.iter_mut().enumerate() {
+                    *x = ci * chunk + off;
+                }
+            });
+        // Each element's computed global index must equal its position.
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_slices() {
+        let mut empty: Vec<u8> = vec![];
+        empty
+            .par_chunks_mut(8)
+            .for_each(|_| panic!("no chunks expected"));
+        let mut one = [5u8];
+        one.par_chunks_mut(8).for_each(|c| c[0] = 6);
+        assert_eq!(one[0], 6);
+    }
+
+    #[test]
+    fn reports_at_least_one_thread() {
+        assert!(current_num_threads() >= 1);
+    }
+}

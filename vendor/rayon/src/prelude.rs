@@ -1,0 +1,3 @@
+//! The glob-importable surface: `use rayon::prelude::*;`.
+
+pub use crate::ParallelSliceMut;
