@@ -229,10 +229,10 @@ pub fn constructive_embedding(
                     });
                 let Some(root) = root else {
                     if std::env::var_os("QMKP_EMBED_DEBUG").is_some() {
-                        eprintln!(
+                        qmkp_obs::message(&format!(
                             "constructive: var {v} (deg {}): no free anchor adjacent to chain {u}",
                             lg_adj[v].len()
-                        );
+                        ));
                     }
                     return None;
                 };
@@ -260,11 +260,11 @@ pub fn constructive_embedding(
             let Some(end) = end else {
                 if std::env::var_os("QMKP_EMBED_DEBUG").is_some() {
                     let done = chains.iter().filter(|c| !c.is_empty()).count();
-                    eprintln!(
+                    qmkp_obs::message(&format!(
                         "constructive: var {v} (deg {}, step {step}) cannot route to chain {u}                          (len {}) after {done} embedded",
                         lg_adj[v].len(),
                         chains[u].len()
-                    );
+                    ));
                 }
                 return None;
             };
@@ -297,7 +297,7 @@ pub fn constructive_embedding(
         Some(emb)
     } else {
         if std::env::var_os("QMKP_EMBED_DEBUG").is_some() {
-            eprintln!("constructive: completed assignment failed validation");
+            qmkp_obs::message("constructive: completed assignment failed validation");
         }
         None
     }
@@ -563,9 +563,9 @@ pub fn find_embedding_traced(
         }
         let over: usize = usage.iter().filter(|&&u| u > 1).count();
         let sizes: Vec<usize> = chains.iter().map(|c| c.len()).collect();
-        eprintln!(
+        qmkp_obs::message(&format!(
             "pass {pass}: penalty {penalty}, overloaded qubits {over}, chain sizes {sizes:?}"
-        );
+        ));
         if usage.iter().all(|&u| u <= 1) && chains.iter().all(|c| !c.is_empty()) {
             let mut emb = Embedding { chains };
             for c in &mut emb.chains {
@@ -787,6 +787,9 @@ pub fn unembed(sample: &[i8], emb: &Embedding) -> (Vec<bool>, usize) {
             broken += 1;
         }
         logical.push(2 * ups > chain.len());
+    }
+    if broken > 0 {
+        qmkp_obs::counter("anneal.embed.chain_breaks", broken as u64);
     }
     (logical, broken)
 }

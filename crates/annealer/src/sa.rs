@@ -51,6 +51,8 @@ pub fn anneal_qubo(q: &QuboModel, config: &SaConfig) -> AnnealOutcome {
         config.beta_cold >= config.beta_hot && config.beta_hot > 0.0,
         "schedule must heat up in β"
     );
+    let span = qmkp_obs::span("anneal.sa.run");
+    let traced = qmkp_obs::enabled_for("anneal.sa");
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -100,8 +102,13 @@ pub fn anneal_qubo(q: &QuboModel, config: &SaConfig) -> AnnealOutcome {
                     }
                 }
             }
+            if traced {
+                qmkp_obs::gauge("anneal.sa.beta", beta);
+                qmkp_obs::gauge("anneal.sa.energy", energy);
+            }
         }
         debug_assert!((q.energy(&x) - energy).abs() < 1e-6);
+        qmkp_obs::counter("anneal.sa.shots", 1);
         shot_energies.push(energy);
         if energy < best_energy {
             best_energy = energy;
@@ -110,6 +117,8 @@ pub fn anneal_qubo(q: &QuboModel, config: &SaConfig) -> AnnealOutcome {
         }
     }
 
+    qmkp_obs::gauge("anneal.sa.best_energy", best_energy);
+    span.finish();
     AnnealOutcome {
         best,
         best_energy,

@@ -90,6 +90,8 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
         config.gamma_start > config.gamma_end && config.gamma_end > 0.0,
         "transverse field must anneal downward to a positive value"
     );
+    let span = qmkp_obs::span("anneal.sqa.run");
+    let traced = qmkp_obs::enabled_for("anneal.sqa");
     let ising = IsingModel::from_qubo(q);
     let n = ising.num_spins();
     let p = config.trotter_slices;
@@ -138,6 +140,9 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
                     }
                 }
             }
+            if traced {
+                qmkp_obs::gauge("anneal.sqa.gamma", gamma);
+            }
         }
 
         // Each slice is a candidate classical solution; keep the best.
@@ -151,6 +156,10 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
                 shot_best_x = x;
             }
         }
+        if traced {
+            qmkp_obs::counter("anneal.sqa.shots", 1);
+            qmkp_obs::gauge("anneal.sqa.shot_energy", shot_best);
+        }
         shot_energies.push(shot_best);
         if shot_best < best_energy {
             best_energy = shot_best;
@@ -159,6 +168,8 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
         }
     }
 
+    qmkp_obs::gauge("anneal.sqa.best_energy", best_energy);
+    span.finish();
     AnnealOutcome {
         best,
         best_energy,

@@ -59,6 +59,8 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
         config.beta_cold > config.beta_hot && config.beta_hot > 0.0,
         "β ladder must decrease from cold to hot"
     );
+    let span = qmkp_obs::span("anneal.tempering.run");
+    let traced = qmkp_obs::enabled_for("anneal.tempering");
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -151,6 +153,7 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
             shot_energies.push(energies[r]);
         }
         // Swap attempts between neighbouring rungs.
+        let mut swaps = 0u64;
         for r in 0..config.replicas - 1 {
             let d_beta = betas[r] - betas[r + 1];
             let d_e = energies[r] - energies[r + 1];
@@ -158,10 +161,16 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
                 states.swap(r, r + 1);
                 energies.swap(r, r + 1);
                 fields.swap(r, r + 1);
+                swaps += 1;
             }
+        }
+        if traced {
+            qmkp_obs::counter("anneal.tempering.swaps", swaps);
+            qmkp_obs::gauge("anneal.tempering.best_energy", best_energy);
         }
     }
 
+    span.finish();
     AnnealOutcome {
         best,
         best_energy,

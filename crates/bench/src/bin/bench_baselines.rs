@@ -1,0 +1,117 @@
+//! Emits `BENCH_baselines.json`: median wall-clock baselines for the two
+//! criterion groups that previously had no recorded `BENCH_*.json`
+//! artifact — Grover-side costs (oracle construction, one Grover
+//! iteration) and annealing-side costs (one SA shot, one SQA shot).
+//!
+//! A sibling of `bench_qsim`: numbers are medians over `SAMPLES` runs on
+//! this machine, meant for cross-PR regression tracking rather than
+//! absolute performance claims.
+//!
+//! Usage: `bench_baselines [output-path]` (default `BENCH_baselines.json`
+//! in the working directory). `QMKP_QUICK=1` lowers the sample count.
+
+use qmkp_annealer::{anneal_qubo, sqa_qubo, SaConfig, SqaConfig};
+use qmkp_bench::quick_mode;
+use qmkp_core::{GroverDriver, Oracle};
+use qmkp_graph::gen::{paper_anneal_dataset, paper_gate_dataset};
+use qmkp_obs::{RunReport, Session};
+use qmkp_qubo::{MkpQubo, MkpQuboParams};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `samples` runs of `f` (one warm-up run
+/// outside the measurement, as in `bench_qsim`).
+fn median_secs<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let session = Session::from_env("bench_baselines");
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baselines.json".to_string());
+    let samples = if quick_mode() { 3 } else { 9 };
+
+    // Grover group: the smallest and largest paper gate datasets.
+    let g_small = paper_gate_dataset(7, 8);
+    let g_large = paper_gate_dataset(9, 15);
+    let oracle_build = median_secs(samples, || {
+        std::hint::black_box(Oracle::new(&g_small, 2, 4));
+    });
+    let iteration_small = median_secs(samples, || {
+        let mut driver = GroverDriver::new(Oracle::new(&g_small, 2, 3));
+        driver.iterate();
+        std::hint::black_box(driver.iterations_done());
+    });
+    let iteration_large = median_secs(samples, || {
+        let mut driver = GroverDriver::new(Oracle::new(&g_large, 2, 3));
+        driver.iterate();
+        std::hint::black_box(driver.iterations_done());
+    });
+
+    // Annealing group: one shot each of SA and SQA on D_{10,40}.
+    let d = paper_anneal_dataset(10, 40);
+    let mq = MkpQubo::new(&d, MkpQuboParams { k: 3, r: 2.0 });
+    let sa_shot = median_secs(samples, || {
+        let out = anneal_qubo(
+            &mq.model,
+            &SaConfig {
+                shots: 1,
+                sweeps: 2,
+                ..SaConfig::default()
+            },
+        );
+        std::hint::black_box(out.best_energy);
+    });
+    let sqa_shot = median_secs(samples, || {
+        let out = sqa_qubo(
+            &mq.model,
+            &SqaConfig {
+                shots: 1,
+                ..SqaConfig::from_anneal_time(1.0, 1)
+            },
+        );
+        std::hint::black_box(out.best_energy);
+    });
+
+    let json = format!(
+        "{{\n  \
+         \"grover\": {{\n    \
+         \"oracle_build_G7_8_s\": {ob:.6},\n    \
+         \"iteration_G7_8_s\": {is:.6},\n    \
+         \"iteration_G9_15_s\": {il:.6}\n  }},\n  \
+         \"annealing\": {{\n    \
+         \"dataset\": \"D_{{10,40}} (k=3, R=2)\",\n    \
+         \"sa_shot_s\": {sa:.6},\n    \
+         \"sqa_shot_s\": {sq:.6}\n  }},\n  \
+         \"samples\": {samples},\n  \
+         \"parallel_feature\": {par}\n}}\n",
+        ob = oracle_build,
+        is = iteration_small,
+        il = iteration_large,
+        sa = sa_shot,
+        sq = sqa_shot,
+        par = qmkp_qsim::parallel_enabled(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    print!("{json}");
+    qmkp_obs::message(&format!("wrote {out_path}"));
+    session.finish_with(
+        RunReport::new("bench_baselines")
+            .config("samples", samples)
+            .config("parallel_feature", qmkp_qsim::parallel_enabled())
+            .outcome("oracle_build_G7_8_s", format!("{oracle_build:.6}"))
+            .outcome("iteration_G7_8_s", format!("{iteration_small:.6}"))
+            .outcome("iteration_G9_15_s", format!("{iteration_large:.6}"))
+            .outcome("sa_shot_s", format!("{sa_shot:.6}"))
+            .outcome("sqa_shot_s", format!("{sqa_shot:.6}")),
+    );
+}

@@ -6,6 +6,7 @@
 //! working directory).
 
 use qmkp_core::oracle::Oracle;
+use qmkp_obs::{RunReport, Session};
 use qmkp_qsim::{Circuit, CompiledCircuit, DenseState, Gate, QuantumState, SparseState};
 use std::time::Instant;
 
@@ -43,6 +44,7 @@ fn layered_circuit(width: usize, sup: usize) -> Circuit {
 }
 
 fn main() {
+    let session = Session::from_env("bench_qsim");
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_qsim.json".to_string());
@@ -117,5 +119,23 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     print!("{json}");
-    eprintln!("wrote {out_path}");
+    qmkp_obs::message(&format!("wrote {out_path}"));
+    session.finish_with(
+        RunReport::new("bench_qsim")
+            .config("dense_width", dense_width)
+            .config("samples", SAMPLES)
+            .config("parallel_feature", qmkp_qsim::parallel_enabled())
+            .outcome("dense_interpreted_s", format!("{dense_interpreted:.6}"))
+            .outcome("dense_compiled_s", format!("{dense_compiled:.6}"))
+            .outcome(
+                "dense_speedup",
+                format!("{:.2}", dense_interpreted / dense_compiled),
+            )
+            .outcome("sparse_interpreted_s", format!("{sparse_interpreted:.6}"))
+            .outcome("sparse_compiled_s", format!("{sparse_compiled:.6}"))
+            .outcome(
+                "sparse_speedup",
+                format!("{:.2}", sparse_interpreted / sparse_compiled),
+            ),
+    );
 }

@@ -9,6 +9,7 @@ use qmkp_graph::gen::{chain_family_edges, gnm, DATASET_SEED};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
 fn main() {
+    let session = qmkp_obs::Session::from_env("fig11_chain");
     let ns: &[usize] = if quick_mode() {
         &[10, 14]
     } else {
@@ -33,12 +34,12 @@ fn main() {
         let emb = find_embedding_with_tries(&edges, vars, &hw, 3, 4, 2)
             .expect("clique fallback guarantees an embedding at this grid size");
         let stats = emb.stats();
-        eprintln!(
+        qmkp_obs::message(&format!(
             "  n={n}: {vars} vars → {} qubits, avg chain {:.2} on C({grid},{grid},4) [{:?}]",
             stats.num_physical,
             stats.avg_chain_len,
             start.elapsed()
-        );
+        ));
         rows.push(vec![
             n.to_string(),
             vars.to_string(),
@@ -63,4 +64,5 @@ fn main() {
     println!(
         "\n(variables grow as O(n log n); qubits and chain size grow faster — the paper's trend)"
     );
+    session.finish();
 }

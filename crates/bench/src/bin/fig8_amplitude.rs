@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let session = qmkp_obs::Session::from_env("fig8_amplitude");
     let g = paper_fig1_graph();
     let oracle = Oracle::new(&g, 2, 4);
     let sols = solutions(&oracle);
@@ -69,4 +70,5 @@ fn main() {
     );
     let bound = std::f64::consts::PI.powi(2) / (4.0 * 6.0f64).powi(2);
     println!("\nTheory: error ≤ π²/(4I)² = {bound:.4} at I = 6 iterations.");
+    session.finish();
 }

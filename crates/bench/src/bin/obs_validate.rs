@@ -1,0 +1,105 @@
+//! Validates a `qmkp-obs` JSONL trace file: every line must parse as a
+//! JSON object and carry the keys its event type requires. Used by CI
+//! after running a traced example.
+//!
+//! Usage: `obs_validate <trace.jsonl> [required-span-prefix ...]`
+//!
+//! Extra arguments are span-name prefixes that must appear in at least
+//! one `span_start` event (e.g. `qsim.compile core.grover.iteration`),
+//! letting CI assert that the trace actually covers the pipeline.
+//!
+//! Exits 0 when the file is valid, 1 otherwise, printing one line per
+//! problem to stderr.
+
+use qmkp_obs::json;
+
+/// The keys every event of a given type must carry (beyond `type` and
+/// `thread`, which are universal).
+fn required_keys(kind: &str) -> Option<&'static [&'static str]> {
+    match kind {
+        "span_start" => Some(&["id", "parent", "name"]),
+        "span_end" => Some(&["id", "name", "ns"]),
+        "counter" => Some(&["name", "delta"]),
+        "gauge" => Some(&["name", "value"]),
+        "duration" => Some(&["name", "ns"]),
+        "message" => Some(&["text"]),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: obs_validate <trace.jsonl> [required-span-prefix ...]");
+        std::process::exit(2);
+    });
+    let want_prefixes: Vec<String> = args.collect();
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        eprintln!("obs_validate: cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+
+    let mut problems = 0usize;
+    let mut lines = 0usize;
+    let mut seen_spans: Vec<String> = Vec::new();
+    let mut by_kind: std::collections::BTreeMap<String, usize> = Default::default();
+    for (lineno, line) in body.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let mut complain = |msg: String| {
+            eprintln!("obs_validate: {path}:{lineno}: {msg}");
+            problems += 1;
+        };
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(err) => {
+                complain(format!("not valid JSON: {err}"));
+                continue;
+            }
+        };
+        let Some(kind) = v.get("type").and_then(|t| t.as_str()) else {
+            complain("missing string key \"type\"".to_string());
+            continue;
+        };
+        if v.get("thread").and_then(json::Json::as_f64).is_none() {
+            complain("missing numeric key \"thread\"".to_string());
+        }
+        let Some(keys) = required_keys(kind) else {
+            complain(format!("unknown event type {kind:?}"));
+            continue;
+        };
+        for key in keys {
+            if v.get(key).is_none() {
+                complain(format!("event type {kind:?} missing key {key:?}"));
+            }
+        }
+        *by_kind.entry(kind.to_string()).or_default() += 1;
+        if kind == "span_start" {
+            if let Some(name) = v.get("name").and_then(|n| n.as_str()) {
+                seen_spans.push(name.to_string());
+            }
+        }
+    }
+
+    if lines == 0 {
+        eprintln!("obs_validate: {path}: empty trace");
+        problems += 1;
+    }
+    for prefix in &want_prefixes {
+        if !seen_spans.iter().any(|s| s.starts_with(prefix.as_str())) {
+            eprintln!("obs_validate: {path}: no span_start with prefix {prefix:?}");
+            problems += 1;
+        }
+    }
+
+    let kinds: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!(
+        "obs_validate: {path}: {lines} events ({}), {} distinct spans, {problems} problem(s)",
+        kinds.join(" "),
+        seen_spans.len(),
+    );
+    std::process::exit(if problems == 0 { 0 } else { 1 });
+}

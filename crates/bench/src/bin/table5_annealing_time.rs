@@ -8,6 +8,7 @@ use qmkp_graph::gen::{paper_anneal_dataset, ANNEAL_DATASETS};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
 fn main() {
+    let session = qmkp_obs::Session::from_env("table5_annealing_time");
     let total_us = 1000.0;
     let dts: &[f64] = if quick_mode() {
         &[1.0, 20.0]
@@ -46,4 +47,5 @@ fn main() {
         &rows,
     );
     println!("\n(lower is better; the paper observes the minimum at Δt = 1 µs)");
+    session.finish();
 }

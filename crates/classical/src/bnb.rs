@@ -15,9 +15,12 @@ use qmkp_graph::{is_kplex, Graph, VertexSet};
 /// Panics if `k == 0`.
 pub fn max_kplex_bnb(g: &Graph, k: usize) -> VertexSet {
     assert!(k >= 1, "k must be ≥ 1");
+    let span = qmkp_obs::span("classical.bnb.run");
+    let mut nodes = 0u64;
     let mut best = qmkp_graph::reduce::greedy_lower_bound(g, k);
     let mut stack = vec![(VertexSet::EMPTY, g.vertices())];
     while let Some((p, c)) = stack.pop() {
+        nodes += 1;
         if p.len() > best.len() {
             best = p;
         }
@@ -53,6 +56,8 @@ pub fn max_kplex_bnb(g: &Graph, k: usize) -> VertexSet {
         }
         stack.push((p2, c2));
     }
+    qmkp_obs::counter("classical.bnb.nodes", nodes);
+    span.finish();
     best
 }
 

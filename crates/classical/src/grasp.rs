@@ -20,15 +20,19 @@ use rand::{Rng, SeedableRng};
 pub fn grasp_kplex(g: &Graph, k: usize, iterations: usize, alpha: f64, seed: u64) -> VertexSet {
     assert!(k >= 1, "k must be ≥ 1");
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let span = qmkp_obs::span("classical.grasp.run");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best = VertexSet::EMPTY;
     for _ in 0..iterations.max(1) {
+        qmkp_obs::counter("classical.grasp.restarts", 1);
         let p = construct(g, k, alpha, &mut rng);
         let p = local_search(g, k, p);
         if p.len() > best.len() {
             best = p;
         }
     }
+    qmkp_obs::gauge("classical.grasp.best_size", best.len() as f64);
+    span.finish();
     debug_assert!(is_kplex(g, best, k));
     best
 }

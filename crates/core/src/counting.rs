@@ -53,6 +53,7 @@ pub fn exact_solution_count(oracle: &Oracle) -> u64 {
 /// Panics if `precision` is 0 or greater than 20, or `m > 2^n_qubits`.
 pub fn quantum_count<R: Rng>(n_qubits: usize, m: u64, precision: usize, rng: &mut R) -> u64 {
     assert!((1..=20).contains(&precision), "precision must be in 1..=20");
+    let span = qmkp_obs::span("core.counting.quantum_count");
     let n = (1u128 << n_qubits) as f64;
     assert!((m as f64) <= n, "m must not exceed 2^n");
     // Grover operator eigenphase: G rotates the good/bad plane by 2θ, so
@@ -89,7 +90,13 @@ pub fn quantum_count<R: Rng>(n_qubits: usize, m: u64, precision: usize, rng: &mu
         let t = phi_hat / 2.0;
         t.min(std::f64::consts::PI - t)
     };
-    (n * theta_hat.sin().powi(2)).round() as u64
+    let estimate = (n * theta_hat.sin().powi(2)).round() as u64;
+    if qmkp_obs::enabled_for("core.counting") {
+        qmkp_obs::gauge("core.counting.phase_estimate", phi_hat);
+        qmkp_obs::gauge("core.counting.m_estimate", estimate as f64);
+    }
+    span.finish();
+    estimate
 }
 
 /// Appends the forward quantum Fourier transform over `qubits`

@@ -224,15 +224,26 @@ impl<O: PhaseOracle> GroverDriver<O> {
 
     /// Runs one Grover iteration: `U_check` → flip → `U_check†` →
     /// diffusion, attributing wall time to oracle sections.
+    ///
+    /// When tracing is on, the iteration is a `core.grover.iteration` span
+    /// with one `core.grover.section.*` child per section, carrying the
+    /// *same* durations accumulated into [`SectionTimes`] — the two
+    /// accounting paths cannot drift.
     pub fn iterate(&mut self) {
+        let span = qmkp_obs::span("core.grover.iteration");
         Self::run_sectioned(&mut self.state, &self.u_check, &mut self.times);
         let flip = self.oracle.flip_gate();
         let start = Instant::now();
         self.state.apply(&flip);
-        self.times.add("flip", start.elapsed());
+        let elapsed = start.elapsed();
+        self.times.add("flip", elapsed);
+        qmkp_obs::span_closed("core.grover.section.flip", elapsed);
         Self::run_sectioned(&mut self.state, &self.u_check_inv, &mut self.times);
         Self::run_sectioned(&mut self.state, &self.diffusion, &mut self.times);
         self.iterations_done += 1;
+        qmkp_obs::gauge("core.grover.support", self.state.support_size() as f64);
+        qmkp_obs::gauge("core.grover.mem_bytes", self.state.memory_bytes() as f64);
+        span.finish();
     }
 
     /// Runs `count` iterations.
@@ -260,7 +271,11 @@ impl<O: PhaseOracle> GroverDriver<O> {
             for op in &ops[range] {
                 state.apply_op(op);
             }
-            times.add(name, start.elapsed());
+            let elapsed = start.elapsed();
+            times.add(name, elapsed);
+            if qmkp_obs::enabled() {
+                qmkp_obs::span_closed(&format!("core.grover.section.{name}"), elapsed);
+            }
         };
         for section in compiled.sections() {
             debug_assert!(
@@ -415,6 +430,55 @@ mod tests {
         assert!(t.get("size_check") > Duration::ZERO);
         let (a, b, c) = t.oracle_shares();
         assert!((a + b + c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn section_times_merge_accumulates_buckets() {
+        let mut a = SectionTimes::default();
+        a.add("degree_count", Duration::from_nanos(10));
+        a.add("flip", Duration::from_nanos(1));
+        let mut b = SectionTimes::default();
+        b.add("degree_count", Duration::from_nanos(5));
+        b.add("size_check", Duration::from_nanos(7));
+        a.merge(&b);
+        assert_eq!(a.get("degree_count"), Duration::from_nanos(15));
+        assert_eq!(a.get("flip"), Duration::from_nanos(1));
+        assert_eq!(a.get("size_check"), Duration::from_nanos(7));
+        assert_eq!(a.total(), Duration::from_nanos(23));
+        assert_eq!(a.buckets().len(), 3);
+    }
+
+    #[test]
+    fn section_times_get_absent_bucket_is_zero() {
+        let t = SectionTimes::default();
+        assert_eq!(t.get("no_such_bucket"), Duration::ZERO);
+        assert_eq!(t.total(), Duration::ZERO);
+        let mut t = t;
+        t.add("x", Duration::from_nanos(3));
+        assert_eq!(t.get("y"), Duration::ZERO);
+    }
+
+    #[test]
+    fn oracle_shares_zero_total_is_all_zero() {
+        let mut t = SectionTimes::default();
+        // Buckets exist, but none of the three oracle components do.
+        t.add("diffusion", Duration::from_millis(2));
+        t.add("flip", Duration::from_millis(1));
+        assert_eq!(t.oracle_shares(), (0.0, 0.0, 0.0));
+        assert_eq!(SectionTimes::default().oracle_shares(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn oracle_shares_fold_encoding_into_degree_count() {
+        let mut t = SectionTimes::default();
+        t.add("graph_encoding", Duration::from_nanos(100));
+        t.add("degree_count", Duration::from_nanos(100));
+        t.add("degree_compare", Duration::from_nanos(100));
+        t.add("size_check", Duration::from_nanos(100));
+        let (count, cmp, size) = t.oracle_shares();
+        assert!((count - 0.5).abs() < 1e-12);
+        assert!((cmp - 0.25).abs() < 1e-12);
+        assert!((size - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! * [`counting`] — solution counting: exact classical census, plus a
 //!   simulated Brassard-et-al. quantum-counting (phase estimation) module
 //!   for estimating `M`.
-//! * [`qtkp`] — Algorithm 2: find a k-plex of size ≥ T (or report `∅`).
-//! * [`qmkp`] — Algorithm 3: binary search over `T` to find a maximum
+//! * [`mod@qtkp`] — Algorithm 2: find a k-plex of size ≥ T (or report `∅`).
+//! * [`mod@qmkp`] — Algorithm 3: binary search over `T` to find a maximum
 //!   k-plex, with the paper's progressive first-feasible-solution
 //!   behaviour.
 

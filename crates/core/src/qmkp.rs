@@ -68,6 +68,7 @@ pub struct QmkpOutcome {
 pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
     assert!(g.n() > 0, "graph must be non-empty");
     assert!(k >= 1, "k must be ≥ 1");
+    let span = qmkp_obs::span("core.qmkp.run");
     let start = Instant::now();
 
     // Optional classical reduction (paper: "running qMKP on a reduced
@@ -98,7 +99,10 @@ pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
         let mut hi = search_graph.n();
         while lo <= hi {
             let t = usize::midpoint(lo, hi);
+            let probe_span = qmkp_obs::span_dyn(|| format!("core.qmkp.probe[t={t}]"));
+            qmkp_obs::counter("core.qmkp.probes", 1);
             let out = qtkp(&search_graph, k, t, &config.qtkp);
+            probe_span.finish();
             times.merge(&out.times);
             qubits = qubits.max(out.qubits);
             total_iterations += out.iterations;
@@ -129,9 +133,16 @@ pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
                     hi = t - 1;
                 }
             }
+            qmkp_obs::gauge("core.qmkp.best_size", best.len() as f64);
         }
     }
 
+    if qmkp_obs::enabled_for("core.qmkp") {
+        qmkp_obs::gauge("core.qmkp.total_iterations", total_iterations as f64);
+        qmkp_obs::gauge("core.qmkp.qubits", qubits as f64);
+        qmkp_obs::gauge("core.qmkp.error_probability", error_probability);
+    }
+    span.finish();
     QmkpOutcome {
         best,
         calls,

@@ -99,6 +99,7 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
     if let MEstimate::Unknown { lambda } = config.m_estimate {
         return qtkp_unknown_m(g, k, t, config, lambda);
     }
+    let span = qmkp_obs::span("core.qtkp.run");
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let oracle = Oracle::new(g, k, t);
@@ -130,12 +131,20 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
     for _ in 0..config.max_attempts.max(1) {
         let s = driver.measure(&mut rng);
         measured.push(s);
+        qmkp_obs::counter("core.qtkp.attempts", 1);
         if driver.oracle().predicate(s) {
             result = Some(s);
             break;
         }
     }
 
+    if qmkp_obs::enabled_for("core.qtkp") {
+        qmkp_obs::gauge("core.qtkp.m", m as f64);
+        qmkp_obs::gauge("core.qtkp.iterations", iterations as f64);
+        qmkp_obs::gauge("core.qtkp.qubits", qubits as f64);
+        qmkp_obs::gauge("core.qtkp.success_probability", success_probability);
+    }
+    span.finish();
     QtkpOutcome {
         result,
         measured,
@@ -161,6 +170,7 @@ fn qtkp_unknown_m(g: &Graph, k: usize, t: usize, config: &QtkpConfig, lambda: f6
         lambda > 1.0 && lambda <= 4.0 / 3.0,
         "lambda must be in (1, 4/3]"
     );
+    let span = qmkp_obs::span("core.qtkp.run");
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let oracle = Oracle::new(g, k, t);
@@ -187,6 +197,7 @@ fn qtkp_unknown_m(g: &Graph, k: usize, t: usize, config: &QtkpConfig, lambda: f6
         iterations += j;
         let s = driver.measure(&mut rng);
         measured.push(s);
+        qmkp_obs::counter("core.qtkp.attempts", 1);
         times.merge(driver.times());
         if oracle.predicate(s) {
             let sols = solutions(&oracle);
@@ -197,6 +208,12 @@ fn qtkp_unknown_m(g: &Graph, k: usize, t: usize, config: &QtkpConfig, lambda: f6
         bound *= lambda;
     }
 
+    if qmkp_obs::enabled_for("core.qtkp") {
+        qmkp_obs::gauge("core.qtkp.iterations", iterations as f64);
+        qmkp_obs::gauge("core.qtkp.qubits", qubits as f64);
+        qmkp_obs::gauge("core.qtkp.success_probability", success_probability);
+    }
+    span.finish();
     QtkpOutcome {
         result,
         measured,

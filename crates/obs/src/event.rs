@@ -1,0 +1,238 @@
+//! The event model: everything the facade emits is one of these variants.
+//!
+//! Events are cheap plain data. Sinks receive them by reference as they
+//! happen; the JSONL encoding here is the machine-readable wire format
+//! validated by the workspace's trace tests.
+
+use crate::json;
+use std::time::Duration;
+
+/// One telemetry event.
+///
+/// Span ids are process-unique and strictly increasing; `parent == 0`
+/// means the span has no parent (a root). `thread` is a small
+/// process-unique integer identifying the emitting thread (not the OS
+/// thread id), so sinks can separate interleaved streams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span was opened.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// Enclosing span id, or 0 for a root span.
+        parent: u64,
+        /// Emitting thread.
+        thread: u64,
+        /// Dotted span name, e.g. `"core.grover.iteration"`.
+        name: String,
+    },
+    /// A span was closed.
+    SpanEnd {
+        /// The id from the matching [`Event::SpanStart`].
+        id: u64,
+        /// Emitting thread.
+        thread: u64,
+        /// Same name as the matching start (spans are self-contained so
+        /// sinks need not keep a join table).
+        name: String,
+        /// Wall time between open and close.
+        duration: Duration,
+    },
+    /// A monotonic counter was incremented.
+    Counter {
+        /// Emitting thread.
+        thread: u64,
+        /// Counter name.
+        name: String,
+        /// Increment (counters only go up).
+        delta: u64,
+    },
+    /// A gauge was set to a new value.
+    Gauge {
+        /// Emitting thread.
+        thread: u64,
+        /// Gauge name.
+        name: String,
+        /// The observed value.
+        value: f64,
+    },
+    /// One observation of a duration histogram.
+    Observe {
+        /// Emitting thread.
+        thread: u64,
+        /// Histogram name.
+        name: String,
+        /// The observed duration.
+        duration: Duration,
+    },
+    /// A human-oriented progress message (also printed to stderr by the
+    /// facade).
+    Message {
+        /// Emitting thread.
+        thread: u64,
+        /// Message text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The metric/span name, if the variant has one.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Event::SpanStart { name, .. }
+            | Event::SpanEnd { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Observe { name, .. } => Some(name),
+            Event::Message { .. } => None,
+        }
+    }
+
+    /// The emitting thread's process-unique id.
+    pub fn thread(&self) -> u64 {
+        match self {
+            Event::SpanStart { thread, .. }
+            | Event::SpanEnd { thread, .. }
+            | Event::Counter { thread, .. }
+            | Event::Gauge { thread, .. }
+            | Event::Observe { thread, .. }
+            | Event::Message { thread, .. } => *thread,
+        }
+    }
+
+    /// The value of the `"type"` key in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Observe { .. } => "duration",
+            Event::Message { .. } => "message",
+        }
+    }
+
+    /// Encodes the event as one JSON object (no trailing newline).
+    ///
+    /// Every line carries `"type"` and `"thread"`; metric variants carry
+    /// `"name"`, spans carry `"id"` (+ `"parent"` on start, `"ns"` on
+    /// end), and messages carry `"text"`.
+    pub fn to_jsonl(&self) -> String {
+        let t = self.kind();
+        match self {
+            Event::SpanStart {
+                id,
+                parent,
+                thread,
+                name,
+            } => format!(
+                "{{\"type\":\"{t}\",\"id\":{id},\"parent\":{parent},\"thread\":{thread},\"name\":{}}}",
+                json::quote(name)
+            ),
+            Event::SpanEnd {
+                id,
+                thread,
+                name,
+                duration,
+            } => format!(
+                "{{\"type\":\"{t}\",\"id\":{id},\"thread\":{thread},\"name\":{},\"ns\":{}}}",
+                json::quote(name),
+                duration.as_nanos()
+            ),
+            Event::Counter {
+                thread,
+                name,
+                delta,
+            } => format!(
+                "{{\"type\":\"{t}\",\"thread\":{thread},\"name\":{},\"delta\":{delta}}}",
+                json::quote(name)
+            ),
+            Event::Gauge {
+                thread,
+                name,
+                value,
+            } => format!(
+                "{{\"type\":\"{t}\",\"thread\":{thread},\"name\":{},\"value\":{}}}",
+                json::quote(name),
+                json::number(*value)
+            ),
+            Event::Observe {
+                thread,
+                name,
+                duration,
+            } => format!(
+                "{{\"type\":\"{t}\",\"thread\":{thread},\"name\":{},\"ns\":{}}}",
+                json::quote(name),
+                duration.as_nanos()
+            ),
+            Event::Message { thread, text } => format!(
+                "{{\"type\":\"{t}\",\"thread\":{thread},\"text\":{}}}",
+                json::quote(text)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let events = [
+            Event::SpanStart {
+                id: 3,
+                parent: 1,
+                thread: 2,
+                name: "a.b".into(),
+            },
+            Event::SpanEnd {
+                id: 3,
+                thread: 2,
+                name: "a.b".into(),
+                duration: Duration::from_nanos(1234),
+            },
+            Event::Counter {
+                thread: 2,
+                name: "c".into(),
+                delta: 7,
+            },
+            Event::Gauge {
+                thread: 2,
+                name: "g \"q\"".into(),
+                value: 1.5,
+            },
+            Event::Observe {
+                thread: 2,
+                name: "d".into(),
+                duration: Duration::from_micros(9),
+            },
+            Event::Message {
+                thread: 2,
+                text: "hello\nworld".into(),
+            },
+        ];
+        for ev in &events {
+            let line = ev.to_jsonl();
+            let v = json::parse(&line).expect("line must be valid JSON");
+            let obj = v.as_object().expect("line must be an object");
+            assert_eq!(
+                obj.get("type").and_then(|t| t.as_str()),
+                Some(ev.kind()),
+                "{line}"
+            );
+            assert!(obj.contains_key("thread"), "{line}");
+        }
+    }
+
+    #[test]
+    fn span_end_encodes_nanoseconds() {
+        let ev = Event::SpanEnd {
+            id: 1,
+            thread: 1,
+            name: "x".into(),
+            duration: Duration::from_millis(2),
+        };
+        assert!(ev.to_jsonl().contains("\"ns\":2000000"));
+    }
+}

@@ -299,4 +299,69 @@ mod tests {
         assert_eq!(s.by_kind["MCX(4)"], 1);
         assert_eq!(s.elementary_cost, 1 + 1 + 1 + 5);
     }
+
+    #[test]
+    fn section_stats_of_sectionless_circuit_is_empty() {
+        let mut c = Circuit::new(2);
+        assert!(c.section_stats().is_empty());
+        // Gates without any section stay invisible to section_stats while
+        // still counting toward the whole-circuit stats.
+        c.push_unchecked(Gate::X(0));
+        c.push_unchecked(Gate::H(1));
+        assert!(c.section_stats().is_empty());
+        assert_eq!(c.stats().gates, 2);
+    }
+
+    #[test]
+    fn section_stats_skips_unsectioned_gates() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::X(0)); // before any section
+        c.begin_section("mid");
+        c.push_unchecked(Gate::H(1));
+        c.push_unchecked(Gate::H(2));
+        c.end_section();
+        c.push_unchecked(Gate::X(1)); // after the last section
+        let stats = c.section_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "mid");
+        assert_eq!(stats[0].1.gates, 2);
+        assert_eq!(stats[0].1.by_kind["H"], 2);
+        assert!(!stats[0].1.by_kind.contains_key("X"));
+    }
+
+    #[test]
+    fn section_stats_partitions_disjoint_sections() {
+        let mut c = Circuit::new(3);
+        c.begin_section("a");
+        c.push_unchecked(Gate::X(0));
+        c.begin_section("b"); // implicitly closes "a" — no overlap possible
+        c.push_unchecked(Gate::H(1));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.end_section();
+        let stats = c.section_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, "a");
+        assert_eq!(stats[1].0, "b");
+        // Disjoint ranges: per-section gates sum to the circuit total and
+        // the elementary costs add up the same way.
+        assert_eq!(stats[0].1.gates + stats[1].1.gates, c.stats().gates);
+        assert_eq!(
+            stats[0].1.elementary_cost + stats[1].1.elementary_cost,
+            c.stats().elementary_cost
+        );
+        assert_eq!(stats[0].1.by_kind["X"], 1);
+        assert_eq!(stats[1].1.by_kind["MCX(2)"], 1);
+    }
+
+    #[test]
+    fn empty_section_reports_zero_stats() {
+        let mut c = Circuit::new(1);
+        c.begin_section("empty");
+        c.end_section();
+        let stats = c.section_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.gates, 0);
+        assert_eq!(stats[0].1.elementary_cost, 0);
+        assert!(stats[0].1.by_kind.is_empty());
+    }
 }

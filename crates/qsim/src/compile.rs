@@ -198,6 +198,23 @@ fn lower(gate: &Gate) -> CompiledOp {
     }
 }
 
+/// What the compile pass did to a circuit: how much it read, how much it
+/// emitted, and how much the peepholes removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileStats {
+    /// Gates in the source circuit.
+    pub source_gates: usize,
+    /// Fused ops emitted.
+    pub ops: usize,
+    /// Kernel steps across all emitted ops (each `Single` counts as one).
+    pub kernel_steps: usize,
+    /// Gates removed by adjacent-inverse-flip cancellation (each
+    /// cancellation removes two source gates).
+    pub cancelled_flips: usize,
+    /// Phase gates folded into their predecessor's step.
+    pub merged_phases: usize,
+}
+
 /// A circuit lowered to fused kernel ops, with section tags carried over
 /// as op-index ranges.
 #[derive(Debug, Clone)]
@@ -206,6 +223,7 @@ pub struct CompiledCircuit {
     ops: Vec<CompiledOp>,
     sections: Vec<Section>,
     source_gates: usize,
+    stats: CompileStats,
 }
 
 impl CompiledCircuit {
@@ -213,6 +231,9 @@ impl CompiledCircuit {
     /// runs of permutation and diagonal gates, closing runs at section
     /// boundaries so per-section attribution stays exact.
     pub fn compile(circuit: &Circuit) -> Self {
+        let span = qmkp_obs::span("qsim.compile");
+        let mut cancelled_flips = 0usize;
+        let mut merged_phases = 0usize;
         // Gate indices at which a fused run must end (exclusive starts
         // and ends of every section).
         let mut boundaries: Vec<usize> = circuit
@@ -245,6 +266,7 @@ impl CompiledCircuit {
                     let s = step[0];
                     if steps.last() == Some(&s) {
                         steps.pop();
+                        cancelled_flips += 2;
                     } else {
                         steps.push(s);
                     }
@@ -256,6 +278,7 @@ impl CompiledCircuit {
                     match phases.last_mut() {
                         Some(last) if last.care == p.care && last.want == p.want => {
                             last.phase *= p.phase;
+                            merged_phases += 1;
                         }
                         _ => phases.push(p),
                     }
@@ -299,11 +322,27 @@ impl CompiledCircuit {
             })
             .collect();
 
+        let stats = CompileStats {
+            source_gates: circuit.len(),
+            ops: ops.len(),
+            kernel_steps: ops.iter().map(CompiledOp::fused_gates).sum(),
+            cancelled_flips,
+            merged_phases,
+        };
+        if qmkp_obs::enabled_for("qsim.compile") {
+            qmkp_obs::counter("qsim.compile.gates", stats.source_gates as u64);
+            qmkp_obs::counter("qsim.compile.ops", stats.ops as u64);
+            qmkp_obs::counter("qsim.compile.cancelled", stats.cancelled_flips as u64);
+            qmkp_obs::counter("qsim.compile.merged", stats.merged_phases as u64);
+        }
+        span.finish();
+
         CompiledCircuit {
             width: circuit.width(),
             ops,
             sections,
             source_gates: circuit.len(),
+            stats,
         }
     }
 
@@ -329,6 +368,12 @@ impl CompiledCircuit {
     #[inline]
     pub fn source_gates(&self) -> usize {
         self.source_gates
+    }
+
+    /// What the compile pass did (fusion and peephole accounting).
+    #[inline]
+    pub fn stats(&self) -> CompileStats {
+        self.stats
     }
 
     /// Number of fused ops.
@@ -497,6 +542,26 @@ mod tests {
         assert_eq!(phases.len(), 2);
         assert!((phases[0].phase - Complex::from_phase(0.9)).norm() < 1e-12);
         assert_eq!(phases[1].phase, Complex::real(-1.0));
+    }
+
+    #[test]
+    fn compile_stats_account_for_peepholes() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.push_unchecked(Gate::cnot(0, 1)); // cancels with previous
+        c.push_unchecked(Gate::Phase(0, 0.4));
+        c.push_unchecked(Gate::Phase(0, 0.5)); // merges into previous
+        c.push_unchecked(Gate::H(2));
+        let cc = CompiledCircuit::compile(&c);
+        let s = cc.stats();
+        assert_eq!(s.source_gates, 5);
+        assert_eq!(s.ops, cc.len());
+        assert_eq!(s.cancelled_flips, 2);
+        assert_eq!(s.merged_phases, 1);
+        assert_eq!(
+            s.kernel_steps,
+            cc.ops().iter().map(CompiledOp::fused_gates).sum::<usize>()
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod register;
 pub mod state;
 
 pub use circuit::{Circuit, GateStats, Section};
-pub use compile::{CompiledCircuit, CompiledOp, MaskedFlip, MaskedPhase, SingleQubit};
+pub use compile::{
+    CompileStats, CompiledCircuit, CompiledOp, MaskedFlip, MaskedPhase, SingleQubit,
+};
 pub use complex::Complex;
 pub use decompose::{lower_to_toffoli, Lowered};
 pub use error::SimError;

@@ -49,6 +49,16 @@ pub trait QuantumState {
     /// Applies one compiled kernel op.
     fn apply_op(&mut self, op: &CompiledOp);
 
+    /// Approximate heap footprint of the state representation in bytes
+    /// (amplitude storage plus reusable scratch buffers).
+    fn memory_bytes(&self) -> usize;
+
+    /// Reports backend-specific gauges (memory footprint, support size)
+    /// to the observability layer. Called by the traced branch of
+    /// [`QuantumState::run_compiled`]; backends override it with their
+    /// own gauge names. The default reports nothing.
+    fn trace_gauges(&self) {}
+
     /// The amplitude of a basis state.
     fn amplitude(&self, basis: u128) -> Complex;
 
@@ -74,8 +84,24 @@ pub trait QuantumState {
                 actual: compiled.width(),
             });
         }
-        for op in compiled.ops() {
-            self.apply_op(op);
+        // Branch once per circuit, not per op: the disabled path runs the
+        // exact loop the seed ran.
+        if qmkp_obs::enabled_for("qsim.kernel") {
+            for op in compiled.ops() {
+                let start = std::time::Instant::now();
+                self.apply_op(op);
+                let kind = match op {
+                    CompiledOp::Permutation(_) => "qsim.kernel.permutation",
+                    CompiledOp::Diagonal(_) => "qsim.kernel.diagonal",
+                    CompiledOp::Single(_) => "qsim.kernel.single",
+                };
+                qmkp_obs::observe(kind, start.elapsed());
+            }
+            self.trace_gauges();
+        } else {
+            for op in compiled.ops() {
+                self.apply_op(op);
+            }
         }
         Ok(())
     }
@@ -353,6 +379,14 @@ impl QuantumState for DenseState {
         }
     }
 
+    fn memory_bytes(&self) -> usize {
+        (self.amps.capacity() + self.scratch.capacity()) * std::mem::size_of::<Complex>()
+    }
+
+    fn trace_gauges(&self) {
+        qmkp_obs::gauge("qsim.dense.mem_bytes", self.memory_bytes() as f64);
+    }
+
     fn apply(&mut self, gate: &Gate) {
         match gate {
             Gate::X(q) => {
@@ -568,6 +602,18 @@ impl QuantumState for SparseState {
                 std::mem::swap(&mut self.amps, &mut self.scratch);
             }
         }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // HashMap internals aren't exposed; approximate with the entry
+        // payload across both buffers.
+        let entry = std::mem::size_of::<(u128, Complex)>();
+        (self.amps.capacity() + self.scratch.capacity()) * entry
+    }
+
+    fn trace_gauges(&self) {
+        qmkp_obs::gauge("qsim.sparse.mem_bytes", self.memory_bytes() as f64);
+        qmkp_obs::gauge("qsim.sparse.support", self.support_size() as f64);
     }
 
     fn apply(&mut self, gate: &Gate) {

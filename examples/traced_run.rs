@@ -1,0 +1,52 @@
+//! A fully traced qMKP run — the observability quickstart.
+//!
+//! ```sh
+//! QMKP_OBS=1 cargo run --example traced_run            # summary on stderr
+//! QMKP_OBS_JSON=trace.jsonl cargo run --example traced_run   # + JSONL trace
+//! QMKP_OBS_REPORT=report.json cargo run --example traced_run # + run report
+//! QMKP_OBS_FILTER=core.grover QMKP_OBS=1 cargo run --example traced_run
+//! ```
+//!
+//! CI runs this with `QMKP_OBS_JSON` set and validates the emitted trace
+//! with the `obs_validate` bin.
+
+use qmkp::core::{qmkp as run_qmkp, QmkpConfig};
+use qmkp::obs::{RunReport, Session};
+
+fn main() {
+    let session = Session::from_env("traced_run");
+
+    // The paper's Figure 1 graph: 6 vertices whose maximum 2-plex has
+    // size 4. Small enough to trace in full, rich enough to exercise the
+    // whole pipeline (compile → Grover sections → binary search).
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let k = 2;
+    let out = run_qmkp(&g, k, &QmkpConfig::default());
+
+    println!(
+        "max {k}-plex of the Fig. 1 graph: {:?} (size {})",
+        out.best.iter().collect::<Vec<_>>(),
+        out.best.len()
+    );
+    println!(
+        "{} oracle calls over {} probes on {} qubits, error ≤ {:.2e}",
+        out.total_iterations,
+        out.calls.len(),
+        out.qubits,
+        out.error_probability
+    );
+
+    session.finish_with(
+        RunReport::new("traced_run")
+            .config("graph", "paper_fig1_graph")
+            .config("n", g.n())
+            .config("k", k)
+            .outcome("best_size", out.best.len())
+            .outcome("total_iterations", out.total_iterations)
+            .outcome("qubits", out.qubits)
+            .outcome(
+                "error_probability",
+                format!("{:.3e}", out.error_probability),
+            ),
+    );
+}

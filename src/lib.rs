@@ -12,6 +12,8 @@
 //! * [`annealer`] — simulated (quantum) annealing, minor embedding, hybrid solver.
 //! * [`milp`] — 0/1 MILP solver (simplex + branch & bound) baseline.
 //! * [`classical`] — classical exact baselines (naive, BnB, BS).
+//! * [`obs`] — structured tracing, metrics, and run reports
+//!   (`QMKP_OBS=1` for a summary, `QMKP_OBS_JSON=path` for a JSONL trace).
 //!
 //! ## Quickstart
 //!
@@ -31,5 +33,6 @@ pub use qmkp_classical as classical;
 pub use qmkp_core as core;
 pub use qmkp_graph as graph;
 pub use qmkp_milp as milp;
+pub use qmkp_obs as obs;
 pub use qmkp_qsim as qsim;
 pub use qmkp_qubo as qubo;

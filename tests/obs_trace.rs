@@ -1,0 +1,97 @@
+//! End-to-end acceptance test for the observability layer: a traced
+//! in-process qMKP run must emit a valid JSONL trace containing spans for
+//! circuit compilation, every binary-search probe, and every Grover
+//! iteration with per-section children, plus gauges for state memory and
+//! support size — and the two accounting paths (spans vs `SectionTimes`)
+//! must agree.
+
+use qmkp::core::{qmkp as run_qmkp, QmkpConfig};
+use qmkp::obs::{json, Collector, Event, JsonlSink, Sink, Summary};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[test]
+fn traced_qmkp_run_emits_valid_jsonl_with_expected_structure() {
+    let path = std::env::temp_dir().join(format!("qmkp_obs_trace_{}.jsonl", std::process::id()));
+    let collector = Arc::new(Collector::for_current_thread());
+    let jsonl = Arc::new(JsonlSink::create(&path).expect("create trace file"));
+    let g1 = qmkp::obs::attach(collector.clone());
+    let g2 = qmkp::obs::attach(jsonl.clone() as Arc<dyn Sink>);
+
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let out = run_qmkp(&g, 2, &QmkpConfig::default());
+    assert_eq!(out.best.len(), 4, "Fig. 1 maximum 2-plex has size 4");
+
+    jsonl.flush();
+    drop(g2);
+    drop(g1);
+
+    // 1. Every JSONL line parses and carries `type` + `thread`.
+    let body = std::fs::read_to_string(&path).expect("read trace");
+    assert!(!body.is_empty(), "trace must not be empty");
+    for (i, line) in body.lines().enumerate() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+        assert!(v.get("type").is_some(), "line {} missing type", i + 1);
+        assert!(v.get("thread").is_some(), "line {} missing thread", i + 1);
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // 2. The expected span families are present.
+    let events = collector.events();
+    let mut starts: HashMap<u64, String> = HashMap::new();
+    let mut parents: HashMap<u64, u64> = HashMap::new();
+    for ev in &events {
+        if let Event::SpanStart {
+            id, parent, name, ..
+        } = ev
+        {
+            starts.insert(*id, name.clone());
+            parents.insert(*id, *parent);
+        }
+    }
+    let has_span = |prefix: &str| starts.values().any(|n| n.starts_with(prefix));
+    assert!(has_span("qsim.compile"), "compile spans");
+    assert!(has_span("core.qmkp.run"), "top-level qMKP span");
+    assert!(has_span("core.qmkp.probe[t="), "binary-search probe spans");
+    assert!(has_span("core.qtkp.run"), "qTKP spans");
+    assert!(has_span("core.grover.iteration"), "Grover iteration spans");
+    assert!(has_span("core.grover.section."), "per-section child spans");
+
+    // 3. Sections are children of a Grover iteration; probes are children
+    //    of the qMKP run.
+    let child_of = |child_prefix: &str, parent_name: &str| {
+        starts.iter().any(|(id, name)| {
+            name.starts_with(child_prefix)
+                && parents
+                    .get(id)
+                    .and_then(|p| starts.get(p))
+                    .is_some_and(|pn| pn == parent_name)
+        })
+    };
+    assert!(
+        child_of("core.grover.section.", "core.grover.iteration"),
+        "sections must nest under an iteration span"
+    );
+    assert!(
+        child_of("core.qmkp.probe[t=", "core.qmkp.run"),
+        "probes must nest under the qMKP run span"
+    );
+
+    // 4. Gauges for state memory and support size were recorded.
+    assert!(collector.last_gauge("core.grover.support").is_some());
+    assert!(
+        collector
+            .last_gauge("core.grover.mem_bytes")
+            .is_some_and(|b| b > 0.0),
+        "memory gauge must be positive"
+    );
+
+    // 5. The summary renders the hierarchy without panicking and shows
+    //    the qMKP root.
+    let rendered = Summary::from_events(&events).render();
+    assert!(rendered.contains("core.qmkp.run"), "{rendered}");
+
+    // 6. Counter totals line up with the outcome.
+    assert!(collector.counter_total("core.qmkp.probes") > 0);
+    assert!(collector.counter_total("core.qtkp.attempts") > 0);
+}
