@@ -61,7 +61,7 @@ fn bench_compiled(c: &mut Criterion) {
     // Dense backend on the Grover-shaped layered circuit.
     for width in [12usize, 16, 20] {
         let circ = layered_circuit(width, 6);
-        let compiled = CompiledCircuit::compile(&circ);
+        let compiled = CompiledCircuit::compile(&circ).expect("bench circuits compile");
         group.bench_with_input(
             BenchmarkId::new("dense_compiled", width),
             &circ,
@@ -94,7 +94,7 @@ fn bench_compiled(c: &mut Criterion) {
         circ.push_unchecked(Gate::H(q));
     }
     circ.extend(oracle.u_check()).unwrap();
-    let compiled = CompiledCircuit::compile(&circ);
+    let compiled = CompiledCircuit::compile(&circ).expect("bench circuits compile");
     group.bench_with_input(
         BenchmarkId::new("sparse_oracle_compiled", circ.width()),
         &circ,

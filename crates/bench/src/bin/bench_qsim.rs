@@ -52,7 +52,8 @@ fn main() {
     // Dense backend: width-20 layered circuit.
     let dense_width = 20;
     let dense_circ = layered_circuit(dense_width, 6);
-    let dense_compiled_circ = CompiledCircuit::compile(&dense_circ);
+    let dense_compiled_circ =
+        CompiledCircuit::compile(&dense_circ).expect("bench circuits compile");
     let dense_interpreted = median_secs(|| {
         let mut s = DenseState::zero(dense_width).unwrap();
         s.run_interpreted(&dense_circ).unwrap();
@@ -72,7 +73,8 @@ fn main() {
         sparse_circ.push_unchecked(Gate::H(q));
     }
     sparse_circ.extend(oracle.u_check()).unwrap();
-    let sparse_compiled_circ = CompiledCircuit::compile(&sparse_circ);
+    let sparse_compiled_circ =
+        CompiledCircuit::compile(&sparse_circ).expect("bench circuits compile");
     let sparse_interpreted = median_secs(|| {
         let mut s = SparseState::zero(sparse_circ.width());
         s.run_interpreted(&sparse_circ).unwrap();

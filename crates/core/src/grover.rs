@@ -3,7 +3,7 @@
 
 use crate::oracle::Oracle;
 use qmkp_graph::VertexSet;
-use qmkp_qsim::{Circuit, CompiledCircuit, Gate, QuantumState, Register, SparseState};
+use qmkp_qsim::{Circuit, CompiledCircuit, Gate, QuantumState, Register, SimError, SparseState};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -184,7 +184,23 @@ impl<O: PhaseOracle> GroverDriver<O> {
     /// Prepares the initial state: `|O⟩ → |−⟩` (X then H, per Figure 12's
     /// `|O⟩ = |1⟩` input plus Hadamard) and the vertex register in uniform
     /// superposition; compiles the iteration circuits.
+    ///
+    /// # Panics
+    /// Panics if the oracle's circuits do not compile (e.g. the register
+    /// exceeds the simulator's 128-qubit encoding); use
+    /// [`GroverDriver::try_new`] to handle that as an error.
     pub fn new(oracle: O) -> Self {
+        Self::try_new(oracle).expect("oracle circuits must compile")
+    }
+
+    /// Fallible variant of [`GroverDriver::new`].
+    ///
+    /// # Errors
+    /// Fails with [`SimError::Compile`] if any of the iteration circuits
+    /// (`U_check`, `U_check†`, diffusion) does not compile — e.g. an
+    /// oracle for a graph so large that the register exceeds the
+    /// simulator's 128-qubit basis encoding.
+    pub fn try_new(oracle: O) -> Result<Self, SimError> {
         let width = oracle.width();
         let mut state = SparseState::zero(width);
         state.apply(&Gate::X(oracle.oracle_qubit()));
@@ -192,11 +208,11 @@ impl<O: PhaseOracle> GroverDriver<O> {
         for q in oracle.vertex_register().iter() {
             state.apply(&Gate::H(q));
         }
-        let u_check = CompiledCircuit::compile(oracle.u_check());
-        let u_check_inv = CompiledCircuit::compile(oracle.u_check_inv());
+        let u_check = CompiledCircuit::compile(oracle.u_check())?;
+        let u_check_inv = CompiledCircuit::compile(oracle.u_check_inv())?;
         let diffusion =
-            CompiledCircuit::compile(&diffusion_circuit(width, oracle.vertex_register()));
-        GroverDriver {
+            CompiledCircuit::compile(&diffusion_circuit(width, oracle.vertex_register()))?;
+        Ok(GroverDriver {
             oracle,
             state,
             u_check,
@@ -204,7 +220,7 @@ impl<O: PhaseOracle> GroverDriver<O> {
             diffusion,
             iterations_done: 0,
             times: SectionTimes::default(),
-        }
+        })
     }
 
     /// The oracle being driven.
@@ -262,14 +278,26 @@ impl<O: PhaseOracle> GroverDriver<O> {
         times: &mut SectionTimes,
     ) {
         let ops = compiled.ops();
+        // Paper-scale registers fit in 64 bits; run the u64-specialised
+        // kernels whenever the compiler emitted them.
+        let narrow = compiled.narrow_ops();
         let mut pos = 0;
         let mut run_range = |range: std::ops::Range<usize>, name: &str| {
             if range.is_empty() {
                 return;
             }
             let start = Instant::now();
-            for op in &ops[range] {
-                state.apply_op(op);
+            match narrow {
+                Some(nops) => {
+                    for op in &nops[range.clone()] {
+                        state.apply_op64(op);
+                    }
+                }
+                None => {
+                    for op in &ops[range] {
+                        state.apply_op(op);
+                    }
+                }
             }
             let elapsed = start.elapsed();
             times.add(name, elapsed);
@@ -404,6 +432,44 @@ mod tests {
             hits >= 48,
             "expected ≥48/50 correct measurements, got {hits}"
         );
+    }
+
+    #[test]
+    fn overshoot_instance_needs_zero_iterations_and_sampling_succeeds() {
+        // Regression for the m > N/2 overshoot case: with k = 6 every
+        // nonempty subset of the 6-vertex graph is a k-plex, so t = 1
+        // marks m = 63 of N = 64 states. A single Grover rotation would
+        // already overshoot; `optimal_iterations` must return 0, and qTKP
+        // must still succeed by sampling the prepared state directly.
+        let g = paper_fig1_graph();
+        let oracle = Oracle::new(&g, 6, 1);
+        let sols = solutions(&oracle);
+        let m = sols.len() as u64;
+        assert!(m > 32, "need an overshoot instance, got m = {m}");
+        assert_eq!(optimal_iterations(6, m), 0);
+        let driver = GroverDriver::new(oracle);
+        // At iteration 0 the prepared state is the uniform superposition:
+        // simulated solution mass must agree with sin²θ = m/N.
+        let p = driver.probability_of_sets(&sols);
+        let theory = success_probability_theory(6, m, 0);
+        assert!((p - theory).abs() < 1e-9, "sim {p} vs theory {theory}");
+        assert!((theory - m as f64 / 64.0).abs() < 1e-12);
+        // Direct sampling of the prepared state succeeds with probability
+        // m/N ≈ 0.98 per shot.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut hits = 0;
+        for _ in 0..100 {
+            if driver.oracle().predicate(driver.measure(&mut rng)) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 90, "expected ≥90/100 marked samples, got {hits}");
+    }
+
+    #[test]
+    fn try_new_compiles_the_paper_instance() {
+        let g = paper_fig1_graph();
+        assert!(GroverDriver::try_new(Oracle::new(&g, 2, 4)).is_ok());
     }
 
     #[test]

@@ -149,18 +149,14 @@ impl Session {
 
     /// Builds a session from the `QMKP_OBS*` environment variables (see
     /// the module docs). Returns an inactive session when none are set,
-    /// so binaries can call this unconditionally.
+    /// so binaries can call this unconditionally. Malformed values are
+    /// never silently dropped: each one produces a one-line stderr
+    /// warning naming the variable and the value.
     pub fn from_env(name: impl Into<String>) -> Session {
         let name = name.into();
-        let on = |var: &str| {
-            std::env::var(var)
-                .map(|v| !v.is_empty() && v != "0")
-                .unwrap_or(false)
-        };
-        let path = |var: &str| std::env::var(var).ok().filter(|v| !v.is_empty());
-        let jsonl = path("QMKP_OBS_JSON");
-        let report = path("QMKP_OBS_REPORT");
-        if !on("QMKP_OBS") && jsonl.is_none() && report.is_none() {
+        let jsonl = env_path("QMKP_OBS_JSON");
+        let report = env_path("QMKP_OBS_REPORT");
+        if !env_flag("QMKP_OBS") && jsonl.is_none() && report.is_none() {
             return Session::disabled(name);
         }
         let mut b = Session::builder(name).collect().print_summary();
@@ -170,7 +166,7 @@ impl Session {
         if let Some(p) = report {
             b = b.report(p);
         }
-        if let Some(f) = path("QMKP_OBS_FILTER") {
+        if let Some(f) = env_path("QMKP_OBS_FILTER") {
             b = b.filter(f.split(',').map(|s| s.trim().to_string()).collect());
         }
         b.build()
@@ -228,6 +224,45 @@ impl Session {
             crate::set_filter(None);
         }
         // Dropping the handles detaches the sinks.
+    }
+}
+
+/// Parses a boolean-ish `QMKP_OBS*` variable. Unset, `""`, `"0"`,
+/// `"false"`, `"off"`, and `"no"` disable; `"1"`, `"true"`, `"on"`, and
+/// `"yes"` enable (all case-insensitive). Any other value is malformed:
+/// a one-line stderr warning names the variable and value, and the flag
+/// is treated as enabled — the user clearly asked for *something*, and
+/// over-recording is the recoverable direction.
+fn env_flag(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "" | "0" | "false" | "off" | "no" => false,
+            "1" | "true" | "on" | "yes" => true,
+            _ => {
+                eprintln!("qmkp-obs: unrecognized value {var}={v:?}; treating as enabled");
+                true
+            }
+        },
+        Err(std::env::VarError::NotPresent) => false,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            eprintln!("qmkp-obs: ignoring non-unicode value {var}={raw:?}");
+            false
+        }
+    }
+}
+
+/// Reads a path-valued `QMKP_OBS*` variable. Empty and unset mean "not
+/// configured"; a non-unicode value is reported on stderr (naming the
+/// variable and value) instead of being silently dropped.
+fn env_path(var: &str) -> Option<String> {
+    match std::env::var(var) {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => Some(v),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            eprintln!("qmkp-obs: ignoring non-unicode value {var}={raw:?}");
+            None
+        }
     }
 }
 
@@ -292,6 +327,58 @@ mod tests {
         );
         let _ = std::fs::remove_file(&jsonl);
         let _ = std::fs::remove_file(&report);
+    }
+
+    #[test]
+    fn env_flag_accepts_recognized_booleans() {
+        let _l = locked();
+        let var = "QMKP_OBS_TEST_FLAG";
+        for (value, expected) in [
+            ("0", false),
+            ("false", false),
+            ("OFF", false),
+            ("no", false),
+            ("", false),
+            ("1", true),
+            ("true", true),
+            ("On", true),
+            ("YES", true),
+            // Malformed values warn on stderr and err on the side of
+            // recording.
+            ("maybe", true),
+            ("2", true),
+        ] {
+            std::env::set_var(var, value);
+            assert_eq!(env_flag(var), expected, "value {value:?}");
+        }
+        std::env::remove_var(var);
+        assert!(!env_flag(var));
+    }
+
+    #[test]
+    fn env_path_skips_empty_and_unset() {
+        let _l = locked();
+        let var = "QMKP_OBS_TEST_PATH";
+        std::env::remove_var(var);
+        assert_eq!(env_path(var), None);
+        std::env::set_var(var, "");
+        assert_eq!(env_path(var), None);
+        std::env::set_var(var, "/tmp/trace.jsonl");
+        assert_eq!(env_path(var), Some("/tmp/trace.jsonl".to_string()));
+        std::env::remove_var(var);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_unicode_values_warn_and_disable() {
+        use std::os::unix::ffi::OsStrExt;
+        let _l = locked();
+        let var = "QMKP_OBS_TEST_RAW";
+        let raw = std::ffi::OsStr::from_bytes(&[0x66, 0x6f, 0x80]);
+        std::env::set_var(var, raw);
+        assert!(!env_flag(var), "non-unicode flag must disable");
+        assert_eq!(env_path(var), None, "non-unicode path must be dropped");
+        std::env::remove_var(var);
     }
 
     #[test]

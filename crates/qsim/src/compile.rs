@@ -16,7 +16,23 @@
 //!    Runs never cross section boundaries, so per-section timing (the
 //!    paper's Table IV attribution) stays exact.
 //! 3. The remaining gates (H / Ry) lower to a general real-free 2×2 kernel
-//!    ([`SingleQubit`]) applied as a butterfly pass.
+//!    ([`SingleQubit`]) applied as a butterfly pass. Consecutive
+//!    single-qubit kernels on the *same* qubit fuse into one matrix
+//!    product, so e.g. an `Ry` sandwiched between Hadamards costs one
+//!    state pass instead of three.
+//!
+//! Kernel steps are generic over the basis-key integer ([`BasisKey`]):
+//! every instance in the paper fits in 64 bits, so circuits of width ≤ 64
+//! are additionally lowered to u64-specialised steps
+//! ([`MaskedFlip64`] / [`MaskedPhase64`], exposed via
+//! [`CompiledCircuit::narrow_ops`]) that the backends prefer — half the
+//! register pressure of the `u128` fallback kept for wider registers.
+//!
+//! Compilation is fallible ([`CompileError`]): a circuit wider than the
+//! 128-bit basis encoding, or one whose gates reference out-of-range or
+//! duplicated qubits, is reported as a structured error instead of
+//! aborting the process — malformed inputs must never panic a long-lived
+//! server embedding the simulator.
 //!
 //! Execution lives with the backends (`QuantumState::run_compiled`); this
 //! module is purely the IR and the lowering.
@@ -24,53 +40,213 @@
 use crate::circuit::{Circuit, Section};
 use crate::complex::Complex;
 use crate::gate::Gate;
+use std::fmt;
+
+/// Widest register the compiler (and the sparse backend) can encode: one
+/// bit of a `u128` basis key per qubit.
+pub const MAX_COMPILE_WIDTH: usize = 128;
+
+/// Integer type carrying a basis state in the kernel hot loops.
+///
+/// Implemented for `u64` (the fast path: every paper instance fits) and
+/// `u128` (the fallback for registers of 65-128 qubits). Backends and
+/// kernel steps are generic over this trait so both widths share one
+/// implementation.
+pub trait BasisKey:
+    Copy
+    + Ord
+    + Eq
+    + fmt::Debug
+    + Send
+    + Sync
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitXor<Output = Self>
+    + std::ops::Not<Output = Self>
+{
+    /// The all-zeros key.
+    const ZERO: Self;
+    /// Number of bits (the maximum register width this key supports).
+    const BITS: usize;
+    /// The key with only bit `q` set.
+    fn bit(q: usize) -> Self;
+    /// Truncating conversion from the canonical `u128` encoding.
+    fn from_u128(basis: u128) -> Self;
+    /// Widening conversion to the canonical `u128` encoding.
+    fn to_u128(self) -> u128;
+    /// All-ones when `hit`, all-zeros otherwise (branchless select mask).
+    fn splat(hit: bool) -> Self;
+    /// Splits into `(low 64 bits, remaining high bits)`. The sparse
+    /// backend runs ladder steps whose masks live entirely in the low
+    /// half on u64 arithmetic, even when the register is u128-keyed.
+    fn split_lo_hi(self) -> (u64, u64);
+    /// Inverse of [`BasisKey::split_lo_hi`].
+    fn from_lo_hi(lo: u64, hi: u64) -> Self;
+}
+
+impl BasisKey for u64 {
+    const ZERO: Self = 0;
+    const BITS: usize = 64;
+    #[inline]
+    fn bit(q: usize) -> Self {
+        1u64 << q
+    }
+    #[inline]
+    fn from_u128(basis: u128) -> Self {
+        basis as u64
+    }
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self as u128
+    }
+    #[inline]
+    fn splat(hit: bool) -> Self {
+        (hit as u64).wrapping_neg()
+    }
+    #[inline]
+    fn split_lo_hi(self) -> (u64, u64) {
+        (self, 0)
+    }
+    #[inline]
+    fn from_lo_hi(lo: u64, _hi: u64) -> Self {
+        lo
+    }
+}
+
+impl BasisKey for u128 {
+    const ZERO: Self = 0;
+    const BITS: usize = 128;
+    #[inline]
+    fn bit(q: usize) -> Self {
+        1u128 << q
+    }
+    #[inline]
+    fn from_u128(basis: u128) -> Self {
+        basis
+    }
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self
+    }
+    #[inline]
+    fn splat(hit: bool) -> Self {
+        (hit as u128).wrapping_neg()
+    }
+    #[inline]
+    fn split_lo_hi(self) -> (u64, u64) {
+        (self as u64, (self >> 64) as u64)
+    }
+    #[inline]
+    fn from_lo_hi(lo: u64, hi: u64) -> Self {
+        (lo as u128) | ((hi as u128) << 64)
+    }
+}
 
 /// A conditional bit-flip: if `basis & care == want`, XOR `flip` into the
 /// basis state.
 ///
-/// Every X/MCX gate lowers to one `MaskedFlip`. Because a gate's qubits
-/// are distinct by validation, `care ∩ flip = ∅`, which makes the step an
+/// Every X/MCX gate lowers to one step. Because a gate's qubits are
+/// distinct by validation, `care ∩ flip = ∅`, which makes the step an
 /// involution — the property the dense gather pass relies on to invert a
 /// fused permutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MaskedFlip {
+pub struct FlipStep<K> {
     /// Bits that participate in the control test.
-    pub care: u128,
+    pub care: K,
     /// Required pattern on the `care` bits.
-    pub want: u128,
+    pub want: K,
     /// Bits flipped when the test passes (the MCX targets).
-    pub flip: u128,
+    pub flip: K,
 }
 
-impl MaskedFlip {
+/// The `u128` flip step (any register width up to 128).
+pub type MaskedFlip = FlipStep<u128>;
+/// The u64-specialised flip step (registers of width ≤ 64).
+pub type MaskedFlip64 = FlipStep<u64>;
+
+impl<K: BasisKey> FlipStep<K> {
     /// Applies the step to a basis state. Branchless: the control test on
     /// a superposed register passes for an unpredictable subset of basis
     /// states, so a data-dependent branch here mispredicts constantly in
     /// the dense gather's hot loop.
     #[inline]
-    pub fn apply(self, basis: u128) -> u128 {
-        let hit = ((basis & self.care == self.want) as u128).wrapping_neg();
+    pub fn apply(self, basis: K) -> K {
+        let hit = K::splat(basis & self.care == self.want);
         basis ^ (self.flip & hit)
+    }
+}
+
+impl FlipStep<u128> {
+    /// Truncates the masks to the u64 fast path (valid when every touched
+    /// qubit is below 64).
+    #[inline]
+    pub fn narrow(self) -> MaskedFlip64 {
+        FlipStep {
+            care: self.care as u64,
+            want: self.want as u64,
+            flip: self.flip as u64,
+        }
+    }
+}
+
+impl FlipStep<u64> {
+    /// Widens the masks back to the canonical `u128` encoding.
+    #[inline]
+    pub fn widen(self) -> MaskedFlip {
+        FlipStep {
+            care: self.care as u128,
+            want: self.want as u128,
+            flip: self.flip as u128,
+        }
     }
 }
 
 /// A conditional phase factor: if `basis & care == want`, multiply the
 /// amplitude by `phase`. Z / Phase / CPhase / MCZ all lower to this.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MaskedPhase {
+pub struct PhaseStep<K> {
     /// Bits that participate in the test.
-    pub care: u128,
+    pub care: K,
     /// Required pattern on the `care` bits.
-    pub want: u128,
+    pub want: K,
     /// The phase factor (`-1` for Z/MCZ, `e^{iθ}` for Phase/CPhase).
     pub phase: Complex,
 }
 
-impl MaskedPhase {
+/// The `u128` phase step (any register width up to 128).
+pub type MaskedPhase = PhaseStep<u128>;
+/// The u64-specialised phase step (registers of width ≤ 64).
+pub type MaskedPhase64 = PhaseStep<u64>;
+
+impl<K: BasisKey> PhaseStep<K> {
     /// Whether the phase applies to a basis state.
     #[inline]
-    pub fn applies_to(self, basis: u128) -> bool {
+    pub fn applies_to(self, basis: K) -> bool {
         basis & self.care == self.want
+    }
+}
+
+impl PhaseStep<u128> {
+    /// Truncates the masks to the u64 fast path.
+    #[inline]
+    pub fn narrow(self) -> MaskedPhase64 {
+        PhaseStep {
+            care: self.care as u64,
+            want: self.want as u64,
+            phase: self.phase,
+        }
+    }
+}
+
+impl PhaseStep<u64> {
+    /// Widens the masks back to the canonical `u128` encoding.
+    #[inline]
+    pub fn widen(self) -> MaskedPhase {
+        PhaseStep {
+            care: self.care as u128,
+            want: self.want as u128,
+            phase: self.phase,
+        }
     }
 }
 
@@ -91,38 +267,173 @@ pub struct SingleQubit {
     pub m11: Complex,
 }
 
-/// One fused kernel operation.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CompiledOp {
-    /// A fused run of classical-reversible gates, applied as one pass.
-    /// Steps are in gate order.
-    Permutation(Vec<MaskedFlip>),
-    /// A fused run of diagonal gates, applied as one pass.
-    Diagonal(Vec<MaskedPhase>),
-    /// A single-qubit butterfly (H or Ry).
-    Single(SingleQubit),
-}
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 
-impl CompiledOp {
-    /// Number of kernel steps in this op. At most the number of source
-    /// gates folded into it — peephole cancellation (adjacent inverse
-    /// flips, merged same-mask phases) can shrink a run, possibly to zero
-    /// steps, in which case the op is a no-op the backends skip.
-    pub fn fused_gates(&self) -> usize {
-        match self {
-            CompiledOp::Permutation(steps) => steps.len(),
-            CompiledOp::Diagonal(phases) => phases.len(),
-            CompiledOp::Single(_) => 1,
+impl SingleQubit {
+    /// The Hadamard kernel on `qubit`.
+    pub fn hadamard(qubit: usize) -> Self {
+        let h = Complex::real(FRAC_1_SQRT_2);
+        SingleQubit {
+            qubit,
+            m00: h,
+            m01: h,
+            m10: h,
+            m11: -h,
+        }
+    }
+
+    /// The `Ry(θ)` kernel on `qubit`.
+    pub fn ry(qubit: usize, theta: f64) -> Self {
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        SingleQubit {
+            qubit,
+            m00: Complex::real(c),
+            m01: Complex::real(-s),
+            m10: Complex::real(s),
+            m11: Complex::real(c),
+        }
+    }
+
+    /// The kernel equal to applying `first` and then `self` — the matrix
+    /// product `self · first`. Both kernels must act on the same qubit.
+    pub fn after(self, first: &SingleQubit) -> SingleQubit {
+        SingleQubit {
+            qubit: self.qubit,
+            m00: self.m00 * first.m00 + self.m01 * first.m10,
+            m01: self.m00 * first.m01 + self.m01 * first.m11,
+            m10: self.m10 * first.m00 + self.m11 * first.m10,
+            m11: self.m10 * first.m01 + self.m11 * first.m11,
         }
     }
 }
 
-const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+/// One fused kernel operation over basis keys of type `K`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op<K> {
+    /// A fused run of classical-reversible gates, applied as one pass.
+    /// Steps are in gate order.
+    Permutation(Vec<FlipStep<K>>),
+    /// A fused run of diagonal gates, applied as one pass.
+    Diagonal(Vec<PhaseStep<K>>),
+    /// A single-qubit butterfly (H / Ry, possibly several fused into one
+    /// 2×2 product).
+    Single(SingleQubit),
+}
+
+/// The `u128` kernel op (any register width up to 128).
+pub type CompiledOp = Op<u128>;
+/// The u64-specialised kernel op (registers of width ≤ 64).
+pub type CompiledOp64 = Op<u64>;
+
+impl<K> Op<K> {
+    /// Number of kernel steps in this op. At most the number of source
+    /// gates folded into it — peephole cancellation (adjacent inverse
+    /// flips, merged same-mask phases, fused 2×2 products) can shrink a
+    /// run, possibly to zero steps, in which case the op is a no-op the
+    /// backends skip.
+    pub fn fused_gates(&self) -> usize {
+        match self {
+            Op::Permutation(steps) => steps.len(),
+            Op::Diagonal(phases) => phases.len(),
+            Op::Single(_) => 1,
+        }
+    }
+}
+
+impl Op<u128> {
+    /// Truncates every step to the u64 fast path (valid when the circuit
+    /// width is ≤ 64).
+    pub fn narrow(&self) -> CompiledOp64 {
+        match self {
+            Op::Permutation(steps) => Op::Permutation(steps.iter().map(|s| s.narrow()).collect()),
+            Op::Diagonal(phases) => Op::Diagonal(phases.iter().map(|p| p.narrow()).collect()),
+            Op::Single(k) => Op::Single(*k),
+        }
+    }
+}
+
+impl Op<u64> {
+    /// Widens every step back to the canonical `u128` encoding.
+    pub fn widen(&self) -> CompiledOp {
+        match self {
+            Op::Permutation(steps) => Op::Permutation(steps.iter().map(|s| s.widen()).collect()),
+            Op::Diagonal(phases) => Op::Diagonal(phases.iter().map(|p| p.widen()).collect()),
+            Op::Single(k) => Op::Single(*k),
+        }
+    }
+}
+
+/// A structured compilation failure. Surfaced through
+/// [`CompiledCircuit::compile`] so a malformed circuit is an error value,
+/// never a process abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The circuit is wider than the 128-bit basis-key encoding.
+    WidthTooLarge {
+        /// The circuit width.
+        width: usize,
+        /// The widest supported register ([`MAX_COMPILE_WIDTH`]).
+        max: usize,
+    },
+    /// A gate referenced a qubit at or above the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit width.
+        width: usize,
+    },
+    /// A gate used the same qubit more than once (e.g. as both a control
+    /// and the target). Such a gate does not lower to an involution, so
+    /// the permutation kernels would corrupt the state.
+    DuplicateQubit(usize),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::WidthTooLarge { width, max } => {
+                write!(
+                    f,
+                    "circuit width {width} exceeds the {max}-qubit basis encoding"
+                )
+            }
+            CompileError::QubitOutOfRange { qubit, width } => {
+                write!(
+                    f,
+                    "gate qubit {qubit} out of range for circuit of width {width}"
+                )
+            }
+            CompileError::DuplicateQubit(q) => {
+                write!(f, "gate uses qubit {q} more than once; not a valid kernel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Checks a gate against the compiler's preconditions (all qubits in
+/// range and distinct) without panicking on violation.
+fn validate_gate(gate: &Gate, width: usize) -> Result<(), CompileError> {
+    let mut qs = gate.qubits();
+    for &q in &qs {
+        if q >= width {
+            return Err(CompileError::QubitOutOfRange { qubit: q, width });
+        }
+    }
+    qs.sort_unstable();
+    for w in qs.windows(2) {
+        if w[0] == w[1] {
+            return Err(CompileError::DuplicateQubit(w[0]));
+        }
+    }
+    Ok(())
+}
 
 /// Lowers one gate to its kernel form.
 fn lower(gate: &Gate) -> CompiledOp {
     match gate {
-        Gate::X(q) => CompiledOp::Permutation(vec![MaskedFlip {
+        Gate::X(q) => Op::Permutation(vec![FlipStep {
             care: 0,
             want: 0,
             flip: 1u128 << q,
@@ -136,25 +447,25 @@ fn lower(gate: &Gate) -> CompiledOp {
                     want |= 1u128 << c.qubit;
                 }
             }
-            CompiledOp::Permutation(vec![MaskedFlip {
+            Op::Permutation(vec![FlipStep {
                 care,
                 want,
                 flip: 1u128 << target,
             }])
         }
-        Gate::Z(q) => CompiledOp::Diagonal(vec![MaskedPhase {
+        Gate::Z(q) => Op::Diagonal(vec![PhaseStep {
             care: 1u128 << q,
             want: 1u128 << q,
             phase: Complex::real(-1.0),
         }]),
-        Gate::Phase(q, theta) => CompiledOp::Diagonal(vec![MaskedPhase {
+        Gate::Phase(q, theta) => Op::Diagonal(vec![PhaseStep {
             care: 1u128 << q,
             want: 1u128 << q,
             phase: Complex::from_phase(*theta),
         }]),
         Gate::CPhase(p, q, theta) => {
             let m = (1u128 << p) | (1u128 << q);
-            CompiledOp::Diagonal(vec![MaskedPhase {
+            Op::Diagonal(vec![PhaseStep {
                 care: m,
                 want: m,
                 phase: Complex::from_phase(*theta),
@@ -169,32 +480,14 @@ fn lower(gate: &Gate) -> CompiledOp {
                     want |= 1u128 << c.qubit;
                 }
             }
-            CompiledOp::Diagonal(vec![MaskedPhase {
+            Op::Diagonal(vec![PhaseStep {
                 care,
                 want,
                 phase: Complex::real(-1.0),
             }])
         }
-        Gate::H(q) => {
-            let h = Complex::real(FRAC_1_SQRT_2);
-            CompiledOp::Single(SingleQubit {
-                qubit: *q,
-                m00: h,
-                m01: h,
-                m10: h,
-                m11: -h,
-            })
-        }
-        Gate::Ry(q, theta) => {
-            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-            CompiledOp::Single(SingleQubit {
-                qubit: *q,
-                m00: Complex::real(c),
-                m01: Complex::real(-s),
-                m10: Complex::real(s),
-                m11: Complex::real(c),
-            })
-        }
+        Gate::H(q) => Op::Single(SingleQubit::hadamard(*q)),
+        Gate::Ry(q, theta) => Op::Single(SingleQubit::ry(*q, *theta)),
     }
 }
 
@@ -213,6 +506,10 @@ pub struct CompileStats {
     pub cancelled_flips: usize,
     /// Phase gates folded into their predecessor's step.
     pub merged_phases: usize,
+    /// Single-qubit gates folded into their predecessor's 2×2 product.
+    pub merged_singles: usize,
+    /// Whether u64-specialised kernels were emitted (width ≤ 64).
+    pub narrow: bool,
 }
 
 /// A circuit lowered to fused kernel ops, with section tags carried over
@@ -221,6 +518,9 @@ pub struct CompileStats {
 pub struct CompiledCircuit {
     width: usize,
     ops: Vec<CompiledOp>,
+    /// The same ops with u64 masks, present when `width ≤ 64`. Backends
+    /// prefer these: every paper instance fits in 64 bits.
+    narrow_ops: Option<Vec<CompiledOp64>>,
     sections: Vec<Section>,
     source_gates: usize,
     stats: CompileStats,
@@ -230,10 +530,25 @@ impl CompiledCircuit {
     /// Compiles a circuit: lowers every gate and fuses maximal same-class
     /// runs of permutation and diagonal gates, closing runs at section
     /// boundaries so per-section attribution stays exact.
-    pub fn compile(circuit: &Circuit) -> Self {
+    ///
+    /// # Errors
+    /// Fails with a [`CompileError`] if the circuit is wider than 128
+    /// qubits or a gate references out-of-range or duplicated qubits; a
+    /// malformed circuit is reported, never panicked on.
+    pub fn compile(circuit: &Circuit) -> Result<Self, CompileError> {
+        if circuit.width() > MAX_COMPILE_WIDTH {
+            return Err(CompileError::WidthTooLarge {
+                width: circuit.width(),
+                max: MAX_COMPILE_WIDTH,
+            });
+        }
+        for gate in circuit.gates() {
+            validate_gate(gate, circuit.width())?;
+        }
         let span = qmkp_obs::span("qsim.compile");
         let mut cancelled_flips = 0usize;
         let mut merged_phases = 0usize;
+        let mut merged_singles = 0usize;
         // Gate indices at which a fused run must end (exclusive starts
         // and ends of every section).
         let mut boundaries: Vec<usize> = circuit
@@ -247,6 +562,10 @@ impl CompiledCircuit {
         let mut ops: Vec<CompiledOp> = Vec::new();
         // Open run, if any: accumulating flips or phases.
         let mut open: Option<CompiledOp> = None;
+        // Index of the trailing `Single` op while it is still fusable —
+        // cleared at section boundaries and whenever any other op lands
+        // after it.
+        let mut fusable_single: Option<usize> = None;
         // For each gate, the op index it was folded into.
         let mut gate_to_op: Vec<usize> = Vec::with_capacity(circuit.len());
 
@@ -255,9 +574,10 @@ impl CompiledCircuit {
                 if let Some(run) = open.take() {
                     ops.push(run);
                 }
+                fusable_single = None;
             }
             match (lower(gate), &mut open) {
-                (CompiledOp::Permutation(step), Some(CompiledOp::Permutation(steps))) => {
+                (Op::Permutation(step), Some(Op::Permutation(steps))) => {
                     // Peephole: each step is an involution, so a step equal
                     // to its predecessor composes to the identity. Oracle
                     // circuits are full of such pairs — every compute /
@@ -271,7 +591,7 @@ impl CompiledCircuit {
                         steps.push(s);
                     }
                 }
-                (CompiledOp::Diagonal(phase), Some(CompiledOp::Diagonal(phases))) => {
+                (Op::Diagonal(phase), Some(Op::Diagonal(phases))) => {
                     // Peephole: consecutive phases conditioned on the same
                     // bit pattern multiply into one step.
                     let p = phase[0];
@@ -283,18 +603,33 @@ impl CompiledCircuit {
                         _ => phases.push(p),
                     }
                 }
-                (CompiledOp::Single(k), _) => {
+                (Op::Single(k), _) => {
                     if let Some(run) = open.take() {
                         ops.push(run);
+                        fusable_single = None;
                     }
+                    // Peephole: consecutive single-qubit kernels on the
+                    // same qubit collapse into one 2×2 matrix product.
+                    if let Some(i) = fusable_single {
+                        if let Op::Single(prev) = &mut ops[i] {
+                            if prev.qubit == k.qubit {
+                                *prev = k.after(prev);
+                                merged_singles += 1;
+                                gate_to_op.push(i);
+                                continue;
+                            }
+                        }
+                    }
+                    fusable_single = Some(ops.len());
                     gate_to_op.push(ops.len());
-                    ops.push(CompiledOp::Single(k));
+                    ops.push(Op::Single(k));
                     continue;
                 }
                 (fresh, _) => {
                     if let Some(run) = open.take() {
                         ops.push(run);
                     }
+                    fusable_single = None;
                     open = Some(fresh);
                 }
             }
@@ -322,28 +657,36 @@ impl CompiledCircuit {
             })
             .collect();
 
+        let narrow_ops = (circuit.width() <= u64::BITS as usize)
+            .then(|| ops.iter().map(Op::narrow).collect::<Vec<_>>());
+
         let stats = CompileStats {
             source_gates: circuit.len(),
             ops: ops.len(),
-            kernel_steps: ops.iter().map(CompiledOp::fused_gates).sum(),
+            kernel_steps: ops.iter().map(Op::fused_gates).sum(),
             cancelled_flips,
             merged_phases,
+            merged_singles,
+            narrow: narrow_ops.is_some(),
         };
         if qmkp_obs::enabled_for("qsim.compile") {
             qmkp_obs::counter("qsim.compile.gates", stats.source_gates as u64);
             qmkp_obs::counter("qsim.compile.ops", stats.ops as u64);
             qmkp_obs::counter("qsim.compile.cancelled", stats.cancelled_flips as u64);
             qmkp_obs::counter("qsim.compile.merged", stats.merged_phases as u64);
+            qmkp_obs::counter("qsim.compile.merged_singles", stats.merged_singles as u64);
+            qmkp_obs::counter("qsim.compile.narrow", stats.narrow as u64);
         }
         span.finish();
 
-        CompiledCircuit {
+        Ok(CompiledCircuit {
             width: circuit.width(),
             ops,
+            narrow_ops,
             sections,
             source_gates: circuit.len(),
             stats,
-        }
+        })
     }
 
     /// Circuit width (number of qubits).
@@ -352,10 +695,17 @@ impl CompiledCircuit {
         self.width
     }
 
-    /// The fused ops in order.
+    /// The fused ops in order (`u128` masks, valid at any width).
     #[inline]
     pub fn ops(&self) -> &[CompiledOp] {
         &self.ops
+    }
+
+    /// The u64-specialised ops, present when the circuit width is ≤ 64.
+    /// Element `i` is [`CompiledCircuit::ops`]`[i]` with truncated masks.
+    #[inline]
+    pub fn narrow_ops(&self) -> Option<&[CompiledOp64]> {
+        self.narrow_ops.as_deref()
     }
 
     /// Section tags translated to op-index ranges.
@@ -394,6 +744,10 @@ mod tests {
     use super::*;
     use crate::gate::Control;
 
+    fn compile(c: &Circuit) -> CompiledCircuit {
+        CompiledCircuit::compile(c).expect("test circuits are well-formed")
+    }
+
     #[test]
     fn masked_flip_is_an_involution() {
         let f = MaskedFlip {
@@ -406,6 +760,12 @@ mod tests {
         }
         assert_eq!(f.apply(0b001), 0b101);
         assert_eq!(f.apply(0b011), 0b011);
+        // The narrowed step agrees with the wide one.
+        let f64 = f.narrow();
+        for b in 0..8u64 {
+            assert_eq!(f64.apply(b) as u128, f.apply(b as u128));
+        }
+        assert_eq!(f64.widen(), f);
     }
 
     #[test]
@@ -415,7 +775,7 @@ mod tests {
             target: 3,
         };
         let CompiledOp::Permutation(steps) = lower(&g) else {
-            panic!("MCX must lower to a permutation");
+            panic!("MCX lowers to a permutation");
         };
         assert_eq!(
             steps,
@@ -434,7 +794,7 @@ mod tests {
             target: 1,
         };
         let CompiledOp::Diagonal(phases) = lower(&g) else {
-            panic!("MCZ must lower to a diagonal");
+            panic!("MCZ lowers to a diagonal");
         };
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].care, 0b11);
@@ -452,7 +812,7 @@ mod tests {
         c.push_unchecked(Gate::Phase(1, 0.3)); // 2-gate diagonal run
         c.push_unchecked(Gate::H(2)); // single
         c.push_unchecked(Gate::X(1)); // new permutation run
-        let cc = CompiledCircuit::compile(&c);
+        let cc = compile(&c);
         assert_eq!(cc.len(), 4);
         assert!(matches!(&cc.ops()[0], CompiledOp::Permutation(s) if s.len() == 3));
         assert!(matches!(&cc.ops()[1], CompiledOp::Diagonal(p) if p.len() == 2));
@@ -470,7 +830,7 @@ mod tests {
         c.begin_section("b");
         c.push_unchecked(Gate::cnot(0, 1));
         c.end_section();
-        let cc = CompiledCircuit::compile(&c);
+        let cc = compile(&c);
         // Without the boundary all three would fuse into one permutation.
         assert_eq!(cc.len(), 2);
         assert_eq!(cc.sections().len(), 2);
@@ -489,7 +849,7 @@ mod tests {
         c.end_section();
         c.push_unchecked(Gate::X(0)); // after
         c.push_unchecked(Gate::X(1));
-        let cc = CompiledCircuit::compile(&c);
+        let cc = compile(&c);
         assert_eq!(cc.len(), 3);
         assert_eq!(cc.sections()[0].range, 1..2);
         assert!(matches!(&cc.ops()[2], CompiledOp::Permutation(s) if s.len() == 2));
@@ -506,7 +866,7 @@ mod tests {
         c.push_unchecked(Gate::ccnot(1, 2, 3));
         c.push_unchecked(Gate::ccnot(0, 1, 2));
         c.push_unchecked(Gate::cnot(0, 1));
-        let cc = CompiledCircuit::compile(&c);
+        let cc = compile(&c);
         assert_eq!(cc.len(), 1);
         assert!(matches!(&cc.ops()[0], CompiledOp::Permutation(s) if s.is_empty()));
         assert_eq!(cc.source_gates(), 6);
@@ -522,7 +882,7 @@ mod tests {
         c.begin_section("s");
         c.push_unchecked(Gate::ccnot(0, 1, 2));
         c.end_section();
-        let cc = CompiledCircuit::compile(&c);
+        let cc = compile(&c);
         assert_eq!(cc.len(), 2);
         assert!(matches!(&cc.ops()[0], CompiledOp::Permutation(s) if s.len() == 1));
         assert!(matches!(&cc.ops()[1], CompiledOp::Permutation(s) if s.len() == 1));
@@ -534,14 +894,95 @@ mod tests {
         c.push_unchecked(Gate::Phase(0, 0.4));
         c.push_unchecked(Gate::Phase(0, 0.5));
         c.push_unchecked(Gate::Z(1));
-        let cc = CompiledCircuit::compile(&c);
+        let cc = compile(&c);
         assert_eq!(cc.len(), 1);
         let CompiledOp::Diagonal(phases) = &cc.ops()[0] else {
-            panic!("phases must lower to a diagonal");
+            panic!("phases lower to a diagonal");
         };
         assert_eq!(phases.len(), 2);
         assert!((phases[0].phase - Complex::from_phase(0.9)).norm() < 1e-12);
         assert_eq!(phases[1].phase, Complex::real(-1.0));
+    }
+
+    #[test]
+    fn same_qubit_singles_fuse_into_one_product() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::Ry(0, 0.7));
+        c.push_unchecked(Gate::H(0));
+        let cc = compile(&c);
+        assert_eq!(cc.len(), 1, "three same-qubit singles fuse into one");
+        let CompiledOp::Single(k) = &cc.ops()[0] else {
+            panic!("singles stay single");
+        };
+        // H · Ry(θ) · H: compare against the product computed by hand.
+        let expected = SingleQubit::hadamard(0)
+            .after(&SingleQubit::ry(0, 0.7))
+            .after(&SingleQubit::hadamard(0));
+        for (a, b) in [
+            (k.m00, expected.m00),
+            (k.m01, expected.m01),
+            (k.m10, expected.m10),
+            (k.m11, expected.m11),
+        ] {
+            assert!((a - b).norm() < 1e-12);
+        }
+        assert_eq!(cc.stats().merged_singles, 2);
+    }
+
+    #[test]
+    fn different_qubit_singles_do_not_fuse() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::H(1));
+        c.push_unchecked(Gate::H(0));
+        let cc = compile(&c);
+        assert_eq!(cc.len(), 3);
+        assert_eq!(cc.stats().merged_singles, 0);
+    }
+
+    #[test]
+    fn section_boundaries_block_single_fusion() {
+        let mut c = Circuit::new(1);
+        c.push_unchecked(Gate::H(0));
+        c.begin_section("s");
+        c.push_unchecked(Gate::H(0));
+        c.end_section();
+        let cc = compile(&c);
+        assert_eq!(cc.len(), 2, "fusion never crosses a section boundary");
+        assert_eq!(cc.stats().merged_singles, 0);
+    }
+
+    #[test]
+    fn intervening_ops_block_single_fusion() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::X(1));
+        c.push_unchecked(Gate::H(0));
+        let cc = compile(&c);
+        assert_eq!(cc.len(), 3);
+        assert_eq!(cc.stats().merged_singles, 0);
+    }
+
+    #[test]
+    fn narrow_ops_emitted_for_small_widths_only() {
+        let mut c = Circuit::new(64);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::ccnot(0, 1, 63));
+        c.push_unchecked(Gate::Z(63));
+        let cc = compile(&c);
+        let narrow = cc.narrow_ops().expect("width 64 has a u64 fast path");
+        assert_eq!(narrow.len(), cc.len());
+        assert!(cc.stats().narrow);
+        for (n, w) in narrow.iter().zip(cc.ops()) {
+            assert_eq!(&n.widen(), w, "narrow ops are the wide ops truncated");
+        }
+
+        let mut wide = Circuit::new(65);
+        wide.push_unchecked(Gate::H(64));
+        let cc = compile(&wide);
+        assert!(cc.narrow_ops().is_none());
+        assert!(!cc.stats().narrow);
     }
 
     #[test]
@@ -552,7 +993,7 @@ mod tests {
         c.push_unchecked(Gate::Phase(0, 0.4));
         c.push_unchecked(Gate::Phase(0, 0.5)); // merges into previous
         c.push_unchecked(Gate::H(2));
-        let cc = CompiledCircuit::compile(&c);
+        let cc = compile(&c);
         let s = cc.stats();
         assert_eq!(s.source_gates, 5);
         assert_eq!(s.ops, cc.len());
@@ -560,14 +1001,59 @@ mod tests {
         assert_eq!(s.merged_phases, 1);
         assert_eq!(
             s.kernel_steps,
-            cc.ops().iter().map(CompiledOp::fused_gates).sum::<usize>()
+            cc.ops().iter().map(Op::fused_gates).sum::<usize>()
         );
     }
 
     #[test]
     fn empty_circuit_compiles_to_nothing() {
-        let cc = CompiledCircuit::compile(&Circuit::new(4));
+        let cc = compile(&Circuit::new(4));
         assert!(cc.is_empty());
         assert_eq!(cc.width(), 4);
+    }
+
+    #[test]
+    fn overwide_circuit_is_a_structured_error() {
+        let c = Circuit::new(129);
+        match CompiledCircuit::compile(&c) {
+            Err(CompileError::WidthTooLarge { width, max }) => {
+                assert_eq!((width, max), (129, 128));
+            }
+            other => panic!("expected WidthTooLarge, got {:?}", other.map(|_| ())),
+        }
+        // Width 128 itself is fine.
+        assert!(CompiledCircuit::compile(&Circuit::new(128)).is_ok());
+    }
+
+    #[test]
+    fn malformed_gates_are_structured_errors() {
+        // `Circuit::push` rejects these before they reach the compiler;
+        // the compiler still guards on its own so a bypassed invariant is
+        // an error, not a corrupted state or a panic.
+        assert_eq!(
+            validate_gate(&Gate::X(5), 4),
+            Err(CompileError::QubitOutOfRange { qubit: 5, width: 4 })
+        );
+        assert_eq!(
+            validate_gate(&Gate::cnot(2, 2), 4),
+            Err(CompileError::DuplicateQubit(2))
+        );
+        assert_eq!(validate_gate(&Gate::cnot(0, 2), 4), Ok(()));
+    }
+
+    #[test]
+    fn compile_error_display_is_informative() {
+        assert!(CompileError::WidthTooLarge {
+            width: 200,
+            max: 128
+        }
+        .to_string()
+        .contains("200"));
+        assert!(CompileError::QubitOutOfRange { qubit: 9, width: 4 }
+            .to_string()
+            .contains("qubit 9"));
+        assert!(CompileError::DuplicateQubit(3)
+            .to_string()
+            .contains("qubit 3"));
     }
 }

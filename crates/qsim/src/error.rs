@@ -1,9 +1,13 @@
 //! Error type for circuit construction and simulation.
 
+use crate::compile::CompileError;
 use std::fmt;
 
 /// Errors produced while building circuits or simulating them.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Not `Eq` because [`SimError::NotNormalized`] carries the measured
+/// squared norm as an `f64` diagnostic.
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// A gate referenced a qubit at or above the circuit width.
     QubitOutOfRange {
@@ -30,6 +34,29 @@ pub enum SimError {
         /// Width of the argument.
         actual: usize,
     },
+    /// A measurement was requested on a state whose squared norm has
+    /// drifted to (or was set to) something indistinguishable from zero,
+    /// so outcome probabilities are undefined.
+    NotNormalized {
+        /// The state's squared norm at the time of the measurement.
+        norm_sqr: f64,
+    },
+    /// A post-selection collapsed onto a branch with zero probability:
+    /// the conditioned state does not exist.
+    ZeroProbabilityBranch {
+        /// The measured qubit.
+        qubit: usize,
+        /// The impossible outcome that was forced.
+        value: bool,
+    },
+    /// Circuit compilation failed (see [`CompileError`]).
+    Compile(CompileError),
+}
+
+impl From<CompileError> for SimError {
+    fn from(e: CompileError) -> Self {
+        SimError::Compile(e)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -53,6 +80,20 @@ impl fmt::Display for SimError {
                     "circuit width mismatch: expected {expected}, got {actual}"
                 )
             }
+            SimError::NotNormalized { norm_sqr } => {
+                write!(
+                    f,
+                    "state is not normalized (squared norm {norm_sqr:.3e}); cannot measure"
+                )
+            }
+            SimError::ZeroProbabilityBranch { qubit, value } => {
+                write!(
+                    f,
+                    "post-selecting qubit {qubit} = {} collapses onto a zero-probability branch",
+                    *value as u8
+                )
+            }
+            SimError::Compile(e) => write!(f, "compile error: {e}"),
         }
     }
 }
@@ -83,5 +124,19 @@ mod tests {
         }
         .to_string()
         .contains("expected 3"));
+        assert!(SimError::NotNormalized { norm_sqr: 1e-30 }
+            .to_string()
+            .contains("not normalized"));
+        assert!(SimError::ZeroProbabilityBranch {
+            qubit: 2,
+            value: true
+        }
+        .to_string()
+        .contains("qubit 2 = 1"));
+        assert!(
+            SimError::from(crate::compile::CompileError::DuplicateQubit(1))
+                .to_string()
+                .contains("compile error")
+        );
     }
 }

@@ -5,8 +5,9 @@
 //!
 //! * [`state::DenseState`] — a full statevector (`2^q` amplitudes), usable
 //!   up to ~26 qubits; the ground truth for cross-checking.
-//! * [`state::SparseState`] — an amplitude map holding only nonzero basis
-//!   states. The qTKP oracle is almost entirely classical-reversible
+//! * [`state::SparseState`] — a sorted vector of the nonzero
+//!   `(basis, amplitude)` pairs (u64 keys for widths ≤ 64, u128 beyond).
+//!   The qTKP oracle is almost entirely classical-reversible
 //!   (X / CNOT / Toffoli / multi-controlled X), so a state that starts as a
 //!   superposition over the `n` vertex qubits never exceeds `2^n` nonzero
 //!   amplitudes *regardless of how many ancilla qubits the oracle uses* —
@@ -31,7 +32,8 @@ pub mod state;
 
 pub use circuit::{Circuit, GateStats, Section};
 pub use compile::{
-    CompileStats, CompiledCircuit, CompiledOp, MaskedFlip, MaskedPhase, SingleQubit,
+    BasisKey, CompileError, CompileStats, CompiledCircuit, CompiledOp, CompiledOp64, FlipStep,
+    MaskedFlip, MaskedFlip64, MaskedPhase, MaskedPhase64, PhaseStep, SingleQubit,
 };
 pub use complex::Complex;
 pub use decompose::{lower_to_toffoli, Lowered};

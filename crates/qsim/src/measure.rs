@@ -6,17 +6,31 @@
 //! *mid-circuit measurement*: measure one qubit, collapse the state to
 //! the observed branch, renormalize — needed e.g. for repeat-until-success
 //! protocols and useful for testing simulator semantics.
+//!
+//! All entry points are fallible: measuring a state whose norm has
+//! collapsed to zero, or post-selecting an impossible branch, is reported
+//! as a [`SimError`] instead of aborting the process — a malformed state
+//! must never panic a long-lived server embedding the simulator.
 
 use crate::complex::Complex;
+use crate::error::SimError;
 use crate::state::{DenseState, QuantumState, SparseState, PRUNE_EPS};
 use rand::Rng;
 
+/// A state whose squared norm is below this is treated as un-normalized:
+/// its outcome probabilities are dominated by rounding noise.
+const MIN_NORM_SQR: f64 = 1e-12;
+
 /// Measures qubit `q`, collapses the state, and returns the outcome bit.
 ///
-/// # Panics
-/// Panics if the state has (numerically) zero norm on both branches —
-/// i.e. it was not normalized to begin with.
-pub fn measure_and_collapse<R: Rng>(state: &mut SparseState, q: usize, rng: &mut R) -> bool {
+/// # Errors
+/// Fails with [`SimError::NotNormalized`] if the state has (numerically)
+/// zero norm on both branches — i.e. it was not normalized to begin with.
+pub fn measure_and_collapse<R: Rng>(
+    state: &mut SparseState,
+    q: usize,
+    rng: &mut R,
+) -> Result<bool, SimError> {
     let mask = 1u128 << q;
     let p1: f64 = state
         .nonzero()
@@ -25,18 +39,22 @@ pub fn measure_and_collapse<R: Rng>(state: &mut SparseState, q: usize, rng: &mut
         .map(|(_, a)| a.norm_sqr())
         .sum();
     let total: f64 = state.norm_sqr();
-    assert!(total > 1e-12, "state must be normalized");
+    if total <= MIN_NORM_SQR {
+        return Err(SimError::NotNormalized { norm_sqr: total });
+    }
     let outcome = rng.gen::<f64>() * total < p1;
-    collapse(state, q, outcome);
-    outcome
+    collapse(state, q, outcome)?;
+    Ok(outcome)
 }
 
 /// Forces qubit `q` into the given classical value and renormalizes
 /// (post-selection).
 ///
-/// # Panics
-/// Panics if the selected branch has zero probability.
-pub fn collapse(state: &mut SparseState, q: usize, value: bool) {
+/// # Errors
+/// Fails with [`SimError::ZeroProbabilityBranch`] if the selected branch
+/// has zero probability: the conditioned state does not exist, and the
+/// state is left unchanged.
+pub fn collapse(state: &mut SparseState, q: usize, value: bool) -> Result<(), SimError> {
     let mask = 1u128 << q;
     let keep: Vec<(u128, Complex)> = state
         .nonzero()
@@ -44,17 +62,25 @@ pub fn collapse(state: &mut SparseState, q: usize, value: bool) {
         .filter(|(b, _)| (b & mask != 0) == value)
         .collect();
     let norm: f64 = keep.iter().map(|(_, a)| a.norm_sqr()).sum();
-    assert!(norm > 1e-12, "collapsing onto a zero-probability branch");
+    if norm <= MIN_NORM_SQR {
+        return Err(SimError::ZeroProbabilityBranch { qubit: q, value });
+    }
     let scale = 1.0 / norm.sqrt();
-    let width = state.width();
-    *state = SparseState::zero(width);
-    // Rebuild: zero() leaves amplitude 1 at |0…0⟩; clear it first by
-    // collapsing onto the kept set.
     state.set_amplitudes(keep.into_iter().map(|(b, a)| (b, a.scale(scale))));
+    Ok(())
 }
 
 /// Dense-backend variant of [`measure_and_collapse`].
-pub fn measure_and_collapse_dense<R: Rng>(state: &mut DenseState, q: usize, rng: &mut R) -> bool {
+///
+/// # Errors
+/// Fails with [`SimError::NotNormalized`] on a zero-norm state, or
+/// [`SimError::ZeroProbabilityBranch`] if rounding noise picked a branch
+/// with negligible mass (the state is left unchanged in both cases).
+pub fn measure_and_collapse_dense<R: Rng>(
+    state: &mut DenseState,
+    q: usize,
+    rng: &mut R,
+) -> Result<bool, SimError> {
     let mask = 1u128 << q;
     let p1: f64 = state
         .nonzero()
@@ -63,16 +89,20 @@ pub fn measure_and_collapse_dense<R: Rng>(state: &mut DenseState, q: usize, rng:
         .map(|(_, a)| a.norm_sqr())
         .sum();
     let total = state.norm_sqr();
-    assert!(total > 1e-12, "state must be normalized");
+    if total <= MIN_NORM_SQR {
+        return Err(SimError::NotNormalized { norm_sqr: total });
+    }
     let outcome = rng.gen::<f64>() * total < p1;
     let norm = if outcome { p1 } else { total - p1 };
-    assert!(
-        norm > PRUNE_EPS,
-        "collapsing onto a zero-probability branch"
-    );
+    if norm <= PRUNE_EPS {
+        return Err(SimError::ZeroProbabilityBranch {
+            qubit: q,
+            value: outcome,
+        });
+    }
     let scale = 1.0 / norm.sqrt();
     state.project(|b| (b & mask != 0) == outcome, scale);
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -86,9 +116,9 @@ mod tests {
     fn measuring_a_basis_state_is_deterministic() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = SparseState::from_basis(3, 0b101);
-        assert!(measure_and_collapse(&mut s, 0, &mut rng));
-        assert!(!measure_and_collapse(&mut s, 1, &mut rng));
-        assert!(measure_and_collapse(&mut s, 2, &mut rng));
+        assert!(measure_and_collapse(&mut s, 0, &mut rng).unwrap());
+        assert!(!measure_and_collapse(&mut s, 1, &mut rng).unwrap());
+        assert!(measure_and_collapse(&mut s, 2, &mut rng).unwrap());
         assert!((s.probability(0b101) - 1.0).abs() < 1e-12);
     }
 
@@ -100,9 +130,9 @@ mod tests {
             let mut s = SparseState::zero(2);
             s.apply(&Gate::H(0));
             s.apply(&Gate::cnot(0, 1));
-            let m0 = measure_and_collapse(&mut s, 0, &mut rng);
+            let m0 = measure_and_collapse(&mut s, 0, &mut rng).unwrap();
             // The partner qubit is now perfectly correlated.
-            let m1 = measure_and_collapse(&mut s, 1, &mut rng);
+            let m1 = measure_and_collapse(&mut s, 1, &mut rng).unwrap();
             assert_eq!(m0, m1, "Bell pair must correlate");
             ones += usize::from(m0);
             assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
@@ -114,15 +144,64 @@ mod tests {
     fn post_selection_renormalizes() {
         let mut s = SparseState::zero(1);
         s.apply(&Gate::Ry(0, 1.0)); // uneven superposition
-        collapse(&mut s, 0, true);
+        collapse(&mut s, 0, true).unwrap();
         assert!((s.probability(1) - 1.0).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "zero-probability")]
-    fn impossible_post_selection_panics() {
+    fn impossible_post_selection_is_an_error() {
         let mut s = SparseState::from_basis(1, 0);
-        collapse(&mut s, 0, true);
+        assert_eq!(
+            collapse(&mut s, 0, true),
+            Err(SimError::ZeroProbabilityBranch {
+                qubit: 0,
+                value: true
+            })
+        );
+        // The state is untouched by the failed post-selection.
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measuring_an_unnormalized_state_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = SparseState::zero(2);
+        s.set_amplitudes([(0b01, Complex::real(1e-8))]);
+        match measure_and_collapse(&mut s, 0, &mut rng) {
+            Err(SimError::NotNormalized { norm_sqr }) => {
+                assert!(norm_sqr < 1e-12, "reported norm² {norm_sqr}");
+            }
+            other => panic!("expected NotNormalized, got {other:?}"),
+        }
+
+        let mut d = DenseState::zero(2).unwrap();
+        d.project(|_| false, 1.0); // zero the whole statevector
+        assert!(matches!(
+            measure_and_collapse_dense(&mut d, 0, &mut rng),
+            Err(SimError::NotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_collapses_do_not_drift_the_norm() {
+        // Regression: renormalization after each collapse must hold the
+        // norm at 1 across many rounds, and the measurement APIs must keep
+        // accepting the state (no spurious NotNormalized from drift).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut s = SparseState::zero(8);
+        for round in 0..50 {
+            for q in 0..8 {
+                s.apply(&Gate::Ry(q, 0.3 + 0.1 * q as f64));
+            }
+            let q = round % 8;
+            measure_and_collapse(&mut s, q, &mut rng)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            let norm = s.norm_sqr();
+            assert!(
+                (norm - 1.0).abs() < 1e-9,
+                "round {round}: norm² drifted to {norm}"
+            );
+        }
     }
 
     #[test]
@@ -135,8 +214,8 @@ mod tests {
             st.apply_h(0);
             st.apply_cnot(0, 1);
         }
-        let md = measure_and_collapse_dense(&mut d, 0, &mut rng1);
-        let ms = measure_and_collapse(&mut s, 0, &mut rng2);
+        let md = measure_and_collapse_dense(&mut d, 0, &mut rng1).unwrap();
+        let ms = measure_and_collapse(&mut s, 0, &mut rng2).unwrap();
         assert_eq!(md, ms, "same seed, same outcome");
         for b in 0..4u128 {
             assert!((d.probability(b) - s.probability(b)).abs() < 1e-9);

@@ -1,19 +1,31 @@
-//! Quantum state backends: dense statevector and sparse amplitude map.
+//! Quantum state backends: dense statevector and sparse sorted-vec.
 //!
 //! Both backends execute circuits through the compiled kernel path
 //! ([`crate::compile::CompiledCircuit`]): [`QuantumState::run`] lowers the
 //! circuit once and then applies fused ops, each in a single pass over the
-//! state. The gate-by-gate interpreter survives as
-//! [`QuantumState::run_interpreted`] (and [`QuantumState::apply`]) for
-//! cross-checking and for callers that apply individual gates.
+//! state. When the register fits in 64 bits (every instance in the paper
+//! does) the compiler also emits u64-specialised ops and the runner
+//! dispatches those through [`QuantumState::apply_op64`]. The gate-by-gate
+//! interpreter survives as [`QuantumState::run_interpreted`] (and
+//! [`QuantumState::apply`]) for cross-checking and for callers that apply
+//! individual gates.
+//!
+//! The sparse backend stores the state as a `Vec<(key, amplitude)>` sorted
+//! by basis key (cf. the sorted-structure representation of sparse
+//! Feynman-path simulators): permutation and diagonal kernels are one
+//! in-place pass, and the `Single` butterfly is a linear two-way merge
+//! with in-place epsilon pruning — no per-gate allocation or rehashing,
+//! which the previous `HashMap` representation paid on every H/Ry gate.
 
 use crate::circuit::Circuit;
-use crate::compile::{CompiledCircuit, CompiledOp, MaskedFlip, MaskedPhase, SingleQubit};
+use crate::compile::{
+    BasisKey, CompiledCircuit, CompiledOp, CompiledOp64, FlipStep, Op, PhaseStep, SingleQubit,
+};
 use crate::complex::Complex;
 use crate::error::SimError;
 use crate::gate::Gate;
 use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
@@ -35,6 +47,15 @@ const PAR_MIN_AMPS: usize = 1 << 16;
 #[cfg(feature = "parallel")]
 const PAR_CHUNK: usize = 1 << 13;
 
+/// Observability name for a kernel kind, shared by both op widths.
+fn kernel_kind<K>(op: &Op<K>) -> &'static str {
+    match op {
+        Op::Permutation(_) => "qsim.kernel.permutation",
+        Op::Diagonal(_) => "qsim.kernel.diagonal",
+        Op::Single(_) => "qsim.kernel.single",
+    }
+}
+
 /// Common interface of the simulation backends.
 ///
 /// Basis states are `u128` bit strings where bit `i` is qubit `i`
@@ -49,8 +70,16 @@ pub trait QuantumState {
     /// Applies one compiled kernel op.
     fn apply_op(&mut self, op: &CompiledOp);
 
-    /// Approximate heap footprint of the state representation in bytes
-    /// (amplitude storage plus reusable scratch buffers).
+    /// Applies one u64-specialised kernel op (only valid on states of
+    /// width ≤ 64). The default widens the op back to `u128`; both
+    /// backends override it with a direct u64 pass.
+    fn apply_op64(&mut self, op: &CompiledOp64) {
+        self.apply_op(&op.widen());
+    }
+
+    /// Heap footprint of the state representation in bytes (amplitude
+    /// storage plus reusable scratch buffers). Exact for both backends:
+    /// buffer capacity times entry size.
     fn memory_bytes(&self) -> usize;
 
     /// Reports backend-specific gauges (memory footprint, support size)
@@ -68,12 +97,14 @@ pub trait QuantumState {
     /// Runs a whole circuit through the compiled kernel path.
     ///
     /// # Errors
-    /// Fails if the circuit width does not match the state width.
+    /// Fails if the circuit width does not match the state width or the
+    /// circuit does not compile ([`SimError::Compile`]).
     fn run(&mut self, circuit: &Circuit) -> Result<(), SimError> {
-        self.run_compiled(&CompiledCircuit::compile(circuit))
+        self.run_compiled(&CompiledCircuit::compile(circuit)?)
     }
 
-    /// Runs an already-compiled circuit.
+    /// Runs an already-compiled circuit, preferring the u64-specialised
+    /// ops when the compiler emitted them (width ≤ 64).
     ///
     /// # Errors
     /// Fails if the compiled width does not match the state width.
@@ -84,18 +115,27 @@ pub trait QuantumState {
                 actual: compiled.width(),
             });
         }
-        // Branch once per circuit, not per op: the disabled path runs the
-        // exact loop the seed ran.
-        if qmkp_obs::enabled_for("qsim.kernel") {
+        // Branch once per circuit, not per op: the untraced path runs a
+        // bare loop.
+        let traced = qmkp_obs::enabled_for("qsim.kernel");
+        if let Some(ops) = compiled.narrow_ops() {
+            if traced {
+                for op in ops {
+                    let start = std::time::Instant::now();
+                    self.apply_op64(op);
+                    qmkp_obs::observe(kernel_kind(op), start.elapsed());
+                }
+                self.trace_gauges();
+            } else {
+                for op in ops {
+                    self.apply_op64(op);
+                }
+            }
+        } else if traced {
             for op in compiled.ops() {
                 let start = std::time::Instant::now();
                 self.apply_op(op);
-                let kind = match op {
-                    CompiledOp::Permutation(_) => "qsim.kernel.permutation",
-                    CompiledOp::Diagonal(_) => "qsim.kernel.diagonal",
-                    CompiledOp::Single(_) => "qsim.kernel.single",
-                };
-                qmkp_obs::observe(kind, start.elapsed());
+                qmkp_obs::observe(kernel_kind(op), start.elapsed());
             }
             self.trace_gauges();
         } else {
@@ -250,9 +290,10 @@ impl DenseState {
     }
 
     /// One gather pass applying a fused permutation: `out[i] = in[P⁻¹(i)]`.
-    /// Each [`MaskedFlip`] is an involution, so the inverse permutation is
-    /// the steps applied in reverse order.
-    fn apply_permutation(&mut self, steps: &[MaskedFlip]) {
+    /// Each [`FlipStep`] is an involution, so the inverse permutation is
+    /// the steps applied in reverse order. Generic over the key width so
+    /// the u64-specialised ops run without widening.
+    fn apply_permutation<K: BasisKey>(&mut self, steps: &[FlipStep<K>]) {
         if steps.is_empty() {
             // Peephole cancellation can empty a run; skip the copy pass.
             return;
@@ -261,11 +302,11 @@ impl DenseState {
         let amps = &self.amps;
         let scratch = &mut self.scratch[..];
         let gather = |i: usize| {
-            let mut j = i as u128;
+            let mut j = K::from_u128(i as u128);
             for s in steps.iter().rev() {
                 j = s.apply(j);
             }
-            amps[j as usize]
+            amps[j.to_u128() as usize]
         };
         #[cfg(feature = "parallel")]
         if amps.len() >= PAR_MIN_AMPS {
@@ -288,12 +329,12 @@ impl DenseState {
     }
 
     /// One in-place pass applying a fused run of diagonal gates.
-    fn apply_diagonal(&mut self, phases: &[MaskedPhase]) {
+    fn apply_diagonal<K: BasisKey>(&mut self, phases: &[PhaseStep<K>]) {
         if phases.is_empty() {
             return;
         }
         let update = |i: usize, a: &mut Complex| {
-            let b = i as u128;
+            let b = K::from_u128(i as u128);
             for p in phases {
                 if p.applies_to(b) {
                     *a *= p.phase;
@@ -379,12 +420,24 @@ impl QuantumState for DenseState {
         }
     }
 
+    fn apply_op64(&mut self, op: &CompiledOp64) {
+        match op {
+            CompiledOp64::Permutation(steps) => self.apply_permutation(steps),
+            CompiledOp64::Diagonal(phases) => self.apply_diagonal(phases),
+            CompiledOp64::Single(k) => self.apply_single(k),
+        }
+    }
+
     fn memory_bytes(&self) -> usize {
         (self.amps.capacity() + self.scratch.capacity()) * std::mem::size_of::<Complex>()
     }
 
     fn trace_gauges(&self) {
         qmkp_obs::gauge("qsim.dense.mem_bytes", self.memory_bytes() as f64);
+    }
+
+    fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
     }
 
     fn apply(&mut self, gate: &Gate) {
@@ -485,33 +538,459 @@ impl QuantumState for DenseState {
 // Sparse backend
 // ---------------------------------------------------------------------------
 
-/// Sparse amplitude-map backend: only nonzero basis states are stored.
+/// Ladders at least this long take the half-split permutation pass (the
+/// per-call split allocation amortizes); shorter ones — in particular the
+/// interpreted path's single-step calls — stay allocation-free.
+const SPLIT_LADDER_MIN: usize = 8;
+
+/// A [`FlipStep`] pre-split into 64-bit halves for the sparse
+/// permutation ladder (see `apply_permutation_split`).
+#[derive(Clone, Copy)]
+struct SplitStep {
+    care_lo: u64,
+    want_lo: u64,
+    flip_lo: u64,
+    care_hi: u64,
+    want_hi: u64,
+    flip_hi: u64,
+}
+
+impl SplitStep {
+    fn from_step<K: BasisKey>(s: FlipStep<K>) -> Self {
+        let (care_lo, care_hi) = s.care.split_lo_hi();
+        let (want_lo, want_hi) = s.want.split_lo_hi();
+        let (flip_lo, flip_hi) = s.flip.split_lo_hi();
+        SplitStep {
+            care_lo,
+            want_lo,
+            flip_lo,
+            care_hi,
+            want_hi,
+            flip_hi,
+        }
+    }
+
+    /// Whether the step's masks live entirely in the low 64 bits (`want ⊆
+    /// care`, so `care_hi == 0` implies `want_hi == 0`).
+    fn is_narrow(&self) -> bool {
+        self.care_hi == 0 && self.flip_hi == 0
+    }
+}
+
+/// The sorted-vec amplitude store, generic over the basis-key width.
+///
+/// Invariant: `amps` is sorted by key with all keys distinct. The scratch
+/// buffers hold no live data between ops — only their capacity is reused,
+/// so a `Single` pass allocates nothing once the buffers have grown to the
+/// working support size.
+#[derive(Debug, Clone)]
+struct SparseCore<K> {
+    amps: Vec<(K, Complex)>,
+    /// Pass-1 buffer: entries with the target bit clear, key unchanged.
+    split_lo: Vec<(K, Complex)>,
+    /// Pass-1 buffer: entries with the target bit set, key normalized
+    /// (bit cleared) — still sorted, since clearing the same bit from
+    /// keys that all have it set preserves order.
+    split_hi: Vec<(K, Complex)>,
+    /// Pass-2 output: bit-clear halves of the butterflies.
+    out_lo: Vec<(K, Complex)>,
+    /// Pass-2 output: bit-set halves (key has the bit re-set).
+    out_hi: Vec<(K, Complex)>,
+}
+
+impl<K: BasisKey> SparseCore<K> {
+    fn from_basis(basis: K) -> Self {
+        SparseCore {
+            amps: vec![(basis, Complex::ONE)],
+            split_lo: Vec::new(),
+            split_hi: Vec::new(),
+            out_lo: Vec::new(),
+            out_hi: Vec::new(),
+        }
+    }
+
+    fn amplitude(&self, basis: K) -> Complex {
+        match self.amps.binary_search_by_key(&basis, |&(b, _)| b) {
+            Ok(i) => self.amps[i].1,
+            Err(_) => Complex::ZERO,
+        }
+    }
+
+    fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|(_, a)| a.norm_sqr()).sum()
+    }
+
+    fn prune(&mut self, eps: f64) {
+        self.amps.retain(|(_, a)| !a.is_negligible(eps));
+    }
+
+    /// Replaces the amplitudes wholesale. Entries are sorted; for
+    /// duplicate keys the last entry wins (matching the insert semantics
+    /// of the former `HashMap` representation).
+    fn set_amplitudes(&mut self, entries: Vec<(K, Complex)>) {
+        let mut v = entries;
+        // Stable sort keeps duplicate keys in insertion order, so "keep
+        // the last of each equal-key run" below is exactly last-wins.
+        v.sort_by_key(|&(b, _)| b);
+        let mut w = 0;
+        for i in 0..v.len() {
+            if i + 1 < v.len() && v[i + 1].0 == v[i].0 {
+                continue;
+            }
+            v[w] = v[i];
+            w += 1;
+        }
+        v.truncate(w);
+        self.amps = v;
+    }
+
+    /// Exact heap footprint: capacity of every buffer times entry size.
+    fn memory_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(K, Complex)>();
+        (self.amps.capacity()
+            + self.split_lo.capacity()
+            + self.split_hi.capacity()
+            + self.out_lo.capacity()
+            + self.out_hi.capacity())
+            * entry
+    }
+
+    /// One in-place pass applying a fused permutation. A permutation maps
+    /// distinct keys to distinct keys; the pass tracks whether the mapped
+    /// keys are still ascending and sorts only when they are not (flip
+    /// steps that touch only high ancilla bits of clustered supports often
+    /// preserve order).
+    fn apply_permutation(&mut self, steps: &[FlipStep<K>]) {
+        if steps.is_empty() {
+            // Peephole cancellation can empty a run.
+            return;
+        }
+        if steps.len() < SPLIT_LADDER_MIN {
+            // Short ladders (in particular the interpreted path's
+            // single-step calls) skip the split machinery and its
+            // allocations.
+            let mut chunks = self.amps.chunks_exact_mut(4);
+            for chunk in &mut chunks {
+                let (mut k0, mut k1, mut k2, mut k3) =
+                    (chunk[0].0, chunk[1].0, chunk[2].0, chunk[3].0);
+                for s in steps {
+                    k0 = s.apply(k0);
+                    k1 = s.apply(k1);
+                    k2 = s.apply(k2);
+                    k3 = s.apply(k3);
+                }
+                chunk[0].0 = k0;
+                chunk[1].0 = k1;
+                chunk[2].0 = k2;
+                chunk[3].0 = k3;
+            }
+            for (b, _) in chunks.into_remainder() {
+                let mut key = *b;
+                for s in steps {
+                    key = s.apply(key);
+                }
+                *b = key;
+            }
+        } else {
+            self.apply_permutation_split(steps);
+        }
+        // Flip steps that touch only high ancilla bits of clustered
+        // supports often preserve order, so check before sorting.
+        if self.amps.windows(2).any(|w| w[1].0 <= w[0].0) {
+            self.amps.sort_unstable_by_key(|&(b, _)| b);
+        }
+    }
+
+    /// Long-ladder permutation pass with the steps pre-split into 64-bit
+    /// halves. Oracle circuits put the high-traffic registers (vertices,
+    /// edge ancillas, degree counters) in the low qubits, so on a wide
+    /// (u128-keyed) register most steps never touch the top half — runs
+    /// of such steps execute on pure u64 arithmetic, roughly halving the
+    /// ALU work of the hot ladder. Keys ride through the ladder four at a
+    /// time: each step's output feeds the next step's control test, so a
+    /// single key is a serial dependency chain and the interleaving is
+    /// what lets the CPU overlap the latency-bound mask arithmetic.
+    fn apply_permutation_split(&mut self, steps: &[FlipStep<K>]) {
+        // Dead-step elimination: track which bits *may* be 1 and which
+        // *may* be 0 anywhere in the support. A step whose control test
+        // needs a bit state that no key can have never fires, so it is
+        // dropped for the whole pass. Oracle ladders are full of these:
+        // ancilla counters start at zero, so the high-order carry steps
+        // of the early increments are provably dead. Firing a surviving
+        // step makes its flipped bits unknown in both directions.
+        let (mut may1_lo, mut may1_hi) = (0u64, 0u64);
+        let (mut all1_lo, mut all1_hi) = (!0u64, !0u64);
+        for &(b, _) in &self.amps {
+            let (l, h) = b.split_lo_hi();
+            may1_lo |= l;
+            may1_hi |= h;
+            all1_lo &= l;
+            all1_hi &= h;
+        }
+        let (mut may0_lo, mut may0_hi) = (!all1_lo, !all1_hi);
+        let mut split: Vec<SplitStep> = Vec::with_capacity(steps.len());
+        for s in steps {
+            let st = SplitStep::from_step(*s);
+            let dead = st.want_lo & !may1_lo != 0
+                || st.want_hi & !may1_hi != 0
+                || (st.care_lo & !st.want_lo) & !may0_lo != 0
+                || (st.care_hi & !st.want_hi) & !may0_hi != 0;
+            if dead {
+                continue;
+            }
+            may1_lo |= st.flip_lo;
+            may1_hi |= st.flip_hi;
+            may0_lo |= st.flip_lo;
+            may0_hi |= st.flip_hi;
+            split.push(st);
+        }
+        // Maximal runs of steps sharing narrowness, as (narrow, start, end).
+        let mut runs: Vec<(bool, usize, usize)> = Vec::new();
+        for (i, st) in split.iter().enumerate() {
+            let narrow = st.is_narrow();
+            match runs.last_mut() {
+                Some((n, _, end)) if *n == narrow => *end = i + 1,
+                _ => runs.push((narrow, i, i + 1)),
+            }
+        }
+        let mut chunks = self.amps.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let mut lo = [0u64; 8];
+            let mut hi = [0u64; 8];
+            for (i, &(b, _)) in chunk.iter().enumerate() {
+                (lo[i], hi[i]) = b.split_lo_hi();
+            }
+            for &(narrow, start, end) in &runs {
+                if narrow {
+                    for s in &split[start..end] {
+                        for l in &mut lo {
+                            let hit = ((*l & s.care_lo == s.want_lo) as u64).wrapping_neg();
+                            *l ^= s.flip_lo & hit;
+                        }
+                    }
+                } else {
+                    for s in &split[start..end] {
+                        for (l, h) in lo.iter_mut().zip(&mut hi) {
+                            let hit = ((*l & s.care_lo == s.want_lo && *h & s.care_hi == s.want_hi)
+                                as u64)
+                                .wrapping_neg();
+                            *l ^= s.flip_lo & hit;
+                            *h ^= s.flip_hi & hit;
+                        }
+                    }
+                }
+            }
+            for (i, (b, _)) in chunk.iter_mut().enumerate() {
+                *b = K::from_lo_hi(lo[i], hi[i]);
+            }
+        }
+        for (b, _) in chunks.into_remainder() {
+            let (mut lo, mut hi) = b.split_lo_hi();
+            for s in &split {
+                let hit = ((lo & s.care_lo == s.want_lo && hi & s.care_hi == s.want_hi) as u64)
+                    .wrapping_neg();
+                lo ^= s.flip_lo & hit;
+                hi ^= s.flip_hi & hit;
+            }
+            *b = K::from_lo_hi(lo, hi);
+        }
+    }
+
+    /// One in-place pass applying a fused run of diagonal gates.
+    fn apply_diagonal(&mut self, phases: &[PhaseStep<K>]) {
+        for (b, a) in self.amps.iter_mut() {
+            for p in phases {
+                if p.applies_to(*b) {
+                    *a *= p.phase;
+                }
+            }
+        }
+    }
+
+    /// The `Single`-kernel butterfly as three linear passes over sorted
+    /// vecs — the hot path the sorted representation exists for:
+    ///
+    /// 1. partition `amps` by the target bit into `split_lo` / `split_hi`
+    ///    (keys normalized to bit-clear; both halves stay sorted),
+    /// 2. two-pointer merge over normalized keys, emitting each
+    ///    butterfly's bit-clear half into `out_lo` and bit-set half into
+    ///    `out_hi`, pruning negligible amplitudes as they are produced,
+    /// 3. two-pointer merge of `out_lo` / `out_hi` back into `amps`
+    ///    (keys from the two sides are never equal — they differ in the
+    ///    target bit).
+    fn apply_single(&mut self, k: &SingleQubit) {
+        let m = K::bit(k.qubit);
+        self.split_lo.clear();
+        self.split_hi.clear();
+        for &(b, a) in &self.amps {
+            if b & m == K::ZERO {
+                self.split_lo.push((b, a));
+            } else {
+                self.split_hi.push((b & !m, a));
+            }
+        }
+        self.out_lo.clear();
+        self.out_hi.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.split_lo.len() || j < self.split_hi.len() {
+            let next_lo = self.split_lo.get(i).copied();
+            let next_hi = self.split_hi.get(j).copied();
+            let (key, a0, a1) = match (next_lo, next_hi) {
+                (Some((kl, al)), Some((kh, ah))) => match kl.cmp(&kh) {
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        (kl, al, Complex::ZERO)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        (kh, Complex::ZERO, ah)
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        (kl, al, ah)
+                    }
+                },
+                (Some((kl, al)), None) => {
+                    i += 1;
+                    (kl, al, Complex::ZERO)
+                }
+                (None, Some((kh, ah))) => {
+                    j += 1;
+                    (kh, Complex::ZERO, ah)
+                }
+                (None, None) => break,
+            };
+            let lo = k.m00 * a0 + k.m01 * a1;
+            let hi = k.m10 * a0 + k.m11 * a1;
+            if !lo.is_negligible(PRUNE_EPS) {
+                self.out_lo.push((key, lo));
+            }
+            if !hi.is_negligible(PRUNE_EPS) {
+                self.out_hi.push((key | m, hi));
+            }
+        }
+        self.amps.clear();
+        self.amps.reserve(self.out_lo.len() + self.out_hi.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.out_lo.len() && j < self.out_hi.len() {
+            if self.out_lo[i].0 < self.out_hi[j].0 {
+                self.amps.push(self.out_lo[i]);
+                i += 1;
+            } else {
+                self.amps.push(self.out_hi[j]);
+                j += 1;
+            }
+        }
+        self.amps.extend_from_slice(&self.out_lo[i..]);
+        self.amps.extend_from_slice(&self.out_hi[j..]);
+    }
+
+    fn apply_op(&mut self, op: &Op<K>) {
+        match op {
+            Op::Permutation(steps) => self.apply_permutation(steps),
+            Op::Diagonal(phases) => self.apply_diagonal(phases),
+            Op::Single(k) => self.apply_single(k),
+        }
+    }
+
+    /// Interpreted single-gate application: each gate is lowered to a
+    /// stack-local kernel step and applied through the same passes as the
+    /// compiled path — no allocation, no hashing.
+    fn apply_gate(&mut self, gate: &Gate) {
+        match gate {
+            Gate::X(q) => self.apply_permutation(&[FlipStep {
+                care: K::ZERO,
+                want: K::ZERO,
+                flip: K::bit(*q),
+            }]),
+            Gate::Mcx { controls, target } => {
+                let mut care = K::ZERO;
+                let mut want = K::ZERO;
+                for c in controls {
+                    care = care | K::bit(c.qubit);
+                    if c.positive {
+                        want = want | K::bit(c.qubit);
+                    }
+                }
+                self.apply_permutation(&[FlipStep {
+                    care,
+                    want,
+                    flip: K::bit(*target),
+                }]);
+            }
+            Gate::Z(q) => self.apply_diagonal(&[PhaseStep {
+                care: K::bit(*q),
+                want: K::bit(*q),
+                phase: Complex::real(-1.0),
+            }]),
+            Gate::Phase(q, theta) => self.apply_diagonal(&[PhaseStep {
+                care: K::bit(*q),
+                want: K::bit(*q),
+                phase: Complex::from_phase(*theta),
+            }]),
+            Gate::CPhase(p, q, theta) => {
+                let m = K::bit(*p) | K::bit(*q);
+                self.apply_diagonal(&[PhaseStep {
+                    care: m,
+                    want: m,
+                    phase: Complex::from_phase(*theta),
+                }]);
+            }
+            Gate::Mcz { controls, target } => {
+                let mut care = K::bit(*target);
+                let mut want = K::bit(*target);
+                for c in controls {
+                    care = care | K::bit(c.qubit);
+                    if c.positive {
+                        want = want | K::bit(c.qubit);
+                    }
+                }
+                self.apply_diagonal(&[PhaseStep {
+                    care,
+                    want,
+                    phase: Complex::real(-1.0),
+                }]);
+            }
+            Gate::H(q) => self.apply_single(&SingleQubit::hadamard(*q)),
+            Gate::Ry(q, theta) => self.apply_single(&SingleQubit::ry(*q, *theta)),
+        }
+    }
+}
+
+/// The sorted key representation at the state's width: u64 keys for
+/// registers that fit (the fast path — every instance in the paper does),
+/// u128 keys for wider registers.
+#[derive(Debug, Clone)]
+enum Repr {
+    Narrow(SparseCore<u64>),
+    Wide(SparseCore<u128>),
+}
+
+/// Sparse sorted-vec backend: only nonzero basis states are stored, as a
+/// `Vec<(key, amplitude)>` sorted by basis key.
 ///
 /// Suited to circuits that are mostly basis-state permutations (X / MCX):
 /// the qTKP oracle over 50-200 qubits keeps at most `2^n` nonzero
 /// amplitudes, where `n` is the number of vertex qubits ever touched by a
-/// Hadamard.
+/// Hadamard. States of width ≤ 64 store `u64` keys (24-byte entries
+/// instead of 32) and run the compiler's u64-specialised kernels.
 #[derive(Debug, Clone)]
 pub struct SparseState {
     width: usize,
-    amps: HashMap<u128, Complex>,
-    /// Second amplitude map, double-buffered with `amps`: kernel ops that
-    /// rewrite keys drain into it and swap, so the maps' capacity is
-    /// reused instead of reallocated per op.
-    scratch: HashMap<u128, Complex>,
+    repr: Repr,
 }
 
 impl SparseState {
     /// `|basis⟩` over `width` qubits (any width up to 128).
     pub fn from_basis(width: usize, basis: u128) -> Self {
         assert!(width <= 128, "at most 128 qubits are supported");
-        let mut amps = HashMap::new();
-        amps.insert(basis, Complex::ONE);
-        SparseState {
-            width,
-            amps,
-            scratch: HashMap::new(),
-        }
+        let repr = if width <= u64::BITS as usize {
+            Repr::Narrow(SparseCore::from_basis(basis as u64))
+        } else {
+            Repr::Wide(SparseCore::from_basis(basis))
+        };
+        SparseState { width, repr }
     }
 
     /// `|0…0⟩` over `width` qubits.
@@ -521,18 +1000,30 @@ impl SparseState {
 
     /// Number of nonzero amplitudes currently stored.
     pub fn support_size(&self) -> usize {
-        self.amps.len()
+        match &self.repr {
+            Repr::Narrow(c) => c.amps.len(),
+            Repr::Wide(c) => c.amps.len(),
+        }
     }
 
     /// Drops amplitudes with magnitude below `eps`.
     pub fn prune(&mut self, eps: f64) {
-        self.amps.retain(|_, a| !a.is_negligible(eps));
+        match &mut self.repr {
+            Repr::Narrow(c) => c.prune(eps),
+            Repr::Wide(c) => c.prune(eps),
+        }
     }
 
     /// Replaces the state's amplitudes wholesale (used by measurement
-    /// collapse; the caller is responsible for normalization).
+    /// collapse; the caller is responsible for normalization). For
+    /// duplicate basis keys the last entry wins.
     pub fn set_amplitudes<I: IntoIterator<Item = (u128, Complex)>>(&mut self, amps: I) {
-        self.amps = amps.into_iter().collect();
+        match &mut self.repr {
+            Repr::Narrow(c) => {
+                c.set_amplitudes(amps.into_iter().map(|(b, a)| (b as u64, a)).collect())
+            }
+            Repr::Wide(c) => c.set_amplitudes(amps.into_iter().collect()),
+        }
     }
 }
 
@@ -542,73 +1033,57 @@ impl QuantumState for SparseState {
     }
 
     fn amplitude(&self, basis: u128) -> Complex {
-        self.amps.get(&basis).copied().unwrap_or(Complex::ZERO)
+        match &self.repr {
+            Repr::Narrow(c) => {
+                if basis >> 64 != 0 {
+                    return Complex::ZERO;
+                }
+                c.amplitude(basis as u64)
+            }
+            Repr::Wide(c) => c.amplitude(basis),
+        }
     }
 
     fn nonzero(&self) -> Vec<(u128, Complex)> {
-        let mut v: Vec<(u128, Complex)> = self
-            .amps
-            .iter()
-            .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
-            .map(|(&b, &a)| (b, a))
-            .collect();
-        v.sort_unstable_by_key(|&(b, _)| b);
-        v
+        // `amps` is already sorted by key.
+        match &self.repr {
+            Repr::Narrow(c) => c
+                .amps
+                .iter()
+                .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
+                .map(|&(b, a)| (b as u128, a))
+                .collect(),
+            Repr::Wide(c) => c
+                .amps
+                .iter()
+                .filter(|(_, a)| !a.is_negligible(PRUNE_EPS))
+                .copied()
+                .collect(),
+        }
     }
 
     fn apply_op(&mut self, op: &CompiledOp) {
-        match op {
-            CompiledOp::Permutation(steps) => {
-                if steps.is_empty() {
-                    // Peephole cancellation can empty a run.
-                    return;
-                }
-                // A permutation maps distinct keys to distinct keys, so a
-                // plain drain-and-insert into the spare map suffices.
-                self.scratch.clear();
-                self.scratch.reserve(self.amps.len());
-                for (b, a) in self.amps.drain() {
-                    let mut key = b;
-                    for s in steps {
-                        key = s.apply(key);
-                    }
-                    self.scratch.insert(key, a);
-                }
-                std::mem::swap(&mut self.amps, &mut self.scratch);
-            }
-            CompiledOp::Diagonal(phases) => {
-                for (b, a) in self.amps.iter_mut() {
-                    for p in phases {
-                        if p.applies_to(*b) {
-                            *a *= p.phase;
-                        }
-                    }
-                }
-            }
-            CompiledOp::Single(k) => {
-                let m = 1u128 << k.qubit;
-                self.scratch.clear();
-                self.scratch.reserve(self.amps.len() * 2);
-                for (&b, &a) in self.amps.iter() {
-                    if b & m == 0 {
-                        *self.scratch.entry(b).or_insert(Complex::ZERO) += k.m00 * a;
-                        *self.scratch.entry(b | m).or_insert(Complex::ZERO) += k.m10 * a;
-                    } else {
-                        *self.scratch.entry(b & !m).or_insert(Complex::ZERO) += k.m01 * a;
-                        *self.scratch.entry(b).or_insert(Complex::ZERO) += k.m11 * a;
-                    }
-                }
-                self.scratch.retain(|_, a| !a.is_negligible(PRUNE_EPS));
-                std::mem::swap(&mut self.amps, &mut self.scratch);
-            }
+        match &mut self.repr {
+            // Compat path: a wide op on a narrow state narrows it first
+            // (allocates). The compiled runner hands narrow states narrow
+            // ops via `apply_op64`, so this is only hit by direct callers.
+            Repr::Narrow(c) => c.apply_op(&op.narrow()),
+            Repr::Wide(c) => c.apply_op(op),
+        }
+    }
+
+    fn apply_op64(&mut self, op: &CompiledOp64) {
+        match &mut self.repr {
+            Repr::Narrow(c) => c.apply_op(op),
+            Repr::Wide(c) => c.apply_op(&op.widen()),
         }
     }
 
     fn memory_bytes(&self) -> usize {
-        // HashMap internals aren't exposed; approximate with the entry
-        // payload across both buffers.
-        let entry = std::mem::size_of::<(u128, Complex)>();
-        (self.amps.capacity() + self.scratch.capacity()) * entry
+        match &self.repr {
+            Repr::Narrow(c) => c.memory_bytes(),
+            Repr::Wide(c) => c.memory_bytes(),
+        }
     }
 
     fn trace_gauges(&self) {
@@ -616,94 +1091,17 @@ impl QuantumState for SparseState {
         qmkp_obs::gauge("qsim.sparse.support", self.support_size() as f64);
     }
 
+    fn norm_sqr(&self) -> f64 {
+        match &self.repr {
+            Repr::Narrow(c) => c.norm_sqr(),
+            Repr::Wide(c) => c.norm_sqr(),
+        }
+    }
+
     fn apply(&mut self, gate: &Gate) {
-        match gate {
-            Gate::X(q) => {
-                let m = 1u128 << q;
-                self.amps = self.amps.drain().map(|(b, a)| (b ^ m, a)).collect();
-            }
-            Gate::Mcx { controls, target } => {
-                let m = 1u128 << target;
-                self.amps = self
-                    .amps
-                    .drain()
-                    .map(|(b, a)| {
-                        if controls.iter().all(|c| c.satisfied_by(b)) {
-                            (b ^ m, a)
-                        } else {
-                            (b, a)
-                        }
-                    })
-                    .collect();
-            }
-            Gate::Z(q) => {
-                let m = 1u128 << q;
-                for (b, a) in self.amps.iter_mut() {
-                    if b & m != 0 {
-                        *a = -*a;
-                    }
-                }
-            }
-            Gate::Phase(q, theta) => {
-                let m = 1u128 << q;
-                let ph = Complex::from_phase(*theta);
-                for (b, a) in self.amps.iter_mut() {
-                    if b & m != 0 {
-                        *a *= ph;
-                    }
-                }
-            }
-            Gate::Mcz { controls, target } => {
-                let m = 1u128 << target;
-                for (b, a) in self.amps.iter_mut() {
-                    if b & m != 0 && controls.iter().all(|c| c.satisfied_by(*b)) {
-                        *a = -*a;
-                    }
-                }
-            }
-            Gate::Ry(q, theta) => {
-                let m = 1u128 << q;
-                let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-                let mut next: HashMap<u128, Complex> = HashMap::with_capacity(self.amps.len() * 2);
-                for (&b, &a) in self.amps.iter() {
-                    if b & m == 0 {
-                        *next.entry(b).or_insert(Complex::ZERO) += a.scale(c);
-                        *next.entry(b | m).or_insert(Complex::ZERO) += a.scale(sn);
-                    } else {
-                        *next.entry(b & !m).or_insert(Complex::ZERO) -= a.scale(sn);
-                        *next.entry(b).or_insert(Complex::ZERO) += a.scale(c);
-                    }
-                }
-                next.retain(|_, a| !a.is_negligible(PRUNE_EPS));
-                self.amps = next;
-            }
-            Gate::CPhase(p, q, theta) => {
-                let m = (1u128 << p) | (1u128 << q);
-                let ph = Complex::from_phase(*theta);
-                for (b, a) in self.amps.iter_mut() {
-                    if b & m == m {
-                        *a *= ph;
-                    }
-                }
-            }
-            Gate::H(q) => {
-                let m = 1u128 << q;
-                let mut next: HashMap<u128, Complex> = HashMap::with_capacity(self.amps.len() * 2);
-                for (&b, &a) in self.amps.iter() {
-                    let half = a.scale(FRAC_1_SQRT_2);
-                    if b & m == 0 {
-                        // H|0⟩ = (|0⟩ + |1⟩)/√2
-                        *next.entry(b).or_insert(Complex::ZERO) += half;
-                        *next.entry(b | m).or_insert(Complex::ZERO) += half;
-                    } else {
-                        // H|1⟩ = (|0⟩ - |1⟩)/√2
-                        *next.entry(b & !m).or_insert(Complex::ZERO) += half;
-                        *next.entry(b).or_insert(Complex::ZERO) -= half;
-                    }
-                }
-                next.retain(|_, a| !a.is_negligible(PRUNE_EPS));
-                self.amps = next;
-            }
+        match &mut self.repr {
+            Repr::Narrow(c) => c.apply_gate(gate),
+            Repr::Wide(c) => c.apply_gate(gate),
         }
     }
 }
@@ -851,12 +1249,17 @@ mod tests {
         });
     }
 
-    /// Runs a closure against both backends initialized to |0…0⟩.
+    /// Runs a closure against both backends initialized to |0…0⟩ — and the
+    /// sparse backend on both key widths, by embedding the same circuit in
+    /// a 100-qubit register (gates only touch the low qubits, so the
+    /// amplitudes must agree with the narrow run).
     fn for_both_backends(width: usize, f: impl Fn(&mut dyn DynState)) {
         let mut d = DenseState::zero(width).unwrap();
         f(&mut d);
         let mut s = SparseState::zero(width);
         f(&mut s);
+        let mut wide = SparseState::zero(100);
+        f(&mut wide);
     }
 
     /// Object-safe subset of `QuantumState` used by the test helper.
@@ -878,6 +1281,16 @@ mod tests {
         fn amp(&self, basis: u128) -> Complex {
             QuantumState::amplitude(self, basis)
         }
+    }
+
+    /// The same gates re-pushed into a wider register (the extra qubits
+    /// stay untouched).
+    fn embed(circ: &Circuit, width: usize) -> Circuit {
+        let mut c = Circuit::new(width);
+        for g in circ.gates() {
+            c.push_unchecked(g.clone());
+        }
+        c
     }
 
     /// A random circuit over the full gate set, seeded deterministically.
@@ -972,6 +1385,82 @@ mod tests {
     }
 
     #[test]
+    fn narrow_and_wide_sparse_reprs_agree() {
+        // The same gates run on a 6-qubit register (u64 keys) and embedded
+        // in a 70-qubit register (u128 keys) must produce identical
+        // amplitudes on the low qubits.
+        let mut rng = StdRng::seed_from_u64(4242);
+        for _ in 0..10 {
+            let narrow_circ = random_circuit(&mut rng, 6, 40);
+            let wide_circ = embed(&narrow_circ, 70);
+            let mut narrow = SparseState::zero(6);
+            let mut wide = SparseState::zero(70);
+            narrow.run(&narrow_circ).unwrap();
+            wide.run(&wide_circ).unwrap();
+            assert!(matches!(narrow.repr, Repr::Narrow(_)));
+            assert!(matches!(wide.repr, Repr::Wide(_)));
+            for b in 0..(1u128 << 6) {
+                assert!(
+                    (narrow.amplitude(b) - wide.amplitude(b)).norm() < 1e-9,
+                    "narrow vs wide at {b:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_ops_on_narrow_state_and_vice_versa() {
+        // The compat conversions in apply_op / apply_op64 must agree with
+        // the matched-width paths.
+        let mut rng = StdRng::seed_from_u64(9);
+        let circ = random_circuit(&mut rng, 5, 30);
+        let compiled = CompiledCircuit::compile(&circ).unwrap();
+        let narrow_ops = compiled.narrow_ops().unwrap();
+
+        // Wide ops pushed through a narrow state's compat path.
+        let mut via_wide = SparseState::zero(5);
+        for op in compiled.ops() {
+            via_wide.apply_op(op);
+        }
+        let mut via_narrow = SparseState::zero(5);
+        for op in narrow_ops {
+            via_narrow.apply_op64(op);
+        }
+        for b in 0..(1u128 << 5) {
+            assert!((via_wide.amplitude(b) - via_narrow.amplitude(b)).norm() < 1e-12);
+        }
+
+        // Narrow ops pushed through a wide state's compat path.
+        let wide_circ = embed(&circ, 70);
+        let wide_compiled = CompiledCircuit::compile(&wide_circ).unwrap();
+        let mut wide_direct = SparseState::zero(70);
+        wide_direct.run_compiled(&wide_compiled).unwrap();
+        let mut wide_via_narrow = SparseState::zero(70);
+        for op in narrow_ops {
+            wide_via_narrow.apply_op64(op);
+        }
+        for b in 0..(1u128 << 5) {
+            assert!((wide_direct.amplitude(b) - wide_via_narrow.amplitude(b)).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_support_stays_sorted_and_distinct() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let width = rng.gen_range(2..7);
+            let circ = random_circuit(&mut rng, width, 50);
+            let mut s = SparseState::zero(width);
+            s.run(&circ).unwrap();
+            let nz = s.nonzero();
+            for w in nz.windows(2) {
+                assert!(w[0].0 < w[1].0, "keys must stay sorted and distinct");
+            }
+        }
+    }
+
+    #[test]
     fn run_checks_width() {
         let circ = Circuit::new(3);
         let mut d = DenseState::zero(2).unwrap();
@@ -980,6 +1469,15 @@ mod tests {
             d.run_interpreted(&circ),
             Err(SimError::WidthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn run_surfaces_compile_errors() {
+        // A 200-qubit circuit exceeds the 128-bit basis encoding; `run`
+        // must report that as a structured error, not panic.
+        let circ = Circuit::new(200);
+        let mut s = SparseState::zero(100);
+        assert!(matches!(s.run(&circ), Err(SimError::Compile(_))));
     }
 
     #[test]
@@ -1064,5 +1562,37 @@ mod tests {
         // |1⟩ amplitude is exactly 0 up to rounding; prune removes it.
         s.prune(1e-12);
         assert_eq!(s.support_size(), 1);
+    }
+
+    #[test]
+    fn set_amplitudes_is_last_wins_on_duplicates() {
+        let mut s = SparseState::zero(4);
+        s.set_amplitudes([
+            (0b0001, Complex::real(0.5)),
+            (0b0010, Complex::real(0.5)),
+            (0b0001, Complex::real(-0.5)),
+        ]);
+        assert_eq!(s.support_size(), 2);
+        assert_close(s.amplitude(0b0001).re, -0.5);
+        assert_close(s.amplitude(0b0010).re, 0.5);
+    }
+
+    #[test]
+    fn sparse_memory_bytes_is_exact_for_vec_entries() {
+        let mut s = SparseState::zero(6);
+        for q in 0..6 {
+            s.apply(&Gate::H(q));
+        }
+        assert_eq!(s.support_size(), 64);
+        // Narrow entries are (u64, Complex) = 24 bytes; capacity ≥ support.
+        let entry = std::mem::size_of::<(u64, Complex)>();
+        assert_eq!(entry, 24);
+        assert!(s.memory_bytes() >= 64 * entry);
+        assert_eq!(s.memory_bytes() % entry, 0, "exact multiple of entry size");
+
+        let wide = SparseState::zero(80);
+        let entry = std::mem::size_of::<(u128, Complex)>();
+        assert_eq!(entry, 32);
+        assert_eq!(wide.memory_bytes() % entry, 0);
     }
 }

@@ -147,7 +147,7 @@ proptest! {
 
     #[test]
     fn compiled_execution_matches_interpreted(circ in arb_sectioned_circuit()) {
-        let compiled = CompiledCircuit::compile(&circ);
+        let compiled = CompiledCircuit::compile(&circ).expect("generated circuits compile");
         prop_assert!(compiled.len() <= circ.len(), "fusion never adds ops");
         prop_assert_eq!(compiled.source_gates(), circ.len());
         let mut dense_compiled = DenseState::zero(circ.width()).unwrap();
