@@ -21,6 +21,8 @@
 //! * [`hybrid`] — a classical portfolio solver with a minimum-runtime
 //!   contract, standing in for the D-Wave Hybrid BQM solver ("haMKP").
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod embedding;
 pub mod hybrid;
 pub mod result;

@@ -20,6 +20,8 @@
 //! they are basis-state permutations: cheap on the sparse backend and
 //! exactly invertible with [`qmkp_qsim::Circuit::inverse`].
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod adder;
 pub mod comparator;
 pub mod counter;

@@ -1,0 +1,263 @@
+//! Workspace lint harness: `lint source` scans hot-path crates for
+//! forbidden panic-family calls; `lint oracles` statically verifies the
+//! experiment oracle configurations with `qmkp-lint` and can archive the
+//! machine-readable reports as JSON.
+//!
+//! Both subcommands exit non-zero on any finding, so CI runs them as
+//! gates:
+//!
+//! ```text
+//! cargo run -p qmkp-bench --bin lint -- source
+//! cargo run -p qmkp-bench --bin lint -- oracles --json analysis.json
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use qmkp_core::Oracle;
+use qmkp_graph::gen::{gnm, paper_fig1_graph};
+use qmkp_graph::Graph;
+
+/// Panic-family constructs that must not appear in hot-path library code
+/// (tests excepted): library callers get `Result`s, not aborts.
+const NEEDLES: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "dbg!(",
+];
+
+/// Known occurrences: `(path suffix, needle, exact count, justification)`.
+/// The scan fails on *any* deviation — a new occurrence is a violation, a
+/// removed one makes the entry stale and must be deleted here.
+const ALLOWLIST: &[(&str, &str, usize, &str)] = &[
+    (
+        "qsim/src/circuit.rs",
+        ".expect(",
+        1,
+        "push_unchecked's documented panic contract",
+    ),
+    (
+        "core/src/counting.rs",
+        ".expect(",
+        4,
+        "invariants established by construction (widths, ≤20-qubit cap)",
+    ),
+    (
+        "core/src/grover.rs",
+        ".expect(",
+        2,
+        "compile cannot fail for validated oracles; one shot yields one outcome",
+    ),
+    (
+        "core/src/oracle.rs",
+        ".expect(",
+        1,
+        "U_check and U_check† share one layout width by construction",
+    ),
+    (
+        "core/src/oracle.rs",
+        "unreachable!(",
+        1,
+        "section names are fixed by the builder four lines above",
+    ),
+    (
+        "core/src/qmkp.rs",
+        ".unwrap(",
+        1,
+        "Graph::new(0) is infallible for the empty-graph sentinel",
+    ),
+    (
+        "core/src/qtkp.rs",
+        "unreachable!(",
+        1,
+        "variant excluded by the preceding match arm",
+    ),
+];
+
+/// Directories scanned by `lint source`, relative to the workspace root.
+const SCAN_DIRS: &[&str] = &["crates/qsim/src", "crates/core/src"];
+
+fn workspace_root() -> &'static Path {
+    // bench crate lives at <root>/crates/bench.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Counts forbidden-needle occurrences in one file, skipping `//`-style
+/// comment lines and everything from the first `#[cfg(test)]` on (test
+/// modules sit at the bottom of every file in this workspace).
+fn scan_file(text: &str) -> Vec<(usize, &'static str, String)> {
+    let mut hits = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let line = raw.trim_start();
+        if line.starts_with("//") {
+            continue;
+        }
+        for &needle in NEEDLES {
+            if line.contains(needle) {
+                hits.push((lineno + 1, needle, line.to_string()));
+            }
+        }
+    }
+    hits
+}
+
+fn run_source_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut counts: Vec<(String, &'static str, usize)> = Vec::new();
+    let mut violations = Vec::new();
+
+    for dir in SCAN_DIRS {
+        let mut paths: Vec<_> = fs::read_dir(root.join(dir))
+            .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let text = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            let rel = path
+                .strip_prefix(root.join("crates"))
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            for (lineno, needle, line) in scan_file(&text) {
+                counts
+                    .iter_mut()
+                    .find(|(f, n, _)| *f == rel && *n == needle)
+                    .map(|(_, _, c)| *c += 1)
+                    .unwrap_or_else(|| counts.push((rel.clone(), needle, 1)));
+                let allowed = ALLOWLIST
+                    .iter()
+                    .any(|&(suffix, n, _, _)| rel.ends_with(suffix) && n == needle);
+                if !allowed {
+                    violations.push(format!("{rel}:{lineno}: forbidden `{needle}` — {line}"));
+                }
+            }
+        }
+    }
+
+    // Exact-count enforcement: each allowlist entry must match reality.
+    let mut stale = Vec::new();
+    for &(suffix, needle, expected, reason) in ALLOWLIST {
+        let found = counts
+            .iter()
+            .find(|(f, n, _)| f.ends_with(suffix) && *n == needle)
+            .map_or(0, |(_, _, c)| *c);
+        if found != expected {
+            stale.push(format!(
+                "allowlist entry ({suffix}, {needle}) expects {expected} occurrence(s), \
+                 found {found} — update the entry ({reason})"
+            ));
+        }
+    }
+
+    for v in &violations {
+        println!("error[source-lint]: {v}");
+    }
+    for s in &stale {
+        println!("error[stale-allowlist]: {s}");
+    }
+    if violations.is_empty() && stale.is_empty() {
+        println!(
+            "source lint clean: {} file group(s) audited, allowlist exact",
+            SCAN_DIRS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The oracle configurations the experiment drivers use; kept small
+/// enough that every ancilla proof is exhaustive.
+fn oracle_instances() -> Vec<(String, Graph, usize, usize)> {
+    let mut out = Vec::new();
+    for (k, t) in [(1, 2), (2, 3), (2, 4), (3, 4)] {
+        out.push((format!("fig1-k{k}-t{t}"), paper_fig1_graph(), k, t));
+    }
+    out.push((
+        "gnm-7-9-k2-t3".into(),
+        gnm(7, 9, 0).expect("valid g(n,m)"),
+        2,
+        3,
+    ));
+    out.push((
+        "gnm-9-15-k3-t5".into(),
+        gnm(9, 15, 1).expect("valid g(n,m)"),
+        3,
+        5,
+    ));
+    out
+}
+
+fn run_oracle_lint(json_path: Option<&str>) -> ExitCode {
+    let mut failed = false;
+    let mut json_items = Vec::new();
+    for (name, g, k, t) in oracle_instances() {
+        let report = Oracle::new(&g, k, t).lint_report();
+        let (errors, warnings, notes) = report.counts();
+        println!(
+            "{name}: {} qubits, {} gates, depth {} — {errors} error(s), \
+             {warnings} warning(s), {notes} note(s) [{}]",
+            report.width,
+            report.gates,
+            report.depth,
+            if report.exhaustive {
+                "exhaustive"
+            } else {
+                "sampled"
+            }
+        );
+        if report.has_errors() {
+            print!("{}", report.render());
+            failed = true;
+        }
+        json_items.push(report.to_json());
+    }
+    if let Some(path) = json_path {
+        let body = format!("[{}]\n", json_items.join(","));
+        fs::write(path, &body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {} report(s) to {path}", json_items.len());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("source") => run_source_lint(),
+        Some("oracles") => {
+            let json_path = match args.get(1).map(String::as_str) {
+                Some("--json") => match args.get(2) {
+                    Some(p) => Some(p.as_str()),
+                    None => {
+                        println!("usage: lint oracles [--json <path>]");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    println!("unknown flag `{other}`; usage: lint oracles [--json <path>]");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            };
+            run_oracle_lint(json_path)
+        }
+        _ => {
+            println!("usage: lint <source | oracles [--json <path>]>");
+            ExitCode::FAILURE
+        }
+    }
+}

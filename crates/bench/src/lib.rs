@@ -20,6 +20,8 @@
 //! Set `QMKP_QUICK=1` to run cheap, reduced-size variants (used by the
 //! integration tests; full runs regenerate EXPERIMENTS.md numbers).
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo)]
 pub mod cost_runtime;
 
 use std::fmt::Display;

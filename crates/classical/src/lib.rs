@@ -17,6 +17,8 @@
 //!   (approximation family of the related work), useful as a fast
 //!   incumbent provider.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod bnb;
 pub mod bs;
 pub mod grasp;

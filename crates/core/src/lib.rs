@@ -22,6 +22,8 @@
 //!   k-plex, with the paper's progressive first-feasible-solution
 //!   behaviour.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod club;
 pub mod counting;
 pub mod grover;

@@ -116,12 +116,67 @@ impl Oracle {
         c.end_section();
 
         let u_check_inv = c.inverse();
-        Oracle {
+        let oracle = Oracle {
             layout,
             graph: g.clone(),
             u_check: c,
             u_check_inv,
+        };
+        // Opt-in static self-verification: prove the ancilla discipline
+        // and resource bounds at construction time in debug builds.
+        #[cfg(all(debug_assertions, feature = "verify"))]
+        {
+            let report = oracle.lint_report();
+            assert!(
+                !report.has_errors(),
+                "oracle failed static verification:\n{}",
+                report.render()
+            );
         }
+        oracle
+    }
+
+    /// The ancilla contract of the full `U_check · flip · U_check†`
+    /// sandwich: the vertex register is free input, everything else is an
+    /// ancilla that must return to |0⟩ — except `|O⟩`, which carries the
+    /// answer out.
+    pub fn lint_spec(&self) -> qmkp_lint::AncillaSpec {
+        qmkp_lint::AncillaSpec::new(
+            self.layout.vertices.iter().collect(),
+            vec![self.layout.oracle],
+        )
+    }
+
+    /// The paper's closed-form resource model for this instance
+    /// (Eq. 6/7, §IV), specialized to the layout's complement degree
+    /// sequence.
+    pub fn resource_model(&self) -> qmkp_lint::ResourceModel {
+        let mut cdegs = vec![0usize; self.layout.n];
+        for &(u, v) in &self.layout.edge_pairs {
+            cdegs[u] += 1;
+            cdegs[v] += 1;
+        }
+        qmkp_lint::qtkp_oracle_model(&cdegs, self.layout.k, self.layout.t)
+    }
+
+    /// Statically analyzes the full `U_check · flip · U_check†` circuit:
+    /// structural checks, exact ancilla verification, and the closed-form
+    /// resource audit, as one machine-readable report.
+    pub fn lint_report(&self) -> qmkp_lint::AnalysisReport {
+        let mut full = self.u_check.clone();
+        full.push_unchecked(self.flip_gate());
+        full.extend(&self.u_check_inv)
+            .expect("U_check and U_check† share one layout width");
+        let name = format!(
+            "qtkp-oracle-n{}-k{}-t{}",
+            self.layout.n, self.layout.k, self.layout.t
+        );
+        qmkp_lint::analyze(
+            &name,
+            &full,
+            &self.lint_spec(),
+            Some(&self.resource_model()),
+        )
     }
 
     /// The forward check circuit (`U_check`).

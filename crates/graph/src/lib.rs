@@ -16,6 +16,8 @@
 //! Everything in the workspace — circuit construction, QUBO building,
 //! classical baselines — consumes the [`Graph`] type defined here.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod error;
 pub mod gen;
 pub mod graph;

@@ -1,0 +1,435 @@
+//! Ancilla-lifecycle (uncompute) verification.
+//!
+//! The qTKP oracle's `U_check` / flip / `U_check†` sandwich is built from
+//! X / CNOT / Toffoli / CᵏNOT only, so it is a *permutation of basis
+//! states* — its action is fully determined by classical bit-set
+//! evaluation, no amplitudes required. This pass exploits that: it models
+//! the circuit as a permutation over `u128` bit-sets and proves that
+//! every ancilla qubit is restored to `|0⟩` (and every free input qubit
+//! preserved) at the phase-kickback boundary, for *every* reachable
+//! input. A dirty ancilla here is exactly the failure mode that silently
+//! corrupts amplitude amplification in the maximal-clique Grover
+//! literature (Chang et al., arXiv:1803.11356; Sanyal, arXiv:2004.10596):
+//! the diffusion step then interferes branches that should be identical
+//! outside the search register.
+//!
+//! When the free register is too wide to enumerate (`2^|free|` inputs),
+//! the pass falls back to deterministic pseudo-random sampling and
+//! *downgrades* its verdict: a clean run is then reported with a
+//! `Warning` that the proof is probabilistic, never silently presented
+//! as exhaustive.
+
+use crate::diagnostic::{Diagnostic, Severity, Span};
+use qmkp_qsim::{Circuit, Gate};
+
+/// What the ancilla pass should assume and check.
+#[derive(Debug, Clone)]
+pub struct AncillaSpec {
+    /// Qubits holding the superposed search register (the oracle's vertex
+    /// qubits). They take every value; the pass proves they are preserved.
+    pub free: Vec<usize>,
+    /// Qubits allowed to differ from their input at the end (the oracle
+    /// qubit `|O⟩`, or a comparator's result bit). Every other non-free
+    /// qubit starts `|0⟩` and must end `|0⟩`.
+    pub dirty_ok: Vec<usize>,
+    /// Enumerate exhaustively while `|free| ≤ max_exhaustive_bits`;
+    /// beyond that, sample. Default 16 (65 536 inputs).
+    pub max_exhaustive_bits: usize,
+    /// Number of sampled inputs in the fallback mode. Default 512.
+    pub samples: usize,
+}
+
+impl AncillaSpec {
+    /// A spec with the default enumeration limits.
+    pub fn new(free: Vec<usize>, dirty_ok: Vec<usize>) -> Self {
+        AncillaSpec {
+            free,
+            dirty_ok,
+            max_exhaustive_bits: 16,
+            samples: 512,
+        }
+    }
+}
+
+/// The outcome of one ancilla-lifecycle verification.
+#[derive(Debug, Clone)]
+pub struct AncillaReport {
+    /// Findings, if any. Clean circuits produce none (exhaustive mode) or
+    /// a single sampling warning (fallback mode).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether every free-register assignment was checked.
+    pub exhaustive: bool,
+    /// How many inputs were evaluated.
+    pub inputs_checked: u64,
+    /// `live_gates[i]` is true when gate `i` fired (flipped its target)
+    /// on at least one checked input. Only meaningful when the analysis
+    /// ran to completion; used by the dead-gate note and by mutation
+    /// tests to seed only detectable mutations.
+    pub live_gates: Vec<bool>,
+}
+
+impl AncillaReport {
+    /// Whether the pass proved (or, in sampling mode, failed to refute)
+    /// cleanliness.
+    pub fn is_clean(&self) -> bool {
+        !crate::diagnostic::has_errors(&self.diagnostics)
+    }
+}
+
+/// The section (if any) a gate index falls into, for span enrichment.
+fn section_of(circuit: &Circuit, gate: usize) -> Option<String> {
+    circuit
+        .sections()
+        .iter()
+        .find(|s| s.range.contains(&gate))
+        .map(|s| s.name.clone())
+}
+
+/// Splitmix64: deterministic sampling without a rand dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Statically verifies ancilla cleanliness: for every (enumerated or
+/// sampled) assignment of the free register, with all other qubits
+/// starting `|0⟩`, the circuit must restore every qubit outside
+/// `spec.dirty_ok` to its input value. Violations are reported with the
+/// gate index that last flipped the offending qubit — the gate whose
+/// uncompute partner is missing or wrong.
+///
+/// Non-permutation gates (`H`, `Z`, `Phase`, `Ry`, `CPhase`, `MCZ`) make
+/// the property undecidable by bit-set evaluation and are reported as
+/// errors: the paper's `U_check` is classical-reversible by construction,
+/// so their presence is itself a structural defect.
+pub fn verify_ancillas(circuit: &Circuit, spec: &AncillaSpec) -> AncillaReport {
+    let mut diagnostics = Vec::new();
+    let width = circuit.width();
+
+    // Spec sanity: free/dirty_ok qubits must exist and be distinct.
+    let mut seen = vec![false; width.max(1)];
+    for &q in spec.free.iter().chain(&spec.dirty_ok) {
+        if q >= width {
+            diagnostics.push(Diagnostic::error(
+                "spec-qubit-out-of-range",
+                Span::at_qubit(q),
+                format!("spec references qubit {q}, but the circuit has width {width}"),
+            ));
+        } else if std::mem::replace(&mut seen[q], true) {
+            diagnostics.push(Diagnostic::error(
+                "spec-qubit-duplicated",
+                Span::at_qubit(q),
+                format!("qubit {q} appears more than once across `free`/`dirty_ok`"),
+            ));
+        }
+    }
+    // Permutation-only precondition.
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if !gate.is_permutation() {
+            diagnostics.push(Diagnostic::error(
+                "non-permutation-gate",
+                Span {
+                    gate: Some(i),
+                    qubit: gate.qubits().first().copied(),
+                    section: section_of(circuit, i),
+                },
+                format!(
+                    "ancilla verification requires a classical-reversible circuit, \
+                     but gate #{i} is {gate:?}"
+                ),
+            ));
+        }
+    }
+    if crate::diagnostic::has_errors(&diagnostics) {
+        return AncillaReport {
+            diagnostics,
+            exhaustive: false,
+            inputs_checked: 0,
+            live_gates: vec![false; circuit.len()],
+        };
+    }
+
+    let free_bits = spec.free.len();
+    let exhaustive = free_bits <= spec.max_exhaustive_bits && free_bits < 63;
+    let total: u64 = if exhaustive {
+        1u64 << free_bits
+    } else {
+        spec.samples as u64
+    };
+
+    let dirty_ok_mask: u128 = spec.dirty_ok.iter().map(|&q| 1u128 << q).sum();
+    let mut live = vec![false; circuit.len()];
+    let mut last_flip: Vec<Option<usize>> = vec![None; width.max(1)];
+    let mut rng_state = 0x71c9_a57c_8d2b_f00du64;
+    let mut inputs_checked = 0u64;
+
+    let free_mask: u128 = if free_bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << free_bits) - 1
+    };
+    for step in 0..total {
+        let assignment: u128 = if exhaustive {
+            u128::from(step)
+        } else {
+            let lo = splitmix64(&mut rng_state);
+            let hi = splitmix64(&mut rng_state);
+            (u128::from(lo) | (u128::from(hi) << 64)) & free_mask
+        };
+        // Scatter assignment bits onto the free qubits.
+        let mut input: u128 = 0;
+        for (bit, &q) in spec.free.iter().enumerate() {
+            if (assignment >> bit) & 1 == 1 {
+                input |= 1u128 << q;
+            }
+        }
+
+        // Evaluate the permutation, tracking which gate last flipped each
+        // qubit so a violation can be attributed.
+        let mut state = input;
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            match gate {
+                Gate::X(q) => {
+                    state ^= 1u128 << q;
+                    live[i] = true;
+                    last_flip[*q] = Some(i);
+                }
+                Gate::Mcx { controls, target }
+                    if controls.iter().all(|c| c.satisfied_by(state)) =>
+                {
+                    state ^= 1u128 << target;
+                    live[i] = true;
+                    last_flip[*target] = Some(i);
+                }
+                // Unreachable: non-permutation gates error out above.
+                _ => {}
+            }
+        }
+        inputs_checked += 1;
+
+        let dirt = (state ^ input) & !dirty_ok_mask;
+        if dirt != 0 {
+            for (q, &gate) in last_flip.iter().enumerate() {
+                if (dirt >> q) & 1 == 1 {
+                    let (role, code) = if spec.free.contains(&q) {
+                        ("free (search-register) qubit", "free-qubit-corrupted")
+                    } else {
+                        ("ancilla qubit", "ancilla-dirty")
+                    };
+                    diagnostics.push(Diagnostic::error(
+                        code,
+                        Span {
+                            gate,
+                            qubit: Some(q),
+                            section: gate.and_then(|g| section_of(circuit, g)),
+                        },
+                        format!(
+                            "{role} {q} is not restored on free-register input \
+                             {assignment:#b}; last flipped by gate {}",
+                            gate.map_or_else(|| "<none>".to_string(), |g| format!("#{g}")),
+                        ),
+                    ));
+                }
+            }
+            // One violating input pins down the defect; stop enumerating.
+            break;
+        }
+    }
+
+    if !exhaustive {
+        diagnostics.push(Diagnostic::warning(
+            "sampled-proof-only",
+            Span::default(),
+            format!(
+                "free register has {free_bits} qubits (> {} exhaustive limit); \
+                 cleanliness checked on {inputs_checked} sampled inputs only",
+                spec.max_exhaustive_bits
+            ),
+        ));
+    } else if !crate::diagnostic::has_errors(&diagnostics) && inputs_checked == total {
+        // Dead gates are only decidable after a full enumeration. Cap the
+        // individual notes (constant registers routinely strand whole
+        // comparator cascades) — `live_gates` always has the full picture.
+        const MAX_DEAD_GATE_NOTES: usize = 8;
+        let dead: Vec<usize> = live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !**l)
+            .map(|(i, _)| i)
+            .collect();
+        for &i in dead.iter().take(MAX_DEAD_GATE_NOTES) {
+            diagnostics.push(Diagnostic::note(
+                "dead-gate",
+                Span {
+                    gate: Some(i),
+                    qubit: circuit.gates()[i].qubits().last().copied(),
+                    section: section_of(circuit, i),
+                },
+                format!(
+                    "gate #{i} never fires on any reachable input \
+                     (controls unsatisfiable given the |0⟩-initialized ancillas)"
+                ),
+            ));
+        }
+        if dead.len() > MAX_DEAD_GATE_NOTES {
+            diagnostics.push(Diagnostic::note(
+                "dead-gate",
+                Span::default(),
+                format!(
+                    "…and {} more gates that never fire ({} dead of {} total)",
+                    dead.len() - MAX_DEAD_GATE_NOTES,
+                    dead.len(),
+                    circuit.len()
+                ),
+            ));
+        }
+    }
+
+    AncillaReport {
+        diagnostics,
+        exhaustive,
+        inputs_checked,
+        live_gates: live,
+    }
+}
+
+/// Convenience predicate: `true` when the pass finds no error-severity
+/// diagnostics (sampling warnings and dead-gate notes are allowed).
+pub fn is_clean(circuit: &Circuit, spec: &AncillaSpec) -> bool {
+    verify_ancillas(circuit, spec)
+        .diagnostics
+        .iter()
+        .all(|d| d.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_qsim::QubitAllocator;
+
+    /// cnot(0→1), ccnot(0,1→2), then the mirror: fully clean.
+    fn clean_sandwich() -> (Circuit, AncillaSpec) {
+        let mut c = Circuit::new(4);
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::ccnot(1, 2, 3)); // "flip" onto result 3
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::cnot(0, 1));
+        (c, AncillaSpec::new(vec![0], vec![3]))
+    }
+
+    #[test]
+    fn clean_circuit_passes() {
+        let (c, spec) = clean_sandwich();
+        let report = verify_ancillas(&c, &spec);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.exhaustive);
+        assert_eq!(report.inputs_checked, 2);
+    }
+
+    #[test]
+    fn dropped_uncompute_gate_is_flagged_with_its_index() {
+        let (c, spec) = clean_sandwich();
+        // Drop gate #4 (the final cnot uncompute).
+        let mut mutated = Circuit::new(c.width());
+        for (i, g) in c.gates().iter().enumerate() {
+            if i != 4 {
+                mutated.push_unchecked(g.clone());
+            }
+        }
+        let report = verify_ancillas(&mutated, &spec);
+        assert!(!report.is_clean());
+        let dirty: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "ancilla-dirty")
+            .collect();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].span.qubit, Some(1));
+        // Qubit 1 was last flipped by the (former) compute cnot, gate #0.
+        assert_eq!(dirty[0].span.gate, Some(0));
+    }
+
+    #[test]
+    fn corrupted_free_qubit_uses_its_own_code() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::X(0));
+        let report = verify_ancillas(&c, &AncillaSpec::new(vec![0], vec![]));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "free-qubit-corrupted"));
+    }
+
+    #[test]
+    fn non_permutation_gate_is_an_error() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::H(0));
+        let report = verify_ancillas(&c, &AncillaSpec::new(vec![0], vec![]));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "non-permutation-gate"));
+        assert_eq!(report.inputs_checked, 0);
+    }
+
+    #[test]
+    fn dead_gates_are_noted() {
+        let mut alloc = QubitAllocator::new();
+        let v = alloc.alloc_one("v");
+        let anc = alloc.alloc_one("anc");
+        let t = alloc.alloc_one("t");
+        let mut c = Circuit::new(alloc.width());
+        // anc starts |0⟩ and nothing sets it, so this gate can never fire.
+        c.push_unchecked(Gate::ccnot(v, anc, t));
+        let report = verify_ancillas(&c, &AncillaSpec::new(vec![v], vec![]));
+        assert!(report.is_clean());
+        let dead: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "dead-gate")
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].span.gate, Some(0));
+        assert!(!report.live_gates[0]);
+    }
+
+    #[test]
+    fn bad_spec_is_rejected() {
+        let c = Circuit::new(2);
+        let report = verify_ancillas(&c, &AncillaSpec::new(vec![5], vec![]));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "spec-qubit-out-of-range"));
+        let report = verify_ancillas(&c, &AncillaSpec::new(vec![0], vec![0]));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "spec-qubit-duplicated"));
+    }
+
+    #[test]
+    fn wide_free_register_falls_back_to_sampling() {
+        let mut spec = AncillaSpec::new((0..10).collect(), vec![]);
+        spec.max_exhaustive_bits = 4;
+        spec.samples = 32;
+        let c = Circuit::new(10);
+        let report = verify_ancillas(&c, &spec);
+        assert!(!report.exhaustive);
+        assert_eq!(report.inputs_checked, 32);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "sampled-proof-only" && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn is_clean_helper_tolerates_notes() {
+        let (c, spec) = clean_sandwich();
+        assert!(is_clean(&c, &spec));
+    }
+}

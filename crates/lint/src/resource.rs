@@ -1,0 +1,315 @@
+//! Resource auditing: qubit, gate, and depth counts checked against the
+//! paper's closed-form bounds.
+//!
+//! Section IV of the paper gives exact resource formulas for the qTKP
+//! oracle; this module encodes them for the workspace's concrete builders
+//! (one shared comparator scratch instead of per-vertex adder scratch —
+//! see `qmkp-core::layout` — which only changes constants, not shapes).
+//! With `n` vertices, `m̄` complement edges, counter width `w_c` and size
+//! width `w_s`:
+//!
+//! | section          | gates (exact)                     | source |
+//! |------------------|-----------------------------------|--------|
+//! | `graph_encoding` | `m̄`                               | one C²NOT per complement edge (Fig. 6A) |
+//! | `degree_count`   | `2·m̄·w_c`                         | ripple increment: `w_c` CᵏNOTs per incident edge (Fig. 6B) |
+//! | `degree_compare` | `ones(k-1) + n·(11·w_c + 1) + 1`  | Eq. 6/7 lexicographic compare, compute-copy-uncompute (Fig. 9/10) |
+//! | `size_check`     | `n·w_s + ones(t) + 11·w_s + 1`    | popcount + Eq. 6/7 compare (Fig. 11A-B) |
+//!
+//! The `11·s + 1` comparator term decomposes as `5s` compute (4 gates of
+//! bitwise `<`/`=` per bit + `s` prefix gates), `s + 1` result XOR chain,
+//! and `5s` uncompute. Total width is
+//! `n + m̄ + n·w_c + w_c + n + 1 + 2·w_s + 2 + 3·(w_c + w_s)` —
+//! `O(n² log n)`, the paper's space bound.
+//!
+//! The audit is *exact*, not merely an upper bound: the builders are
+//! deterministic, so any deviation means the circuit and the formulas
+//! have drifted apart — precisely the regression this pass exists to
+//! catch. Inverse sections (`name†`) are audited against the same count
+//! as their forward twin, since inversion preserves gate count.
+
+use crate::diagnostic::{Diagnostic, Span};
+use qmkp_qsim::Circuit;
+
+/// Expected exact gate count for one named section (and its `†` twin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionBudget {
+    /// Section name as tagged by the circuit builder.
+    pub name: String,
+    /// Exact expected gate count.
+    pub gates: usize,
+}
+
+/// The closed-form resource model one circuit is audited against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceModel {
+    /// Exact expected circuit width (qubits).
+    pub width: usize,
+    /// Per-section exact gate counts.
+    pub sections: Vec<SectionBudget>,
+}
+
+impl ResourceModel {
+    /// Total expected gates across all sections.
+    pub fn total_gates(&self) -> usize {
+        self.sections.iter().map(|s| s.gates).sum()
+    }
+
+    /// The expected count for a section name, accepting the `†`-suffixed
+    /// inverse form.
+    fn expected_for(&self, name: &str) -> Option<usize> {
+        let base = name.strip_suffix('†').unwrap_or(name);
+        self.sections
+            .iter()
+            .find(|s| s.name == base)
+            .map(|s| s.gates)
+    }
+}
+
+/// Counter width needed to count to `max_count` inclusive:
+/// `⌈log₂(max_count + 1)⌉`, and at least 1 (the same formula as
+/// `qmkp_arith::counter_width`, restated here so `qmkp-lint` stays
+/// dependency-minimal and usable *below* `qmkp-arith` in the crate DAG).
+fn counter_width(max_count: usize) -> usize {
+    usize::BITS as usize - max_count.leading_zeros() as usize + usize::from(max_count == 0)
+}
+
+/// The paper's closed-form resource model for a qTKP oracle over a graph
+/// with complement degree sequence `cdegs` (indexed by vertex), plex
+/// parameter `k` and size threshold `t`.
+///
+/// # Panics
+/// Panics if `cdegs` is empty, `k == 0`, or `t` is outside `[1, n]` —
+/// the same preconditions `OracleLayout::new` enforces.
+pub fn qtkp_oracle_model(cdegs: &[usize], k: usize, t: usize) -> ResourceModel {
+    let n = cdegs.len();
+    assert!(n > 0, "graph must be non-empty");
+    assert!(k >= 1, "k must be ≥ 1");
+    assert!((1..=n).contains(&t), "threshold T must be in [1, n]");
+    let m_bar = cdegs.iter().sum::<usize>() / 2;
+    let max_cdeg = cdegs.iter().copied().max().unwrap_or(0);
+    let w_c = counter_width(max_cdeg.max(k - 1));
+    let w_s = counter_width(n.max(t));
+    let ones = |v: usize| v.count_ones() as usize;
+
+    ResourceModel {
+        width: n + m_bar + n * w_c + w_c + n + 1 + 2 * w_s + 2 + 3 * (w_c + w_s),
+        sections: vec![
+            SectionBudget {
+                name: "graph_encoding".into(),
+                gates: m_bar,
+            },
+            SectionBudget {
+                name: "degree_count".into(),
+                gates: 2 * m_bar * w_c,
+            },
+            SectionBudget {
+                name: "degree_compare".into(),
+                gates: ones(k - 1) + n * (11 * w_c + 1) + 1,
+            },
+            SectionBudget {
+                name: "size_check".into(),
+                gates: n * w_s + ones(t) + 11 * w_s + 1,
+            },
+        ],
+    }
+}
+
+/// Audits a circuit against a resource model: exact width match and exact
+/// per-section gate counts (inverse `name†` sections audited against
+/// their forward twin's budget). Sections in the model but absent from
+/// the circuit, and circuit sections with no budget, are both reported.
+pub fn audit(circuit: &Circuit, model: &ResourceModel) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    if circuit.width() != model.width {
+        diagnostics.push(Diagnostic::error(
+            "resource-width",
+            Span::default(),
+            format!(
+                "circuit width {} differs from the closed-form qubit count {}",
+                circuit.width(),
+                model.width
+            ),
+        ));
+    }
+    let mut seen = vec![false; model.sections.len()];
+    for section in circuit.sections() {
+        let actual = section.range.len();
+        match model.expected_for(&section.name) {
+            Some(expected) => {
+                let base = section.name.strip_suffix('†').unwrap_or(&section.name);
+                if let Some(idx) = model.sections.iter().position(|s| s.name == base) {
+                    seen[idx] = true;
+                }
+                if actual != expected {
+                    diagnostics.push(Diagnostic::error(
+                        "resource-gate-count",
+                        Span {
+                            gate: Some(section.range.start),
+                            qubit: None,
+                            section: Some(section.name.clone()),
+                        },
+                        format!(
+                            "section `{}` has {actual} gates, closed form predicts {expected}",
+                            section.name
+                        ),
+                    ));
+                }
+            }
+            None => diagnostics.push(Diagnostic::warning(
+                "resource-unknown-section",
+                Span {
+                    gate: Some(section.range.start),
+                    qubit: None,
+                    section: Some(section.name.clone()),
+                },
+                format!("section `{}` has no closed-form budget", section.name),
+            )),
+        }
+    }
+    for (idx, budget) in model.sections.iter().enumerate() {
+        if !seen[idx] {
+            diagnostics.push(Diagnostic::error(
+                "resource-missing-section",
+                Span {
+                    gate: None,
+                    qubit: None,
+                    section: Some(budget.name.clone()),
+                },
+                format!(
+                    "section `{}` ({} gates expected) is missing from the circuit",
+                    budget.name, budget.gates
+                ),
+            ));
+        }
+    }
+    diagnostics
+}
+
+/// Circuit depth under ASAP (as-soon-as-possible) scheduling: gates on
+/// disjoint qubits share a layer; a gate lands one layer after the
+/// deepest qubit it touches. This is the standard depth measure for the
+/// paper's `O(…)` depth discussion and is reported (not budgeted) in the
+/// [`crate::report::AnalysisReport`].
+pub fn circuit_depth(circuit: &Circuit) -> usize {
+    let mut qubit_depth = vec![0usize; circuit.width()];
+    let mut depth = 0;
+    for gate in circuit.gates() {
+        let layer = gate
+            .qubits()
+            .iter()
+            .map(|&q| qubit_depth[q])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        for q in gate.qubits() {
+            qubit_depth[q] = layer;
+        }
+        depth = depth.max(layer);
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_qsim::Gate;
+
+    #[test]
+    fn counter_width_matches_arith() {
+        for (max, w) in [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4)] {
+            assert_eq!(counter_width(max), w);
+        }
+    }
+
+    #[test]
+    fn fig1_model_matches_layout_accounting() {
+        // Fig. 1: n = 6, complement has 8 edges, max complement degree 4.
+        // Degree sequence of the complement: v3 has degree 4, others fill
+        // to sum 16. (Exact sequence from qmkp-graph's fig-1 test.)
+        let cdegs = [2, 3, 2, 4, 2, 3];
+        let model = qtkp_oracle_model(&cdegs, 2, 4);
+        // Same arithmetic as the layout width test:
+        // 6 + 8 + 18 + 3 + 6 + 1 + 3 + 3 + 1 + 1 + 9 + 9 = 68.
+        assert_eq!(model.width, 68);
+        assert_eq!(model.sections[0].gates, 8);
+        assert_eq!(model.sections[1].gates, 2 * 8 * 3);
+        // k-1 = 1 → ones = 1; 6·(33+1)+1 = 205.
+        assert_eq!(model.sections[2].gates, 1 + 6 * 34 + 1);
+        // 6·3 + ones(4)=1 + 33 + 1 = 53.
+        assert_eq!(model.sections[3].gates, 18 + 1 + 33 + 1);
+    }
+
+    #[test]
+    fn audit_flags_width_and_count_drift() {
+        let model = ResourceModel {
+            width: 3,
+            sections: vec![SectionBudget {
+                name: "s".into(),
+                gates: 2,
+            }],
+        };
+        let mut c = Circuit::new(3);
+        c.begin_section("s");
+        c.push_unchecked(Gate::X(0));
+        c.push_unchecked(Gate::X(1));
+        c.end_section();
+        assert!(audit(&c, &model).is_empty());
+
+        // One gate too few.
+        let mut short = Circuit::new(3);
+        short.begin_section("s");
+        short.push_unchecked(Gate::X(0));
+        short.end_section();
+        let diags = audit(&short, &model);
+        assert!(diags.iter().any(|d| d.code == "resource-gate-count"));
+
+        // Wrong width.
+        let diags = audit(&Circuit::new(4), &model);
+        assert!(diags.iter().any(|d| d.code == "resource-width"));
+        assert!(diags.iter().any(|d| d.code == "resource-missing-section"));
+    }
+
+    #[test]
+    fn dagger_sections_audit_against_forward_budget() {
+        let model = ResourceModel {
+            width: 2,
+            sections: vec![SectionBudget {
+                name: "s".into(),
+                gates: 1,
+            }],
+        };
+        let mut c = Circuit::new(2);
+        c.begin_section("s");
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.end_section();
+        let mut full = c.clone();
+        full.extend(&c.inverse()).unwrap();
+        assert!(audit(&full, &model).is_empty());
+    }
+
+    #[test]
+    fn unknown_section_is_a_warning() {
+        let model = ResourceModel {
+            width: 1,
+            sections: vec![],
+        };
+        let mut c = Circuit::new(1);
+        c.begin_section("mystery");
+        c.push_unchecked(Gate::X(0));
+        c.end_section();
+        let diags = audit(&c, &model);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "resource-unknown-section");
+    }
+
+    #[test]
+    fn depth_is_asap_layering() {
+        let mut c = Circuit::new(4);
+        c.push_unchecked(Gate::X(0));
+        c.push_unchecked(Gate::X(1)); // parallel with the first
+        c.push_unchecked(Gate::cnot(0, 1)); // layer 2
+        c.push_unchecked(Gate::X(3)); // layer 1 (disjoint)
+        assert_eq!(circuit_depth(&c), 2);
+        assert_eq!(circuit_depth(&Circuit::new(2)), 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Structural diagnostics: malformed gates, register aliasing, and
+//! cancellation opportunities.
+//!
+//! These checks are purely syntactic — no evaluation, no state — and run
+//! in one pass over the gate list:
+//!
+//! * **Gate well-formedness** reuses the workspace's single validation
+//!   module ([`qmkp_qsim::validate`]), so the analyzer, `Circuit::push`,
+//!   and the compiler agree exactly on what a malformed gate is.
+//! * **Register aliasing** proves a layout's named registers are pairwise
+//!   disjoint and inside the circuit width — overlapping registers are
+//!   how a "scratch" write silently clobbers a counter.
+//! * **Peephole estimation** mirrors the `qmkp-qsim` compile pipeline's
+//!   cancellation and merge rules gate-for-gate, so its counts can be
+//!   cross-checked against [`qmkp_qsim::CompileStats`] — a drift between
+//!   the two means the analyzer and the compiler no longer model the same
+//!   circuit semantics.
+
+use crate::diagnostic::{Diagnostic, Span};
+use qmkp_qsim::{validate_gate, Circuit, CompileError, Gate, Register};
+
+/// At most this many individual `peephole-cancel` notes are emitted per
+/// circuit (the totals are always exact in [`PeepholeEstimate`]).
+const MAX_PEEPHOLE_NOTES: usize = 8;
+
+/// Runs the syntactic checks over every gate.
+///
+/// A well-formed [`Circuit`] (built through `push`/`push_unchecked`)
+/// cannot contain these defects — the pass re-guards anyway so a circuit
+/// that bypassed construction-time validation (future deserialization,
+/// FFI) is reported instead of trusted.
+pub fn structural_diagnostics(circuit: &Circuit) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        match validate_gate(gate, circuit.width()) {
+            Ok(()) => {}
+            Err(CompileError::QubitOutOfRange { qubit, width }) => {
+                diagnostics.push(Diagnostic::error(
+                    "qubit-out-of-range",
+                    Span {
+                        gate: Some(i),
+                        qubit: Some(qubit),
+                        section: None,
+                    },
+                    format!(
+                        "gate #{i} references qubit {qubit}, but the circuit has width {width}"
+                    ),
+                ));
+            }
+            Err(CompileError::DuplicateQubit(q)) => {
+                diagnostics.push(Diagnostic::error(
+                    "duplicate-qubit",
+                    Span {
+                        gate: Some(i),
+                        qubit: Some(q),
+                        section: None,
+                    },
+                    format!("gate #{i} uses qubit {q} more than once (control/target aliasing)"),
+                ));
+            }
+            Err(other) => {
+                diagnostics.push(Diagnostic::error(
+                    "malformed-gate",
+                    Span::at_gate(i),
+                    format!("gate #{i}: {other}"),
+                ));
+            }
+        }
+    }
+    diagnostics
+}
+
+/// Proves a set of named registers is pairwise disjoint and in range.
+pub fn check_registers(registers: &[&Register], width: usize) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let mut owner: Vec<Option<usize>> = vec![None; width];
+    for (r_idx, reg) in registers.iter().enumerate() {
+        for q in reg.iter() {
+            if q >= width {
+                diagnostics.push(Diagnostic::error(
+                    "register-out-of-range",
+                    Span::at_qubit(q),
+                    format!(
+                        "register `{}` spans qubit {q}, but the circuit has width {width}",
+                        reg.name
+                    ),
+                ));
+                continue;
+            }
+            match owner[q] {
+                None => owner[q] = Some(r_idx),
+                Some(prev) => diagnostics.push(Diagnostic::error(
+                    "register-aliasing",
+                    Span::at_qubit(q),
+                    format!(
+                        "registers `{}` and `{}` both claim qubit {q}",
+                        registers[prev].name, reg.name
+                    ),
+                )),
+            }
+        }
+    }
+    diagnostics
+}
+
+/// What the compile pipeline's peepholes would remove, predicted
+/// statically. Field-for-field comparable with the corresponding
+/// [`qmkp_qsim::CompileStats`] fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeepholeEstimate {
+    /// Gates an adjacent-inverse-flip cancellation would remove (each
+    /// cancellation removes two gates; cascades are followed).
+    pub cancelled_flips: usize,
+    /// Phase gates that would merge into their predecessor's step.
+    pub merged_phases: usize,
+    /// Single-qubit gates that would fuse into their predecessor's 2×2
+    /// product.
+    pub merged_singles: usize,
+}
+
+/// The `(care, want, flip)` mask triple an X/MCX lowers to — the same
+/// folding the compiler performs, reproduced here so step equality (and
+/// hence cancellation) is decided identically.
+fn flip_masks(gate: &Gate) -> Option<(u128, u128, u128)> {
+    match gate {
+        Gate::X(q) => Some((0, 0, 1u128 << q)),
+        Gate::Mcx { controls, target } => {
+            let mut care = 0u128;
+            let mut want = 0u128;
+            for c in controls {
+                care |= 1u128 << c.qubit;
+                if c.positive {
+                    want |= 1u128 << c.qubit;
+                }
+            }
+            Some((care, want, 1u128 << target))
+        }
+        _ => None,
+    }
+}
+
+/// The `(care, want)` pair a diagonal gate conditions on.
+fn phase_masks(gate: &Gate) -> Option<(u128, u128)> {
+    match gate {
+        Gate::Z(q) | Gate::Phase(q, _) => Some((1u128 << q, 1u128 << q)),
+        Gate::CPhase(p, q, _) => {
+            let m = (1u128 << p) | (1u128 << q);
+            Some((m, m))
+        }
+        Gate::Mcz { controls, target } => {
+            let mut care = 1u128 << target;
+            let mut want = 1u128 << target;
+            for c in controls {
+                care |= 1u128 << c.qubit;
+                if c.positive {
+                    want |= 1u128 << c.qubit;
+                }
+            }
+            Some((care, want))
+        }
+        _ => None,
+    }
+}
+
+/// Predicts the compile pipeline's peephole effects without compiling,
+/// appending a capped set of `peephole-cancel` notes for the cancelled
+/// pairs. The returned totals mirror `CompileStats::{cancelled_flips,
+/// merged_phases, merged_singles}` exactly (same run-splitting at section
+/// boundaries, same cascade behaviour), which
+/// [`crate::report::cross_check_compile`] relies on.
+pub fn peephole_estimate(circuit: &Circuit, diagnostics: &mut Vec<Diagnostic>) -> PeepholeEstimate {
+    let mut est = PeepholeEstimate::default();
+    let mut notes = 0usize;
+
+    // Run boundaries: section starts/ends, exactly as the compiler sees.
+    let mut boundaries: Vec<usize> = circuit
+        .sections()
+        .iter()
+        .flat_map(|s| [s.range.start, s.range.end])
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    // Open-run state, mirroring the compiler's accumulators. The flip
+    // stack carries (masks, source gate index) so cancelled pairs can be
+    // reported by index.
+    let mut flip_run: Vec<((u128, u128, u128), usize)> = Vec::new();
+    let mut phase_run: Option<(u128, u128)> = None;
+    let mut in_flip_run = false;
+    let mut in_phase_run = false;
+    let mut fusable_single: Option<usize> = None;
+
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if boundaries.binary_search(&i).is_ok() {
+            flip_run.clear();
+            phase_run = None;
+            in_flip_run = false;
+            in_phase_run = false;
+            fusable_single = None;
+        }
+        if let Some(masks) = flip_masks(gate) {
+            if !in_flip_run {
+                flip_run.clear();
+            }
+            in_flip_run = true;
+            in_phase_run = false;
+            fusable_single = None;
+            if flip_run.last().map(|(m, _)| *m) == Some(masks) {
+                let (_, partner) = flip_run.pop().expect("non-empty: last() matched");
+                est.cancelled_flips += 2;
+                if notes < MAX_PEEPHOLE_NOTES {
+                    notes += 1;
+                    diagnostics.push(Diagnostic::note(
+                        "peephole-cancel",
+                        Span::at_gate(i),
+                        format!(
+                            "gates #{partner} and #{i} are adjacent inverses; \
+                             the compile peephole removes both"
+                        ),
+                    ));
+                }
+            } else {
+                flip_run.push((masks, i));
+            }
+        } else if let Some(masks) = phase_masks(gate) {
+            if !in_phase_run {
+                phase_run = None;
+            }
+            in_phase_run = true;
+            in_flip_run = false;
+            fusable_single = None;
+            if phase_run == Some(masks) {
+                est.merged_phases += 1;
+            }
+            phase_run = Some(masks);
+        } else {
+            // Single-qubit non-diagonal (H / Ry).
+            in_flip_run = false;
+            in_phase_run = false;
+            let q = gate.qubits()[0];
+            if fusable_single == Some(q) {
+                est.merged_singles += 1;
+            }
+            fusable_single = Some(q);
+        }
+    }
+    if est.cancelled_flips > 0 && notes == MAX_PEEPHOLE_NOTES {
+        diagnostics.push(Diagnostic::note(
+            "peephole-cancel",
+            Span::default(),
+            format!(
+                "… {} gate(s) cancel in total (further pair notes suppressed)",
+                est.cancelled_flips
+            ),
+        ));
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_qsim::{CompiledCircuit, QubitAllocator};
+
+    #[test]
+    fn well_formed_circuit_has_no_structural_findings() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::H(0));
+        assert!(structural_diagnostics(&c).is_empty());
+    }
+
+    #[test]
+    fn register_aliasing_is_detected() {
+        let mut alloc = QubitAllocator::new();
+        let a = alloc.alloc("a", 3);
+        let b = alloc.alloc("b", 2);
+        let overlapping = Register {
+            name: "bad".into(),
+            start: 2,
+            len: 2,
+        };
+        let diags = check_registers(&[&a, &b, &overlapping], alloc.width());
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == "register-aliasing"));
+        assert!(diags[0].message.contains('a'));
+
+        let out_of_range = Register {
+            name: "far".into(),
+            start: 10,
+            len: 1,
+        };
+        let diags = check_registers(&[&out_of_range], 5);
+        assert_eq!(diags[0].code, "register-out-of-range");
+    }
+
+    #[test]
+    fn disjoint_registers_pass() {
+        let mut alloc = QubitAllocator::new();
+        let a = alloc.alloc("a", 3);
+        let b = alloc.alloc("b", 2);
+        assert!(check_registers(&[&a, &b], alloc.width()).is_empty());
+    }
+
+    /// The estimate must track `CompileStats` exactly — build a circuit
+    /// exercising cascaded cancellation, phase merging, single fusion and
+    /// section boundaries, and compare.
+    #[test]
+    fn estimate_matches_compile_stats() {
+        let mut c = Circuit::new(4);
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::ccnot(0, 1, 2)); // cancels, cascading
+        c.push_unchecked(Gate::cnot(0, 1)); // …to here
+        c.begin_section("s");
+        c.push_unchecked(Gate::X(3));
+        c.push_unchecked(Gate::X(3)); // cancels inside the section
+        c.push_unchecked(Gate::Phase(0, 0.2));
+        c.push_unchecked(Gate::Phase(0, 0.3)); // merges
+        c.push_unchecked(Gate::H(1));
+        c.push_unchecked(Gate::Ry(1, 0.5)); // fuses
+        c.end_section();
+        c.push_unchecked(Gate::H(1)); // section boundary blocks fusion
+
+        let mut diags = Vec::new();
+        let est = peephole_estimate(&c, &mut diags);
+        let stats = CompiledCircuit::compile(&c).unwrap().stats();
+        assert_eq!(est.cancelled_flips, stats.cancelled_flips);
+        assert_eq!(est.merged_phases, stats.merged_phases);
+        assert_eq!(est.merged_singles, stats.merged_singles);
+        assert_eq!(est.cancelled_flips, 6);
+        assert!(diags.iter().any(|d| d.code == "peephole-cancel"));
+    }
+
+    #[test]
+    fn section_boundary_blocks_cancellation_in_estimate() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.begin_section("s");
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.end_section();
+        let mut diags = Vec::new();
+        let est = peephole_estimate(&c, &mut diags);
+        assert_eq!(est.cancelled_flips, 0);
+        let stats = CompiledCircuit::compile(&c).unwrap().stats();
+        assert_eq!(est.cancelled_flips, stats.cancelled_flips);
+    }
+
+    #[test]
+    fn note_flood_is_capped() {
+        let mut c = Circuit::new(1);
+        for _ in 0..30 {
+            c.push_unchecked(Gate::X(0));
+        }
+        let mut diags = Vec::new();
+        let est = peephole_estimate(&c, &mut diags);
+        assert_eq!(est.cancelled_flips, 30);
+        let notes = diags.iter().filter(|d| d.code == "peephole-cancel").count();
+        assert!(notes <= MAX_PEEPHOLE_NOTES + 1);
+        assert!(diags.last().unwrap().message.contains("30 gate(s)"));
+    }
+}

@@ -14,6 +14,8 @@
 //!   incumbent trajectory recording (cost-vs-time curves of Figures 9-10),
 //!   and a wall-clock budget.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod bnb;
 pub mod linearize;
 pub mod simplex;

@@ -31,7 +31,8 @@
 //! [`Session::finish`] at the end of the run.
 
 #![warn(missing_docs)]
-
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo)]
 pub mod event;
 pub mod json;
 pub mod report;

@@ -412,24 +412,6 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// Checks a gate against the compiler's preconditions (all qubits in
-/// range and distinct) without panicking on violation.
-fn validate_gate(gate: &Gate, width: usize) -> Result<(), CompileError> {
-    let mut qs = gate.qubits();
-    for &q in &qs {
-        if q >= width {
-            return Err(CompileError::QubitOutOfRange { qubit: q, width });
-        }
-    }
-    qs.sort_unstable();
-    for w in qs.windows(2) {
-        if w[0] == w[1] {
-            return Err(CompileError::DuplicateQubit(w[0]));
-        }
-    }
-    Ok(())
-}
-
 /// Lowers one gate to its kernel form.
 fn lower(gate: &Gate) -> CompiledOp {
     match gate {
@@ -536,15 +518,7 @@ impl CompiledCircuit {
     /// qubits or a gate references out-of-range or duplicated qubits; a
     /// malformed circuit is reported, never panicked on.
     pub fn compile(circuit: &Circuit) -> Result<Self, CompileError> {
-        if circuit.width() > MAX_COMPILE_WIDTH {
-            return Err(CompileError::WidthTooLarge {
-                width: circuit.width(),
-                max: MAX_COMPILE_WIDTH,
-            });
-        }
-        for gate in circuit.gates() {
-            validate_gate(gate, circuit.width())?;
-        }
+        crate::validate::validate_circuit(circuit)?;
         let span = qmkp_obs::span("qsim.compile");
         let mut cancelled_flips = 0usize;
         let mut merged_phases = 0usize;
@@ -743,6 +717,7 @@ impl CompiledCircuit {
 mod tests {
     use super::*;
     use crate::gate::Control;
+    use crate::validate::validate_gate;
 
     fn compile(c: &Circuit) -> CompiledCircuit {
         CompiledCircuit::compile(c).expect("test circuits are well-formed")

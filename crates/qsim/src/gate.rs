@@ -153,23 +153,22 @@ impl Gate {
 
     /// Validates the gate against a circuit width.
     ///
+    /// Thin wrapper over [`crate::validate::validate_gate`] (the one
+    /// shared implementation of these checks), mapping the structured
+    /// [`crate::compile::CompileError`] onto the equivalent [`SimError`]
+    /// variants.
+    ///
     /// # Errors
     /// Fails if any qubit is out of range or a qubit is used twice.
     pub fn validate(&self, width: usize) -> Result<(), SimError> {
-        let qs = self.qubits();
-        for &q in &qs {
-            if q >= width {
-                return Err(SimError::QubitOutOfRange { qubit: q, width });
+        use crate::compile::CompileError;
+        crate::validate::validate_gate(self, width).map_err(|e| match e {
+            CompileError::QubitOutOfRange { qubit, width } => {
+                SimError::QubitOutOfRange { qubit, width }
             }
-        }
-        let mut sorted = qs;
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
-            if w[0] == w[1] {
-                return Err(SimError::DuplicateQubit(w[0]));
-            }
-        }
-        Ok(())
+            CompileError::DuplicateQubit(q) => SimError::DuplicateQubit(q),
+            other => SimError::Compile(other),
+        })
     }
 
     /// Whether the gate is classical-reversible (a basis-state permutation):

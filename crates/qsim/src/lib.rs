@@ -20,6 +20,8 @@
 //! ancillas), section tagging (used to attribute simulation cost to the
 //! oracle's three components for Table IV), and gate statistics.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod circuit;
 pub mod compile;
 pub mod complex;
@@ -29,6 +31,7 @@ pub mod gate;
 pub mod measure;
 pub mod register;
 pub mod state;
+pub mod validate;
 
 pub use circuit::{Circuit, GateStats, Section};
 pub use compile::{
@@ -42,6 +45,7 @@ pub use gate::{Control, Gate};
 pub use measure::{collapse, measure_and_collapse, measure_and_collapse_dense};
 pub use register::{QubitAllocator, Register};
 pub use state::{DenseState, QuantumState, SparseState};
+pub use validate::{validate_circuit, validate_gate};
 
 /// Whether this build of the simulator was compiled with the `parallel`
 /// feature (rayon-backed dense kernels). Useful for benchmark provenance.

@@ -1,0 +1,93 @@
+//! Shared gate/circuit validation.
+//!
+//! One implementation of the qubit-range and duplicate-qubit checks,
+//! used by three consumers that previously each had their own copy:
+//!
+//! * [`crate::circuit::Circuit::push`] / [`crate::gate::Gate::validate`]
+//!   (surfaced as [`crate::error::SimError`]),
+//! * the compiler ([`crate::compile::CompiledCircuit::compile`]), which
+//!   re-guards even though `Circuit` construction already validates, so a
+//!   bypassed invariant is a structured error rather than a corrupted
+//!   kernel,
+//! * the `qmkp-lint` static analyzer, which reports violations as
+//!   diagnostics instead of refusing to proceed.
+//!
+//! All paths return [`CompileError`]; `Gate::validate` maps it back onto
+//! the equivalent `SimError` variants.
+
+use crate::circuit::Circuit;
+use crate::compile::{CompileError, MAX_COMPILE_WIDTH};
+use crate::gate::Gate;
+
+/// Checks a gate against a circuit width: every qubit in range and all
+/// qubits pairwise distinct (a qubit used as two controls, or as both a
+/// control and the target, does not define a valid kernel).
+///
+/// # Errors
+/// Returns [`CompileError::QubitOutOfRange`] or
+/// [`CompileError::DuplicateQubit`] naming the offending qubit.
+pub fn validate_gate(gate: &Gate, width: usize) -> Result<(), CompileError> {
+    let mut qs = gate.qubits();
+    for &q in &qs {
+        if q >= width {
+            return Err(CompileError::QubitOutOfRange { qubit: q, width });
+        }
+    }
+    qs.sort_unstable();
+    for w in qs.windows(2) {
+        if w[0] == w[1] {
+            return Err(CompileError::DuplicateQubit(w[0]));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole circuit: width within the 128-qubit basis encoding
+/// and every gate well-formed.
+///
+/// # Errors
+/// Returns the first violation in gate order (width errors first).
+pub fn validate_circuit(circuit: &Circuit) -> Result<(), CompileError> {
+    if circuit.width() > MAX_COMPILE_WIDTH {
+        return Err(CompileError::WidthTooLarge {
+            width: circuit.width(),
+            max: MAX_COMPILE_WIDTH,
+        });
+    }
+    for gate in circuit.gates() {
+        validate_gate(gate, circuit.width())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_validation() {
+        assert_eq!(validate_gate(&Gate::X(3), 4), Ok(()));
+        assert_eq!(
+            validate_gate(&Gate::X(5), 4),
+            Err(CompileError::QubitOutOfRange { qubit: 5, width: 4 })
+        );
+        assert_eq!(
+            validate_gate(&Gate::cnot(2, 2), 4),
+            Err(CompileError::DuplicateQubit(2))
+        );
+    }
+
+    #[test]
+    fn circuit_validation() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        assert_eq!(validate_circuit(&c), Ok(()));
+        assert_eq!(
+            validate_circuit(&Circuit::new(129)),
+            Err(CompileError::WidthTooLarge {
+                width: 129,
+                max: 128
+            })
+        );
+    }
+}

@@ -18,6 +18,8 @@
 //! of two (2 bits cannot represent the value 4). We use the corrected
 //! width `⌈log₂(max + 1)⌉`; DESIGN.md records the deviation.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod ising;
 pub mod mkp;
 pub mod model;

@@ -27,6 +27,8 @@
 //! assert!(qmkp::graph::is_kplex(&g, best, 2));
 //! ```
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub use qmkp_annealer as annealer;
 pub use qmkp_arith as arith;
 pub use qmkp_classical as classical;

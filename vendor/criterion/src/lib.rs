@@ -15,6 +15,8 @@
 //! Set `CRITERION_SAMPLE_MS` to change the per-sample time budget
 //! (default 60 ms).
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo)]
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 

@@ -11,6 +11,8 @@
 //! generated inputs verbatim instead of a minimized counterexample.
 //! Generation is seeded deterministically per test, so failures reproduce.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo)]
 pub mod arbitrary;
 pub mod collection;
 pub mod prelude;

@@ -14,6 +14,8 @@
 //! relies on determinism-under-a-fixed-seed plus statistical quality, both
 //! of which xoshiro256++ provides.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo)]
 pub mod distributions;
 pub mod rngs;
 pub mod seq;

@@ -13,6 +13,8 @@
 //! Swapping in the real rayon later is a one-line `Cargo.toml` change;
 //! the call sites compile unchanged.
 
+#![deny(unsafe_code)]
+#![warn(clippy::dbg_macro, clippy::todo)]
 pub mod prelude;
 
 use std::num::NonZeroUsize;
