@@ -603,9 +603,7 @@ fn embed_one(
         // First vertex (or isolated): take the cheapest qubit, randomized
         // among ties.
         let q = (0..nq).min_by(|&a, &b| {
-            (cost(a, usage) + jitter(rng))
-                .partial_cmp(&(cost(b, usage) + jitter(rng)))
-                .expect("finite costs")
+            (cost(a, usage) + jitter(rng)).total_cmp(&(cost(b, usage) + jitter(rng)))
         })?;
         return Some(vec![q]);
     }

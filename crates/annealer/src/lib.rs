@@ -37,7 +37,7 @@ pub use embedding::{
 };
 pub use hybrid::{hybrid_solve, HybridConfig};
 pub use result::AnnealOutcome;
-pub use sa::{anneal_qubo, SaConfig};
-pub use sqa::{sqa_qubo, SqaConfig};
-pub use tempering::{temper_qubo, TemperingConfig};
+pub use sa::{anneal_qubo, anneal_qubo_ctx, SaCheckpoint, SaConfig};
+pub use sqa::{sqa_qubo, sqa_qubo_ctx, SqaCheckpoint, SqaConfig};
+pub use tempering::{temper_qubo, temper_qubo_ctx, TemperCheckpoint, TemperingConfig};
 pub use topology::Chimera;

@@ -1,6 +1,11 @@
 //! Emits `BENCH_qsim.json`: compiled-kernel vs interpreted simulation
 //! times for the dense backend (width-20 layered circuit) and the sparse
-//! backend (a qTKP oracle circuit), with their speedups.
+//! backend (a qTKP oracle circuit), with their speedups — plus the
+//! overhead of running the same compiled circuits under a fully-armed
+//! `RtContext` (deadline + byte + op ceilings, all generous). The
+//! budget-check overhead ratio is a **guard**: the process exits
+//! non-zero if either backend's budgeted run costs more than
+//! `MAX_BUDGET_OVERHEAD`× its unbudgeted run.
 //!
 //! Usage: `bench_qsim [output-path]` (default `BENCH_qsim.json` in the
 //! working directory).
@@ -8,9 +13,24 @@
 use qmkp_core::oracle::Oracle;
 use qmkp_obs::{RunReport, Session};
 use qmkp_qsim::{Circuit, CompiledCircuit, DenseState, Gate, QuantumState, SparseState};
-use std::time::Instant;
+use qmkp_rt::{Budget, RtContext};
+use std::time::{Duration, Instant};
 
 const SAMPLES: usize = 9;
+
+/// Budgeted / unbudgeted wall-clock ratio above which the guard fails.
+const MAX_BUDGET_OVERHEAD: f64 = 1.5;
+
+/// A context whose three ceilings are all set (so every check runs its
+/// full code path) but far too generous to ever trip mid-bench.
+fn armed_context() -> RtContext {
+    RtContext::with_budget(
+        Budget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_max_bytes(usize::MAX)
+            .with_max_ops(u64::MAX),
+    )
+}
 
 /// Median wall-clock seconds of `SAMPLES` runs of `f`.
 fn median_secs<F: FnMut()>(mut f: F) -> f64 {
@@ -64,6 +84,13 @@ fn main() {
         s.run_compiled(&dense_compiled_circ).unwrap();
         std::hint::black_box(s.probability(0));
     });
+    let dense_ctx = armed_context();
+    let dense_budgeted = median_secs(|| {
+        let mut s = DenseState::zero(dense_width).unwrap();
+        s.run_compiled_ctx(&dense_compiled_circ, &dense_ctx)
+            .unwrap();
+        std::hint::black_box(s.probability(0));
+    });
 
     // Sparse backend: uniform superposition + qTKP U_check.
     let g = qmkp_graph::gen::paper_fig1_graph();
@@ -85,6 +112,16 @@ fn main() {
         s.run_compiled(&sparse_compiled_circ).unwrap();
         std::hint::black_box(s.probability(0));
     });
+    let sparse_ctx = armed_context();
+    let sparse_budgeted = median_secs(|| {
+        let mut s = SparseState::zero(sparse_circ.width());
+        s.run_compiled_ctx(&sparse_compiled_circ, &sparse_ctx)
+            .unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+
+    let dense_overhead = dense_budgeted / dense_compiled;
+    let sparse_overhead = sparse_budgeted / sparse_compiled;
 
     let json = format!(
         "{{\n  \
@@ -94,6 +131,8 @@ fn main() {
          \"fused_ops\": {dops},\n    \
          \"interpreted_s\": {di:.6},\n    \
          \"compiled_s\": {dc:.6},\n    \
+         \"budgeted_s\": {db:.6},\n    \
+         \"budget_overhead\": {dov:.3},\n    \
          \"speedup\": {dsp:.2}\n  }},\n  \
          \"sparse\": {{\n    \
          \"circuit\": \"H^n + qTKP U_check (paper_fig1_graph, k=2, t=4, width={sw})\",\n    \
@@ -101,22 +140,30 @@ fn main() {
          \"fused_ops\": {sops},\n    \
          \"interpreted_s\": {si:.6},\n    \
          \"compiled_s\": {sc:.6},\n    \
+         \"budgeted_s\": {sb:.6},\n    \
+         \"budget_overhead\": {sov:.3},\n    \
          \"speedup\": {ssp:.2}\n  }},\n  \
          \"samples\": {samples},\n  \
+         \"max_budget_overhead\": {max_ov},\n  \
          \"parallel_feature\": {par}\n}}\n",
         dw = dense_width,
         dg = dense_circ.len(),
         dops = dense_compiled_circ.len(),
         di = dense_interpreted,
         dc = dense_compiled,
+        db = dense_budgeted,
+        dov = dense_overhead,
         dsp = dense_interpreted / dense_compiled,
         sw = sparse_circ.width(),
         sg = sparse_circ.len(),
         sops = sparse_compiled_circ.len(),
         si = sparse_interpreted,
         sc = sparse_compiled,
+        sb = sparse_budgeted,
+        sov = sparse_overhead,
         ssp = sparse_interpreted / sparse_compiled,
         samples = SAMPLES,
+        max_ov = MAX_BUDGET_OVERHEAD,
         par = qmkp_qsim::parallel_enabled(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
@@ -133,11 +180,24 @@ fn main() {
                 "dense_speedup",
                 format!("{:.2}", dense_interpreted / dense_compiled),
             )
+            .outcome("dense_budget_overhead", format!("{dense_overhead:.3}"))
             .outcome("sparse_interpreted_s", format!("{sparse_interpreted:.6}"))
             .outcome("sparse_compiled_s", format!("{sparse_compiled:.6}"))
             .outcome(
                 "sparse_speedup",
                 format!("{:.2}", sparse_interpreted / sparse_compiled),
-            ),
+            )
+            .outcome("sparse_budget_overhead", format!("{sparse_overhead:.3}")),
     );
+
+    // The guard: budget checks must stay in the noise, not become a tax.
+    for (name, overhead) in [("dense", dense_overhead), ("sparse", sparse_overhead)] {
+        if overhead >= MAX_BUDGET_OVERHEAD {
+            eprintln!(
+                "bench_qsim: {name} budget-check overhead {overhead:.3}x exceeds \
+                 the {MAX_BUDGET_OVERHEAD}x guard"
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -20,8 +20,10 @@
 //!   substitution in DESIGN.md).
 
 use crate::oracle::Oracle;
+use crate::qtkp::rt_from_sim;
 use qmkp_graph::VertexSet;
-use qmkp_qsim::{Circuit, DenseState, Gate, QuantumState};
+use qmkp_qsim::{BackendState, Circuit, DenseState, Gate, QuantumState};
+use qmkp_rt::{RtContext, RtError};
 use rand::Rng;
 
 /// All vertex sets marked by the oracle, ascending by bitmask.
@@ -52,51 +54,84 @@ pub fn exact_solution_count(oracle: &Oracle) -> u64 {
 /// # Panics
 /// Panics if `precision` is 0 or greater than 20, or `m > 2^n_qubits`.
 pub fn quantum_count<R: Rng>(n_qubits: usize, m: u64, precision: usize, rng: &mut R) -> u64 {
-    assert!((1..=20).contains(&precision), "precision must be in 1..=20");
+    quantum_count_ctx(n_qubits, m, precision, rng, &RtContext::unlimited())
+        .expect("unlimited context: only an invalid precision can fail")
+}
+
+/// Budget-aware variant of [`quantum_count`]: the precision is validated
+/// instead of asserted, the `core.counting.qpe` failpoint is consulted,
+/// and the phase-estimation circuit runs under the context (the dense
+/// counting register is admitted against the byte ceiling; each compiled
+/// op is charged and polls cancellation).
+///
+/// # Errors
+/// [`RtError::InvalidConfig`] for a precision outside `1..=20`, or the
+/// budget/cancellation/fault error that interrupted the simulation.
+///
+/// # Panics
+/// Panics if `m > 2^n_qubits`.
+pub fn quantum_count_ctx<R: Rng>(
+    n_qubits: usize,
+    m: u64,
+    precision: usize,
+    rng: &mut R,
+    ctx: &RtContext,
+) -> Result<u64, RtError> {
+    if !(1..=20).contains(&precision) {
+        return Err(RtError::InvalidConfig(format!(
+            "precision must be in 1..=20, got {precision}"
+        )));
+    }
+    qmkp_rt::failpoint::check("core.counting.qpe")?;
+    ctx.check()?;
     let span = qmkp_obs::span("core.counting.quantum_count");
-    let n = (1u128 << n_qubits) as f64;
-    assert!((m as f64) <= n, "m must not exceed 2^n");
-    // Grover operator eigenphase: G rotates the good/bad plane by 2θ, so
-    // its eigenvalues are e^{±2iθ}. With the register prepared in an
-    // eigenstate, each controlled-G^{2^j} kicks the phase e^{i·2θ·2^j}
-    // back onto counting qubit j — i.e. acts as Phase(qubit_j, 2θ·2^j).
-    let theta = ((m as f64) / n).sqrt().asin();
-    let phi = 2.0 * theta; // eigenvalue phase of G
+    let result = (|| {
+        let n = (1u128 << n_qubits) as f64;
+        assert!((m as f64) <= n, "m must not exceed 2^n");
+        // Grover operator eigenphase: G rotates the good/bad plane by 2θ, so
+        // its eigenvalues are e^{±2iθ}. With the register prepared in an
+        // eigenstate, each controlled-G^{2^j} kicks the phase e^{i·2θ·2^j}
+        // back onto counting qubit j — i.e. acts as Phase(qubit_j, 2θ·2^j).
+        let theta = ((m as f64) / n).sqrt().asin();
+        let phi = 2.0 * theta; // eigenvalue phase of G
 
-    let mut circ = Circuit::new(precision);
-    for j in 0..precision {
-        circ.push_unchecked(Gate::H(j));
-    }
-    for j in 0..precision {
-        let angle = phi * (1u64 << j) as f64;
-        circ.push_unchecked(Gate::Phase(j, angle));
-    }
-    inverse_qft(&mut circ, &(0..precision).collect::<Vec<_>>());
+        let mut circ = Circuit::new(precision);
+        for j in 0..precision {
+            circ.push_unchecked(Gate::H(j));
+        }
+        for j in 0..precision {
+            let angle = phi * (1u64 << j) as f64;
+            circ.push_unchecked(Gate::Phase(j, angle));
+        }
+        inverse_qft(&mut circ, &(0..precision).collect::<Vec<_>>());
 
-    let mut state = DenseState::zero(precision).expect("≤ 20 qubits");
-    state.run(&circ).expect("widths match");
-    let counting_qubits: Vec<usize> = (0..precision).collect();
-    let sampled = *state
-        .sample(rng, 1, &counting_qubits)
-        .iter()
-        .next()
-        .expect("one outcome")
-        .0;
+        let mut state = DenseState::zero_budgeted(precision, ctx).map_err(rt_from_sim)?;
+        state.run_ctx(&circ, ctx).map_err(rt_from_sim)?;
+        let counting_qubits: Vec<usize> = (0..precision).collect();
+        // One shot always yields one outcome; the fallback is unreachable.
+        let sampled = state
+            .sample(rng, 1, &counting_qubits)
+            .into_iter()
+            .next()
+            .map(|(k, _)| k)
+            .unwrap_or(0);
 
-    // The measured integer y estimates φ/2π: φ̂ = 2π·y / 2^p.
-    let phi_hat = 2.0 * std::f64::consts::PI * (sampled as f64) / (1u64 << precision) as f64;
-    // Phases φ and 2π − φ are equivalent readouts (the two eigenvalues).
-    let theta_hat = {
-        let t = phi_hat / 2.0;
-        t.min(std::f64::consts::PI - t)
-    };
-    let estimate = (n * theta_hat.sin().powi(2)).round() as u64;
-    if qmkp_obs::enabled_for("core.counting") {
-        qmkp_obs::gauge("core.counting.phase_estimate", phi_hat);
-        qmkp_obs::gauge("core.counting.m_estimate", estimate as f64);
-    }
+        // The measured integer y estimates φ/2π: φ̂ = 2π·y / 2^p.
+        let phi_hat = 2.0 * std::f64::consts::PI * (sampled as f64) / (1u64 << precision) as f64;
+        // Phases φ and 2π − φ are equivalent readouts (the two eigenvalues).
+        let theta_hat = {
+            let t = phi_hat / 2.0;
+            t.min(std::f64::consts::PI - t)
+        };
+        let estimate = (n * theta_hat.sin().powi(2)).round() as u64;
+        if qmkp_obs::enabled_for("core.counting") {
+            qmkp_obs::gauge("core.counting.phase_estimate", phi_hat);
+            qmkp_obs::gauge("core.counting.m_estimate", estimate as f64);
+        }
+        Ok(estimate)
+    })();
     span.finish();
-    estimate
+    result
 }
 
 /// Appends the forward quantum Fourier transform over `qubits`

@@ -3,7 +3,10 @@
 
 use crate::oracle::Oracle;
 use qmkp_graph::VertexSet;
-use qmkp_qsim::{Circuit, CompiledCircuit, Gate, QuantumState, Register, SimError, SparseState};
+use qmkp_qsim::{
+    BackendState, Circuit, CompiledCircuit, Gate, QuantumState, Register, SimError, SparseState,
+};
+use qmkp_rt::RtContext;
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -163,16 +166,18 @@ pub fn diffusion_circuit(width: usize, vertices: &Register) -> Circuit {
     c
 }
 
-/// Drives Grover iterations of a phase oracle on the sparse backend.
+/// Drives Grover iterations of a phase oracle, by default on the sparse
+/// backend (the dense backend is reachable through the second type
+/// parameter, used by the degradation ladder's top rung).
 ///
 /// The three circuits of an iteration (`U_check`, `U_check†`, diffusion)
 /// are compiled once at construction — mask-precomputed and fused into
 /// kernel ops — and the compiled forms are reused every iteration. Wall
 /// time is still attributed per oracle section: compilation never fuses
 /// across section boundaries, so each section's op range is timed exactly.
-pub struct GroverDriver<O: PhaseOracle = Oracle> {
+pub struct GroverDriver<O: PhaseOracle = Oracle, S: QuantumState = SparseState> {
     oracle: O,
-    state: SparseState,
+    state: S,
     u_check: CompiledCircuit,
     u_check_inv: CompiledCircuit,
     diffusion: CompiledCircuit,
@@ -180,7 +185,7 @@ pub struct GroverDriver<O: PhaseOracle = Oracle> {
     times: SectionTimes,
 }
 
-impl<O: PhaseOracle> GroverDriver<O> {
+impl<O: PhaseOracle> GroverDriver<O, SparseState> {
     /// Prepares the initial state: `|O⟩ → |−⟩` (X then H, per Figure 12's
     /// `|O⟩ = |1⟩` input plus Hadamard) and the vertex register in uniform
     /// superposition; compiles the iteration circuits.
@@ -202,12 +207,40 @@ impl<O: PhaseOracle> GroverDriver<O> {
     /// simulator's 128-qubit basis encoding.
     pub fn try_new(oracle: O) -> Result<Self, SimError> {
         let width = oracle.width();
-        let mut state = SparseState::zero(width);
+        let state = SparseState::zero(width);
+        Self::finish_new(oracle, state)
+    }
+
+    /// Support size of the underlying sparse state (diagnostics).
+    pub fn support_size(&self) -> usize {
+        self.state.support_size()
+    }
+}
+
+impl<O: PhaseOracle, S: BackendState> GroverDriver<O, S> {
+    /// Budget-aware constructor on an explicit backend: the initial
+    /// state's projected footprint is admitted against the context's byte
+    /// ceiling (and the backend's allocation failpoint consulted) before
+    /// anything is allocated.
+    ///
+    /// # Errors
+    /// As [`GroverDriver::try_new`], plus [`SimError::Interrupted`] when
+    /// the state is rejected by the budget or an injected fault fires.
+    pub fn try_new_ctx(oracle: O, ctx: &RtContext) -> Result<Self, SimError> {
+        let width = oracle.width();
+        let state = S::zero_budgeted(width, ctx)?;
+        Self::finish_new(oracle, state)
+    }
+}
+
+impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
+    fn finish_new(oracle: O, mut state: S) -> Result<Self, SimError> {
         state.apply(&Gate::X(oracle.oracle_qubit()));
         state.apply(&Gate::H(oracle.oracle_qubit()));
         for q in oracle.vertex_register().iter() {
             state.apply(&Gate::H(q));
         }
+        let width = oracle.width();
         let u_check = CompiledCircuit::compile(oracle.u_check())?;
         let u_check_inv = CompiledCircuit::compile(oracle.u_check_inv())?;
         let diffusion =
@@ -257,8 +290,7 @@ impl<O: PhaseOracle> GroverDriver<O> {
         Self::run_sectioned(&mut self.state, &self.u_check_inv, &mut self.times);
         Self::run_sectioned(&mut self.state, &self.diffusion, &mut self.times);
         self.iterations_done += 1;
-        qmkp_obs::gauge("core.grover.support", self.state.support_size() as f64);
-        qmkp_obs::gauge("core.grover.mem_bytes", self.state.memory_bytes() as f64);
+        self.iteration_gauges();
         span.finish();
     }
 
@@ -269,14 +301,66 @@ impl<O: PhaseOracle> GroverDriver<O> {
         }
     }
 
+    /// Budget-aware Grover iteration: polls the context at iteration
+    /// granularity and charges each compiled op against the op budget, so
+    /// cancellation and deadlines surface between kernel passes. Consults
+    /// the `core.grover.iterate` failpoint on entry.
+    ///
+    /// On interruption the driver's state is mid-iteration and
+    /// [`GroverDriver::iterations_done`] is not advanced; the caller
+    /// discards the driver (the qTKP attempt loop reconstructs one per
+    /// attempt).
+    ///
+    /// # Errors
+    /// [`SimError::Interrupted`] carrying the structured
+    /// [`qmkp_rt::RtError`].
+    pub fn iterate_ctx(&mut self, ctx: &RtContext) -> Result<(), SimError> {
+        qmkp_rt::failpoint::check("core.grover.iterate")?;
+        ctx.check()?;
+        let span = qmkp_obs::span("core.grover.iteration");
+        let result = self.iterate_ctx_inner(ctx);
+        span.finish();
+        result
+    }
+
+    fn iterate_ctx_inner(&mut self, ctx: &RtContext) -> Result<(), SimError> {
+        Self::run_sectioned_ctx(&mut self.state, &self.u_check, &mut self.times, ctx)?;
+        let flip = self.oracle.flip_gate();
+        let start = Instant::now();
+        self.state.apply(&flip);
+        let elapsed = start.elapsed();
+        self.times.add("flip", elapsed);
+        qmkp_obs::span_closed("core.grover.section.flip", elapsed);
+        Self::run_sectioned_ctx(&mut self.state, &self.u_check_inv, &mut self.times, ctx)?;
+        Self::run_sectioned_ctx(&mut self.state, &self.diffusion, &mut self.times, ctx)?;
+        self.iterations_done += 1;
+        self.iteration_gauges();
+        Ok(())
+    }
+
+    /// Runs `count` budget-aware iterations.
+    ///
+    /// # Errors
+    /// As [`GroverDriver::iterate_ctx`]; iterations already completed are
+    /// reflected in [`GroverDriver::iterations_done`].
+    pub fn iterate_n_ctx(&mut self, count: usize, ctx: &RtContext) -> Result<(), SimError> {
+        for _ in 0..count {
+            self.iterate_ctx(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn iteration_gauges(&self) {
+        if let Some(support) = self.state.support_hint() {
+            qmkp_obs::gauge("core.grover.support", support as f64);
+        }
+        qmkp_obs::gauge("core.grover.mem_bytes", self.state.memory_bytes() as f64);
+    }
+
     /// Applies a compiled circuit, timing each section's op range (and any
     /// ops between sections as "other"). `U_check` and `U_check†` share
     /// buckets: the trailing `†` is stripped from section names.
-    fn run_sectioned(
-        state: &mut SparseState,
-        compiled: &CompiledCircuit,
-        times: &mut SectionTimes,
-    ) {
+    fn run_sectioned(state: &mut S, compiled: &CompiledCircuit, times: &mut SectionTimes) {
         let ops = compiled.ops();
         // Paper-scale registers fit in 64 bits; run the u64-specialised
         // kernels whenever the compiler emitted them.
@@ -317,6 +401,59 @@ impl<O: PhaseOracle> GroverDriver<O> {
         run_range(pos..ops.len(), "other");
     }
 
+    /// Budget-aware variant of [`GroverDriver::run_sectioned`]: each
+    /// section's op range is charged against the op budget (one charge per
+    /// range — section granularity keeps the fast path untouched) before
+    /// it runs, and the context is polled between ranges.
+    fn run_sectioned_ctx(
+        state: &mut S,
+        compiled: &CompiledCircuit,
+        times: &mut SectionTimes,
+        ctx: &RtContext,
+    ) -> Result<(), SimError> {
+        let ops = compiled.ops();
+        let narrow = compiled.narrow_ops();
+        let mut pos = 0;
+        let mut run_range = |range: std::ops::Range<usize>, name: &str| -> Result<(), SimError> {
+            if range.is_empty() {
+                return Ok(());
+            }
+            // Same site the per-op kernel path consults: one poll per
+            // section range, matching the op-budget charge granularity.
+            qmkp_rt::failpoint::check("qsim.run.op")?;
+            ctx.charge_ops(range.len() as u64)?;
+            let start = Instant::now();
+            match narrow {
+                Some(nops) => {
+                    for op in &nops[range.clone()] {
+                        state.apply_op64(op);
+                    }
+                }
+                None => {
+                    for op in &ops[range] {
+                        state.apply_op(op);
+                    }
+                }
+            }
+            let elapsed = start.elapsed();
+            times.add(name, elapsed);
+            if qmkp_obs::enabled() {
+                qmkp_obs::span_closed(&format!("core.grover.section.{name}"), elapsed);
+            }
+            Ok(())
+        };
+        for section in compiled.sections() {
+            debug_assert!(
+                section.range.start >= pos,
+                "sections must be ordered and disjoint"
+            );
+            run_range(pos..section.range.start, "other")?;
+            run_range(section.range.clone(), section.name.trim_end_matches('†'))?;
+            pos = section.range.end;
+        }
+        run_range(pos..ops.len(), "other")
+    }
+
     /// The probability distribution over vertex-register basis states
     /// (the bar charts of the paper's Figure 8).
     pub fn vertex_distribution(&self) -> BTreeMap<u128, f64> {
@@ -336,7 +473,8 @@ impl<O: PhaseOracle> GroverDriver<O> {
         let counts = self
             .state
             .sample(rng, 1, &self.oracle.vertex_register().qubits());
-        let (&bits, _) = counts.iter().next().expect("one shot produces one outcome");
+        // One shot always yields one outcome; the fallback is unreachable.
+        let bits = counts.into_iter().next().map(|(b, _)| b).unwrap_or(0);
         VertexSet::from_bits(bits)
     }
 
@@ -345,11 +483,6 @@ impl<O: PhaseOracle> GroverDriver<O> {
     pub fn sample_counts<R: Rng>(&self, rng: &mut R, shots: usize) -> BTreeMap<u128, usize> {
         self.state
             .sample(rng, shots, &self.oracle.vertex_register().qubits())
-    }
-
-    /// Support size of the underlying sparse state (diagnostics).
-    pub fn support_size(&self) -> usize {
-        self.state.support_size()
     }
 }
 

@@ -80,6 +80,29 @@ impl OracleLayout {
     /// # Panics
     /// Panics if `k == 0` or `t == 0` or `t > n` or the graph is empty.
     pub fn new(g: &Graph, k: usize, t: usize) -> Self {
+        let layout = Self::build(g, k, t);
+        assert!(
+            layout.width <= 128,
+            "oracle needs {} qubits; the sparse backend supports 128 \
+             (reduce the graph first — see qmkp_graph::reduce)",
+            layout.width
+        );
+        layout
+    }
+
+    /// Like [`OracleLayout::new`], but returns `None` instead of
+    /// panicking when the oracle would exceed the 128-qubit backend
+    /// limit — the preflight probe of the degradation ladder.
+    ///
+    /// # Panics
+    /// Panics on the same argument violations as [`OracleLayout::new`]
+    /// (`k == 0`, `t` outside `[1, n]`, empty graph).
+    pub fn try_new(g: &Graph, k: usize, t: usize) -> Option<Self> {
+        let layout = Self::build(g, k, t);
+        (layout.width <= 128).then_some(layout)
+    }
+
+    fn build(g: &Graph, k: usize, t: usize) -> Self {
         let n = g.n();
         assert!(n > 0, "graph must be non-empty");
         assert!(k >= 1, "k must be ≥ 1");
@@ -107,11 +130,6 @@ impl OracleLayout {
         let cmp_degree = ComparatorScratch::alloc(&mut alloc, counter_bits);
         let cmp_size = ComparatorScratch::alloc(&mut alloc, size_bits);
         let width = alloc.width();
-        assert!(
-            width <= 128,
-            "oracle needs {width} qubits; the sparse backend supports 128 \
-             (reduce the graph first — see qmkp_graph::reduce)"
-        );
 
         OracleLayout {
             n,

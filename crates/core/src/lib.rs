@@ -33,9 +33,11 @@ pub mod qmkp;
 pub mod qtkp;
 
 pub use club::{max_two_club, TwoClubOracle};
-pub use counting::{exact_solution_count, inverse_qft, qft, quantum_count, solutions};
+pub use counting::{
+    exact_solution_count, inverse_qft, qft, quantum_count, quantum_count_ctx, solutions,
+};
 pub use grover::{diffusion_circuit, optimal_iterations, GroverDriver, PhaseOracle};
 pub use layout::OracleLayout;
 pub use oracle::{Oracle, OracleSectionCost};
-pub use qmkp::{qmkp, QmkpCall, QmkpConfig, QmkpOutcome};
-pub use qtkp::{qtkp, MEstimate, QtkpConfig, QtkpOutcome, SectionTimes};
+pub use qmkp::{qmkp, qmkp_ctx, QmkpCall, QmkpCheckpoint, QmkpConfig, QmkpOutcome};
+pub use qtkp::{qtkp, qtkp_ctx, MEstimate, QtkpConfig, QtkpOutcome, SectionTimes};

@@ -4,9 +4,13 @@
 //! half the optimum).
 
 use crate::grover::SectionTimes;
-use crate::qtkp::{qtkp, QtkpConfig};
+use crate::qtkp::{qtkp_ctx, QtkpConfig};
 use qmkp_graph::reduce::auto_reduce;
 use qmkp_graph::{Graph, VertexSet};
+use qmkp_obs::json;
+use qmkp_qsim::{BackendState, SparseState};
+use qmkp_rt::checkpoint::{parse_object, require, require_u64};
+use qmkp_rt::{Checkpoint, Interrupted, RtContext, RtError};
 use std::time::{Duration, Instant};
 
 /// Configuration for a qMKP run.
@@ -61,31 +65,216 @@ pub struct QmkpOutcome {
     pub qubits: usize,
 }
 
+/// A resumable position inside the qMKP binary search, taken at probe
+/// boundaries. Because every qTKP probe reseeds its RNG from the
+/// configuration, resuming from a checkpoint replays the remaining probes
+/// bit-identically to an uninterrupted run (wall-clock fields aside).
+#[derive(Debug, Clone)]
+pub struct QmkpCheckpoint {
+    /// The `k` the search was started with (resume guard).
+    pub k: usize,
+    /// Lower bound of the open `[lo, hi]` threshold interval.
+    pub lo: usize,
+    /// Upper bound of the interval.
+    pub hi: usize,
+    /// Best witness found so far (original vertex ids).
+    pub best: VertexSet,
+    /// Probes completed so far.
+    pub calls: Vec<QmkpCall>,
+    /// First feasible solution and when it arrived.
+    pub first_result: Option<(VertexSet, Duration)>,
+    /// Error probability of the probe establishing the current best.
+    pub error_probability: f64,
+    /// Grover iterations spent so far.
+    pub total_iterations: usize,
+    /// Maximum circuit width over completed probes.
+    pub qubits: usize,
+}
+
+fn bits_hex(s: VertexSet) -> String {
+    format!("{:x}", s.bits())
+}
+
+fn set_from_hex(j: &json::Json, field: &str) -> Result<VertexSet, RtError> {
+    let raw = j.as_str().ok_or_else(|| {
+        RtError::InvalidConfig(format!("checkpoint: field `{field}` is not a string"))
+    })?;
+    u128::from_str_radix(raw, 16)
+        .map(VertexSet::from_bits)
+        .map_err(|_| RtError::InvalidConfig(format!("checkpoint: field `{field}` is not hex")))
+}
+
+impl Checkpoint for QmkpCheckpoint {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"k\": {}", self.k));
+        out.push_str(&format!(", \"lo\": {}", self.lo));
+        out.push_str(&format!(", \"hi\": {}", self.hi));
+        out.push_str(&format!(
+            ", \"best\": {}",
+            json::quote(&bits_hex(self.best))
+        ));
+        // f64 round-trips exactly via its bit pattern, not via decimal.
+        out.push_str(&format!(
+            ", \"error_probability_bits\": \"{:x}\"",
+            self.error_probability.to_bits()
+        ));
+        out.push_str(&format!(
+            ", \"total_iterations\": {}",
+            self.total_iterations
+        ));
+        out.push_str(&format!(", \"qubits\": {}", self.qubits));
+        match self.first_result {
+            Some((s, d)) => out.push_str(&format!(
+                ", \"first_result\": {{\"set\": {}, \"elapsed_ns\": {}}}",
+                json::quote(&bits_hex(s)),
+                d.as_nanos().min(u128::from(u64::MAX))
+            )),
+            None => out.push_str(", \"first_result\": null"),
+        }
+        out.push_str(", \"calls\": [");
+        for (i, c) in self.calls.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let found = match c.found {
+                Some(s) => json::quote(&bits_hex(s)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"t\": {}, \"found\": {}, \"iterations\": {}, \"m\": {}, \"elapsed_ns\": {}}}",
+                c.t,
+                found,
+                c.iterations,
+                c.m,
+                c.elapsed.as_nanos().min(u128::from(u64::MAX))
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn from_json(s: &str) -> Result<Self, RtError> {
+        let obj = parse_object(s)?;
+        let err_bits = require(&obj, "error_probability_bits")?;
+        let err_bits = err_bits.as_str().ok_or_else(|| {
+            RtError::InvalidConfig("checkpoint: error_probability_bits is not a string".into())
+        })?;
+        let error_probability = u64::from_str_radix(err_bits, 16)
+            .map(f64::from_bits)
+            .map_err(|_| {
+                RtError::InvalidConfig("checkpoint: error_probability_bits is not hex".into())
+            })?;
+        let first_result = match require(&obj, "first_result")? {
+            json::Json::Null => None,
+            fr => Some((
+                set_from_hex(require(fr, "set")?, "first_result.set")?,
+                Duration::from_nanos(require_u64(fr, "elapsed_ns")?),
+            )),
+        };
+        let calls_json = require(&obj, "calls")?
+            .as_array()
+            .ok_or_else(|| RtError::InvalidConfig("checkpoint: calls is not an array".into()))?;
+        let mut calls = Vec::with_capacity(calls_json.len());
+        for c in calls_json {
+            let found = match require(c, "found")? {
+                json::Json::Null => None,
+                f => Some(set_from_hex(f, "calls.found")?),
+            };
+            calls.push(QmkpCall {
+                t: require_u64(c, "t")? as usize,
+                found,
+                iterations: require_u64(c, "iterations")? as usize,
+                m: require_u64(c, "m")?,
+                elapsed: Duration::from_nanos(require_u64(c, "elapsed_ns")?),
+            });
+        }
+        Ok(QmkpCheckpoint {
+            k: require_u64(&obj, "k")? as usize,
+            lo: require_u64(&obj, "lo")? as usize,
+            hi: require_u64(&obj, "hi")? as usize,
+            best: set_from_hex(require(&obj, "best")?, "best")?,
+            calls,
+            first_result,
+            error_probability,
+            total_iterations: require_u64(&obj, "total_iterations")? as usize,
+            qubits: require_u64(&obj, "qubits")? as usize,
+        })
+    }
+}
+
 /// Runs qMKP: find a maximum k-plex of `g`.
+///
+/// Legacy infallible surface on the sparse backend; budget-aware callers
+/// use [`qmkp_ctx`].
+///
+/// # Panics
+/// Panics if the graph is empty, `k == 0`, or the configuration is
+/// invalid (see [`QtkpConfig::validate`]).
+pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
+    qmkp_ctx::<SparseState>(g, k, config, &RtContext::unlimited(), None)
+        .map_err(|i| i.error)
+        .expect("unlimited context: only invalid configuration can fail")
+}
+
+/// Runs qMKP under an execution-runtime context, on an explicit backend.
+///
+/// The binary search is interruptible at probe boundaries: when the
+/// budget runs out, cancellation is requested, or the `core.qmkp.probe`
+/// failpoint fires, the function returns [`Interrupted`] carrying both
+/// the structured reason and a [`QmkpCheckpoint`] from which
+/// `qmkp_ctx(..., Some(&checkpoint))` resumes bit-identically (every
+/// probe reseeds from the configuration, so no RNG state needs saving).
+///
+/// # Errors
+/// [`Interrupted`] pairing the [`RtError`] with the resume checkpoint;
+/// for a rejected configuration the checkpoint is the initial position.
 ///
 /// # Panics
 /// Panics if the graph is empty or `k == 0`.
-pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
+pub fn qmkp_ctx<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    config: &QmkpConfig,
+    ctx: &RtContext,
+    resume: Option<&QmkpCheckpoint>,
+) -> Result<QmkpOutcome, Interrupted<QmkpCheckpoint>> {
     assert!(g.n() > 0, "graph must be non-empty");
     assert!(k >= 1, "k must be ≥ 1");
     let span = qmkp_obs::span("core.qmkp.run");
+    let result = qmkp_ctx_inner::<S>(g, k, config, ctx, resume);
+    span.finish();
+    result
+}
+
+fn qmkp_ctx_inner<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    config: &QmkpConfig,
+    ctx: &RtContext,
+    resume: Option<&QmkpCheckpoint>,
+) -> Result<QmkpOutcome, Interrupted<QmkpCheckpoint>> {
     let start = Instant::now();
 
     // Optional classical reduction (paper: "running qMKP on a reduced
-    // graph does not affect its ability to find a solution").
-    let (search_graph, vmap, mut best, mut lo): (Graph, Vec<usize>, VertexSet, usize) =
+    // graph does not affect its ability to find a solution"). Recomputed
+    // deterministically on resume — only the search trajectory is saved.
+    let (search, mut best, mut lo): (Option<(Graph, Vec<usize>)>, VertexSet, usize) =
         if config.use_reduction {
             let (red, witness) = auto_reduce(g, k);
             if red.kept.is_empty() {
                 // Nothing can beat the witness.
-                (Graph::new(0).unwrap(), Vec::new(), witness, usize::MAX)
+                (None, witness, usize::MAX)
             } else {
                 let (sub, map) = g.induced(red.kept);
-                (sub, map, witness, witness.len().max(1))
+                (Some((sub, map)), witness, witness.len().max(1))
             }
         } else {
-            let v0 = VertexSet::singleton(0);
-            (g.clone(), (0..g.n()).collect(), v0, 1)
+            (
+                Some((g.clone(), (0..g.n()).collect())),
+                VertexSet::singleton(0),
+                1,
+            )
         };
 
     let mut calls = Vec::new();
@@ -94,19 +283,101 @@ pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
     let mut error_probability: f64 = 0.0;
     let mut total_iterations = 0usize;
     let mut qubits = 0;
+    let mut hi = search.as_ref().map(|(sg, _)| sg.n()).unwrap_or(0);
 
-    if !vmap.is_empty() {
-        let mut hi = search_graph.n();
+    if let Some(cp) = resume {
+        if cp.k != k {
+            return Err(Interrupted::new(
+                RtError::InvalidConfig(format!(
+                    "checkpoint was taken for k = {}, resumed with k = {k}",
+                    cp.k
+                )),
+                cp.clone(),
+            ));
+        }
+        lo = cp.lo;
+        hi = cp.hi;
+        best = cp.best;
+        calls = cp.calls.clone();
+        first_result = cp.first_result;
+        error_probability = cp.error_probability;
+        total_iterations = cp.total_iterations;
+        qubits = cp.qubits;
+    }
+
+    let snapshot = |lo: usize,
+                    hi: usize,
+                    best: VertexSet,
+                    calls: &[QmkpCall],
+                    first_result: Option<(VertexSet, Duration)>,
+                    error_probability: f64,
+                    total_iterations: usize,
+                    qubits: usize| QmkpCheckpoint {
+        k,
+        lo,
+        hi,
+        best,
+        calls: calls.to_vec(),
+        first_result,
+        error_probability,
+        total_iterations,
+        qubits,
+    };
+
+    if let Err(e) = config.qtkp.validate() {
+        return Err(Interrupted::new(
+            e,
+            snapshot(
+                lo,
+                hi,
+                best,
+                &calls,
+                first_result,
+                error_probability,
+                total_iterations,
+                qubits,
+            ),
+        ));
+    }
+
+    if let Some((search_graph, vmap)) = &search {
         while lo <= hi {
+            let interrupted = qmkp_rt::failpoint::check("core.qmkp.probe")
+                .and_then(|()| ctx.check())
+                .err();
             let t = usize::midpoint(lo, hi);
-            let probe_span = qmkp_obs::span_dyn(|| format!("core.qmkp.probe[t={t}]"));
-            qmkp_obs::counter("core.qmkp.probes", 1);
-            let out = qtkp(&search_graph, k, t, &config.qtkp);
-            probe_span.finish();
+            let probe = match interrupted {
+                Some(e) => Err(e),
+                None => {
+                    let probe_span = qmkp_obs::span_dyn(|| format!("core.qmkp.probe[t={t}]"));
+                    qmkp_obs::counter("core.qmkp.probes", 1);
+                    let out = qtkp_ctx::<S>(search_graph, k, t, &config.qtkp, ctx);
+                    probe_span.finish();
+                    out
+                }
+            };
+            let out = match probe {
+                Ok(out) => out,
+                Err(e) => {
+                    return Err(Interrupted::new(
+                        e,
+                        snapshot(
+                            lo,
+                            hi,
+                            best,
+                            &calls,
+                            first_result,
+                            error_probability,
+                            total_iterations,
+                            qubits,
+                        ),
+                    ))
+                }
+            };
             times.merge(&out.times);
             qubits = qubits.max(out.qubits);
             total_iterations += out.iterations;
-            let found_original = out.result.map(|s| remap(s, &vmap));
+            let found_original = out.result.map(|s| remap(s, vmap));
             calls.push(QmkpCall {
                 t,
                 found: found_original,
@@ -142,8 +413,7 @@ pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
         qmkp_obs::gauge("core.qmkp.qubits", qubits as f64);
         qmkp_obs::gauge("core.qmkp.error_probability", error_probability);
     }
-    span.finish();
-    QmkpOutcome {
+    Ok(QmkpOutcome {
         best,
         calls,
         first_result,
@@ -152,7 +422,7 @@ pub fn qmkp(g: &Graph, k: usize, config: &QmkpConfig) -> QmkpOutcome {
         total_iterations,
         total_elapsed: start.elapsed(),
         qubits,
-    }
+    })
 }
 
 /// Maps a vertex set of the reduced/induced graph back to original ids.
@@ -286,5 +556,175 @@ mod tests {
                 assert!(p.len() >= call.t);
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly() {
+        let cp = QmkpCheckpoint {
+            k: 2,
+            lo: 3,
+            hi: 7,
+            best: VertexSet::from_iter([0, 2, 5]),
+            calls: vec![
+                QmkpCall {
+                    t: 4,
+                    found: Some(VertexSet::from_iter([1, 3])),
+                    iterations: 9,
+                    m: 12,
+                    elapsed: Duration::from_nanos(1234),
+                },
+                QmkpCall {
+                    t: 6,
+                    found: None,
+                    iterations: 3,
+                    m: 0,
+                    elapsed: Duration::from_nanos(99),
+                },
+            ],
+            first_result: Some((VertexSet::from_iter([1, 3]), Duration::from_nanos(777))),
+            error_probability: 0.123_456_789_f64,
+            total_iterations: 12,
+            qubits: 31,
+        };
+        let back = QmkpCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back.k, cp.k);
+        assert_eq!(back.lo, cp.lo);
+        assert_eq!(back.hi, cp.hi);
+        assert_eq!(back.best, cp.best);
+        assert_eq!(back.first_result, cp.first_result);
+        assert_eq!(
+            back.error_probability.to_bits(),
+            cp.error_probability.to_bits()
+        );
+        assert_eq!(back.total_iterations, cp.total_iterations);
+        assert_eq!(back.qubits, cp.qubits);
+        assert_eq!(back.calls.len(), cp.calls.len());
+        for (a, b) in back.calls.iter().zip(&cp.calls) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.found, b.found);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.m, b.m);
+            assert_eq!(a.elapsed, b.elapsed);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_payloads() {
+        assert!(matches!(
+            QmkpCheckpoint::from_json("not json"),
+            Err(RtError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            QmkpCheckpoint::from_json("{\"k\": 1}"),
+            Err(RtError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_with_checkpoint() {
+        let g = paper_fig1_graph();
+        let config = QmkpConfig {
+            qtkp: QtkpConfig {
+                max_attempts: 0,
+                ..QtkpConfig::default()
+            },
+            ..QmkpConfig::default()
+        };
+        let err = qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), None)
+            .expect_err("max_attempts = 0 must be rejected");
+        assert!(matches!(err.error, RtError::InvalidConfig(ref m) if m.contains("max_attempts")));
+    }
+
+    #[test]
+    fn cancellation_yields_resumable_checkpoint() {
+        use qmkp_rt::{Budget, CancelToken};
+        let g = paper_fig1_graph();
+        let config = QmkpConfig::default();
+        let ctx = RtContext::new(Budget::unlimited(), CancelToken::cancel_after_checks(0));
+        let err = qmkp_ctx::<SparseState>(&g, 2, &config, &ctx, None)
+            .expect_err("first poll is cancelled");
+        assert_eq!(err.error, RtError::Cancelled);
+        assert!(err.checkpoint.calls.is_empty());
+
+        // Resuming the checkpoint under an unlimited context yields the
+        // same outcome as an uninterrupted run.
+        let resumed = qmkp_ctx::<SparseState>(
+            &g,
+            2,
+            &config,
+            &RtContext::unlimited(),
+            Some(&err.checkpoint),
+        )
+        .unwrap();
+        let straight = qmkp(&g, 2, &config);
+        assert_eq!(resumed.best, straight.best);
+        assert_eq!(resumed.total_iterations, straight.total_iterations);
+    }
+
+    #[test]
+    fn mid_search_resume_is_bit_identical() {
+        use qmkp_rt::{Budget, CancelToken};
+        let g = gnm(8, 13, 1).unwrap();
+        let config = QmkpConfig::default();
+        let straight = qmkp(&g, 2, &config);
+        assert!(straight.calls.len() >= 2, "need a multi-probe search");
+
+        // The fuse counts every runtime poll (including the simulator's
+        // per-chunk ones), so these land at assorted points inside and
+        // between probes. Wherever the cut falls, the checkpoint holds the
+        // last probe boundary and resuming from its JSON round-trip must
+        // replay the rest of the search bit-identically.
+        for fuse in [0u64, 1, 10, 1_000, 100_000, 10_000_000] {
+            let ctx = RtContext::new(Budget::unlimited(), CancelToken::cancel_after_checks(fuse));
+            let resumed = match qmkp_ctx::<SparseState>(&g, 2, &config, &ctx, None) {
+                Ok(out) => out, // fuse outlived the whole search
+                Err(err) => {
+                    assert_eq!(err.error, RtError::Cancelled, "fuse={fuse}");
+                    assert!(err.checkpoint.calls.len() < straight.calls.len());
+                    let cp = QmkpCheckpoint::from_json(&err.checkpoint.to_json()).unwrap();
+                    qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), Some(&cp))
+                        .unwrap()
+                }
+            };
+            assert_eq!(resumed.best, straight.best, "fuse={fuse}");
+            assert_eq!(
+                resumed.error_probability.to_bits(),
+                straight.error_probability.to_bits()
+            );
+            assert_eq!(resumed.total_iterations, straight.total_iterations);
+            assert_eq!(resumed.qubits, straight.qubits);
+            assert_eq!(resumed.calls.len(), straight.calls.len());
+            for (a, b) in resumed.calls.iter().zip(&straight.calls) {
+                assert_eq!(a.t, b.t);
+                assert_eq!(a.found, b.found);
+                assert_eq!(a.iterations, b.iterations);
+                assert_eq!(a.m, b.m);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_with_mismatched_k_is_rejected() {
+        let g = paper_fig1_graph();
+        let cp = QmkpCheckpoint {
+            k: 3,
+            lo: 1,
+            hi: 4,
+            best: VertexSet::singleton(0),
+            calls: Vec::new(),
+            first_result: None,
+            error_probability: 0.0,
+            total_iterations: 0,
+            qubits: 0,
+        };
+        let err = qmkp_ctx::<SparseState>(
+            &g,
+            2,
+            &QmkpConfig::default(),
+            &RtContext::unlimited(),
+            Some(&cp),
+        )
+        .expect_err("k mismatch must be rejected");
+        assert!(matches!(err.error, RtError::InvalidConfig(_)));
     }
 }

@@ -7,14 +7,26 @@
 //! retried, which is how the paper's `π²/(4I)²ᶜ` error amplification
 //! works).
 
-use crate::counting::{exact_solution_count, quantum_count, solutions};
+use crate::counting::{exact_solution_count, quantum_count_ctx, solutions};
 pub use crate::grover::SectionTimes;
 use crate::grover::{optimal_iterations, GroverDriver};
 use crate::oracle::{Oracle, OracleSectionCost};
 use qmkp_graph::{Graph, VertexSet};
+use qmkp_qsim::{BackendState, SimError, SparseState};
+use qmkp_rt::{RtContext, RtError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
+
+/// Folds a simulator error into the runtime taxonomy: interruptions pass
+/// through, anything else (compile/width errors on caller-built circuits)
+/// is a configuration problem.
+pub(crate) fn rt_from_sim(e: SimError) -> RtError {
+    match e {
+        SimError::Interrupted(rt) => rt,
+        other => RtError::InvalidConfig(format!("simulator: {other}")),
+    }
+}
 
 /// How qTKP obtains the marked-state count `M`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +78,32 @@ impl Default for QtkpConfig {
     }
 }
 
+impl QtkpConfig {
+    /// Validates the configuration, returning a structured error instead
+    /// of clamping or panicking: `max_attempts` must be at least 1, a BBHT
+    /// `lambda` must lie in `(1, 4/3]`, and a quantum-counting precision
+    /// must lie in `1..=20`.
+    ///
+    /// # Errors
+    /// [`RtError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), RtError> {
+        if self.max_attempts == 0 {
+            return Err(RtError::InvalidConfig(
+                "max_attempts must be at least 1".into(),
+            ));
+        }
+        match self.m_estimate {
+            MEstimate::Unknown { lambda } if !(lambda > 1.0 && lambda <= 4.0 / 3.0) => Err(
+                RtError::InvalidConfig(format!("lambda must be in (1, 4/3], got {lambda}")),
+            ),
+            MEstimate::QuantumCounting { precision } if !(1..=20).contains(&precision) => Err(
+                RtError::InvalidConfig(format!("precision must be in 1..=20, got {precision}")),
+            ),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// The result of a qTKP run.
 #[derive(Debug, Clone)]
 pub struct QtkpOutcome {
@@ -93,13 +131,53 @@ pub struct QtkpOutcome {
 
 /// Runs qTKP: search for a k-plex of size at least `t` in `g`.
 ///
+/// Legacy infallible surface on the sparse backend; budget-aware callers
+/// use [`qtkp_ctx`].
+///
+/// # Panics
+/// Panics on invalid `k` / `t` (see [`crate::layout::OracleLayout::new`])
+/// and on an invalid configuration (see [`QtkpConfig::validate`]).
+pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
+    qtkp_ctx::<SparseState>(g, k, t, config, &RtContext::unlimited())
+        .expect("unlimited context: only invalid configuration can fail")
+}
+
+/// Runs qTKP under an execution-runtime context, on an explicit backend
+/// (the sparse default, or the dense statevector for the degradation
+/// ladder's top rung). The configuration is validated up front; the
+/// context is polled at Grover-iteration granularity and charged per
+/// kernel section.
+///
+/// # Errors
+/// [`RtError::InvalidConfig`] for a rejected configuration, or the
+/// budget/cancellation/fault error that interrupted the run.
+///
 /// # Panics
 /// Panics on invalid `k` / `t` (see [`crate::layout::OracleLayout::new`]).
-pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
+pub fn qtkp_ctx<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    t: usize,
+    config: &QtkpConfig,
+    ctx: &RtContext,
+) -> Result<QtkpOutcome, RtError> {
+    config.validate()?;
     if let MEstimate::Unknown { lambda } = config.m_estimate {
-        return qtkp_unknown_m(g, k, t, config, lambda);
+        return qtkp_unknown_m_ctx::<S>(g, k, t, config, lambda, ctx);
     }
     let span = qmkp_obs::span("core.qtkp.run");
+    let result = qtkp_known_m_ctx::<S>(g, k, t, config, ctx);
+    span.finish();
+    result
+}
+
+fn qtkp_known_m_ctx<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    t: usize,
+    config: &QtkpConfig,
+    ctx: &RtContext,
+) -> Result<QtkpOutcome, RtError> {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let oracle = Oracle::new(g, k, t);
@@ -109,15 +187,17 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
 
     let true_m = exact_solution_count(&oracle);
     let m = match config.m_estimate {
-        MEstimate::Exact => true_m,
         MEstimate::Given(m) => m,
-        MEstimate::QuantumCounting { precision } => quantum_count(n, true_m, precision, &mut rng),
-        MEstimate::Unknown { .. } => unreachable!("handled above"),
+        MEstimate::QuantumCounting { precision } => {
+            quantum_count_ctx(n, true_m, precision, &mut rng, ctx)?
+        }
+        // Exact; Unknown was dispatched to the BBHT path by the caller.
+        _ => true_m,
     };
 
     let iterations = optimal_iterations(n, m);
-    let mut driver = GroverDriver::new(oracle);
-    driver.iterate_n(iterations);
+    let mut driver = GroverDriver::<_, S>::try_new_ctx(oracle, ctx).map_err(rt_from_sim)?;
+    driver.iterate_n_ctx(iterations, ctx).map_err(rt_from_sim)?;
 
     let sols = solutions(driver.oracle());
     let success_probability = if sols.is_empty() {
@@ -128,7 +208,7 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
 
     let mut measured = Vec::new();
     let mut result = None;
-    for _ in 0..config.max_attempts.max(1) {
+    for _ in 0..config.max_attempts {
         let s = driver.measure(&mut rng);
         measured.push(s);
         qmkp_obs::counter("core.qtkp.attempts", 1);
@@ -144,8 +224,7 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
         qmkp_obs::gauge("core.qtkp.qubits", qubits as f64);
         qmkp_obs::gauge("core.qtkp.success_probability", success_probability);
     }
-    span.finish();
-    QtkpOutcome {
+    Ok(QtkpOutcome {
         result,
         measured,
         iterations,
@@ -156,7 +235,7 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
         oracle_cost,
         elapsed: start.elapsed(),
         qubits,
-    }
+    })
 }
 
 /// The Boyer-Brassard-Høyer-Tapp search: no `M` required. Round `l` runs
@@ -165,67 +244,78 @@ pub fn qtkp(g: &Graph, k: usize, t: usize, config: &QtkpConfig) -> QtkpOutcome {
 /// the instance is declared infeasible (`∅`). On a fault-free simulator
 /// the only false-negative source is the probabilistic cutoff, whose
 /// failure probability is exponentially small for feasible instances.
-fn qtkp_unknown_m(g: &Graph, k: usize, t: usize, config: &QtkpConfig, lambda: f64) -> QtkpOutcome {
-    assert!(
-        lambda > 1.0 && lambda <= 4.0 / 3.0,
-        "lambda must be in (1, 4/3]"
-    );
+///
+/// The context is polled once per BBHT round in addition to the
+/// per-iteration polls inside the driver.
+fn qtkp_unknown_m_ctx<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    t: usize,
+    config: &QtkpConfig,
+    lambda: f64,
+    ctx: &RtContext,
+) -> Result<QtkpOutcome, RtError> {
     let span = qmkp_obs::span("core.qtkp.run");
-    let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let oracle = Oracle::new(g, k, t);
-    let qubits = oracle.layout.width;
-    let oracle_cost = oracle.section_cost();
-    let n = oracle.layout.n;
-    let sqrt_n = (1u128 << n) as f64;
-    let sqrt_n = sqrt_n.sqrt();
-    let budget = (3.0 * sqrt_n).ceil() as usize + n;
+    let result = (|| {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let oracle = Oracle::new(g, k, t);
+        let qubits = oracle.layout.width;
+        let oracle_cost = oracle.section_cost();
+        let n = oracle.layout.n;
+        let sqrt_n = (1u128 << n) as f64;
+        let sqrt_n = sqrt_n.sqrt();
+        let budget = (3.0 * sqrt_n).ceil() as usize + n;
 
-    let mut measured = Vec::new();
-    let mut result = None;
-    let mut spent = 0usize;
-    let mut bound = 1.0f64;
-    let mut iterations = 0usize;
-    let mut times = SectionTimes::default();
-    let mut success_probability = 0.0;
+        let mut measured = Vec::new();
+        let mut result = None;
+        let mut spent = 0usize;
+        let mut bound = 1.0f64;
+        let mut iterations = 0usize;
+        let mut times = SectionTimes::default();
+        let mut success_probability = 0.0;
 
-    while spent <= budget {
-        let j = (rng.gen::<f64>() * bound.min(sqrt_n)).floor() as usize;
-        let mut driver = GroverDriver::new(oracle.clone());
-        driver.iterate_n(j);
-        spent += j.max(1);
-        iterations += j;
-        let s = driver.measure(&mut rng);
-        measured.push(s);
-        qmkp_obs::counter("core.qtkp.attempts", 1);
-        times.merge(driver.times());
-        if oracle.predicate(s) {
-            let sols = solutions(&oracle);
-            success_probability = driver.probability_of_sets(&sols);
-            result = Some(s);
-            break;
+        while spent <= budget {
+            ctx.check()?;
+            let j = (rng.gen::<f64>() * bound.min(sqrt_n)).floor() as usize;
+            let mut driver =
+                GroverDriver::<_, S>::try_new_ctx(oracle.clone(), ctx).map_err(rt_from_sim)?;
+            driver.iterate_n_ctx(j, ctx).map_err(rt_from_sim)?;
+            spent += j.max(1);
+            iterations += j;
+            let s = driver.measure(&mut rng);
+            measured.push(s);
+            qmkp_obs::counter("core.qtkp.attempts", 1);
+            times.merge(driver.times());
+            if oracle.predicate(s) {
+                let sols = solutions(&oracle);
+                success_probability = driver.probability_of_sets(&sols);
+                result = Some(s);
+                break;
+            }
+            bound *= lambda;
         }
-        bound *= lambda;
-    }
 
-    if qmkp_obs::enabled_for("core.qtkp") {
-        qmkp_obs::gauge("core.qtkp.iterations", iterations as f64);
-        qmkp_obs::gauge("core.qtkp.qubits", qubits as f64);
-        qmkp_obs::gauge("core.qtkp.success_probability", success_probability);
-    }
+        if qmkp_obs::enabled_for("core.qtkp") {
+            qmkp_obs::gauge("core.qtkp.iterations", iterations as f64);
+            qmkp_obs::gauge("core.qtkp.qubits", qubits as f64);
+            qmkp_obs::gauge("core.qtkp.success_probability", success_probability);
+        }
+        Ok(QtkpOutcome {
+            result,
+            measured,
+            iterations,
+            m: 0, // unknown by construction
+            success_probability,
+            error_probability: 1.0 - success_probability,
+            times,
+            oracle_cost,
+            elapsed: start.elapsed(),
+            qubits,
+        })
+    })();
     span.finish();
-    QtkpOutcome {
-        result,
-        measured,
-        iterations,
-        m: 0, // unknown by construction
-        success_probability,
-        error_probability: 1.0 - success_probability,
-        times,
-        oracle_cost,
-        elapsed: start.elapsed(),
-        qubits,
-    }
+    result
 }
 
 #[cfg(test)]

@@ -51,11 +51,21 @@ pub enum SimError {
     },
     /// Circuit compilation failed (see [`CompileError`]).
     Compile(CompileError),
+    /// The run was interrupted by the execution runtime: budget exhausted,
+    /// cancellation requested, or an injected fault fired (see
+    /// [`qmkp_rt::RtError`]).
+    Interrupted(qmkp_rt::RtError),
 }
 
 impl From<CompileError> for SimError {
     fn from(e: CompileError) -> Self {
         SimError::Compile(e)
+    }
+}
+
+impl From<qmkp_rt::RtError> for SimError {
+    fn from(e: qmkp_rt::RtError) -> Self {
+        SimError::Interrupted(e)
     }
 }
 
@@ -94,6 +104,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Compile(e) => write!(f, "compile error: {e}"),
+            SimError::Interrupted(e) => write!(f, "run interrupted: {e}"),
         }
     }
 }
@@ -138,5 +149,8 @@ mod tests {
                 .to_string()
                 .contains("compile error")
         );
+        assert!(SimError::from(qmkp_rt::RtError::Cancelled)
+            .to_string()
+            .contains("interrupted"));
     }
 }

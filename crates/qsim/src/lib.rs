@@ -44,7 +44,7 @@ pub use error::SimError;
 pub use gate::{Control, Gate};
 pub use measure::{collapse, measure_and_collapse, measure_and_collapse_dense};
 pub use register::{QubitAllocator, Register};
-pub use state::{DenseState, QuantumState, SparseState};
+pub use state::{BackendState, DenseState, QuantumState, SparseState, MAX_DENSE_QUBITS};
 pub use validate::{validate_circuit, validate_gate};
 
 /// Whether this build of the simulator was compiled with the `parallel`

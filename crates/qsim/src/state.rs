@@ -24,6 +24,7 @@ use crate::compile::{
 use crate::complex::Complex;
 use crate::error::SimError;
 use crate::gate::Gate;
+use qmkp_rt::RtContext;
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -88,6 +89,13 @@ pub trait QuantumState {
     /// own gauge names. The default reports nothing.
     fn trace_gauges(&self) {}
 
+    /// Number of nonzero amplitudes, when the backend tracks it cheaply.
+    /// `None` for the dense backend, whose support is implicit in the
+    /// width.
+    fn support_hint(&self) -> Option<usize> {
+        None
+    }
+
     /// The amplitude of a basis state.
     fn amplitude(&self, basis: u128) -> Complex;
 
@@ -142,6 +150,72 @@ pub trait QuantumState {
             for op in compiled.ops() {
                 self.apply_op(op);
             }
+        }
+        Ok(())
+    }
+
+    /// Runs a whole circuit through the compiled kernel path under an
+    /// execution-runtime context: see [`QuantumState::run_compiled_ctx`].
+    ///
+    /// # Errors
+    /// As [`QuantumState::run`], plus [`SimError::Interrupted`] when the
+    /// context's budget is exhausted, cancellation is requested, or an
+    /// injected fault fires.
+    fn run_ctx(&mut self, circuit: &Circuit, ctx: &RtContext) -> Result<(), SimError> {
+        self.run_compiled_ctx(&CompiledCircuit::compile(circuit)?, ctx)
+    }
+
+    /// Runs an already-compiled circuit under an execution-runtime
+    /// context. Identical numerics to [`QuantumState::run_compiled`], but
+    /// the state's footprint is admitted against the byte ceiling before
+    /// the first pass and every kernel op is charged against the op
+    /// budget, polls cancellation, and consults the `qsim.run.op`
+    /// failpoint — interruption lands between ops, never inside a pass,
+    /// so the state stays structurally valid (though mid-circuit).
+    ///
+    /// # Errors
+    /// As [`QuantumState::run_compiled`], plus [`SimError::Interrupted`]
+    /// carrying the structured [`qmkp_rt::RtError`].
+    fn run_compiled_ctx(
+        &mut self,
+        compiled: &CompiledCircuit,
+        ctx: &RtContext,
+    ) -> Result<(), SimError> {
+        if compiled.width() != self.width() {
+            return Err(SimError::WidthMismatch {
+                expected: self.width(),
+                actual: compiled.width(),
+            });
+        }
+        ctx.admit_bytes(self.memory_bytes())?;
+        let traced = qmkp_obs::enabled_for("qsim.kernel");
+        if let Some(ops) = compiled.narrow_ops() {
+            for op in ops {
+                qmkp_rt::failpoint::check("qsim.run.op")?;
+                ctx.charge_ops(1)?;
+                if traced {
+                    let start = std::time::Instant::now();
+                    self.apply_op64(op);
+                    qmkp_obs::observe(kernel_kind(op), start.elapsed());
+                } else {
+                    self.apply_op64(op);
+                }
+            }
+        } else {
+            for op in compiled.ops() {
+                qmkp_rt::failpoint::check("qsim.run.op")?;
+                ctx.charge_ops(1)?;
+                if traced {
+                    let start = std::time::Instant::now();
+                    self.apply_op(op);
+                    qmkp_obs::observe(kernel_kind(op), start.elapsed());
+                } else {
+                    self.apply_op(op);
+                }
+            }
+        }
+        if traced {
+            self.trace_gauges();
         }
         Ok(())
     }
@@ -223,6 +297,39 @@ pub trait QuantumState {
             *counts.entry(chosen).or_insert(0) += 1;
         }
         counts
+    }
+}
+
+/// Backend-generic construction, letting budget-aware drivers pick where
+/// the state lives (the degradation ladder constructs dense, then sparse,
+/// through this one interface).
+pub trait BackendState: QuantumState + Sized {
+    /// Failpoint site consulted by [`BackendState::zero_budgeted`] before
+    /// allocating.
+    const ALLOC_SITE: &'static str;
+
+    /// `|0…0⟩` over `width` qubits.
+    ///
+    /// # Errors
+    /// Fails when the backend cannot represent the width.
+    fn try_zero(width: usize) -> Result<Self, SimError>;
+
+    /// Projected heap footprint of a fresh zero state of `width` qubits,
+    /// saturating at `usize::MAX` for widths the backend cannot hold.
+    fn projected_bytes(width: usize) -> usize;
+
+    /// Budget-checked constructor: consults the backend's allocation
+    /// failpoint and admits the projected footprint against the context's
+    /// byte ceiling *before* allocating, so an over-budget dense request
+    /// is rejected without touching the allocator.
+    ///
+    /// # Errors
+    /// [`SimError::Interrupted`] on budget rejection or injected fault,
+    /// or the backend's own width error.
+    fn zero_budgeted(width: usize, ctx: &RtContext) -> Result<Self, SimError> {
+        qmkp_rt::failpoint::check(Self::ALLOC_SITE)?;
+        ctx.admit_bytes(Self::projected_bytes(width))?;
+        Self::try_zero(width)
     }
 }
 
@@ -388,6 +495,21 @@ impl DenseState {
             }
         }
         butterfly(&mut self.amps);
+    }
+}
+
+impl BackendState for DenseState {
+    const ALLOC_SITE: &'static str = "qsim.dense.alloc";
+
+    fn try_zero(width: usize) -> Result<Self, SimError> {
+        DenseState::zero(width)
+    }
+
+    fn projected_bytes(width: usize) -> usize {
+        1usize
+            .checked_shl(width as u32)
+            .and_then(|amps| amps.checked_mul(std::mem::size_of::<Complex>()))
+            .unwrap_or(usize::MAX)
     }
 }
 
@@ -1027,6 +1149,26 @@ impl SparseState {
     }
 }
 
+impl BackendState for SparseState {
+    const ALLOC_SITE: &'static str = "qsim.sparse.alloc";
+
+    fn try_zero(width: usize) -> Result<Self, SimError> {
+        if width > 128 {
+            return Err(SimError::QubitOutOfRange {
+                qubit: width - 1,
+                width: 128,
+            });
+        }
+        Ok(SparseState::zero(width))
+    }
+
+    fn projected_bytes(_width: usize) -> usize {
+        // A fresh zero state stores one amplitude; support growth during a
+        // run is the caller's preflight estimate, not an allocation here.
+        std::mem::size_of::<(u128, Complex)>()
+    }
+}
+
 impl QuantumState for SparseState {
     fn width(&self) -> usize {
         self.width
@@ -1084,6 +1226,10 @@ impl QuantumState for SparseState {
             Repr::Narrow(c) => c.memory_bytes(),
             Repr::Wide(c) => c.memory_bytes(),
         }
+    }
+
+    fn support_hint(&self) -> Option<usize> {
+        Some(self.support_size())
     }
 
     fn trace_gauges(&self) {
@@ -1594,5 +1740,81 @@ mod tests {
         let entry = std::mem::size_of::<(u128, Complex)>();
         assert_eq!(entry, 32);
         assert_eq!(wide.memory_bytes() % entry, 0);
+    }
+
+    fn h_layer(width: usize) -> Circuit {
+        let mut c = Circuit::new(width);
+        for q in 0..width {
+            c.push(Gate::H(q)).expect("in-range qubit");
+        }
+        c
+    }
+
+    #[test]
+    fn run_ctx_matches_run_under_unlimited_budget() {
+        let circuit = h_layer(5);
+        let mut plain = SparseState::zero(5);
+        plain.run(&circuit).expect("plain run");
+        let mut budgeted = SparseState::zero(5);
+        let ctx = RtContext::unlimited();
+        budgeted.run_ctx(&circuit, &ctx).expect("budgeted run");
+        assert_eq!(plain.nonzero(), budgeted.nonzero());
+        assert!(ctx.ops_used() > 0, "kernel ops were charged");
+    }
+
+    #[test]
+    fn run_ctx_surfaces_op_budget_exhaustion() {
+        let circuit = h_layer(5);
+        let mut s = SparseState::zero(5);
+        let ctx = RtContext::with_budget(qmkp_rt::Budget::unlimited().with_max_ops(1));
+        let err = s.run_ctx(&circuit, &ctx).expect_err("budget must trip");
+        assert!(matches!(
+            err,
+            SimError::Interrupted(qmkp_rt::RtError::OpBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn run_ctx_observes_cancellation_between_ops() {
+        let circuit = h_layer(6);
+        let mut s = SparseState::zero(6);
+        let token = qmkp_rt::CancelToken::cancel_after_checks(0);
+        let ctx = RtContext::new(qmkp_rt::Budget::unlimited(), token);
+        let err = s.run_ctx(&circuit, &ctx).expect_err("cancel must trip");
+        assert!(matches!(
+            err,
+            SimError::Interrupted(qmkp_rt::RtError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn zero_budgeted_rejects_oversized_dense_states() {
+        let ctx = RtContext::with_budget(qmkp_rt::Budget::unlimited().with_max_bytes(1 << 10));
+        let err = DenseState::zero_budgeted(20, &ctx).expect_err("1 MiB state, 1 KiB budget");
+        assert!(matches!(
+            err,
+            SimError::Interrupted(qmkp_rt::RtError::MemoryBudget { .. })
+        ));
+        let ok = DenseState::zero_budgeted(4, &ctx).expect("tiny state fits");
+        assert_eq!(ok.width(), 4);
+        // Sparse zero states are a single entry and always admitted.
+        let s = SparseState::zero_budgeted(80, &ctx).expect("sparse zero fits");
+        assert_eq!(s.width(), 80);
+    }
+
+    #[test]
+    fn dense_projected_bytes_saturates_instead_of_overflowing() {
+        assert_eq!(DenseState::projected_bytes(3), 8 * 16);
+        assert_eq!(DenseState::projected_bytes(127), usize::MAX);
+        assert_eq!(DenseState::projected_bytes(200), usize::MAX);
+    }
+
+    #[test]
+    fn support_hint_is_sparse_only() {
+        let d = DenseState::zero(4).expect("dense");
+        assert_eq!(d.support_hint(), None);
+        let mut s = SparseState::zero(4);
+        s.apply(&Gate::H(0));
+        assert_eq!(s.support_hint(), Some(2));
     }
 }

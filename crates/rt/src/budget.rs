@@ -1,0 +1,131 @@
+//! Execution budgets: wall-clock deadline, byte ceiling, op ceiling.
+
+use std::time::Duration;
+
+/// What a single solve is allowed to cost. `None` in any dimension means
+/// unlimited; [`Budget::default`] is fully unlimited, so existing call
+/// sites pay nothing.
+///
+/// Environment knobs (read by [`Budget::from_env`], mirroring the
+/// `QMKP_OBS_*` conventions):
+///
+/// | Variable              | Effect                                   |
+/// |-----------------------|------------------------------------------|
+/// | `QMKP_RT_DEADLINE_MS` | Wall-clock deadline in milliseconds.     |
+/// | `QMKP_RT_MAX_BYTES`   | Ceiling on simulator state memory.       |
+/// | `QMKP_RT_MAX_OPS`     | Ceiling on compiled kernel ops executed. |
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline measured from [`crate::RtContext`] creation.
+    pub deadline: Option<Duration>,
+    /// Ceiling on bytes of simulator state admitted by preflight checks.
+    pub max_bytes: Option<usize>,
+    /// Ceiling on compiled kernel ops charged by the simulator passes.
+    pub max_ops: Option<u64>,
+}
+
+impl Budget {
+    /// No limits in any dimension.
+    pub const fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            max_bytes: None,
+            max_ops: None,
+        }
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the byte ceiling.
+    #[must_use]
+    pub fn with_max_bytes(mut self, bytes: usize) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the kernel-op ceiling.
+    #[must_use]
+    pub fn with_max_ops(mut self, ops: u64) -> Self {
+        self.max_ops = Some(ops);
+        self
+    }
+
+    /// Whether no dimension is limited.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_bytes.is_none() && self.max_ops.is_none()
+    }
+
+    /// Reads `QMKP_RT_DEADLINE_MS`, `QMKP_RT_MAX_BYTES` and
+    /// `QMKP_RT_MAX_OPS`. A malformed value warns once on stderr (naming
+    /// the variable and the value, like `Session::from_env` does for
+    /// `QMKP_OBS*`) and leaves that dimension unlimited.
+    pub fn from_env() -> Self {
+        Budget {
+            deadline: env_u64("QMKP_RT_DEADLINE_MS").map(Duration::from_millis),
+            max_bytes: env_u64("QMKP_RT_MAX_BYTES").map(|v| v as usize),
+            max_ops: env_u64("QMKP_RT_MAX_OPS"),
+        }
+    }
+}
+
+/// Parses an environment variable as a positive integer; malformed or
+/// zero values warn on stderr and are treated as unset (unlimited).
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(0) => {
+            eprintln!("warning: {var}={raw} is zero; treating the budget dimension as unlimited");
+            None
+        }
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: {var}={raw} is not a non-negative integer; ignoring it");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(Budget::default().is_unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn builders_set_each_dimension() {
+        let b = Budget::unlimited()
+            .with_deadline(Duration::from_millis(5))
+            .with_max_bytes(1 << 20)
+            .with_max_ops(1000);
+        assert_eq!(b.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(b.max_bytes, Some(1 << 20));
+        assert_eq!(b.max_ops, Some(1000));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn env_parsing_accepts_integers_and_rejects_garbage() {
+        // Process-global env: use distinct variable names per assertion to
+        // stay independent of test ordering.
+        std::env::set_var("QMKP_RT_TEST_OK", "1500");
+        assert_eq!(env_u64("QMKP_RT_TEST_OK"), Some(1500));
+        std::env::set_var("QMKP_RT_TEST_BAD", "soon");
+        assert_eq!(env_u64("QMKP_RT_TEST_BAD"), None);
+        std::env::set_var("QMKP_RT_TEST_ZERO", "0");
+        assert_eq!(env_u64("QMKP_RT_TEST_ZERO"), None);
+        assert_eq!(env_u64("QMKP_RT_TEST_UNSET"), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation handle. Layers poll [`CancelToken::is_cancelled`]
+/// at their natural granularity (kernel chunk, Grover iteration, annealing
+/// sweep); any clone calling [`CancelToken::cancel`] stops them all at the
+/// next poll.
+///
+/// For deterministic tests the token can carry a *fuse*:
+/// [`CancelToken::cancel_after_checks`] builds a token that fires itself on
+/// the `n`-th poll (0-based), which lets a property test interrupt a solver
+/// at every reachable cancellation point without timing races.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Remaining polls before self-cancellation; negative = disarmed.
+    fuse: AtomicI64,
+    /// Total polls observed (diagnostics; lets tests size fuse ranges).
+    checks: AtomicU64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            cancelled: AtomicBool::new(false),
+            fuse: AtomicI64::new(-1),
+            checks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CancelToken {
+    /// A live token that never fires on its own.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that cancels itself on poll number `n` (0-based): `n = 0`
+    /// fires on the very first check.
+    pub fn cancel_after_checks(n: u64) -> Self {
+        let t = CancelToken::default();
+        t.inner
+            .fuse
+            .store(n.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+        t
+    }
+
+    /// Requests cancellation; all clones observe it on their next poll.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Polls the token. Counts the check, burns the fuse if armed, and
+    /// returns whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.checks.fetch_add(1, Ordering::Relaxed);
+        if self.inner.fuse.load(Ordering::Relaxed) >= 0
+            && self.inner.fuse.fetch_sub(1, Ordering::Relaxed) == 0
+        {
+            self.cancel();
+        }
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Whether cancellation has been requested, without counting a poll
+    /// or burning the fuse.
+    pub fn peek(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Total polls observed so far across all clones.
+    pub fn checks_observed(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.peek());
+        assert_eq!(t.checks_observed(), 1);
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.peek());
+    }
+
+    #[test]
+    fn fuse_fires_on_the_nth_check() {
+        let t = CancelToken::cancel_after_checks(2);
+        assert!(!t.is_cancelled()); // check 0
+        assert!(!t.is_cancelled()); // check 1
+        assert!(t.is_cancelled()); // check 2 fires
+        assert!(t.is_cancelled()); // and stays fired
+        assert_eq!(t.checks_observed(), 4);
+    }
+
+    #[test]
+    fn zero_fuse_fires_immediately() {
+        let t = CancelToken::cancel_after_checks(0);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn peek_does_not_burn_the_fuse() {
+        let t = CancelToken::cancel_after_checks(0);
+        assert!(!t.peek());
+        assert!(t.is_cancelled());
+    }
+}

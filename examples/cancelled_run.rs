@@ -1,0 +1,77 @@
+//! A budgeted, cancelled, degraded qMKP run — the runtime quickstart.
+//!
+//! ```sh
+//! cargo run --example cancelled_run                          # plain
+//! QMKP_OBS=1 cargo run --example cancelled_run               # + summary
+//! QMKP_OBS_JSON=trace.jsonl cargo run --example cancelled_run
+//! QMKP_RT_MAX_OPS=50 cargo run --example cancelled_run       # tighter still
+//! ```
+//!
+//! Three runs over the Figure 1 graph:
+//! 1. a run cancelled from a clone of its token mid-search, showing the
+//!    checkpoint that survives;
+//! 2. the same search resumed from that checkpoint to completion;
+//! 3. a byte-budgeted `solve` that degrades to the classical floor.
+//!
+//! CI runs this with `QMKP_OBS_JSON` set and validates the emitted trace
+//! with the `obs_validate` bin.
+
+use qmkp::core::{qmkp_ctx, QmkpCheckpoint, QmkpConfig};
+use qmkp::obs::Session;
+use qmkp::qsim::SparseState;
+use qmkp::rt::{Budget, CancelToken, Checkpoint, RtContext};
+use qmkp::solve::{solve, SolveConfig};
+
+fn main() {
+    let session = Session::from_env("cancelled_run");
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let k = 2;
+    let config = QmkpConfig::default();
+
+    // 1. Cancel mid-search. The deterministic fuse stands in for a user
+    //    pressing ^C from another thread via a clone of the token.
+    let token = CancelToken::cancel_after_checks(25);
+    let ctx = RtContext::new(Budget::from_env(), token);
+    let interrupted = qmkp_ctx::<SparseState>(&g, k, &config, &ctx, None)
+        .expect_err("the fuse fires inside the search");
+    println!(
+        "cancelled: {} after {} probes; checkpoint: {} bytes of JSON",
+        interrupted.error,
+        interrupted.checkpoint.calls.len(),
+        interrupted.checkpoint.to_json().len()
+    );
+
+    // 2. Resume from the serialized checkpoint; the result is identical
+    //    to an uninterrupted run because each probe reseeds from config.
+    let restored = QmkpCheckpoint::from_json(&interrupted.checkpoint.to_json())
+        .expect("round-trip of our own checkpoint");
+    let resumed = qmkp_ctx::<SparseState>(&g, k, &config, &RtContext::unlimited(), Some(&restored))
+        .expect("unlimited context cannot be interrupted");
+    println!(
+        "resumed:   max {k}-plex {:?} (size {})",
+        resumed.best.iter().collect::<Vec<_>>(),
+        resumed.best.len()
+    );
+
+    // 3. A byte budget far below the sparse state's needs: the ladder
+    //    degrades to the classical floor and still answers.
+    let tight = RtContext::with_budget(Budget::unlimited().with_max_bytes(1024));
+    let degraded =
+        solve(&g, k, &SolveConfig::default(), &tight).expect("degradation absorbs budget errors");
+    println!(
+        "degraded:  backend {} found size {} (degraded = {})",
+        degraded.backend.name(),
+        degraded.best.len(),
+        degraded.degraded
+    );
+
+    session.finish_with(
+        degraded
+            .report("cancelled_run")
+            .config("graph", "paper_fig1_graph")
+            .config("n", g.n())
+            .config("k", k)
+            .outcome("resumed_best_size", resumed.best.len())
+            .outcome("cancelled_probes", interrupted.checkpoint.calls.len()),
+    );
+}

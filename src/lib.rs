@@ -14,6 +14,12 @@
 //! * [`classical`] — classical exact baselines (naive, BnB, BS).
 //! * [`obs`] — structured tracing, metrics, and run reports
 //!   (`QMKP_OBS=1` for a summary, `QMKP_OBS_JSON=path` for a JSONL trace).
+//! * [`rt`] — the execution runtime: budgets, cooperative cancellation,
+//!   retries, checkpoint/resume, deterministic fault injection
+//!   (`QMKP_RT_DEADLINE_MS` / `QMKP_RT_MAX_BYTES` / `QMKP_RT_MAX_OPS`).
+//! * [`mod@solve`] — the budgeted degradation ladder:
+//!   dense → sparse → classical, `degraded = true` when the quantum
+//!   pipeline does not fit the budget.
 //!
 //! ## Quickstart
 //!
@@ -29,6 +35,8 @@
 
 #![deny(unsafe_code)]
 #![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
+pub mod solve;
+
 pub use qmkp_annealer as annealer;
 pub use qmkp_arith as arith;
 pub use qmkp_classical as classical;
@@ -38,3 +46,6 @@ pub use qmkp_milp as milp;
 pub use qmkp_obs as obs;
 pub use qmkp_qsim as qsim;
 pub use qmkp_qubo as qubo;
+pub use qmkp_rt as rt;
+
+pub use solve::{solve, SolveBackend, SolveConfig, SolveOutcome};

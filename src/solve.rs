@@ -1,0 +1,352 @@
+//! The degradation ladder: budgeted end-to-end solving.
+//!
+//! The quantum pipeline is memory-hungry (a dense statevector is
+//! `16·2^w` bytes; the sparse backend's support still grows to `2^n`
+//! entries under the uniform superposition), so a budgeted run must
+//! decide *before* allocating whether the simulation fits — and, when it
+//! does not, still return a valid k-plex. This module implements the
+//! ladder
+//!
+//! ```text
+//! dense statevector → sparse statevector → classical (BnB / GRASP)
+//! ```
+//!
+//! chosen by a preflight cost estimate against the [`Budget`]'s byte
+//! ceiling, with a mid-run fallback: if the selected quantum rung is
+//! interrupted by a budget limit or an injected fault, the solver
+//! degrades to the classical floor instead of failing (`degraded = true`
+//! in the outcome and the `rt.degradations` counter). Explicit
+//! cancellation and configuration errors are *not* degraded — they
+//! surface as errors, because the caller asked for them.
+
+use qmkp_classical::bnb::max_kplex_bnb;
+use qmkp_classical::grasp::grasp_kplex;
+use qmkp_core::{qmkp_ctx, OracleLayout, QmkpConfig, QmkpOutcome};
+use qmkp_graph::{is_kplex, Graph, VertexSet};
+use qmkp_obs::RunReport;
+use qmkp_qsim::{DenseState, SparseState, MAX_DENSE_QUBITS};
+use qmkp_rt::{Budget, Interrupted, RtContext, RtError};
+
+/// Which rung of the ladder produced the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveBackend {
+    /// Dense statevector simulation of the Grover pipeline.
+    Dense,
+    /// Sparse (sorted-vec) statevector simulation.
+    Sparse,
+    /// Classical exact branch & bound (small graphs).
+    ClassicalExact,
+    /// Classical GRASP heuristic (large graphs), verified with
+    /// [`is_kplex`].
+    ClassicalHeuristic,
+}
+
+impl SolveBackend {
+    /// Stable lowercase name for reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveBackend::Dense => "dense",
+            SolveBackend::Sparse => "sparse",
+            SolveBackend::ClassicalExact => "classical-exact",
+            SolveBackend::ClassicalHeuristic => "classical-heuristic",
+        }
+    }
+}
+
+/// Configuration for [`solve`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveConfig {
+    /// The quantum search configuration (seed, reduction, counting mode).
+    pub qmkp: QmkpConfig,
+    /// Vertex count at or below which the classical floor runs exact
+    /// branch & bound instead of GRASP. 0 keeps the default (20).
+    pub exact_threshold: usize,
+    /// GRASP restarts for the heuristic floor. 0 keeps the default (64).
+    pub grasp_iterations: usize,
+}
+
+impl SolveConfig {
+    fn exact_threshold(&self) -> usize {
+        if self.exact_threshold == 0 {
+            20
+        } else {
+            self.exact_threshold
+        }
+    }
+
+    fn grasp_iterations(&self) -> usize {
+        if self.grasp_iterations == 0 {
+            64
+        } else {
+            self.grasp_iterations
+        }
+    }
+}
+
+/// Outcome of a budgeted [`solve`] run.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// A maximum (quantum / exact rungs) or maximal-effort (heuristic
+    /// rung) k-plex, always verified against [`is_kplex`].
+    pub best: VertexSet,
+    /// The rung that produced `best`.
+    pub backend: SolveBackend,
+    /// Whether the solver fell back below the requested quantum pipeline.
+    pub degraded: bool,
+    /// Why the solver degraded, when it did.
+    pub degraded_because: Option<RtError>,
+    /// Full quantum outcome when a quantum rung completed.
+    pub quantum: Option<QmkpOutcome>,
+}
+
+impl SolveOutcome {
+    /// A run report fragment with the ladder fields filled in, for the
+    /// `QMKP_OBS_REPORT` pipeline.
+    pub fn report(&self, name: &str) -> RunReport {
+        let mut report = RunReport::new(name)
+            .outcome("backend", self.backend.name())
+            .outcome("degraded", self.degraded)
+            .outcome("best_size", self.best.len());
+        if let Some(e) = &self.degraded_because {
+            report = report.outcome("degraded_because", e);
+        }
+        report
+    }
+}
+
+/// Estimated peak bytes for a dense simulation of `width` qubits.
+fn dense_cost(width: usize) -> usize {
+    // 16-byte amplitudes plus an equal-size permutation scratch buffer.
+    2usize
+        .checked_shl(width as u32)
+        .map_or(usize::MAX, |amps| amps.saturating_mul(16))
+}
+
+/// Estimated peak bytes for a sparse simulation of a graph with `n`
+/// vertices: the support reaches `2^n` basis states under the uniform
+/// superposition, with a same-size scratch vec during compaction.
+fn sparse_cost(n: usize) -> usize {
+    let entry = std::mem::size_of::<(u128, [f64; 2])>();
+    1usize
+        .checked_shl(n as u32 + 1)
+        .map_or(usize::MAX, |e| e.saturating_mul(entry))
+}
+
+fn fits(budget: &Budget, bytes: usize) -> bool {
+    budget.max_bytes.is_none_or(|limit| bytes <= limit)
+}
+
+/// The classical floor: exact branch & bound on small graphs, GRASP
+/// (verified) on everything else.
+fn classical_floor(g: &Graph, k: usize, config: &SolveConfig) -> (VertexSet, SolveBackend) {
+    if g.n() <= config.exact_threshold() {
+        (max_kplex_bnb(g, k), SolveBackend::ClassicalExact)
+    } else {
+        let best = grasp_kplex(g, k, config.grasp_iterations(), 0.3, config.qmkp.qtkp.seed);
+        debug_assert!(is_kplex(g, best, k));
+        (best, SolveBackend::ClassicalHeuristic)
+    }
+}
+
+/// Solves maximum k-plex under a budget, degrading gracefully.
+///
+/// Preflight picks the cheapest rung that fits the byte ceiling; a
+/// quantum rung interrupted mid-run by a budget limit or injected fault
+/// degrades to the classical floor (`degraded = true`,
+/// `rt.degradations`). [`RtError::Cancelled`] and
+/// [`RtError::InvalidConfig`] are returned as errors instead — the
+/// former because the caller asked the run to stop, the latter because
+/// no amount of degradation fixes a bad configuration.
+///
+/// # Errors
+/// [`RtError::Cancelled`] or [`RtError::InvalidConfig`], as above.
+///
+/// # Panics
+/// Panics if the graph is empty or `k == 0`.
+pub fn solve(
+    g: &Graph,
+    k: usize,
+    config: &SolveConfig,
+    ctx: &RtContext,
+) -> Result<SolveOutcome, RtError> {
+    assert!(g.n() > 0, "graph must be non-empty");
+    assert!(k >= 1, "k must be ≥ 1");
+    let span = qmkp_obs::span("solve.run");
+    let result = solve_inner(g, k, config, ctx);
+    span.finish();
+    result
+}
+
+fn solve_inner(
+    g: &Graph,
+    k: usize,
+    config: &SolveConfig,
+    ctx: &RtContext,
+) -> Result<SolveOutcome, RtError> {
+    // Preflight: lay out the oracle (width is independent of the probe
+    // threshold, which only pads constant registers) and cost each rung.
+    // A >128-qubit oracle cannot run on any quantum rung — classical only.
+    let width = OracleLayout::try_new(g, k, 1).map(|layout| layout.width);
+    let budget = ctx.budget();
+    let quantum = match width {
+        Some(w) if w <= MAX_DENSE_QUBITS && fits(budget, dense_cost(w)) => {
+            qmkp_obs::gauge("solve.preflight_bytes", dense_cost(w) as f64);
+            Some((
+                SolveBackend::Dense,
+                qmkp_ctx::<DenseState>(g, k, &config.qmkp, ctx, None),
+            ))
+        }
+        Some(w) if w <= 128 && fits(budget, sparse_cost(g.n())) => {
+            qmkp_obs::gauge("solve.preflight_bytes", sparse_cost(g.n()) as f64);
+            Some((
+                SolveBackend::Sparse,
+                qmkp_ctx::<SparseState>(g, k, &config.qmkp, ctx, None),
+            ))
+        }
+        _ => None,
+    };
+
+    let degraded_because = match quantum {
+        Some((backend, Ok(out))) => {
+            debug_assert!(is_kplex(g, out.best, k));
+            return Ok(SolveOutcome {
+                best: out.best,
+                backend,
+                degraded: false,
+                degraded_because: None,
+                quantum: Some(out),
+            });
+        }
+        Some((_, Err(Interrupted { error, .. }))) => match error {
+            RtError::Cancelled | RtError::InvalidConfig(_) => return Err(error),
+            other => Some(other),
+        },
+        // Preflight rejected every quantum rung: either the budget is too
+        // tight or the instance is too wide to simulate at all.
+        None => Some(RtError::MemoryBudget {
+            required: width.map_or(usize::MAX, |w| sparse_cost(g.n()).min(dense_cost(w))),
+            limit: budget.max_bytes.unwrap_or(usize::MAX),
+        }),
+    };
+
+    // One last chance for the caller to stop before the classical floor
+    // spends CPU (a cancelled context must never degrade).
+    ctx.check()?;
+    qmkp_obs::counter("rt.degradations", 1);
+    let (best, backend) = classical_floor(g, k, config);
+    assert!(
+        is_kplex(g, best, k),
+        "classical floor returned an invalid k-plex"
+    );
+    Ok(SolveOutcome {
+        best,
+        backend,
+        degraded: true,
+        degraded_because,
+        quantum: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_graph::gen::{gnm, paper_fig1_graph};
+    use qmkp_rt::CancelToken;
+
+    #[test]
+    fn unlimited_budget_runs_the_quantum_pipeline() {
+        let g = paper_fig1_graph();
+        let out = solve(&g, 2, &SolveConfig::default(), &RtContext::unlimited()).unwrap();
+        assert_eq!(out.best.len(), 4);
+        assert!(!out.degraded);
+        assert!(matches!(
+            out.backend,
+            SolveBackend::Dense | SolveBackend::Sparse
+        ));
+        assert!(out.quantum.is_some());
+    }
+
+    #[test]
+    fn tight_byte_budget_degrades_to_classical() {
+        let g = paper_fig1_graph();
+        let ctx = RtContext::with_budget(Budget::unlimited().with_max_bytes(1024));
+        let out = solve(&g, 2, &SolveConfig::default(), &ctx).unwrap();
+        assert!(out.degraded);
+        assert!(matches!(
+            out.degraded_because,
+            Some(RtError::MemoryBudget { .. })
+        ));
+        assert_eq!(out.backend, SolveBackend::ClassicalExact);
+        assert_eq!(out.best.len(), 4, "the floor still finds the optimum");
+        assert!(is_kplex(&g, out.best, 2));
+    }
+
+    #[test]
+    fn op_budget_exhaustion_mid_run_degrades() {
+        let g = paper_fig1_graph();
+        let ctx = RtContext::with_budget(Budget::unlimited().with_max_ops(100));
+        let out = solve(&g, 2, &SolveConfig::default(), &ctx).unwrap();
+        assert!(out.degraded);
+        assert!(matches!(
+            out.degraded_because,
+            Some(RtError::OpBudget { .. })
+        ));
+        assert!(is_kplex(&g, out.best, 2));
+        assert_eq!(out.best.len(), 4);
+    }
+
+    #[test]
+    fn cancellation_is_not_degraded() {
+        let g = paper_fig1_graph();
+        let ctx = RtContext::new(Budget::unlimited(), CancelToken::cancel_after_checks(0));
+        assert_eq!(
+            solve(&g, 2, &SolveConfig::default(), &ctx).unwrap_err(),
+            RtError::Cancelled
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_degradation() {
+        let g = paper_fig1_graph();
+        let config = SolveConfig {
+            qmkp: QmkpConfig {
+                qtkp: qmkp_core::QtkpConfig {
+                    max_attempts: 0,
+                    ..qmkp_core::QtkpConfig::default()
+                },
+                ..QmkpConfig::default()
+            },
+            ..SolveConfig::default()
+        };
+        assert!(matches!(
+            solve(&g, 2, &config, &RtContext::unlimited()),
+            Err(RtError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn large_graphs_use_the_heuristic_floor() {
+        let g = gnm(40, 200, 3).unwrap();
+        let ctx = RtContext::with_budget(Budget::unlimited().with_max_bytes(1 << 20));
+        let config = SolveConfig {
+            exact_threshold: 10,
+            ..SolveConfig::default()
+        };
+        let out = solve(&g, 2, &config, &ctx).unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.backend, SolveBackend::ClassicalHeuristic);
+        assert!(is_kplex(&g, out.best, 2));
+        assert!(!out.best.is_empty());
+    }
+
+    #[test]
+    fn report_carries_the_ladder_fields() {
+        let g = paper_fig1_graph();
+        let ctx = RtContext::with_budget(Budget::unlimited().with_max_bytes(1024));
+        let out = solve(&g, 2, &SolveConfig::default(), &ctx).unwrap();
+        let json = out.report("ladder_test").to_json();
+        assert!(json.contains("\"degraded\""));
+        assert!(json.contains("true"));
+        assert!(json.contains("classical-exact"));
+    }
+}

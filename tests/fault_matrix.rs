@@ -1,0 +1,215 @@
+//! The failpoint matrix: every named fault-injection site in the
+//! workspace is armed in turn, and the layer hosting it must surface a
+//! structured [`RtError::Faulted`] naming that site — never a panic, and
+//! never a silently wrong result. Where the host supports checkpoints,
+//! the fault must additionally leave a checkpoint that resumes to the
+//! bit-identical uninterrupted answer once the fault is cleared.
+//!
+//! Run with `cargo test --features failpoints --test fault_matrix`; the
+//! CI `faults` job does exactly that.
+#![cfg(feature = "failpoints")]
+
+use qmkp::annealer::{
+    anneal_qubo_ctx, sqa_qubo_ctx, temper_qubo_ctx, SaConfig, SqaConfig, TemperingConfig,
+};
+use qmkp::core::{qmkp_ctx, quantum_count_ctx, QmkpConfig};
+use qmkp::qsim::SparseState;
+use qmkp::qubo::QuboModel;
+use qmkp::rt::{failpoint, RtContext, RtError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn faulted(site: &str) -> RtError {
+    RtError::Faulted { site: site.into() }
+}
+
+fn small_qubo() -> QuboModel {
+    let mut q = QuboModel::new(3);
+    q.add_linear(0, -2.0);
+    q.add_linear(1, -2.0);
+    q.add_linear(2, -1.0);
+    q.add_quadratic(0, 1, 1.0);
+    q.add_quadratic(1, 2, 3.0);
+    q
+}
+
+/// The gate-pipeline sites, armed one at a time under a full `qmkp`
+/// search; each must produce `Faulted` carrying its own name, plus a
+/// checkpoint that resumes cleanly after the fault clears.
+#[test]
+fn every_gate_pipeline_site_faults_structurally_and_resumes() {
+    let _guard = failpoint::exclusive();
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let config = QmkpConfig::default();
+    let straight = qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), None)
+        .expect("unlimited context cannot be interrupted");
+
+    for site in [
+        "core.qmkp.probe",
+        "core.grover.iterate",
+        "qsim.run.op",
+        "qsim.sparse.alloc",
+    ] {
+        failpoint::reset();
+        // Pass one hit first so the fault lands mid-run, not at the door.
+        failpoint::arm(site, 1);
+        let interrupted = qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), None)
+            .expect_err("armed site must interrupt the search");
+        assert_eq!(interrupted.error, faulted(site), "site {site}");
+        assert!(
+            failpoint::hits(site).unwrap_or(0) >= 2,
+            "site {site} was never consulted"
+        );
+
+        failpoint::reset();
+        let resumed = qmkp_ctx::<SparseState>(
+            &g,
+            2,
+            &config,
+            &RtContext::unlimited(),
+            Some(&interrupted.checkpoint),
+        )
+        .expect("fault cleared: resume must complete");
+        assert_eq!(resumed.best, straight.best, "site {site}");
+        assert_eq!(
+            resumed.error_probability.to_bits(),
+            straight.error_probability.to_bits(),
+            "site {site}"
+        );
+        assert_eq!(
+            resumed.total_iterations, straight.total_iterations,
+            "site {site}"
+        );
+    }
+    failpoint::reset();
+}
+
+/// The quantum-counting sites: QPE entry and the dense-state allocation
+/// it performs.
+#[test]
+fn counting_sites_fault_structurally() {
+    let _guard = failpoint::exclusive();
+    for site in ["core.counting.qpe", "qsim.dense.alloc"] {
+        failpoint::reset();
+        failpoint::arm(site, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = quantum_count_ctx(3, 2, 5, &mut rng, &RtContext::unlimited())
+            .expect_err("armed site must abort the count");
+        assert_eq!(err, faulted(site), "site {site}");
+    }
+    failpoint::reset();
+}
+
+/// The annealer sites: each schedule interrupts with `Faulted` and its
+/// checkpoint resumes to the bit-identical uninterrupted outcome.
+#[test]
+fn annealer_sites_fault_structurally_and_resume() {
+    let _guard = failpoint::exclusive();
+    let q = small_qubo();
+
+    // SA ------------------------------------------------------------
+    let sa = SaConfig {
+        shots: 4,
+        sweeps: 5,
+        ..SaConfig::default()
+    };
+    let straight = anneal_qubo_ctx(&q, &sa, &RtContext::unlimited(), None)
+        .expect("unlimited context cannot be interrupted");
+    failpoint::reset();
+    failpoint::arm("annealer.sa.sweep", 3);
+    let interrupted = anneal_qubo_ctx(&q, &sa, &RtContext::unlimited(), None)
+        .expect_err("armed sweep site must interrupt SA");
+    assert_eq!(interrupted.error, faulted("annealer.sa.sweep"));
+    failpoint::reset();
+    let resumed = anneal_qubo_ctx(
+        &q,
+        &sa,
+        &RtContext::unlimited(),
+        Some(&interrupted.checkpoint),
+    )
+    .expect("fault cleared: SA resume must complete");
+    assert_eq!(resumed.best, straight.best);
+    assert_eq!(
+        resumed.best_energy.to_bits(),
+        straight.best_energy.to_bits()
+    );
+
+    // SQA -----------------------------------------------------------
+    let sqa = SqaConfig {
+        shots: 3,
+        sweeps: 4,
+        trotter_slices: 4,
+        ..SqaConfig::default()
+    };
+    let straight = sqa_qubo_ctx(&q, &sqa, &RtContext::unlimited(), None)
+        .expect("unlimited context cannot be interrupted");
+    failpoint::reset();
+    failpoint::arm("annealer.sqa.sweep", 3);
+    let interrupted = sqa_qubo_ctx(&q, &sqa, &RtContext::unlimited(), None)
+        .expect_err("armed sweep site must interrupt SQA");
+    assert_eq!(interrupted.error, faulted("annealer.sqa.sweep"));
+    failpoint::reset();
+    let resumed = sqa_qubo_ctx(
+        &q,
+        &sqa,
+        &RtContext::unlimited(),
+        Some(&interrupted.checkpoint),
+    )
+    .expect("fault cleared: SQA resume must complete");
+    assert_eq!(resumed.best, straight.best);
+    assert_eq!(
+        resumed.best_energy.to_bits(),
+        straight.best_energy.to_bits()
+    );
+
+    // Parallel tempering --------------------------------------------
+    let pt = TemperingConfig {
+        replicas: 4,
+        rounds: 6,
+        ..TemperingConfig::default()
+    };
+    let straight = temper_qubo_ctx(&q, &pt, &RtContext::unlimited(), None)
+        .expect("unlimited context cannot be interrupted");
+    failpoint::reset();
+    failpoint::arm("annealer.tempering.round", 2);
+    let interrupted = temper_qubo_ctx(&q, &pt, &RtContext::unlimited(), None)
+        .expect_err("armed round site must interrupt tempering");
+    assert_eq!(interrupted.error, faulted("annealer.tempering.round"));
+    failpoint::reset();
+    let resumed = temper_qubo_ctx(
+        &q,
+        &pt,
+        &RtContext::unlimited(),
+        Some(&interrupted.checkpoint),
+    )
+    .expect("fault cleared: tempering resume must complete");
+    assert_eq!(resumed.best, straight.best);
+    assert_eq!(
+        resumed.best_energy.to_bits(),
+        straight.best_energy.to_bits()
+    );
+
+    failpoint::reset();
+}
+
+/// A faulted quantum pipeline inside `solve` degrades to the classical
+/// floor instead of propagating the fault: `Faulted` is transient, the
+/// answer is still a valid k-plex, and the outcome is flagged.
+#[test]
+fn faulted_pipeline_degrades_inside_solve() {
+    let _guard = failpoint::exclusive();
+    failpoint::reset();
+    failpoint::arm("core.grover.iterate", 0);
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let out = qmkp::solve(
+        &g,
+        2,
+        &qmkp::solve::SolveConfig::default(),
+        &RtContext::unlimited(),
+    )
+    .expect("degradation absorbs injected faults");
+    assert!(out.degraded);
+    assert_eq!(out.degraded_because, Some(faulted("core.grover.iterate")));
+    assert!(qmkp::graph::is_kplex(&g, out.best, 2));
+    failpoint::reset();
+}

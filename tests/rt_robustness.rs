@@ -1,0 +1,130 @@
+//! Properties of the execution runtime, end to end through the facade:
+//!
+//! 1. A cancel token fired after an *arbitrary* number of polls makes
+//!    `qmkp_ctx` return `RtError::Cancelled` with a resumable checkpoint —
+//!    it never panics, and the partial `best` inside the checkpoint is
+//!    never passed off as the optimum.
+//! 2. Resuming the cancelled search reproduces the uninterrupted run
+//!    bit-for-bit (including the `f64` error probability), after a JSON
+//!    round-trip of the checkpoint.
+//! 3. `solve` under an arbitrary byte/op budget never panics and always
+//!    returns a valid k-plex (possibly via the classical floor), or a
+//!    structured `Cancelled` error — nothing in between.
+
+use proptest::prelude::*;
+use qmkp::core::{qmkp_ctx, QmkpCheckpoint, QmkpConfig, QmkpOutcome};
+use qmkp::graph::is_kplex;
+use qmkp::qsim::SparseState;
+use qmkp::rt::{Budget, CancelToken, Checkpoint, RtContext, RtError};
+use qmkp::solve::{solve, SolveConfig};
+
+/// Non-time fields of two outcomes must agree exactly. Durations are the
+/// one thing a resumed run may legitimately differ in.
+fn assert_bit_identical(a: &QmkpOutcome, b: &QmkpOutcome) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.best, b.best);
+    prop_assert_eq!(
+        a.error_probability.to_bits(),
+        b.error_probability.to_bits(),
+        "error probabilities differ: {} vs {}",
+        a.error_probability,
+        b.error_probability
+    );
+    prop_assert_eq!(a.total_iterations, b.total_iterations);
+    prop_assert_eq!(a.qubits, b.qubits);
+    prop_assert_eq!(a.calls.len(), b.calls.len());
+    for (x, y) in a.calls.iter().zip(&b.calls) {
+        prop_assert_eq!(x.t, y.t);
+        prop_assert_eq!(x.found, y.found);
+        prop_assert_eq!(x.iterations, y.iterations);
+        prop_assert_eq!(x.m, y.m);
+    }
+    prop_assert_eq!(
+        a.first_result.map(|(s, _)| s),
+        b.first_result.map(|(s, _)| s)
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn cancel_anywhere_yields_cancelled_then_bit_identical_resume(
+        n in 5usize..=7,
+        extra_edges in 0usize..=5,
+        k in 1usize..=2,
+        fuse in 0u64..=4000,
+    ) {
+        let m = (n - 1 + extra_edges).min(n * (n - 1) / 2);
+        let g = qmkp::graph::gen::gnm(n, m, 11 * n as u64 + extra_edges as u64)
+            .expect("valid G(n,m) parameters");
+        let config = QmkpConfig::default();
+
+        let straight = qmkp_ctx::<SparseState>(&g, k, &config, &RtContext::unlimited(), None)
+            .expect("unlimited context cannot be interrupted");
+
+        let token = CancelToken::cancel_after_checks(fuse);
+        let ctx = RtContext::new(Budget::unlimited(), token);
+        match qmkp_ctx::<SparseState>(&g, k, &config, &ctx, None) {
+            // The fuse outlived the whole search: results must match the
+            // straight run exactly.
+            Ok(out) => assert_bit_identical(&straight, &out)?,
+            Err(interrupted) => {
+                prop_assert_eq!(&interrupted.error, &RtError::Cancelled);
+                // The checkpoint is partial: never as many probes as the
+                // full search, and never claimed as the optimum.
+                prop_assert!(interrupted.checkpoint.calls.len() < straight.calls.len()
+                    || interrupted.checkpoint.best.len() <= straight.best.len());
+
+                // JSON round-trip, then resume to completion.
+                let restored = QmkpCheckpoint::from_json(&interrupted.checkpoint.to_json())
+                    .expect("round-trip of a just-serialized checkpoint");
+                let resumed = qmkp_ctx::<SparseState>(
+                    &g, k, &config, &RtContext::unlimited(), Some(&restored),
+                ).expect("unlimited context cannot be interrupted");
+                assert_bit_identical(&straight, &resumed)?;
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_solve_never_panics_and_always_answers(
+        n in 5usize..=8,
+        extra_edges in 0usize..=6,
+        k in 1usize..=2,
+        max_bytes in 0usize..=1 << 22,
+        max_ops in 0u64..=200_000,
+    ) {
+        // Zero means "no ceiling" — both knobs exercise the unlimited path
+        // as well as genuinely tight budgets.
+        let m = (n - 1 + extra_edges).min(n * (n - 1) / 2);
+        let g = qmkp::graph::gen::gnm(n, m, 13 * n as u64 + extra_edges as u64)
+            .expect("valid G(n,m) parameters");
+
+        let mut budget = Budget::unlimited();
+        if max_bytes > 0 {
+            budget = budget.with_max_bytes(max_bytes);
+        }
+        if max_ops > 0 {
+            budget = budget.with_max_ops(max_ops);
+        }
+        let ctx = RtContext::with_budget(budget);
+
+        match solve(&g, k, &SolveConfig::default(), &ctx) {
+            Ok(out) => {
+                prop_assert!(is_kplex(&g, out.best, k),
+                    "backend {} returned a non-k-plex", out.backend.name());
+                if out.degraded {
+                    prop_assert!(out.degraded_because.is_some());
+                }
+            }
+            // A budget this generous can still be exhausted mid-classical?
+            // No: the ladder absorbs budget errors. Only cancellation (not
+            // used here) or invalid configs may surface, so any Err fails.
+            Err(e) => prop_assert!(false, "solve returned {e}"),
+        }
+    }
+}
