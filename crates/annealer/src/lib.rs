@@ -20,11 +20,15 @@
 //!   majority-vote unembedding and chain statistics (Figure 11).
 //! * [`hybrid`] — a classical portfolio solver with a minimum-runtime
 //!   contract, standing in for the D-Wave Hybrid BQM solver ("haMKP").
+//! * [`pacing`] — deadline-aware schedule sizing: when a runtime context
+//!   carries a wall-clock deadline, the `*_ctx` samplers probe one sweep
+//!   and shrink the schedule to fit instead of interrupting mid-run.
 
 #![deny(unsafe_code)]
 #![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod embedding;
 pub mod hybrid;
+pub mod pacing;
 pub mod result;
 pub mod sa;
 pub mod sqa;
@@ -36,6 +40,7 @@ pub use embedding::{
     find_embedding_with_tries, refine_embedding, unembed, ChainStats, Embedding,
 };
 pub use hybrid::{hybrid_solve, HybridConfig};
+pub use pacing::{paced_sweeps, remaining_deadline, PACING_SAFETY};
 pub use result::AnnealOutcome;
 pub use sa::{anneal_qubo, anneal_qubo_ctx, SaCheckpoint, SaConfig};
 pub use sqa::{sqa_qubo, sqa_qubo_ctx, SqaCheckpoint, SqaConfig};

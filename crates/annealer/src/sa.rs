@@ -234,6 +234,12 @@ fn validate_sa(config: &SaConfig) -> Result<(), RtError> {
 /// `s` from `derive_seed(seed, s, w)`, so an interrupted run resumes from
 /// its [`SaCheckpoint`] bit-identically (trace timestamps aside).
 ///
+/// When the budget carries a wall-clock deadline and the run is a fresh
+/// start, the sweep schedule is *paced*: a throwaway probe sweep on the
+/// shot-0 starting assignment measures the per-sweep cost and
+/// [`crate::pacing::paced_sweeps`] shrinks `sweeps` to what fits the
+/// remaining time, reported via the `anneal.sa.paced_sweeps` gauge.
+///
 /// # Errors
 /// [`Interrupted`] pairing the [`RtError`] with the sweep-boundary
 /// checkpoint; for a rejected configuration the checkpoint is empty.
@@ -261,6 +267,37 @@ pub fn anneal_qubo_ctx(
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let start = Instant::now();
+
+    let mut paced = config.clone();
+    if resume.is_none() {
+        if let Some(remaining) = crate::pacing::remaining_deadline(ctx) {
+            // Probe on a clone of the shot-0 starting state; the real
+            // shot 0 re-derives the same init, so results only depend on
+            // the effective sweep count, not on the probe having run.
+            let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, 0, u64::MAX));
+            let mut x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let mut field = init_fields(q, &adj, &x);
+            let mut energy = q.energy(&x);
+            let probe = Instant::now();
+            metropolis_sweep(
+                &adj,
+                config.beta_hot,
+                &mut x,
+                &mut field,
+                &mut energy,
+                &mut rng,
+            );
+            let per_sweep = probe.elapsed();
+            paced.sweeps = crate::pacing::paced_sweeps(
+                remaining.saturating_sub(per_sweep),
+                per_sweep,
+                config.shots,
+                config.sweeps,
+            );
+            qmkp_obs::gauge("anneal.sa.paced_sweeps", paced.sweeps as f64);
+        }
+    }
+    let config = &paced;
 
     let mut best: Vec<bool> = vec![false; n];
     let mut best_energy = f64::INFINITY;
@@ -544,6 +581,71 @@ mod tests {
             let a: Vec<u64> = resumed.shot_energies.iter().map(|e| e.to_bits()).collect();
             let b: Vec<u64> = straight.shot_energies.iter().map(|e| e.to_bits()).collect();
             assert_eq!(a, b, "fuse={fuse}");
+        }
+    }
+
+    #[test]
+    fn generous_deadline_leaves_results_identical() {
+        use qmkp_rt::Budget;
+        use std::time::Duration;
+        let q = frustrated_model();
+        let config = SaConfig {
+            shots: 10,
+            sweeps: 8,
+            seed: 11,
+            ..SaConfig::default()
+        };
+        let plain = anneal_qubo_ctx(&q, &config, &RtContext::unlimited(), None).unwrap();
+        let ctx =
+            RtContext::with_budget(Budget::unlimited().with_deadline(Duration::from_secs(3600)));
+        let paced = anneal_qubo_ctx(&q, &config, &ctx, None).unwrap();
+        // An hour fits the whole schedule, so pacing must not change it —
+        // the probe sweep leaves no trace in the RNG streams.
+        assert_eq!(paced.best, plain.best);
+        assert_eq!(paced.best_energy.to_bits(), plain.best_energy.to_bits());
+        let a: Vec<u64> = paced.shot_energies.iter().map(|e| e.to_bits()).collect();
+        let b: Vec<u64> = plain.shot_energies.iter().map(|e| e.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tight_deadline_paces_the_schedule_and_completes() {
+        use qmkp_rt::Budget;
+        use std::sync::Arc;
+        use std::time::Duration;
+        // A model big enough that per-sweep cost is stable to measure.
+        let mut q = QuboModel::new(200);
+        for i in 0..200 {
+            q.add_linear(i, -1.0);
+            q.add_quadratic(i, (i + 1) % 200, 2.0);
+        }
+        let config = SaConfig {
+            shots: 2,
+            sweeps: 50_000_000, // hours at full length
+            ..SaConfig::default()
+        };
+        let collector = Arc::new(qmkp_obs::Collector::for_current_thread());
+        let guard = qmkp_obs::attach(collector.clone());
+        let ctx = RtContext::with_budget(Budget::unlimited().with_deadline(Duration::from_secs(1)));
+        let result = anneal_qubo_ctx(&q, &config, &ctx, None);
+        drop(guard);
+        let paced = collector
+            .last_gauge("anneal.sa.paced_sweeps")
+            .expect("pacing gauge must be emitted under a deadline");
+        assert!(paced >= 1.0, "at least one sweep always runs");
+        assert!(
+            paced < config.sweeps as f64,
+            "the schedule must have shrunk (got {paced})"
+        );
+        match result {
+            Ok(out) => assert_eq!(out.shot_energies.len(), config.shots, "every shot ran"),
+            // Parallel test execution can slow the real sweeps past the
+            // probe's measurement; the per-sweep deadline poll then still
+            // interrupts — but it must do so *inside the paced schedule*.
+            Err(i) => {
+                assert!(matches!(i.error, RtError::DeadlineExceeded { .. }), "{i}");
+                assert!((i.checkpoint.sweep as f64) < paced);
+            }
         }
     }
 

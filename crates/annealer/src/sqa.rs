@@ -317,6 +317,10 @@ fn validate_sqa(config: &SqaConfig) -> Result<(), RtError> {
 /// `s` from `derive_seed(seed, s, w)`, so an interrupted run resumes from
 /// its [`SqaCheckpoint`] bit-identically (trace timestamps aside).
 ///
+/// Fresh-start runs under a deadline pace their sweep schedule from one
+/// probe PIMC sweep (see [`crate::pacing`]), reported via the
+/// `anneal.sqa.paced_sweeps` gauge.
+///
 /// # Errors
 /// [`Interrupted`] pairing the [`RtError`] with the sweep-boundary
 /// checkpoint; for a rejected configuration the checkpoint is empty.
@@ -345,6 +349,39 @@ pub fn sqa_qubo_ctx(
     let adj = ising.neighbor_lists();
     let inv_p = 1.0 / p as f64;
     let start = Instant::now();
+
+    let mut paced = config.clone();
+    if resume.is_none() {
+        if let Some(remaining) = crate::pacing::remaining_deadline(ctx) {
+            // Probe one PIMC sweep on a clone of the shot-0 replicas; the
+            // real shot 0 re-derives the same init, so the probe leaves
+            // no trace in the results beyond the effective sweep count.
+            let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, 0, u64::MAX));
+            let mut replicas: Vec<Vec<i8>> = (0..p)
+                .map(|_| (0..n).map(|_| if rng.gen() { 1i8 } else { -1 }).collect())
+                .collect();
+            let (_, j_perp) = transverse_schedule(config, 0);
+            let probe = Instant::now();
+            pimc_sweep(
+                &ising.h,
+                &adj,
+                config.beta,
+                inv_p,
+                j_perp,
+                &mut replicas,
+                &mut rng,
+            );
+            let per_sweep = probe.elapsed();
+            paced.sweeps = crate::pacing::paced_sweeps(
+                remaining.saturating_sub(per_sweep),
+                per_sweep,
+                config.shots,
+                config.sweeps,
+            );
+            qmkp_obs::gauge("anneal.sqa.paced_sweeps", paced.sweeps as f64);
+        }
+    }
+    let config = &paced;
 
     let mut best: Vec<bool> = vec![false; n];
     let mut best_energy = f64::INFINITY;
@@ -618,6 +655,28 @@ mod tests {
         )
         .expect_err("one slice");
         assert!(matches!(err.error, RtError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn generous_deadline_leaves_results_identical() {
+        use qmkp_rt::Budget;
+        use std::time::Duration;
+        let q = small_model();
+        let config = SqaConfig {
+            shots: 6,
+            sweeps: 5,
+            trotter_slices: 4,
+            ..SqaConfig::default()
+        };
+        let plain = sqa_qubo_ctx(&q, &config, &RtContext::unlimited(), None).unwrap();
+        let ctx =
+            RtContext::with_budget(Budget::unlimited().with_deadline(Duration::from_secs(3600)));
+        let paced = sqa_qubo_ctx(&q, &config, &ctx, None).unwrap();
+        assert_eq!(paced.best, plain.best);
+        assert_eq!(paced.best_energy.to_bits(), plain.best_energy.to_bits());
+        let a: Vec<u64> = paced.shot_energies.iter().map(|e| e.to_bits()).collect();
+        let b: Vec<u64> = plain.shot_energies.iter().map(|e| e.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

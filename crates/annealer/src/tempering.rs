@@ -316,6 +316,11 @@ fn validate_tempering(config: &TemperingConfig) -> Result<(), RtError> {
 /// `derive_seed(seed, r, 0)`, so an interrupted run resumes from its
 /// [`TemperCheckpoint`] bit-identically (trace timestamps aside).
 ///
+/// Fresh-start runs under a deadline pace their *round* count: one probe
+/// Metropolis sweep prices a swap round at replicas × sweeps_per_round
+/// sweeps (see [`crate::pacing`]), reported via the
+/// `anneal.tempering.paced_rounds` gauge.
+///
 /// # Errors
 /// [`Interrupted`] pairing the [`RtError`] with the round-boundary
 /// checkpoint; for a rejected configuration the checkpoint is empty.
@@ -342,6 +347,39 @@ pub fn temper_qubo_ctx(
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let start = Instant::now();
+
+    let mut paced = config.clone();
+    if resume.is_none() {
+        if let Some(remaining) = crate::pacing::remaining_deadline(ctx) {
+            // Probe one Metropolis sweep on a clone of replica 0's start;
+            // a swap round costs replicas × sweeps_per_round of those.
+            let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, u64::MAX, 0));
+            let mut x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let mut field = init_fields(q, &adj, &x);
+            let mut energy = q.energy(&x);
+            let probe = Instant::now();
+            metropolis_sweep(
+                &adj,
+                config.beta_cold,
+                &mut x,
+                &mut field,
+                &mut energy,
+                &mut rng,
+            );
+            let per_sweep = probe.elapsed();
+            let per_round = per_sweep.saturating_mul(
+                (config.replicas * config.sweeps_per_round).min(u32::MAX as usize) as u32,
+            );
+            paced.rounds = crate::pacing::paced_sweeps(
+                remaining.saturating_sub(per_sweep),
+                per_round,
+                1,
+                config.rounds,
+            );
+            qmkp_obs::gauge("anneal.tempering.paced_rounds", paced.rounds as f64);
+        }
+    }
+    let config = &paced;
     let betas = beta_ladder(config);
 
     let mut start_round = 0;
@@ -547,6 +585,30 @@ mod tests {
         )
         .expect_err("one replica");
         assert!(matches!(err.error, RtError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn generous_deadline_leaves_results_identical() {
+        use qmkp_rt::Budget;
+        use std::time::Duration;
+        let g = qmkp_graph::gen::gnm(8, 14, 2).unwrap();
+        let mq = MkpQubo::new(&g, MkpQuboParams::default());
+        let config = TemperingConfig {
+            replicas: 4,
+            rounds: 8,
+            sweeps_per_round: 2,
+            seed: 5,
+            ..TemperingConfig::default()
+        };
+        let plain = temper_qubo_ctx(&mq.model, &config, &RtContext::unlimited(), None).unwrap();
+        let ctx =
+            RtContext::with_budget(Budget::unlimited().with_deadline(Duration::from_secs(3600)));
+        let paced = temper_qubo_ctx(&mq.model, &config, &ctx, None).unwrap();
+        assert_eq!(paced.best, plain.best);
+        assert_eq!(paced.best_energy.to_bits(), plain.best_energy.to_bits());
+        let a: Vec<u64> = paced.shot_energies.iter().map(|e| e.to_bits()).collect();
+        let b: Vec<u64> = plain.shot_energies.iter().map(|e| e.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

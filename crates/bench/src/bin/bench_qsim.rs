@@ -1,18 +1,26 @@
 //! Emits `BENCH_qsim.json`: compiled-kernel vs interpreted simulation
 //! times for the dense backend (width-20 layered circuit) and the sparse
-//! backend (a qTKP oracle circuit), with their speedups — plus the
-//! overhead of running the same compiled circuits under a fully-armed
-//! `RtContext` (deadline + byte + op ceilings, all generous). The
-//! budget-check overhead ratio is a **guard**: the process exits
-//! non-zero if either backend's budgeted run costs more than
-//! `MAX_BUDGET_OVERHEAD`× its unbudgeted run.
+//! backend (a qTKP oracle circuit), with their speedups. Both compile
+//! modes are measured — linear fusion and the gate-DAG scheduler
+//! (commute + layered dispatch) — plus the overhead of running the
+//! scheduled circuits under a fully-armed `RtContext` (deadline + byte +
+//! op ceilings, all generous).
+//!
+//! Two **guards** make this a regression gate, exiting non-zero when:
+//! * either backend's budgeted run costs more than
+//!   `MAX_BUDGET_OVERHEAD`× its unbudgeted run, or
+//! * the sparse backend's scheduled speedup over the interpreter drops
+//!   below `MIN_SPARSE_SCHEDULED_SPEEDUP` (the pre-scheduler compiled
+//!   speedup — the DAG pass must never lose ground to linear fusion).
 //!
 //! Usage: `bench_qsim [output-path]` (default `BENCH_qsim.json` in the
 //! working directory).
 
 use qmkp_core::oracle::Oracle;
 use qmkp_obs::{RunReport, Session};
-use qmkp_qsim::{Circuit, CompiledCircuit, DenseState, Gate, QuantumState, SparseState};
+use qmkp_qsim::{
+    Circuit, CompileOptions, CompiledCircuit, DenseState, Gate, QuantumState, SparseState,
+};
 use qmkp_rt::{Budget, RtContext};
 use std::time::{Duration, Instant};
 
@@ -20,6 +28,11 @@ const SAMPLES: usize = 9;
 
 /// Budgeted / unbudgeted wall-clock ratio above which the guard fails.
 const MAX_BUDGET_OVERHEAD: f64 = 1.5;
+
+/// Floor on the sparse backend's interpreted/scheduled speedup: the
+/// linear pipeline reached 4.04× on this instance, and the DAG scheduler
+/// must at least match it.
+const MIN_SPARSE_SCHEDULED_SPEEDUP: f64 = 4.04;
 
 /// A context whose three ceilings are all set (so every check runs its
 /// full code path) but far too generous to ever trip mid-bench.
@@ -69,11 +82,23 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_qsim.json".to_string());
 
-    // Dense backend: width-20 layered circuit.
+    // Dense backend: width-20 layered circuit, both compile modes.
     let dense_width = 20;
     let dense_circ = layered_circuit(dense_width, 6);
-    let dense_compiled_circ =
-        CompiledCircuit::compile(&dense_circ).expect("bench circuits compile");
+    let dense_linear_circ = CompiledCircuit::compile_with(
+        &dense_circ,
+        CompileOptions {
+            dag_scheduler: false,
+        },
+    )
+    .expect("bench circuits compile");
+    let dense_sched_circ = CompiledCircuit::compile_with(
+        &dense_circ,
+        CompileOptions {
+            dag_scheduler: true,
+        },
+    )
+    .expect("bench circuits compile");
     let dense_interpreted = median_secs(|| {
         let mut s = DenseState::zero(dense_width).unwrap();
         s.run_interpreted(&dense_circ).unwrap();
@@ -81,14 +106,18 @@ fn main() {
     });
     let dense_compiled = median_secs(|| {
         let mut s = DenseState::zero(dense_width).unwrap();
-        s.run_compiled(&dense_compiled_circ).unwrap();
+        s.run_compiled(&dense_linear_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+    let dense_scheduled = median_secs(|| {
+        let mut s = DenseState::zero(dense_width).unwrap();
+        s.run_compiled(&dense_sched_circ).unwrap();
         std::hint::black_box(s.probability(0));
     });
     let dense_ctx = armed_context();
     let dense_budgeted = median_secs(|| {
         let mut s = DenseState::zero(dense_width).unwrap();
-        s.run_compiled_ctx(&dense_compiled_circ, &dense_ctx)
-            .unwrap();
+        s.run_compiled_ctx(&dense_sched_circ, &dense_ctx).unwrap();
         std::hint::black_box(s.probability(0));
     });
 
@@ -100,8 +129,20 @@ fn main() {
         sparse_circ.push_unchecked(Gate::H(q));
     }
     sparse_circ.extend(oracle.u_check()).unwrap();
-    let sparse_compiled_circ =
-        CompiledCircuit::compile(&sparse_circ).expect("bench circuits compile");
+    let sparse_linear_circ = CompiledCircuit::compile_with(
+        &sparse_circ,
+        CompileOptions {
+            dag_scheduler: false,
+        },
+    )
+    .expect("bench circuits compile");
+    let sparse_sched_circ = CompiledCircuit::compile_with(
+        &sparse_circ,
+        CompileOptions {
+            dag_scheduler: true,
+        },
+    )
+    .expect("bench circuits compile");
     let sparse_interpreted = median_secs(|| {
         let mut s = SparseState::zero(sparse_circ.width());
         s.run_interpreted(&sparse_circ).unwrap();
@@ -109,19 +150,27 @@ fn main() {
     });
     let sparse_compiled = median_secs(|| {
         let mut s = SparseState::zero(sparse_circ.width());
-        s.run_compiled(&sparse_compiled_circ).unwrap();
+        s.run_compiled(&sparse_linear_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+    let sparse_scheduled = median_secs(|| {
+        let mut s = SparseState::zero(sparse_circ.width());
+        s.run_compiled(&sparse_sched_circ).unwrap();
         std::hint::black_box(s.probability(0));
     });
     let sparse_ctx = armed_context();
     let sparse_budgeted = median_secs(|| {
         let mut s = SparseState::zero(sparse_circ.width());
-        s.run_compiled_ctx(&sparse_compiled_circ, &sparse_ctx)
-            .unwrap();
+        s.run_compiled_ctx(&sparse_sched_circ, &sparse_ctx).unwrap();
         std::hint::black_box(s.probability(0));
     });
 
-    let dense_overhead = dense_budgeted / dense_compiled;
-    let sparse_overhead = sparse_budgeted / sparse_compiled;
+    // Budgeted runs execute the scheduled circuit, so the overhead ratio
+    // compares against the scheduled baseline.
+    let dense_overhead = dense_budgeted / dense_scheduled;
+    let sparse_overhead = sparse_budgeted / sparse_scheduled;
+    let dense_sched_stats = dense_sched_circ.stats();
+    let sparse_sched_stats = sparse_sched_circ.stats();
 
     let json = format!(
         "{{\n  \
@@ -129,41 +178,63 @@ fn main() {
          \"circuit\": \"layered_circuit(width={dw}, sup=6)\",\n    \
          \"gates\": {dg},\n    \
          \"fused_ops\": {dops},\n    \
+         \"scheduled_ops\": {dsops},\n    \
+         \"layers\": {dlay},\n    \
+         \"commuted_diagonals\": {dcom},\n    \
          \"interpreted_s\": {di:.6},\n    \
          \"compiled_s\": {dc:.6},\n    \
+         \"scheduled_s\": {dsc:.6},\n    \
          \"budgeted_s\": {db:.6},\n    \
          \"budget_overhead\": {dov:.3},\n    \
-         \"speedup\": {dsp:.2}\n  }},\n  \
+         \"speedup\": {dsp:.2},\n    \
+         \"scheduled_speedup\": {dssp:.2}\n  }},\n  \
          \"sparse\": {{\n    \
          \"circuit\": \"H^n + qTKP U_check (paper_fig1_graph, k=2, t=4, width={sw})\",\n    \
          \"gates\": {sg},\n    \
          \"fused_ops\": {sops},\n    \
+         \"scheduled_ops\": {ssops},\n    \
+         \"layers\": {slay},\n    \
+         \"commuted_diagonals\": {scom},\n    \
          \"interpreted_s\": {si:.6},\n    \
          \"compiled_s\": {sc:.6},\n    \
+         \"scheduled_s\": {ssc:.6},\n    \
          \"budgeted_s\": {sb:.6},\n    \
          \"budget_overhead\": {sov:.3},\n    \
-         \"speedup\": {ssp:.2}\n  }},\n  \
+         \"speedup\": {ssp:.2},\n    \
+         \"scheduled_speedup\": {sssp:.2}\n  }},\n  \
          \"samples\": {samples},\n  \
          \"max_budget_overhead\": {max_ov},\n  \
+         \"min_sparse_scheduled_speedup\": {min_ssp},\n  \
          \"parallel_feature\": {par}\n}}\n",
         dw = dense_width,
         dg = dense_circ.len(),
-        dops = dense_compiled_circ.len(),
+        dops = dense_linear_circ.len(),
+        dsops = dense_sched_circ.len(),
+        dlay = dense_sched_stats.layers,
+        dcom = dense_sched_stats.commuted_diagonals,
         di = dense_interpreted,
         dc = dense_compiled,
+        dsc = dense_scheduled,
         db = dense_budgeted,
         dov = dense_overhead,
         dsp = dense_interpreted / dense_compiled,
+        dssp = dense_interpreted / dense_scheduled,
         sw = sparse_circ.width(),
         sg = sparse_circ.len(),
-        sops = sparse_compiled_circ.len(),
+        sops = sparse_linear_circ.len(),
+        ssops = sparse_sched_circ.len(),
+        slay = sparse_sched_stats.layers,
+        scom = sparse_sched_stats.commuted_diagonals,
         si = sparse_interpreted,
         sc = sparse_compiled,
+        ssc = sparse_scheduled,
         sb = sparse_budgeted,
         sov = sparse_overhead,
         ssp = sparse_interpreted / sparse_compiled,
+        sssp = sparse_interpreted / sparse_scheduled,
         samples = SAMPLES,
         max_ov = MAX_BUDGET_OVERHEAD,
+        min_ssp = MIN_SPARSE_SCHEDULED_SPEEDUP,
         par = qmkp_qsim::parallel_enabled(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
@@ -180,6 +251,10 @@ fn main() {
                 "dense_speedup",
                 format!("{:.2}", dense_interpreted / dense_compiled),
             )
+            .outcome(
+                "dense_scheduled_speedup",
+                format!("{:.2}", dense_interpreted / dense_scheduled),
+            )
             .outcome("dense_budget_overhead", format!("{dense_overhead:.3}"))
             .outcome("sparse_interpreted_s", format!("{sparse_interpreted:.6}"))
             .outcome("sparse_compiled_s", format!("{sparse_compiled:.6}"))
@@ -187,10 +262,14 @@ fn main() {
                 "sparse_speedup",
                 format!("{:.2}", sparse_interpreted / sparse_compiled),
             )
+            .outcome(
+                "sparse_scheduled_speedup",
+                format!("{:.2}", sparse_interpreted / sparse_scheduled),
+            )
             .outcome("sparse_budget_overhead", format!("{sparse_overhead:.3}")),
     );
 
-    // The guard: budget checks must stay in the noise, not become a tax.
+    // Guard 1: budget checks must stay in the noise, not become a tax.
     for (name, overhead) in [("dense", dense_overhead), ("sparse", sparse_overhead)] {
         if overhead >= MAX_BUDGET_OVERHEAD {
             eprintln!(
@@ -199,5 +278,16 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    // Guard 2: the DAG scheduler must hold the sparse backend's compiled
+    // speedup — losing ground to linear fusion is a regression.
+    let sparse_sched_speedup = sparse_interpreted / sparse_scheduled;
+    if sparse_sched_speedup < MIN_SPARSE_SCHEDULED_SPEEDUP {
+        eprintln!(
+            "bench_qsim: sparse scheduled speedup {sparse_sched_speedup:.2}x fell below \
+             the {MIN_SPARSE_SCHEDULED_SPEEDUP}x guard"
+        );
+        std::process::exit(1);
     }
 }

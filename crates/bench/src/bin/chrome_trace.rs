@@ -1,0 +1,372 @@
+//! Chrome-trace exporter: converts a `qmkp-obs` JSONL trace (written by
+//! `QMKP_OBS_JSON=<path>` / [`qmkp_obs::JsonlSink`]) into the Chrome
+//! Trace Event JSON-array format that `chrome://tracing`, Perfetto and
+//! `speedscope` all load.
+//!
+//! The obs wire format carries *durations*, not wall timestamps (spans
+//! end with `ns`, observes are bare `ns`), so the exporter synthesizes a
+//! virtual per-thread timeline: every completed span or observation
+//! becomes a `"X"` complete event laid out at the thread's running
+//! cursor, which only advances when work completes. Nested spans keep
+//! their nesting — a span's slice starts where the cursor stood at its
+//! `span_start`, and children pack left-to-right inside it. The
+//! `qsim.kernel.layer` observations emitted by the DAG-scheduled runner
+//! therefore render as back-to-back kernel slices, one per layer.
+//!
+//! Counters and gauges become `"C"` counter tracks (counters cumulative,
+//! gauges last-value); messages become `"i"` instants.
+//!
+//! ```text
+//! cargo run -p qmkp-bench --bin chrome_trace -- trace.jsonl [--out trace.json]
+//! ```
+
+use qmkp_obs::json::{self, Json};
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+/// What one conversion did, for the summary line and the tests.
+#[derive(Debug, Default, PartialEq)]
+struct ExportStats {
+    /// `"X"` complete events (spans + observations).
+    slices: usize,
+    /// `"C"` counter samples (counters + gauges).
+    samples: usize,
+    /// `"i"` instant events (messages).
+    instants: usize,
+    /// Lines that were not valid obs events (skipped, reported).
+    skipped: usize,
+    /// Total nanoseconds attributed to `qsim.kernel.layer` slices.
+    kernel_layer_ns: u128,
+    /// Number of `qsim.kernel.layer` slices (scheduled kernel layers).
+    kernel_layers: usize,
+}
+
+/// Microseconds (Chrome's unit) from nanoseconds, keeping sub-µs detail.
+fn us(ns: u128) -> String {
+    json::number(ns as f64 / 1000.0)
+}
+
+fn field_u64(obj: &Json, name: &str) -> Option<u64> {
+    obj.get(name).and_then(Json::as_f64).map(|v| v as u64)
+}
+
+fn field_str<'a>(obj: &'a Json, name: &str) -> Option<&'a str> {
+    obj.get(name).and_then(Json::as_str)
+}
+
+/// Converts one JSONL trace into a Chrome trace-event JSON array.
+fn export(input: &str) -> (String, ExportStats) {
+    let mut stats = ExportStats::default();
+    let mut events: Vec<String> = Vec::new();
+    // Virtual per-thread clocks (ns); they advance only when work ends.
+    let mut cursor: HashMap<u64, u128> = HashMap::new();
+    // Open span id → the cursor position when it started.
+    let mut open: HashMap<u64, u128> = HashMap::new();
+    // Cumulative counter totals by name.
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    let mut threads: Vec<u64> = Vec::new();
+
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(obj) = json::parse(line) else {
+            stats.skipped += 1;
+            continue;
+        };
+        let (Some(kind), Some(thread)) = (field_str(&obj, "type"), field_u64(&obj, "thread"))
+        else {
+            stats.skipped += 1;
+            continue;
+        };
+        if !threads.contains(&thread) {
+            threads.push(thread);
+        }
+        let now = *cursor.entry(thread).or_insert(0);
+        match kind {
+            "span_start" => {
+                let Some(id) = field_u64(&obj, "id") else {
+                    stats.skipped += 1;
+                    continue;
+                };
+                open.insert(id, now);
+            }
+            "span_end" | "duration" => {
+                let (Some(name), Some(ns)) = (field_str(&obj, "name"), field_u64(&obj, "ns"))
+                else {
+                    stats.skipped += 1;
+                    continue;
+                };
+                let ns = ns as u128;
+                // A span slice starts where its span_start saw the
+                // cursor; an observation starts at the cursor itself.
+                let start = match kind {
+                    "span_end" => field_u64(&obj, "id")
+                        .and_then(|id| open.remove(&id))
+                        .unwrap_or(now),
+                    _ => now,
+                };
+                events.push(format!(
+                    "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{thread}}}",
+                    json::quote(name),
+                    us(start),
+                    us(ns),
+                ));
+                stats.slices += 1;
+                if name == "qsim.kernel.layer" {
+                    stats.kernel_layers += 1;
+                    stats.kernel_layer_ns += ns;
+                }
+                let end = start.saturating_add(ns);
+                cursor.insert(thread, now.max(end));
+            }
+            "counter" => {
+                let (Some(name), Some(delta)) = (field_str(&obj, "name"), field_u64(&obj, "delta"))
+                else {
+                    stats.skipped += 1;
+                    continue;
+                };
+                let total = totals.entry(name.to_string()).or_insert(0);
+                *total += delta;
+                events.push(format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{thread},\
+                     \"args\":{{\"value\":{total}}}}}",
+                    json::quote(name),
+                    us(now),
+                ));
+                stats.samples += 1;
+            }
+            "gauge" => {
+                let (Some(name), Some(value)) = (
+                    field_str(&obj, "name"),
+                    obj.get("value").and_then(Json::as_f64),
+                ) else {
+                    stats.skipped += 1;
+                    continue;
+                };
+                events.push(format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{thread},\
+                     \"args\":{{\"value\":{}}}}}",
+                    json::quote(name),
+                    us(now),
+                    json::number(value),
+                ));
+                stats.samples += 1;
+            }
+            "message" => {
+                let Some(text) = field_str(&obj, "text") else {
+                    stats.skipped += 1;
+                    continue;
+                };
+                events.push(format!(
+                    "{{\"name\":{},\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{thread},\"s\":\"t\"}}",
+                    json::quote(text),
+                    us(now),
+                ));
+                stats.instants += 1;
+            }
+            _ => stats.skipped += 1,
+        }
+    }
+
+    // Thread-name metadata rows so the viewer labels the virtual lanes.
+    let mut body: Vec<String> = threads
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\
+                 \"args\":{{\"name\":\"obs thread {t}\"}}}}"
+            )
+        })
+        .collect();
+    body.extend(events);
+    (format!("[{}]\n", body.join(",\n")), stats)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (input_path, out_path) = match args.as_slice() {
+        [input] => (input.clone(), format!("{input}.trace.json")),
+        [input, flag, out] if flag == "--out" => (input.clone(), out.clone()),
+        _ => {
+            println!("usage: chrome_trace <trace.jsonl> [--out <trace.json>]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = match fs::read_to_string(&input_path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("cannot read {input_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (rendered, stats) = export(&input);
+    if let Err(e) = fs::write(&out_path, &rendered) {
+        println!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{out_path}: {} slice(s), {} counter sample(s), {} instant(s), {} skipped",
+        stats.slices, stats.samples, stats.instants, stats.skipped
+    );
+    if stats.kernel_layers > 0 {
+        println!(
+            "kernel layers: {} slice(s), {:.3} ms total, {:.1} µs/layer mean",
+            stats.kernel_layers,
+            stats.kernel_layer_ns as f64 / 1e6,
+            stats.kernel_layer_ns as f64 / 1e3 / stats.kernel_layers as f64,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(events: &[&str]) -> String {
+        events.join("\n")
+    }
+
+    #[test]
+    fn spans_nest_on_the_virtual_timeline() {
+        let input = lines(&[
+            r#"{"type":"span_start","id":1,"parent":0,"thread":3,"name":"outer"}"#,
+            r#"{"type":"span_start","id":2,"parent":1,"thread":3,"name":"inner"}"#,
+            r#"{"type":"span_end","id":2,"thread":3,"name":"inner","ns":4000}"#,
+            r#"{"type":"span_end","id":1,"thread":3,"name":"outer","ns":10000}"#,
+        ]);
+        let (out, stats) = export(&input);
+        assert_eq!(stats.slices, 2);
+        assert_eq!(stats.skipped, 0);
+        let parsed = json::parse(&out).expect("valid JSON array");
+        let arr = parsed.as_array().expect("array");
+        // 1 metadata row + 2 slices.
+        assert_eq!(arr.len(), 3);
+        let inner = &arr[1];
+        let outer = &arr[2];
+        assert_eq!(inner.get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(inner.get("dur").and_then(Json::as_f64), Some(4.0));
+        // The outer slice starts where its span_start saw the cursor —
+        // 0 — and spans its full 10 µs, containing the inner slice.
+        assert_eq!(outer.get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(outer.get("dur").and_then(Json::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn kernel_layer_observes_pack_back_to_back() {
+        let input = lines(&[
+            r#"{"type":"duration","thread":1,"name":"qsim.kernel.layer","ns":2000}"#,
+            r#"{"type":"duration","thread":1,"name":"qsim.kernel.layer","ns":3000}"#,
+        ]);
+        let (out, stats) = export(&input);
+        assert_eq!(stats.kernel_layers, 2);
+        assert_eq!(stats.kernel_layer_ns, 5000);
+        let parsed = json::parse(&out).unwrap();
+        let arr = parsed.as_array().unwrap();
+        let first = &arr[1];
+        let second = &arr[2];
+        assert_eq!(first.get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(second.get("ts").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(second.get("dur").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn threads_get_independent_timelines() {
+        let input = lines(&[
+            r#"{"type":"duration","thread":1,"name":"a","ns":1000}"#,
+            r#"{"type":"duration","thread":2,"name":"b","ns":1000}"#,
+        ]);
+        let (out, _) = export(&input);
+        let parsed = json::parse(&out).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // 2 metadata rows + 2 slices, both slices at ts 0 on their lane.
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[2].get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(arr[3].get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_ne!(
+            arr[2].get("tid").and_then(Json::as_f64),
+            arr[3].get("tid").and_then(Json::as_f64)
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_sample() {
+        let input = lines(&[
+            r#"{"type":"counter","thread":1,"name":"rt.retries","delta":1}"#,
+            r#"{"type":"counter","thread":1,"name":"rt.retries","delta":2}"#,
+            r#"{"type":"gauge","thread":1,"name":"g","value":2.5}"#,
+        ]);
+        let (out, stats) = export(&input);
+        assert_eq!(stats.samples, 3);
+        let parsed = json::parse(&out).unwrap();
+        let arr = parsed.as_array().unwrap();
+        let second = &arr[2];
+        let value = second
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Json::as_f64);
+        assert_eq!(value, Some(3.0), "counter track is cumulative");
+        let gauge = arr[3]
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Json::as_f64);
+        assert_eq!(gauge, Some(2.5));
+    }
+
+    #[test]
+    fn real_scheduled_run_round_trips_with_layer_slices() {
+        use qmkp_obs::Sink;
+        use qmkp_qsim::{Circuit, CompileOptions, CompiledCircuit, DenseState, Gate, QuantumState};
+        let mut c = Circuit::new(6);
+        for q in 0..3 {
+            c.push(Gate::H(q)).unwrap();
+        }
+        c.push(Gate::ccnot(0, 1, 3)).unwrap();
+        c.push(Gate::ccnot(1, 2, 4)).unwrap();
+        let compiled = CompiledCircuit::compile_with(
+            &c,
+            CompileOptions {
+                dag_scheduler: true,
+            },
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "chrome_trace_roundtrip_{}.jsonl",
+            std::process::id()
+        ));
+        let sink = std::sync::Arc::new(qmkp_obs::JsonlSink::create(&path).unwrap());
+        let guard = qmkp_obs::attach(sink.clone());
+        let mut s = DenseState::zero(6).unwrap();
+        s.run_compiled(&compiled).unwrap();
+        drop(guard);
+        sink.flush();
+
+        let input = fs::read_to_string(&path).unwrap();
+        let _ = fs::remove_file(&path);
+        let (out, stats) = export(&input);
+        let layers = compiled.stats().layers;
+        assert!(layers >= 1);
+        assert!(
+            stats.kernel_layers >= layers,
+            "expected at least {layers} layer slice(s), saw {}",
+            stats.kernel_layers
+        );
+        assert!(json::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped_not_fatal() {
+        let input = lines(&[
+            "not json at all",
+            r#"{"type":"mystery","thread":1}"#,
+            r#"{"type":"message","thread":1,"text":"hello"}"#,
+        ]);
+        let (out, stats) = export(&input);
+        assert_eq!(stats.skipped, 2);
+        assert_eq!(stats.instants, 1);
+        assert!(json::parse(&out).is_ok(), "output must stay valid JSON");
+    }
+}

@@ -173,8 +173,12 @@ pub fn diffusion_circuit(width: usize, vertices: &Register) -> Circuit {
 /// The three circuits of an iteration (`U_check`, `U_check†`, diffusion)
 /// are compiled once at construction — mask-precomputed and fused into
 /// kernel ops — and the compiled forms are reused every iteration. Wall
-/// time is still attributed per oracle section: compilation never fuses
-/// across section boundaries, so each section's op range is timed exactly.
+/// time is still attributed per oracle section. With the DAG scheduler on
+/// (the default) fused ops span section boundaries, so each scheduled
+/// layer's measured time is split across the sections it absorbed in
+/// proportion to their surviving kernel steps (the schedule's per-op
+/// attribution weights); linear compiles never fuse across section
+/// boundaries and keep the exact per-range timing.
 pub struct GroverDriver<O: PhaseOracle = Oracle, S: QuantumState = SparseState> {
     oracle: O,
     state: S,
@@ -357,10 +361,92 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
         qmkp_obs::gauge("core.grover.mem_bytes", self.state.memory_bytes() as f64);
     }
 
+    /// The bucket name of a schedule attribution's section id:
+    /// [`qmkp_qsim::UNSECTIONED`] (or anything out of range) lands in
+    /// "other"; `U_check` and `U_check†` share buckets via `†`-stripping.
+    fn bucket_name(compiled: &CompiledCircuit, id: usize) -> &str {
+        compiled
+            .sections()
+            .get(id)
+            .map(|s| s.name.trim_end_matches('†'))
+            .unwrap_or("other")
+    }
+
+    /// Applies a DAG-scheduled compiled circuit layer by layer, splitting
+    /// each layer's measured time across the sections it absorbed in
+    /// proportion to the schedule's per-op attribution weights. Shares are
+    /// floor-divided nanoseconds with the remainder on the last bucket, so
+    /// the bucket sum equals the measured layer time *exactly* — the obs
+    /// drift property (span sum == `SectionTimes::total()`) stays an
+    /// equality. With a context, each layer is one poll of the
+    /// `qsim.run.op` failpoint and one op-weight charge, matching the
+    /// kernel path's granularity.
+    fn run_scheduled(
+        state: &mut S,
+        compiled: &CompiledCircuit,
+        schedule: &qmkp_qsim::Schedule,
+        times: &mut SectionTimes,
+        ctx: Option<&RtContext>,
+    ) -> Result<(), SimError> {
+        let ops = compiled.ops();
+        let narrow = compiled.narrow_ops();
+        let traced = qmkp_obs::enabled();
+        for layer in &schedule.layers {
+            if let Some(ctx) = ctx {
+                qmkp_rt::failpoint::check("qsim.run.op")?;
+                ctx.charge_ops(layer.len() as u64)?;
+            }
+            let start = Instant::now();
+            match narrow {
+                Some(nops) => state.apply_layer64(&nops[layer.clone()]),
+                None => state.apply_layer(&ops[layer.clone()]),
+            }
+            let elapsed = start.elapsed();
+            // Fold the layer's per-op attributions into section → weight,
+            // keeping first-seen order so the remainder lands
+            // deterministically.
+            let mut weights: Vec<(usize, usize)> = Vec::new();
+            for attr in &schedule.attributions[layer.clone()] {
+                for &(sec, w) in attr {
+                    match weights.iter_mut().find(|(s, _)| *s == sec) {
+                        Some((_, total)) => *total += w,
+                        None => weights.push((sec, w)),
+                    }
+                }
+            }
+            let total: u128 = weights.iter().map(|&(_, w)| w as u128).sum();
+            if total == 0 {
+                continue;
+            }
+            let nanos = elapsed.as_nanos();
+            let mut used: u128 = 0;
+            for (i, &(sec, w)) in weights.iter().enumerate() {
+                let share = if i + 1 == weights.len() {
+                    nanos - used
+                } else {
+                    nanos * w as u128 / total
+                };
+                used += share;
+                let d = Duration::from_nanos(share as u64);
+                let name = Self::bucket_name(compiled, sec);
+                times.add(name, d);
+                if traced {
+                    qmkp_obs::span_closed(&format!("core.grover.section.{name}"), d);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Applies a compiled circuit, timing each section's op range (and any
     /// ops between sections as "other"). `U_check` and `U_check†` share
     /// buckets: the trailing `†` is stripped from section names.
     fn run_sectioned(state: &mut S, compiled: &CompiledCircuit, times: &mut SectionTimes) {
+        if let Some(schedule) = compiled.schedule() {
+            Self::run_scheduled(state, compiled, schedule, times, None)
+                .expect("no context, no interruption");
+            return;
+        }
         let ops = compiled.ops();
         // Paper-scale registers fit in 64 bits; run the u64-specialised
         // kernels whenever the compiler emitted them.
@@ -411,6 +497,9 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
         times: &mut SectionTimes,
         ctx: &RtContext,
     ) -> Result<(), SimError> {
+        if let Some(schedule) = compiled.schedule() {
+            return Self::run_scheduled(state, compiled, schedule, times, Some(ctx));
+        }
         let ops = compiled.ops();
         let narrow = compiled.narrow_ops();
         let mut pos = 0;

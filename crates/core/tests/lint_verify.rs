@@ -77,6 +77,51 @@ fn compile_stats_agree_with_analyzer_estimate() {
     assert!(drift.is_empty(), "analyzer/compiler drift: {drift:?}");
 }
 
+#[test]
+fn dag_scheduler_lengthens_fused_ladders_on_the_fig1_oracle() {
+    use qmkp_qsim::CompileOptions;
+    let oracle = Oracle::new(&paper_fig1_graph(), 2, 4);
+    let full = full_circuit(&oracle);
+    let linear = CompiledCircuit::compile_with(
+        &full,
+        CompileOptions {
+            dag_scheduler: false,
+        },
+    )
+    .unwrap();
+    let scheduled = CompiledCircuit::compile_with(
+        &full,
+        CompileOptions {
+            dag_scheduler: true,
+        },
+    )
+    .unwrap();
+    let (lin, sched) = (linear.stats(), scheduled.stats());
+    assert!(sched.scheduled && !lin.scheduled);
+    // Commuting diagonals out of the way lets flip ladders that the
+    // linear pass had to cut keep growing — the whole point of the pass.
+    assert!(
+        sched.longest_ladder > lin.longest_ladder,
+        "scheduled longest ladder {} must beat linear {}",
+        sched.longest_ladder,
+        lin.longest_ladder
+    );
+    assert!(
+        sched.cancelled_flips >= lin.cancelled_flips,
+        "the DAG pass sees every cancellation the linear pass sees"
+    );
+    assert_eq!(
+        sched.cancelled_flips, 120,
+        "compute/uncompute pairs cancel across commuting diagonals"
+    );
+    // Both compiles must remain drift-free under the analyzer's
+    // mode-matched estimate.
+    for stats in [&lin, &sched] {
+        let drift = qmkp_lint::cross_check_compile(&full, stats);
+        assert!(drift.is_empty(), "analyzer/compiler drift: {drift:?}");
+    }
+}
+
 /// Drops gate `i` from a circuit, preserving section tags.
 fn drop_gate(c: &Circuit, drop: usize) -> Circuit {
     let mut out = Circuit::new(c.width());

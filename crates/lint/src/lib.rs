@@ -48,5 +48,6 @@ pub use diagnostic::{has_errors, render, Diagnostic, Severity, Span};
 pub use report::{analyze, cross_check_compile, AnalysisReport};
 pub use resource::{audit, circuit_depth, qtkp_oracle_model, ResourceModel, SectionBudget};
 pub use structural::{
-    check_registers, peephole_estimate, structural_diagnostics, PeepholeEstimate,
+    check_registers, peephole_estimate, scheduled_peephole_estimate, structural_diagnostics,
+    PeepholeEstimate,
 };

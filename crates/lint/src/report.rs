@@ -11,7 +11,9 @@
 use crate::ancilla::{verify_ancillas, AncillaSpec};
 use crate::diagnostic::{self, Diagnostic, Severity};
 use crate::resource::{audit, circuit_depth, ResourceModel};
-use crate::structural::{peephole_estimate, structural_diagnostics, PeepholeEstimate};
+use crate::structural::{
+    peephole_estimate, scheduled_peephole_estimate, structural_diagnostics, PeepholeEstimate,
+};
 use qmkp_obs::json::{number, quote};
 use qmkp_qsim::compile::CompileStats;
 use qmkp_qsim::Circuit;
@@ -36,7 +38,10 @@ pub struct AnalysisReport {
     pub inputs_checked: u64,
     /// Per-section gate counts, in circuit order.
     pub sections: Vec<(String, usize)>,
-    /// Cancellation/fusion opportunities the compiler would exploit.
+    /// Cancellation/fusion opportunities the *linear* compile pipeline
+    /// would exploit — a conservative floor every compile mode reaches.
+    /// The DAG scheduler's deeper rewrites are verified separately by
+    /// [`cross_check_compile`] against the actual compile's stats.
     pub peephole: PeepholeEstimate,
 }
 
@@ -107,10 +112,12 @@ impl AnalysisReport {
         }
         s.push_str("],");
         s.push_str(&format!(
-            "\"peephole\":{{\"cancelled_flips\":{},\"merged_phases\":{},\"merged_singles\":{}}},",
+            "\"peephole\":{{\"cancelled_flips\":{},\"merged_phases\":{},\
+             \"merged_singles\":{},\"commuted_diagonals\":{}}},",
             number(self.peephole.cancelled_flips as f64),
             number(self.peephole.merged_phases as f64),
-            number(self.peephole.merged_singles as f64)
+            number(self.peephole.merged_singles as f64),
+            number(self.peephole.commuted_diagonals as f64)
         ));
         s.push_str("\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -191,10 +198,17 @@ pub fn analyze(
 /// Cross-checks the analyzer's peephole estimate against the stats the
 /// compiler actually reported for the same circuit. A mismatch means the
 /// analyzer's model of the compiler has drifted — exactly the silent
-/// divergence this check exists to catch.
+/// divergence this check exists to catch. `stats.scheduled` selects
+/// which mirror to replay: the linear run-splitting model, or the DAG
+/// scheduler's sink/fuse/cancel state machine
+/// ([`scheduled_peephole_estimate`]).
 pub fn cross_check_compile(circuit: &Circuit, stats: &CompileStats) -> Vec<Diagnostic> {
-    let mut scratch = Vec::new();
-    let est = peephole_estimate(circuit, &mut scratch);
+    let est = if stats.scheduled {
+        scheduled_peephole_estimate(circuit)
+    } else {
+        let mut scratch = Vec::new();
+        peephole_estimate(circuit, &mut scratch)
+    };
     let mut diagnostics = Vec::new();
     let mut check = |what: &'static str, code: &'static str, predicted: usize, actual: usize| {
         if predicted != actual {
@@ -222,6 +236,12 @@ pub fn cross_check_compile(circuit: &Circuit, stats: &CompileStats) -> Vec<Diagn
         "compile-drift-merged-singles",
         est.merged_singles,
         stats.merged_singles,
+    );
+    check(
+        "commuted diagonals",
+        "compile-drift-commuted-diagonals",
+        est.commuted_diagonals,
+        stats.commuted_diagonals,
     );
     if circuit.len() != stats.source_gates {
         diagnostics.push(Diagnostic::error(

@@ -116,6 +116,11 @@ pub struct PeepholeEstimate {
     /// Single-qubit gates that would fuse into their predecessor's 2×2
     /// product.
     pub merged_singles: usize,
+    /// Diagonal steps the DAG scheduler would sink past an arriving
+    /// permutation step by mask conjugation. Always zero for the linear
+    /// pipeline ([`peephole_estimate`]); only
+    /// [`scheduled_peephole_estimate`] predicts it.
+    pub commuted_diagonals: usize,
 }
 
 /// The `(care, want, flip)` mask triple an X/MCX lowers to — the same
@@ -162,12 +167,125 @@ fn phase_masks(gate: &Gate) -> Option<(u128, u128)> {
     }
 }
 
-/// Predicts the compile pipeline's peephole effects without compiling,
-/// appending a capped set of `peephole-cancel` notes for the cancelled
-/// pairs. The returned totals mirror `CompileStats::{cancelled_flips,
-/// merged_phases, merged_singles}` exactly (same run-splitting at section
-/// boundaries, same cascade behaviour), which
-/// [`crate::report::cross_check_compile`] relies on.
+/// `F·D·F` at the mask level: the `(care, want)` test pattern of a
+/// diagonal step conjugated through a flip step `(fcare, fwant, flip)`,
+/// or `None` when the pair does not rewrite to a single masked step.
+/// Mirrors `qmkp_qsim::dag::conjugate_phase` exactly — phase *values*
+/// never influence the scheduler's control flow, so masks alone decide
+/// every branch the mirror has to replay.
+fn conjugate_masks(d: (u128, u128), f: (u128, u128, u128)) -> Option<(u128, u128)> {
+    let (care, want) = d;
+    let (fcare, fwant, flip) = f;
+    if flip & care == 0 {
+        return Some((care, want));
+    }
+    if fcare & !care == 0 {
+        if want & fcare == fwant {
+            return Some((care, want ^ (flip & care)));
+        }
+        return Some((care, want));
+    }
+    None
+}
+
+/// Predicts the *DAG scheduler's* peephole effects (`compile_with` with
+/// `dag_scheduler` on — the default compile mode) without compiling.
+///
+/// The scheduler fuses across section boundaries and sinks diagonals
+/// past permutation ladders by conjugation, so its counts legitimately
+/// differ from [`peephole_estimate`]'s linear model. This mirror replays
+/// the scheduler's streaming state machine at the mask level: a pending
+/// permutation ladder, a pending diagonal run, and pending single-qubit
+/// kernels (tracked by qubit only), with the same flush/conjugate/cancel
+/// arrival rules. [`crate::report::cross_check_compile`] picks between
+/// the two mirrors from `CompileStats::scheduled`.
+pub fn scheduled_peephole_estimate(circuit: &Circuit) -> PeepholeEstimate {
+    let mut est = PeepholeEstimate::default();
+    // The scheduler's open-run state, masks only. Sections never flush
+    // the scheduler (fusion across boundaries is its point), so the
+    // section list plays no role here.
+    let mut perm_run: Vec<(u128, u128, u128)> = Vec::new();
+    let mut diag_run: Vec<(u128, u128)> = Vec::new();
+    let mut singles: Vec<usize> = Vec::new();
+    let singles_support = |singles: &[usize]| singles.iter().fold(0u128, |m, &q| m | (1u128 << q));
+
+    for gate in circuit.gates() {
+        if let Some(f) = flip_masks(gate) {
+            let (fcare, _, flip) = f;
+            let support = fcare | flip;
+            if singles_support(&singles) & support != 0 {
+                perm_run.clear();
+                diag_run.clear();
+                singles.clear();
+                perm_run.push(f);
+                continue;
+            }
+            let conjugated: Option<Vec<(u128, u128)>> =
+                diag_run.iter().map(|&d| conjugate_masks(d, f)).collect();
+            let Some(conjugated) = conjugated else {
+                perm_run.clear();
+                diag_run.clear();
+                singles.clear();
+                perm_run.push(f);
+                continue;
+            };
+            est.commuted_diagonals += conjugated.len();
+            diag_run = conjugated;
+            // Long-range cancellation: walk the ladder backwards past
+            // support-disjoint steps; an equal step annihilates.
+            let mut cancelled = false;
+            for j in (0..perm_run.len()).rev() {
+                let (scare, swant, sflip) = perm_run[j];
+                if (scare, swant, sflip) == f {
+                    perm_run.remove(j);
+                    est.cancelled_flips += 2;
+                    cancelled = true;
+                    break;
+                }
+                if (scare | sflip) & support != 0 {
+                    break;
+                }
+            }
+            if !cancelled {
+                perm_run.push(f);
+            }
+        } else if let Some(p) = phase_masks(gate) {
+            if singles_support(&singles) & p.0 != 0 {
+                perm_run.clear();
+                diag_run.clear();
+                singles.clear();
+                diag_run.push(p);
+            } else if diag_run.contains(&p) {
+                est.merged_phases += 1;
+            } else {
+                diag_run.push(p);
+            }
+        } else {
+            // Single-qubit non-diagonal (H / Ry): fuses into a pending
+            // kernel on the same qubit, wherever it sits.
+            let q = gate.qubits()[0];
+            if singles.contains(&q) {
+                est.merged_singles += 1;
+            } else {
+                singles.push(q);
+            }
+        }
+    }
+    est
+}
+
+/// Predicts the *linear* compile pipeline's peephole effects without
+/// compiling, appending a capped set of `peephole-cancel` notes for the
+/// cancelled pairs. The returned totals mirror
+/// `CompileStats::{cancelled_flips, merged_phases, merged_singles}` of a
+/// linear compile exactly (same run-splitting at section boundaries,
+/// same cascade behaviour), which
+/// [`crate::report::cross_check_compile`] relies on when
+/// `CompileStats::scheduled` is false; scheduled compiles are mirrored
+/// by [`scheduled_peephole_estimate`] instead. The linear model is the
+/// one [`crate::report::analyze`] reports: it is a conservative floor
+/// every compile mode reaches, and its gate-indexed notes stay
+/// meaningful to a human reader.
 pub fn peephole_estimate(circuit: &Circuit, diagnostics: &mut Vec<Diagnostic>) -> PeepholeEstimate {
     let mut est = PeepholeEstimate::default();
     let mut notes = 0usize;
@@ -260,7 +378,29 @@ pub fn peephole_estimate(circuit: &Circuit, diagnostics: &mut Vec<Diagnostic>) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmkp_qsim::{CompiledCircuit, QubitAllocator};
+    use qmkp_qsim::{CompileOptions, CompiledCircuit, QubitAllocator};
+
+    fn linear_stats(c: &Circuit) -> qmkp_qsim::CompileStats {
+        CompiledCircuit::compile_with(
+            c,
+            CompileOptions {
+                dag_scheduler: false,
+            },
+        )
+        .unwrap()
+        .stats()
+    }
+
+    fn scheduled_stats(c: &Circuit) -> qmkp_qsim::CompileStats {
+        CompiledCircuit::compile_with(
+            c,
+            CompileOptions {
+                dag_scheduler: true,
+            },
+        )
+        .unwrap()
+        .stats()
+    }
 
     #[test]
     fn well_formed_circuit_has_no_structural_findings() {
@@ -324,12 +464,62 @@ mod tests {
 
         let mut diags = Vec::new();
         let est = peephole_estimate(&c, &mut diags);
-        let stats = CompiledCircuit::compile(&c).unwrap().stats();
+        let stats = linear_stats(&c);
         assert_eq!(est.cancelled_flips, stats.cancelled_flips);
         assert_eq!(est.merged_phases, stats.merged_phases);
         assert_eq!(est.merged_singles, stats.merged_singles);
         assert_eq!(est.cancelled_flips, 6);
         assert!(diags.iter().any(|d| d.code == "peephole-cancel"));
+    }
+
+    /// Same circuit, scheduled pipeline: the DAG mirror must track the
+    /// scheduler's (deeper) counts — the trailing `H(1)` fuses across the
+    /// section end, which the linear model above cannot see.
+    #[test]
+    fn scheduled_estimate_matches_scheduled_compile_stats() {
+        let mut c = Circuit::new(4);
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.begin_section("s");
+        c.push_unchecked(Gate::X(3));
+        c.push_unchecked(Gate::X(3));
+        c.push_unchecked(Gate::Phase(0, 0.2));
+        c.push_unchecked(Gate::Phase(0, 0.3));
+        c.push_unchecked(Gate::H(1));
+        c.push_unchecked(Gate::Ry(1, 0.5));
+        c.end_section();
+        c.push_unchecked(Gate::H(1)); // fuses across the boundary here
+
+        let est = scheduled_peephole_estimate(&c);
+        let stats = scheduled_stats(&c);
+        assert!(stats.scheduled);
+        assert_eq!(est.cancelled_flips, stats.cancelled_flips);
+        assert_eq!(est.merged_phases, stats.merged_phases);
+        assert_eq!(est.merged_singles, stats.merged_singles);
+        assert_eq!(est.commuted_diagonals, stats.commuted_diagonals);
+        assert_eq!(est.merged_singles, 2, "cross-boundary fusion predicted");
+    }
+
+    /// A diagonal sandwiched between equal flips: the scheduler sinks the
+    /// phase through the second flip (one commuted diagonal) and cancels
+    /// the pair — the signature rewrite the linear model cannot express.
+    #[test]
+    fn scheduled_estimate_predicts_sinking_and_cancellation() {
+        let mut c = Circuit::new(3);
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::Z(0)); // commutes: flip misses qubit 0
+        c.begin_section("s");
+        c.push_unchecked(Gate::ccnot(0, 1, 2)); // cancels across boundary
+        c.end_section();
+
+        let est = scheduled_peephole_estimate(&c);
+        let stats = scheduled_stats(&c);
+        assert_eq!(est.cancelled_flips, stats.cancelled_flips);
+        assert_eq!(est.commuted_diagonals, stats.commuted_diagonals);
+        assert_eq!(est.cancelled_flips, 2);
+        assert_eq!(est.commuted_diagonals, 1);
     }
 
     #[test]
@@ -342,8 +532,13 @@ mod tests {
         let mut diags = Vec::new();
         let est = peephole_estimate(&c, &mut diags);
         assert_eq!(est.cancelled_flips, 0);
-        let stats = CompiledCircuit::compile(&c).unwrap().stats();
+        let stats = linear_stats(&c);
         assert_eq!(est.cancelled_flips, stats.cancelled_flips);
+        // The DAG scheduler, by contrast, cancels straight through the
+        // boundary — and the scheduled mirror predicts that too.
+        let sched = scheduled_peephole_estimate(&c);
+        assert_eq!(sched.cancelled_flips, 2);
+        assert_eq!(sched.cancelled_flips, scheduled_stats(&c).cancelled_flips);
     }
 
     #[test]

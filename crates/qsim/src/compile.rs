@@ -413,7 +413,7 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// Lowers one gate to its kernel form.
-fn lower(gate: &Gate) -> CompiledOp {
+pub(crate) fn lower_gate(gate: &Gate) -> CompiledOp {
     match gate {
         Gate::X(q) => Op::Permutation(vec![FlipStep {
             care: 0,
@@ -473,6 +473,17 @@ fn lower(gate: &Gate) -> CompiledOp {
     }
 }
 
+/// Kernel steps in the longest fused permutation ladder of an op stream.
+fn longest_ladder(ops: &[CompiledOp]) -> usize {
+    ops.iter()
+        .map(|op| match op {
+            Op::Permutation(steps) => steps.len(),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 /// What the compile pass did to a circuit: how much it read, how much it
 /// emitted, and how much the peepholes removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -483,15 +494,58 @@ pub struct CompileStats {
     pub ops: usize,
     /// Kernel steps across all emitted ops (each `Single` counts as one).
     pub kernel_steps: usize,
-    /// Gates removed by adjacent-inverse-flip cancellation (each
-    /// cancellation removes two source gates).
+    /// Gates removed by inverse-flip cancellation (each cancellation
+    /// removes two source gates). The linear pass only cancels adjacent
+    /// pairs; the DAG scheduler also cancels across commuting
+    /// intermediates.
     pub cancelled_flips: usize,
-    /// Phase gates folded into their predecessor's step.
+    /// Phase gates folded into an existing step of the same pattern.
     pub merged_phases: usize,
-    /// Single-qubit gates folded into their predecessor's 2×2 product.
+    /// Single-qubit gates folded into an existing 2×2 product.
     pub merged_singles: usize,
     /// Whether u64-specialised kernels were emitted (width ≤ 64).
     pub narrow: bool,
+    /// Whether the DAG scheduler produced this compile (vs linear fusion).
+    pub scheduled: bool,
+    /// Diagonal steps conjugated past a later flip by the scheduler's
+    /// commute rewrite (counted once per diagonal per sunk flip).
+    pub commuted_diagonals: usize,
+    /// Dispatch layers in the schedule (0 for linear compiles).
+    pub layers: usize,
+    /// Kernel steps in the longest fused permutation ladder.
+    pub longest_ladder: usize,
+}
+
+/// Compilation mode knobs.
+///
+/// [`CompileOptions::default`] reads the `QMKP_QSIM_SCHEDULER`
+/// environment variable: the DAG scheduler is ON unless the variable is
+/// set to `0`, `false` or `off` (case-insensitive) — the toggle the CI
+/// `scheduler` matrix leg flips to prove both compile paths agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run the gate-DAG scheduling pass ([`crate::dag`]) instead of
+    /// linear segment fusion.
+    pub dag_scheduler: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            dag_scheduler: scheduler_enabled_by_env(),
+        }
+    }
+}
+
+/// The `QMKP_QSIM_SCHEDULER` default: on unless explicitly disabled.
+pub fn scheduler_enabled_by_env() -> bool {
+    match std::env::var("QMKP_QSIM_SCHEDULER") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "0" || v == "false" || v == "off")
+        }
+        Err(_) => true,
+    }
 }
 
 /// A circuit lowered to fused kernel ops, with section tags carried over
@@ -506,20 +560,90 @@ pub struct CompiledCircuit {
     sections: Vec<Section>,
     source_gates: usize,
     stats: CompileStats,
+    /// The layer structure and per-op section attribution, present when
+    /// the DAG scheduler compiled this circuit.
+    schedule: Option<crate::dag::Schedule>,
 }
 
 impl CompiledCircuit {
-    /// Compiles a circuit: lowers every gate and fuses maximal same-class
-    /// runs of permutation and diagonal gates, closing runs at section
-    /// boundaries so per-section attribution stays exact.
+    /// Compiles a circuit with [`CompileOptions::default`] — the DAG
+    /// scheduler unless `QMKP_QSIM_SCHEDULER` disables it.
     ///
     /// # Errors
     /// Fails with a [`CompileError`] if the circuit is wider than 128
     /// qubits or a gate references out-of-range or duplicated qubits; a
     /// malformed circuit is reported, never panicked on.
     pub fn compile(circuit: &Circuit) -> Result<Self, CompileError> {
+        Self::compile_with(circuit, CompileOptions::default())
+    }
+
+    /// Compiles a circuit in an explicit mode.
+    ///
+    /// Linear mode lowers every gate and fuses maximal same-class runs of
+    /// permutation and diagonal gates, closing runs at section boundaries
+    /// so per-section attribution stays exact. Scheduler mode
+    /// ([`crate::dag`]) reorders commuting gates instead: diagonals sink
+    /// past permutations, ladders fuse and cancel across section
+    /// boundaries, and the result carries a [`crate::dag::Schedule`] of
+    /// support-disjoint dispatch layers with per-op section weights.
+    ///
+    /// # Errors
+    /// Same contract as [`CompiledCircuit::compile`].
+    pub fn compile_with(circuit: &Circuit, options: CompileOptions) -> Result<Self, CompileError> {
         crate::validate::validate_circuit(circuit)?;
         let span = qmkp_obs::span("qsim.compile");
+        let compiled = if options.dag_scheduler {
+            Self::compile_scheduled(circuit)
+        } else {
+            Self::compile_linear(circuit)
+        };
+        if qmkp_obs::enabled_for("qsim.compile") {
+            let stats = compiled.stats;
+            qmkp_obs::counter("qsim.compile.gates", stats.source_gates as u64);
+            qmkp_obs::counter("qsim.compile.ops", stats.ops as u64);
+            qmkp_obs::counter("qsim.compile.cancelled", stats.cancelled_flips as u64);
+            qmkp_obs::counter("qsim.compile.merged", stats.merged_phases as u64);
+            qmkp_obs::counter("qsim.compile.merged_singles", stats.merged_singles as u64);
+            qmkp_obs::counter("qsim.compile.narrow", stats.narrow as u64);
+            qmkp_obs::counter("qsim.compile.scheduled", stats.scheduled as u64);
+            qmkp_obs::counter("qsim.compile.commuted", stats.commuted_diagonals as u64);
+            qmkp_obs::counter("qsim.compile.layers", stats.layers as u64);
+        }
+        span.finish();
+        Ok(compiled)
+    }
+
+    /// The DAG-scheduled compile path (validation already done).
+    fn compile_scheduled(circuit: &Circuit) -> Self {
+        let out = crate::dag::schedule_compile(circuit);
+        let narrow_ops = (circuit.width() <= u64::BITS as usize)
+            .then(|| out.ops.iter().map(Op::narrow).collect::<Vec<_>>());
+        let stats = CompileStats {
+            source_gates: circuit.len(),
+            ops: out.ops.len(),
+            kernel_steps: out.ops.iter().map(Op::fused_gates).sum(),
+            cancelled_flips: out.cancelled_flips,
+            merged_phases: out.merged_phases,
+            merged_singles: out.merged_singles,
+            narrow: narrow_ops.is_some(),
+            scheduled: true,
+            commuted_diagonals: out.commuted_diagonals,
+            layers: out.schedule.layers.len(),
+            longest_ladder: longest_ladder(&out.ops),
+        };
+        CompiledCircuit {
+            width: circuit.width(),
+            ops: out.ops,
+            narrow_ops,
+            sections: out.sections,
+            source_gates: circuit.len(),
+            stats,
+            schedule: Some(out.schedule),
+        }
+    }
+
+    /// The linear segment-fusion compile path (validation already done).
+    fn compile_linear(circuit: &Circuit) -> Self {
         let mut cancelled_flips = 0usize;
         let mut merged_phases = 0usize;
         let mut merged_singles = 0usize;
@@ -550,7 +674,7 @@ impl CompiledCircuit {
                 }
                 fusable_single = None;
             }
-            match (lower(gate), &mut open) {
+            match (lower_gate(gate), &mut open) {
                 (Op::Permutation(step), Some(Op::Permutation(steps))) => {
                     // Peephole: each step is an involution, so a step equal
                     // to its predecessor composes to the identity. Oracle
@@ -642,25 +766,28 @@ impl CompiledCircuit {
             merged_phases,
             merged_singles,
             narrow: narrow_ops.is_some(),
+            scheduled: false,
+            commuted_diagonals: 0,
+            layers: 0,
+            longest_ladder: longest_ladder(&ops),
         };
-        if qmkp_obs::enabled_for("qsim.compile") {
-            qmkp_obs::counter("qsim.compile.gates", stats.source_gates as u64);
-            qmkp_obs::counter("qsim.compile.ops", stats.ops as u64);
-            qmkp_obs::counter("qsim.compile.cancelled", stats.cancelled_flips as u64);
-            qmkp_obs::counter("qsim.compile.merged", stats.merged_phases as u64);
-            qmkp_obs::counter("qsim.compile.merged_singles", stats.merged_singles as u64);
-            qmkp_obs::counter("qsim.compile.narrow", stats.narrow as u64);
-        }
-        span.finish();
 
-        Ok(CompiledCircuit {
+        CompiledCircuit {
             width: circuit.width(),
             ops,
             narrow_ops,
             sections,
             source_gates: circuit.len(),
             stats,
-        })
+            schedule: None,
+        }
+    }
+
+    /// The dispatch schedule (layers + per-op section weights), present
+    /// when the DAG scheduler compiled this circuit.
+    #[inline]
+    pub fn schedule(&self) -> Option<&crate::dag::Schedule> {
+        self.schedule.as_ref()
     }
 
     /// Circuit width (number of qubits).
@@ -719,8 +846,28 @@ mod tests {
     use crate::gate::Control;
     use crate::validate::validate_gate;
 
+    /// The tests below assert *linear-fusion* behavior (runs closing at
+    /// section boundaries, last-step-only peepholes), so they compile in
+    /// explicit linear mode regardless of the `QMKP_QSIM_SCHEDULER` env
+    /// toggle. Scheduler-mode behavior is tested separately.
     fn compile(c: &Circuit) -> CompiledCircuit {
-        CompiledCircuit::compile(c).expect("test circuits are well-formed")
+        CompiledCircuit::compile_with(
+            c,
+            CompileOptions {
+                dag_scheduler: false,
+            },
+        )
+        .expect("test circuits are well-formed")
+    }
+
+    fn compile_scheduled(c: &Circuit) -> CompiledCircuit {
+        CompiledCircuit::compile_with(
+            c,
+            CompileOptions {
+                dag_scheduler: true,
+            },
+        )
+        .expect("test circuits are well-formed")
     }
 
     #[test]
@@ -749,7 +896,7 @@ mod tests {
             controls: vec![Control::pos(0), Control::neg(2)],
             target: 3,
         };
-        let CompiledOp::Permutation(steps) = lower(&g) else {
+        let CompiledOp::Permutation(steps) = lower_gate(&g) else {
             panic!("MCX lowers to a permutation");
         };
         assert_eq!(
@@ -768,7 +915,7 @@ mod tests {
             controls: vec![Control::neg(0)],
             target: 1,
         };
-        let CompiledOp::Diagonal(phases) = lower(&g) else {
+        let CompiledOp::Diagonal(phases) = lower_gate(&g) else {
             panic!("MCZ lowers to a diagonal");
         };
         assert_eq!(phases.len(), 1);
@@ -1014,6 +1161,160 @@ mod tests {
             Err(CompileError::DuplicateQubit(2))
         );
         assert_eq!(validate_gate(&Gate::cnot(0, 2), 4), Ok(()));
+    }
+
+    #[test]
+    fn scheduler_commutes_diagonals_past_a_permutation_ladder() {
+        // Hand-built ladder: X-walls around an MCZ — the diffusion shape.
+        // Linear fusion keeps three ops (perm, diag, perm) and cannot
+        // cancel the walls; the scheduler conjugates the MCZ through the
+        // second wall, so the walls meet and annihilate, leaving just the
+        // conjugated diagonal.
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push_unchecked(Gate::X(q));
+        }
+        c.push_unchecked(Gate::Mcz {
+            controls: vec![Control::pos(0), Control::pos(1)],
+            target: 2,
+        });
+        for q in 0..3 {
+            c.push_unchecked(Gate::X(q));
+        }
+
+        let linear = compile(&c);
+        assert_eq!(linear.len(), 3);
+        assert_eq!(linear.stats().cancelled_flips, 0);
+
+        let cc = compile_scheduled(&c);
+        assert_eq!(cc.len(), 1, "walls cancel, diagonal survives");
+        let CompiledOp::Diagonal(phases) = &cc.ops()[0] else {
+            panic!("the surviving op is the conjugated diagonal");
+        };
+        // MCZ fires on |111⟩; conjugated through X⊗X⊗X it fires on |000⟩.
+        assert_eq!(
+            phases,
+            &vec![MaskedPhase {
+                care: 0b111,
+                want: 0b000,
+                phase: Complex::real(-1.0),
+            }]
+        );
+        let s = cc.stats();
+        assert!(s.scheduled);
+        assert_eq!(s.cancelled_flips, 6, "three X pairs cancelled");
+        assert_eq!(s.commuted_diagonals, 3, "one diagonal sunk past each X");
+        assert_eq!(s.layers, 1);
+    }
+
+    #[test]
+    fn scheduler_fuses_ladders_across_section_boundaries() {
+        // Linear fusion must close the run at the boundary; the scheduler
+        // fuses through it and attributes steps to both sections.
+        let mut c = Circuit::new(3);
+        c.begin_section("a");
+        c.push_unchecked(Gate::cnot(0, 1));
+        c.begin_section("b");
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.end_section();
+        assert_eq!(compile(&c).len(), 2);
+
+        let cc = compile_scheduled(&c);
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc.stats().longest_ladder, 2);
+        let schedule = cc.schedule().expect("scheduled compiles carry layers");
+        assert_eq!(schedule.layers, vec![0..1]);
+        assert_eq!(schedule.attributions[0], vec![(0, 1), (1, 1)]);
+        // Covering section ranges overlap on the fused op.
+        assert_eq!(cc.sections()[0].range, 0..1);
+        assert_eq!(cc.sections()[1].range, 0..1);
+    }
+
+    #[test]
+    fn scheduler_refuses_unsound_commutes() {
+        // Z on the target of a CNOT does not commute to a masked step:
+        // the runs must flush in program order instead.
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::Z(1));
+        c.push_unchecked(Gate::cnot(0, 1));
+        let cc = compile_scheduled(&c);
+        assert_eq!(cc.len(), 2);
+        assert!(matches!(&cc.ops()[0], CompiledOp::Diagonal(_)));
+        assert!(matches!(&cc.ops()[1], CompiledOp::Permutation(_)));
+        assert_eq!(cc.stats().commuted_diagonals, 0);
+    }
+
+    #[test]
+    fn scheduler_keeps_singles_ordered_against_overlapping_ops() {
+        // H(0) then CNOT(0→1): the flip overlaps the pending single, so
+        // the single must flush first and program order is preserved.
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::cnot(0, 1));
+        let cc = compile_scheduled(&c);
+        assert_eq!(cc.len(), 2);
+        assert!(matches!(&cc.ops()[0], CompiledOp::Single(k) if k.qubit == 0));
+        assert!(matches!(&cc.ops()[1], CompiledOp::Permutation(_)));
+    }
+
+    #[test]
+    fn scheduler_fuses_singles_across_disjoint_intermediates() {
+        // H(0), X(1), H(0): the X is disjoint from qubit 0, so the two
+        // Hadamards fuse (into the identity) even though linear fusion is
+        // blocked by the intervening op.
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::H(0));
+        c.push_unchecked(Gate::X(1));
+        c.push_unchecked(Gate::H(0));
+        assert_eq!(compile(&c).stats().merged_singles, 0);
+        let cc = compile_scheduled(&c);
+        assert_eq!(cc.stats().merged_singles, 1);
+        assert_eq!(cc.len(), 2);
+    }
+
+    #[test]
+    fn scheduled_layers_partition_the_ops_disjointly() {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.push_unchecked(Gate::H(q));
+        }
+        c.push_unchecked(Gate::ccnot(0, 1, 2));
+        c.push_unchecked(Gate::ccnot(3, 4, 5));
+        c.push_unchecked(Gate::Z(0));
+        let cc = compile_scheduled(&c);
+        let schedule = cc.schedule().unwrap();
+        // Layers tile 0..ops.len() in order.
+        let mut next = 0;
+        for l in &schedule.layers {
+            assert_eq!(l.start, next);
+            assert!(l.end > l.start);
+            next = l.end;
+        }
+        assert_eq!(next, cc.len());
+        assert_eq!(cc.stats().layers, schedule.layers.len());
+        // Attribution weights total the surviving kernel steps.
+        let attributed: usize = schedule
+            .attributions
+            .iter()
+            .flatten()
+            .map(|&(_, w)| w)
+            .sum();
+        assert_eq!(attributed, cc.stats().kernel_steps);
+    }
+
+    #[test]
+    fn scheduler_env_toggle_parses_disable_values() {
+        // Can't mutate the process env safely in a threaded test binary;
+        // exercise the parse contract through explicit options instead.
+        let mut c = Circuit::new(2);
+        c.push_unchecked(Gate::cnot(0, 1));
+        let on = compile_scheduled(&c);
+        assert!(on.stats().scheduled);
+        assert!(on.schedule().is_some());
+        let off = compile(&c);
+        assert!(!off.stats().scheduled);
+        assert!(off.schedule().is_none());
+        assert_eq!(off.stats().layers, 0);
     }
 
     #[test]

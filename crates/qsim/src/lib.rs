@@ -25,6 +25,7 @@
 pub mod circuit;
 pub mod compile;
 pub mod complex;
+pub mod dag;
 pub mod decompose;
 pub mod error;
 pub mod gate;
@@ -35,10 +36,12 @@ pub mod validate;
 
 pub use circuit::{Circuit, GateStats, Section};
 pub use compile::{
-    BasisKey, CompileError, CompileStats, CompiledCircuit, CompiledOp, CompiledOp64, FlipStep,
-    MaskedFlip, MaskedFlip64, MaskedPhase, MaskedPhase64, PhaseStep, SingleQubit,
+    scheduler_enabled_by_env, BasisKey, CompileError, CompileOptions, CompileStats,
+    CompiledCircuit, CompiledOp, CompiledOp64, FlipStep, MaskedFlip, MaskedFlip64, MaskedPhase,
+    MaskedPhase64, PhaseStep, SingleQubit,
 };
 pub use complex::Complex;
+pub use dag::{Schedule, MAX_LAYER_SINGLES, UNSECTIONED};
 pub use decompose::{lower_to_toffoli, Lowered};
 pub use error::SimError;
 pub use gate::{Control, Gate};

@@ -16,6 +16,16 @@
 //! in-place pass, and the `Single` butterfly is a linear two-way merge
 //! with in-place epsilon pruning — no per-gate allocation or rehashing,
 //! which the previous `HashMap` representation paid on every H/Ry gate.
+//!
+//! When the compiler's DAG scheduler is on (the default — see
+//! [`crate::compile::CompileOptions`]), `run_compiled` walks the
+//! schedule's support-disjoint layers instead of the flat op list, and
+//! each layer goes through a fused multi-op kernel
+//! ([`QuantumState::apply_layer`] / [`QuantumState::apply_layer64`]): the
+//! dense backend evaluates the layer's combined permutation, diagonal,
+//! and single-qubit butterflies in one (rayon-parallel) gather pass; the
+//! sparse backend collapses permutation+diagonal runs into a single
+//! key-rewrite pass.
 
 use crate::circuit::Circuit;
 use crate::compile::{
@@ -78,6 +88,22 @@ pub trait QuantumState {
         self.apply_op(&op.widen());
     }
 
+    /// Applies one scheduled layer of support-disjoint compiled ops. The
+    /// default applies them one by one (correct for any op list); the
+    /// backends override it with fused one-pass layer kernels.
+    fn apply_layer(&mut self, ops: &[CompiledOp]) {
+        for op in ops {
+            self.apply_op(op);
+        }
+    }
+
+    /// u64-specialised variant of [`QuantumState::apply_layer`].
+    fn apply_layer64(&mut self, ops: &[CompiledOp64]) {
+        for op in ops {
+            self.apply_op64(op);
+        }
+    }
+
     /// Heap footprint of the state representation in bytes (amplitude
     /// storage plus reusable scratch buffers). Exact for both backends:
     /// buffer capacity times entry size.
@@ -126,6 +152,36 @@ pub trait QuantumState {
         // Branch once per circuit, not per op: the untraced path runs a
         // bare loop.
         let traced = qmkp_obs::enabled_for("qsim.kernel");
+        if let Some(schedule) = compiled.schedule() {
+            // Scheduled path: dispatch whole support-disjoint layers
+            // through the fused layer kernels.
+            if let Some(ops) = compiled.narrow_ops() {
+                if traced {
+                    for layer in &schedule.layers {
+                        let start = std::time::Instant::now();
+                        self.apply_layer64(&ops[layer.clone()]);
+                        qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                    }
+                    self.trace_gauges();
+                } else {
+                    for layer in &schedule.layers {
+                        self.apply_layer64(&ops[layer.clone()]);
+                    }
+                }
+            } else if traced {
+                for layer in &schedule.layers {
+                    let start = std::time::Instant::now();
+                    self.apply_layer(&compiled.ops()[layer.clone()]);
+                    qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                }
+                self.trace_gauges();
+            } else {
+                for layer in &schedule.layers {
+                    self.apply_layer(&compiled.ops()[layer.clone()]);
+                }
+            }
+            return Ok(());
+        }
         if let Some(ops) = compiled.narrow_ops() {
             if traced {
                 for op in ops {
@@ -189,6 +245,40 @@ pub trait QuantumState {
         }
         ctx.admit_bytes(self.memory_bytes())?;
         let traced = qmkp_obs::enabled_for("qsim.kernel");
+        if let Some(schedule) = compiled.schedule() {
+            // Scheduled path: interruption lands between layers (never
+            // inside a fused pass), and each layer is charged at its op
+            // weight so budgets are comparable across compile modes.
+            if let Some(ops) = compiled.narrow_ops() {
+                for layer in &schedule.layers {
+                    qmkp_rt::failpoint::check("qsim.run.op")?;
+                    ctx.charge_ops(layer.len() as u64)?;
+                    if traced {
+                        let start = std::time::Instant::now();
+                        self.apply_layer64(&ops[layer.clone()]);
+                        qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                    } else {
+                        self.apply_layer64(&ops[layer.clone()]);
+                    }
+                }
+            } else {
+                for layer in &schedule.layers {
+                    qmkp_rt::failpoint::check("qsim.run.op")?;
+                    ctx.charge_ops(layer.len() as u64)?;
+                    if traced {
+                        let start = std::time::Instant::now();
+                        self.apply_layer(&compiled.ops()[layer.clone()]);
+                        qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                    } else {
+                        self.apply_layer(&compiled.ops()[layer.clone()]);
+                    }
+                }
+            }
+            if traced {
+                self.trace_gauges();
+            }
+            return Ok(());
+        }
         if let Some(ops) = compiled.narrow_ops() {
             for op in ops {
                 qmkp_rt::failpoint::check("qsim.run.op")?;
@@ -496,6 +586,119 @@ impl DenseState {
         }
         butterfly(&mut self.amps);
     }
+
+    /// One gather pass applying a whole support-disjoint layer at once:
+    ///
+    /// ```text
+    /// out[i] = Σ_c (Π_j M_j[i_j][c_j]) · d(P⁻¹(i_c)) · in[P⁻¹(i_c)]
+    /// ```
+    ///
+    /// where `P` is the layer's combined permutation (ladders of disjoint
+    /// ops concatenated; the inverse is the steps reversed), `d` the
+    /// combined diagonal, and `c` ranges over the `2^m` input bit
+    /// combinations of the layer's `m` single-qubit kernels (`i_c` is `i`
+    /// with those bits replaced by `c`). The layerizer caps `m` at
+    /// [`crate::dag::MAX_LAYER_SINGLES`], so the sum stays short. Because
+    /// supports are disjoint, the diagonal's bits are untouched by `P` and
+    /// by the single substitutions, so `d` may be evaluated on the
+    /// gathered source key.
+    fn apply_layer_fused<K: BasisKey>(
+        &mut self,
+        perm: &[FlipStep<K>],
+        diag: &[PhaseStep<K>],
+        singles: &[SingleQubit],
+    ) {
+        if singles.is_empty() && perm.is_empty() {
+            // Pure diagonal layer: stays an in-place pass.
+            self.apply_diagonal(diag);
+            return;
+        }
+        self.scratch.resize(self.amps.len(), Complex::ZERO);
+        let amps = &self.amps;
+        let scratch = &mut self.scratch[..];
+        let combos = 1usize << singles.len();
+        let gather = |i: usize| {
+            let mut acc = Complex::ZERO;
+            for c in 0..combos {
+                let mut coeff = Complex::ONE;
+                let mut ic = i;
+                for (j, k) in singles.iter().enumerate() {
+                    let m = 1usize << k.qubit;
+                    let row = i & m != 0;
+                    let col = (c >> j) & 1 != 0;
+                    coeff *= match (row, col) {
+                        (false, false) => k.m00,
+                        (false, true) => k.m01,
+                        (true, false) => k.m10,
+                        (true, true) => k.m11,
+                    };
+                    ic = if col { ic | m } else { ic & !m };
+                }
+                let mut key = K::from_u128(ic as u128);
+                for s in perm.iter().rev() {
+                    key = s.apply(key);
+                }
+                let mut a = amps[key.to_u128() as usize];
+                for p in diag {
+                    if p.applies_to(key) {
+                        a *= p.phase;
+                    }
+                }
+                acc += coeff * a;
+            }
+            acc
+        };
+        #[cfg(feature = "parallel")]
+        if amps.len() >= PAR_MIN_AMPS {
+            scratch
+                .par_chunks_mut(PAR_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * PAR_CHUNK;
+                    for (t, out) in chunk.iter_mut().enumerate() {
+                        *out = gather(base + t);
+                    }
+                });
+            std::mem::swap(&mut self.amps, &mut self.scratch);
+            return;
+        }
+        for (i, out) in scratch.iter_mut().enumerate() {
+            *out = gather(i);
+        }
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+    }
+
+    /// Layer dispatch, generic over the key width. The ops in a layer
+    /// have pairwise-disjoint supports, so they commute and may run in
+    /// any grouping; the dispatch picks the cheapest:
+    ///
+    /// * singles always run their in-place butterfly — routing a 2×2
+    ///   kernel through the gather multiplies every output by `2^m`
+    ///   summands, while a butterfly is one linear pass;
+    /// * a layer holding both permutations and diagonals fuses them into
+    ///   one gather pass (`out[i] = d(P⁻¹(i)) · in[P⁻¹(i)]`), saving the
+    ///   separate diagonal sweep;
+    /// * disjoint permutations concatenate into a single ladder (one
+    ///   gather instead of one per op); diagonals likewise share one
+    ///   in-place sweep.
+    fn layer_ops<K: BasisKey>(&mut self, ops: &[Op<K>]) {
+        let mut perm: Vec<FlipStep<K>> = Vec::new();
+        let mut diag: Vec<PhaseStep<K>> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Permutation(steps) => perm.extend_from_slice(steps),
+                Op::Diagonal(phases) => diag.extend_from_slice(phases),
+                Op::Single(k) => self.apply_single(k),
+            }
+        }
+        if !perm.is_empty() && !diag.is_empty() {
+            self.apply_layer_fused(&perm, &diag, &[]);
+        } else if !perm.is_empty() {
+            self.apply_permutation(&perm);
+        } else if !diag.is_empty() {
+            self.apply_diagonal(&diag);
+        }
+    }
 }
 
 impl BackendState for DenseState {
@@ -548,6 +751,14 @@ impl QuantumState for DenseState {
             CompiledOp64::Diagonal(phases) => self.apply_diagonal(phases),
             CompiledOp64::Single(k) => self.apply_single(k),
         }
+    }
+
+    fn apply_layer(&mut self, ops: &[CompiledOp]) {
+        self.layer_ops(ops);
+    }
+
+    fn apply_layer64(&mut self, ops: &[CompiledOp64]) {
+        self.layer_ops(ops);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -1016,6 +1227,57 @@ impl<K: BasisKey> SparseCore<K> {
         }
     }
 
+    /// Applies one support-disjoint scheduled layer. The layer's
+    /// permutation and diagonal content collapses into a single in-place
+    /// key-rewrite pass (disjoint supports make the phase-vs-flip order
+    /// irrelevant, so the phase test reads the pre-permutation key);
+    /// ladders long enough for the split machinery keep it by falling
+    /// back to the two specialised passes. `Single` kernels run their
+    /// merge passes afterwards — their qubits are untouched by the rest
+    /// of the layer.
+    fn apply_layer_ops(&mut self, ops: &[Op<K>]) {
+        if let [op] = ops {
+            self.apply_op(op);
+            return;
+        }
+        let mut perm: Vec<FlipStep<K>> = Vec::new();
+        let mut diag: Vec<PhaseStep<K>> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Permutation(steps) => perm.extend_from_slice(steps),
+                Op::Diagonal(phases) => diag.extend_from_slice(phases),
+                Op::Single(_) => {}
+            }
+        }
+        if !perm.is_empty() && !diag.is_empty() && perm.len() < SPLIT_LADDER_MIN {
+            for (b, a) in self.amps.iter_mut() {
+                for p in &diag {
+                    if p.applies_to(*b) {
+                        *a *= p.phase;
+                    }
+                }
+                let mut key = *b;
+                for s in &perm {
+                    key = s.apply(key);
+                }
+                *b = key;
+            }
+            if self.amps.windows(2).any(|w| w[1].0 <= w[0].0) {
+                self.amps.sort_unstable_by_key(|&(b, _)| b);
+            }
+        } else {
+            if !diag.is_empty() {
+                self.apply_diagonal(&diag);
+            }
+            self.apply_permutation(&perm);
+        }
+        for op in ops {
+            if let Op::Single(k) = op {
+                self.apply_single(k);
+            }
+        }
+    }
+
     /// Interpreted single-gate application: each gate is lowered to a
     /// stack-local kernel step and applied through the same passes as the
     /// compiled path — no allocation, no hashing.
@@ -1218,6 +1480,30 @@ impl QuantumState for SparseState {
         match &mut self.repr {
             Repr::Narrow(c) => c.apply_op(op),
             Repr::Wide(c) => c.apply_op(&op.widen()),
+        }
+    }
+
+    fn apply_layer(&mut self, ops: &[CompiledOp]) {
+        match &mut self.repr {
+            // Compat path (wide ops, narrow keys): fall back to the
+            // per-op narrowing conversions.
+            Repr::Narrow(_) => {
+                for op in ops {
+                    self.apply_op(op);
+                }
+            }
+            Repr::Wide(c) => c.apply_layer_ops(ops),
+        }
+    }
+
+    fn apply_layer64(&mut self, ops: &[CompiledOp64]) {
+        match &mut self.repr {
+            Repr::Narrow(c) => c.apply_layer_ops(ops),
+            Repr::Wide(_) => {
+                for op in ops {
+                    self.apply_op64(op);
+                }
+            }
         }
     }
 
@@ -1807,6 +2093,149 @@ mod tests {
         assert_eq!(DenseState::projected_bytes(3), 8 * 16);
         assert_eq!(DenseState::projected_bytes(127), usize::MAX);
         assert_eq!(DenseState::projected_bytes(200), usize::MAX);
+    }
+
+    /// A maximal mixed layer — permutation ladder on {0,1}, diagonal on
+    /// {2}, singles on {3,4}, all support-disjoint — used to pin the fused
+    /// layer kernels against sequential per-op application.
+    fn mixed_layer() -> Vec<CompiledOp> {
+        vec![
+            CompiledOp::Permutation(vec![
+                // cnot(0,1) then X(0): a genuine ladder inside one op.
+                FlipStep {
+                    care: 0b01,
+                    want: 0b01,
+                    flip: 0b10,
+                },
+                FlipStep {
+                    care: 0,
+                    want: 0,
+                    flip: 0b01,
+                },
+            ]),
+            CompiledOp::Diagonal(vec![PhaseStep {
+                care: 0b100,
+                want: 0b100,
+                phase: Complex::from_phase(0.7),
+            }]),
+            CompiledOp::Single(SingleQubit::hadamard(3)),
+            CompiledOp::Single(SingleQubit::ry(4, 0.9)),
+        ]
+    }
+
+    /// A generic (no-zero-amplitude, phase-rich) 5-qubit starting state.
+    fn generic_prep() -> Circuit {
+        let mut prep = Circuit::new(5);
+        for q in 0..5 {
+            prep.push_unchecked(Gate::H(q));
+        }
+        prep.push_unchecked(Gate::CPhase(0, 3, 1.1));
+        prep.push_unchecked(Gate::Ry(2, 0.4));
+        prep
+    }
+
+    #[test]
+    fn fused_layer_kernel_matches_sequential_ops() {
+        let ops = mixed_layer();
+        let ops64: Vec<CompiledOp64> = ops.iter().map(|op| op.narrow()).collect();
+        let prep = generic_prep();
+
+        // Dense, wide and narrow op widths.
+        let mut base = DenseState::zero(5).unwrap();
+        base.run_interpreted(&prep).unwrap();
+        let mut seq = base.clone();
+        for op in &ops {
+            seq.apply_op(op);
+        }
+        let mut fused = base.clone();
+        fused.apply_layer(&ops);
+        let mut fused64 = base.clone();
+        fused64.apply_layer64(&ops64);
+        for b in 0..(1u128 << 5) {
+            assert!(
+                (fused.amplitude(b) - seq.amplitude(b)).norm() < 1e-12,
+                "dense wide {b:b}"
+            );
+            assert!(
+                (fused64.amplitude(b) - seq.amplitude(b)).norm() < 1e-12,
+                "dense u64 {b:b}"
+            );
+        }
+
+        // Sparse: narrow keys take the fused path via apply_layer64, wide
+        // keys (same circuit embedded at width 70) via apply_layer.
+        let mut sbase = SparseState::zero(5);
+        sbase.run_interpreted(&prep).unwrap();
+        let mut sfused = sbase.clone();
+        sfused.apply_layer64(&ops64);
+        let mut wbase = SparseState::zero(70);
+        wbase.run_interpreted(&embed(&prep, 70)).unwrap();
+        let mut wfused = wbase.clone();
+        wfused.apply_layer(&ops);
+        for b in 0..(1u128 << 5) {
+            assert!(
+                (sfused.amplitude(b) - seq.amplitude(b)).norm() < 1e-12,
+                "sparse narrow {b:b}"
+            );
+            assert!(
+                (wfused.amplitude(b) - seq.amplitude(b)).norm() < 1e-12,
+                "sparse wide {b:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_diagonal_layer_stays_in_place() {
+        // Two disjoint diagonal ops: the dense backend must not touch its
+        // gather scratch (the layer is applied in place).
+        let ops = vec![
+            CompiledOp::Diagonal(vec![PhaseStep {
+                care: 0b01,
+                want: 0b01,
+                phase: Complex::from_phase(0.3),
+            }]),
+            CompiledOp::Diagonal(vec![PhaseStep {
+                care: 0b10,
+                want: 0b10,
+                phase: Complex::real(-1.0),
+            }]),
+        ];
+        let mut d = DenseState::zero(2).unwrap();
+        d.apply(&Gate::H(0));
+        d.apply(&Gate::H(1));
+        let mut seq = d.clone();
+        for op in &ops {
+            seq.apply_op(op);
+        }
+        d.apply_layer(&ops);
+        assert_eq!(
+            d.scratch.capacity(),
+            0,
+            "no gather pass for a diagonal layer"
+        );
+        for b in 0..4u128 {
+            assert!((d.amplitude(b) - seq.amplitude(b)).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scheduled_run_compiled_charges_layers_at_op_weight() {
+        // 5 disjoint H gates layerize into ⌈5/MAX_LAYER_SINGLES⌉ layers,
+        // but the op budget must still see all 5 kernel ops.
+        let circuit = h_layer(5);
+        let compiled = CompiledCircuit::compile_with(
+            &circuit,
+            crate::compile::CompileOptions {
+                dag_scheduler: true,
+            },
+        )
+        .unwrap();
+        let schedule = compiled.schedule().expect("scheduled compile");
+        assert!(schedule.layers.len() < 5, "singles share layers");
+        let ctx = RtContext::unlimited();
+        let mut s = SparseState::zero(5);
+        s.run_compiled_ctx(&compiled, &ctx).unwrap();
+        assert_eq!(ctx.ops_used(), 5, "layers charge their op weight");
     }
 
     #[test]

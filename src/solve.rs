@@ -21,11 +21,11 @@
 
 use qmkp_classical::bnb::max_kplex_bnb;
 use qmkp_classical::grasp::grasp_kplex;
-use qmkp_core::{qmkp_ctx, OracleLayout, QmkpConfig, QmkpOutcome};
+use qmkp_core::{qmkp_ctx, OracleLayout, QmkpCheckpoint, QmkpConfig, QmkpOutcome};
 use qmkp_graph::{is_kplex, Graph, VertexSet};
 use qmkp_obs::RunReport;
-use qmkp_qsim::{DenseState, SparseState, MAX_DENSE_QUBITS};
-use qmkp_rt::{Budget, Interrupted, RtContext, RtError};
+use qmkp_qsim::{BackendState, DenseState, SparseState, MAX_DENSE_QUBITS};
+use qmkp_rt::{retry, Budget, Interrupted, RetryPolicy, RtContext, RtError};
 
 /// Which rung of the ladder produced the answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +136,35 @@ fn fits(budget: &Budget, bytes: usize) -> bool {
     budget.max_bytes.is_none_or(|limit| bytes <= limit)
 }
 
+/// Runs one quantum rung under the runtime's retry loop. Transient
+/// faults (injected via `qmkp_rt::failpoint`, modelling flaky simulated
+/// hardware) are retried up to the default [`RetryPolicy`] with
+/// deterministic jittered backoff, *resuming from the checkpoint* the
+/// interrupted run handed back — a retry never repeats completed binary-
+/// search probes. Terminal errors (budget exhaustion, cancellation,
+/// invalid config) propagate to the degradation ladder unchanged.
+fn quantum_rung<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    config: &SolveConfig,
+    ctx: &RtContext,
+) -> Result<QmkpOutcome, RtError> {
+    let policy = RetryPolicy {
+        seed: config.qmkp.qtkp.seed,
+        ..RetryPolicy::default()
+    };
+    let mut resume: Option<QmkpCheckpoint> = None;
+    retry(&policy, ctx, |_attempt| {
+        match qmkp_ctx::<S>(g, k, &config.qmkp, ctx, resume.as_ref()) {
+            Ok(out) => Ok(out),
+            Err(Interrupted { error, checkpoint }) => {
+                resume = Some(*checkpoint);
+                Err(error)
+            }
+        }
+    })
+}
+
 /// The classical floor: exact branch & bound on small graphs, GRASP
 /// (verified) on everything else.
 fn classical_floor(g: &Graph, k: usize, config: &SolveConfig) -> (VertexSet, SolveBackend) {
@@ -193,14 +222,14 @@ fn solve_inner(
             qmkp_obs::gauge("solve.preflight_bytes", dense_cost(w) as f64);
             Some((
                 SolveBackend::Dense,
-                qmkp_ctx::<DenseState>(g, k, &config.qmkp, ctx, None),
+                quantum_rung::<DenseState>(g, k, config, ctx),
             ))
         }
         Some(w) if w <= 128 && fits(budget, sparse_cost(g.n())) => {
             qmkp_obs::gauge("solve.preflight_bytes", sparse_cost(g.n()) as f64);
             Some((
                 SolveBackend::Sparse,
-                qmkp_ctx::<SparseState>(g, k, &config.qmkp, ctx, None),
+                quantum_rung::<SparseState>(g, k, config, ctx),
             ))
         }
         _ => None,
@@ -217,7 +246,7 @@ fn solve_inner(
                 quantum: Some(out),
             });
         }
-        Some((_, Err(Interrupted { error, .. }))) => match error {
+        Some((_, Err(error))) => match error {
             RtError::Cancelled | RtError::InvalidConfig(_) => return Err(error),
             other => Some(other),
         },

@@ -192,14 +192,20 @@ fn annealer_sites_fault_structurally_and_resume() {
     failpoint::reset();
 }
 
-/// A faulted quantum pipeline inside `solve` degrades to the classical
-/// floor instead of propagating the fault: `Faulted` is transient, the
-/// answer is still a valid k-plex, and the outcome is flagged.
+/// A faulted quantum pipeline inside `solve` is first *retried* (the
+/// fault is transient, so the runtime's retry loop resumes from the
+/// checkpoint and counts `rt.retries`), and only once the policy is
+/// exhausted degrades to the classical floor: the answer is still a
+/// valid k-plex and the outcome is flagged.
 #[test]
 fn faulted_pipeline_degrades_inside_solve() {
     let _guard = failpoint::exclusive();
     failpoint::reset();
+    // `arm(site, n)` passes n hits then faults every subsequent hit, so
+    // the fault persists across retry attempts and the policy exhausts.
     failpoint::arm("core.grover.iterate", 0);
+    let collector = std::sync::Arc::new(qmkp::obs::Collector::for_current_thread());
+    let obs_guard = qmkp::obs::attach(collector.clone());
     let g = qmkp::graph::gen::paper_fig1_graph();
     let out = qmkp::solve(
         &g,
@@ -208,8 +214,13 @@ fn faulted_pipeline_degrades_inside_solve() {
         &RtContext::unlimited(),
     )
     .expect("degradation absorbs injected faults");
+    drop(obs_guard);
     assert!(out.degraded);
     assert_eq!(out.degraded_because, Some(faulted("core.grover.iterate")));
     assert!(qmkp::graph::is_kplex(&g, out.best, 2));
+    // The default policy allows 3 attempts; both re-attempts must have
+    // been counted before the ladder degraded.
+    assert_eq!(collector.counter_total("rt.retries"), 2);
+    assert_eq!(collector.counter_total("rt.degradations"), 1);
     failpoint::reset();
 }
