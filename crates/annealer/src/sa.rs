@@ -96,6 +96,56 @@ pub(crate) fn metropolis_sweep(
     }
 }
 
+/// Labeled-metrics recorder for annealing sweeps, shared by the SA, SQA,
+/// and tempering samplers: each sweep contributes its wall time to the
+/// `anneal.sweep` histogram and its absolute energy change (in
+/// milli-units, saturating) to `anneal.energy_delta_milli`, labeled by
+/// algorithm. Resolved once per run; disabled cost is one relaxed load.
+pub(crate) struct SweepMeter {
+    algo: &'static str,
+    on: bool,
+}
+
+impl SweepMeter {
+    pub(crate) fn new(algo: &'static str) -> SweepMeter {
+        SweepMeter {
+            algo,
+            on: qmkp_obs::metrics::enabled(),
+        }
+    }
+
+    /// Whether sweeps need wall-clock timing this run.
+    pub(crate) fn on(&self) -> bool {
+        self.on
+    }
+
+    pub(crate) fn record(&self, elapsed: std::time::Duration, before: f64, after: f64) {
+        self.time(elapsed);
+        self.delta(before, after);
+    }
+
+    pub(crate) fn time(&self, elapsed: std::time::Duration) {
+        if !self.on {
+            return;
+        }
+        qmkp_obs::metrics::observe_duration("anneal.sweep", &[("algo", self.algo)], elapsed);
+    }
+
+    /// Records `|after − before|` in milli-units (saturating); skipped
+    /// when either side is non-finite (e.g. the initial `+∞` best).
+    pub(crate) fn delta(&self, before: f64, after: f64) {
+        if !self.on || !before.is_finite() || !after.is_finite() {
+            return;
+        }
+        let milli = ((after - before).abs() * 1000.0).round();
+        qmkp_obs::metrics::observe(
+            "anneal.energy_delta_milli",
+            &[("algo", self.algo)],
+            milli as u64,
+        );
+    }
+}
+
 /// Runs simulated annealing on a QUBO.
 ///
 /// # Panics
@@ -110,6 +160,7 @@ pub fn anneal_qubo(q: &QuboModel, config: &SaConfig) -> AnnealOutcome {
     );
     let span = qmkp_obs::span("anneal.sa.run");
     let traced = qmkp_obs::enabled_for("anneal.sa");
+    let meter = SweepMeter::new("sa");
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -128,7 +179,12 @@ pub fn anneal_qubo(q: &QuboModel, config: &SaConfig) -> AnnealOutcome {
         let mut energy = q.energy(&x);
 
         for &beta in &betas {
+            let before = energy;
+            let sweep_start = meter.on().then(Instant::now);
             metropolis_sweep(&adj, beta, &mut x, &mut field, &mut energy, &mut rng);
+            if let Some(t0) = sweep_start {
+                meter.record(t0.elapsed(), before, energy);
+            }
             if traced {
                 qmkp_obs::gauge("anneal.sa.beta", beta);
                 qmkp_obs::gauge("anneal.sa.energy", energy);
@@ -264,6 +320,7 @@ pub fn anneal_qubo_ctx(
     }
     let span = qmkp_obs::span("anneal.sa.run");
     let traced = qmkp_obs::enabled_for("anneal.sa");
+    let meter = SweepMeter::new("sa");
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let start = Instant::now();
@@ -363,7 +420,12 @@ pub fn anneal_qubo_ctx(
             }
             let mut rng =
                 StdRng::seed_from_u64(derive_seed(config.seed, shot as u64, sweep as u64));
+            let before = energy;
+            let sweep_start = meter.on().then(Instant::now);
             metropolis_sweep(&adj, beta, &mut x, &mut field, &mut energy, &mut rng);
+            if let Some(t0) = sweep_start {
+                meter.record(t0.elapsed(), before, energy);
+            }
             if traced {
                 qmkp_obs::gauge("anneal.sa.beta", beta);
                 qmkp_obs::gauge("anneal.sa.energy", energy);

@@ -22,6 +22,7 @@
 //! Section "Annealing time Δt of qaMKP".
 
 use crate::result::AnnealOutcome;
+use crate::sa::SweepMeter;
 use qmkp_qubo::{IsingModel, QuboModel};
 use qmkp_rt::checkpoint::{
     bools_to_json, f64_to_json, f64s_to_json, parse_object, require, require_bools,
@@ -157,6 +158,7 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
     );
     let span = qmkp_obs::span("anneal.sqa.run");
     let traced = qmkp_obs::enabled_for("anneal.sqa");
+    let meter = SweepMeter::new("sqa");
     let ising = IsingModel::from_qubo(q);
     let n = ising.num_spins();
     let p = config.trotter_slices;
@@ -178,6 +180,7 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
 
         for sweep in 0..config.sweeps {
             let (gamma, j_perp) = transverse_schedule(config, sweep);
+            let sweep_start = meter.on().then(Instant::now);
             pimc_sweep(
                 &ising.h,
                 &adj,
@@ -187,6 +190,9 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
                 &mut replicas,
                 &mut rng,
             );
+            if let Some(t0) = sweep_start {
+                meter.time(t0.elapsed());
+            }
             if traced {
                 qmkp_obs::gauge("anneal.sqa.gamma", gamma);
             }
@@ -194,6 +200,9 @@ pub fn sqa_qubo(q: &QuboModel, config: &SqaConfig) -> AnnealOutcome {
 
         // Each slice is a candidate classical solution; keep the best.
         let (shot_best, shot_best_x) = best_slice(q, &replicas);
+        // PIMC sweeps carry no scalar energy, so the delta is recorded
+        // at shot granularity: this shot's best against the running best.
+        meter.delta(best_energy, shot_best);
         if traced {
             qmkp_obs::counter("anneal.sqa.shots", 1);
             qmkp_obs::gauge("anneal.sqa.shot_energy", shot_best);
@@ -343,6 +352,7 @@ pub fn sqa_qubo_ctx(
     }
     let span = qmkp_obs::span("anneal.sqa.run");
     let traced = qmkp_obs::enabled_for("anneal.sqa");
+    let meter = SweepMeter::new("sqa");
     let ising = IsingModel::from_qubo(q);
     let n = ising.num_spins();
     let p = config.trotter_slices;
@@ -455,6 +465,7 @@ pub fn sqa_qubo_ctx(
             let mut rng =
                 StdRng::seed_from_u64(derive_seed(config.seed, shot as u64, sweep as u64));
             let (gamma, j_perp) = transverse_schedule(config, sweep);
+            let sweep_start = meter.on().then(Instant::now);
             pimc_sweep(
                 &ising.h,
                 &adj,
@@ -464,12 +475,16 @@ pub fn sqa_qubo_ctx(
                 &mut replicas,
                 &mut rng,
             );
+            if let Some(t0) = sweep_start {
+                meter.time(t0.elapsed());
+            }
             if traced {
                 qmkp_obs::gauge("anneal.sqa.gamma", gamma);
             }
         }
 
         let (shot_best, shot_best_x) = best_slice(q, &replicas);
+        meter.delta(best_energy, shot_best);
         if traced {
             qmkp_obs::counter("anneal.sqa.shots", 1);
             qmkp_obs::gauge("anneal.sqa.shot_energy", shot_best);

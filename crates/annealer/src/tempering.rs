@@ -8,7 +8,7 @@
 //! like the MKP penalty surface.
 
 use crate::result::AnnealOutcome;
-use crate::sa::{init_fields, metropolis_sweep};
+use crate::sa::{init_fields, metropolis_sweep, SweepMeter};
 use qmkp_qubo::QuboModel;
 use qmkp_rt::checkpoint::{
     bools_to_json, f64_to_json, f64s_to_json, parse_object, require, require_bools,
@@ -99,6 +99,7 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
     );
     let span = qmkp_obs::span("anneal.tempering.run");
     let traced = qmkp_obs::enabled_for("anneal.tempering");
+    let meter = SweepMeter::new("tempering");
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -143,6 +144,8 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
         // Metropolis sweeps at every rung.
         for r in 0..config.replicas {
             for _ in 0..config.sweeps_per_round {
+                let before = energies[r];
+                let sweep_start = meter.on().then(Instant::now);
                 metropolis_sweep(
                     &adj,
                     betas[r],
@@ -151,6 +154,9 @@ pub fn temper_qubo(q: &QuboModel, config: &TemperingConfig) -> AnnealOutcome {
                     &mut energies[r],
                     &mut rng,
                 );
+                if let Some(t0) = sweep_start {
+                    meter.record(t0.elapsed(), before, energies[r]);
+                }
             }
             record(
                 &states[r],
@@ -344,6 +350,7 @@ pub fn temper_qubo_ctx(
     }
     let span = qmkp_obs::span("anneal.tempering.run");
     let traced = qmkp_obs::enabled_for("anneal.tempering");
+    let meter = SweepMeter::new("tempering");
     let n = q.num_vars();
     let adj = q.neighbor_lists();
     let start = Instant::now();
@@ -455,6 +462,8 @@ pub fn temper_qubo_ctx(
         let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, round as u64, 0));
         for r in 0..config.replicas {
             for _ in 0..config.sweeps_per_round {
+                let before = energies[r];
+                let sweep_start = meter.on().then(Instant::now);
                 metropolis_sweep(
                     &adj,
                     betas[r],
@@ -463,6 +472,9 @@ pub fn temper_qubo_ctx(
                     &mut energies[r],
                     &mut rng,
                 );
+                if let Some(t0) = sweep_start {
+                    meter.record(t0.elapsed(), before, energies[r]);
+                }
             }
             if energies[r] < best_energy {
                 best_energy = energies[r];

@@ -6,12 +6,15 @@
 //! scheduled circuits under a fully-armed `RtContext` (deadline + byte +
 //! op ceilings, all generous).
 //!
-//! Two **guards** make this a regression gate, exiting non-zero when:
+//! Three **guards** make this a regression gate, exiting non-zero when:
 //! * either backend's budgeted run costs more than
-//!   `MAX_BUDGET_OVERHEAD`× its unbudgeted run, or
+//!   `MAX_BUDGET_OVERHEAD`× its unbudgeted run,
 //! * the sparse backend's scheduled speedup over the interpreter drops
 //!   below `MIN_SPARSE_SCHEDULED_SPEEDUP` (the pre-scheduler compiled
-//!   speedup — the DAG pass must never lose ground to linear fusion).
+//!   speedup — the DAG pass must never lose ground to linear fusion), or
+//! * enabling the `qmkp_obs::metrics` registry costs more than
+//!   `MAX_METRICS_OVERHEAD`× the metrics-disabled dense scheduled run
+//!   (per-kernel histograms must stay out of the hot path's way).
 //!
 //! Usage: `bench_qsim [output-path]` (default `BENCH_qsim.json` in the
 //! working directory).
@@ -33,6 +36,11 @@ const MAX_BUDGET_OVERHEAD: f64 = 1.5;
 /// linear pipeline reached 4.04× on this instance, and the DAG scheduler
 /// must at least match it.
 const MIN_SPARSE_SCHEDULED_SPEEDUP: f64 = 4.04;
+
+/// Metrics-enabled / metrics-disabled wall-clock ratio above which the
+/// guard fails: per-kernel histograms must cost < 10% on the dense
+/// compiled path.
+const MAX_METRICS_OVERHEAD: f64 = 1.10;
 
 /// A context whose three ceilings are all set (so every check runs its
 /// full code path) but far too generous to ever trip mid-bench.
@@ -121,6 +129,29 @@ fn main() {
         std::hint::black_box(s.probability(0));
     });
 
+    // Metrics overhead: the same dense scheduled run with the metrics
+    // registry off, then on. Both sides are re-measured back-to-back
+    // (instead of reusing `dense_scheduled`) so they share identical
+    // cache and frequency conditions.
+    let metrics_were_enabled = qmkp_obs::metrics::enabled();
+    qmkp_obs::metrics::set_enabled(false);
+    let dense_unmetered = median_secs(|| {
+        let mut s = DenseState::zero(dense_width).unwrap();
+        s.run_compiled(&dense_sched_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+    qmkp_obs::metrics::set_enabled(true);
+    let dense_metered = median_secs(|| {
+        let mut s = DenseState::zero(dense_width).unwrap();
+        s.run_compiled(&dense_sched_circ).unwrap();
+        std::hint::black_box(s.probability(0));
+    });
+    qmkp_obs::metrics::set_enabled(metrics_were_enabled);
+    if !metrics_were_enabled {
+        qmkp_obs::metrics::reset();
+    }
+    let metrics_overhead = dense_metered / dense_unmetered;
+
     // Sparse backend: uniform superposition + qTKP U_check.
     let g = qmkp_graph::gen::paper_fig1_graph();
     let oracle = Oracle::new(&g, 2, 4);
@@ -186,6 +217,9 @@ fn main() {
          \"scheduled_s\": {dsc:.6},\n    \
          \"budgeted_s\": {db:.6},\n    \
          \"budget_overhead\": {dov:.3},\n    \
+         \"unmetered_s\": {dum:.6},\n    \
+         \"metered_s\": {dme:.6},\n    \
+         \"metrics_overhead\": {dmov:.3},\n    \
          \"speedup\": {dsp:.2},\n    \
          \"scheduled_speedup\": {dssp:.2}\n  }},\n  \
          \"sparse\": {{\n    \
@@ -204,6 +238,7 @@ fn main() {
          \"scheduled_speedup\": {sssp:.2}\n  }},\n  \
          \"samples\": {samples},\n  \
          \"max_budget_overhead\": {max_ov},\n  \
+         \"max_metrics_overhead\": {max_mov},\n  \
          \"min_sparse_scheduled_speedup\": {min_ssp},\n  \
          \"parallel_feature\": {par}\n}}\n",
         dw = dense_width,
@@ -217,6 +252,9 @@ fn main() {
         dsc = dense_scheduled,
         db = dense_budgeted,
         dov = dense_overhead,
+        dum = dense_unmetered,
+        dme = dense_metered,
+        dmov = metrics_overhead,
         dsp = dense_interpreted / dense_compiled,
         dssp = dense_interpreted / dense_scheduled,
         sw = sparse_circ.width(),
@@ -234,6 +272,7 @@ fn main() {
         sssp = sparse_interpreted / sparse_scheduled,
         samples = SAMPLES,
         max_ov = MAX_BUDGET_OVERHEAD,
+        max_mov = MAX_METRICS_OVERHEAD,
         min_ssp = MIN_SPARSE_SCHEDULED_SPEEDUP,
         par = qmkp_qsim::parallel_enabled(),
     );
@@ -256,6 +295,7 @@ fn main() {
                 format!("{:.2}", dense_interpreted / dense_scheduled),
             )
             .outcome("dense_budget_overhead", format!("{dense_overhead:.3}"))
+            .outcome("dense_metrics_overhead", format!("{metrics_overhead:.3}"))
             .outcome("sparse_interpreted_s", format!("{sparse_interpreted:.6}"))
             .outcome("sparse_compiled_s", format!("{sparse_compiled:.6}"))
             .outcome(
@@ -287,6 +327,15 @@ fn main() {
         eprintln!(
             "bench_qsim: sparse scheduled speedup {sparse_sched_speedup:.2}x fell below \
              the {MIN_SPARSE_SCHEDULED_SPEEDUP}x guard"
+        );
+        std::process::exit(1);
+    }
+
+    // Guard 3: enabling metrics must not tax the dense compiled path.
+    if metrics_overhead >= MAX_METRICS_OVERHEAD {
+        eprintln!(
+            "bench_qsim: dense metrics overhead {metrics_overhead:.3}x exceeds \
+             the {MAX_METRICS_OVERHEAD}x guard"
         );
         std::process::exit(1);
     }

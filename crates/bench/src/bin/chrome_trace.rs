@@ -36,6 +36,9 @@ struct ExportStats {
     instants: usize,
     /// Lines that were not valid obs events (skipped, reported).
     skipped: usize,
+    /// Spans opened but never closed (truncated trace); rendered as
+    /// best-effort slices covering the work completed inside them.
+    unclosed: usize,
     /// Total nanoseconds attributed to `qsim.kernel.layer` slices.
     kernel_layer_ns: u128,
     /// Number of `qsim.kernel.layer` slices (scheduled kernel layers).
@@ -61,8 +64,10 @@ fn export(input: &str) -> (String, ExportStats) {
     let mut events: Vec<String> = Vec::new();
     // Virtual per-thread clocks (ns); they advance only when work ends.
     let mut cursor: HashMap<u64, u128> = HashMap::new();
-    // Open span id → the cursor position when it started.
-    let mut open: HashMap<u64, u128> = HashMap::new();
+    // Open span id → (cursor position at start, name, thread). Name and
+    // thread are kept so a span whose end never arrives (a truncated or
+    // crashed trace) can still be rendered instead of silently dropped.
+    let mut open: HashMap<u64, (u128, String, u64)> = HashMap::new();
     // Cumulative counter totals by name.
     let mut totals: HashMap<String, u64> = HashMap::new();
     let mut threads: Vec<u64> = Vec::new();
@@ -91,7 +96,8 @@ fn export(input: &str) -> (String, ExportStats) {
                     stats.skipped += 1;
                     continue;
                 };
-                open.insert(id, now);
+                let name = field_str(&obj, "name").unwrap_or("?").to_string();
+                open.insert(id, (now, name, thread));
             }
             "span_end" | "duration" => {
                 let (Some(name), Some(ns)) = (field_str(&obj, "name"), field_u64(&obj, "ns"))
@@ -105,7 +111,7 @@ fn export(input: &str) -> (String, ExportStats) {
                 let start = match kind {
                     "span_end" => field_u64(&obj, "id")
                         .and_then(|id| open.remove(&id))
-                        .unwrap_or(now),
+                        .map_or(now, |(start, _, _)| start),
                     _ => now,
                 };
                 events.push(format!(
@@ -171,6 +177,25 @@ fn export(input: &str) -> (String, ExportStats) {
         }
     }
 
+    // Spans whose end never arrived (crashed or truncated run): render a
+    // best-effort slice from their start to their thread's final cursor
+    // — the work that completed inside them — so the viewer shows the
+    // open frame instead of losing it. Sorted by id for stable output.
+    let mut dangling: Vec<(u64, (u128, String, u64))> = open.into_iter().collect();
+    dangling.sort_by_key(|&(id, _)| id);
+    for (_, (start, name, thread)) in dangling {
+        let end = *cursor.get(&thread).unwrap_or(&0);
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{thread},\
+             \"args\":{{\"unclosed\":true}}}}",
+            json::quote(&name),
+            us(start),
+            us(end.saturating_sub(start)),
+        ));
+        stats.slices += 1;
+        stats.unclosed += 1;
+    }
+
     // Thread-name metadata rows so the viewer labels the virtual lanes.
     let mut body: Vec<String> = threads
         .iter()
@@ -208,8 +233,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "{out_path}: {} slice(s), {} counter sample(s), {} instant(s), {} skipped",
-        stats.slices, stats.samples, stats.instants, stats.skipped
+        "{out_path}: {} slice(s) ({} unclosed), {} counter sample(s), {} instant(s), {} skipped",
+        stats.slices, stats.unclosed, stats.samples, stats.instants, stats.skipped
     );
     if stats.kernel_layers > 0 {
         println!(
@@ -354,6 +379,67 @@ mod tests {
             "expected at least {layers} layer slice(s), saw {}",
             stats.kernel_layers
         );
+        assert!(json::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn empty_input_renders_an_empty_valid_trace() {
+        for input in ["", "\n\n", "   \n\t\n"] {
+            let (out, stats) = export(input);
+            assert_eq!(stats, ExportStats::default(), "input {input:?}");
+            let parsed = json::parse(&out).expect("valid JSON array");
+            assert_eq!(parsed.as_array().map(|a| a.len()), Some(0));
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_only_traces_render_without_slices() {
+        let input = lines(&[
+            r#"{"type":"counter","thread":1,"name":"rt.retries","delta":1}"#,
+            r#"{"type":"gauge","thread":1,"name":"rt.ops_headroom","value":512.0}"#,
+        ]);
+        let (out, stats) = export(&input);
+        assert_eq!(stats.slices, 0);
+        assert_eq!(stats.samples, 2);
+        assert_eq!(stats.skipped, 0);
+        let parsed = json::parse(&out).expect("valid JSON array");
+        // 1 metadata row + 2 counter samples.
+        assert_eq!(parsed.as_array().map(|a| a.len()), Some(3));
+    }
+
+    #[test]
+    fn unclosed_spans_render_best_effort_slices() {
+        let input = lines(&[
+            r#"{"type":"span_start","id":1,"parent":0,"thread":1,"name":"crashed"}"#,
+            r#"{"type":"duration","thread":1,"name":"work","ns":4000}"#,
+            // The trace truncates here: span 1 never ends.
+        ]);
+        let (out, stats) = export(&input);
+        assert_eq!(stats.unclosed, 1);
+        assert_eq!(stats.slices, 2, "the open span still becomes a slice");
+        let parsed = json::parse(&out).expect("valid JSON array");
+        let arr = parsed.as_array().unwrap();
+        let crashed = arr
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("crashed"))
+            .expect("unclosed span must not be silently dropped");
+        assert_eq!(crashed.get("ts").and_then(Json::as_f64), Some(0.0));
+        // It covers the work that completed inside it (4 µs) and is
+        // flagged so viewers can tell it from a measured duration.
+        assert_eq!(crashed.get("dur").and_then(Json::as_f64), Some(4.0));
+        let flagged = crashed
+            .get("args")
+            .and_then(|a| a.get("unclosed"))
+            .is_some();
+        assert!(flagged, "unclosed slices carry args.unclosed");
+    }
+
+    #[test]
+    fn span_end_without_matching_start_still_renders() {
+        let input = lines(&[r#"{"type":"span_end","id":9,"thread":1,"name":"orphan","ns":2000}"#]);
+        let (out, stats) = export(&input);
+        assert_eq!(stats.slices, 1);
+        assert_eq!(stats.unclosed, 0);
         assert!(json::parse(&out).is_ok());
     }
 

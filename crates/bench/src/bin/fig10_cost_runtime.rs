@@ -2,13 +2,21 @@
 //! D_{30,300} (k = 3, R = 2, Δt = 1 µs).
 
 use qmkp_bench::cost_runtime::{default_runtimes, print_cost_runtime, run_cost_vs_runtime};
-use qmkp_bench::quick_mode;
+use qmkp_bench::{quick_mode, Provenance};
 
 fn main() {
+    let mut prov = Provenance::start("fig10_cost_runtime");
     let (n, m) = if quick_mode() { (15, 70) } else { (30, 300) };
+    prov.config("n", n);
+    prov.config("m", m);
+    prov.config("k", 3);
+    prov.config("r", 2.0);
+    prov.config("dt_us", 1.0);
+    prov.config("seed", 23);
     let cr = run_cost_vs_runtime(n, m, 3, 2.0, 1.0, &default_runtimes(quick_mode()), 23);
     print_cost_runtime(
         &format!("Fig. 10 — cost vs runtime on D_{{{n},{m}}} (k = 3, R = 2, Δt = 1 µs)"),
         &cr,
     );
+    prov.finish();
 }

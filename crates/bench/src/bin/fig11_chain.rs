@@ -4,17 +4,22 @@
 //! instance.
 
 use qmkp_annealer::{find_embedding_with_tries, Chimera};
-use qmkp_bench::{print_table, quick_mode};
+use qmkp_bench::{print_table, quick_mode, Provenance};
 use qmkp_graph::gen::{chain_family_edges, gnm, DATASET_SEED};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
 fn main() {
-    let session = qmkp_obs::Session::from_env("fig11_chain");
+    let mut prov = Provenance::start("fig11_chain");
     let ns: &[usize] = if quick_mode() {
         &[10, 14]
     } else {
         &[10, 15, 20, 25, 30, 35, 40, 43]
     };
+    prov.config("k", 3);
+    prov.config("r", 2.0);
+    for &n in ns {
+        prov.config("n", n);
+    }
     let mut rows = Vec::new();
     for &n in ns {
         let start = std::time::Instant::now();
@@ -34,6 +39,13 @@ fn main() {
         let emb = find_embedding_with_tries(&edges, vars, &hw, 3, 4, 2)
             .expect("clique fallback guarantees an embedding at this grid size");
         let stats = emb.stats();
+        prov.outcome(
+            format!("embedding[n={n}]"),
+            format!(
+                "{vars} vars, {} qubits, avg chain {:.2}",
+                stats.num_physical, stats.avg_chain_len
+            ),
+        );
         qmkp_obs::message(&format!(
             "  n={n}: {vars} vars → {} qubits, avg chain {:.2} on C({grid},{grid},4) [{:?}]",
             stats.num_physical,
@@ -64,5 +76,5 @@ fn main() {
     println!(
         "\n(variables grow as O(n log n); qubits and chain size grow faster — the paper's trend)"
     );
-    session.finish();
+    prov.finish();
 }

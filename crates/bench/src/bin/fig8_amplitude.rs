@@ -5,14 +5,18 @@
 //! iterations 0, 1, 3 and 6 of Grover's search, with 20 000 shots each,
 //! plus the exact error probability at every iteration.
 
-use qmkp_bench::{error_prob, print_table};
+use qmkp_bench::{error_prob, print_table, Provenance};
 use qmkp_core::{counting::solutions, GroverDriver, Oracle};
 use qmkp_graph::gen::paper_fig1_graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let session = qmkp_obs::Session::from_env("fig8_amplitude");
+    let mut prov = Provenance::start("fig8_amplitude");
+    prov.config("k", 2);
+    prov.config("threshold", 4);
+    prov.config("shots", 20_000);
+    prov.config("seed", 2024);
     let g = paper_fig1_graph();
     let oracle = Oracle::new(&g, 2, 4);
     let sols = solutions(&oracle);
@@ -31,6 +35,7 @@ fn main() {
         let counts = driver.sample_counts(&mut rng, shots);
         let hit = *counts.get(&solution.bits()).unwrap_or(&0);
         let p_exact = driver.probability_of_sets(&[solution]);
+        prov.outcome(format!("exact_p[it={it}]"), format!("{p_exact:.6}"));
         rows.push(vec![
             it.to_string(),
             format!("{}/{}", hit, shots),
@@ -70,5 +75,5 @@ fn main() {
     );
     let bound = std::f64::consts::PI.powi(2) / (4.0 * 6.0f64).powi(2);
     println!("\nTheory: error ≤ π²/(4I)² = {bound:.4} at I = 6 iterations.");
-    session.finish();
+    prov.finish();
 }

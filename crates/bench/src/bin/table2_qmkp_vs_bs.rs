@@ -5,20 +5,23 @@
 //! time, the progressive first-result time/size, and the single-shot
 //! error probability of the final qTKP probe.
 
-use qmkp_bench::{error_prob, print_table, quick_mode, us};
+use qmkp_bench::{error_prob, print_table, quick_mode, us, Provenance};
 use qmkp_classical::max_kplex_bs;
 use qmkp_core::{qmkp, QmkpConfig};
 use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASETS};
 use std::time::Instant;
 
 fn main() {
-    let session = qmkp_obs::Session::from_env("table2_qmkp_vs_bs");
+    let mut prov = Provenance::start("table2_qmkp_vs_bs");
     let datasets: &[(usize, usize)] = if quick_mode() {
         &GATE_DATASETS[..2]
     } else {
         &GATE_DATASETS
     };
-    let mut report = qmkp_obs::RunReport::new("table2_qmkp_vs_bs").config("k", 2);
+    prov.config("k", 2);
+    for &(n, m) in datasets {
+        prov.config("dataset", format!("G_{{{n},{m}}}"));
+    }
     let mut rows = Vec::new();
     for &(n, m) in datasets {
         let g = paper_gate_dataset(n, m);
@@ -30,7 +33,7 @@ fn main() {
         let out = qmkp(&g, 2, &QmkpConfig::default());
         assert_eq!(out.best.len(), bs_best.len(), "exact solvers must agree");
         let (first, first_time) = out.first_result.expect("always finds some plex");
-        report = report.outcome(format!("best_size[G_{{{n},{m}}}]"), out.best.len());
+        prov.outcome(format!("best_size[G_{{{n},{m}}}]"), out.best.len());
 
         rows.push(vec![
             format!("G_{{{n},{m}}}"),
@@ -61,5 +64,5 @@ fn main() {
         ],
         &rows,
     );
-    session.finish_with(report);
+    prov.finish();
 }

@@ -1,19 +1,25 @@
 //! Table III — qMKP on G_{10,37} for k = 2, 3, 4, 5.
 
-use qmkp_bench::{error_prob, print_table, quick_mode, us};
+use qmkp_bench::{error_prob, print_table, quick_mode, us, Provenance};
 use qmkp_classical::max_kplex_bs;
 use qmkp_core::{qmkp, QmkpConfig};
 use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASET_K};
 use std::time::Instant;
 
 fn main() {
+    let mut prov = Provenance::start("table3_qmkp_k");
     let (n, m) = if quick_mode() {
         (8, 22)
     } else {
         GATE_DATASET_K
     };
+    prov.config("n", n);
+    prov.config("m", m);
     let g = paper_gate_dataset(n, m);
     let ks: &[usize] = if quick_mode() { &[2, 3] } else { &[2, 3, 4, 5] };
+    for &k in ks {
+        prov.config("k", k);
+    }
     let mut rows = Vec::new();
     for &k in ks {
         let t0 = Instant::now();
@@ -22,6 +28,7 @@ fn main() {
         let out = qmkp(&g, k, &QmkpConfig::default());
         assert_eq!(out.best.len(), bs_best.len(), "exact solvers must agree");
         let (first, first_time) = out.first_result.expect("always finds some plex");
+        prov.outcome(format!("best_size[k={k}]"), out.best.len());
         rows.push(vec![
             k.to_string(),
             out.best.len().to_string(),
@@ -47,4 +54,5 @@ fn main() {
         ],
         &rows,
     );
+    prov.finish();
 }

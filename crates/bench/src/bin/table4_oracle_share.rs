@@ -3,22 +3,36 @@
 //! gate-based datasets, measured from actual simulation wall time and
 //! cross-checked against static elementary gate costs.
 
-use qmkp_bench::{print_table, quick_mode};
+use qmkp_bench::{print_table, quick_mode, Provenance};
 use qmkp_core::{qmkp, QmkpConfig};
 use qmkp_graph::gen::{paper_gate_dataset, GATE_DATASETS};
 
 fn main() {
+    let mut prov = Provenance::start("table4_oracle_share");
     let datasets: &[(usize, usize)] = if quick_mode() {
         &GATE_DATASETS[..2]
     } else {
         &GATE_DATASETS
     };
+    prov.config("k", 2);
+    for &(n, m) in datasets {
+        prov.config("dataset", format!("G_{{{n},{m}}}"));
+    }
     let mut rows = Vec::new();
     let mut cost_rows = Vec::new();
     for &(n, m) in datasets {
         let g = paper_gate_dataset(n, m);
         let out = qmkp(&g, 2, &QmkpConfig::default());
         let (count, cmp, size) = out.times.oracle_shares();
+        prov.outcome(
+            format!("shares[G_{{{n},{m}}}]"),
+            format!(
+                "{:.1}/{:.1}/{:.1}",
+                count * 100.0,
+                cmp * 100.0,
+                size * 100.0
+            ),
+        );
         rows.push(vec![
             format!("G_{{{n},{m}}}"),
             format!("{:.1}", count * 100.0),
@@ -91,4 +105,5 @@ fn main() {
         ],
         &paper_rows,
     );
+    prov.finish();
 }

@@ -3,12 +3,12 @@
 //! D_{n,m} annealing datasets.
 
 use qmkp_annealer::{sqa_qubo, SqaConfig};
-use qmkp_bench::{print_table, quick_mode};
+use qmkp_bench::{print_table, quick_mode, Provenance};
 use qmkp_graph::gen::{paper_anneal_dataset, ANNEAL_DATASETS};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
 fn main() {
-    let session = qmkp_obs::Session::from_env("table5_annealing_time");
+    let mut prov = Provenance::start("table5_annealing_time");
     let total_us = 1000.0;
     let dts: &[f64] = if quick_mode() {
         &[1.0, 20.0]
@@ -20,6 +20,17 @@ fn main() {
     } else {
         &ANNEAL_DATASETS
     };
+
+    prov.config("total_us", total_us);
+    prov.config("k", 3);
+    prov.config("r", 2.0);
+    prov.config("seed", 11);
+    for &dt in dts {
+        prov.config("dt_us", dt);
+    }
+    for &(n, m) in datasets {
+        prov.config("dataset", format!("D_{{{n},{m}}}"));
+    }
 
     let mut headers = vec!["Dataset".to_string()];
     headers.extend(dts.iter().map(|dt| format!("{dt:.0} µs")));
@@ -37,6 +48,10 @@ fn main() {
                     ..SqaConfig::from_anneal_time(dt, shots)
                 },
             );
+            prov.outcome(
+                format!("cost[D_{{{n},{m}}},dt={dt:.0}]"),
+                format!("{:.0}", out.best_energy),
+            );
             row.push(format!("{:.0}", out.best_energy));
         }
         rows.push(row);
@@ -47,5 +62,5 @@ fn main() {
         &rows,
     );
     println!("\n(lower is better; the paper observes the minimum at Δt = 1 µs)");
-    session.finish();
+    prov.finish();
 }

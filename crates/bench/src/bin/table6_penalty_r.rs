@@ -4,12 +4,13 @@
 //! boldface "optimal solution found" cells).
 
 use qmkp_annealer::{sqa_qubo, SqaConfig};
-use qmkp_bench::{print_table, quick_mode};
+use qmkp_bench::{print_table, quick_mode, Provenance};
 use qmkp_classical::max_kplex_bnb;
 use qmkp_graph::gen::paper_anneal_dataset;
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
 fn main() {
+    let mut prov = Provenance::start("table6_penalty_r");
     let g = paper_anneal_dataset(10, 40);
     let k = 3;
     let opt = max_kplex_bnb(&g, k).len();
@@ -21,6 +22,16 @@ fn main() {
         &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0]
     };
     let rs = [1.1, 2.0, 4.0, 8.0];
+    prov.config("dataset", "D_{10,40}");
+    prov.config("k", k);
+    prov.config("seed", 5);
+    for &r in &rs {
+        prov.config("r", r);
+    }
+    for &t in runtimes {
+        prov.config("runtime_us", t);
+    }
+    prov.outcome("ground_truth_size", opt);
 
     let mut headers = vec!["R".to_string()];
     headers.extend(runtimes.iter().map(|t| format!("{t:.0} µs")));
@@ -58,4 +69,5 @@ fn main() {
         &headers,
         &rows,
     );
+    prov.finish();
 }

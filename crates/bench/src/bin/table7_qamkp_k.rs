@@ -2,11 +2,12 @@
 //! D_{20,100} (R = 2, Δt = 1 µs).
 
 use qmkp_annealer::{sqa_qubo, SqaConfig};
-use qmkp_bench::{print_table, quick_mode};
+use qmkp_bench::{print_table, quick_mode, Provenance};
 use qmkp_graph::gen::paper_anneal_dataset;
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 
 fn main() {
+    let mut prov = Provenance::start("table7_qamkp_k");
     let (n, m) = if quick_mode() { (10, 40) } else { (20, 100) };
     let g = paper_anneal_dataset(n, m);
     let runtimes: &[f64] = if quick_mode() {
@@ -14,6 +15,13 @@ fn main() {
     } else {
         &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 4000.0]
     };
+    prov.config("n", n);
+    prov.config("m", m);
+    prov.config("r", 2.0);
+    prov.config("seed", 29);
+    for &t in runtimes {
+        prov.config("runtime_us", t);
+    }
     let mut headers = vec!["k".to_string()];
     headers.extend(runtimes.iter().map(|t| format!("{t:.0} µs")));
     let mut rows = Vec::new();
@@ -29,6 +37,10 @@ fn main() {
                     ..SqaConfig::from_anneal_time(1.0, shots)
                 },
             );
+            prov.outcome(
+                format!("cost[k={k},t={t:.0}]"),
+                format!("{:.0}", out.best_energy),
+            );
             row.push(format!("{:.0}", out.best_energy));
         }
         rows.push(row);
@@ -38,4 +50,5 @@ fn main() {
         &headers,
         &rows,
     );
+    prov.finish();
 }

@@ -31,6 +31,94 @@ pub fn quick_mode() -> bool {
     std::env::var_os("QMKP_QUICK").is_some()
 }
 
+/// Provenance stamping for the table/figure drivers: an obs [`Session`]
+/// from the environment (so `QMKP_OBS_REPORT=<path>` writes a
+/// [`RunReport`] and `QMKP_OBS_METRICS` folds metrics into it) plus a
+/// deterministic hash over the driver's configuration, printed as the
+/// last stdout line:
+///
+/// ```text
+/// provenance: bin=table3_qmkp_k config_hash=9a3f... report=out.json
+/// ```
+///
+/// so a pasted table can always be traced back to the exact parameters
+/// (and report file) that produced it.
+///
+/// [`Session`]: qmkp_obs::Session
+/// [`RunReport`]: qmkp_obs::RunReport
+pub struct Provenance {
+    session: qmkp_obs::Session,
+    name: &'static str,
+    config: Vec<(String, String)>,
+    outcomes: Vec<(String, String)>,
+}
+
+impl Provenance {
+    /// Opens the driver's obs session and starts an empty config record.
+    #[must_use]
+    pub fn start(name: &'static str) -> Self {
+        Provenance {
+            session: qmkp_obs::Session::from_env(name),
+            name,
+            config: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Records one configuration key/value pair (hashed and reported).
+    pub fn config(&mut self, key: &str, value: impl Display) {
+        self.config.push((key.to_string(), value.to_string()));
+    }
+
+    /// Records one outcome key/value pair (reported, *not* hashed — the
+    /// hash identifies what was asked for, not what came out).
+    pub fn outcome(&mut self, key: impl Display, value: impl Display) {
+        self.outcomes.push((key.to_string(), value.to_string()));
+    }
+
+    /// SplitMix64-folded hash of the recorded config pairs, in recording
+    /// order. Stable across runs and platforms for identical configs.
+    #[must_use]
+    pub fn config_hash(&self) -> u64 {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for (key, value) in &self.config {
+            for &b in key
+                .as_bytes()
+                .iter()
+                .chain(&[0xff])
+                .chain(value.as_bytes())
+                .chain(&[0xfe])
+            {
+                h = qmkp_rt::splitmix64(h ^ u64::from(b));
+            }
+        }
+        h
+    }
+
+    /// Prints the provenance stamp and finishes the session, folding the
+    /// config pairs (and the hash) into the report when one is written.
+    pub fn finish(self) {
+        let hash = self.config_hash();
+        let report_path = self
+            .session
+            .report_path()
+            .map_or_else(|| "-".to_string(), |p| p.display().to_string());
+        println!(
+            "provenance: bin={} config_hash={hash:016x} report={report_path}",
+            self.name
+        );
+        let mut report = qmkp_obs::RunReport::new(self.name);
+        for (key, value) in &self.config {
+            report = report.config(key, value);
+        }
+        report = report.config("config_hash", format!("{hash:016x}"));
+        for (key, value) in &self.outcomes {
+            report = report.outcome(key, value);
+        }
+        self.session.finish_with(report);
+    }
+}
+
 /// Renders an aligned markdown-ish table to stdout.
 ///
 /// # Panics
@@ -97,5 +185,30 @@ mod tests {
     #[test]
     fn us_formatting() {
         assert_eq!(us(std::time::Duration::from_micros(1500)), "1500.0");
+    }
+
+    #[test]
+    fn config_hash_is_deterministic_and_order_sensitive() {
+        let mut a = Provenance::start("test_prov");
+        a.config("n", 10);
+        a.config("k", 2);
+        let mut b = Provenance::start("test_prov");
+        b.config("n", 10);
+        b.config("k", 2);
+        assert_eq!(a.config_hash(), b.config_hash(), "same config, same hash");
+        let mut c = Provenance::start("test_prov");
+        c.config("k", 2);
+        c.config("n", 10);
+        assert_ne!(a.config_hash(), c.config_hash(), "order is significant");
+        let mut d = Provenance::start("test_prov");
+        d.config("n", 10);
+        d.config("k", 3);
+        assert_ne!(a.config_hash(), d.config_hash(), "values are significant");
+        // Key/value boundaries cannot be confused: ("ab","c") ≠ ("a","bc").
+        let mut e = Provenance::start("test_prov");
+        e.config("ab", "c");
+        let mut f = Provenance::start("test_prov");
+        f.config("a", "bc");
+        assert_ne!(e.config_hash(), f.config_hash());
     }
 }

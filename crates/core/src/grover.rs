@@ -291,6 +291,7 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
         let elapsed = start.elapsed();
         self.times.add("flip", elapsed);
         qmkp_obs::span_closed("core.grover.section.flip", elapsed);
+        Self::section_metric("flip", elapsed);
         Self::run_sectioned(&mut self.state, &self.u_check_inv, &mut self.times);
         Self::run_sectioned(&mut self.state, &self.diffusion, &mut self.times);
         self.iterations_done += 1;
@@ -335,6 +336,7 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
         let elapsed = start.elapsed();
         self.times.add("flip", elapsed);
         qmkp_obs::span_closed("core.grover.section.flip", elapsed);
+        Self::section_metric("flip", elapsed);
         Self::run_sectioned_ctx(&mut self.state, &self.u_check_inv, &mut self.times, ctx)?;
         Self::run_sectioned_ctx(&mut self.state, &self.diffusion, &mut self.times, ctx)?;
         self.iterations_done += 1;
@@ -359,6 +361,14 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
             qmkp_obs::gauge("core.grover.support", support as f64);
         }
         qmkp_obs::gauge("core.grover.mem_bytes", self.state.memory_bytes() as f64);
+    }
+
+    /// Folds one section duration into the labeled metrics histogram
+    /// (`core.grover.section`, label `section=<name>`), alongside the
+    /// span/`SectionTimes` accounting. One relaxed load when metrics are
+    /// off.
+    fn section_metric(name: &str, d: Duration) {
+        qmkp_obs::metrics::observe_duration("core.grover.section", &[("section", name)], d);
     }
 
     /// The bucket name of a schedule attribution's section id:
@@ -433,6 +443,7 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
                 if traced {
                     qmkp_obs::span_closed(&format!("core.grover.section.{name}"), d);
                 }
+                Self::section_metric(name, d);
             }
         }
         Ok(())
@@ -474,6 +485,7 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
             if qmkp_obs::enabled() {
                 qmkp_obs::span_closed(&format!("core.grover.section.{name}"), elapsed);
             }
+            Self::section_metric(name, elapsed);
         };
         for section in compiled.sections() {
             debug_assert!(
@@ -529,6 +541,7 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
             if qmkp_obs::enabled() {
                 qmkp_obs::span_closed(&format!("core.grover.section.{name}"), elapsed);
             }
+            Self::section_metric(name, elapsed);
             Ok(())
         };
         for section in compiled.sections() {

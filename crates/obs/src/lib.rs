@@ -35,12 +35,14 @@
 #![warn(clippy::dbg_macro, clippy::todo)]
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod session;
 pub mod sink;
 pub mod summary;
 
 pub use event::Event;
+pub use metrics::MetricsSnapshot;
 pub use report::RunReport;
 pub use session::Session;
 pub use sink::{Collector, JsonlSink, Sink};

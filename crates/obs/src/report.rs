@@ -2,6 +2,7 @@
 //! what was configured, what was measured, and what came out.
 
 use crate::json;
+use crate::metrics::MetricsSnapshot;
 use crate::summary::Summary;
 use std::fmt::Write as _;
 
@@ -22,6 +23,9 @@ pub struct RunReport {
     pub outcome: Vec<(String, String)>,
     /// Aggregated telemetry for the run.
     pub summary: Summary,
+    /// Labeled metric series captured at the end of the run (quantile
+    /// histograms, counters, gauges), when metrics were enabled.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -54,6 +58,14 @@ impl RunReport {
         self
     }
 
+    /// Attaches a metrics snapshot (builder-style). Empty snapshots are
+    /// dropped so reports without metric activity stay unchanged.
+    #[must_use]
+    pub fn metrics(mut self, snapshot: MetricsSnapshot) -> Self {
+        self.metrics = (!snapshot.is_empty()).then_some(snapshot);
+        self
+    }
+
     /// Serializes the report as a pretty-printed JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -63,6 +75,10 @@ impl RunReport {
         write_kv_object(&mut out, "outcome", &self.outcome);
         out.push_str(",\n");
         self.write_summary(&mut out);
+        if let Some(metrics) = &self.metrics {
+            out.push_str(",\n  \"metrics\": ");
+            metrics.write_json(&mut out, 1);
+        }
         out.push_str("\n}\n");
         out
     }

@@ -10,9 +10,16 @@
 //! | `QMKP_OBS=1`       | Enable tracing; print a hierarchical summary on stderr.   |
 //! | `QMKP_OBS_JSON`    | Also write every event as JSONL to this path.             |
 //! | `QMKP_OBS_REPORT`  | Write a [`RunReport`] JSON document to this path.         |
+//! | `QMKP_OBS_METRICS` | Write Prometheus-style metrics text to this path.         |
 //! | `QMKP_OBS_FILTER`  | Comma-separated name prefixes to record (default: all).   |
 //!
-//! Setting `QMKP_OBS_JSON` or `QMKP_OBS_REPORT` implies `QMKP_OBS=1`.
+//! Setting `QMKP_OBS_JSON`, `QMKP_OBS_REPORT`, or `QMKP_OBS_METRICS`
+//! implies `QMKP_OBS=1`.
+//!
+//! An active session also enables the [`crate::metrics`] registry; the
+//! final [`crate::MetricsSnapshot`] is folded into the report (and
+//! written as Prometheus text when `QMKP_OBS_METRICS` names a path),
+//! then the registry is cleared for the next session.
 
 use crate::report::RunReport;
 use crate::sink::{Collector, JsonlSink, Sink};
@@ -30,8 +37,10 @@ pub struct Session {
     jsonl: Option<Arc<JsonlSink>>,
     handles: Vec<SinkHandle>,
     report_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
     print_summary: bool,
     clear_filter_on_finish: bool,
+    metrics_armed: bool,
 }
 
 /// Configures and builds a [`Session`] (see [`Session::builder`]).
@@ -40,6 +49,7 @@ pub struct SessionBuilder {
     collect: bool,
     jsonl_path: Option<PathBuf>,
     report_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
     filter: Option<Vec<String>>,
     print_summary: bool,
 }
@@ -64,6 +74,14 @@ impl SessionBuilder {
     #[must_use]
     pub fn report(mut self, path: impl Into<PathBuf>) -> Self {
         self.report_path = Some(path.into());
+        self
+    }
+
+    /// Writes the final metrics snapshot as Prometheus-style text to
+    /// `path` on finish.
+    #[must_use]
+    pub fn metrics(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_path = Some(path.into());
         self
     }
 
@@ -109,14 +127,22 @@ impl SessionBuilder {
         if let Some(prefixes) = self.filter {
             crate::set_filter(Some(prefixes));
         }
+        // An active session also arms the metrics registry so labeled
+        // histograms accumulate alongside the event stream.
+        let metrics_armed = !handles.is_empty();
+        if metrics_armed {
+            crate::metrics::set_enabled(true);
+        }
         Session {
             name: self.name,
             collector,
             jsonl,
             handles,
             report_path: self.report_path,
+            metrics_path: self.metrics_path,
             print_summary: self.print_summary,
             clear_filter_on_finish,
+            metrics_armed,
         }
     }
 }
@@ -129,6 +155,7 @@ impl Session {
             collect: false,
             jsonl_path: None,
             report_path: None,
+            metrics_path: None,
             filter: None,
             print_summary: false,
         }
@@ -142,8 +169,10 @@ impl Session {
             jsonl: None,
             handles: Vec::new(),
             report_path: None,
+            metrics_path: None,
             print_summary: false,
             clear_filter_on_finish: false,
+            metrics_armed: false,
         }
     }
 
@@ -156,7 +185,8 @@ impl Session {
         let name = name.into();
         let jsonl = env_path("QMKP_OBS_JSON");
         let report = env_path("QMKP_OBS_REPORT");
-        if !env_flag("QMKP_OBS") && jsonl.is_none() && report.is_none() {
+        let metrics = env_path("QMKP_OBS_METRICS");
+        if !env_flag("QMKP_OBS") && jsonl.is_none() && report.is_none() && metrics.is_none() {
             return Session::disabled(name);
         }
         let mut b = Session::builder(name).collect().print_summary();
@@ -165,6 +195,9 @@ impl Session {
         }
         if let Some(p) = report {
             b = b.report(p);
+        }
+        if let Some(p) = metrics {
+            b = b.metrics(p);
         }
         if let Some(f) = env_path("QMKP_OBS_FILTER") {
             b = b.filter(f.split(',').map(|s| s.trim().to_string()).collect());
@@ -180,6 +213,13 @@ impl Session {
     /// The session's in-memory collector, if one is attached.
     pub fn collector(&self) -> Option<&Arc<Collector>> {
         self.collector.as_ref()
+    }
+
+    /// Where the run report will be written (the `QMKP_OBS_REPORT` path
+    /// under [`Session::from_env`]), if report writing is configured.
+    /// Lets drivers stamp the report location into their own output.
+    pub fn report_path(&self) -> Option<&std::path::Path> {
+        self.report_path.as_deref()
     }
 
     /// The aggregated telemetry collected so far (empty when inactive).
@@ -201,6 +241,11 @@ impl Session {
     /// (config + outcome entries); the session fills in the summary.
     pub fn finish_with(mut self, report: RunReport) {
         let summary = self.summary();
+        let metrics = if self.metrics_armed {
+            crate::metrics::snapshot()
+        } else {
+            crate::metrics::MetricsSnapshot::default()
+        };
         if let Some(jsonl) = &self.jsonl {
             jsonl.flush();
             eprintln!("qmkp-obs: wrote {}", jsonl.path().display());
@@ -214,11 +259,21 @@ impl Session {
             }
         }
         if let Some(path) = self.report_path.take() {
-            let report = report.summary(summary);
+            let report = report.summary(summary).metrics(metrics.clone());
             match std::fs::write(&path, report.to_json()) {
                 Ok(()) => eprintln!("qmkp-obs: wrote {}", path.display()),
                 Err(err) => eprintln!("qmkp-obs: cannot write {}: {err}", path.display()),
             }
+        }
+        if let Some(path) = self.metrics_path.take() {
+            match std::fs::write(&path, metrics.to_prometheus()) {
+                Ok(()) => eprintln!("qmkp-obs: wrote {}", path.display()),
+                Err(err) => eprintln!("qmkp-obs: cannot write {}: {err}", path.display()),
+            }
+        }
+        if self.metrics_armed {
+            crate::metrics::set_enabled(false);
+            crate::metrics::reset();
         }
         if self.clear_filter_on_finish {
             crate::set_filter(None);
@@ -327,6 +382,43 @@ mod tests {
         );
         let _ = std::fs::remove_file(&jsonl);
         let _ = std::fs::remove_file(&report);
+    }
+
+    #[test]
+    fn session_folds_metrics_into_report_and_writes_prometheus() {
+        let _l = locked();
+        let dir = std::env::temp_dir();
+        let report = dir.join(format!("qmkp_obs_metrics_{}.json", std::process::id()));
+        let prom = dir.join(format!("qmkp_obs_metrics_{}.prom", std::process::id()));
+        let s = Session::builder("metrics-run")
+            .collect()
+            .report(&report)
+            .metrics(&prom)
+            .build();
+        assert!(crate::metrics::enabled(), "active session arms metrics");
+        crate::metrics::counter("session.m.count", &[("rung", "dense")], 3);
+        crate::metrics::observe("session.m.lat", &[], 500);
+        s.finish();
+        assert!(!crate::metrics::enabled(), "finish disarms metrics");
+        assert!(
+            crate::metrics::snapshot().is_empty(),
+            "finish clears the registry"
+        );
+
+        let rep = crate::json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let series = rep
+            .get("metrics")
+            .expect("report must embed metrics")
+            .get("series")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(series.len(), 2);
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("session_m_count{rung=\"dense\"} 3"), "{text}");
+        assert!(text.contains("session_m_lat_count 1"), "{text}");
+        let _ = std::fs::remove_file(&report);
+        let _ = std::fs::remove_file(&prom);
     }
 
     #[test]

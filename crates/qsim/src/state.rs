@@ -67,6 +67,53 @@ fn kernel_kind<K>(op: &Op<K>) -> &'static str {
     }
 }
 
+/// Per-circuit observability switch, resolved once per `run_compiled*`
+/// call so the disabled path stays a bare loop: `traced` streams per-op
+/// observe events to sinks, `metered` folds the same timings into
+/// labeled metric histograms (labels: `backend=dense|sparse`,
+/// `scheduled=on|off`).
+struct KernelMeter {
+    traced: bool,
+    metered: bool,
+    labels: [(&'static str, &'static str); 2],
+}
+
+impl KernelMeter {
+    fn new(backend: &'static str, scheduled: bool) -> KernelMeter {
+        KernelMeter {
+            traced: qmkp_obs::enabled_for("qsim.kernel"),
+            metered: qmkp_obs::metrics::enabled(),
+            labels: [
+                ("backend", backend),
+                ("scheduled", if scheduled { "on" } else { "off" }),
+            ],
+        }
+    }
+
+    /// Whether per-op timing is needed at all this circuit.
+    fn active(&self) -> bool {
+        self.traced || self.metered
+    }
+
+    fn layer(&self, elapsed: std::time::Duration) {
+        if self.traced {
+            qmkp_obs::observe("qsim.kernel.layer", elapsed);
+        }
+        if self.metered {
+            qmkp_obs::metrics::observe_duration("qsim.kernel.layer", &self.labels, elapsed);
+        }
+    }
+
+    fn op(&self, kind: &'static str, elapsed: std::time::Duration) {
+        if self.traced {
+            qmkp_obs::observe(kind, elapsed);
+        }
+        if self.metered {
+            qmkp_obs::metrics::observe_duration(kind, &self.labels, elapsed);
+        }
+    }
+}
+
 /// Common interface of the simulation backends.
 ///
 /// Basis states are `u128` bit strings where bit `i` is qubit `i`
@@ -122,6 +169,11 @@ pub trait QuantumState {
         None
     }
 
+    /// Stable backend label used by metrics (`dense`, `sparse`, …).
+    fn backend_name(&self) -> &'static str {
+        "unknown"
+    }
+
     /// The amplitude of a basis state.
     fn amplitude(&self, basis: u128) -> Complex;
 
@@ -149,63 +201,65 @@ pub trait QuantumState {
                 actual: compiled.width(),
             });
         }
-        // Branch once per circuit, not per op: the untraced path runs a
-        // bare loop.
-        let traced = qmkp_obs::enabled_for("qsim.kernel");
+        // Branch once per circuit, not per op: the unobserved path runs
+        // a bare loop.
+        let meter = KernelMeter::new(self.backend_name(), compiled.schedule().is_some());
         if let Some(schedule) = compiled.schedule() {
             // Scheduled path: dispatch whole support-disjoint layers
             // through the fused layer kernels.
             if let Some(ops) = compiled.narrow_ops() {
-                if traced {
+                if meter.active() {
                     for layer in &schedule.layers {
                         let start = std::time::Instant::now();
                         self.apply_layer64(&ops[layer.clone()]);
-                        qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                        meter.layer(start.elapsed());
                     }
-                    self.trace_gauges();
                 } else {
                     for layer in &schedule.layers {
                         self.apply_layer64(&ops[layer.clone()]);
                     }
                 }
-            } else if traced {
+            } else if meter.active() {
                 for layer in &schedule.layers {
                     let start = std::time::Instant::now();
                     self.apply_layer(&compiled.ops()[layer.clone()]);
-                    qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                    meter.layer(start.elapsed());
                 }
-                self.trace_gauges();
             } else {
                 for layer in &schedule.layers {
                     self.apply_layer(&compiled.ops()[layer.clone()]);
                 }
+            }
+            if meter.traced {
+                self.trace_gauges();
             }
             return Ok(());
         }
         if let Some(ops) = compiled.narrow_ops() {
-            if traced {
+            if meter.active() {
                 for op in ops {
                     let start = std::time::Instant::now();
                     self.apply_op64(op);
-                    qmkp_obs::observe(kernel_kind(op), start.elapsed());
+                    meter.op(kernel_kind(op), start.elapsed());
                 }
-                self.trace_gauges();
             } else {
                 for op in ops {
                     self.apply_op64(op);
                 }
             }
-        } else if traced {
+        } else if meter.active() {
             for op in compiled.ops() {
                 let start = std::time::Instant::now();
                 self.apply_op(op);
-                qmkp_obs::observe(kernel_kind(op), start.elapsed());
+                meter.op(kernel_kind(op), start.elapsed());
             }
-            self.trace_gauges();
         } else {
             for op in compiled.ops() {
                 self.apply_op(op);
             }
+        }
+        if meter.traced {
+            self.trace_gauges();
         }
         Ok(())
     }
@@ -244,7 +298,7 @@ pub trait QuantumState {
             });
         }
         ctx.admit_bytes(self.memory_bytes())?;
-        let traced = qmkp_obs::enabled_for("qsim.kernel");
+        let meter = KernelMeter::new(self.backend_name(), compiled.schedule().is_some());
         if let Some(schedule) = compiled.schedule() {
             // Scheduled path: interruption lands between layers (never
             // inside a fused pass), and each layer is charged at its op
@@ -253,10 +307,10 @@ pub trait QuantumState {
                 for layer in &schedule.layers {
                     qmkp_rt::failpoint::check("qsim.run.op")?;
                     ctx.charge_ops(layer.len() as u64)?;
-                    if traced {
+                    if meter.active() {
                         let start = std::time::Instant::now();
                         self.apply_layer64(&ops[layer.clone()]);
-                        qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                        meter.layer(start.elapsed());
                     } else {
                         self.apply_layer64(&ops[layer.clone()]);
                     }
@@ -265,16 +319,16 @@ pub trait QuantumState {
                 for layer in &schedule.layers {
                     qmkp_rt::failpoint::check("qsim.run.op")?;
                     ctx.charge_ops(layer.len() as u64)?;
-                    if traced {
+                    if meter.active() {
                         let start = std::time::Instant::now();
                         self.apply_layer(&compiled.ops()[layer.clone()]);
-                        qmkp_obs::observe("qsim.kernel.layer", start.elapsed());
+                        meter.layer(start.elapsed());
                     } else {
                         self.apply_layer(&compiled.ops()[layer.clone()]);
                     }
                 }
             }
-            if traced {
+            if meter.traced {
                 self.trace_gauges();
             }
             return Ok(());
@@ -283,10 +337,10 @@ pub trait QuantumState {
             for op in ops {
                 qmkp_rt::failpoint::check("qsim.run.op")?;
                 ctx.charge_ops(1)?;
-                if traced {
+                if meter.active() {
                     let start = std::time::Instant::now();
                     self.apply_op64(op);
-                    qmkp_obs::observe(kernel_kind(op), start.elapsed());
+                    meter.op(kernel_kind(op), start.elapsed());
                 } else {
                     self.apply_op64(op);
                 }
@@ -295,16 +349,16 @@ pub trait QuantumState {
             for op in compiled.ops() {
                 qmkp_rt::failpoint::check("qsim.run.op")?;
                 ctx.charge_ops(1)?;
-                if traced {
+                if meter.active() {
                     let start = std::time::Instant::now();
                     self.apply_op(op);
-                    qmkp_obs::observe(kernel_kind(op), start.elapsed());
+                    meter.op(kernel_kind(op), start.elapsed());
                 } else {
                     self.apply_op(op);
                 }
             }
         }
-        if traced {
+        if meter.traced {
             self.trace_gauges();
         }
         Ok(())
@@ -767,6 +821,10 @@ impl QuantumState for DenseState {
 
     fn trace_gauges(&self) {
         qmkp_obs::gauge("qsim.dense.mem_bytes", self.memory_bytes() as f64);
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "dense"
     }
 
     fn norm_sqr(&self) -> f64 {
@@ -1521,6 +1579,10 @@ impl QuantumState for SparseState {
     fn trace_gauges(&self) {
         qmkp_obs::gauge("qsim.sparse.mem_bytes", self.memory_bytes() as f64);
         qmkp_obs::gauge("qsim.sparse.support", self.support_size() as f64);
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sparse"
     }
 
     fn norm_sqr(&self) -> f64 {

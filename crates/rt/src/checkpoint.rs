@@ -5,8 +5,22 @@
 //! runtime interrupts them, and accept the same value back to resume
 //! bit-identically. Serialization rides on `qmkp_obs::json` so the crate
 //! stays zero-dependency beyond the workspace facade.
+//!
+//! # Disk spill
+//!
+//! When `QMKP_RT_CHECKPOINT_DIR` names a directory, every
+//! [`Interrupted::new`] additionally *spills* its checkpoint there as a
+//! standalone JSON file (`checkpoint-<pid>-<seq>.json`), so an
+//! interrupted process that subsequently dies still leaves a resume
+//! point behind. The spill is strictly best-effort — I/O failures are
+//! reported as obs messages, never panics — and the environment is
+//! re-read on every interrupt (it is a cold path; caching would only
+//! make tests and long-lived daemons harder to reconfigure). Reload a
+//! spilled file with [`load_checkpoint`].
 
 use crate::RtError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A resumable position inside a long-running solve. Implementations
 /// must round-trip exactly: `from_json(to_json(c))` restores a state from
@@ -37,14 +51,69 @@ pub struct Interrupted<C> {
     pub checkpoint: Box<C>,
 }
 
-impl<C> Interrupted<C> {
-    /// Pairs a stop reason with a resume point.
+/// Process-wide sequence number for spilled checkpoint filenames, so
+/// repeated interrupts in one process never clobber each other.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl<C: Checkpoint> Interrupted<C> {
+    /// Pairs a stop reason with a resume point. When
+    /// `QMKP_RT_CHECKPOINT_DIR` is set, the checkpoint is also spilled
+    /// to disk (best-effort, see the module docs).
     pub fn new(error: RtError, checkpoint: C) -> Self {
-        Interrupted {
+        let interrupted = Interrupted {
             error,
             checkpoint: Box::new(checkpoint),
+        };
+        interrupted.spill();
+        interrupted
+    }
+
+    /// Writes the checkpoint JSON into `QMKP_RT_CHECKPOINT_DIR`, if set.
+    /// Interrupts are cold, so the env read and file write cost nothing
+    /// on healthy runs; failures degrade to an obs message.
+    fn spill(&self) {
+        let Some(dir) = std::env::var_os("QMKP_RT_CHECKPOINT_DIR") else {
+            return;
+        };
+        if dir.is_empty() {
+            return;
+        }
+        let dir = PathBuf::from(dir);
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("checkpoint-{}-{seq:04}.json", std::process::id()));
+        let outcome = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, self.checkpoint.to_json()));
+        match outcome {
+            Ok(()) => {
+                qmkp_obs::counter("rt.checkpoint_spills", 1);
+                qmkp_obs::message(&format!(
+                    "checkpoint spilled to {} ({})",
+                    path.display(),
+                    self.error
+                ));
+            }
+            Err(e) => {
+                qmkp_obs::counter("rt.checkpoint_spill_failures", 1);
+                qmkp_obs::message(&format!(
+                    "checkpoint spill to {} failed: {e}",
+                    path.display()
+                ));
+            }
         }
     }
+}
+
+/// Reloads a checkpoint spilled by [`Interrupted::new`] (or any file
+/// holding [`Checkpoint::to_json`] output).
+///
+/// # Errors
+/// [`RtError::InvalidConfig`] when the file cannot be read or does not
+/// parse as a checkpoint of type `C`.
+pub fn load_checkpoint<C: Checkpoint>(path: &Path) -> Result<C, RtError> {
+    let payload = std::fs::read_to_string(path).map_err(|e| {
+        RtError::InvalidConfig(format!("checkpoint: cannot read {}: {e}", path.display()))
+    })?;
+    C::from_json(&payload)
 }
 
 impl<C: std::fmt::Debug> std::fmt::Display for Interrupted<C> {

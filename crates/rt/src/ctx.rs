@@ -96,6 +96,11 @@ impl RtContext {
         }
         if used & DEADLINE_CHECK_MASK == 0 {
             self.check_deadline()?;
+            // Same amortization window as the deadline read: headroom
+            // gauges cost nothing on the hot path between windows.
+            if let Some(limit) = self.budget.max_ops {
+                qmkp_obs::metrics::gauge("rt.ops_headroom", &[], limit.saturating_sub(used) as f64);
+            }
         }
         Ok(())
     }
@@ -125,6 +130,11 @@ impl RtContext {
                     deadline_ms: deadline.as_millis() as u64,
                 });
             }
+            qmkp_obs::metrics::gauge(
+                "rt.deadline_headroom_ms",
+                &[],
+                (deadline - elapsed).as_secs_f64() * 1e3,
+            );
         }
         Ok(())
     }

@@ -43,7 +43,7 @@ pub mod retry;
 pub mod token;
 
 pub use budget::Budget;
-pub use checkpoint::{Checkpoint, Interrupted};
+pub use checkpoint::{load_checkpoint, Checkpoint, Interrupted};
 pub use ctx::RtContext;
 pub use error::RtError;
 pub use retry::{retry, RetryPolicy};

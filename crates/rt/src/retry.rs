@@ -64,6 +64,7 @@ pub fn retry<T>(
     mut op: impl FnMut(usize) -> Result<T, RtError>,
 ) -> Result<T, RtError> {
     let attempts = policy.attempts.max(1);
+    let metered = qmkp_obs::metrics::enabled();
     let mut last = None;
     for attempt in 0..attempts {
         if attempt > 0 {
@@ -76,9 +77,20 @@ pub fn retry<T>(
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
+            qmkp_obs::metrics::observe_duration("rt.retry.backoff", &[], delay);
             ctx.check()?;
         }
-        match op(attempt) {
+        let attempt_start = metered.then(std::time::Instant::now);
+        let result = op(attempt);
+        if let Some(t0) = attempt_start {
+            let outcome = if result.is_ok() { "ok" } else { "err" };
+            qmkp_obs::metrics::observe_duration(
+                "rt.retry.attempt",
+                &[("outcome", outcome)],
+                t0.elapsed(),
+            );
+        }
+        match result {
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && attempt + 1 < attempts => last = Some(e),
             Err(e) => return Err(e),

@@ -206,6 +206,22 @@ pub fn solve(
     result
 }
 
+/// Records one attempted rung's wall time into the `solve.rung`
+/// histogram, labeled with the rung name and whether the run degraded
+/// past it. A `None` start means metrics were disabled at rung entry.
+fn rung_metric(start: Option<std::time::Instant>, rung: SolveBackend, degraded: bool) {
+    if let Some(t0) = start {
+        qmkp_obs::metrics::observe_duration(
+            "solve.rung",
+            &[
+                ("rung", rung.name()),
+                ("degraded", if degraded { "true" } else { "false" }),
+            ],
+            t0.elapsed(),
+        );
+    }
+}
+
 fn solve_inner(
     g: &Graph,
     k: usize,
@@ -217,6 +233,7 @@ fn solve_inner(
     // A >128-qubit oracle cannot run on any quantum rung — classical only.
     let width = OracleLayout::try_new(g, k, 1).map(|layout| layout.width);
     let budget = ctx.budget();
+    let rung_start = qmkp_obs::metrics::enabled().then(std::time::Instant::now);
     let quantum = match width {
         Some(w) if w <= MAX_DENSE_QUBITS && fits(budget, dense_cost(w)) => {
             qmkp_obs::gauge("solve.preflight_bytes", dense_cost(w) as f64);
@@ -237,6 +254,7 @@ fn solve_inner(
 
     let degraded_because = match quantum {
         Some((backend, Ok(out))) => {
+            rung_metric(rung_start, backend, false);
             debug_assert!(is_kplex(g, out.best, k));
             return Ok(SolveOutcome {
                 best: out.best,
@@ -246,9 +264,12 @@ fn solve_inner(
                 quantum: Some(out),
             });
         }
-        Some((_, Err(error))) => match error {
+        Some((backend, Err(error))) => match error {
             RtError::Cancelled | RtError::InvalidConfig(_) => return Err(error),
-            other => Some(other),
+            other => {
+                rung_metric(rung_start, backend, true);
+                Some(other)
+            }
         },
         // Preflight rejected every quantum rung: either the budget is too
         // tight or the instance is too wide to simulate at all.
@@ -262,7 +283,9 @@ fn solve_inner(
     // spends CPU (a cancelled context must never degrade).
     ctx.check()?;
     qmkp_obs::counter("rt.degradations", 1);
+    let floor_start = qmkp_obs::metrics::enabled().then(std::time::Instant::now);
     let (best, backend) = classical_floor(g, k, config);
+    rung_metric(floor_start, backend, true);
     assert!(
         is_kplex(g, best, k),
         "classical floor returned an invalid k-plex"

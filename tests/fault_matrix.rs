@@ -12,7 +12,7 @@
 use qmkp::annealer::{
     anneal_qubo_ctx, sqa_qubo_ctx, temper_qubo_ctx, SaConfig, SqaConfig, TemperingConfig,
 };
-use qmkp::core::{qmkp_ctx, quantum_count_ctx, QmkpConfig};
+use qmkp::core::{qmkp_ctx, quantum_count_ctx, QmkpCheckpoint, QmkpConfig};
 use qmkp::qsim::SparseState;
 use qmkp::qubo::QuboModel;
 use qmkp::rt::{failpoint, RtContext, RtError};
@@ -190,6 +190,56 @@ fn annealer_sites_fault_structurally_and_resume() {
     );
 
     failpoint::reset();
+}
+
+/// With `QMKP_RT_CHECKPOINT_DIR` set, an interrupt also spills its
+/// checkpoint to disk; reloading the *file* (as a restarted process
+/// would, having lost the in-memory `Interrupted`) must resume to the
+/// bit-identical uninterrupted answer.
+#[test]
+fn spilled_checkpoint_resumes_bit_identically_from_disk() {
+    use qmkp::rt::Checkpoint as _;
+    let _guard = failpoint::exclusive();
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let config = QmkpConfig::default();
+    let straight = qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), None)
+        .expect("unlimited context cannot be interrupted");
+
+    let dir = std::env::temp_dir().join(format!("qmkp_ckpt_spill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("QMKP_RT_CHECKPOINT_DIR", &dir);
+    failpoint::reset();
+    failpoint::arm("core.qmkp.probe", 1);
+    let interrupted = qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), None)
+        .expect_err("armed site must interrupt the search");
+    std::env::remove_var("QMKP_RT_CHECKPOINT_DIR");
+    failpoint::reset();
+
+    // A restarted process only has the directory: pick the newest spill
+    // (the `<pid>-<seq>` filename ordering is chronological here).
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("the interrupt must have created the spill dir")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    files.sort();
+    let newest = files.last().expect("the interrupt must have spilled");
+    let from_disk: QmkpCheckpoint =
+        qmkp::rt::load_checkpoint(newest).expect("spilled checkpoint must parse");
+    assert_eq!(
+        from_disk.to_json(),
+        interrupted.checkpoint.to_json(),
+        "the disk spill must round-trip the in-memory checkpoint exactly"
+    );
+    let resumed =
+        qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), Some(&from_disk))
+            .expect("fault cleared: resume from disk must complete");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(resumed.best, straight.best);
+    assert_eq!(
+        resumed.error_probability.to_bits(),
+        straight.error_probability.to_bits()
+    );
+    assert_eq!(resumed.total_iterations, straight.total_iterations);
 }
 
 /// A faulted quantum pipeline inside `solve` is first *retried* (the
