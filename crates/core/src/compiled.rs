@@ -1,0 +1,192 @@
+//! Pre-compiled oracle artifacts and the provider seam that supplies
+//! them.
+//!
+//! A Grover run needs three compiled circuits — `U_check`, `U_check†`,
+//! and the diffusion operator — plus the oracle itself. Historically
+//! every qTKP call rebuilt and recompiled all of them, even though the
+//! paper's table sweeps probe the same `(graph, k)` instance at many
+//! thresholds `t`. [`CompiledOracle`] bundles the reusable artifact;
+//! [`OracleProvider`] abstracts where it comes from, so callers can plug
+//! in a cross-request cache (see the `qmkp-serve` crate) while the
+//! default [`CompileFresh`] keeps the legacy compile-per-call behaviour.
+
+use crate::grover::{diffusion_circuit, PhaseOracle};
+use crate::layout::OracleLayout;
+use crate::oracle::Oracle;
+use crate::qtkp::rt_from_sim;
+use qmkp_graph::Graph;
+use qmkp_qsim::{CompiledCircuit, SimError};
+use qmkp_rt::{RtContext, RtError};
+use std::sync::Arc;
+
+/// The three compiled circuits of one Grover iteration, behind `Arc`s so
+/// a cached artifact is shared across drivers without re-fusing kernels.
+#[derive(Debug, Clone)]
+pub struct GroverCircuits {
+    pub(crate) u_check: Arc<CompiledCircuit>,
+    pub(crate) u_check_inv: Arc<CompiledCircuit>,
+    pub(crate) diffusion: Arc<CompiledCircuit>,
+}
+
+impl GroverCircuits {
+    /// Compiles the iteration circuits of any phase oracle.
+    ///
+    /// # Errors
+    /// [`SimError::Compile`] when a circuit exceeds the simulator's
+    /// 128-qubit basis encoding.
+    pub fn compile<O: PhaseOracle>(oracle: &O) -> Result<Self, SimError> {
+        let width = oracle.width();
+        Ok(GroverCircuits {
+            u_check: Arc::new(CompiledCircuit::compile(oracle.u_check())?),
+            u_check_inv: Arc::new(CompiledCircuit::compile(oracle.u_check_inv())?),
+            diffusion: Arc::new(CompiledCircuit::compile(&diffusion_circuit(
+                width,
+                oracle.vertex_register(),
+            ))?),
+        })
+    }
+
+    /// The compiled forward check.
+    pub fn u_check(&self) -> &CompiledCircuit {
+        &self.u_check
+    }
+
+    /// The compiled uncompute.
+    pub fn u_check_inv(&self) -> &CompiledCircuit {
+        &self.u_check_inv
+    }
+
+    /// The compiled diffusion operator.
+    pub fn diffusion(&self) -> &CompiledCircuit {
+        &self.diffusion
+    }
+
+    /// Resident heap footprint of the three compiled circuits — the byte
+    /// figure a cache charges against its ceiling.
+    pub fn memory_bytes(&self) -> usize {
+        self.u_check.memory_bytes()
+            + self.u_check_inv.memory_bytes()
+            + self.diffusion.memory_bytes()
+    }
+}
+
+/// An MKP oracle with its iteration circuits already compiled: the unit
+/// of reuse for a `(Graph::digest(), k, t)`-keyed cache.
+#[derive(Debug, Clone)]
+pub struct CompiledOracle {
+    oracle: Arc<Oracle>,
+    circuits: GroverCircuits,
+    memory_bytes: usize,
+}
+
+impl CompiledOracle {
+    /// Builds the oracle for `(g, k, t)` and compiles its circuits.
+    ///
+    /// # Errors
+    /// [`RtError::InvalidConfig`] when the oracle register would exceed
+    /// the simulator's 128-qubit basis encoding, or when a circuit fails
+    /// to compile.
+    ///
+    /// # Panics
+    /// Panics on invalid `k` / `t` (see [`OracleLayout::new`]); validate
+    /// those before building, as the solver entry points do.
+    pub fn build(g: &Graph, k: usize, t: usize) -> Result<Self, RtError> {
+        if OracleLayout::try_new(g, k, t).is_none() {
+            return Err(RtError::InvalidConfig(format!(
+                "oracle register exceeds the simulator's 128-qubit basis encoding (n = {})",
+                g.n()
+            )));
+        }
+        let oracle = Arc::new(Oracle::new(g, k, t));
+        let circuits = GroverCircuits::compile(oracle.as_ref()).map_err(rt_from_sim)?;
+        let memory_bytes = circuits.memory_bytes();
+        Ok(CompiledOracle {
+            oracle,
+            circuits,
+            memory_bytes,
+        })
+    }
+
+    /// The oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// A shared handle to the oracle (what the driver is parameterized
+    /// with on the precompiled path).
+    pub fn oracle_arc(&self) -> Arc<Oracle> {
+        Arc::clone(&self.oracle)
+    }
+
+    /// The compiled iteration circuits.
+    pub fn circuits(&self) -> &GroverCircuits {
+        &self.circuits
+    }
+
+    /// Resident heap footprint of the compiled circuits.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+}
+
+/// Where a solve obtains its compiled oracle. The `ctx` parameter lets a
+/// provider admit the compile against the request's budget or observe
+/// its cancellation token; [`CompileFresh`] ignores it.
+pub trait OracleProvider: Send + Sync {
+    /// Returns the compiled oracle for `(g, k, t)`.
+    ///
+    /// # Errors
+    /// [`RtError`] when the artifact cannot be produced — an invalid
+    /// instance, a failed compile, or a provider-specific rejection.
+    fn compiled_oracle(
+        &self,
+        g: &Graph,
+        k: usize,
+        t: usize,
+        ctx: &RtContext,
+    ) -> Result<Arc<CompiledOracle>, RtError>;
+}
+
+/// The no-cache provider: compile on every call. This is the legacy
+/// behaviour of `qtkp`/`qmkp`, kept as the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileFresh;
+
+impl OracleProvider for CompileFresh {
+    fn compiled_oracle(
+        &self,
+        g: &Graph,
+        k: usize,
+        t: usize,
+        _ctx: &RtContext,
+    ) -> Result<Arc<CompiledOracle>, RtError> {
+        CompiledOracle::build(g, k, t).map(Arc::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp_graph::gen::paper_fig1_graph;
+
+    #[test]
+    fn build_compiles_all_three_circuits() {
+        let g = paper_fig1_graph();
+        let co = CompiledOracle::build(&g, 2, 4).unwrap();
+        assert!(!co.circuits().u_check().is_empty());
+        assert!(!co.circuits().u_check_inv().is_empty());
+        assert!(!co.circuits().diffusion().is_empty());
+        assert!(co.memory_bytes() > 0);
+        assert_eq!(co.memory_bytes(), co.circuits().memory_bytes());
+    }
+
+    #[test]
+    fn compile_fresh_provides_independent_artifacts() {
+        let g = paper_fig1_graph();
+        let ctx = RtContext::unlimited();
+        let a = CompileFresh.compiled_oracle(&g, 2, 4, &ctx).unwrap();
+        let b = CompileFresh.compiled_oracle(&g, 2, 4, &ctx).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "no cache: every call compiles");
+        assert_eq!(a.memory_bytes(), b.memory_bytes());
+    }
+}

@@ -1,6 +1,7 @@
 //! Grover's search machinery: state preparation, oracle application with
 //! uncompute, the diffusion operator, and an iteration driver (Figure 12).
 
+use crate::compiled::GroverCircuits;
 use crate::oracle::Oracle;
 use qmkp_graph::VertexSet;
 use qmkp_qsim::{
@@ -9,6 +10,7 @@ use qmkp_qsim::{
 use qmkp_rt::RtContext;
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A phase oracle usable by the Grover driver: any reversible circuit
@@ -55,6 +57,33 @@ impl PhaseOracle for Oracle {
     }
     fn predicate(&self, s: VertexSet) -> bool {
         Oracle::predicate(self, s)
+    }
+}
+
+/// A shared oracle is an oracle: the precompiled path parameterizes the
+/// driver with `Arc<Oracle>` so a cached artifact is driven without
+/// cloning the oracle's circuits.
+impl<O: PhaseOracle> PhaseOracle for Arc<O> {
+    fn width(&self) -> usize {
+        (**self).width()
+    }
+    fn vertex_register(&self) -> &Register {
+        (**self).vertex_register()
+    }
+    fn oracle_qubit(&self) -> usize {
+        (**self).oracle_qubit()
+    }
+    fn u_check(&self) -> &Circuit {
+        (**self).u_check()
+    }
+    fn u_check_inv(&self) -> &Circuit {
+        (**self).u_check_inv()
+    }
+    fn flip_gate(&self) -> Gate {
+        (**self).flip_gate()
+    }
+    fn predicate(&self, s: VertexSet) -> bool {
+        (**self).predicate(s)
     }
 }
 
@@ -182,9 +211,7 @@ pub fn diffusion_circuit(width: usize, vertices: &Register) -> Circuit {
 pub struct GroverDriver<O: PhaseOracle = Oracle, S: QuantumState = SparseState> {
     oracle: O,
     state: S,
-    u_check: CompiledCircuit,
-    u_check_inv: CompiledCircuit,
-    diffusion: CompiledCircuit,
+    circuits: GroverCircuits,
     iterations_done: usize,
     times: SectionTimes,
 }
@@ -235,29 +262,48 @@ impl<O: PhaseOracle, S: BackendState> GroverDriver<O, S> {
         let state = S::zero_budgeted(width, ctx)?;
         Self::finish_new(oracle, state)
     }
+
+    /// Budget-aware constructor from pre-compiled iteration circuits:
+    /// only the initial state is allocated (and admitted against the
+    /// context's byte ceiling) — no circuit is compiled. This is the
+    /// cache-hit path of an [`crate::compiled::OracleProvider`].
+    ///
+    /// # Errors
+    /// [`SimError::Interrupted`] when the state is rejected by the budget
+    /// or an injected fault fires.
+    pub fn try_new_precompiled_ctx(
+        oracle: O,
+        circuits: GroverCircuits,
+        ctx: &RtContext,
+    ) -> Result<Self, SimError> {
+        let width = oracle.width();
+        let state = S::zero_budgeted(width, ctx)?;
+        Ok(Self::finish_precompiled(oracle, circuits, state))
+    }
 }
 
 impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
-    fn finish_new(oracle: O, mut state: S) -> Result<Self, SimError> {
+    fn finish_new(oracle: O, state: S) -> Result<Self, SimError> {
+        let circuits = GroverCircuits::compile(&oracle)?;
+        Ok(Self::finish_precompiled(oracle, circuits, state))
+    }
+
+    /// Prepares the initial state on an already-compiled iteration; the
+    /// only infallible-by-construction constructor (nothing allocates,
+    /// nothing compiles).
+    fn finish_precompiled(oracle: O, circuits: GroverCircuits, mut state: S) -> Self {
         state.apply(&Gate::X(oracle.oracle_qubit()));
         state.apply(&Gate::H(oracle.oracle_qubit()));
         for q in oracle.vertex_register().iter() {
             state.apply(&Gate::H(q));
         }
-        let width = oracle.width();
-        let u_check = CompiledCircuit::compile(oracle.u_check())?;
-        let u_check_inv = CompiledCircuit::compile(oracle.u_check_inv())?;
-        let diffusion =
-            CompiledCircuit::compile(&diffusion_circuit(width, oracle.vertex_register()))?;
-        Ok(GroverDriver {
+        GroverDriver {
             oracle,
             state,
-            u_check,
-            u_check_inv,
-            diffusion,
+            circuits,
             iterations_done: 0,
             times: SectionTimes::default(),
-        })
+        }
     }
 
     /// The oracle being driven.
@@ -284,7 +330,7 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
     /// accounting paths cannot drift.
     pub fn iterate(&mut self) {
         let span = qmkp_obs::span("core.grover.iteration");
-        Self::run_sectioned(&mut self.state, &self.u_check, &mut self.times);
+        Self::run_sectioned(&mut self.state, &self.circuits.u_check, &mut self.times);
         let flip = self.oracle.flip_gate();
         let start = Instant::now();
         self.state.apply(&flip);
@@ -292,8 +338,8 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
         self.times.add("flip", elapsed);
         qmkp_obs::span_closed("core.grover.section.flip", elapsed);
         Self::section_metric("flip", elapsed);
-        Self::run_sectioned(&mut self.state, &self.u_check_inv, &mut self.times);
-        Self::run_sectioned(&mut self.state, &self.diffusion, &mut self.times);
+        Self::run_sectioned(&mut self.state, &self.circuits.u_check_inv, &mut self.times);
+        Self::run_sectioned(&mut self.state, &self.circuits.diffusion, &mut self.times);
         self.iterations_done += 1;
         self.iteration_gauges();
         span.finish();
@@ -329,7 +375,12 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
     }
 
     fn iterate_ctx_inner(&mut self, ctx: &RtContext) -> Result<(), SimError> {
-        Self::run_sectioned_ctx(&mut self.state, &self.u_check, &mut self.times, ctx)?;
+        Self::run_sectioned_ctx(
+            &mut self.state,
+            &self.circuits.u_check,
+            &mut self.times,
+            ctx,
+        )?;
         let flip = self.oracle.flip_gate();
         let start = Instant::now();
         self.state.apply(&flip);
@@ -337,8 +388,18 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
         self.times.add("flip", elapsed);
         qmkp_obs::span_closed("core.grover.section.flip", elapsed);
         Self::section_metric("flip", elapsed);
-        Self::run_sectioned_ctx(&mut self.state, &self.u_check_inv, &mut self.times, ctx)?;
-        Self::run_sectioned_ctx(&mut self.state, &self.diffusion, &mut self.times, ctx)?;
+        Self::run_sectioned_ctx(
+            &mut self.state,
+            &self.circuits.u_check_inv,
+            &mut self.times,
+            ctx,
+        )?;
+        Self::run_sectioned_ctx(
+            &mut self.state,
+            &self.circuits.diffusion,
+            &mut self.times,
+            ctx,
+        )?;
         self.iterations_done += 1;
         self.iteration_gauges();
         Ok(())

@@ -25,6 +25,7 @@
 #![deny(unsafe_code)]
 #![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
 pub mod club;
+pub mod compiled;
 pub mod counting;
 pub mod grover;
 pub mod layout;
@@ -33,11 +34,12 @@ pub mod qmkp;
 pub mod qtkp;
 
 pub use club::{max_two_club, TwoClubOracle};
+pub use compiled::{CompileFresh, CompiledOracle, GroverCircuits, OracleProvider};
 pub use counting::{
     exact_solution_count, inverse_qft, qft, quantum_count, quantum_count_ctx, solutions,
 };
 pub use grover::{diffusion_circuit, optimal_iterations, GroverDriver, PhaseOracle};
 pub use layout::OracleLayout;
 pub use oracle::{Oracle, OracleSectionCost};
-pub use qmkp::{qmkp, qmkp_ctx, QmkpCall, QmkpCheckpoint, QmkpConfig, QmkpOutcome};
-pub use qtkp::{qtkp, qtkp_ctx, MEstimate, QtkpConfig, QtkpOutcome, SectionTimes};
+pub use qmkp::{qmkp, qmkp_ctx, qmkp_ctx_with, QmkpCall, QmkpCheckpoint, QmkpConfig, QmkpOutcome};
+pub use qtkp::{qtkp, qtkp_ctx, qtkp_ctx_with, MEstimate, QtkpConfig, QtkpOutcome, SectionTimes};

@@ -3,8 +3,9 @@
 //! solution arrives after the first successful qTKP call and is at least
 //! half the optimum).
 
+use crate::compiled::{CompileFresh, OracleProvider};
 use crate::grover::SectionTimes;
-use crate::qtkp::{qtkp_ctx, QtkpConfig};
+use crate::qtkp::{qtkp_ctx_with, QtkpConfig};
 use qmkp_graph::reduce::auto_reduce;
 use qmkp_graph::{Graph, VertexSet};
 use qmkp_obs::json;
@@ -239,10 +240,33 @@ pub fn qmkp_ctx<S: BackendState>(
     ctx: &RtContext,
     resume: Option<&QmkpCheckpoint>,
 ) -> Result<QmkpOutcome, Interrupted<QmkpCheckpoint>> {
+    qmkp_ctx_with::<S>(g, k, config, ctx, resume, &CompileFresh)
+}
+
+/// As [`qmkp_ctx`], but obtaining every probe's compiled oracle from an
+/// explicit [`OracleProvider`]. Binary-search probes of the same
+/// `(graph, k)` instance hit the provider once per distinct threshold
+/// `t`, so a cross-request cache amortizes both repeated requests and
+/// the paper's table sweeps over thresholds.
+///
+/// # Errors
+/// As [`qmkp_ctx`], plus whatever the provider reports (wrapped with the
+/// probe-boundary checkpoint like any other probe failure).
+///
+/// # Panics
+/// Panics if the graph is empty or `k == 0`.
+pub fn qmkp_ctx_with<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    config: &QmkpConfig,
+    ctx: &RtContext,
+    resume: Option<&QmkpCheckpoint>,
+    provider: &dyn OracleProvider,
+) -> Result<QmkpOutcome, Interrupted<QmkpCheckpoint>> {
     assert!(g.n() > 0, "graph must be non-empty");
     assert!(k >= 1, "k must be ≥ 1");
     let span = qmkp_obs::span("core.qmkp.run");
-    let result = qmkp_ctx_inner::<S>(g, k, config, ctx, resume);
+    let result = qmkp_ctx_inner::<S>(g, k, config, ctx, resume, provider);
     span.finish();
     result
 }
@@ -253,6 +277,7 @@ fn qmkp_ctx_inner<S: BackendState>(
     config: &QmkpConfig,
     ctx: &RtContext,
     resume: Option<&QmkpCheckpoint>,
+    provider: &dyn OracleProvider,
 ) -> Result<QmkpOutcome, Interrupted<QmkpCheckpoint>> {
     let start = Instant::now();
 
@@ -351,7 +376,7 @@ fn qmkp_ctx_inner<S: BackendState>(
                 None => {
                     let probe_span = qmkp_obs::span_dyn(|| format!("core.qmkp.probe[t={t}]"));
                     qmkp_obs::counter("core.qmkp.probes", 1);
-                    let out = qtkp_ctx::<S>(search_graph, k, t, &config.qtkp, ctx);
+                    let out = qtkp_ctx_with::<S>(search_graph, k, t, &config.qtkp, ctx, provider);
                     probe_span.finish();
                     out
                 }

@@ -7,15 +7,17 @@
 //! retried, which is how the paper's `π²/(4I)²ᶜ` error amplification
 //! works).
 
+use crate::compiled::{CompileFresh, OracleProvider};
 use crate::counting::{exact_solution_count, quantum_count_ctx, solutions};
 pub use crate::grover::SectionTimes;
 use crate::grover::{optimal_iterations, GroverDriver};
-use crate::oracle::{Oracle, OracleSectionCost};
+use crate::oracle::OracleSectionCost;
 use qmkp_graph::{Graph, VertexSet};
 use qmkp_qsim::{BackendState, SimError, SparseState};
 use qmkp_rt::{RtContext, RtError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Folds a simulator error into the runtime taxonomy: interruptions pass
@@ -161,12 +163,30 @@ pub fn qtkp_ctx<S: BackendState>(
     config: &QtkpConfig,
     ctx: &RtContext,
 ) -> Result<QtkpOutcome, RtError> {
+    qtkp_ctx_with::<S>(g, k, t, config, ctx, &CompileFresh)
+}
+
+/// As [`qtkp_ctx`], but obtaining the compiled oracle from an explicit
+/// [`OracleProvider`] — the seam a cross-request oracle cache plugs into.
+/// A cache hit skips oracle construction and circuit compilation
+/// entirely; only the state is (budget-admitted and) allocated.
+///
+/// # Errors
+/// As [`qtkp_ctx`], plus whatever the provider reports.
+pub fn qtkp_ctx_with<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    t: usize,
+    config: &QtkpConfig,
+    ctx: &RtContext,
+    provider: &dyn OracleProvider,
+) -> Result<QtkpOutcome, RtError> {
     config.validate()?;
     if let MEstimate::Unknown { lambda } = config.m_estimate {
-        return qtkp_unknown_m_ctx::<S>(g, k, t, config, lambda, ctx);
+        return qtkp_unknown_m_ctx::<S>(g, k, t, config, lambda, ctx, provider);
     }
     let span = qmkp_obs::span("core.qtkp.run");
-    let result = qtkp_known_m_ctx::<S>(g, k, t, config, ctx);
+    let result = qtkp_known_m_ctx::<S>(g, k, t, config, ctx, provider);
     span.finish();
     result
 }
@@ -177,10 +197,12 @@ fn qtkp_known_m_ctx<S: BackendState>(
     t: usize,
     config: &QtkpConfig,
     ctx: &RtContext,
+    provider: &dyn OracleProvider,
 ) -> Result<QtkpOutcome, RtError> {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let oracle = Oracle::new(g, k, t);
+    let compiled = provider.compiled_oracle(g, k, t, ctx)?;
+    let oracle = compiled.oracle_arc();
     let qubits = oracle.layout.width;
     let oracle_cost = oracle.section_cost();
     let n = oracle.layout.n;
@@ -196,7 +218,9 @@ fn qtkp_known_m_ctx<S: BackendState>(
     };
 
     let iterations = optimal_iterations(n, m);
-    let mut driver = GroverDriver::<_, S>::try_new_ctx(oracle, ctx).map_err(rt_from_sim)?;
+    let mut driver =
+        GroverDriver::<_, S>::try_new_precompiled_ctx(oracle, compiled.circuits().clone(), ctx)
+            .map_err(rt_from_sim)?;
     driver.iterate_n_ctx(iterations, ctx).map_err(rt_from_sim)?;
 
     let sols = solutions(driver.oracle());
@@ -254,12 +278,14 @@ fn qtkp_unknown_m_ctx<S: BackendState>(
     config: &QtkpConfig,
     lambda: f64,
     ctx: &RtContext,
+    provider: &dyn OracleProvider,
 ) -> Result<QtkpOutcome, RtError> {
     let span = qmkp_obs::span("core.qtkp.run");
     let result = (|| {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let oracle = Oracle::new(g, k, t);
+        let compiled = provider.compiled_oracle(g, k, t, ctx)?;
+        let oracle = compiled.oracle_arc();
         let qubits = oracle.layout.width;
         let oracle_cost = oracle.section_cost();
         let n = oracle.layout.n;
@@ -278,8 +304,12 @@ fn qtkp_unknown_m_ctx<S: BackendState>(
         while spent <= budget {
             ctx.check()?;
             let j = (rng.gen::<f64>() * bound.min(sqrt_n)).floor() as usize;
-            let mut driver =
-                GroverDriver::<_, S>::try_new_ctx(oracle.clone(), ctx).map_err(rt_from_sim)?;
+            let mut driver = GroverDriver::<_, S>::try_new_precompiled_ctx(
+                Arc::clone(&oracle),
+                compiled.circuits().clone(),
+                ctx,
+            )
+            .map_err(rt_from_sim)?;
             driver.iterate_n_ctx(j, ctx).map_err(rt_from_sim)?;
             spent += j.max(1);
             iterations += j;

@@ -225,6 +225,38 @@ impl Graph {
     pub fn common_neighbors_in(&self, u: usize, v: usize, s: VertexSet) -> VertexSet {
         self.adj[u] & self.adj[v] & s
     }
+
+    /// A canonical 64-bit structural digest: a splitmix64 fold over the
+    /// vertex count and each vertex's adjacency bitmask in index order
+    /// (the representation is already sorted and duplicate-free, so two
+    /// graphs digest equal iff they have the same vertex count and edge
+    /// set, regardless of insertion order).
+    ///
+    /// This is the graph half of the serve layer's compiled-oracle cache
+    /// key `(digest, k, t)`; it deliberately mirrors the provenance
+    /// config-hash idiom (separator byte folded between fields) so the
+    /// two fingerprint families read the same way.
+    pub fn digest(&self) -> u64 {
+        let mut h = splitmix64(self.adj.len() as u64);
+        for adj in &self.adj {
+            let bits = adj.bits();
+            // Field separator, then the low and high mask halves.
+            h = splitmix64(h ^ 0xff);
+            h = splitmix64(h ^ (bits as u64));
+            h = splitmix64(h ^ ((bits >> 64) as u64));
+        }
+        h
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+/// Duplicated from `qmkp-rt` (three lines) to keep this crate
+/// dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl std::fmt::Debug for Graph {
@@ -375,6 +407,38 @@ mod tests {
             g.common_neighbors_in(1, 3, VertexSet::from_iter([1, 2, 3])),
             VertexSet::EMPTY
         );
+    }
+
+    #[test]
+    fn digest_is_insertion_order_independent() {
+        let a = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)]).unwrap();
+        let b = Graph::from_edges(4, [(0, 3), (0, 2), (1, 2), (0, 1)]).unwrap();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_edge_sets_and_vertex_counts() {
+        let g = triangle_plus_pendant();
+        let mut h = g.clone();
+        h.remove_edge(0, 3);
+        assert_ne!(g.digest(), h.digest(), "edge change must change digest");
+        assert_ne!(
+            Graph::new(4).unwrap().digest(),
+            Graph::new(5).unwrap().digest(),
+            "vertex count must change digest"
+        );
+        assert_ne!(g.digest(), g.complement().digest());
+    }
+
+    #[test]
+    fn digest_survives_clone_and_rebuild() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.digest(), g.clone().digest());
+        // Remove then re-add an edge: structurally identical again.
+        let mut h = g.clone();
+        h.remove_edge(1, 2);
+        h.add_edge(1, 2).unwrap();
+        assert_eq!(g.digest(), h.digest());
     }
 
     #[test]

@@ -471,6 +471,27 @@ impl MetricsSnapshot {
         self.series.is_empty()
     }
 
+    /// The series with exactly this name and label set, if present.
+    /// Labels must match in full (order-insensitively); pass `&[]` for
+    /// an unlabeled series.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        })
+    }
+
+    /// The value of the series with this name and label set: counter
+    /// total, gauge last value, or histogram sum — 0.0 when the series
+    /// never recorded. The assertion-friendly accessor for tests and CI
+    /// guards.
+    pub fn value_of(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.find(name, labels).map_or(0.0, |s| s.value)
+    }
+
     /// The snapshot as a JSON document (trailing newline included).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -725,6 +746,25 @@ mod tests {
             );
             let _ = mid;
         }
+    }
+
+    #[test]
+    fn find_and_value_of_match_name_and_labels() {
+        let _l = locked();
+        let _armed = Armed::new();
+        counter("m.find.c", &[("lane", "dense")], 3);
+        counter("m.find.c", &[("lane", "sparse")], 5);
+        gauge("m.find.g", &[], 2.5);
+        let snap = snapshot();
+        assert_eq!(snap.value_of("m.find.c", &[("lane", "dense")]), 3.0);
+        assert_eq!(snap.value_of("m.find.c", &[("lane", "sparse")]), 5.0);
+        assert_eq!(snap.value_of("m.find.g", &[]), 2.5);
+        // Full-label-set match only: a subset or a miss finds nothing.
+        assert!(snap.find("m.find.c", &[]).is_none());
+        assert!(snap.find("m.find.c", &[("lane", "classical")]).is_none());
+        assert_eq!(snap.value_of("m.absent", &[]), 0.0);
+        let s = snap.find("m.find.c", &[("lane", "dense")]).unwrap();
+        assert_eq!(s.count, 1);
     }
 
     #[test]

@@ -827,6 +827,44 @@ impl CompiledCircuit {
         self.stats
     }
 
+    /// Approximate resident heap footprint of the compiled artifact:
+    /// both kernel-op vectors (wide and, when present, u64-narrowed),
+    /// section tags, and the dispatch schedule. This is the byte figure
+    /// a compiled-circuit cache charges against its ceiling — the same
+    /// `memory_bytes` accounting idiom the backends expose for states.
+    pub fn memory_bytes(&self) -> usize {
+        fn op_bytes<K>(op: &Op<K>) -> usize {
+            std::mem::size_of::<Op<K>>()
+                + match op {
+                    Op::Permutation(steps) => steps.capacity() * std::mem::size_of::<FlipStep<K>>(),
+                    Op::Diagonal(phases) => phases.capacity() * std::mem::size_of::<PhaseStep<K>>(),
+                    Op::Single(_) => 0,
+                }
+        }
+        let mut bytes = std::mem::size_of::<Self>();
+        bytes += self.ops.iter().map(op_bytes).sum::<usize>();
+        if let Some(narrow) = &self.narrow_ops {
+            bytes += narrow.iter().map(op_bytes).sum::<usize>();
+        }
+        bytes += self
+            .sections
+            .iter()
+            .map(|s| std::mem::size_of::<Section>() + s.name.capacity())
+            .sum::<usize>();
+        if let Some(schedule) = &self.schedule {
+            bytes += schedule.layers.capacity() * std::mem::size_of::<std::ops::Range<usize>>();
+            bytes += schedule
+                .attributions
+                .iter()
+                .map(|a| {
+                    std::mem::size_of::<Vec<(usize, usize)>>()
+                        + a.capacity() * std::mem::size_of::<(usize, usize)>()
+                })
+                .sum::<usize>();
+        }
+        bytes
+    }
+
     /// Number of fused ops.
     #[inline]
     pub fn len(&self) -> usize {
@@ -941,6 +979,34 @@ mod tests {
         assert!(matches!(&cc.ops()[2], CompiledOp::Single(k) if k.qubit == 2));
         assert!(matches!(&cc.ops()[3], CompiledOp::Permutation(s) if s.len() == 1));
         assert_eq!(cc.source_gates(), 7);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_compiled_payload() {
+        let empty = compile(&Circuit::new(2));
+        assert!(empty.memory_bytes() >= std::mem::size_of::<CompiledCircuit>());
+
+        let mut c = Circuit::new(3);
+        c.begin_section("payload");
+        for q in 0..3 {
+            c.push_unchecked(Gate::X(q));
+            c.push_unchecked(Gate::Phase(q, 0.1));
+            c.push_unchecked(Gate::H(q));
+        }
+        c.end_section();
+        let loaded = compile(&c);
+        assert!(
+            loaded.memory_bytes() > empty.memory_bytes(),
+            "ops, sections, and steps must be charged"
+        );
+        // Schedule metadata is charged too: a scheduled artifact with the
+        // same ops weighs more than its own payload alone would.
+        let scheduled = compile_scheduled(&c);
+        if let Some(schedule) = scheduled.schedule() {
+            let layer_bytes =
+                schedule.layers.capacity() * std::mem::size_of::<std::ops::Range<usize>>();
+            assert!(scheduled.memory_bytes() > layer_bytes);
+        }
     }
 
     #[test]

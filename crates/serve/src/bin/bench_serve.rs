@@ -1,0 +1,86 @@
+//! In-process guard that the compiled-oracle cache actually short-
+//! circuits compilation: solves the paper's fig-1 instance twice through
+//! one [`OracleCache`] and asserts, via the `qsim.compile.gates` event
+//! counter *and* the cache's own compile count, that the warm solve
+//! compiled **zero** gates. Exits non-zero (failing the CI `serve` job)
+//! if a cache hit ever re-enters the compiler.
+//!
+//! Usage: `cargo run --release -p qmkp-serve --bin bench_serve`
+
+use qmkp::graph::{gen::paper_fig1_graph, is_kplex};
+use qmkp::{solve_with, SolveConfig};
+use qmkp_obs::{RunReport, Session};
+use qmkp_rt::RtContext;
+use qmkp_serve::OracleCache;
+
+fn main() {
+    let session = Session::builder("bench_serve").collect().build();
+    let collector = session
+        .collector()
+        .expect("builder().collect() installs a collector")
+        .clone();
+
+    let g = paper_fig1_graph();
+    let cache = OracleCache::new(64 << 20);
+    let config = SolveConfig::default();
+    let ctx = RtContext::unlimited();
+
+    let cold = solve_with(&g, 2, &config, &ctx, &cache).expect("cold solve");
+    let cold_gates = collector.counter_total("qsim.compile.gates");
+    let cold_compiles = cache.stats().compiles;
+
+    let warm = solve_with(&g, 2, &config, &ctx, &cache).expect("warm solve");
+    let warm_gates = collector.counter_total("qsim.compile.gates") - cold_gates;
+    let warm_compiles = cache.stats().compiles - cold_compiles;
+    let stats = cache.stats();
+
+    let mut failures = Vec::new();
+    if cold_gates == 0 {
+        failures.push("cold solve compiled no gates (guard is not measuring)".to_string());
+    }
+    if warm_gates != 0 {
+        failures.push(format!(
+            "cache-hit solve re-entered the compiler: {warm_gates} gates compiled on the warm run"
+        ));
+    }
+    if warm_compiles != 0 {
+        failures.push(format!(
+            "cache reported {warm_compiles} compiles on the warm run (expected 0)"
+        ));
+    }
+    if stats.hits == 0 {
+        failures.push("warm solve produced no cache hits".to_string());
+    }
+    if warm.best != cold.best {
+        failures.push(format!(
+            "warm and cold answers diverge: {:?} vs {:?}",
+            warm.best, cold.best
+        ));
+    }
+    if !is_kplex(&g, cold.best, 2) {
+        failures.push("cold answer is not a 2-plex".to_string());
+    }
+
+    let report = RunReport::new("bench_serve")
+        .config("instance", "paper_fig1")
+        .config("k", 2)
+        .outcome("cold_gates", cold_gates)
+        .outcome("warm_gates", warm_gates)
+        .outcome("cache_hits", stats.hits)
+        .outcome("cache_misses", stats.misses)
+        .outcome("cache_compiles", stats.compiles)
+        .outcome("guard", if failures.is_empty() { "pass" } else { "fail" });
+    println!("{}", report.to_json());
+    session.finish_with(
+        RunReport::new("bench_serve")
+            .outcome("cold_gates", cold_gates)
+            .outcome("warm_gates", warm_gates),
+    );
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_serve guard FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

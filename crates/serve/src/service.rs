@@ -1,0 +1,484 @@
+//! The multi-tenant solve service.
+//!
+//! [`SolveService`] pushes each [`SolveRequest`] through four stages:
+//!
+//! 1. **Admission** — [`SolveService::submit`] validates the request,
+//!    classifies it with the ladder's own preflight cost model
+//!    ([`qmkp::preflight_lane`]), and `try_send`s it onto that lane's
+//!    bounded queue. A full queue rejects with
+//!    [`ServeError::QueueFull`] immediately — admission never blocks
+//!    the submitting thread, mirroring how
+//!    [`qmkp_rt::RtContext::admit_bytes`] rejects rather than waits.
+//! 2. **Sharding** — each lane (`dense` / `sparse` / `classical`) has
+//!    its own worker pool, so cheap classical floors never queue
+//!    behind multi-second statevector runs.
+//! 3. **Execution** — a worker builds a per-request
+//!    [`RtContext`] from the request's [`Budget`] and the ticket's
+//!    [`CancelToken`], then runs [`qmkp::solve_with`] against the
+//!    shared [`OracleCache`]. Cancelling a ticket cancels exactly that
+//!    request.
+//! 4. **Reply** — the worker sends a [`SolveResponse`] — the ladder
+//!    outcome wrapped in a [`RunReport`] envelope — down the ticket's
+//!    private channel; [`SolveTicket::wait`] collects it.
+//!
+//! `serve.queue_depth` gauges (labelled by lane) and the
+//! `serve.requests.{submitted,completed,rejected}` counters land in the
+//! metrics registry alongside the cache's `serve.cache.*` series.
+
+use crate::cache::OracleCache;
+use qmkp::{preflight_lane, solve_with, PreflightLane, SolveConfig, SolveOutcome};
+use qmkp_graph::Graph;
+use qmkp_obs::RunReport;
+use qmkp_rt::{Budget, CancelToken, RtContext, RtError};
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing for a [`SolveService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bound of each lane's admission queue; a lane holding this many
+    /// waiting requests rejects further submissions.
+    pub queue_capacity: usize,
+    /// Workers on the dense-statevector lane.
+    pub dense_workers: usize,
+    /// Workers on the sparse-statevector lane.
+    pub sparse_workers: usize,
+    /// Workers on the classical lane.
+    pub classical_workers: usize,
+    /// Byte ceiling of the shared compiled-oracle cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Splits the machine's parallelism across the three lanes (at
+    /// least one worker each) with a 64 MiB oracle cache.
+    fn default() -> Self {
+        let per_lane = (rayon::current_num_threads() / 3).clamp(1, 8);
+        ServiceConfig {
+            queue_capacity: 64,
+            dense_workers: per_lane,
+            sparse_workers: per_lane,
+            classical_workers: per_lane,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One tenant's solve request.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The instance graph.
+    pub graph: Graph,
+    /// The plex slack `k`.
+    pub k: usize,
+    /// Ladder configuration (quantum seed, classical floor tuning).
+    pub config: SolveConfig,
+    /// This request's private resource budget; [`Budget::unlimited`]
+    /// by default.
+    pub budget: Budget,
+}
+
+impl SolveRequest {
+    /// A request for the maximum `k`-plex of `graph` with default
+    /// configuration and no budget limits.
+    pub fn new(graph: Graph, k: usize) -> Self {
+        SolveRequest {
+            graph,
+            k,
+            config: SolveConfig::default(),
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Replaces the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the ladder configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SolveConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Why the service could not produce a [`SolveOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's lane queue was at capacity; admission rejects
+    /// instead of blocking. Resubmit later or widen
+    /// [`ServiceConfig::queue_capacity`].
+    QueueFull {
+        /// The lane that was full.
+        lane: PreflightLane,
+        /// Its configured capacity.
+        capacity: usize,
+    },
+    /// The solve itself failed — cancelled, over budget after every
+    /// rung including the classical floor, or invalid configuration.
+    Rt(RtError),
+    /// The service shut down before the request completed.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { lane, capacity } => write!(
+                f,
+                "{} lane queue full (capacity {capacity}); request rejected",
+                lane.name()
+            ),
+            ServeError::Rt(e) => write!(f, "solve failed: {e}"),
+            ServeError::Shutdown => write!(f, "service shut down before the request completed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RtError> for ServeError {
+    fn from(e: RtError) -> Self {
+        ServeError::Rt(e)
+    }
+}
+
+/// The reply to one [`SolveRequest`].
+#[derive(Debug)]
+pub struct SolveResponse {
+    /// The id [`SolveService::submit`] assigned.
+    pub id: u64,
+    /// The lane that executed the request.
+    pub lane: PreflightLane,
+    /// The ladder outcome, or a structured error.
+    pub outcome: Result<SolveOutcome, ServeError>,
+    /// A per-request report fragment: lane, instance key, elapsed time,
+    /// and the ladder fields on success.
+    pub report: RunReport,
+}
+
+/// A claim check for a submitted request: cancel it or wait for the
+/// response.
+#[derive(Debug)]
+pub struct SolveTicket {
+    id: u64,
+    lane: PreflightLane,
+    cancel: CancelToken,
+    rx: Receiver<SolveResponse>,
+}
+
+impl SolveTicket {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The lane admission routed the request to.
+    pub fn lane(&self) -> PreflightLane {
+        self.lane
+    }
+
+    /// Cancels this request — and only this request. A queued request
+    /// resolves to [`RtError::Cancelled`] without running; a running
+    /// one stops at its next cooperative checkpoint.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the response arrives. Returns a
+    /// [`ServeError::Shutdown`] response if the service dropped the
+    /// request on the floor (it never does while alive).
+    pub fn wait(self) -> SolveResponse {
+        self.rx.recv().unwrap_or_else(|_| SolveResponse {
+            id: self.id,
+            lane: self.lane,
+            outcome: Err(ServeError::Shutdown),
+            report: RunReport::new("serve.request").outcome("error", ServeError::Shutdown),
+        })
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    id: u64,
+    lane: PreflightLane,
+    request: SolveRequest,
+    cancel: CancelToken,
+    reply: mpsc::Sender<SolveResponse>,
+}
+
+/// State shared between the service handle and its workers.
+struct Shared {
+    cache: Arc<OracleCache>,
+    completed: AtomicU64,
+    /// Signed: a worker can dequeue (and decrement) before the
+    /// submitting thread increments, so the count transiently dips
+    /// below zero. The gauge clamps at zero.
+    depths: [AtomicI64; 3],
+}
+
+impl Shared {
+    fn lane_index(lane: PreflightLane) -> usize {
+        match lane {
+            PreflightLane::Dense => 0,
+            PreflightLane::Sparse => 1,
+            PreflightLane::Classical => 2,
+        }
+    }
+
+    fn depth_changed(&self, lane: PreflightLane, delta: i64) {
+        let idx = Self::lane_index(lane);
+        let depth = (self.depths[idx].fetch_add(delta, Ordering::Relaxed) + delta).max(0);
+        qmkp_obs::gauge("serve.queue_depth", depth as f64);
+        qmkp_obs::metrics::gauge("serve.queue_depth", &[("lane", lane.name())], depth as f64);
+    }
+}
+
+/// A lane's submission side.
+struct Lane {
+    tx: SyncSender<Job>,
+    lane: PreflightLane,
+}
+
+/// The service: admission, lane-sharded workers, shared oracle cache.
+///
+/// Dropping the service closes the queues and joins every worker;
+/// requests already admitted still complete, and outstanding tickets
+/// for them resolve normally.
+pub struct SolveService {
+    lanes: Vec<Lane>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    config: ServiceConfig,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl SolveService {
+    /// Starts the worker pools and the shared cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cache: Arc::new(OracleCache::new(config.cache_bytes)),
+            completed: AtomicU64::new(0),
+            depths: [AtomicI64::new(0), AtomicI64::new(0), AtomicI64::new(0)],
+        });
+        let mut lanes = Vec::new();
+        let mut workers = Vec::new();
+        let pools = [
+            (PreflightLane::Dense, config.dense_workers),
+            (PreflightLane::Sparse, config.sparse_workers),
+            (PreflightLane::Classical, config.classical_workers),
+        ];
+        for (lane, pool) in pools {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+            let rx = Arc::new(Mutex::new(rx));
+            for worker in 0..pool.max(1) {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("qmkp-serve-{}-{worker}", lane.name()))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker thread");
+                workers.push(handle);
+            }
+            lanes.push(Lane { tx, lane });
+        }
+        SolveService {
+            lanes,
+            workers,
+            shared,
+            config,
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared compiled-oracle cache (for direct inspection).
+    pub fn cache(&self) -> &OracleCache {
+        &self.shared.cache
+    }
+
+    /// Validates, classifies, and enqueues a request.
+    ///
+    /// # Errors
+    /// * [`ServeError::Rt`] with [`RtError::InvalidConfig`] for an
+    ///   empty graph or `k == 0` (the ladder's panicking preconditions,
+    ///   turned into a structured rejection at the service boundary).
+    /// * [`ServeError::QueueFull`] when the target lane is at capacity.
+    ///   The submitter is never blocked.
+    pub fn submit(&self, request: SolveRequest) -> Result<SolveTicket, ServeError> {
+        if request.graph.n() == 0 {
+            return Err(ServeError::Rt(RtError::InvalidConfig(
+                "graph must be non-empty".into(),
+            )));
+        }
+        if request.k == 0 {
+            return Err(ServeError::Rt(RtError::InvalidConfig(
+                "k must be ≥ 1".into(),
+            )));
+        }
+        if let Err(e) = request.config.qmkp.qtkp.validate() {
+            return Err(ServeError::Rt(e));
+        }
+        let lane = preflight_lane(&request.graph, request.k, &request.budget);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            id,
+            lane,
+            request,
+            cancel: cancel.clone(),
+            reply,
+        };
+        let slot = self
+            .lanes
+            .iter()
+            .find(|l| l.lane == lane)
+            .expect("every lane has a queue");
+        match slot.tx.try_send(job) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                qmkp_obs::counter("serve.requests.submitted", 1);
+                qmkp_obs::metrics::counter("serve.requests.submitted", &[("lane", lane.name())], 1);
+                self.shared.depth_changed(lane, 1);
+                Ok(SolveTicket {
+                    id,
+                    lane,
+                    cancel,
+                    rx,
+                })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                qmkp_obs::counter("serve.requests.rejected", 1);
+                qmkp_obs::metrics::counter("serve.requests.rejected", &[("lane", lane.name())], 1);
+                Err(ServeError::QueueFull {
+                    lane,
+                    capacity: self.config.queue_capacity.max(1),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// A service-level report: request counters, cache statistics, and
+    /// the current metrics registry snapshot — the envelope
+    /// `obs_validate --report` checks in CI.
+    pub fn report(&self, name: &str) -> RunReport {
+        let stats = self.shared.cache.stats();
+        RunReport::new(name)
+            .config("queue_capacity", self.config.queue_capacity)
+            .config(
+                "workers",
+                format!(
+                    "dense={} sparse={} classical={}",
+                    self.config.dense_workers.max(1),
+                    self.config.sparse_workers.max(1),
+                    self.config.classical_workers.max(1)
+                ),
+            )
+            .config("cache_bytes", self.config.cache_bytes)
+            .outcome("submitted", self.submitted.load(Ordering::Relaxed))
+            .outcome("completed", self.shared.completed.load(Ordering::Relaxed))
+            .outcome("rejected", self.rejected.load(Ordering::Relaxed))
+            .outcome("cache_hits", stats.hits)
+            .outcome("cache_misses", stats.misses)
+            .outcome("cache_evictions", stats.evictions)
+            .outcome("cache_compiles", stats.compiles)
+            .outcome("cache_bytes", stats.bytes)
+            .metrics(qmkp_obs::metrics::snapshot())
+    }
+
+    /// Closes the admission queues and joins every worker. Admitted
+    /// requests finish first; this blocks until they have.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.lanes.clear(); // drop the senders: workers drain and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+    loop {
+        // Hold the lane lock only for the dequeue itself.
+        let job = {
+            let guard = rx.lock().expect("lane queue lock");
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // all senders dropped: service shut down
+        };
+        shared.depth_changed(job.lane, -1);
+        let lane = job.lane;
+        execute(job, shared);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        qmkp_obs::counter("serve.requests.completed", 1);
+        qmkp_obs::metrics::counter("serve.requests.completed", &[("lane", lane.name())], 1);
+    }
+}
+
+/// Runs one admitted job under its own [`RtContext`] and sends the
+/// enveloped response down the ticket's channel. A dropped ticket just
+/// discards the response.
+fn execute(job: Job, shared: &Arc<Shared>) {
+    let Job {
+        id,
+        lane,
+        request,
+        cancel,
+        reply,
+    } = job;
+    let started = Instant::now();
+    let ctx = RtContext::new(request.budget.clone(), cancel);
+    let outcome = ctx
+        .check()
+        .and_then(|()| {
+            solve_with(
+                &request.graph,
+                request.k,
+                &request.config,
+                &ctx,
+                shared.cache.as_ref(),
+            )
+        })
+        .map_err(ServeError::Rt);
+    let elapsed = started.elapsed();
+    let report = match &outcome {
+        Ok(out) => out.report("serve.request"),
+        Err(e) => RunReport::new("serve.request").outcome("error", e),
+    };
+    let report = report
+        .config("lane", lane.name())
+        .config("k", request.k)
+        .config("n", request.graph.n())
+        .config("graph_digest", format!("{:016x}", request.graph.digest()))
+        .outcome("elapsed_ms", elapsed.as_millis());
+    qmkp_obs::metrics::observe_duration("serve.request_seconds", &[("lane", lane.name())], elapsed);
+    let _ = reply.send(SolveResponse {
+        id,
+        lane,
+        outcome,
+        report,
+    });
+}

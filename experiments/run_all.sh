@@ -13,3 +13,10 @@ for bin in table1_scale fig8_amplitude table2_qmkp_vs_bs table3_qmkp_k \
   echo "=== $bin ==="
   cargo run --release -q -p qmkp-bench --bin "$bin" | tee "experiments/$bin.txt"
 done
+
+# Fold every bin's `provenance:` line into one manifest, so the
+# regeneration that produced EXPERIMENTS.md is identified by a single
+# checked-in file (the ablation bins carry no provenance wrapper yet).
+grep -h '^provenance:' experiments/*.txt | sort > experiments/PROVENANCE.txt
+echo "=== provenance manifest ==="
+cat experiments/PROVENANCE.txt

@@ -48,4 +48,7 @@ pub use qmkp_qsim as qsim;
 pub use qmkp_qubo as qubo;
 pub use qmkp_rt as rt;
 
-pub use solve::{solve, SolveBackend, SolveConfig, SolveOutcome};
+pub use solve::{
+    dense_cost, preflight_lane, solve, solve_with, sparse_cost, PreflightLane, SolveBackend,
+    SolveConfig, SolveOutcome,
+};

@@ -12,16 +12,27 @@
 //! ```
 //!
 //! chosen by a preflight cost estimate against the [`Budget`]'s byte
-//! ceiling, with a mid-run fallback: if the selected quantum rung is
-//! interrupted by a budget limit or an injected fault, the solver
-//! degrades to the classical floor instead of failing (`degraded = true`
-//! in the outcome and the `rt.degradations` counter). Explicit
+//! ceiling, with a mid-run fallback: if a quantum rung is interrupted by
+//! the byte ceiling, the solver falls through to the next rung that
+//! preflights under the budget (dense → sparse) before reaching the
+//! classical floor; op-budget, deadline, and fault(-after-retries)
+//! interruptions degrade straight to the floor, since a lower quantum
+//! rung would spend the same exhausted budget. Either way the run is
+//! marked `degraded = true` (and counted in `rt.degradations`). Explicit
 //! cancellation and configuration errors are *not* degraded — they
 //! surface as errors, because the caller asked for them.
+//!
+//! [`solve_with`] additionally accepts an
+//! [`OracleProvider`], letting a serving
+//! layer (the `qmkp-serve` crate) supply pre-compiled oracles from a
+//! cross-request cache.
 
 use qmkp_classical::bnb::max_kplex_bnb;
 use qmkp_classical::grasp::grasp_kplex;
-use qmkp_core::{qmkp_ctx, OracleLayout, QmkpCheckpoint, QmkpConfig, QmkpOutcome};
+use qmkp_core::{
+    qmkp_ctx_with, CompileFresh, OracleLayout, OracleProvider, QmkpCheckpoint, QmkpConfig,
+    QmkpOutcome,
+};
 use qmkp_graph::{is_kplex, Graph, VertexSet};
 use qmkp_obs::RunReport;
 use qmkp_qsim::{BackendState, DenseState, SparseState, MAX_DENSE_QUBITS};
@@ -59,27 +70,23 @@ pub struct SolveConfig {
     /// The quantum search configuration (seed, reduction, counting mode).
     pub qmkp: QmkpConfig,
     /// Vertex count at or below which the classical floor runs exact
-    /// branch & bound instead of GRASP. 0 keeps the default (20).
-    pub exact_threshold: usize,
-    /// GRASP restarts for the heuristic floor. 0 keeps the default (64).
-    pub grasp_iterations: usize,
+    /// branch & bound instead of GRASP. `None` keeps the default (20);
+    /// explicit values are honoured verbatim — `Some(0)` forces GRASP on
+    /// every graph, which the old `0 = default` sentinel could not
+    /// express.
+    pub exact_threshold: Option<usize>,
+    /// GRASP restarts for the heuristic floor. `None` keeps the default
+    /// (64).
+    pub grasp_iterations: Option<usize>,
 }
 
 impl SolveConfig {
     fn exact_threshold(&self) -> usize {
-        if self.exact_threshold == 0 {
-            20
-        } else {
-            self.exact_threshold
-        }
+        self.exact_threshold.unwrap_or(20)
     }
 
     fn grasp_iterations(&self) -> usize {
-        if self.grasp_iterations == 0 {
-            64
-        } else {
-            self.grasp_iterations
-        }
+        self.grasp_iterations.unwrap_or(64)
     }
 }
 
@@ -91,7 +98,8 @@ pub struct SolveOutcome {
     pub best: VertexSet,
     /// The rung that produced `best`.
     pub backend: SolveBackend,
-    /// Whether the solver fell back below the requested quantum pipeline.
+    /// Whether the solver fell below the preflight-selected rung — to a
+    /// lower quantum rung or all the way to the classical floor.
     pub degraded: bool,
     /// Why the solver degraded, when it did.
     pub degraded_because: Option<RtError>,
@@ -114,26 +122,71 @@ impl SolveOutcome {
     }
 }
 
-/// Estimated peak bytes for a dense simulation of `width` qubits.
-fn dense_cost(width: usize) -> usize {
-    // 16-byte amplitudes plus an equal-size permutation scratch buffer.
-    2usize
-        .checked_shl(width as u32)
-        .map_or(usize::MAX, |amps| amps.saturating_mul(16))
+/// Estimated peak bytes for a dense simulation of `width` qubits:
+/// 16-byte amplitudes plus an equal-size permutation scratch buffer,
+/// `32·2^width` in total. Saturates to [`usize::MAX`] when the figure
+/// does not fit a `usize` — never silently wraps (`checked_shl` loses
+/// shifted-out bits without erroring, so the previous
+/// `2usize.checked_shl(w)` formulation returned 0 bytes at width 63 and
+/// let over-wide instances preflight as "fits any budget").
+pub fn dense_cost(width: usize) -> usize {
+    if width as u32 >= usize::BITS {
+        return usize::MAX;
+    }
+    (1usize << width).saturating_mul(32)
 }
 
 /// Estimated peak bytes for a sparse simulation of a graph with `n`
 /// vertices: the support reaches `2^n` basis states under the uniform
-/// superposition, with a same-size scratch vec during compaction.
-fn sparse_cost(n: usize) -> usize {
+/// superposition, with a same-size scratch vec during compaction —
+/// `32·2^(n+1)` for 32-byte `(basis, amplitude)` entries. Saturates to
+/// [`usize::MAX`] like [`dense_cost`].
+pub fn sparse_cost(n: usize) -> usize {
     let entry = std::mem::size_of::<(u128, [f64; 2])>();
-    1usize
-        .checked_shl(n as u32 + 1)
-        .map_or(usize::MAX, |e| e.saturating_mul(entry))
+    if n as u32 >= usize::BITS - 1 {
+        return usize::MAX;
+    }
+    (1usize << (n + 1)).saturating_mul(entry)
 }
 
 fn fits(budget: &Budget, bytes: usize) -> bool {
     budget.max_bytes.is_none_or(|limit| bytes <= limit)
+}
+
+/// The lane a request lands in before any work happens: the rung the
+/// preflight cost model would pick for this `(graph, k, budget)`. The
+/// serving layer shards its worker pools by this, so cheap classical
+/// requests never queue behind statevector runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreflightLane {
+    /// Dense statevector simulation fits the byte ceiling.
+    Dense,
+    /// Only the sparse backend fits.
+    Sparse,
+    /// No quantum rung fits (or the oracle exceeds 128 qubits).
+    Classical,
+}
+
+impl PreflightLane {
+    /// Stable lowercase name for reports and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PreflightLane::Dense => "dense",
+            PreflightLane::Sparse => "sparse",
+            PreflightLane::Classical => "classical",
+        }
+    }
+}
+
+/// Classifies a request by the preflight cost model without running
+/// anything: the same rung-selection logic [`solve`] applies, exposed so
+/// a scheduler can shard work before committing a worker to it.
+pub fn preflight_lane(g: &Graph, k: usize, budget: &Budget) -> PreflightLane {
+    match OracleLayout::try_new(g, k, 1).map(|layout| layout.width) {
+        Some(w) if w <= MAX_DENSE_QUBITS && fits(budget, dense_cost(w)) => PreflightLane::Dense,
+        Some(w) if w <= 128 && fits(budget, sparse_cost(g.n())) => PreflightLane::Sparse,
+        _ => PreflightLane::Classical,
+    }
 }
 
 /// Runs one quantum rung under the runtime's retry loop. Transient
@@ -148,6 +201,7 @@ fn quantum_rung<S: BackendState>(
     k: usize,
     config: &SolveConfig,
     ctx: &RtContext,
+    provider: &dyn OracleProvider,
 ) -> Result<QmkpOutcome, RtError> {
     let policy = RetryPolicy {
         seed: config.qmkp.qtkp.seed,
@@ -155,7 +209,7 @@ fn quantum_rung<S: BackendState>(
     };
     let mut resume: Option<QmkpCheckpoint> = None;
     retry(&policy, ctx, |_attempt| {
-        match qmkp_ctx::<S>(g, k, &config.qmkp, ctx, resume.as_ref()) {
+        match qmkp_ctx_with::<S>(g, k, &config.qmkp, ctx, resume.as_ref(), provider) {
             Ok(out) => Ok(out),
             Err(Interrupted { error, checkpoint }) => {
                 resume = Some(*checkpoint);
@@ -179,9 +233,11 @@ fn classical_floor(g: &Graph, k: usize, config: &SolveConfig) -> (VertexSet, Sol
 
 /// Solves maximum k-plex under a budget, degrading gracefully.
 ///
-/// Preflight picks the cheapest rung that fits the byte ceiling; a
-/// quantum rung interrupted mid-run by a budget limit or injected fault
-/// degrades to the classical floor (`degraded = true`,
+/// Preflight picks every rung that fits the byte ceiling, in ladder
+/// order. A rung interrupted mid-run by the byte ceiling falls through
+/// to the next fitting rung (dense → sparse) before the classical
+/// floor; op-budget, deadline, and fault(-after-retries) interruptions
+/// degrade straight to the floor (`degraded = true`,
 /// `rt.degradations`). [`RtError::Cancelled`] and
 /// [`RtError::InvalidConfig`] are returned as errors instead — the
 /// former because the caller asked the run to stop, the latter because
@@ -198,10 +254,30 @@ pub fn solve(
     config: &SolveConfig,
     ctx: &RtContext,
 ) -> Result<SolveOutcome, RtError> {
+    solve_with(g, k, config, ctx, &CompileFresh)
+}
+
+/// As [`solve`], but obtaining compiled oracles from an explicit
+/// [`OracleProvider`] — the entry point the serving layer uses to plug
+/// in its cross-request compiled-oracle cache. A cache hit skips oracle
+/// construction and circuit compilation entirely.
+///
+/// # Errors
+/// As [`solve`], plus whatever the provider reports.
+///
+/// # Panics
+/// Panics if the graph is empty or `k == 0`.
+pub fn solve_with(
+    g: &Graph,
+    k: usize,
+    config: &SolveConfig,
+    ctx: &RtContext,
+    provider: &dyn OracleProvider,
+) -> Result<SolveOutcome, RtError> {
     assert!(g.n() > 0, "graph must be non-empty");
     assert!(k >= 1, "k must be ≥ 1");
     let span = qmkp_obs::span("solve.run");
-    let result = solve_inner(g, k, config, ctx);
+    let result = solve_inner(g, k, config, ctx, provider);
     span.finish();
     result
 }
@@ -227,57 +303,78 @@ fn solve_inner(
     k: usize,
     config: &SolveConfig,
     ctx: &RtContext,
+    provider: &dyn OracleProvider,
 ) -> Result<SolveOutcome, RtError> {
     // Preflight: lay out the oracle (width is independent of the probe
     // threshold, which only pads constant registers) and cost each rung.
     // A >128-qubit oracle cannot run on any quantum rung — classical only.
     let width = OracleLayout::try_new(g, k, 1).map(|layout| layout.width);
     let budget = ctx.budget();
-    let rung_start = qmkp_obs::metrics::enabled().then(std::time::Instant::now);
-    let quantum = match width {
-        Some(w) if w <= MAX_DENSE_QUBITS && fits(budget, dense_cost(w)) => {
-            qmkp_obs::gauge("solve.preflight_bytes", dense_cost(w) as f64);
-            Some((
-                SolveBackend::Dense,
-                quantum_rung::<DenseState>(g, k, config, ctx),
-            ))
-        }
-        Some(w) if w <= 128 && fits(budget, sparse_cost(g.n())) => {
-            qmkp_obs::gauge("solve.preflight_bytes", sparse_cost(g.n()) as f64);
-            Some((
-                SolveBackend::Sparse,
-                quantum_rung::<SparseState>(g, k, config, ctx),
-            ))
-        }
-        _ => None,
-    };
 
-    let degraded_because = match quantum {
-        Some((backend, Ok(out))) => {
-            rung_metric(rung_start, backend, false);
-            debug_assert!(is_kplex(g, out.best, k));
-            return Ok(SolveOutcome {
-                best: out.best,
-                backend,
-                degraded: false,
-                degraded_because: None,
-                quantum: Some(out),
-            });
+    // Every quantum rung that fits the byte ceiling, in ladder order.
+    let mut rungs: Vec<(SolveBackend, usize)> = Vec::new();
+    if let Some(w) = width {
+        if w <= MAX_DENSE_QUBITS && fits(budget, dense_cost(w)) {
+            rungs.push((SolveBackend::Dense, dense_cost(w)));
         }
-        Some((backend, Err(error))) => match error {
-            RtError::Cancelled | RtError::InvalidConfig(_) => return Err(error),
-            other => {
-                rung_metric(rung_start, backend, true);
-                Some(other)
+        if w <= 128 && fits(budget, sparse_cost(g.n())) {
+            rungs.push((SolveBackend::Sparse, sparse_cost(g.n())));
+        }
+    }
+
+    let mut degraded_because: Option<RtError> = None;
+    for (backend, projected) in rungs {
+        qmkp_obs::gauge("solve.preflight_bytes", projected as f64);
+        let rung_start = qmkp_obs::metrics::enabled().then(std::time::Instant::now);
+        let attempt = match backend {
+            SolveBackend::Dense => quantum_rung::<DenseState>(g, k, config, ctx, provider),
+            _ => quantum_rung::<SparseState>(g, k, config, ctx, provider),
+        };
+        match attempt {
+            Ok(out) => {
+                // `degraded` records whether a higher rung failed first:
+                // a sparse success after a dense memory failure is still
+                // a degradation, just not all the way to the floor.
+                let degraded = degraded_because.is_some();
+                rung_metric(rung_start, backend, degraded);
+                if degraded {
+                    qmkp_obs::counter("rt.degradations", 1);
+                }
+                debug_assert!(is_kplex(g, out.best, k));
+                return Ok(SolveOutcome {
+                    best: out.best,
+                    backend,
+                    degraded,
+                    degraded_because,
+                    quantum: Some(out),
+                });
             }
-        },
-        // Preflight rejected every quantum rung: either the budget is too
-        // tight or the instance is too wide to simulate at all.
-        None => Some(RtError::MemoryBudget {
-            required: width.map_or(usize::MAX, |w| sparse_cost(g.n()).min(dense_cost(w))),
-            limit: budget.max_bytes.unwrap_or(usize::MAX),
-        }),
-    };
+            Err(error @ (RtError::Cancelled | RtError::InvalidConfig(_))) => return Err(error),
+            Err(error @ RtError::MemoryBudget { .. }) => {
+                // The documented ladder: a rung that dies on the byte
+                // ceiling mid-run falls through to the next rung, which
+                // preflighted cheaper and may still fit.
+                rung_metric(rung_start, backend, true);
+                degraded_because.get_or_insert(error);
+            }
+            Err(other) => {
+                // Op budget, deadline, fault-after-retries: a lower
+                // quantum rung would spend the same exhausted budget, so
+                // degrade straight to the classical floor.
+                rung_metric(rung_start, backend, true);
+                degraded_because.get_or_insert(other);
+                break;
+            }
+        }
+    }
+
+    // Preflight rejected every quantum rung (either the budget is too
+    // tight or the instance is too wide to simulate at all), or every
+    // attempted rung failed; the first failure names the cause.
+    let degraded_because = Some(degraded_because.unwrap_or_else(|| RtError::MemoryBudget {
+        required: width.map_or(usize::MAX, |w| sparse_cost(g.n()).min(dense_cost(w))),
+        limit: budget.max_bytes.unwrap_or(usize::MAX),
+    }));
 
     // One last chance for the caller to stop before the classical floor
     // spends CPU (a cancelled context must never degrade).
@@ -381,7 +478,7 @@ mod tests {
         let g = gnm(40, 200, 3).unwrap();
         let ctx = RtContext::with_budget(Budget::unlimited().with_max_bytes(1 << 20));
         let config = SolveConfig {
-            exact_threshold: 10,
+            exact_threshold: Some(10),
             ..SolveConfig::default()
         };
         let out = solve(&g, 2, &config, &ctx).unwrap();
@@ -389,6 +486,147 @@ mod tests {
         assert_eq!(out.backend, SolveBackend::ClassicalHeuristic);
         assert!(is_kplex(&g, out.best, 2));
         assert!(!out.best.is_empty());
+    }
+
+    #[test]
+    fn cost_models_saturate_instead_of_wrapping() {
+        // Regression: `2usize.checked_shl(63)` is `Some(0)` — shifted-out
+        // bits are not an error — so the old dense cost model priced a
+        // 63-qubit simulation at 0 bytes and any budget admitted it.
+        assert_ne!(dense_cost(63), 0, "width 63 must not wrap to zero");
+        for width in 62..=65 {
+            assert_eq!(dense_cost(width), usize::MAX, "width {width}");
+        }
+        for n in 62..=65 {
+            assert_eq!(sparse_cost(n), usize::MAX, "n {n}");
+        }
+        // Small widths keep the exact documented formulas.
+        assert_eq!(dense_cost(10), 32 << 10);
+        assert_eq!(dense_cost(0), 32);
+        assert_eq!(sparse_cost(6), 32 << 7);
+        // Monotone up to the saturation point.
+        for w in 0..usize::BITS as usize {
+            assert!(dense_cost(w) <= dense_cost(w + 1));
+            assert!(sparse_cost(w) <= sparse_cost(w + 1));
+        }
+    }
+
+    /// An [`OracleProvider`] whose *first* compile dies on a memory
+    /// limit and which behaves normally afterwards — the deterministic
+    /// stand-in for a dense rung that preflights under the ceiling but
+    /// trips it mid-run.
+    struct FailFirstCompile {
+        failed: std::sync::atomic::AtomicBool,
+    }
+
+    impl OracleProvider for FailFirstCompile {
+        fn compiled_oracle(
+            &self,
+            g: &Graph,
+            k: usize,
+            t: usize,
+            ctx: &RtContext,
+        ) -> Result<std::sync::Arc<qmkp_core::CompiledOracle>, RtError> {
+            if !self.failed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                return Err(RtError::MemoryBudget {
+                    required: 1 << 40,
+                    limit: 1,
+                });
+            }
+            CompileFresh.compiled_oracle(g, k, t, ctx)
+        }
+    }
+
+    #[test]
+    fn dense_memory_failure_falls_through_to_sparse() {
+        // Regression: the ladder used to jump from a mid-run dense
+        // MemoryBudget failure straight to the classical floor, skipping
+        // the sparse rung the module doc promises. Only tiny oracles fit
+        // the dense rung (`MAX_DENSE_QUBITS`), so the dense-first
+        // preflight needs a single-vertex graph.
+        let g = Graph::new(1).unwrap();
+        assert_eq!(
+            preflight_lane(&g, 1, &Budget::unlimited()),
+            PreflightLane::Dense,
+            "precondition: preflight must select the dense rung"
+        );
+        let provider = FailFirstCompile {
+            failed: std::sync::atomic::AtomicBool::new(false),
+        };
+        let out = solve_with(
+            &g,
+            1,
+            &SolveConfig::default(),
+            &RtContext::unlimited(),
+            &provider,
+        )
+        .unwrap();
+        assert_eq!(
+            out.backend,
+            SolveBackend::Sparse,
+            "the sparse rung must run before the classical floor"
+        );
+        assert!(out.degraded);
+        assert!(
+            matches!(
+                out.degraded_because,
+                Some(RtError::MemoryBudget {
+                    required,
+                    limit: 1
+                }) if required == 1 << 40
+            ),
+            "degraded_because must name the dense failure: {:?}",
+            out.degraded_because
+        );
+        assert!(out.quantum.is_some(), "a quantum rung did complete");
+        assert_eq!(out.best.len(), 1);
+        assert!(is_kplex(&g, out.best, 1));
+    }
+
+    #[test]
+    fn explicit_zero_exact_threshold_forces_grasp() {
+        // Regression: `exact_threshold: 0` used to mean "default (20)",
+        // so "always GRASP" was inexpressible. `Some(0)` now is.
+        let g = paper_fig1_graph();
+        let ctx = RtContext::with_budget(Budget::unlimited().with_max_bytes(1024));
+        let config = SolveConfig {
+            exact_threshold: Some(0),
+            ..SolveConfig::default()
+        };
+        let out = solve(&g, 2, &config, &ctx).unwrap();
+        assert_eq!(out.backend, SolveBackend::ClassicalHeuristic);
+        assert!(is_kplex(&g, out.best, 2));
+        // And `None` still keeps the default: the same 6-vertex graph
+        // lands on exact branch & bound.
+        let out = solve(&g, 2, &SolveConfig::default(), &ctx).unwrap();
+        assert_eq!(out.backend, SolveBackend::ClassicalExact);
+    }
+
+    #[test]
+    fn preflight_lane_matches_rung_selection() {
+        // The fig-1 oracle is 68 qubits wide — beyond `MAX_DENSE_QUBITS`
+        // — so the sparse rung is its ceiling; a single-vertex oracle
+        // (15 qubits) fits the dense rung.
+        let tiny = Graph::new(1).unwrap();
+        assert_eq!(
+            preflight_lane(&tiny, 1, &Budget::unlimited()),
+            PreflightLane::Dense
+        );
+        // A budget below the dense footprint but above the sparse one
+        // drops the tiny instance one lane.
+        assert_eq!(
+            preflight_lane(&tiny, 1, &Budget::unlimited().with_max_bytes(1024)),
+            PreflightLane::Sparse
+        );
+        let g = paper_fig1_graph();
+        assert_eq!(
+            preflight_lane(&g, 2, &Budget::unlimited()),
+            PreflightLane::Sparse
+        );
+        assert_eq!(
+            preflight_lane(&g, 2, &Budget::unlimited().with_max_bytes(1024)),
+            PreflightLane::Classical
+        );
     }
 
     #[test]
