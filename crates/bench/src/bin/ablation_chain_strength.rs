@@ -3,7 +3,7 @@
 //! discussion of chains limiting cost reduction).
 
 use qmkp_annealer::{anneal_qubo, embed_ising, find_embedding, unembed, Chimera, SaConfig};
-use qmkp_bench::print_table;
+use qmkp_bench::{print_table, Provenance};
 use qmkp_graph::gen::paper_anneal_dataset;
 use qmkp_qubo::{IsingModel, MkpQubo, MkpQuboParams, QuboModel};
 
@@ -24,6 +24,13 @@ fn ising_to_qubo(ising: &IsingModel) -> QuboModel {
 }
 
 fn main() {
+    let mut prov = Provenance::start("ablation_chain_strength");
+    prov.config("dataset", "D_{10,40}");
+    prov.config("k", 3);
+    prov.config("r", 2.0);
+    prov.config("hardware", "chimera 12x12x4");
+    prov.config("rel_strengths", "0.05,0.2,0.5,1.0,1.5,3.0,10.0");
+    prov.config("sa", "shots=60 sweeps=30 seed=3");
     let g = paper_anneal_dataset(10, 40);
     let mq = MkpQubo::new(&g, MkpQuboParams { k: 3, r: 2.0 });
     let edges: Vec<(usize, usize)> = mq.model.interactions().map(|(p, _)| p).collect();
@@ -58,6 +65,7 @@ fn main() {
         );
         let spins: Vec<i8> = out.best.iter().map(|&b| if b { 1 } else { -1 }).collect();
         let (logical_x, broken) = unembed(&spins, &emb);
+        prov.outcome(format!("broken[{rel:.2}]"), broken);
         let bits = logical_x
             .iter()
             .enumerate()
@@ -81,4 +89,5 @@ fn main() {
         ],
         &rows,
     );
+    prov.finish();
 }

@@ -3,7 +3,7 @@
 //! estimate tightens with counting qubits and what that does to the
 //! success probability (paper's reference to Brassard et al.).
 
-use qmkp_bench::print_table;
+use qmkp_bench::{print_table, Provenance};
 use qmkp_core::counting::{exact_solution_count, quantum_count};
 use qmkp_core::grover::{optimal_iterations, success_probability_theory};
 use qmkp_core::Oracle;
@@ -12,11 +12,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut prov = Provenance::start("ablation_counting");
+    prov.config("instance", "G_{8,10}");
+    prov.config("k", 2);
+    prov.config("t", 3);
+    prov.config("seed", 42);
+    prov.config("trials", 40);
+    prov.config("precisions", "3,5,7,9,12");
     let g = paper_gate_dataset(8, 10);
     let oracle = Oracle::new(&g, 2, 3);
     let n = g.n();
     let m = exact_solution_count(&oracle);
     println!("instance G_{{8,10}}, T = 3: true M = {m} of {}", 1u64 << n);
+    prov.outcome("true_m", m);
 
     let mut rng = StdRng::seed_from_u64(42);
     let trials = 40;
@@ -34,6 +42,10 @@ fn main() {
         // Success probability if Grover used the mean estimate.
         let iters = optimal_iterations(n, mean.round().max(1.0) as u64);
         let p = success_probability_theory(n, m, iters);
+        prov.outcome(
+            format!("precision[{precision}]"),
+            format!("mean={mean:.1} mae={mae:.2} p={p:.4}"),
+        );
         rows.push(vec![
             precision.to_string(),
             format!("{mean:.1}"),
@@ -53,4 +65,5 @@ fn main() {
         ],
         &rows,
     );
+    prov.finish();
 }

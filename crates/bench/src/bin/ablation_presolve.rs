@@ -1,13 +1,20 @@
 //! Ablation: persistency presolve in the MILP branch & bound across the
 //! annealing datasets — fixed variables and node-count reduction.
 
-use qmkp_bench::print_table;
+use qmkp_bench::{print_table, Provenance};
 use qmkp_graph::gen::{paper_anneal_dataset, ANNEAL_DATASETS};
 use qmkp_milp::{minimize_qubo, BnbConfig};
 use qmkp_qubo::{presolve, MkpQubo, MkpQuboParams};
 use std::time::Duration;
 
 fn main() {
+    let mut prov = Provenance::start("ablation_presolve");
+    prov.config("k", 3);
+    prov.config("r", 2.0);
+    prov.config("time_limit_ms", 500);
+    for &(n, m) in &ANNEAL_DATASETS[..3] {
+        prov.config("dataset", format!("D_{{{n},{m}}}"));
+    }
     let mut rows = Vec::new();
     for &(n, m) in &ANNEAL_DATASETS[..3] {
         let g = paper_anneal_dataset(n, m);
@@ -28,6 +35,15 @@ fn main() {
                 time_limit: budget,
                 ..BnbConfig::default()
             },
+        );
+        prov.outcome(
+            format!("presolve[D_{{{n},{m}}}]"),
+            format!(
+                "fixed={} nodes={}→{}",
+                pre.num_fixed(),
+                plain.nodes,
+                with.nodes
+            ),
         );
         rows.push(vec![
             format!("D_{{{n},{m}}}"),
@@ -52,4 +68,5 @@ fn main() {
         ],
         &rows,
     );
+    prov.finish();
 }

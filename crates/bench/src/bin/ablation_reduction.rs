@@ -2,7 +2,7 @@
 //! "Orthogonality" section). Reports oracle width and gate cost with and
 //! without core-truss co-pruning, plus the verified agreement of results.
 
-use qmkp_bench::print_table;
+use qmkp_bench::{print_table, Provenance};
 use qmkp_core::{qmkp, Oracle, QmkpConfig};
 use qmkp_graph::gen::{paper_gate_dataset, planted_kplex, GATE_DATASETS};
 use qmkp_graph::reduce::auto_reduce;
@@ -44,12 +44,22 @@ fn row(label: &str, g: &Graph, k: usize) -> Vec<String> {
 }
 
 fn main() {
+    let mut prov = Provenance::start("ablation_reduction");
+    prov.config("k", 2);
+    for &(n, m) in &GATE_DATASETS {
+        prov.config("dataset", format!("G_{{{n},{m}}}"));
+    }
+    prov.config("planted", "n=10 plex=5 k=2 p=0.5 seed=3");
     let mut rows = Vec::new();
     for &(n, m) in &GATE_DATASETS {
         rows.push(row(&format!("G_{{{n},{m}}}"), &paper_gate_dataset(n, m), 2));
     }
     let (g, _) = planted_kplex(10, 5, 2, 0.5, 3).unwrap();
     rows.push(row("planted(10,5)", &g, 2));
+    for r in &rows {
+        prov.outcome(format!("kept[{}]", r[0]), &r[1]);
+        prov.outcome(format!("max_plex[{}]", r[0]), &r[6]);
+    }
     print_table(
         "Ablation — core-truss reduction before qMKP (k = 2)",
         &[
@@ -63,4 +73,5 @@ fn main() {
         ],
         &rows,
     );
+    prov.finish();
 }

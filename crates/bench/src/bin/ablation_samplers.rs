@@ -5,17 +5,25 @@ use qmkp_annealer::{
     anneal_qubo, hybrid_solve, sqa_qubo, temper_qubo, HybridConfig, SaConfig, SqaConfig,
     TemperingConfig,
 };
-use qmkp_bench::{print_table, quick_mode};
+use qmkp_bench::{print_table, quick_mode, Provenance};
 use qmkp_graph::gen::{paper_anneal_dataset, ANNEAL_DATASETS};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 use std::time::Duration;
 
 fn main() {
+    let mut prov = Provenance::start("ablation_samplers");
     let datasets: &[(usize, usize)] = if quick_mode() {
         &ANNEAL_DATASETS[..2]
     } else {
         &ANNEAL_DATASETS
     };
+    prov.config("quick", quick_mode());
+    prov.config("k", 3);
+    prov.config("r", 2.0);
+    prov.config("budgets", "sa=500shots sqa=500shots pt=60rounds hy=100ms");
+    for &(n, m) in datasets {
+        prov.config("dataset", format!("D_{{{n},{m}}}"));
+    }
     let mut rows = Vec::new();
     for &(n, m) in datasets {
         let g = paper_anneal_dataset(n, m);
@@ -52,6 +60,13 @@ fn main() {
                 seed: 1,
             },
         );
+        prov.outcome(
+            format!("best[D_{{{n},{m}}}]"),
+            format!(
+                "sa={:.0} sqa={:.0} pt={:.0} hy={:.0}",
+                sa.best_energy, sqa.best_energy, pt.best_energy, hy.best_energy
+            ),
+        );
         rows.push(vec![
             format!("D_{{{n},{m}}}"),
             format!("{:.0}", sa.best_energy),
@@ -71,4 +86,5 @@ fn main() {
         ],
         &rows,
     );
+    prov.finish();
 }

@@ -123,13 +123,21 @@ impl Oracle {
             u_check_inv,
         };
         // Opt-in static self-verification: prove the ancilla discipline
-        // and resource bounds at construction time in debug builds.
+        // and resource bounds at construction time in debug builds. The
+        // symbolic pass is exact at any width, so the proof must be
+        // exhaustive — a sampled fallback here is itself a regression.
         #[cfg(all(debug_assertions, feature = "verify"))]
         {
             let report = oracle.lint_report();
             assert!(
                 !report.has_errors(),
                 "oracle failed static verification:\n{}",
+                report.render()
+            );
+            assert!(
+                report.exhaustive,
+                "oracle verification was not exact (proof: {}):\n{}",
+                report.proof.label(),
                 report.render()
             );
         }

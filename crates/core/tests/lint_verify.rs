@@ -14,7 +14,8 @@
 use proptest::prelude::*;
 use qmkp_core::Oracle;
 use qmkp_graph::gen::{gnm, paper_fig1_graph};
-use qmkp_lint::{verify_ancillas, Severity};
+use qmkp_graph::Graph;
+use qmkp_lint::{verify_ancillas, ProofMethod, Severity};
 use qmkp_qsim::{Circuit, CompiledCircuit, Gate};
 
 /// The full oracle sandwich the Grover iterate applies.
@@ -36,9 +37,79 @@ fn paper_oracles_have_zero_diagnostics() {
             report.render()
         );
         assert!(report.exhaustive, "n=6 must be proven exhaustively");
+        assert_eq!(report.proof, ProofMethod::Symbolic);
         let (_, warnings, _) = report.counts();
         assert_eq!(warnings, 0, "no sampling fallback expected at n=6");
     }
+}
+
+/// n=18 on the complement of a Hamiltonian cycle and of a perfect
+/// matching: 2^18 vertex assignments, past the 16-bit enumeration limit.
+/// Before the symbolic pass these probes could only be *sampled*; now
+/// the same `lint_report()` call proves them exactly.
+fn wide_probes() -> [(Graph, usize, usize); 2] {
+    let mut cycle = Graph::complete(18).unwrap();
+    for i in 0..18 {
+        cycle.remove_edge(i, (i + 1) % 18);
+    }
+    let mut matching = Graph::complete(18).unwrap();
+    for i in 0..9 {
+        matching.remove_edge(2 * i, 2 * i + 1);
+    }
+    [(cycle, 2, 9), (matching, 3, 12)]
+}
+
+#[test]
+fn wide_qtkp_probes_get_exact_symbolic_verdicts() {
+    for (g, k, t) in wide_probes() {
+        let report = Oracle::new(&g, k, t).lint_report();
+        assert!(
+            !report.has_errors(),
+            "wide oracle (k={k}, t={t}) failed verification:\n{}",
+            report.render()
+        );
+        assert!(
+            report.exhaustive,
+            "18 free bits must no longer demote the proof"
+        );
+        assert_eq!(report.proof, ProofMethod::Symbolic);
+        let (_, warnings, _) = report.counts();
+        assert_eq!(
+            warnings,
+            0,
+            "sampled-proof-only is retired at n=18:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn wide_probe_mutations_are_still_detected() {
+    // Past the enumeration limit the only exact refutation is symbolic:
+    // drop one live uncompute gate from the n=18 cycle probe and the
+    // pass must produce an error-severity witness, not a sampling shrug.
+    let [(g, k, t), _] = wide_probes();
+    let oracle = Oracle::new(&g, k, t);
+    let spec = oracle.lint_spec();
+    let full = full_circuit(&oracle);
+    let baseline = verify_ancillas(&full, &spec);
+    assert!(baseline.is_clean());
+    assert_eq!(baseline.proof, ProofMethod::Symbolic);
+
+    let uncompute_start = oracle.u_check().len() + 1;
+    let victim = (uncompute_start..full.len())
+        .find(|&i| baseline.live_gates[i])
+        .expect("a live uncompute gate");
+    let mutant = drop_gate(&full, victim);
+    let report = verify_ancillas(&mutant, &spec);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error),
+        "dropping live gate #{victim} went undetected at n=18"
+    );
+    assert!(report.exhaustive, "the refutation is exact, not sampled");
 }
 
 #[test]

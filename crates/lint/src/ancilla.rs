@@ -3,23 +3,36 @@
 //! The qTKP oracle's `U_check` / flip / `U_check†` sandwich is built from
 //! X / CNOT / Toffoli / CᵏNOT only, so it is a *permutation of basis
 //! states* — its action is fully determined by classical bit-set
-//! evaluation, no amplitudes required. This pass exploits that: it models
-//! the circuit as a permutation over `u128` bit-sets and proves that
-//! every ancilla qubit is restored to `|0⟩` (and every free input qubit
-//! preserved) at the phase-kickback boundary, for *every* reachable
+//! evaluation, no amplitudes required. This pass exploits that to prove
+//! that every ancilla qubit is restored to `|0⟩` (and every free input
+//! qubit preserved) at the phase-kickback boundary, for *every* reachable
 //! input. A dirty ancilla here is exactly the failure mode that silently
 //! corrupts amplitude amplification in the maximal-clique Grover
 //! literature (Chang et al., arXiv:1803.11356; Sanyal, arXiv:2004.10596):
 //! the diffusion step then interferes branches that should be identical
 //! outside the search register.
 //!
-//! When the free register is too wide to enumerate (`2^|free|` inputs),
-//! the pass falls back to deterministic pseudo-random sampling and
-//! *downgrades* its verdict: a clean run is then reported with a
-//! `Warning` that the proof is probabilistic, never silently presented
-//! as exhaustive.
+//! Proofs come from a ladder of three methods, recorded in the report's
+//! [`ProofMethod`]:
+//!
+//! 1. **Symbolic** ([`crate::symbolic`]) — the default: an XOR-affine
+//!    abstract interpretation that is exact at any free width and any
+//!    circuit width (chunked bitsets, no 128-qubit cap). Residuals it
+//!    cannot decide within the case-split budget demote the run to…
+//! 2. **Enumerated** — concrete evaluation of all `2^|free|` inputs over
+//!    chunked bitset states, exact while `|free|` is small enough; else…
+//! 3. **Sampled** — deterministic pseudo-random inputs only, and the
+//!    verdict is *downgraded*: a clean run is reported with a
+//!    `sampled-proof-only` warning, never silently presented as exact.
+//!
+//! Violations are attributed by concrete replay either way: the
+//! diagnostic names the violating free-register input and the gate that
+//! last flipped the offending qubit — the gate whose uncompute partner
+//! is missing or wrong.
 
 use crate::diagnostic::{Diagnostic, Severity, Span};
+use crate::symbolic::{analyze_symbolic, SymbolicOutcome};
+use qmkp_qsim::bits::BitVec;
 use qmkp_qsim::{Circuit, Gate};
 
 /// What the ancilla pass should assume and check.
@@ -32,21 +45,54 @@ pub struct AncillaSpec {
     /// qubit `|O⟩`, or a comparator's result bit). Every other non-free
     /// qubit starts `|0⟩` and must end `|0⟩`.
     pub dirty_ok: Vec<usize>,
-    /// Enumerate exhaustively while `|free| ≤ max_exhaustive_bits`;
-    /// beyond that, sample. Default 16 (65 536 inputs).
+    /// When the symbolic pass demurs: enumerate exhaustively while
+    /// `|free| ≤ max_exhaustive_bits`; beyond that, sample. Default 16
+    /// (65 536 inputs).
     pub max_exhaustive_bits: usize,
     /// Number of sampled inputs in the fallback mode. Default 512.
     pub samples: usize,
+    /// Try the symbolic XOR-affine proof first (default). Disable to
+    /// force the enumerative path — differential tests do.
+    pub symbolic: bool,
+    /// Widest residual input cone (in bits) the symbolic pass may
+    /// case-split exhaustively before giving up. Default 20 (≤ ~1M
+    /// assignments per undecided residual).
+    pub split_budget: usize,
 }
 
 impl AncillaSpec {
-    /// A spec with the default enumeration limits.
+    /// A spec with the default proof ladder and enumeration limits.
     pub fn new(free: Vec<usize>, dirty_ok: Vec<usize>) -> Self {
         AncillaSpec {
             free,
             dirty_ok,
             max_exhaustive_bits: 16,
             samples: 512,
+            symbolic: true,
+            split_budget: 20,
+        }
+    }
+}
+
+/// How a verdict was established, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofMethod {
+    /// XOR-affine symbolic proof: exact for every input, at any width.
+    Symbolic,
+    /// Concrete evaluation of every free-register assignment.
+    Enumerated,
+    /// Concrete evaluation of sampled assignments only — not a proof.
+    Sampled,
+}
+
+impl ProofMethod {
+    /// Stable lowercase label, used in rendered and JSON reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProofMethod::Symbolic => "symbolic",
+            ProofMethod::Enumerated => "enumerated",
+            ProofMethod::Sampled => "sampled",
         }
     }
 }
@@ -54,17 +100,23 @@ impl AncillaSpec {
 /// The outcome of one ancilla-lifecycle verification.
 #[derive(Debug, Clone)]
 pub struct AncillaReport {
-    /// Findings, if any. Clean circuits produce none (exhaustive mode) or
+    /// Findings, if any. Clean circuits produce none (exact modes) or
     /// a single sampling warning (fallback mode).
     pub diagnostics: Vec<Diagnostic>,
-    /// Whether every free-register assignment was checked.
+    /// Whether the verdict covers *every* free-register assignment
+    /// (symbolic proof or full enumeration).
     pub exhaustive: bool,
-    /// How many inputs were evaluated.
+    /// The method that established the verdict.
+    pub proof: ProofMethod,
+    /// Concrete inputs evaluated: enumerated/sampled assignments,
+    /// case-split cases inside the symbolic pass, and witness replays. A
+    /// purely syntactic symbolic proof legitimately reports 0.
     pub inputs_checked: u64,
     /// `live_gates[i]` is true when gate `i` fired (flipped its target)
-    /// on at least one checked input. Only meaningful when the analysis
-    /// ran to completion; used by the dead-gate note and by mutation
-    /// tests to seed only detectable mutations.
+    /// on at least one reachable input. Exact under a symbolic proof
+    /// with all liveness cones within budget, or a full enumeration;
+    /// used by the dead-gate note and by mutation tests to seed only
+    /// detectable mutations.
     pub live_gates: Vec<bool>,
 }
 
@@ -94,12 +146,128 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Statically verifies ancilla cleanliness: for every (enumerated or
-/// sampled) assignment of the free register, with all other qubits
-/// starting `|0⟩`, the circuit must restore every qubit outside
-/// `spec.dirty_ok` to its input value. Violations are reported with the
-/// gate index that last flipped the offending qubit — the gate whose
-/// uncompute partner is missing or wrong.
+/// Renders a free-register assignment for diagnostics: binary like the
+/// historical `u128` formatting when it fits, hex words beyond that.
+fn fmt_assignment(assignment: &BitVec) -> String {
+    match assignment.as_u128() {
+        Some(v) => format!("{v:#b}"),
+        None => {
+            let mut s = String::from("0x");
+            for w in assignment.words().iter().rev() {
+                s.push_str(&format!("{w:016x}"));
+            }
+            s
+        }
+    }
+}
+
+/// Concretely evaluates the permutation on one input, tracking which
+/// gates fired and which gate last flipped each qubit (for violation
+/// attribution). Chunked state: no width limit.
+fn eval_circuit(
+    circuit: &Circuit,
+    input: &BitVec,
+    live: &mut [bool],
+    last_flip: &mut [Option<usize>],
+) -> BitVec {
+    let mut state = input.clone();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        match gate {
+            Gate::X(q) => {
+                state.toggle(*q);
+                live[i] = true;
+                last_flip[*q] = Some(i);
+            }
+            Gate::Mcx { controls, target }
+                if controls.iter().all(|c| state.get(c.qubit) == c.positive) =>
+            {
+                state.toggle(*target);
+                live[i] = true;
+                last_flip[*target] = Some(i);
+            }
+            // Unreachable: non-permutation gates error out before
+            // evaluation starts.
+            _ => {}
+        }
+    }
+    state
+}
+
+/// Emits one violation diagnostic for a qubit left in the wrong state.
+fn push_violation(
+    circuit: &Circuit,
+    spec: &AncillaSpec,
+    q: usize,
+    gate: Option<usize>,
+    assignment: &BitVec,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let (role, code) = if spec.free.contains(&q) {
+        ("free (search-register) qubit", "free-qubit-corrupted")
+    } else {
+        ("ancilla qubit", "ancilla-dirty")
+    };
+    diagnostics.push(Diagnostic::error(
+        code,
+        Span {
+            gate,
+            qubit: Some(q),
+            section: gate.and_then(|g| section_of(circuit, g)),
+        },
+        format!(
+            "{role} {q} is not restored on free-register input {}; last flipped by gate {}",
+            fmt_assignment(assignment),
+            gate.map_or_else(|| "<none>".to_string(), |g| format!("#{g}")),
+        ),
+    ));
+}
+
+/// Dead gates are only decidable after an exact liveness analysis. Cap
+/// the individual notes (constant registers routinely strand whole
+/// comparator cascades) — `live_gates` always has the full picture.
+fn push_dead_gate_notes(circuit: &Circuit, live: &[bool], diagnostics: &mut Vec<Diagnostic>) {
+    const MAX_DEAD_GATE_NOTES: usize = 8;
+    let dead: Vec<usize> = live
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !**l)
+        .map(|(i, _)| i)
+        .collect();
+    for &i in dead.iter().take(MAX_DEAD_GATE_NOTES) {
+        diagnostics.push(Diagnostic::note(
+            "dead-gate",
+            Span {
+                gate: Some(i),
+                qubit: circuit.gates()[i].qubits().last().copied(),
+                section: section_of(circuit, i),
+            },
+            format!(
+                "gate #{i} never fires on any reachable input \
+                 (controls unsatisfiable given the |0⟩-initialized ancillas)"
+            ),
+        ));
+    }
+    if dead.len() > MAX_DEAD_GATE_NOTES {
+        diagnostics.push(Diagnostic::note(
+            "dead-gate",
+            Span::default(),
+            format!(
+                "…and {} more gates that never fire ({} dead of {} total)",
+                dead.len() - MAX_DEAD_GATE_NOTES,
+                dead.len(),
+                circuit.len()
+            ),
+        ));
+    }
+}
+
+/// Statically verifies ancilla cleanliness: for every assignment of the
+/// free register (proven symbolically, enumerated, or sampled — see the
+/// module docs for the ladder), with all other qubits starting `|0⟩`,
+/// the circuit must restore every qubit outside `spec.dirty_ok` to its
+/// input value. Violations are reported with the gate index that last
+/// flipped the offending qubit — the gate whose uncompute partner is
+/// missing or wrong.
 ///
 /// Non-permutation gates (`H`, `Z`, `Phase`, `Ry`, `CPhase`, `MCZ`) make
 /// the property undecidable by bit-set evaluation and are reported as
@@ -147,11 +315,112 @@ pub fn verify_ancillas(circuit: &Circuit, spec: &AncillaSpec) -> AncillaReport {
         return AncillaReport {
             diagnostics,
             exhaustive: false,
+            proof: ProofMethod::Enumerated,
             inputs_checked: 0,
             live_gates: vec![false; circuit.len()],
         };
     }
 
+    let dirty_ok = {
+        let mut v = vec![false; width.max(1)];
+        for &q in &spec.dirty_ok {
+            v[q] = true;
+        }
+        v
+    };
+
+    // Rung 1: the symbolic XOR-affine proof, exact at any width.
+    if spec.symbolic {
+        let analysis = analyze_symbolic(circuit, &spec.free, &spec.dirty_ok, spec.split_budget);
+        match analysis.outcome {
+            SymbolicOutcome::Clean => {
+                if analysis.liveness_exact {
+                    push_dead_gate_notes(circuit, &analysis.live_gates, &mut diagnostics);
+                }
+                return AncillaReport {
+                    diagnostics,
+                    exhaustive: true,
+                    proof: ProofMethod::Symbolic,
+                    inputs_checked: analysis.cases_evaluated,
+                    live_gates: analysis.live_gates,
+                };
+            }
+            SymbolicOutcome::Dirty(witnesses) => {
+                // Ground every finding in a concrete replay: the
+                // symbolic engine supplies candidate inputs, evaluation
+                // supplies the dirt and the last-flip attribution.
+                let mut inputs_checked = analysis.cases_evaluated;
+                let mut reported = vec![false; width.max(1)];
+                let mut found = 0usize;
+                for w in &witnesses {
+                    if reported[w.qubit] {
+                        continue;
+                    }
+                    let mut input = BitVec::new();
+                    for (bit, &q) in spec.free.iter().enumerate() {
+                        if w.assignment.get(bit) {
+                            input.set(q, true);
+                        }
+                    }
+                    let mut live = vec![false; circuit.len()];
+                    let mut last_flip: Vec<Option<usize>> = vec![None; width.max(1)];
+                    let state = eval_circuit(circuit, &input, &mut live, &mut last_flip);
+                    inputs_checked += 1;
+                    let mut dirt = state;
+                    dirt.xor_with(&input);
+                    for q in dirt.ones().filter(|&q| !dirty_ok[q]) {
+                        if !std::mem::replace(&mut reported[q], true) {
+                            push_violation(
+                                circuit,
+                                spec,
+                                q,
+                                last_flip[q],
+                                &w.assignment,
+                                &mut diagnostics,
+                            );
+                            found += 1;
+                        }
+                    }
+                }
+                if found > 0 {
+                    return AncillaReport {
+                        diagnostics,
+                        exhaustive: true,
+                        proof: ProofMethod::Symbolic,
+                        inputs_checked,
+                        live_gates: analysis.live_gates,
+                    };
+                }
+                // A witness that does not replay means the symbolic
+                // model disagrees with concrete evaluation — never
+                // trust it; fall through to enumeration.
+                diagnostics.push(Diagnostic::warning(
+                    "symbolic-witness-mismatch",
+                    Span::default(),
+                    "a symbolic witness did not reproduce under concrete evaluation; \
+                     falling back to enumeration"
+                        .to_string(),
+                ));
+            }
+            SymbolicOutcome::BudgetExceeded {
+                qubit,
+                cone_bits,
+                budget,
+            } => {
+                diagnostics.push(Diagnostic::note(
+                    "symbolic-budget-exceeded",
+                    Span::at_qubit(qubit),
+                    format!(
+                        "qubit {qubit}'s residual depends on {cone_bits} free bits \
+                         (case-split budget {budget}); falling back to enumeration"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Rungs 2/3: concrete enumeration (exhaustive when the free register
+    // is small enough) or deterministic sampling, over chunked bitsets.
     let free_bits = spec.free.len();
     let exhaustive = free_bits <= spec.max_exhaustive_bits && free_bits < 63;
     let total: u64 = if exhaustive {
@@ -160,79 +429,50 @@ pub fn verify_ancillas(circuit: &Circuit, spec: &AncillaSpec) -> AncillaReport {
         spec.samples as u64
     };
 
-    let dirty_ok_mask: u128 = spec.dirty_ok.iter().map(|&q| 1u128 << q).sum();
     let mut live = vec![false; circuit.len()];
     let mut last_flip: Vec<Option<usize>> = vec![None; width.max(1)];
     let mut rng_state = 0x71c9_a57c_8d2b_f00du64;
     let mut inputs_checked = 0u64;
 
-    let free_mask: u128 = if free_bits >= 128 {
-        u128::MAX
-    } else {
-        (1u128 << free_bits) - 1
-    };
     for step in 0..total {
-        let assignment: u128 = if exhaustive {
-            u128::from(step)
+        let assignment: BitVec = if exhaustive {
+            BitVec::from_u128(u128::from(step))
         } else {
-            let lo = splitmix64(&mut rng_state);
-            let hi = splitmix64(&mut rng_state);
-            (u128::from(lo) | (u128::from(hi) << 64)) & free_mask
+            let mut words = Vec::with_capacity(free_bits.div_ceil(64));
+            for _ in 0..free_bits.div_ceil(64) {
+                words.push(splitmix64(&mut rng_state));
+            }
+            if !free_bits.is_multiple_of(64) {
+                if let Some(last) = words.last_mut() {
+                    *last &= (1u64 << (free_bits % 64)) - 1;
+                }
+            }
+            BitVec::from_words(words)
         };
         // Scatter assignment bits onto the free qubits.
-        let mut input: u128 = 0;
+        let mut input = BitVec::new();
         for (bit, &q) in spec.free.iter().enumerate() {
-            if (assignment >> bit) & 1 == 1 {
-                input |= 1u128 << q;
+            if assignment.get(bit) {
+                input.set(q, true);
             }
         }
 
-        // Evaluate the permutation, tracking which gate last flipped each
-        // qubit so a violation can be attributed.
-        let mut state = input;
-        for (i, gate) in circuit.gates().iter().enumerate() {
-            match gate {
-                Gate::X(q) => {
-                    state ^= 1u128 << q;
-                    live[i] = true;
-                    last_flip[*q] = Some(i);
-                }
-                Gate::Mcx { controls, target }
-                    if controls.iter().all(|c| c.satisfied_by(state)) =>
-                {
-                    state ^= 1u128 << target;
-                    live[i] = true;
-                    last_flip[*target] = Some(i);
-                }
-                // Unreachable: non-permutation gates error out above.
-                _ => {}
-            }
-        }
+        let state = eval_circuit(circuit, &input, &mut live, &mut last_flip);
         inputs_checked += 1;
 
-        let dirt = (state ^ input) & !dirty_ok_mask;
-        if dirt != 0 {
-            for (q, &gate) in last_flip.iter().enumerate() {
-                if (dirt >> q) & 1 == 1 {
-                    let (role, code) = if spec.free.contains(&q) {
-                        ("free (search-register) qubit", "free-qubit-corrupted")
-                    } else {
-                        ("ancilla qubit", "ancilla-dirty")
-                    };
-                    diagnostics.push(Diagnostic::error(
-                        code,
-                        Span {
-                            gate,
-                            qubit: Some(q),
-                            section: gate.and_then(|g| section_of(circuit, g)),
-                        },
-                        format!(
-                            "{role} {q} is not restored on free-register input \
-                             {assignment:#b}; last flipped by gate {}",
-                            gate.map_or_else(|| "<none>".to_string(), |g| format!("#{g}")),
-                        ),
-                    ));
-                }
+        let mut dirt = state;
+        dirt.xor_with(&input);
+        let dirty: Vec<usize> = dirt.ones().filter(|&q| !dirty_ok[q]).collect();
+        if !dirty.is_empty() {
+            for q in dirty {
+                push_violation(
+                    circuit,
+                    spec,
+                    q,
+                    last_flip[q],
+                    &assignment,
+                    &mut diagnostics,
+                );
             }
             // One violating input pins down the defect; stop enumerating.
             break;
@@ -250,47 +490,17 @@ pub fn verify_ancillas(circuit: &Circuit, spec: &AncillaSpec) -> AncillaReport {
             ),
         ));
     } else if !crate::diagnostic::has_errors(&diagnostics) && inputs_checked == total {
-        // Dead gates are only decidable after a full enumeration. Cap the
-        // individual notes (constant registers routinely strand whole
-        // comparator cascades) — `live_gates` always has the full picture.
-        const MAX_DEAD_GATE_NOTES: usize = 8;
-        let dead: Vec<usize> = live
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !**l)
-            .map(|(i, _)| i)
-            .collect();
-        for &i in dead.iter().take(MAX_DEAD_GATE_NOTES) {
-            diagnostics.push(Diagnostic::note(
-                "dead-gate",
-                Span {
-                    gate: Some(i),
-                    qubit: circuit.gates()[i].qubits().last().copied(),
-                    section: section_of(circuit, i),
-                },
-                format!(
-                    "gate #{i} never fires on any reachable input \
-                     (controls unsatisfiable given the |0⟩-initialized ancillas)"
-                ),
-            ));
-        }
-        if dead.len() > MAX_DEAD_GATE_NOTES {
-            diagnostics.push(Diagnostic::note(
-                "dead-gate",
-                Span::default(),
-                format!(
-                    "…and {} more gates that never fire ({} dead of {} total)",
-                    dead.len() - MAX_DEAD_GATE_NOTES,
-                    dead.len(),
-                    circuit.len()
-                ),
-            ));
-        }
+        push_dead_gate_notes(circuit, &live, &mut diagnostics);
     }
 
     AncillaReport {
         diagnostics,
         exhaustive,
+        proof: if exhaustive {
+            ProofMethod::Enumerated
+        } else {
+            ProofMethod::Sampled
+        },
         inputs_checked,
         live_gates: live,
     }
@@ -322,12 +532,28 @@ mod tests {
     }
 
     #[test]
-    fn clean_circuit_passes() {
+    fn clean_circuit_passes_symbolically() {
         let (c, spec) = clean_sandwich();
         let report = verify_ancillas(&c, &spec);
         assert!(report.is_clean(), "{:?}", report.diagnostics);
         assert!(report.exhaustive);
+        assert_eq!(report.proof, ProofMethod::Symbolic);
+        // The sandwich cancels syntactically and liveness resolves on
+        // the screening lanes: no concrete case was ever needed.
+        assert_eq!(report.inputs_checked, 0);
+        assert!(report.live_gates.iter().all(|&l| l));
+    }
+
+    #[test]
+    fn enumerated_path_agrees_with_symbolic() {
+        let (c, mut spec) = clean_sandwich();
+        spec.symbolic = false;
+        let report = verify_ancillas(&c, &spec);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.exhaustive);
+        assert_eq!(report.proof, ProofMethod::Enumerated);
         assert_eq!(report.inputs_checked, 2);
+        assert!(report.live_gates.iter().all(|&l| l));
     }
 
     #[test]
@@ -342,6 +568,8 @@ mod tests {
         }
         let report = verify_ancillas(&mutated, &spec);
         assert!(!report.is_clean());
+        assert_eq!(report.proof, ProofMethod::Symbolic);
+        assert!(report.exhaustive, "a symbolic violation is still exact");
         let dirty: Vec<_> = report
             .diagnostics
             .iter()
@@ -387,6 +615,7 @@ mod tests {
         c.push_unchecked(Gate::ccnot(v, anc, t));
         let report = verify_ancillas(&c, &AncillaSpec::new(vec![v], vec![]));
         assert!(report.is_clean());
+        assert_eq!(report.proof, ProofMethod::Symbolic);
         let dead: Vec<_> = report
             .diagnostics
             .iter()
@@ -413,18 +642,70 @@ mod tests {
     }
 
     #[test]
-    fn wide_free_register_falls_back_to_sampling() {
+    fn wide_free_register_falls_back_to_sampling_without_symbolic() {
         let mut spec = AncillaSpec::new((0..10).collect(), vec![]);
         spec.max_exhaustive_bits = 4;
         spec.samples = 32;
+        spec.symbolic = false;
         let c = Circuit::new(10);
         let report = verify_ancillas(&c, &spec);
         assert!(!report.exhaustive);
+        assert_eq!(report.proof, ProofMethod::Sampled);
         assert_eq!(report.inputs_checked, 32);
         assert!(report
             .diagnostics
             .iter()
             .any(|d| d.code == "sampled-proof-only" && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn symbolic_proof_retires_the_sampling_fallback() {
+        // Same wide spec, symbolic left on: the proof is exact where
+        // enumeration had to sample.
+        let mut spec = AncillaSpec::new((0..10).collect(), vec![]);
+        spec.max_exhaustive_bits = 4;
+        spec.samples = 32;
+        let c = Circuit::new(10);
+        let report = verify_ancillas(&c, &spec);
+        assert!(report.exhaustive);
+        assert_eq!(report.proof, ProofMethod::Symbolic);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code != "sampled-proof-only"));
+    }
+
+    #[test]
+    fn budget_exceeded_falls_back_to_enumeration_with_a_note() {
+        // q8 ends as P(x0..x7) ⊕ (A(x0..x6) ∧ x7): semantically zero but
+        // syntactically distinct products, so the symbolic pass needs an
+        // 8-bit case-split — denied by a 4-bit budget.
+        let ctrl = |qs: &[usize], t: usize| Gate::Mcx {
+            controls: qs
+                .iter()
+                .map(|&q| qmkp_qsim::Control {
+                    qubit: q,
+                    positive: true,
+                })
+                .collect(),
+            target: t,
+        };
+        let mut c = Circuit::new(10);
+        c.push_unchecked(ctrl(&(0..8).collect::<Vec<_>>(), 8));
+        c.push_unchecked(ctrl(&(0..7).collect::<Vec<_>>(), 9));
+        c.push_unchecked(ctrl(&[9, 7], 8));
+        c.push_unchecked(ctrl(&(0..7).collect::<Vec<_>>(), 9));
+        let mut spec = AncillaSpec::new((0..8).collect(), vec![]);
+        spec.split_budget = 4;
+        let report = verify_ancillas(&c, &spec);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.exhaustive, "8 free bits enumerate exhaustively");
+        assert_eq!(report.proof, ProofMethod::Enumerated);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "symbolic-budget-exceeded" && d.severity == Severity::Note));
+        assert_eq!(report.inputs_checked, 256);
     }
 
     #[test]

@@ -6,14 +6,17 @@
 //! makes three strong static checks possible that a state-vector
 //! simulator cannot give cheaply:
 //!
-//! * **Ancilla cleanliness** ([`ancilla`]): the compute half of an
-//!   oracle is evaluated *exactly* as a permutation over basis bitsets
-//!   for every reachable input (exhaustively when the free register is
-//!   small, by deterministic sampling otherwise), proving every ancilla
-//!   returns to |0⟩ — and pointing at the gate that last flipped the
-//!   offending qubit when one does not. A dirty ancilla entangles with
-//!   the search register and silently destroys Grover amplitude
-//!   amplification, which is why this is the crate's headline pass.
+//! * **Ancilla cleanliness** ([`ancilla`]): a symbolic XOR-affine
+//!   abstract interpretation ([`symbolic`]) proves — exactly, for every
+//!   input, at any circuit width — that every ancilla returns to |0⟩,
+//!   pointing at the gate that last flipped the offending qubit when one
+//!   does not. Residuals the symbolic domain cannot decide within its
+//!   case-split budget fall back to concrete enumeration over chunked
+//!   bitsets (exhaustive when the free register is small, deterministic
+//!   sampling with an explicit warning otherwise). A dirty ancilla
+//!   entangles with the search register and silently destroys Grover
+//!   amplitude amplification, which is why this is the crate's headline
+//!   pass.
 //! * **Resource audits** ([`resource`]): per-section gate counts and the
 //!   total width checked against the paper's closed-form formulas
 //!   (Eq. 6/7, §IV), so circuit builders and their cost model cannot
@@ -42,8 +45,9 @@ pub mod diagnostic;
 pub mod report;
 pub mod resource;
 pub mod structural;
+pub mod symbolic;
 
-pub use ancilla::{is_clean, verify_ancillas, AncillaReport, AncillaSpec};
+pub use ancilla::{is_clean, verify_ancillas, AncillaReport, AncillaSpec, ProofMethod};
 pub use diagnostic::{has_errors, render, Diagnostic, Severity, Span};
 pub use report::{analyze, cross_check_compile, AnalysisReport};
 pub use resource::{audit, circuit_depth, qtkp_oracle_model, ResourceModel, SectionBudget};
@@ -51,3 +55,4 @@ pub use structural::{
     check_registers, peephole_estimate, scheduled_peephole_estimate, structural_diagnostics,
     PeepholeEstimate,
 };
+pub use symbolic::{analyze_symbolic, SymbolicAnalysis, SymbolicOutcome, Witness};

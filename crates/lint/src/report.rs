@@ -8,7 +8,7 @@
 //! the `lint` binary can archive and diff analyzer output across
 //! commits.
 
-use crate::ancilla::{verify_ancillas, AncillaSpec};
+use crate::ancilla::{verify_ancillas, AncillaSpec, ProofMethod};
 use crate::diagnostic::{self, Diagnostic, Severity};
 use crate::resource::{audit, circuit_depth, ResourceModel};
 use crate::structural::{
@@ -31,10 +31,15 @@ pub struct AnalysisReport {
     pub depth: usize,
     /// All diagnostics from all passes, in pass order.
     pub diagnostics: Vec<Diagnostic>,
-    /// Whether the ancilla pass enumerated *every* free-register input
+    /// Whether the ancilla verdict covers *every* free-register input
     /// (`false` means the cleanliness claim rests on sampling).
     pub exhaustive: bool,
-    /// Inputs the ancilla pass evaluated.
+    /// How the ancilla verdict was established (symbolic proof, full
+    /// enumeration, or sampling).
+    pub proof: ProofMethod,
+    /// Concrete inputs the ancilla pass evaluated (enumerated or
+    /// sampled assignments, symbolic case-split cases, and witness
+    /// replays; a purely syntactic symbolic proof reports 0).
     pub inputs_checked: u64,
     /// Per-section gate counts, in circuit order.
     pub sections: Vec<(String, usize)>,
@@ -69,11 +74,7 @@ impl AnalysisReport {
             self.width,
             self.gates,
             self.depth,
-            if self.exhaustive {
-                "exhaustive"
-            } else {
-                "sampled"
-            },
+            self.proof.label(),
             self.inputs_checked,
         );
         out.push_str(&diagnostic::render(&self.diagnostics));
@@ -81,8 +82,9 @@ impl AnalysisReport {
     }
 
     /// Serializes the report as one JSON object. Stable schema:
-    /// scalars, a `sections` array of `{name, gates}`, a `peephole`
-    /// object, and a `diagnostics` array of
+    /// scalars (including the ancilla `proof` method label), a
+    /// `sections` array of `{name, gates}`, a `peephole` object, and a
+    /// `diagnostics` array of
     /// `{severity, code, message, gate?, qubit?, section?}`.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
@@ -91,6 +93,7 @@ impl AnalysisReport {
         s.push_str(&format!("\"gates\":{},", number(self.gates as f64)));
         s.push_str(&format!("\"depth\":{},", number(self.depth as f64)));
         s.push_str(&format!("\"exhaustive\":{},", self.exhaustive));
+        s.push_str(&format!("\"proof\":{},", quote(self.proof.label())));
         s.push_str(&format!(
             "\"inputs_checked\":{},",
             number(self.inputs_checked as f64)
@@ -164,12 +167,12 @@ pub fn analyze(
     let mut diagnostics = structural_diagnostics(circuit);
     let structurally_sound = !diagnostic::has_errors(&diagnostics);
 
-    let (exhaustive, inputs_checked) = if structurally_sound {
+    let (exhaustive, proof, inputs_checked) = if structurally_sound {
         let ancilla = verify_ancillas(circuit, spec);
         diagnostics.extend(ancilla.diagnostics);
-        (ancilla.exhaustive, ancilla.inputs_checked)
+        (ancilla.exhaustive, ancilla.proof, ancilla.inputs_checked)
     } else {
-        (false, 0)
+        (false, ProofMethod::Enumerated, 0)
     };
 
     if let Some(model) = model {
@@ -185,6 +188,7 @@ pub fn analyze(
         depth: circuit_depth(circuit),
         diagnostics,
         exhaustive,
+        proof,
         inputs_checked,
         sections: circuit
             .sections()
@@ -281,7 +285,9 @@ mod tests {
         let report = analyze("sandwich", &c, &spec, None);
         assert!(!report.has_errors(), "{}", report.render());
         assert!(report.exhaustive);
-        assert_eq!(report.inputs_checked, 2);
+        assert_eq!(report.proof, ProofMethod::Symbolic);
+        // The sandwich cancels syntactically: no concrete input needed.
+        assert_eq!(report.inputs_checked, 0);
         assert_eq!(report.gates, 3);
         assert_eq!(report.width, 3);
         assert_eq!(
@@ -308,6 +314,10 @@ mod tests {
             Some(2)
         );
         assert_eq!(parsed.get("errors").and_then(|j| j.as_f64()), Some(0.0));
+        assert_eq!(
+            parsed.get("proof").and_then(|j| j.as_str()),
+            Some("symbolic")
+        );
     }
 
     #[test]

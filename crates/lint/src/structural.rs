@@ -200,6 +200,12 @@ fn conjugate_masks(d: (u128, u128), f: (u128, u128, u128)) -> Option<(u128, u128
 /// arrival rules. [`crate::report::cross_check_compile`] picks between
 /// the two mirrors from `CompileStats::scheduled`.
 pub fn scheduled_peephole_estimate(circuit: &Circuit) -> PeepholeEstimate {
+    // The mask mirror shares the compiler's u128 basis encoding; wider
+    // circuits never compile, so there is nothing to predict (and
+    // `1u128 << q` would overflow).
+    if circuit.width() > 128 {
+        return PeepholeEstimate::default();
+    }
     let mut est = PeepholeEstimate::default();
     // The scheduler's open-run state, masks only. Sections never flush
     // the scheduler (fusion across boundaries is its point), so the
@@ -287,6 +293,11 @@ pub fn scheduled_peephole_estimate(circuit: &Circuit) -> PeepholeEstimate {
 /// every compile mode reaches, and its gate-indexed notes stay
 /// meaningful to a human reader.
 pub fn peephole_estimate(circuit: &Circuit, diagnostics: &mut Vec<Diagnostic>) -> PeepholeEstimate {
+    // See `scheduled_peephole_estimate`: beyond the compiler's 128-qubit
+    // cap there is no compile to predict.
+    if circuit.width() > 128 {
+        return PeepholeEstimate::default();
+    }
     let mut est = PeepholeEstimate::default();
     let mut notes = 0usize;
 

@@ -3,6 +3,9 @@
 //!
 //! * any permutation circuit followed by its inverse is provably clean
 //!   on *every* qubit — the identity leaves nothing dirty;
+//! * the symbolic XOR-affine verdict agrees with exhaustive enumeration
+//!   on arbitrary sectioned circuits (the differential test that keeps
+//!   the abstract domain honest);
 //! * the peephole estimate agrees gate-for-gate with what the real
 //!   compiler reports, on arbitrary sectioned circuits;
 //! * ASAP depth is sandwiched between the busiest-qubit count and the
@@ -13,8 +16,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use qmkp_lint::{
-    analyze, circuit_depth, cross_check_compile, peephole_estimate, verify_ancillas, AncillaSpec,
-    ResourceModel, SectionBudget, Severity,
+    analyze, circuit_depth, cross_check_compile, peephole_estimate, verify_ancillas, AncillaReport,
+    AncillaSpec, ProofMethod, ResourceModel, SectionBudget, Severity,
 };
 use qmkp_qsim::{Circuit, CompiledCircuit, Gate};
 
@@ -81,6 +84,59 @@ proptest! {
             report.diagnostics
         );
         prop_assert!(report.exhaustive);
+    }
+
+    /// The differential test behind the symbolic pass: on any sectioned
+    /// permutation circuit small enough to enumerate, the XOR-affine
+    /// proof and brute-force evaluation must reach the same verdict.
+    /// Every qubit the enumeration catches dirty, the symbolic pass must
+    /// also catch (it may catch *more*: enumeration stops at the first
+    /// violating input, the symbolic pass witnesses every dirty qubit).
+    /// The CI scheduler matrix reruns this under both
+    /// `QMKP_QSIM_SCHEDULER` modes.
+    #[test]
+    fn symbolic_verdict_matches_exhaustive_enumeration(
+        width in 3usize..=10,
+        seeds in vec(any::<u64>(), 0..40),
+    ) {
+        let c = decode_circuit(width, &seeds);
+        let free: Vec<usize> = (0..width - 2).collect();
+        let symbolic_spec = AncillaSpec::new(free.clone(), vec![]);
+        let mut enumerated_spec = symbolic_spec.clone();
+        enumerated_spec.symbolic = false;
+
+        let sym = verify_ancillas(&c, &symbolic_spec);
+        let enu = verify_ancillas(&c, &enumerated_spec);
+        prop_assert_eq!(sym.proof, ProofMethod::Symbolic);
+        prop_assert_eq!(enu.proof, ProofMethod::Enumerated);
+        prop_assert!(sym.exhaustive && enu.exhaustive);
+        prop_assert_eq!(
+            sym.is_clean(),
+            enu.is_clean(),
+            "verdicts disagree: symbolic {:?} vs enumerated {:?}",
+            sym.diagnostics,
+            enu.diagnostics
+        );
+
+        let dirty_qubits = |r: &AncillaReport| {
+            r.diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .filter_map(|d| d.span.qubit)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        prop_assert!(
+            dirty_qubits(&enu).is_subset(&dirty_qubits(&sym)),
+            "enumeration found dirt the symbolic pass missed: {:?} ⊄ {:?}",
+            dirty_qubits(&enu),
+            dirty_qubits(&sym)
+        );
+        if sym.is_clean() {
+            // Both liveness analyses are exact here (full enumeration;
+            // every symbolic cone fits the default budget), so they must
+            // agree gate-for-gate.
+            prop_assert_eq!(&sym.live_gates, &enu.live_gates);
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 #![deny(unsafe_code)]
 #![warn(clippy::dbg_macro, clippy::todo, clippy::print_stdout)]
+pub mod bits;
 pub mod circuit;
 pub mod compile;
 pub mod complex;
@@ -34,6 +35,7 @@ pub mod register;
 pub mod state;
 pub mod validate;
 
+pub use bits::BitVec;
 pub use circuit::{Circuit, GateStats, Section};
 pub use compile::{
     scheduler_enabled_by_env, BasisKey, CompileError, CompileOptions, CompileStats,

@@ -45,6 +45,11 @@ pub fn validate_gate(gate: &Gate, width: usize) -> Result<(), CompileError> {
 /// Validates a whole circuit: width within the 128-qubit basis encoding
 /// and every gate well-formed.
 ///
+/// The width cap is a property of the *compiler's* `u128` basis keys,
+/// not of circuits as such: [`validate_gate`] is width-agnostic, and the
+/// `qmkp-lint` analyzer verifies wider circuits gate-by-gate over the
+/// chunked [`crate::bits::BitVec`] representation instead.
+///
 /// # Errors
 /// Returns the first violation in gate order (width errors first).
 pub fn validate_circuit(circuit: &Circuit) -> Result<(), CompileError> {
@@ -89,5 +94,21 @@ mod tests {
                 max: 128
             })
         );
+    }
+
+    #[test]
+    fn per_gate_validation_has_no_width_cap() {
+        // The analyzer relies on this: a 200-qubit circuit is not
+        // *compilable*, but each gate is individually well-formed and
+        // therefore statically verifiable.
+        let mut c = Circuit::new(200);
+        c.push_unchecked(Gate::ccnot(0, 150, 199));
+        assert!(matches!(
+            validate_circuit(&c),
+            Err(CompileError::WidthTooLarge { .. })
+        ));
+        for gate in c.gates() {
+            assert_eq!(validate_gate(gate, c.width()), Ok(()));
+        }
     }
 }

@@ -16,7 +16,8 @@ done
 
 # Fold every bin's `provenance:` line into one manifest, so the
 # regeneration that produced EXPERIMENTS.md is identified by a single
-# checked-in file (the ablation bins carry no provenance wrapper yet).
+# checked-in file. Every bin — tables, figures, and ablations — carries
+# the Provenance config-hash stamp.
 grep -h '^provenance:' experiments/*.txt | sort > experiments/PROVENANCE.txt
 echo "=== provenance manifest ==="
 cat experiments/PROVENANCE.txt
