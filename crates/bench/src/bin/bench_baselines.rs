@@ -1,7 +1,10 @@
 //! Emits `BENCH_baselines.json`: median wall-clock baselines for the two
 //! criterion groups that previously had no recorded `BENCH_*.json`
 //! artifact — Grover-side costs (oracle construction, one Grover
-//! iteration) and annealing-side costs (one SA shot, one SQA shot).
+//! iteration) and annealing-side costs (one SA shot, one SQA shot) —
+//! plus a portfolio group comparing a raced `qmkp::solve` of the fig-1
+//! instance against the sequential ladder, with an in-process guard on
+//! the race's overhead.
 //!
 //! A sibling of `bench_qsim`: numbers are medians over `SAMPLES` runs on
 //! this machine, meant for cross-PR regression tracking rather than
@@ -18,9 +21,13 @@ use qmkp_obs::{RunReport, Session};
 use qmkp_qubo::{MkpQubo, MkpQuboParams};
 use std::time::Instant;
 
-/// Median wall-clock seconds of `samples` runs of `f` (one warm-up run
-/// outside the measurement, as in `bench_qsim`).
-fn median_secs<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+/// (median, minimum) wall-clock seconds of `samples` runs of `f` (one
+/// warm-up run outside the measurement, as in `bench_qsim`). The median
+/// is what gets recorded for cross-PR tracking; the minimum is the
+/// noise-robust estimator the portfolio guard compares, since on a
+/// loaded or single-core runner the scheduler can multiply any single
+/// millisecond-scale sample.
+fn stats_secs<F: FnMut()>(samples: usize, mut f: F) -> (f64, f64) {
     f();
     let mut times: Vec<f64> = (0..samples)
         .map(|_| {
@@ -30,7 +37,12 @@ fn median_secs<F: FnMut()>(samples: usize, mut f: F) -> f64 {
         })
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
-    times[times.len() / 2]
+    (times[times.len() / 2], times[0])
+}
+
+/// Median wall-clock seconds of `samples` runs of `f`.
+fn median_secs<F: FnMut()>(samples: usize, f: F) -> f64 {
+    stats_secs(samples, f).0
 }
 
 fn main() {
@@ -82,6 +94,40 @@ fn main() {
         std::hint::black_box(out.best_energy);
     });
 
+    // Portfolio group: the paper's fig-1 instance end to end through
+    // `qmkp::solve`. The sequential ladder's unlimited-budget path *is*
+    // the best single rung (sparse wins it outright), with identical
+    // preflight and post-processing, so it is the fair comparator for
+    // the concurrent race. In-process guard: the race's best-observed
+    // sample must stay within `PORTFOLIO_GUARD`x the ladder's, plus an
+    // absolute slack for the constant cost of staking racer threads —
+    // fig-1 solves in ~2ms, so on a single-core or loaded runner the
+    // cancelled racers' stolen timeslices would otherwise drown the
+    // ratio in scheduler noise. A broken cancel path (racers running to
+    // completion after a win) still blows well past the slack.
+    const PORTFOLIO_GUARD: f64 = 1.25;
+    const PORTFOLIO_SLACK_S: f64 = 0.005;
+    let fig1 = qmkp::graph::gen::paper_fig1_graph();
+    let ctx = qmkp_rt::RtContext::unlimited();
+    let ladder_config = qmkp::solve::SolveConfig {
+        portfolio: Some(false),
+        ..qmkp::solve::SolveConfig::default()
+    };
+    let race_config = qmkp::solve::SolveConfig {
+        portfolio: Some(true),
+        ..qmkp::solve::SolveConfig::default()
+    };
+    let (ladder_fig1, ladder_best) = stats_secs(samples, || {
+        let out = qmkp::solve(&fig1, 2, &ladder_config, &ctx).expect("unlimited ladder solve");
+        std::hint::black_box(out.best);
+    });
+    let (portfolio_fig1, portfolio_best) = stats_secs(samples, || {
+        let out = qmkp::solve(&fig1, 2, &race_config, &ctx).expect("unlimited raced solve");
+        std::hint::black_box(out.best);
+    });
+    let portfolio_ratio = portfolio_fig1 / ladder_fig1;
+    let guard_ceiling = ladder_best * PORTFOLIO_GUARD + PORTFOLIO_SLACK_S;
+
     let json = format!(
         "{{\n  \
          \"grover\": {{\n    \
@@ -92,6 +138,15 @@ fn main() {
          \"dataset\": \"D_{{10,40}} (k=3, R=2)\",\n    \
          \"sa_shot_s\": {sa:.6},\n    \
          \"sqa_shot_s\": {sq:.6}\n  }},\n  \
+         \"portfolio\": {{\n    \
+         \"instance\": \"paper_fig1 (k=2)\",\n    \
+         \"ladder_fig1_s\": {lf:.6},\n    \
+         \"portfolio_fig1_s\": {pf:.6},\n    \
+         \"ladder_best_s\": {lb:.6},\n    \
+         \"portfolio_best_s\": {pb:.6},\n    \
+         \"ratio\": {pr:.3},\n    \
+         \"guard\": {PORTFOLIO_GUARD},\n    \
+         \"guard_slack_s\": {PORTFOLIO_SLACK_S}\n  }},\n  \
          \"samples\": {samples},\n  \
          \"parallel_feature\": {par}\n}}\n",
         ob = oracle_build,
@@ -99,6 +154,11 @@ fn main() {
         il = iteration_large,
         sa = sa_shot,
         sq = sqa_shot,
+        lf = ladder_fig1,
+        pf = portfolio_fig1,
+        lb = ladder_best,
+        pb = portfolio_best,
+        pr = portfolio_ratio,
         par = qmkp_qsim::parallel_enabled(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
@@ -112,6 +172,17 @@ fn main() {
             .outcome("iteration_G7_8_s", format!("{iteration_small:.6}"))
             .outcome("iteration_G9_15_s", format!("{iteration_large:.6}"))
             .outcome("sa_shot_s", format!("{sa_shot:.6}"))
-            .outcome("sqa_shot_s", format!("{sqa_shot:.6}")),
+            .outcome("sqa_shot_s", format!("{sqa_shot:.6}"))
+            .outcome("ladder_fig1_s", format!("{ladder_fig1:.6}"))
+            .outcome("portfolio_fig1_s", format!("{portfolio_fig1:.6}"))
+            .outcome("portfolio_ratio", format!("{portfolio_ratio:.3}")),
     );
+    if portfolio_best > guard_ceiling {
+        eprintln!(
+            "bench_baselines guard FAILED: best raced solve {portfolio_best:.6}s exceeds \
+             {PORTFOLIO_GUARD}x the best ladder solve {ladder_best:.6}s + {PORTFOLIO_SLACK_S}s \
+             staking slack (= {guard_ceiling:.6}s)"
+        );
+        std::process::exit(1);
+    }
 }

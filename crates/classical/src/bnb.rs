@@ -8,6 +8,23 @@
 //!   allowed non-neighbours, every future addition must be its neighbour.
 
 use qmkp_graph::{is_kplex, Graph, VertexSet};
+use qmkp_rt::{RtContext, RtError};
+
+/// How many expanded nodes pass between context polls on the budgeted
+/// path (token read + amortized deadline read each poll).
+const CTX_POLL_MASK: u64 = 63;
+/// How many expanded nodes pass between external-incumbent polls.
+const INCUMBENT_POLL_MASK: u64 = 255;
+
+/// Outcome of a budgeted branch & bound run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BnbOutcome {
+    /// The best (maximum, when the search completed) k-plex found.
+    pub best: VertexSet,
+    /// Search-tree nodes expanded — the effort measure the portfolio's
+    /// warm-start tests assert shrinks under a tighter lower bound.
+    pub nodes: u64,
+}
 
 /// Finds a maximum k-plex by branch & bound.
 ///
@@ -15,12 +32,79 @@ use qmkp_graph::{is_kplex, Graph, VertexSet};
 /// Panics if `k == 0`.
 pub fn max_kplex_bnb(g: &Graph, k: usize) -> VertexSet {
     assert!(k >= 1, "k must be ≥ 1");
+    bnb_inner(g, k, None, None, None)
+        .expect("unbudgeted branch & bound cannot fail")
+        .best
+}
+
+/// Budgeted/cancellable branch & bound with warm-start hooks.
+///
+/// * `lower_bound` — an externally supplied incumbent (e.g. a GRASP or
+///   SQA solution). It is *verified* before being trusted: an invalid or
+///   smaller set is ignored, a larger verified one prunes the search
+///   from node one.
+/// * `incumbent` — polled every 256 nodes for a better incumbent
+///   published by a concurrently running solver; each adopted set is
+///   verified the same way.
+///
+/// The context is polled every 64 nodes, and the
+/// `classical.bnb.node` failpoint fires per expanded node under the
+/// `failpoints` feature. Returns a structured [`RtError`] on budget
+/// exhaustion, cancellation, or an injected fault.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn max_kplex_bnb_ctx(
+    g: &Graph,
+    k: usize,
+    ctx: &RtContext,
+    lower_bound: Option<VertexSet>,
+    incumbent: Option<&dyn Fn() -> Option<VertexSet>>,
+) -> Result<BnbOutcome, RtError> {
+    assert!(k >= 1, "k must be ≥ 1");
+    bnb_inner(g, k, Some(ctx), lower_bound, incumbent)
+}
+
+fn bnb_inner(
+    g: &Graph,
+    k: usize,
+    ctx: Option<&RtContext>,
+    lower_bound: Option<VertexSet>,
+    incumbent: Option<&dyn Fn() -> Option<VertexSet>>,
+) -> Result<BnbOutcome, RtError> {
     let span = qmkp_obs::span("classical.bnb.run");
     let mut nodes = 0u64;
     let mut best = qmkp_graph::reduce::greedy_lower_bound(g, k);
+    if let Some(lb) = lower_bound {
+        // Trust nothing from outside the search: verify before pruning
+        // on it.
+        if lb.len() > best.len() && is_kplex(g, lb, k) {
+            best = lb;
+        }
+    }
     let mut stack = vec![(VertexSet::EMPTY, g.vertices())];
     while let Some((p, c)) = stack.pop() {
         nodes += 1;
+        if let Some(ctx) = ctx {
+            if let Err(e) = qmkp_rt::failpoint::check("classical.bnb.node").and_then(|()| {
+                if nodes & CTX_POLL_MASK == 0 {
+                    ctx.check()
+                } else {
+                    Ok(())
+                }
+            }) {
+                qmkp_obs::counter("classical.bnb.nodes", nodes);
+                span.finish();
+                return Err(e);
+            }
+        }
+        if incumbent.is_some() && nodes & INCUMBENT_POLL_MASK == 0 {
+            if let Some(found) = incumbent.and_then(|poll| poll()) {
+                if found.len() > best.len() && is_kplex(g, found, k) {
+                    best = found;
+                }
+            }
+        }
         if p.len() > best.len() {
             best = p;
         }
@@ -58,7 +142,7 @@ pub fn max_kplex_bnb(g: &Graph, k: usize) -> VertexSet {
     }
     qmkp_obs::counter("classical.bnb.nodes", nodes);
     span.finish();
-    best
+    Ok(BnbOutcome { best, nodes })
 }
 
 #[cfg(test)]
@@ -93,6 +177,61 @@ mod tests {
         let found = max_kplex_bnb(&g, 2);
         assert!(found.len() >= plant.len());
         assert!(is_kplex(&g, found, 2));
+    }
+
+    #[test]
+    fn verified_lower_bound_strictly_reduces_node_count() {
+        let g = gnm(16, 40, 2).unwrap();
+        let ctx = qmkp_rt::RtContext::unlimited();
+        let cold = max_kplex_bnb_ctx(&g, 2, &ctx, None, None).unwrap();
+        // Hand the optimum back in as the injected bound: same answer
+        // size, strictly fewer expanded nodes.
+        let warm = max_kplex_bnb_ctx(&g, 2, &ctx, Some(cold.best), None).unwrap();
+        assert_eq!(warm.best.len(), cold.best.len());
+        assert!(
+            warm.nodes < cold.nodes,
+            "warm {} !< cold {}",
+            warm.nodes,
+            cold.nodes
+        );
+    }
+
+    #[test]
+    fn invalid_lower_bound_is_ignored() {
+        let g = paper_fig1_graph();
+        let ctx = qmkp_rt::RtContext::unlimited();
+        // The full vertex set is not a 2-plex of fig-1; an unverified
+        // adoption would corrupt the answer.
+        let out = max_kplex_bnb_ctx(&g, 2, &ctx, Some(g.vertices()), None).unwrap();
+        assert_eq!(out.best.len(), max_kplex_naive(&g, 2).len());
+        assert!(is_kplex(&g, out.best, 2));
+    }
+
+    #[test]
+    fn polled_incumbent_is_adopted_when_verified() {
+        let g = gnm(16, 40, 2).unwrap();
+        let ctx = qmkp_rt::RtContext::unlimited();
+        let cold = max_kplex_bnb_ctx(&g, 2, &ctx, None, None).unwrap();
+        let feed = cold.best;
+        let poll = move || Some(feed);
+        let warm = max_kplex_bnb_ctx(&g, 2, &ctx, None, Some(&poll)).unwrap();
+        assert_eq!(warm.best.len(), cold.best.len());
+        assert!(
+            warm.nodes <= cold.nodes,
+            "adopting the optimum cannot cost nodes"
+        );
+    }
+
+    #[test]
+    fn cancellation_surfaces_structurally() {
+        let g = gnm(14, 40, 3).unwrap();
+        let token = qmkp_rt::CancelToken::new();
+        token.cancel();
+        let ctx = qmkp_rt::RtContext::new(qmkp_rt::Budget::unlimited(), token);
+        assert_eq!(
+            max_kplex_bnb_ctx(&g, 2, &ctx, None, None),
+            Err(qmkp_rt::RtError::Cancelled)
+        );
     }
 
     #[test]

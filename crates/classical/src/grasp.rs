@@ -7,6 +7,7 @@
 
 use qmkp_graph::plex::{greedy_extend, is_kplex};
 use qmkp_graph::{Graph, VertexSet};
+use qmkp_rt::{RtContext, RtError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -35,6 +36,59 @@ pub fn grasp_kplex(g: &Graph, k: usize, iterations: usize, alpha: f64, seed: u64
     span.finish();
     debug_assert!(is_kplex(g, best, k));
     best
+}
+
+/// Budgeted/cancellable GRASP with an incumbent-export hook.
+///
+/// Identical search to [`grasp_kplex`] given the same parameters, plus:
+/// the context (and, under the `failpoints` feature, the
+/// `classical.grasp.iter` site) is polled once per restart, and every
+/// strict improvement of the running best is published through
+/// `on_best` — the portfolio uses this to seed SQA's initial state with
+/// GRASP's best solution while both are still running.
+///
+/// Invalid parameters return [`RtError::InvalidConfig`] instead of
+/// panicking.
+pub fn grasp_kplex_ctx(
+    g: &Graph,
+    k: usize,
+    iterations: usize,
+    alpha: f64,
+    seed: u64,
+    ctx: &RtContext,
+    mut on_best: Option<&mut dyn FnMut(VertexSet)>,
+) -> Result<VertexSet, RtError> {
+    if k == 0 {
+        return Err(RtError::InvalidConfig("grasp: k must be ≥ 1".into()));
+    }
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(RtError::InvalidConfig(format!(
+            "grasp: alpha must be in [0, 1], got {alpha}"
+        )));
+    }
+    let span = qmkp_obs::span("classical.grasp.run");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = VertexSet::EMPTY;
+    for _ in 0..iterations.max(1) {
+        if let Err(e) = qmkp_rt::failpoint::check("classical.grasp.iter").and_then(|()| ctx.check())
+        {
+            span.finish();
+            return Err(e);
+        }
+        qmkp_obs::counter("classical.grasp.restarts", 1);
+        let p = construct(g, k, alpha, &mut rng);
+        let p = local_search(g, k, p);
+        if p.len() > best.len() {
+            best = p;
+            if let Some(publish) = on_best.as_deref_mut() {
+                publish(best);
+            }
+        }
+    }
+    qmkp_obs::gauge("classical.grasp.best_size", best.len() as f64);
+    span.finish();
+    debug_assert!(is_kplex(g, best, k));
+    Ok(best)
 }
 
 /// Randomized greedy construction: repeatedly add a random vertex from the
@@ -126,6 +180,47 @@ mod tests {
         let a = grasp_kplex(&g, 2, 5, 0.0, 1);
         let b = grasp_kplex(&g, 2, 5, 0.0, 2);
         assert_eq!(a, b, "alpha = 0 ignores randomness");
+    }
+
+    #[test]
+    fn ctx_variant_matches_legacy_and_publishes_incumbents() {
+        let g = gnm(12, 30, 2).unwrap();
+        let ctx = qmkp_rt::RtContext::unlimited();
+        let mut published: Vec<VertexSet> = Vec::new();
+        let mut publish = |p: VertexSet| published.push(p);
+        let got = grasp_kplex_ctx(&g, 2, 10, 0.3, 5, &ctx, Some(&mut publish)).unwrap();
+        assert_eq!(got, grasp_kplex(&g, 2, 10, 0.3, 5));
+        assert!(!published.is_empty(), "improvements must be published");
+        assert_eq!(*published.last().unwrap(), got);
+        for p in &published {
+            assert!(is_kplex(&g, *p, 2));
+        }
+    }
+
+    #[test]
+    fn ctx_variant_rejects_bad_parameters_structurally() {
+        let g = paper_fig1_graph();
+        let ctx = qmkp_rt::RtContext::unlimited();
+        assert!(matches!(
+            grasp_kplex_ctx(&g, 0, 1, 0.3, 0, &ctx, None),
+            Err(qmkp_rt::RtError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            grasp_kplex_ctx(&g, 2, 1, 1.5, 0, &ctx, None),
+            Err(qmkp_rt::RtError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn ctx_variant_surfaces_cancellation() {
+        let g = paper_fig1_graph();
+        let token = qmkp_rt::CancelToken::new();
+        token.cancel();
+        let ctx = qmkp_rt::RtContext::new(qmkp_rt::Budget::unlimited(), token);
+        assert_eq!(
+            grasp_kplex_ctx(&g, 2, 10, 0.3, 0, &ctx, None),
+            Err(qmkp_rt::RtError::Cancelled)
+        );
     }
 
     #[test]

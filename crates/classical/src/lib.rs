@@ -24,7 +24,7 @@ pub mod bs;
 pub mod grasp;
 pub mod naive;
 
-pub use bnb::max_kplex_bnb;
+pub use bnb::{max_kplex_bnb, max_kplex_bnb_ctx, BnbOutcome};
 pub use bs::{max_kplex_bs, max_kplex_bs_seeded, BsStats};
-pub use grasp::grasp_kplex;
+pub use grasp::{grasp_kplex, grasp_kplex_ctx};
 pub use naive::max_kplex_naive;

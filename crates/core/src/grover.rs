@@ -417,6 +417,32 @@ impl<O: PhaseOracle, S: QuantumState> GroverDriver<O, S> {
         Ok(())
     }
 
+    /// As [`GroverDriver::iterate_n_ctx`], but the first `completed`
+    /// iterations are *replayed* without failpoint polls, context checks,
+    /// or op charges: they were already executed (and paid for) by the
+    /// interrupted run that checkpointed them, and a Grover iteration is
+    /// deterministic and consumes no randomness, so replaying rebuilds
+    /// the exact pre-interrupt state. Skipping the polls during replay
+    /// means a resume never re-trips the fault that produced the
+    /// checkpoint before reaching new work.
+    ///
+    /// # Errors
+    /// As [`GroverDriver::iterate_ctx`], from the live (post-replay)
+    /// iterations only.
+    pub fn iterate_n_ctx_resume(
+        &mut self,
+        count: usize,
+        completed: usize,
+        ctx: &RtContext,
+    ) -> Result<(), SimError> {
+        let replay = completed.min(count);
+        self.iterate_n(replay);
+        for _ in replay..count {
+            self.iterate_ctx(ctx)?;
+        }
+        Ok(())
+    }
+
     fn iteration_gauges(&self) {
         if let Some(support) = self.state.support_hint() {
             qmkp_obs::gauge("core.grover.support", support as f64);

@@ -41,5 +41,10 @@ pub use counting::{
 pub use grover::{diffusion_circuit, optimal_iterations, GroverDriver, PhaseOracle};
 pub use layout::OracleLayout;
 pub use oracle::{Oracle, OracleSectionCost};
-pub use qmkp::{qmkp, qmkp_ctx, qmkp_ctx_with, QmkpCall, QmkpCheckpoint, QmkpConfig, QmkpOutcome};
-pub use qtkp::{qtkp, qtkp_ctx, qtkp_ctx_with, MEstimate, QtkpConfig, QtkpOutcome, SectionTimes};
+pub use qmkp::{
+    qmkp, qmkp_ctx, qmkp_ctx_with, QmkpCall, QmkpCheckpoint, QmkpConfig, QmkpOutcome, QmkpProbe,
+};
+pub use qtkp::{
+    qtkp, qtkp_ctx, qtkp_ctx_with, qtkp_probe_ctx_with, MEstimate, ProbeInterrupt, QtkpConfig,
+    QtkpOutcome, SectionTimes,
+};

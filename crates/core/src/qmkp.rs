@@ -5,7 +5,7 @@
 
 use crate::compiled::{CompileFresh, OracleProvider};
 use crate::grover::SectionTimes;
-use crate::qtkp::{qtkp_ctx_with, QtkpConfig};
+use crate::qtkp::{qtkp_probe_ctx_with, ProbeInterrupt, QtkpConfig};
 use qmkp_graph::reduce::auto_reduce;
 use qmkp_graph::{Graph, VertexSet};
 use qmkp_obs::json;
@@ -66,10 +66,26 @@ pub struct QmkpOutcome {
     pub qubits: usize,
 }
 
+/// Intra-probe progress: how far the interrupted probe's Grover phase
+/// got. Carried by [`QmkpCheckpoint`] so a resume replays the completed
+/// iterations (deterministic, poll-free) instead of restarting the probe
+/// at iteration zero — under repeated interruptions the search never
+/// loses ground inside a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QmkpProbe {
+    /// The threshold of the probe in flight (a resume guard: it must
+    /// match the `midpoint(lo, hi)` the search recomputes).
+    pub t: usize,
+    /// Grover iterations the probe had completed.
+    pub iterations_done: usize,
+}
+
 /// A resumable position inside the qMKP binary search, taken at probe
 /// boundaries. Because every qTKP probe reseeds its RNG from the
 /// configuration, resuming from a checkpoint replays the remaining probes
 /// bit-identically to an uninterrupted run (wall-clock fields aside).
+/// When the interrupt landed inside a probe's Grover phase, [`Self::probe`]
+/// additionally records the completed iterations for intra-probe resume.
 #[derive(Debug, Clone)]
 pub struct QmkpCheckpoint {
     /// The `k` the search was started with (resume guard).
@@ -90,6 +106,10 @@ pub struct QmkpCheckpoint {
     pub total_iterations: usize,
     /// Maximum circuit width over completed probes.
     pub qubits: usize,
+    /// Progress inside the probe that was interrupted, if its Grover
+    /// phase had completed at least one iteration (absent in payloads
+    /// from older versions, which resume probe-granularly).
+    pub probe: Option<QmkpProbe>,
 }
 
 fn bits_hex(s: VertexSet) -> String {
@@ -125,6 +145,14 @@ impl Checkpoint for QmkpCheckpoint {
             self.total_iterations
         ));
         out.push_str(&format!(", \"qubits\": {}", self.qubits));
+        // Absent (not null) when there is no intra-probe progress, so
+        // payloads from before the field existed parse identically.
+        if let Some(p) = self.probe {
+            out.push_str(&format!(
+                ", \"probe\": {{\"t\": {}, \"iterations_done\": {}}}",
+                p.t, p.iterations_done
+            ));
+        }
         match self.first_result {
             Some((s, d)) => out.push_str(&format!(
                 ", \"first_result\": {{\"set\": {}, \"elapsed_ns\": {}}}",
@@ -190,6 +218,13 @@ impl Checkpoint for QmkpCheckpoint {
                 elapsed: Duration::from_nanos(require_u64(c, "elapsed_ns")?),
             });
         }
+        let probe = match obj.get("probe") {
+            None | Some(json::Json::Null) => None,
+            Some(p) => Some(QmkpProbe {
+                t: require_u64(p, "t")? as usize,
+                iterations_done: require_u64(p, "iterations_done")? as usize,
+            }),
+        };
         Ok(QmkpCheckpoint {
             k: require_u64(&obj, "k")? as usize,
             lo: require_u64(&obj, "lo")? as usize,
@@ -200,6 +235,7 @@ impl Checkpoint for QmkpCheckpoint {
             error_probability,
             total_iterations: require_u64(&obj, "total_iterations")? as usize,
             qubits: require_u64(&obj, "qubits")? as usize,
+            probe,
         })
     }
 }
@@ -309,6 +345,7 @@ fn qmkp_ctx_inner<S: BackendState>(
     let mut total_iterations = 0usize;
     let mut qubits = 0;
     let mut hi = search.as_ref().map(|(sg, _)| sg.n()).unwrap_or(0);
+    let mut pending_probe: Option<QmkpProbe> = None;
 
     if let Some(cp) = resume {
         if cp.k != k {
@@ -328,8 +365,10 @@ fn qmkp_ctx_inner<S: BackendState>(
         error_probability = cp.error_probability;
         total_iterations = cp.total_iterations;
         qubits = cp.qubits;
+        pending_probe = cp.probe;
     }
 
+    #[allow(clippy::too_many_arguments)]
     let snapshot = |lo: usize,
                     hi: usize,
                     best: VertexSet,
@@ -337,7 +376,8 @@ fn qmkp_ctx_inner<S: BackendState>(
                     first_result: Option<(VertexSet, Duration)>,
                     error_probability: f64,
                     total_iterations: usize,
-                    qubits: usize| QmkpCheckpoint {
+                    qubits: usize,
+                    probe: Option<QmkpProbe>| QmkpCheckpoint {
         k,
         lo,
         hi,
@@ -347,6 +387,7 @@ fn qmkp_ctx_inner<S: BackendState>(
         error_probability,
         total_iterations,
         qubits,
+        probe,
     };
 
     if let Err(e) = config.qtkp.validate() {
@@ -361,6 +402,7 @@ fn qmkp_ctx_inner<S: BackendState>(
                 error_probability,
                 total_iterations,
                 qubits,
+                pending_probe,
             ),
         ));
     }
@@ -371,21 +413,39 @@ fn qmkp_ctx_inner<S: BackendState>(
                 .and_then(|()| ctx.check())
                 .err();
             let t = usize::midpoint(lo, hi);
+            // A checkpointed probe position only applies to the probe it
+            // was taken in; the threshold guard rejects a stale carry.
+            let replay = pending_probe
+                .take()
+                .filter(|p| p.t == t)
+                .map(|p| p.iterations_done)
+                .unwrap_or(0);
             let probe = match interrupted {
-                Some(e) => Err(e),
+                Some(e) => Err(ProbeInterrupt {
+                    error: e,
+                    iterations_done: replay,
+                }),
                 None => {
                     let probe_span = qmkp_obs::span_dyn(|| format!("core.qmkp.probe[t={t}]"));
                     qmkp_obs::counter("core.qmkp.probes", 1);
-                    let out = qtkp_ctx_with::<S>(search_graph, k, t, &config.qtkp, ctx, provider);
+                    let out = qtkp_probe_ctx_with::<S>(
+                        search_graph,
+                        k,
+                        t,
+                        &config.qtkp,
+                        ctx,
+                        provider,
+                        replay,
+                    );
                     probe_span.finish();
                     out
                 }
             };
             let out = match probe {
                 Ok(out) => out,
-                Err(e) => {
+                Err(pi) => {
                     return Err(Interrupted::new(
-                        e,
+                        pi.error,
                         snapshot(
                             lo,
                             hi,
@@ -395,6 +455,10 @@ fn qmkp_ctx_inner<S: BackendState>(
                             error_probability,
                             total_iterations,
                             qubits,
+                            (pi.iterations_done > 0).then_some(QmkpProbe {
+                                t,
+                                iterations_done: pi.iterations_done,
+                            }),
                         ),
                     ))
                 }
@@ -610,8 +674,13 @@ mod tests {
             error_probability: 0.123_456_789_f64,
             total_iterations: 12,
             qubits: 31,
+            probe: Some(QmkpProbe {
+                t: 5,
+                iterations_done: 4,
+            }),
         };
         let back = QmkpCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back.probe, cp.probe);
         assert_eq!(back.k, cp.k);
         assert_eq!(back.lo, cp.lo);
         assert_eq!(back.hi, cp.hi);
@@ -631,6 +700,31 @@ mod tests {
             assert_eq!(a.m, b.m);
             assert_eq!(a.elapsed, b.elapsed);
         }
+    }
+
+    #[test]
+    fn checkpoint_without_probe_field_parses_as_probe_granular() {
+        // A payload serialized before intra-probe resume existed (no
+        // `probe` key at all) must keep parsing, with no carried probe.
+        let cp = QmkpCheckpoint {
+            k: 2,
+            lo: 1,
+            hi: 6,
+            best: VertexSet::singleton(0),
+            calls: Vec::new(),
+            first_result: None,
+            error_probability: 0.0,
+            total_iterations: 0,
+            qubits: 0,
+            probe: None,
+        };
+        let payload = cp.to_json();
+        assert!(!payload.contains("probe"), "absent, not null: {payload}");
+        let back = QmkpCheckpoint::from_json(&payload).unwrap();
+        assert_eq!(back.probe, None);
+        // An explicit null is tolerated too.
+        let with_null = payload.replacen("{", "{\"probe\": null, ", 1);
+        assert_eq!(QmkpCheckpoint::from_json(&with_null).unwrap().probe, None);
     }
 
     #[test]
@@ -729,6 +823,52 @@ mod tests {
     }
 
     #[test]
+    fn op_budget_interrupt_mid_probe_resumes_bit_identically() {
+        use qmkp_rt::{Budget, CancelToken};
+        let g = gnm(8, 13, 1).unwrap();
+        let config = QmkpConfig::default();
+        let straight = qmkp(&g, 2, &config);
+        // Sweep deterministic op ceilings until one lands inside a
+        // probe's Grover phase: the checkpoint must then carry the
+        // completed-iteration count, and resuming from its JSON
+        // round-trip must replay the rest of the search bit-identically.
+        let mut saw_intra_probe = false;
+        let mut limit = 64u64;
+        while limit < (1 << 26) {
+            let ctx = RtContext::new(Budget::unlimited().with_max_ops(limit), CancelToken::new());
+            let err = match qmkp_ctx::<SparseState>(&g, 2, &config, &ctx, None) {
+                Ok(_) => break, // the ceiling outlived the whole search
+                Err(err) => err,
+            };
+            assert!(
+                matches!(err.error, RtError::OpBudget { .. }),
+                "limit={limit}: {:?}",
+                err.error
+            );
+            if let Some(p) = err.checkpoint.probe {
+                saw_intra_probe = true;
+                assert!(p.iterations_done > 0, "empty progress must be absent");
+                let cp = QmkpCheckpoint::from_json(&err.checkpoint.to_json()).unwrap();
+                assert_eq!(cp.probe, Some(p));
+                let resumed =
+                    qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), Some(&cp))
+                        .unwrap();
+                assert_eq!(resumed.best, straight.best, "limit={limit}");
+                assert_eq!(resumed.total_iterations, straight.total_iterations);
+                assert_eq!(resumed.calls.len(), straight.calls.len());
+                for (a, b) in resumed.calls.iter().zip(&straight.calls) {
+                    assert_eq!(a.t, b.t);
+                    assert_eq!(a.found, b.found);
+                    assert_eq!(a.iterations, b.iterations);
+                    assert_eq!(a.m, b.m);
+                }
+            }
+            limit = limit * 5 / 4 + 1;
+        }
+        assert!(saw_intra_probe, "no op ceiling landed mid-Grover-phase");
+    }
+
+    #[test]
     fn resume_with_mismatched_k_is_rejected() {
         let g = paper_fig1_graph();
         let cp = QmkpCheckpoint {
@@ -741,6 +881,7 @@ mod tests {
             error_probability: 0.0,
             total_iterations: 0,
             qubits: 0,
+            probe: None,
         };
         let err = qmkp_ctx::<SparseState>(
             &g,

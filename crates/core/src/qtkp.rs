@@ -131,6 +131,22 @@ pub struct QtkpOutcome {
     pub qubits: usize,
 }
 
+/// Why a qTKP probe stopped, paired with how far its Grover phase got —
+/// the intra-probe resolution [`crate::qmkp::QmkpCheckpoint`] records so
+/// a resumed binary search replays completed iterations instead of
+/// restarting the probe from iteration zero.
+#[derive(Debug)]
+pub struct ProbeInterrupt {
+    /// The structured stop reason.
+    pub error: RtError,
+    /// Grover iterations completed before the stop (0 when the stop
+    /// happened before or outside the iteration phase, and always 0 on
+    /// the BBHT path, which stays probe-granular — its per-round
+    /// iteration counts are drawn from the RNG, so a partial round is
+    /// not replayable from a count alone).
+    pub iterations_done: usize,
+}
+
 /// Runs qTKP: search for a k-plex of size at least `t` in `g`.
 ///
 /// Legacy infallible surface on the sparse backend; budget-aware callers
@@ -181,16 +197,46 @@ pub fn qtkp_ctx_with<S: BackendState>(
     ctx: &RtContext,
     provider: &dyn OracleProvider,
 ) -> Result<QtkpOutcome, RtError> {
-    config.validate()?;
+    qtkp_probe_ctx_with::<S>(g, k, t, config, ctx, provider, 0).map_err(|pi| pi.error)
+}
+
+/// As [`qtkp_ctx_with`], with intra-probe resume: `replay` completed
+/// Grover iterations from an earlier interrupted run of the *same*
+/// `(g, k, t, config)` probe are re-executed without runtime polls
+/// (deterministically rebuilding the pre-interrupt state, see
+/// [`GroverDriver::iterate_n_ctx_resume`]) before live, budget-polled
+/// iterations continue. On interruption the error carries how many
+/// iterations had completed, so the caller's checkpoint can hand the
+/// count back on the next resume.
+///
+/// # Errors
+/// [`ProbeInterrupt`] pairing the [`RtError`] of [`qtkp_ctx_with`] with
+/// the completed-iteration count.
+pub fn qtkp_probe_ctx_with<S: BackendState>(
+    g: &Graph,
+    k: usize,
+    t: usize,
+    config: &QtkpConfig,
+    ctx: &RtContext,
+    provider: &dyn OracleProvider,
+    replay: usize,
+) -> Result<QtkpOutcome, ProbeInterrupt> {
+    let probe_granular = |error: RtError| ProbeInterrupt {
+        error,
+        iterations_done: 0,
+    };
+    config.validate().map_err(probe_granular)?;
     if let MEstimate::Unknown { lambda } = config.m_estimate {
-        return qtkp_unknown_m_ctx::<S>(g, k, t, config, lambda, ctx, provider);
+        return qtkp_unknown_m_ctx::<S>(g, k, t, config, lambda, ctx, provider)
+            .map_err(probe_granular);
     }
     let span = qmkp_obs::span("core.qtkp.run");
-    let result = qtkp_known_m_ctx::<S>(g, k, t, config, ctx, provider);
+    let result = qtkp_known_m_ctx::<S>(g, k, t, config, ctx, provider, replay);
     span.finish();
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn qtkp_known_m_ctx<S: BackendState>(
     g: &Graph,
     k: usize,
@@ -198,10 +244,17 @@ fn qtkp_known_m_ctx<S: BackendState>(
     config: &QtkpConfig,
     ctx: &RtContext,
     provider: &dyn OracleProvider,
-) -> Result<QtkpOutcome, RtError> {
+    replay: usize,
+) -> Result<QtkpOutcome, ProbeInterrupt> {
+    let probe_granular = |error: RtError| ProbeInterrupt {
+        error,
+        iterations_done: 0,
+    };
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let compiled = provider.compiled_oracle(g, k, t, ctx)?;
+    let compiled = provider
+        .compiled_oracle(g, k, t, ctx)
+        .map_err(probe_granular)?;
     let oracle = compiled.oracle_arc();
     let qubits = oracle.layout.width;
     let oracle_cost = oracle.section_cost();
@@ -211,7 +264,7 @@ fn qtkp_known_m_ctx<S: BackendState>(
     let m = match config.m_estimate {
         MEstimate::Given(m) => m,
         MEstimate::QuantumCounting { precision } => {
-            quantum_count_ctx(n, true_m, precision, &mut rng, ctx)?
+            quantum_count_ctx(n, true_m, precision, &mut rng, ctx).map_err(probe_granular)?
         }
         // Exact; Unknown was dispatched to the BBHT path by the caller.
         _ => true_m,
@@ -220,8 +273,14 @@ fn qtkp_known_m_ctx<S: BackendState>(
     let iterations = optimal_iterations(n, m);
     let mut driver =
         GroverDriver::<_, S>::try_new_precompiled_ctx(oracle, compiled.circuits().clone(), ctx)
-            .map_err(rt_from_sim)?;
-    driver.iterate_n_ctx(iterations, ctx).map_err(rt_from_sim)?;
+            .map_err(|e| probe_granular(rt_from_sim(e)))?;
+    let live = driver.iterate_n_ctx_resume(iterations, replay, ctx);
+    if let Err(e) = live {
+        return Err(ProbeInterrupt {
+            error: rt_from_sim(e),
+            iterations_done: driver.iterations_done(),
+        });
+    }
 
     let sols = solutions(driver.oracle());
     let success_probability = if sols.is_empty() {

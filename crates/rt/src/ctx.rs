@@ -10,6 +10,20 @@ use std::time::Instant;
 /// kernel-chunk path amortizes it.
 const DEADLINE_CHECK_MASK: u64 = 63;
 
+/// Default wall-clock spacing between `rt.*` headroom samples emitted to
+/// the *event stream* (`QMKP_RT_SAMPLE_MS` overrides). The metrics
+/// registry already receives headroom gauges on every amortized deadline
+/// read; the event-stream series is what `chrome_trace`/`flamegraph`
+/// render, so it is paced on wall-clock time instead.
+const SAMPLE_INTERVAL_MS_DEFAULT: u64 = 100;
+
+fn sample_interval_from_env() -> u64 {
+    match std::env::var("QMKP_RT_SAMPLE_MS") {
+        Ok(raw) => raw.trim().parse().unwrap_or(SAMPLE_INTERVAL_MS_DEFAULT),
+        Err(_) => SAMPLE_INTERVAL_MS_DEFAULT,
+    }
+}
+
 /// The runtime context threaded through every budgeted pass. Cheap to
 /// consult: the unlimited, uncancelled fast path is a handful of relaxed
 /// atomic operations per kernel chunk.
@@ -20,6 +34,8 @@ pub struct RtContext {
     start: Instant,
     ops: AtomicU64,
     cancel_reported: AtomicBool,
+    sample_interval_ms: u64,
+    last_sample_ms: AtomicU64,
 }
 
 impl Default for RtContext {
@@ -37,7 +53,17 @@ impl RtContext {
             start: Instant::now(),
             ops: AtomicU64::new(0),
             cancel_reported: AtomicBool::new(false),
+            sample_interval_ms: sample_interval_from_env(),
+            last_sample_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the wall-clock spacing between event-stream headroom
+    /// samples (default 100 ms, env `QMKP_RT_SAMPLE_MS`). Zero emits a
+    /// sample on every check — useful in tests.
+    pub fn with_sample_interval(mut self, interval: std::time::Duration) -> Self {
+        self.sample_interval_ms = interval.as_millis() as u64;
+        self
     }
 
     /// No limits, never cancelled (other than via an external clone of a
@@ -78,6 +104,7 @@ impl RtContext {
         if self.token.is_cancelled() {
             return Err(self.cancelled());
         }
+        self.maybe_sample_headroom();
         self.check_deadline()
     }
 
@@ -95,6 +122,7 @@ impl RtContext {
             return Err(self.cancelled());
         }
         if used & DEADLINE_CHECK_MASK == 0 {
+            self.maybe_sample_headroom();
             self.check_deadline()?;
             // Same amortization window as the deadline read: headroom
             // gauges cost nothing on the hot path between windows.
@@ -103,6 +131,43 @@ impl RtContext {
             }
         }
         Ok(())
+    }
+
+    /// Emits `rt.*` headroom gauges into the *event stream* as a periodic
+    /// wall-clock series (at most one sample per `sample_interval_ms`),
+    /// so deadline/op-budget pressure during long annealing runs is
+    /// visible as a counter track in `chrome_trace` and in folded
+    /// flamegraph output. Registry gauges are unaffected: they keep their
+    /// own amortization in [`RtContext::charge_ops`]/`check_deadline`.
+    fn maybe_sample_headroom(&self) {
+        if self.budget.deadline.is_none() && self.budget.max_ops.is_none() {
+            return;
+        }
+        if !qmkp_obs::enabled() {
+            return;
+        }
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_sample_ms.load(Ordering::Relaxed);
+        let due = last == 0 || now_ms.saturating_sub(last) >= self.sample_interval_ms;
+        if !due {
+            return;
+        }
+        // One thread wins the sample window; losers skip quietly.
+        if self
+            .last_sample_ms
+            .compare_exchange(last, now_ms.max(1), Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        if let Some(deadline) = self.budget.deadline {
+            let headroom = deadline.saturating_sub(self.start.elapsed());
+            qmkp_obs::gauge("rt.deadline_headroom_ms", headroom.as_secs_f64() * 1e3);
+        }
+        if let Some(limit) = self.budget.max_ops {
+            let used = self.ops.load(Ordering::Relaxed);
+            qmkp_obs::gauge("rt.ops_headroom", limit.saturating_sub(used) as f64);
+        }
     }
 
     /// Preflight-admits an allocation (or a state of) `bytes` bytes
@@ -209,6 +274,42 @@ mod tests {
             tripped,
             "deadline must surface within one amortization window"
         );
+    }
+
+    #[test]
+    fn headroom_samples_reach_the_event_stream() {
+        let collector = std::sync::Arc::new(qmkp_obs::Collector::for_current_thread());
+        let _guard = qmkp_obs::attach(collector.clone());
+        let ctx = RtContext::with_budget(
+            Budget::unlimited()
+                .with_deadline(Duration::from_secs(3600))
+                .with_max_ops(1_000_000),
+        )
+        .with_sample_interval(Duration::ZERO);
+        for _ in 0..3 {
+            ctx.check().unwrap();
+        }
+        ctx.charge_ops(64).unwrap();
+        let deadline_headroom = collector
+            .last_gauge("rt.deadline_headroom_ms")
+            .expect("deadline headroom sampled");
+        assert!(deadline_headroom > 0.0 && deadline_headroom <= 3_600_000.0);
+        let ops_headroom = collector
+            .last_gauge("rt.ops_headroom")
+            .expect("ops headroom sampled");
+        assert!(ops_headroom <= 1_000_000.0);
+    }
+
+    #[test]
+    fn unlimited_budget_emits_no_headroom_samples() {
+        let collector = std::sync::Arc::new(qmkp_obs::Collector::for_current_thread());
+        let _guard = qmkp_obs::attach(collector.clone());
+        let ctx = RtContext::unlimited().with_sample_interval(Duration::ZERO);
+        for _ in 0..3 {
+            ctx.check().unwrap();
+        }
+        assert_eq!(collector.last_gauge("rt.deadline_headroom_ms"), None);
+        assert_eq!(collector.last_gauge("rt.ops_headroom"), None);
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub enum RtError {
     /// A configuration was rejected up front (validated, not clamped and
     /// not panicked on).
     InvalidConfig(String),
+    /// Every racer in a [`crate::race()`] portfolio failed. Carries each
+    /// racer's name and its individual failure so the caller can see the
+    /// whole picture — never a panic, never silence.
+    AllRacersFailed {
+        /// `(racer name, that racer's error)`, in staking order.
+        failures: Vec<(String, RtError)>,
+    },
 }
 
 impl RtError {
@@ -75,6 +82,13 @@ impl fmt::Display for RtError {
             RtError::Cancelled => write!(f, "cancelled"),
             RtError::Faulted { site } => write!(f, "injected fault at site `{site}`"),
             RtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RtError::AllRacersFailed { failures } => {
+                write!(f, "all {} racers failed:", failures.len())?;
+                for (name, err) in failures {
+                    write!(f, " [{name}: {err}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -114,6 +128,21 @@ mod tests {
         assert!(RtError::InvalidConfig("max_attempts must be ≥ 1".into())
             .to_string()
             .contains("max_attempts"));
+        let agg = RtError::AllRacersFailed {
+            failures: vec![
+                ("dense".into(), RtError::Cancelled),
+                (
+                    "sqa".into(),
+                    RtError::Faulted {
+                        site: "annealer.sqa.sweep".into(),
+                    },
+                ),
+            ],
+        };
+        let text = agg.to_string();
+        assert!(text.contains("all 2 racers failed"), "{text}");
+        assert!(text.contains("dense: cancelled"), "{text}");
+        assert!(text.contains("sqa: injected fault"), "{text}");
     }
 
     #[test]
@@ -126,5 +155,9 @@ mod tests {
         }
         .is_transient());
         assert!(!RtError::InvalidConfig(String::new()).is_transient());
+        assert!(!RtError::AllRacersFailed {
+            failures: vec![("x".into(), RtError::Faulted { site: "s".into() })]
+        }
+        .is_transient());
     }
 }

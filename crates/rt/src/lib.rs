@@ -24,6 +24,10 @@
 //!   solver state (qMKP's binary search, annealing schedules), plus
 //!   [`Interrupted`] — the "error + resume state" pair every resumable
 //!   `*_ctx` entry point returns.
+//! * [`race()`] — first-verified-wins portfolio racing: fault-contained
+//!   racers on scoped threads under one shared token, panics mapped to
+//!   structured [`RtError::Faulted`], aggregate
+//!   [`RtError::AllRacersFailed`] when nobody wins.
 //! * [`failpoint`] — deterministic fault injection at named sites,
 //!   compiled in only under the `failpoints` feature.
 //!
@@ -39,6 +43,7 @@ pub mod checkpoint;
 pub mod ctx;
 pub mod error;
 pub mod failpoint;
+pub mod race;
 pub mod retry;
 pub mod token;
 
@@ -46,6 +51,7 @@ pub use budget::Budget;
 pub use checkpoint::{load_checkpoint, Checkpoint, Interrupted};
 pub use ctx::RtContext;
 pub use error::RtError;
+pub use race::{race, RaceWin, Racer, RacerOutcome, RacerReport};
 pub use retry::{retry, RetryPolicy};
 pub use token::CancelToken;
 

@@ -22,7 +22,13 @@ fn main() {
 
     let g = paper_fig1_graph();
     let cache = OracleCache::new(64 << 20);
-    let config = SolveConfig::default();
+    // Sequential ladder only: this guard measures compiles per solve,
+    // and a portfolio race could let a classical racer win before the
+    // sparse racer ever reaches the compiler.
+    let config = SolveConfig {
+        portfolio: Some(false),
+        ..SolveConfig::default()
+    };
     let ctx = RtContext::unlimited();
 
     let cold = solve_with(&g, 2, &config, &ctx, &cache).expect("cold solve");

@@ -15,8 +15,15 @@
 //! 3. **Execution** — a worker builds a per-request
 //!    [`RtContext`] from the request's [`Budget`] and the ticket's
 //!    [`CancelToken`], then runs [`qmkp::solve_with`] against the
-//!    shared [`OracleCache`]. Cancelling a ticket cancels exactly that
-//!    request.
+//!    shared [`OracleCache`]. When the ladder's portfolio gate engages
+//!    (the default for quantum-feasible requests), the racers all pull
+//!    their oracles from that same cache, so a race costs no extra
+//!    compilation. Cancelling a ticket cancels exactly that request.
+//!    The solve runs inside a panic boundary: a worker panic becomes a
+//!    structured [`RtError::Faulted`] (`serve.worker.panic`) response —
+//!    the tenant gets an envelope, not a dead ticket, and the worker
+//!    thread survives to take the next job (`serve.worker.panics`
+//!    counter, labelled by lane).
 //! 4. **Reply** — the worker sends a [`SolveResponse`] — the ladder
 //!    outcome wrapped in a [`RunReport`] envelope — down the ticket's
 //!    private channel; [`SolveTicket::wait`] collects it.
@@ -27,10 +34,12 @@
 
 use crate::cache::OracleCache;
 use qmkp::{preflight_lane, solve_with, PreflightLane, SolveConfig, SolveOutcome};
+use qmkp_core::OracleProvider;
 use qmkp_graph::Graph;
 use qmkp_obs::RunReport;
 use qmkp_rt::{Budget, CancelToken, RtContext, RtError};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -451,18 +460,17 @@ fn execute(job: Job, shared: &Arc<Shared>) {
     } = job;
     let started = Instant::now();
     let ctx = RtContext::new(request.budget.clone(), cancel);
-    let outcome = ctx
-        .check()
-        .and_then(|()| {
-            solve_with(
-                &request.graph,
-                request.k,
-                &request.config,
-                &ctx,
-                shared.cache.as_ref(),
-            )
-        })
-        .map_err(ServeError::Rt);
+    let outcome = match ctx.check() {
+        Ok(()) => run_contained(&request, &ctx, shared.cache.as_ref()),
+        Err(e) => Err(ServeError::Rt(e)),
+    };
+    if matches!(
+        &outcome,
+        Err(ServeError::Rt(RtError::Faulted { site })) if site == WORKER_PANIC_SITE
+    ) {
+        qmkp_obs::counter("serve.worker.panics", 1);
+        qmkp_obs::metrics::counter("serve.worker.panics", &[("lane", lane.name())], 1);
+    }
     let elapsed = started.elapsed();
     let report = match &outcome {
         Ok(out) => out.report("serve.request"),
@@ -481,4 +489,87 @@ fn execute(job: Job, shared: &Arc<Shared>) {
         outcome,
         report,
     });
+}
+
+/// The failure site a contained worker panic reports.
+const WORKER_PANIC_SITE: &str = "serve.worker.panic";
+
+/// Runs the solve inside a panic boundary. The race supervisor already
+/// contains panics *per racer*; this is the last-resort net for panics
+/// outside any race (the sequential ladder, preflight, a panicking
+/// provider on a non-portfolio path), mapping them to the same
+/// structured [`RtError::Faulted`] shape instead of killing the worker
+/// thread and stranding the ticket. The reply channel is outside the
+/// boundary, so the envelope is always delivered.
+fn run_contained(
+    request: &SolveRequest,
+    ctx: &RtContext,
+    provider: &dyn OracleProvider,
+) -> Result<SolveOutcome, ServeError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        solve_with(&request.graph, request.k, &request.config, ctx, provider)
+    }))
+    .unwrap_or_else(|_| {
+        Err(RtError::Faulted {
+            site: WORKER_PANIC_SITE.into(),
+        })
+    })
+    .map_err(ServeError::Rt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmkp::graph::gen::paper_fig1_graph;
+    use qmkp::SolveConfig;
+    use qmkp_core::CompiledOracle;
+
+    /// An [`OracleProvider`] that panics on every compile — the
+    /// deterministic stand-in for a worker hitting a bug mid-solve.
+    struct PanickingProvider;
+
+    impl OracleProvider for PanickingProvider {
+        fn compiled_oracle(
+            &self,
+            _g: &Graph,
+            _k: usize,
+            _t: usize,
+            _ctx: &RtContext,
+        ) -> Result<std::sync::Arc<CompiledOracle>, RtError> {
+            panic!("injected provider panic");
+        }
+    }
+
+    #[test]
+    fn worker_panics_map_to_structured_faulted() {
+        // Portfolio pinned off: the sequential ladder calls the
+        // provider with no per-racer containment, so the panic reaches
+        // the worker boundary and must come back as an envelope.
+        let request = SolveRequest::new(paper_fig1_graph(), 2).with_config(SolveConfig {
+            portfolio: Some(false),
+            ..SolveConfig::default()
+        });
+        let err = run_contained(&request, &RtContext::unlimited(), &PanickingProvider)
+            .expect_err("the ladder cannot survive a panicking provider");
+        assert_eq!(
+            err,
+            ServeError::Rt(RtError::Faulted {
+                site: WORKER_PANIC_SITE.into()
+            })
+        );
+    }
+
+    #[test]
+    fn portfolio_contains_provider_panics_per_racer() {
+        // Same panicking provider, portfolio on (the default for this
+        // instance): only the quantum racers die — the panic is
+        // contained per racer, a survivor still answers, and the race
+        // summary records the loss.
+        let request = SolveRequest::new(paper_fig1_graph(), 2);
+        let out = run_contained(&request, &RtContext::unlimited(), &PanickingProvider)
+            .expect("a surviving racer must still answer");
+        assert!(qmkp::graph::is_kplex(&request.graph, out.best, 2));
+        let race = out.race.expect("the portfolio ran");
+        assert!(race.faulted >= 1, "the panicking quantum racer lost");
+    }
 }

@@ -1,0 +1,51 @@
+//! A portfolio-raced solve — the racing quickstart.
+//!
+//! ```sh
+//! cargo run --release --example portfolio_run
+//! QMKP_OBS_METRICS=race.prom cargo run --release --example portfolio_run
+//! QMKP_PORTFOLIO=0 cargo run --release --example portfolio_run   # ladder
+//! ```
+//!
+//! Solves the paper's Figure 1 instance with the default configuration,
+//! which races the preflighted quantum rungs, SQA, and the classical
+//! floor concurrently under one `CancelToken` (see DESIGN.md §16). CI
+//! runs this with `QMKP_OBS_METRICS` / `QMKP_OBS_REPORT` armed and
+//! asserts the `solve_race_won` counter reaches the Prometheus dump.
+
+use qmkp::obs::Session;
+use qmkp::rt::RtContext;
+use qmkp::solve::SolveConfig;
+
+fn main() {
+    let session = Session::from_env("portfolio_run");
+
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let k = 2;
+    let config = SolveConfig::default();
+    let out = match qmkp::solve(&g, k, &config, &RtContext::unlimited()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("portfolio_run: solve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "max {k}-plex of the Fig. 1 graph: {:?} (size {}) via {}",
+        out.best.iter().collect::<Vec<_>>(),
+        out.best.len(),
+        out.backend.name()
+    );
+    match &out.race {
+        Some(race) => println!(
+            "race: winner={} staked={:?} cancelled={} faulted={} warm_starts={}",
+            race.winner, race.launched, race.cancelled, race.faulted, race.warm_starts
+        ),
+        None => println!("race: disabled (sequential ladder)"),
+    }
+
+    session.finish_with(
+        out.report("portfolio_run")
+            .config("graph", "paper_fig1_graph"),
+    );
+}

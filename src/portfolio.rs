@@ -1,0 +1,511 @@
+//! Solver-portfolio racing: concurrent rungs under one
+//! [`CancelToken`](qmkp_rt::CancelToken).
+//!
+//! The degradation ladder in [`crate::solve()`] tries rungs *sequentially*
+//! — a rung must fail before the next one starts, so a flaky quantum
+//! rung spends its full retry budget before the classical floor gets a
+//! look. The portfolio inverts that: every lane that preflights under
+//! the budget is staked a private [`RtContext`] slice and raced on its
+//! own thread under one shared token ([`qmkp_rt::race()`]); the **first
+//! racer to return a verified k-plex wins** and cancels the rest.
+//!
+//! * **Fault containment** — a panicking racer becomes
+//!   [`RtError::Faulted`] (`race.{name}.panic`) without touching its
+//!   siblings; a racer that dies on its budget slice just loses.
+//! * **Warm-start handoffs** — losers still help: the classical racer's
+//!   quick GRASP best seeds the SQA racer's shot-0 replicas, and SQA's
+//!   running incumbent is polled by branch & bound as a candidate lower
+//!   bound while both are mid-flight. Handoffs land on the
+//!   `solve.race.warm_start` counter.
+//! * **Aggregate failure** — when every racer fails the caller gets
+//!   [`RtError::AllRacersFailed`] naming each racer's error, in staking
+//!   order. Never a panic, never silence.
+//!
+//! The race is accounted in the metrics registry (`solve.race.launched`
+//! / `won` / `cancelled` / `faulted`, labelled per racer, plus the
+//! `solve.race.win_margin_ms` gauge) and summarised on
+//! [`SolveOutcome::race`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use qmkp_annealer::{sqa_qubo_ctx_observed, SqaConfig, SqaHooks};
+use qmkp_classical::bnb::max_kplex_bnb_ctx;
+use qmkp_classical::grasp::grasp_kplex_ctx;
+use qmkp_core::{qmkp_ctx_with, OracleProvider, QmkpOutcome};
+use qmkp_graph::{is_kplex, Graph, VertexSet};
+use qmkp_qsim::{DenseState, SparseState};
+use qmkp_rt::{race, Budget, Racer, RacerOutcome, RtContext, RtError};
+
+use crate::solve::{SolveBackend, SolveConfig, SolveOutcome};
+
+/// Restarts of the quick GRASP pass the exact-classical racer runs
+/// before branch & bound: enough to seed the warm-start bus, cheap
+/// enough not to delay the bound search.
+const QUICK_GRASP_ITERATIONS: usize = 8;
+
+/// The greedy/random balance both GRASP passes use — the same value the
+/// ladder's classical floor uses.
+const GRASP_ALPHA: f64 = 0.3;
+
+/// How one [`solve`](crate::solve::solve) race went, carried on
+/// [`SolveOutcome::race`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceSummary {
+    /// The racer that produced the answer (`dense`, `sparse`, `sqa`,
+    /// `classical`).
+    pub winner: String,
+    /// Every racer staked, in staking (preflight-cost) order.
+    pub launched: Vec<&'static str>,
+    /// Losers cancelled by the win.
+    pub cancelled: usize,
+    /// Losers that failed (budget slice, fault, contained panic) before
+    /// the win.
+    pub faulted: usize,
+    /// Wall-clock gap between the winner and the next racer to finish,
+    /// when a runner-up finished at all.
+    pub win_margin: Option<Duration>,
+    /// Warm-start handoffs that occurred (GRASP→SQA seed plus SQA→BnB
+    /// incumbent adoptions).
+    pub warm_starts: u64,
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: a racer
+/// panic between lock and unlock is already contained by the race
+/// supervisor, and a half-updated warm-start hint is still just a hint.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The warm-start bus shared by the racers: best-so-far slots written by
+/// the heuristic racers and read by the others. Slots only ever grow
+/// (a smaller candidate never replaces a larger one), so a late read is
+/// at worst conservative.
+#[derive(Default)]
+struct WarmStarts {
+    /// Best k-plex any GRASP restart has published.
+    grasp: Mutex<Option<VertexSet>>,
+    /// Best verified k-plex decoded from an SQA incumbent.
+    sqa: Mutex<Option<VertexSet>>,
+    /// GRASP→SQA seed handoffs (0 or 1: SQA reads once at start).
+    grasp_to_sqa: AtomicU64,
+    /// SQA→BnB incumbent handoffs (counted once, on the first poll that
+    /// finds a candidate).
+    sqa_to_bnb: AtomicU64,
+}
+
+impl WarmStarts {
+    fn offer(slot: &Mutex<Option<VertexSet>>, p: VertexSet) {
+        let mut best = lock_recover(slot);
+        if best.is_none_or(|cur| p.len() > cur.len()) {
+            *best = Some(p);
+        }
+    }
+
+    /// The GRASP slot, read once by the SQA racer at startup; a hit is
+    /// a GRASP→SQA handoff.
+    fn take_grasp_for_sqa(&self) -> Option<VertexSet> {
+        let got = *lock_recover(&self.grasp);
+        if got.is_some() {
+            self.grasp_to_sqa.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// The SQA slot, polled by branch & bound; the first poll that
+    /// finds a candidate is an SQA→BnB handoff.
+    fn sqa_incumbent_for_bnb(&self) -> Option<VertexSet> {
+        let got = *lock_recover(&self.sqa);
+        if got.is_some() && self.sqa_to_bnb.load(Ordering::Relaxed) == 0 {
+            self.sqa_to_bnb.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+}
+
+/// What a racer hands the supervisor when it finishes first.
+struct RacerFinish {
+    best: VertexSet,
+    backend: SolveBackend,
+    quantum: Option<QmkpOutcome>,
+}
+
+/// The low 128 assignment bits as a basis-state mask — the vertex bits
+/// of a QUBO assignment (slack variables beyond bit 127 are irrelevant
+/// to decoding, which masks to the vertex register anyway).
+fn head_bits(bools: &[bool]) -> u128 {
+    bools
+        .iter()
+        .take(128)
+        .enumerate()
+        .fold(0u128, |acc, (i, &b)| acc | (u128::from(b)) << i)
+}
+
+/// Test-only scripted handoff: when `QMKP_PORTFOLIO_HANDOFF_SYNC` is
+/// set, the exact-classical racer skips its own quick GRASP pass and
+/// holds its branch & bound until the SQA racer has published an
+/// incumbent, which then becomes the *only* initial lower bound. That
+/// makes the SQA→BnB handoff deterministic (the SQA racer is never
+/// seeded, because nothing publishes to the GRASP slot) and its pruning
+/// effect directly measurable against a control run whose SQA racer was
+/// killed by a failpoint. The variable's value is the hold cap in
+/// milliseconds (default 2000) so a control run with a dead SQA racer
+/// does not stall. Unset in production: the handoff is then purely
+/// opportunistic.
+fn scripted_handoff_cap() -> Option<Duration> {
+    let raw = std::env::var("QMKP_PORTFOLIO_HANDOFF_SYNC").ok()?;
+    Some(Duration::from_millis(raw.parse().unwrap_or(2000)))
+}
+
+/// The budget slice staked to one racer: the shared wall-clock deadline,
+/// a private byte ceiling for the quantum racers (their preflight
+/// estimate, carved greedily out of the caller's ceiling in staking
+/// order), and an even split of the op ceiling across the quantum
+/// racers. The SQA and classical racers' footprints are negligible next
+/// to a statevector, so they ride on the deadline alone.
+fn slice(deadline: Option<Duration>, max_bytes: Option<usize>, max_ops: Option<u64>) -> Budget {
+    Budget {
+        deadline,
+        max_bytes,
+        max_ops,
+    }
+}
+
+/// Races every staked lane concurrently and returns the first verified
+/// k-plex. See the module docs for the protocol; `rungs` is the
+/// preflight's quantum-rung selection (backend, projected bytes) in
+/// ladder order, which doubles as the staking order.
+pub(crate) fn race_rungs(
+    g: &Graph,
+    k: usize,
+    config: &SolveConfig,
+    ctx: &RtContext,
+    provider: &dyn OracleProvider,
+    rungs: &[(SolveBackend, usize)],
+) -> Result<SolveOutcome, RtError> {
+    // A cancelled caller must not spend threads; an invalid quantum
+    // configuration must surface as an error even if a heuristic racer
+    // could have masked it by winning.
+    ctx.check()?;
+    config.qmkp.qtkp.validate()?;
+
+    let budget = ctx.budget();
+    let seed = config.qmkp.qtkp.seed;
+    let warm = WarmStarts::default();
+
+    // Stake the quantum racers: each gets its own preflight estimate as
+    // a private byte ceiling, carved greedily out of the caller's
+    // ceiling so concurrent statevectors cannot jointly exceed it. A
+    // rung that no longer fits what is left is not launched.
+    let mut staked: Vec<(SolveBackend, Option<usize>)> = Vec::new();
+    let mut remaining = budget.max_bytes;
+    for &(backend, projected) in rungs {
+        match remaining {
+            None => staked.push((backend, None)),
+            Some(rem) if projected <= rem => {
+                remaining = Some(rem - projected);
+                staked.push((backend, Some(projected)));
+            }
+            Some(_) => {}
+        }
+    }
+    let ops_each = budget
+        .max_ops
+        .map(|total| (total / staked.len().max(1) as u64).max(1));
+
+    let mut racers: Vec<Racer<'_, RacerFinish>> = Vec::new();
+    let mut launched: Vec<&'static str> = Vec::new();
+
+    for &(backend, bytes) in &staked {
+        launched.push(backend.name());
+        racers.push(Racer::new(
+            backend.name(),
+            slice(budget.deadline, bytes, ops_each),
+            move |rctx: &RtContext| {
+                // Single attempt, no retry loop: inside a race the
+                // sibling racers *are* the recovery mechanism, so a
+                // faulting rung loses its lane immediately (and is
+                // accounted `solve.race.faulted`) instead of spending
+                // its slice on backoff while the others already run.
+                let attempt = match backend {
+                    SolveBackend::Dense => {
+                        qmkp_ctx_with::<DenseState>(g, k, &config.qmkp, rctx, None, provider)
+                    }
+                    _ => qmkp_ctx_with::<SparseState>(g, k, &config.qmkp, rctx, None, provider),
+                };
+                let out = attempt.map_err(|interrupted| interrupted.error)?;
+                if !is_kplex(g, out.best, k) {
+                    return Err(RtError::Faulted {
+                        site: format!("race.{}.verify", backend.name()),
+                    });
+                }
+                Ok(RacerFinish {
+                    best: out.best,
+                    backend,
+                    quantum: Some(out),
+                })
+            },
+        ));
+    }
+
+    launched.push(SolveBackend::Sqa.name());
+    let warm_ref = &warm;
+    racers.push(Racer::new(
+        SolveBackend::Sqa.name(),
+        slice(budget.deadline, None, None),
+        move |rctx: &RtContext| run_sqa_racer(g, k, config, seed, warm_ref, rctx),
+    ));
+
+    launched.push("classical");
+    racers.push(Racer::new(
+        "classical",
+        slice(budget.deadline, None, None),
+        move |rctx: &RtContext| run_classical_racer(g, k, config, seed, warm_ref, rctx),
+    ));
+
+    for name in &launched {
+        qmkp_obs::metrics::counter("solve.race.launched", &[("racer", name)], 1);
+    }
+    qmkp_obs::counter("solve.race.runs", 1);
+
+    match race(racers, ctx.token()) {
+        Ok(win) => {
+            let mut cancelled = 0;
+            let mut faulted = 0;
+            for report in &win.reports {
+                let racer = report.name.as_str();
+                match &report.outcome {
+                    RacerOutcome::Won => {
+                        qmkp_obs::metrics::counter("solve.race.won", &[("racer", racer)], 1);
+                    }
+                    RacerOutcome::Cancelled => {
+                        cancelled += 1;
+                        qmkp_obs::metrics::counter("solve.race.cancelled", &[("racer", racer)], 1);
+                    }
+                    RacerOutcome::Failed(_) => {
+                        faulted += 1;
+                        qmkp_obs::metrics::counter("solve.race.faulted", &[("racer", racer)], 1);
+                    }
+                }
+            }
+            let grasp_to_sqa = warm.grasp_to_sqa.load(Ordering::Relaxed);
+            let sqa_to_bnb = warm.sqa_to_bnb.load(Ordering::Relaxed);
+            if grasp_to_sqa > 0 {
+                qmkp_obs::metrics::counter(
+                    "solve.race.warm_start",
+                    &[("handoff", "grasp-to-sqa")],
+                    grasp_to_sqa,
+                );
+            }
+            if sqa_to_bnb > 0 {
+                qmkp_obs::metrics::counter(
+                    "solve.race.warm_start",
+                    &[("handoff", "sqa-to-bnb")],
+                    sqa_to_bnb,
+                );
+            }
+            if let Some(margin) = win.win_margin {
+                qmkp_obs::metrics::gauge(
+                    "solve.race.win_margin_ms",
+                    &[],
+                    margin.as_secs_f64() * 1e3,
+                );
+            }
+            qmkp_obs::counter("solve.race.won", 1);
+            let finish = win.value;
+            debug_assert!(is_kplex(g, finish.best, k));
+            Ok(SolveOutcome {
+                best: finish.best,
+                backend: finish.backend,
+                degraded: false,
+                degraded_because: None,
+                quantum: finish.quantum,
+                race: Some(RaceSummary {
+                    winner: win.winner,
+                    launched,
+                    cancelled,
+                    faulted,
+                    win_margin: win.win_margin,
+                    warm_starts: grasp_to_sqa + sqa_to_bnb,
+                }),
+            })
+        }
+        Err(RtError::AllRacersFailed { failures }) => {
+            for (racer, _) in &failures {
+                qmkp_obs::metrics::counter("solve.race.faulted", &[("racer", racer.as_str())], 1);
+            }
+            qmkp_obs::counter("solve.race.all_failed", 1);
+            Err(RtError::AllRacersFailed { failures })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The SQA racer: QUBO-encode the instance, seed shot 0 from the GRASP
+/// slot when one is already published, publish every decoded-and-
+/// verified incumbent to the SQA slot, and return the polished final
+/// sample — verified, like every racer's answer.
+fn run_sqa_racer(
+    g: &Graph,
+    k: usize,
+    config: &SolveConfig,
+    seed: u64,
+    warm: &WarmStarts,
+    rctx: &RtContext,
+) -> Result<RacerFinish, RtError> {
+    let qubo = qmkp_qubo::MkpQubo::new(g, qmkp_qubo::MkpQuboParams { k, r: 2.0 });
+    let sqa_config = config.sqa.clone().unwrap_or_else(|| SqaConfig {
+        seed,
+        ..SqaConfig::default()
+    });
+    // The slack registers sit above the vertex bits; encoding a seed
+    // needs the whole assignment to fit the u128 the encoder works in.
+    let warm_bits: Option<Vec<bool>> = if qubo.num_vars() <= 128 {
+        warm.take_grasp_for_sqa().map(|p| {
+            let bits = qubo.encode_feasible(p);
+            (0..qubo.num_vars()).map(|i| (bits >> i) & 1 == 1).collect()
+        })
+    } else {
+        None
+    };
+    let mut publish = |bits: &[bool], _energy: f64| {
+        let polished = qubo.decode_polished(head_bits(bits));
+        if !polished.is_empty() && is_kplex(g, polished, k) {
+            WarmStarts::offer(&warm.sqa, polished);
+        }
+    };
+    let hooks = SqaHooks {
+        warm_start: warm_bits.as_deref(),
+        on_incumbent: Some(&mut publish),
+    };
+    match sqa_qubo_ctx_observed(&qubo.model, &sqa_config, rctx, None, hooks) {
+        Ok(out) => {
+            let best = qubo.decode_polished(head_bits(&out.best));
+            if !best.is_empty() && is_kplex(g, best, k) {
+                Ok(RacerFinish {
+                    best,
+                    backend: SolveBackend::Sqa,
+                    quantum: None,
+                })
+            } else {
+                Err(RtError::Faulted {
+                    site: "race.sqa.verify".into(),
+                })
+            }
+        }
+        Err(interrupted) => Err(interrupted.error),
+    }
+}
+
+/// The classical racer. Small graphs: a quick GRASP pass (published to
+/// the warm-start bus for the SQA racer) seeds an exact branch & bound
+/// that polls the SQA slot for tighter lower bounds while it searches.
+/// Large graphs: the full GRASP run, still publishing improvements.
+fn run_classical_racer(
+    g: &Graph,
+    k: usize,
+    config: &SolveConfig,
+    seed: u64,
+    warm: &WarmStarts,
+    rctx: &RtContext,
+) -> Result<RacerFinish, RtError> {
+    if g.n() <= config.exact_threshold() {
+        let lower = if let Some(cap) = scripted_handoff_cap() {
+            // Scripted race (tests): the SQA slot is the sole bound
+            // source; a dead SQA racer leaves branch & bound unbounded.
+            let start = std::time::Instant::now();
+            while lock_recover(&warm.sqa).is_none() && start.elapsed() < cap {
+                rctx.check()?;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            warm.sqa_incumbent_for_bnb()
+        } else {
+            let mut publish = |p: VertexSet| WarmStarts::offer(&warm.grasp, p);
+            let quick = grasp_kplex_ctx(
+                g,
+                k,
+                QUICK_GRASP_ITERATIONS,
+                GRASP_ALPHA,
+                seed,
+                rctx,
+                Some(&mut publish),
+            )?;
+            Some(match warm.sqa_incumbent_for_bnb() {
+                Some(hint) if hint.len() > quick.len() => hint,
+                _ => quick,
+            })
+        };
+        let poll = || warm.sqa_incumbent_for_bnb();
+        let out = max_kplex_bnb_ctx(g, k, rctx, lower, Some(&poll))?;
+        qmkp_obs::metrics::gauge("solve.race.bnb_nodes", &[], out.nodes as f64);
+        Ok(RacerFinish {
+            best: out.best,
+            backend: SolveBackend::ClassicalExact,
+            quantum: None,
+        })
+    } else {
+        let mut publish = |p: VertexSet| WarmStarts::offer(&warm.grasp, p);
+        let best = grasp_kplex_ctx(
+            g,
+            k,
+            config.grasp_iterations(),
+            GRASP_ALPHA,
+            seed,
+            rctx,
+            Some(&mut publish),
+        )?;
+        Ok(RacerFinish {
+            best,
+            backend: SolveBackend::ClassicalHeuristic,
+            quantum: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_bits_folds_the_low_bits_and_ignores_the_tail() {
+        assert_eq!(head_bits(&[]), 0);
+        assert_eq!(head_bits(&[true, false, true]), 0b101);
+        let mut long = vec![false; 200];
+        long[0] = true;
+        long[127] = true;
+        long[150] = true; // beyond u128: ignored
+        assert_eq!(head_bits(&long), 1 | (1u128 << 127));
+    }
+
+    #[test]
+    fn warm_start_slots_only_grow() {
+        let warm = WarmStarts::default();
+        WarmStarts::offer(&warm.grasp, VertexSet::from_iter([1, 2, 3]));
+        WarmStarts::offer(&warm.grasp, VertexSet::from_iter([4]));
+        assert_eq!(lock_recover(&warm.grasp).unwrap().len(), 3);
+        WarmStarts::offer(&warm.grasp, VertexSet::from_iter([0, 1, 2, 3]));
+        assert_eq!(lock_recover(&warm.grasp).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn handoff_counters_fire_once_per_direction() {
+        let warm = WarmStarts::default();
+        assert!(warm.take_grasp_for_sqa().is_none());
+        assert!(warm.sqa_incumbent_for_bnb().is_none());
+        assert_eq!(warm.grasp_to_sqa.load(Ordering::Relaxed), 0);
+        assert_eq!(warm.sqa_to_bnb.load(Ordering::Relaxed), 0);
+
+        WarmStarts::offer(&warm.grasp, VertexSet::from_iter([0, 1]));
+        WarmStarts::offer(&warm.sqa, VertexSet::from_iter([2, 3]));
+        assert!(warm.take_grasp_for_sqa().is_some());
+        assert_eq!(warm.grasp_to_sqa.load(Ordering::Relaxed), 1);
+        assert!(warm.sqa_incumbent_for_bnb().is_some());
+        assert!(warm.sqa_incumbent_for_bnb().is_some());
+        assert_eq!(
+            warm.sqa_to_bnb.load(Ordering::Relaxed),
+            1,
+            "repeated polls count one handoff"
+        );
+    }
+}

@@ -26,7 +26,16 @@
 //! [`OracleProvider`], letting a serving
 //! layer (the `qmkp-serve` crate) supply pre-compiled oracles from a
 //! cross-request cache.
+//!
+//! When at least one quantum rung preflights under the budget the
+//! ladder is raced concurrently instead ([`crate::portfolio`]): every
+//! staked rung plus an SQA racer and the classical floor run on their
+//! own threads under one shared cancel token, first verified k-plex
+//! wins. [`SolveConfig::portfolio`] and the `QMKP_PORTFOLIO`
+//! environment variable override the automatic gate.
 
+use crate::portfolio::RaceSummary;
+use qmkp_annealer::SqaConfig;
 use qmkp_classical::bnb::max_kplex_bnb;
 use qmkp_classical::grasp::grasp_kplex;
 use qmkp_core::{
@@ -45,6 +54,9 @@ pub enum SolveBackend {
     Dense,
     /// Sparse (sorted-vec) statevector simulation.
     Sparse,
+    /// Simulated quantum annealing over the QUBO encoding (portfolio
+    /// racer only), verified with [`is_kplex`].
+    Sqa,
     /// Classical exact branch & bound (small graphs).
     ClassicalExact,
     /// Classical GRASP heuristic (large graphs), verified with
@@ -58,6 +70,7 @@ impl SolveBackend {
         match self {
             SolveBackend::Dense => "dense",
             SolveBackend::Sparse => "sparse",
+            SolveBackend::Sqa => "sqa",
             SolveBackend::ClassicalExact => "classical-exact",
             SolveBackend::ClassicalHeuristic => "classical-heuristic",
         }
@@ -78,14 +91,25 @@ pub struct SolveConfig {
     /// GRASP restarts for the heuristic floor. `None` keeps the default
     /// (64).
     pub grasp_iterations: Option<usize>,
+    /// Whether to race the rungs concurrently
+    /// ([`crate::portfolio`]) instead of walking the ladder
+    /// sequentially. `None` is automatic: race whenever at least one
+    /// quantum rung preflights under the byte budget. The
+    /// `QMKP_PORTFOLIO` environment variable (`0`/`false`/`off` or
+    /// `1`/`true`/`on`) overrides both this field and the automatic
+    /// choice.
+    pub portfolio: Option<bool>,
+    /// Schedule for the portfolio's SQA racer. `None` uses
+    /// [`SqaConfig::default`] reseeded from the quantum seed.
+    pub sqa: Option<SqaConfig>,
 }
 
 impl SolveConfig {
-    fn exact_threshold(&self) -> usize {
+    pub(crate) fn exact_threshold(&self) -> usize {
         self.exact_threshold.unwrap_or(20)
     }
 
-    fn grasp_iterations(&self) -> usize {
+    pub(crate) fn grasp_iterations(&self) -> usize {
         self.grasp_iterations.unwrap_or(64)
     }
 }
@@ -105,6 +129,9 @@ pub struct SolveOutcome {
     pub degraded_because: Option<RtError>,
     /// Full quantum outcome when a quantum rung completed.
     pub quantum: Option<QmkpOutcome>,
+    /// Race accounting when the portfolio produced the answer; `None`
+    /// for sequential-ladder runs.
+    pub race: Option<RaceSummary>,
 }
 
 impl SolveOutcome {
@@ -117,6 +144,13 @@ impl SolveOutcome {
             .outcome("best_size", self.best.len());
         if let Some(e) = &self.degraded_because {
             report = report.outcome("degraded_because", e);
+        }
+        if let Some(race) = &self.race {
+            report = report
+                .outcome("race_winner", race.winner.as_str())
+                .outcome("race_launched", race.launched.len())
+                .outcome("race_faulted", race.faulted)
+                .outcome("race_warm_starts", race.warm_starts);
         }
         report
     }
@@ -322,6 +356,15 @@ fn solve_inner(
         }
     }
 
+    // Portfolio racing: run the staked lanes concurrently instead of
+    // walking the ladder. Opt-out (or forced) via `QMKP_PORTFOLIO`,
+    // then the config knob; the automatic default races whenever a
+    // quantum rung preflighted, because that is exactly when a race can
+    // save the quantum pipeline's worst case.
+    if portfolio_enabled(config, &rungs) {
+        return crate::portfolio::race_rungs(g, k, config, ctx, provider, &rungs);
+    }
+
     let mut degraded_because: Option<RtError> = None;
     for (backend, projected) in rungs {
         qmkp_obs::gauge("solve.preflight_bytes", projected as f64);
@@ -347,6 +390,7 @@ fn solve_inner(
                     degraded,
                     degraded_because,
                     quantum: Some(out),
+                    race: None,
                 });
             }
             Err(error @ (RtError::Cancelled | RtError::InvalidConfig(_))) => return Err(error),
@@ -393,7 +437,22 @@ fn solve_inner(
         degraded: true,
         degraded_because,
         quantum: None,
+        race: None,
     })
+}
+
+/// Resolves the portfolio gate: the `QMKP_PORTFOLIO` environment
+/// variable wins, then [`SolveConfig::portfolio`], then the automatic
+/// rule — race exactly when the preflight staked at least one quantum
+/// rung (a pure-classical instance gains nothing from racing its only
+/// lane against SQA, and the sequential floor stays deterministic).
+fn portfolio_enabled(config: &SolveConfig, rungs: &[(SolveBackend, usize)]) -> bool {
+    match std::env::var("QMKP_PORTFOLIO").as_deref() {
+        Ok("0") | Ok("false") | Ok("off") => return false,
+        Ok("1") | Ok("true") | Ok("on") => return true,
+        _ => {}
+    }
+    config.portfolio.unwrap_or(!rungs.is_empty())
 }
 
 #[cfg(test)]
@@ -402,10 +461,20 @@ mod tests {
     use qmkp_graph::gen::{gnm, paper_fig1_graph};
     use qmkp_rt::CancelToken;
 
+    /// A config with the portfolio pinned off: these tests assert the
+    /// *sequential ladder's* rung-by-rung semantics, which a race would
+    /// nondeterministically short-circuit.
+    fn ladder_config() -> SolveConfig {
+        SolveConfig {
+            portfolio: Some(false),
+            ..SolveConfig::default()
+        }
+    }
+
     #[test]
     fn unlimited_budget_runs_the_quantum_pipeline() {
         let g = paper_fig1_graph();
-        let out = solve(&g, 2, &SolveConfig::default(), &RtContext::unlimited()).unwrap();
+        let out = solve(&g, 2, &ladder_config(), &RtContext::unlimited()).unwrap();
         assert_eq!(out.best.len(), 4);
         assert!(!out.degraded);
         assert!(matches!(
@@ -434,7 +503,7 @@ mod tests {
     fn op_budget_exhaustion_mid_run_degrades() {
         let g = paper_fig1_graph();
         let ctx = RtContext::with_budget(Budget::unlimited().with_max_ops(100));
-        let out = solve(&g, 2, &SolveConfig::default(), &ctx).unwrap();
+        let out = solve(&g, 2, &ladder_config(), &ctx).unwrap();
         assert!(out.degraded);
         assert!(matches!(
             out.degraded_because,
@@ -553,14 +622,7 @@ mod tests {
         let provider = FailFirstCompile {
             failed: std::sync::atomic::AtomicBool::new(false),
         };
-        let out = solve_with(
-            &g,
-            1,
-            &SolveConfig::default(),
-            &RtContext::unlimited(),
-            &provider,
-        )
-        .unwrap();
+        let out = solve_with(&g, 1, &ladder_config(), &RtContext::unlimited(), &provider).unwrap();
         assert_eq!(
             out.backend,
             SolveBackend::Sparse,
@@ -600,6 +662,64 @@ mod tests {
         // lands on exact branch & bound.
         let out = solve(&g, 2, &SolveConfig::default(), &ctx).unwrap();
         assert_eq!(out.backend, SolveBackend::ClassicalExact);
+    }
+
+    #[test]
+    fn portfolio_races_by_default_and_returns_a_verified_plex() {
+        let g = paper_fig1_graph();
+        let out = solve(&g, 2, &SolveConfig::default(), &RtContext::unlimited()).unwrap();
+        assert!(is_kplex(&g, out.best, 2));
+        assert!(!out.best.is_empty());
+        assert!(!out.degraded, "a race win is not a degradation");
+        assert!(out.degraded_because.is_none());
+        let race = out
+            .race
+            .expect("the auto gate races when a quantum rung preflights");
+        // Fig-1's oracle is 68 qubits wide: no dense racer, but the
+        // sparse, SQA, and classical lanes all stake.
+        assert_eq!(race.launched, vec!["sparse", "sqa", "classical"]);
+        assert!(
+            race.launched.iter().any(|&r| r == race.winner),
+            "winner {} must be a launched racer",
+            race.winner
+        );
+        // The classical racer's name covers both of its backends.
+        let expected = match out.backend {
+            SolveBackend::ClassicalExact | SolveBackend::ClassicalHeuristic => "classical",
+            other => other.name(),
+        };
+        assert_eq!(race.winner, expected);
+    }
+
+    #[test]
+    fn forced_portfolio_races_even_pure_classical_instances() {
+        // A byte budget that rejects every quantum rung normally means
+        // the sequential floor; an explicit opt-in still races the SQA
+        // and classical lanes against each other.
+        let g = paper_fig1_graph();
+        let ctx = RtContext::with_budget(Budget::unlimited().with_max_bytes(1024));
+        let config = SolveConfig {
+            portfolio: Some(true),
+            ..SolveConfig::default()
+        };
+        let out = solve(&g, 2, &config, &ctx).unwrap();
+        assert!(is_kplex(&g, out.best, 2));
+        let race = out.race.expect("explicit opt-in must race");
+        assert_eq!(race.launched, vec!["sqa", "classical"]);
+        assert!(matches!(
+            out.backend,
+            SolveBackend::Sqa | SolveBackend::ClassicalExact
+        ));
+    }
+
+    #[test]
+    fn portfolio_config_knob_beats_the_auto_gate() {
+        // `Some(false)` on an instance the auto gate would race keeps
+        // the sequential ladder: no race summary, quantum backend.
+        let g = paper_fig1_graph();
+        let out = solve(&g, 2, &ladder_config(), &RtContext::unlimited()).unwrap();
+        assert!(out.race.is_none());
+        assert_eq!(out.backend, SolveBackend::Sparse);
     }
 
     #[test]

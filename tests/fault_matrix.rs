@@ -12,10 +12,11 @@
 use qmkp::annealer::{
     anneal_qubo_ctx, sqa_qubo_ctx, temper_qubo_ctx, SaConfig, SqaConfig, TemperingConfig,
 };
-use qmkp::core::{qmkp_ctx, quantum_count_ctx, QmkpCheckpoint, QmkpConfig};
+use qmkp::core::{qmkp_ctx, quantum_count_ctx, QmkpCheckpoint, QmkpConfig, QmkpProbe};
 use qmkp::qsim::SparseState;
 use qmkp::qubo::QuboModel;
-use qmkp::rt::{failpoint, RtContext, RtError};
+use qmkp::rt::{failpoint, Budget, RtContext, RtError};
+use qmkp::solve::SolveConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -257,13 +258,15 @@ fn faulted_pipeline_degrades_inside_solve() {
     let collector = std::sync::Arc::new(qmkp::obs::Collector::for_current_thread());
     let obs_guard = qmkp::obs::attach(collector.clone());
     let g = qmkp::graph::gen::paper_fig1_graph();
-    let out = qmkp::solve(
-        &g,
-        2,
-        &qmkp::solve::SolveConfig::default(),
-        &RtContext::unlimited(),
-    )
-    .expect("degradation absorbs injected faults");
+    // Portfolio pinned off: this test asserts the *sequential* ladder's
+    // retry-then-degrade accounting, which a concurrent race would
+    // short-circuit (a heuristic racer wins before the retries exhaust).
+    let config = SolveConfig {
+        portfolio: Some(false),
+        ..SolveConfig::default()
+    };
+    let out = qmkp::solve(&g, 2, &config, &RtContext::unlimited())
+        .expect("degradation absorbs injected faults");
     drop(obs_guard);
     assert!(out.degraded);
     assert_eq!(out.degraded_because, Some(faulted("core.grover.iterate")));
@@ -273,4 +276,286 @@ fn faulted_pipeline_degrades_inside_solve() {
     assert_eq!(collector.counter_total("rt.retries"), 2);
     assert_eq!(collector.counter_total("rt.degradations"), 1);
     failpoint::reset();
+}
+
+/// An interrupt *inside* a probe's Grover phase must checkpoint the
+/// completed iterations ([`QmkpCheckpoint::probe`]) and resume from that
+/// iteration boundary — bit-identical to the uninterrupted run, never
+/// restarting the probe at iteration zero.
+#[test]
+fn interrupt_inside_a_probe_resumes_from_the_iteration_boundary() {
+    let _guard = failpoint::exclusive();
+    failpoint::reset();
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let config = QmkpConfig::default();
+    let straight = qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), None)
+        .expect("unlimited context cannot be interrupted");
+    // Find a probe that runs at least two Grover iterations (on fig-1
+    // that is the t = 4 probe) and fault on its *last* iteration: the
+    // checkpoint must record every iteration completed before it. A
+    // zero-iterations-done interrupt is indistinguishable from a probe
+    // boundary, so it would not exercise intra-probe resume.
+    let mut offset = 0u64;
+    let mut target = None;
+    for call in &straight.calls {
+        if call.iterations >= 2 {
+            target = Some((call.t, call.iterations));
+            break;
+        }
+        offset += call.iterations as u64;
+    }
+    let (t, iterations) =
+        target.expect("fig-1 must have a probe with at least two Grover iterations");
+    let done = iterations - 1;
+
+    failpoint::arm("core.grover.iterate", offset + done as u64);
+    let interrupted = qmkp_ctx::<SparseState>(&g, 2, &config, &RtContext::unlimited(), None)
+        .expect_err("armed iterate site must interrupt inside the probe");
+    assert_eq!(interrupted.error, faulted("core.grover.iterate"));
+    assert_eq!(
+        interrupted.checkpoint.probe,
+        Some(QmkpProbe {
+            t,
+            iterations_done: done,
+        }),
+        "the checkpoint must carry the intra-probe position"
+    );
+
+    failpoint::reset();
+    let resumed = qmkp_ctx::<SparseState>(
+        &g,
+        2,
+        &config,
+        &RtContext::unlimited(),
+        Some(&interrupted.checkpoint),
+    )
+    .expect("fault cleared: intra-probe resume must complete");
+    assert_eq!(resumed.best, straight.best);
+    assert_eq!(
+        resumed.error_probability.to_bits(),
+        straight.error_probability.to_bits()
+    );
+    assert_eq!(resumed.total_iterations, straight.total_iterations);
+}
+
+/// Any single racer faulting must not cost the caller the answer: the
+/// race returns a verified winner from a surviving racer and accounts
+/// the casualty on the `solve.race.faulted` metric.
+#[test]
+fn single_racer_faults_still_yield_a_verified_winner() {
+    let _guard = failpoint::exclusive();
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let config = SolveConfig {
+        portfolio: Some(true),
+        ..SolveConfig::default()
+    };
+    qmkp::obs::metrics::set_enabled(true);
+    for (site, racer) in [
+        ("core.qmkp.probe", "sparse"),
+        ("core.grover.iterate", "sparse"),
+        ("qsim.run.op", "sparse"),
+        ("qsim.sparse.alloc", "sparse"),
+        ("annealer.sqa.sweep", "sqa"),
+        ("classical.grasp.iter", "classical"),
+        ("classical.bnb.node", "classical"),
+    ] {
+        // An `after = 0` arm faults the racer on its very first site
+        // hit, which in practice precedes any win; if the scheduler
+        // nonetheless cancelled the racer before it reached the site,
+        // the race was still correct — rerun until the fault lands.
+        let mut fault_observed = false;
+        for _attempt in 0..3 {
+            failpoint::reset();
+            failpoint::arm(site, 0);
+            qmkp::obs::metrics::reset();
+            let out = qmkp::solve(&g, 2, &config, &RtContext::unlimited())
+                .expect("a surviving racer must still answer");
+            assert!(qmkp::graph::is_kplex(&g, out.best, 2), "site {site}");
+            let race = out.race.expect("a forced portfolio must race");
+            assert_ne!(race.winner, racer, "the faulted racer cannot win ({site})");
+            let snap = qmkp::obs::metrics::snapshot();
+            if snap.value_of("solve.race.faulted", &[("racer", racer)]) >= 1.0 {
+                assert!(race.faulted >= 1, "site {site}");
+                fault_observed = true;
+                break;
+            }
+        }
+        assert!(
+            fault_observed,
+            "site {site}: racer {racer} never faulted across 3 races"
+        );
+    }
+    qmkp::obs::metrics::set_enabled(false);
+    failpoint::reset();
+}
+
+/// Every racer failing must surface as the aggregate error naming each
+/// racer's own failure in staking order — never a panic, never a bare
+/// first-error.
+#[test]
+fn all_racers_failing_yields_an_aggregate_error() {
+    let _guard = failpoint::exclusive();
+    failpoint::reset();
+    failpoint::arm("core.qmkp.probe", 0); // kills the sparse racer
+    failpoint::arm("annealer.sqa.sweep", 0); // kills the SQA racer
+    failpoint::arm("classical.grasp.iter", 0); // kills the classical racer
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let config = SolveConfig {
+        portfolio: Some(true),
+        ..SolveConfig::default()
+    };
+    let err = qmkp::solve(&g, 2, &config, &RtContext::unlimited())
+        .expect_err("with every racer dead there is no answer");
+    match err {
+        RtError::AllRacersFailed { failures } => {
+            let names: Vec<&str> = failures.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, ["sparse", "sqa", "classical"]);
+            let expected = [
+                ("sparse", "core.qmkp.probe"),
+                ("sqa", "annealer.sqa.sweep"),
+                ("classical", "classical.grasp.iter"),
+            ];
+            for ((name, e), (_, site)) in failures.iter().zip(expected) {
+                assert_eq!(e, &faulted(site), "racer {name}");
+            }
+        }
+        other => panic!("expected AllRacersFailed, got {other}"),
+    }
+    failpoint::reset();
+}
+
+/// A panic injected through one racer's oracle provider is contained to
+/// that racer: the heuristic racers still answer and the casualty is a
+/// structural fault, not a crashed process.
+#[test]
+fn provider_panic_is_contained_to_the_quantum_racer() {
+    struct PanickingProvider;
+    impl qmkp::core::OracleProvider for PanickingProvider {
+        fn compiled_oracle(
+            &self,
+            _g: &qmkp::graph::Graph,
+            _k: usize,
+            _t: usize,
+            _ctx: &RtContext,
+        ) -> Result<std::sync::Arc<qmkp::core::CompiledOracle>, RtError> {
+            panic!("injected oracle-provider panic");
+        }
+    }
+
+    let _guard = failpoint::exclusive();
+    failpoint::reset();
+    let g = qmkp::graph::gen::paper_fig1_graph();
+    let config = SolveConfig {
+        portfolio: Some(true),
+        ..SolveConfig::default()
+    };
+    let out = qmkp::solve_with(&g, 2, &config, &RtContext::unlimited(), &PanickingProvider)
+        .expect("the heuristic racers survive a panicking provider");
+    assert!(qmkp::graph::is_kplex(&g, out.best, 2));
+    let race = out.race.expect("a forced portfolio must race");
+    assert_ne!(race.winner, "sparse", "the panicking racer cannot win");
+    // The panic fires on the sparse racer's first oracle compilation,
+    // long before any heuristic can win and cancel it.
+    assert!(race.faulted >= 1, "the panic must be accounted as a fault");
+}
+
+/// The scripted warm-start race: with `QMKP_PORTFOLIO_HANDOFF_SYNC` set
+/// the exact-classical racer's only lower bound is the SQA racer's
+/// published incumbent, so branch & bound is *unbounded* in a control
+/// run whose SQA racer is killed at sweep zero. The handoff must land on
+/// `solve.race.warm_start{handoff=sqa-to-bnb}` and strictly shrink the
+/// node count relative to that control.
+#[test]
+fn sqa_incumbent_tightens_the_bnb_bound() {
+    let _guard = failpoint::exclusive();
+    failpoint::reset();
+    // On this instance the SQA racer's first verified publish is already
+    // a maximum 4-plex (size 10), so adopting it bounds branch & bound
+    // strictly tighter than anything the search would have self-found by
+    // that point.
+    let g = qmkp::graph::gen::gnm(24, 140, 6).expect("valid G(n, m) parameters");
+    let k = 4;
+    let config = SolveConfig {
+        portfolio: Some(true),
+        // n = 24 must still take the exact branch & bound path.
+        exact_threshold: Some(30),
+        // Slow the SQA racer down (its first incumbent still lands
+        // within shot zero) so the classical racer always finishes its
+        // bounded search first and the node gauge is always emitted.
+        sqa: Some(qmkp::annealer::SqaConfig {
+            shots: 50,
+            sweeps: 64,
+            seed: 4,
+            ..qmkp::annealer::SqaConfig::default()
+        }),
+        ..SolveConfig::default()
+    };
+    // A byte ceiling far below any statevector: only the SQA and
+    // classical racers stake, so the race is exactly the handoff pair.
+    let ctx = RtContext::with_budget(Budget {
+        deadline: None,
+        max_bytes: Some(1024),
+        max_ops: None,
+    });
+    qmkp::obs::metrics::set_enabled(true);
+
+    // Control: the SQA racer dies on its first sweep, the classical
+    // racer's 50 ms hold expires empty, and branch & bound runs with no
+    // initial bound at all.
+    failpoint::arm("annealer.sqa.sweep", 0);
+    std::env::set_var("QMKP_PORTFOLIO_HANDOFF_SYNC", "50");
+    qmkp::obs::metrics::reset();
+    let cold = qmkp::solve(&g, k, &config, &ctx).expect("the classical racer survives alone");
+    let cold_snap = qmkp::obs::metrics::snapshot();
+    let cold_nodes = cold_snap.value_of("solve.race.bnb_nodes", &[]);
+    let cold_handoffs = cold_snap.value_of("solve.race.warm_start", &[("handoff", "sqa-to-bnb")]);
+
+    // Warm: the fault is cleared, the hold waits for SQA's first
+    // verified incumbent, and that incumbent is the whole bound.
+    failpoint::reset();
+    std::env::set_var("QMKP_PORTFOLIO_HANDOFF_SYNC", "2000");
+    qmkp::obs::metrics::reset();
+    let warm = qmkp::solve(&g, k, &config, &ctx).expect("both racers healthy");
+    let warm_snap = qmkp::obs::metrics::snapshot();
+    let warm_nodes = warm_snap.value_of("solve.race.bnb_nodes", &[]);
+    let warm_handoffs = warm_snap.value_of("solve.race.warm_start", &[("handoff", "sqa-to-bnb")]);
+    std::env::remove_var("QMKP_PORTFOLIO_HANDOFF_SYNC");
+    qmkp::obs::metrics::set_enabled(false);
+
+    let cold_race = cold.race.expect("forced portfolio must race");
+    assert_eq!(cold_race.winner, "classical");
+    assert_eq!(
+        cold_race.faulted, 1,
+        "the control's SQA racer must have died"
+    );
+    assert_eq!(
+        cold_handoffs, 0.0,
+        "a dead SQA racer cannot hand anything off"
+    );
+    assert!(
+        cold_nodes > 0.0,
+        "the control search must have been measured"
+    );
+
+    let warm_race = warm.race.expect("forced portfolio must race");
+    assert_eq!(warm_race.winner, "classical");
+    assert!(
+        warm_handoffs >= 1.0,
+        "the SQA incumbent must reach branch & bound"
+    );
+    assert!(warm_race.warm_starts >= 1);
+    assert!(
+        warm_nodes > 0.0,
+        "the bounded search must have been measured"
+    );
+    assert!(
+        warm_nodes < cold_nodes,
+        "the handoff must strictly prune the search: warm {warm_nodes} vs cold {cold_nodes}"
+    );
+    assert!(qmkp::graph::is_kplex(&g, warm.best, k));
+    assert_eq!(
+        warm.best.len(),
+        cold.best.len(),
+        "both exact searches must agree on the optimum size"
+    );
 }
